@@ -1,0 +1,56 @@
+// F2 (Figure 2): the interval taxonomy driving the small-model property.
+// Generates sibling sequences with controlled run lengths and measures the
+// decomposition into maximal pure intervals plus the (M,N)-reducedness
+// check. Shape to observe: interval counts equal ceil(n / run_length), and
+// reducedness checking is linear in the tree.
+
+#include <benchmark/benchmark.h>
+
+#include "datatree/generator.h"
+#include "datatree/zones.h"
+
+namespace fo2dt {
+namespace {
+
+void BM_MaximalPureIntervals(benchmark::State& state) {
+  Alphabet alpha;
+  DataTree t = FlatRunsTree(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)), &alpha);
+  size_t intervals = 0;
+  for (auto _ : state) {
+    auto iv = MaximalPureIntervals(t);
+    intervals = iv.size();
+    benchmark::DoNotOptimize(iv);
+  }
+  state.counters["intervals"] = static_cast<double>(intervals);
+}
+BENCHMARK(BM_MaximalPureIntervals)
+    ->Args({1000, 1})
+    ->Args({1000, 10})
+    ->Args({1000, 100})
+    ->Args({100000, 10});
+
+void BM_ShapeStats(benchmark::State& state) {
+  Alphabet alpha;
+  DataTree t = CombTree(static_cast<size_t>(state.range(0)), 3, 5, &alpha);
+  for (auto _ : state) {
+    TreeShapeStats s = ComputeShapeStats(t);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ShapeStats)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IsReduced(benchmark::State& state) {
+  Alphabet alpha;
+  DataTree t = FlatRunsTree(static_cast<size_t>(state.range(0)), 7, &alpha);
+  for (auto _ : state) {
+    bool reduced = IsReduced(t, 3, 10);
+    benchmark::DoNotOptimize(reduced);
+  }
+}
+BENCHMARK(BM_IsReduced)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace fo2dt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// TH2 (Theorem 2): LCTA emptiness is in NPTIME. Measures the
+// Parikh/flow-ILP procedure as the automaton's state count and the linear
+// constraints grow, against the brute-force tree enumeration baseline
+// (exponential in witness size). Shape to observe: the ILP route scales
+// polynomially-with-NP-spikes and overtakes brute force as soon as minimal
+// witnesses have more than a handful of nodes (the paper's reason for
+// Theorem 2: counting, not enumeration).
+
+#include <benchmark/benchmark.h>
+
+#include "lcta/lcta.h"
+
+namespace fo2dt {
+namespace {
+
+// Flat trees with k leaf kinds under one root; the constraint demands equal
+// counts of all kinds and at least `m` of the first — minimal witnesses have
+// k*m + 1 nodes.
+Lcta MakeLcta(size_t kinds, int64_t m) {
+  TreeAutomaton a(kinds, kinds + 1);
+  const TreeState root = static_cast<TreeState>(kinds);
+  for (TreeState s = 0; s < kinds; ++s) {
+    a.SetInitial(s);
+    for (TreeState s2 = 0; s2 < kinds; ++s2) {
+      a.AddHorizontal(s, s, s2);
+    }
+    a.AddVertical(s, s, root);
+  }
+  a.SetAccepting(root, 0);
+  std::vector<LinearConstraint> parts;
+  for (TreeState s = 1; s < kinds; ++s) {
+    LinearExpr diff = LinearExpr::Variable(0);
+    diff.AddTerm(s, BigInt(-1));
+    parts.push_back(LinearConstraint::Eq(std::move(diff)));
+  }
+  LinearExpr at_least = LinearExpr::Variable(0);
+  at_least.AddConstant(BigInt(-m));
+  parts.push_back(LinearConstraint::Ge(std::move(at_least)));
+  return Lcta{a, LinearConstraint::And(std::move(parts))};
+}
+
+void BM_ParikhIlp(benchmark::State& state) {
+  Lcta lcta = MakeLcta(static_cast<size_t>(state.range(0)), state.range(1));
+  for (auto _ : state) {
+    auto r = CheckLctaEmptiness(lcta);
+    benchmark::DoNotOptimize(r);
+    if (r.ok()) state.counters["ilp_nodes"] = static_cast<double>(r->ilp_nodes);
+  }
+}
+BENCHMARK(BM_ParikhIlp)
+    ->Args({2, 1})
+    ->Args({2, 4})
+    ->Args({2, 16})
+    ->Args({3, 4})
+    ->Args({4, 4})
+    ->Args({5, 4});
+
+void BM_BruteForceBaseline(benchmark::State& state) {
+  Lcta lcta = MakeLcta(static_cast<size_t>(state.range(0)), state.range(1));
+  size_t witness_bound =
+      static_cast<size_t>(state.range(0) * state.range(1)) + 1;
+  for (auto _ : state) {
+    auto w = FindLctaWitnessBounded(lcta, witness_bound);
+    benchmark::DoNotOptimize(w);
+  }
+}
+// The baseline explodes quickly; keep the grid small.
+BENCHMARK(BM_BruteForceBaseline)->Args({2, 1})->Args({2, 2})->Args({3, 2});
+
+void BM_EmptyVerdict(benchmark::State& state) {
+  // Unsatisfiable counting constraint: n_root == 2.
+  Lcta lcta = MakeLcta(2, 1);
+  LinearExpr root_twice = LinearExpr::Variable(2);
+  root_twice.AddConstant(BigInt(-2));
+  lcta.constraint = LinearConstraint::And(lcta.constraint,
+                                          LinearConstraint::Eq(root_twice));
+  for (auto _ : state) {
+    auto r = CheckLctaEmptiness(lcta);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EmptyVerdict);
+
+}  // namespace
+}  // namespace fo2dt
+
+BENCHMARK_MAIN();

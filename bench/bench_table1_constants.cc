@@ -1,0 +1,88 @@
+// T1: regenerates Table I (the pruning constants of Proposition 2) for
+// concrete puzzle families. The paper gives asymptotic forms
+//   M_i = |F|·|Q|^O(|Q|),  N1 = O(|Q|²|Σ|),  N2 = O(|Σ||Q|³),  N3 = O(|Σ||Q|²)
+// and M = M1+M2+M3, N = (N1·N2)^(N3+1); we instantiate the O(·) constants
+// with 1 and report exact values (|F| via the counting DP). The shape to
+// observe: the M-column explodes with the alphabet (|F| is exponential in
+// |Σ|) while N1..N3 stay polynomial — and N is astronomical regardless,
+// which is why the library replaces the small-model bound by budgets
+// (DESIGN.md §2).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "puzzle/puzzle.h"
+
+namespace fo2dt {
+namespace {
+
+Puzzle MakePuzzle(size_t num_labels, size_t num_conditions) {
+  ExtAlphabet ext{num_labels, 0};
+  DnfBlock block;
+  for (size_t c = 0; c < num_conditions; ++c) {
+    SimpleFormula s;
+    s.kind = c % 2 == 0 ? SimpleFormula::Kind::kAtMostOne
+                        : SimpleFormula::Kind::kImpliesPresence;
+    s.alpha = TypeSet(ext.size(), 0);
+    s.alpha[c % ext.size()] = 1;
+    if (s.kind == SimpleFormula::Kind::kImpliesPresence) {
+      s.beta = TypeSet(ext.size(), 0);
+      s.beta[(c + 1) % ext.size()] = 1;
+    }
+    block.simples.push_back(std::move(s));
+  }
+  return *PuzzleFromBlock(block, ext);
+}
+
+void PrintTable() {
+  std::printf(
+      "\nTable I instantiation (per puzzle: |labels| L, conditions C)\n");
+  std::printf("%-4s %-3s %-22s %-22s %-10s %-10s %-10s %-14s\n", "L", "C",
+              "|F|", "M = 3|F||Q|^|Q|", "N1", "N2", "N3", "digits(N)");
+  for (size_t labels = 2; labels <= 6; ++labels) {
+    for (size_t conds : {1u, 3u}) {
+      Puzzle p = MakePuzzle(labels, conds);
+      TableIConstants t = ComputeTableIConstants(p);
+      std::printf("%-4zu %-3zu %-22s %-22s %-10s %-10s %-10s %-14zu\n", labels,
+                  static_cast<size_t>(conds), t.f_size.ToString().c_str(),
+                  t.m.ToString().c_str(), t.n1.ToString().c_str(),
+                  t.n2.ToString().c_str(), t.n3.ToString().c_str(), t.n_digits);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_CountAcceptingPairs(benchmark::State& state) {
+  Puzzle p = MakePuzzle(static_cast<size_t>(state.range(0)),
+                        static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    BigInt f = CountAcceptingPairs(p);
+    benchmark::DoNotOptimize(f);
+  }
+  state.counters["F"] = CountAcceptingPairs(p).ToDouble();
+}
+BENCHMARK(BM_CountAcceptingPairs)
+    ->Args({2, 1})
+    ->Args({4, 2})
+    ->Args({6, 3})
+    ->Args({8, 4});
+
+void BM_TableIConstants(benchmark::State& state) {
+  Puzzle p = MakePuzzle(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    TableIConstants t = ComputeTableIConstants(p);
+    benchmark::DoNotOptimize(t.n_digits);
+  }
+}
+BENCHMARK(BM_TableIConstants)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace fo2dt
+
+int main(int argc, char** argv) {
+  fo2dt::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

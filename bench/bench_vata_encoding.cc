@@ -1,0 +1,85 @@
+// F4 (Figure 4): the Theorem-4 counter-tree coding. Measures (i) bounded
+// VATA emptiness search (exponential in the size bound — the paper's point:
+// nobody knows a terminating general procedure), (ii) construction of the
+// counter tree from a run and (iii) model checking the discipline formula on
+// it. Shape to observe: the formula size is linear in the number of
+// counters, the coding size linear in the run's total counter traffic.
+
+#include <benchmark/benchmark.h>
+
+#include "logic/eval.h"
+#include "vata/vata.h"
+
+namespace fo2dt {
+namespace {
+
+// k-counter generalization of the example automaton: leaves produce one
+// token of every counter; inner nodes consume one of each from both children
+// and either re-emit (q0) or close (q1, accepting).
+VataAutomaton MakeVata(size_t k) {
+  VataAutomaton a;
+  a.num_counters = k;
+  a.num_states = 2;
+  a.num_labels = 2;
+  a.accepting = {1};
+  CounterVec ones(k, 1);
+  CounterVec zeros(k, 0);
+  a.leaf_rules.push_back({1, 0, ones});
+  a.transitions.push_back({0, 0, ones, 0, ones, 0, ones});
+  a.transitions.push_back({0, 0, ones, 0, ones, 1, zeros});
+  return a;
+}
+
+void BM_BoundedEmptiness(benchmark::State& state) {
+  VataAutomaton a = MakeVata(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto w = FindVataWitnessBounded(a, static_cast<size_t>(state.range(1)));
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_BoundedEmptiness)
+    ->Args({1, 3})
+    ->Args({1, 5})
+    ->Args({1, 7})
+    ->Args({3, 5})
+    ->Args({6, 5});
+
+void BM_BuildCounterTree(benchmark::State& state) {
+  VataAutomaton a = MakeVata(static_cast<size_t>(state.range(0)));
+  auto w = FindVataWitnessBounded(a, 7);
+  if (!w.ok()) {
+    state.SkipWithError("no witness");
+    return;
+  }
+  CounterTreeAlphabet alpha{a.num_counters, a.num_states, a.num_labels};
+  size_t nodes = 0;
+  for (auto _ : state) {
+    DataTree ct = *BuildCounterTree(a, w->first, w->second, alpha);
+    nodes = ct.size();
+    benchmark::DoNotOptimize(ct);
+  }
+  state.counters["counter_tree_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_BuildCounterTree)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_CheckDiscipline(benchmark::State& state) {
+  VataAutomaton a = MakeVata(static_cast<size_t>(state.range(0)));
+  auto w = FindVataWitnessBounded(a, 7);
+  if (!w.ok()) {
+    state.SkipWithError("no witness");
+    return;
+  }
+  CounterTreeAlphabet alpha{a.num_counters, a.num_states, a.num_labels};
+  DataTree ct = *BuildCounterTree(a, w->first, w->second, alpha);
+  Formula phi = EncodeVataToFo2(a, alpha);
+  for (auto _ : state) {
+    bool ok = *Evaluator::EvaluateSentence(phi, ct, nullptr);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_CheckDiscipline)->Arg(1)->Arg(3)->Arg(6);
+
+}  // namespace
+}  // namespace fo2dt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// F3 (Figure 3): the XML ↔ data-tree encoding and document-level constraint
+// checking on schedule-style documents scaled by the number of courses.
+// Shape to observe: encoding and checking are linear in document size.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "constraints/constraints.h"
+#include "xmlenc/xml.h"
+
+namespace fo2dt {
+namespace {
+
+std::string ScheduleXml(size_t courses) {
+  std::string xml = "<schedule>";
+  for (size_t i = 0; i < courses; ++i) {
+    xml += "<course ID=\"" + std::to_string(i) + "\"><lecturer faculty=\"" +
+           std::to_string(i % 17) + "\"></lecturer><building nr=\"" +
+           std::to_string(i % 5) + "\"></building></course>";
+  }
+  xml += "</schedule>";
+  return xml;
+}
+
+void BM_ParseAndEncode(benchmark::State& state) {
+  std::string xml = ScheduleXml(static_cast<size_t>(state.range(0)));
+  size_t nodes = 0;
+  for (auto _ : state) {
+    Alphabet labels;
+    ValueDictionary values;
+    XmlElement doc = *ParseXml(xml);
+    DataTree t = *EncodeXml(doc, &labels, &values);
+    nodes = t.size();
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_ParseAndEncode)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_KeyCheck(benchmark::State& state) {
+  Alphabet labels;
+  ValueDictionary values;
+  XmlElement doc = *ParseXml(ScheduleXml(static_cast<size_t>(state.range(0))));
+  DataTree t = *EncodeXml(doc, &labels, &values);
+  UnaryKey key{labels.Find("course"), labels.Find("ID")};
+  for (auto _ : state) {
+    bool ok = DocumentSatisfiesKey(t, key);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_KeyCheck)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_InclusionCheck(benchmark::State& state) {
+  Alphabet labels;
+  ValueDictionary values;
+  XmlElement doc = *ParseXml(ScheduleXml(static_cast<size_t>(state.range(0))));
+  DataTree t = *EncodeXml(doc, &labels, &values);
+  UnaryInclusion inc{labels.Find("course"), labels.Find("ID"),
+                     labels.Find("course"), labels.Find("ID")};
+  for (auto _ : state) {
+    bool ok = DocumentSatisfiesInclusion(t, inc);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_InclusionCheck)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DecodeRoundTrip(benchmark::State& state) {
+  Alphabet labels;
+  ValueDictionary values;
+  XmlElement doc = *ParseXml(ScheduleXml(static_cast<size_t>(state.range(0))));
+  DataTree t = *EncodeXml(doc, &labels, &values);
+  std::vector<Symbol> attrs = {labels.Find("ID"), labels.Find("faculty"),
+                               labels.Find("nr")};
+  for (auto _ : state) {
+    auto back = DecodeXml(t, labels, values, attrs);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_DecodeRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace fo2dt
+
+BENCHMARK_MAIN();

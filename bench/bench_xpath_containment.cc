@@ -1,0 +1,99 @@
+// TH3 (Theorem 3): LocalDataXPath satisfiability and containment. Measures
+// translation size, direct evaluation throughput, and decision times as
+// path length and predicate nesting grow. Shape to observe: translation is
+// linear in the expression; the containment decision inherits the bounded
+// search's exponential dependence on the counterexample size — deeper paths
+// need bigger counterexamples.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "datatree/generator.h"
+#include "xpath/xpath.h"
+
+namespace fo2dt {
+namespace {
+
+std::string ChainQuery(size_t depth, bool with_pred) {
+  std::string q;
+  for (size_t i = 0; i < depth; ++i) {
+    q += "/Child::l" + std::to_string(i % 3);
+  }
+  if (with_pred) q += "[Child::l0 and not Child::l1]";
+  return q;
+}
+
+void BM_Translate(benchmark::State& state) {
+  Alphabet labels;
+  XpPath p = *ParseXPath(ChainQuery(static_cast<size_t>(state.range(0)), true),
+                         &labels);
+  SafetyAssociations assoc;
+  for (auto _ : state) {
+    auto f = TranslateXPathToFo2(p, assoc);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_Translate)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Evaluate(benchmark::State& state) {
+  Alphabet labels;
+  XpPath p = *ParseXPath(ChainQuery(4, true), &labels);
+  RandomSource rng(5);
+  RandomTreeOptions opt;
+  opt.num_nodes = static_cast<size_t>(state.range(0));
+  opt.num_labels = 3;
+  DataTree t = RandomDataTree(opt, &rng, &labels);
+  for (auto _ : state) {
+    auto hits = EvaluateXPathFromRoot(t, p);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_Evaluate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ContainmentHolds(benchmark::State& state) {
+  Alphabet labels;
+  size_t depth = static_cast<size_t>(state.range(0));
+  XpPath p = *ParseXPath(ChainQuery(depth, true), &labels);
+  XpPath q = *ParseXPath(ChainQuery(depth, false), &labels);
+  SolverOptions opt;
+  opt.max_model_nodes = depth + 2;
+  for (auto _ : state) {
+    auto r = CheckXPathContainment(p, q, nullptr, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ContainmentHolds)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ContainmentRefuted(benchmark::State& state) {
+  Alphabet labels;
+  size_t depth = static_cast<size_t>(state.range(0));
+  XpPath p = *ParseXPath(ChainQuery(depth, false), &labels);
+  XpPath q = *ParseXPath(ChainQuery(depth, true), &labels);
+  SolverOptions opt;
+  opt.max_model_nodes = depth + 2;
+  for (auto _ : state) {
+    auto r = CheckXPathContainment(p, q, nullptr, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ContainmentRefuted)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_DataJoinSatisfiability(benchmark::State& state) {
+  Alphabet labels;
+  XpPath p = *ParseXPath(
+      "/Child::item[Self::*/@val = /Child::ref/@val]", &labels);
+  SolverOptions opt;
+  opt.max_model_nodes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = CheckXPathSatisfiability(p, nullptr, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DataJoinSatisfiability)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace fo2dt
+
+BENCHMARK_MAIN();

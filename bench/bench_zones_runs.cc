@@ -1,0 +1,87 @@
+// F1 (Figure 1): zones and automaton runs. Measures the substrate that the
+// whole decision procedure stands on: computing the zone partition of data
+// trees (union-find over same-data edges) and finding accepting automaton
+// runs, as tree size and data-value density vary. The shape to observe:
+// both scale near-linearly in the node count, and zone counts interpolate
+// between 1 (one value everywhere) and n (all fresh values).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "automata/tree_automaton.h"
+#include "common/random.h"
+#include "datatree/generator.h"
+#include "datatree/zones.h"
+
+namespace fo2dt {
+namespace {
+
+DataTree MakeTree(size_t nodes, double copy_prob, Alphabet* alpha,
+                  uint64_t seed) {
+  RandomSource rng(seed);
+  RandomTreeOptions opt;
+  opt.num_nodes = nodes;
+  opt.num_labels = 3;
+  opt.num_data_values = nodes / 4 + 1;
+  opt.data_copy_parent = copy_prob;
+  opt.data_copy_left = copy_prob;
+  return RandomDataTree(opt, &rng, alpha);
+}
+
+void BM_ComputeZones(benchmark::State& state) {
+  Alphabet alpha;
+  DataTree t = MakeTree(static_cast<size_t>(state.range(0)),
+                        state.range(1) / 100.0, &alpha, 42);
+  size_t zones = 0;
+  for (auto _ : state) {
+    ZonePartition z = ComputeZones(t);
+    zones = z.num_zones();
+    benchmark::DoNotOptimize(z);
+  }
+  state.counters["zones"] = static_cast<double>(zones);
+  state.counters["nodes"] = static_cast<double>(t.size());
+}
+BENCHMARK(BM_ComputeZones)
+    ->Args({100, 30})
+    ->Args({1000, 30})
+    ->Args({10000, 30})
+    ->Args({10000, 0})
+    ->Args({10000, 90});
+
+void BM_ProfiledTree(benchmark::State& state) {
+  Alphabet alpha;
+  DataTree t = MakeTree(static_cast<size_t>(state.range(0)), 0.3, &alpha, 7);
+  for (auto _ : state) {
+    Alphabet profiled;
+    DataTree pt = BuildProfiledTree(t, alpha, &profiled);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_ProfiledTree)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FindAcceptingRun(benchmark::State& state) {
+  Alphabet alpha;
+  DataTree t = MakeTree(static_cast<size_t>(state.range(0)), 0.3, &alpha, 11);
+  TreeAutomaton universal = TreeAutomaton::Universal(3);
+  for (auto _ : state) {
+    auto run = universal.FindAcceptingRun(t);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_FindAcceptingRun)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MaximalDataPaths(benchmark::State& state) {
+  Alphabet alpha;
+  DataTree t = MakeTree(static_cast<size_t>(state.range(0)), 0.5, &alpha, 13);
+  for (auto _ : state) {
+    auto paths = MaximalDataPaths(t);
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_MaximalDataPaths)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace fo2dt
+
+BENCHMARK_MAIN();

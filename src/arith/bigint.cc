@@ -1,0 +1,391 @@
+#include "arith/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace fo2dt {
+
+namespace {
+constexpr uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t v) {
+  negative_ = v < 0;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  if (mag != 0) mag_.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
+  if (mag >> 32) mag_.push_back(static_cast<uint32_t>(mag >> 32));
+  Normalize();
+}
+
+void BigInt::TrimMag(std::vector<uint32_t>* m) {
+  while (!m->empty() && m->back() == 0) m->pop_back();
+}
+
+void BigInt::Normalize() {
+  TrimMag(&mag_);
+  if (mag_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMag(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& lo = a.size() < b.size() ? a : b;
+  const std::vector<uint32_t>& hi = a.size() < b.size() ? b : a;
+  std::vector<uint32_t> out;
+  out.reserve(hi.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < hi.size(); ++i) {
+    uint64_t sum = carry + hi[i] + (i < lo.size() ? lo[i] : 0);
+    out.push_back(static_cast<uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  TrimMag(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(out[i + j]) +
+                     static_cast<uint64_t>(a[i]) * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = static_cast<uint64_t>(out[k]) + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  TrimMag(&out);
+  return out;
+}
+
+void BigInt::DivModMag(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b,
+                       std::vector<uint32_t>* q, std::vector<uint32_t>* r) {
+  q->clear();
+  r->clear();
+  if (CompareMag(a, b) < 0) {
+    *r = a;
+    TrimMag(r);
+    return;
+  }
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    uint64_t d = b[0];
+    q->assign(a.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | a[i];
+      (*q)[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    TrimMag(q);
+    if (rem) r->push_back(static_cast<uint32_t>(rem));
+    return;
+  }
+  // Knuth algorithm D with normalization so the divisor's top limb has its
+  // high bit set; quotient digit estimates are then off by at most 2.
+  int shift = 0;
+  uint32_t top = b.back();
+  while (!(top & 0x80000000U)) {
+    top <<= 1;
+    ++shift;
+  }
+  auto shl = [shift](const std::vector<uint32_t>& v) {
+    if (shift == 0) return v;
+    std::vector<uint32_t> out(v.size() + 1, 0);
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << shift;
+      out[i + 1] |= static_cast<uint32_t>(
+          (static_cast<uint64_t>(v[i]) >> (32 - shift)));
+    }
+    TrimMag(&out);
+    return out;
+  };
+  std::vector<uint32_t> u = shl(a);
+  std::vector<uint32_t> v = shl(b);
+  size_t n = v.size();
+  size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);
+  q->assign(m + 1, 0);
+  for (size_t j = m + 1; j-- > 0;) {
+    uint64_t numer = (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t qhat = numer / v[n - 1];
+    uint64_t rhat = numer % v[n - 1];
+    while (qhat >= kBase ||
+           (n >= 2 &&
+            qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2]))) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply-subtract qhat*v from u[j..j+n].
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      int64_t diff = static_cast<int64_t>(u[i + j]) -
+                     static_cast<int64_t>(p & 0xffffffffULL) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // qhat was one too large: add back.
+      diff += static_cast<int64_t>(kBase);
+      u[j + n] = static_cast<uint32_t>(diff);
+      --qhat;
+      uint64_t c2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<uint32_t>(sum & 0xffffffffULL);
+        c2 = sum >> 32;
+      }
+      u[j + n] = static_cast<uint32_t>(u[j + n] + c2);
+    } else {
+      u[j + n] = static_cast<uint32_t>(diff);
+    }
+    (*q)[j] = static_cast<uint32_t>(qhat);
+  }
+  TrimMag(q);
+  // Remainder: u[0..n) shifted back.
+  u.resize(n);
+  if (shift) {
+    for (size_t i = 0; i < n; ++i) {
+      u[i] >>= shift;
+      if (i + 1 < n) {
+        u[i] |= static_cast<uint32_t>(
+            static_cast<uint64_t>(u[i + 1] & ((1U << shift) - 1)) << (32 - shift));
+      }
+    }
+  }
+  TrimMag(&u);
+  *r = std::move(u);
+}
+
+Result<BigInt> BigInt::FromString(const std::string& text) {
+  if (text.empty()) return Status::ParseError("empty BigInt literal");
+  size_t i = 0;
+  bool neg = false;
+  if (text[0] == '+' || text[0] == '-') {
+    neg = text[0] == '-';
+    i = 1;
+  }
+  if (i >= text.size()) return Status::ParseError("sign with no digits");
+  BigInt out;
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') {
+      return Status::ParseError("bad digit in BigInt literal: " + text);
+    }
+    out = out * BigInt(10) + BigInt(text[i] - '0');
+  }
+  if (neg && !out.IsZero()) out.negative_ = true;
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  std::vector<uint32_t> cur = mag_;
+  std::string digits;
+  std::vector<uint32_t> q, r;
+  const std::vector<uint32_t> billion = {1000000000U};
+  while (!cur.empty()) {
+    DivModMag(cur, billion, &q, &r);
+    uint32_t chunk = r.empty() ? 0 : r[0];
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+    cur = q;
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  if (mag_.size() > 2) return Status::Overflow("BigInt exceeds int64 range");
+  uint64_t mag = 0;
+  if (mag_.size() >= 1) mag = mag_[0];
+  if (mag_.size() == 2) mag |= static_cast<uint64_t>(mag_[1]) << 32;
+  if (negative_) {
+    if (mag > 0x8000000000000000ULL)
+      return Status::Overflow("BigInt exceeds int64 range");
+    return static_cast<int64_t>(~mag + 1);
+  }
+  if (mag > 0x7fffffffffffffffULL)
+    return Status::Overflow("BigInt exceeds int64 range");
+  return static_cast<int64_t>(mag);
+}
+
+double BigInt::ToDouble() const {
+  double out = 0;
+  for (size_t i = mag_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + mag_[i];
+  }
+  return negative_ ? -out : out;
+}
+
+size_t BigInt::BitLength() const {
+  if (mag_.empty()) return 0;
+  uint32_t top = mag_.back();
+  size_t bits = (mag_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  if (negative_ == o.negative_) {
+    out.mag_ = AddMag(mag_, o.mag_);
+    out.negative_ = negative_;
+  } else {
+    int c = CompareMag(mag_, o.mag_);
+    if (c == 0) return BigInt();
+    if (c > 0) {
+      out.mag_ = SubMag(mag_, o.mag_);
+      out.negative_ = negative_;
+    } else {
+      out.mag_ = SubMag(o.mag_, mag_);
+      out.negative_ = o.negative_;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt out;
+  out.mag_ = MulMag(mag_, o.mag_);
+  out.negative_ = negative_ != o.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt q;
+  std::vector<uint32_t> qm, rm;
+  DivModMag(mag_, o.mag_, &qm, &rm);
+  q.mag_ = std::move(qm);
+  q.negative_ = negative_ != o.negative_;
+  q.Normalize();
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt r;
+  std::vector<uint32_t> qm, rm;
+  DivModMag(mag_, o.mag_, &qm, &rm);
+  r.mag_ = std::move(rm);
+  r.negative_ = negative_;
+  r.Normalize();
+  return r;
+}
+
+int BigInt::Compare(const BigInt& o) const {
+  if (negative_ != o.negative_) return negative_ ? -1 : 1;
+  int c = CompareMag(mag_, o.mag_);
+  return negative_ ? -c : c;
+}
+
+BigInt BigInt::FloorDiv(const BigInt& o) const {
+  BigInt q = *this / o;
+  BigInt r = *this % o;
+  if (!r.IsZero() && (r.IsNegative() != o.IsNegative())) q -= BigInt(1);
+  return q;
+}
+
+BigInt BigInt::CeilDiv(const BigInt& o) const {
+  BigInt q = *this / o;
+  BigInt r = *this % o;
+  if (!r.IsZero() && (r.IsNegative() == o.IsNegative())) q += BigInt(1);
+  return q;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+size_t BigInt::Hash() const {
+  size_t h = negative_ ? 0x9e3779b97f4a7c15ULL : 0;
+  for (uint32_t limb : mag_) {
+    h ^= limb + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,118 @@
+/// \file bigint.h
+/// \brief Arbitrary-precision signed integers.
+///
+/// The LCTA emptiness procedure (Theorem 2) solves existential Presburger
+/// constraints with an exact-rational simplex; pivoting blows past 64 bits
+/// quickly, so all solver arithmetic is done over BigInt/Rational.
+///
+/// Representation: sign + little-endian magnitude in base 2^32 with no
+/// trailing zero limbs; zero is the empty magnitude with sign +1.
+
+#ifndef FO2DT_ARITH_BIGINT_H_
+#define FO2DT_ARITH_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fo2dt {
+
+/// \brief Arbitrary-precision signed integer.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From a machine integer (implicit: BigInt is a drop-in numeric type).
+  BigInt(int64_t v);  // NOLINT: implicit by design
+
+  /// Parses an optionally signed decimal string.
+  static Result<BigInt> FromString(const std::string& text);
+
+  /// Decimal rendering, e.g. "-123".
+  std::string ToString() const;
+
+  /// Value as int64_t, or Overflow if out of range.
+  Result<int64_t> ToInt64() const;
+  /// Value as double (may lose precision; infinity on huge values).
+  double ToDouble() const;
+
+  bool IsZero() const { return mag_.empty(); }
+  bool IsNegative() const { return negative_; }
+  bool IsPositive() const { return !negative_ && !mag_.empty(); }
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  /// Precondition: !o.IsZero().
+  BigInt operator/(const BigInt& o) const;
+  /// Remainder matching truncated division: (a/b)*b + a%b == a.
+  /// Precondition: !o.IsZero().
+  BigInt operator%(const BigInt& o) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+  BigInt& operator%=(const BigInt& o) { return *this = *this % o; }
+
+  /// Three-way comparison: negative, zero, positive.
+  int Compare(const BigInt& o) const;
+
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  /// Floor division: rounds toward negative infinity.
+  /// Precondition: !o.IsZero().
+  BigInt FloorDiv(const BigInt& o) const;
+  /// Ceiling division: rounds toward positive infinity.
+  /// Precondition: !o.IsZero().
+  BigInt CeilDiv(const BigInt& o) const;
+
+  /// Greatest common divisor; always non-negative. Gcd(0,0) == 0.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  // Comparison/arithmetic on magnitudes only (interpret as non-negative).
+  static int CompareMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Precondition: a >= b as magnitudes.
+  static std::vector<uint32_t> SubMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Quotient and remainder of magnitudes. Precondition: !b.empty().
+  static void DivModMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b,
+                        std::vector<uint32_t>* q, std::vector<uint32_t>* r);
+  static void TrimMag(std::vector<uint32_t>* m);
+
+  void Normalize();
+
+  bool negative_ = false;
+  std::vector<uint32_t> mag_;  // little-endian base 2^32; empty == 0
+};
+
+/// Stream rendering in decimal (for tests and diagnostics).
+std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_ARITH_BIGINT_H_

@@ -1,0 +1,63 @@
+#include "arith/rational.h"
+
+#include <ostream>
+
+namespace fo2dt {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.IsNegative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.IsZero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+int Rational::Compare(const Rational& o) const {
+  return (num_ * o.den_).Compare(o.num_ * den_);
+}
+
+std::string Rational::ToString() const {
+  if (IsInteger()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.ToString();
+}
+
+}  // namespace fo2dt

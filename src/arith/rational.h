@@ -1,0 +1,75 @@
+/// \file rational.h
+/// \brief Exact rational numbers over BigInt.
+///
+/// Invariant: denominator > 0 and gcd(|num|, den) == 1; zero is 0/1.
+
+#ifndef FO2DT_ARITH_RATIONAL_H_
+#define FO2DT_ARITH_RATIONAL_H_
+
+#include <string>
+
+#include "arith/bigint.h"
+
+namespace fo2dt {
+
+/// \brief Exact rational number (normalized fraction of BigInts).
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// From an integer (implicit: Rational is a drop-in numeric type).
+  Rational(int64_t v) : num_(v), den_(1) {}  // NOLINT: implicit by design
+  Rational(BigInt v) : num_(std::move(v)), den_(1) {}  // NOLINT
+  /// num/den; normalizes sign and reduces. Precondition: !den.IsZero().
+  Rational(BigInt num, BigInt den);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+  bool IsNegative() const { return num_.IsNegative(); }
+  bool IsPositive() const { return num_.IsPositive(); }
+  /// True when the denominator is 1.
+  bool IsInteger() const { return den_ == BigInt(1); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Precondition: !o.IsZero().
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  int Compare(const Rational& o) const;
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+  /// Largest integer <= this.
+  BigInt Floor() const { return num_.FloorDiv(den_); }
+  /// Smallest integer >= this.
+  BigInt Ceil() const { return num_.CeilDiv(den_); }
+
+  double ToDouble() const { return num_.ToDouble() / den_.ToDouble(); }
+  /// "n" when integral, else "n/d".
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& v);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_ARITH_RATIONAL_H_

@@ -1,0 +1,578 @@
+#include "automata/tree_automaton.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+// 64-bit key for (from, symbol, to) triples used by the has-transition sets.
+uint64_t TripleKey(TreeState from, Symbol a, TreeState to) {
+  return (static_cast<uint64_t>(from) << 42) ^
+         (static_cast<uint64_t>(a) << 21) ^ static_cast<uint64_t>(to);
+}
+}  // namespace
+
+TreeAutomaton::TreeAutomaton(size_t num_symbols, size_t num_states)
+    : num_symbols_(num_symbols),
+      num_states_(num_states),
+      horizontal_(num_symbols * num_states),
+      vertical_(num_symbols * num_states) {}
+
+TreeState TreeAutomaton::AddState() {
+  ++num_states_;
+  horizontal_.resize(num_symbols_ * num_states_);
+  vertical_.resize(num_symbols_ * num_states_);
+  return static_cast<TreeState>(num_states_ - 1);
+}
+
+void TreeAutomaton::AddHorizontal(TreeState from, Symbol a, TreeState to) {
+  if (!horizontal_set_.insert(TripleKey(from, a, to)).second) return;
+  horizontal_[Key(from, a)].push_back(to);
+  horizontal_list_.emplace_back(from, a, to);
+}
+
+void TreeAutomaton::AddVertical(TreeState from, Symbol a, TreeState to) {
+  if (!vertical_set_.insert(TripleKey(from, a, to)).second) return;
+  vertical_[Key(from, a)].push_back(to);
+  vertical_list_.emplace_back(from, a, to);
+}
+
+void TreeAutomaton::SetInitial(TreeState q) { initial_.insert(q); }
+
+void TreeAutomaton::SetNonFirst(TreeState q) { non_first_.insert(q); }
+
+void TreeAutomaton::SetAccepting(TreeState q, Symbol a) {
+  accepting_.emplace(q, a);
+}
+
+bool TreeAutomaton::HasHorizontal(TreeState from, Symbol a, TreeState to) const {
+  return horizontal_set_.count(TripleKey(from, a, to)) > 0;
+}
+
+bool TreeAutomaton::HasVertical(TreeState from, Symbol a, TreeState to) const {
+  return vertical_set_.count(TripleKey(from, a, to)) > 0;
+}
+
+bool TreeAutomaton::IsAccepting(TreeState q, Symbol a) const {
+  return accepting_.count({q, a}) > 0;
+}
+
+const std::vector<TreeState>& TreeAutomaton::HorizontalSuccessors(
+    TreeState q, Symbol a) const {
+  return horizontal_[Key(q, a)];
+}
+
+const std::vector<TreeState>& TreeAutomaton::VerticalSuccessors(
+    TreeState q, Symbol a) const {
+  return vertical_[Key(q, a)];
+}
+
+bool TreeAutomaton::IsAcceptingRun(const DataTree& t, const TreeRun& run) const {
+  if (t.empty()) return false;
+  if (run.size() != t.size()) return false;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (run[v] >= num_states_) return false;
+    NodeId next = t.next_sibling(v);
+    if (next != kNoNode) {
+      if (!HasHorizontal(run[v], t.label(v), run[next])) return false;
+    } else if (t.parent(v) != kNoNode) {
+      if (!HasVertical(run[v], t.label(v), run[t.parent(v)])) return false;
+    }
+    // Every leaf must carry an initial state (see header note).
+    if (t.first_child(v) == kNoNode && !IsInitial(run[v])) return false;
+    // Non-first states require a horizontal predecessor.
+    if (t.prev_sibling(v) == kNoNode && IsNonFirst(run[v])) return false;
+  }
+  return IsAccepting(run[t.root()], t.label(t.root()));
+}
+
+namespace {
+
+/// Post-order traversal (children before parent, siblings left to right).
+std::vector<NodeId> PostOrder(const DataTree& t) {
+  std::vector<NodeId> out;
+  if (t.empty()) return out;
+  out.reserve(t.size());
+  struct Item {
+    NodeId node;
+    bool expanded;
+  };
+  std::vector<Item> stack = {{t.root(), false}};
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    if (it.expanded) {
+      out.push_back(it.node);
+      continue;
+    }
+    stack.push_back({it.node, true});
+    std::vector<NodeId> kids = t.Children(it.node);
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back({kids[i], false});
+  }
+  return out;
+}
+
+}  // namespace
+
+// Computes, for each node v, the set P(v) of states consistent with v's
+// subtree and with v's left siblings (and their subtrees). NotFound when some
+// node admits no state.
+Result<std::vector<std::set<TreeState>>> TreeAutomaton::AcceptingRunStates(
+    const DataTree& t) const {
+  if (t.empty()) return Status::InvalidArgument("empty tree has no runs");
+  std::vector<std::set<TreeState>> p(t.size());
+  const std::vector<NodeId> order = PostOrder(t);
+  for (NodeId v : order) {
+    std::set<TreeState> allowed;
+    const bool is_leaf = t.first_child(v) == kNoNode;
+    // Constraint from below: state must be a δv-successor of the last child.
+    std::set<TreeState> up;
+    if (!is_leaf) {
+      NodeId lc = t.last_child(v);
+      for (TreeState q : p[lc]) {
+        for (TreeState r : VerticalSuccessors(q, t.label(lc))) up.insert(r);
+      }
+    }
+    // Base constraint: leaves take initial states; internal nodes take
+    // δv-successors of their last child.
+    const std::set<TreeState>& base =
+        is_leaf ? std::set<TreeState>(initial_.begin(), initial_.end()) : up;
+    NodeId prev = t.prev_sibling(v);
+    if (prev == kNoNode) {
+      // First siblings cannot use non-first states.
+      for (TreeState q : base) {
+        if (!IsNonFirst(q)) allowed.insert(q);
+      }
+    } else {
+      std::set<TreeState> step;
+      for (TreeState q : p[prev]) {
+        for (TreeState r : HorizontalSuccessors(q, t.label(prev))) {
+          step.insert(r);
+        }
+      }
+      std::set_intersection(step.begin(), step.end(), base.begin(), base.end(),
+                            std::inserter(allowed, allowed.begin()));
+    }
+    if (allowed.empty()) return Status::NotFound("tree admits no run");
+    p[v] = std::move(allowed);
+  }
+  // Filter the root by acceptance; the returned sets are the P(v) sets, with
+  // the root restricted to accepting states. (Callers wanting exact
+  // per-node accepting-run state sets should use a downward pass; for type
+  // assignment under unambiguous schemas P(v) is already exact.)
+  std::set<TreeState> root_ok;
+  for (TreeState q : p[t.root()]) {
+    if (IsAccepting(q, t.label(t.root()))) root_ok.insert(q);
+  }
+  if (root_ok.empty()) return Status::NotFound("no accepting run");
+  p[t.root()] = std::move(root_ok);
+  return p;
+}
+
+bool TreeAutomaton::Accepts(const DataTree& t) const {
+  return AcceptingRunStates(t).ok();
+}
+
+Result<TreeRun> TreeAutomaton::FindAcceptingRun(const DataTree& t) const {
+  FO2DT_ASSIGN_OR_RETURN(std::vector<std::set<TreeState>> p,
+                         AcceptingRunStates(t));
+  TreeRun run(t.size(), 0);
+  // Assign the root, then per siblinghood choose states right-to-left; the
+  // construction of P guarantees every choice extends leftward.
+  run[t.root()] = *p[t.root()].begin();
+  std::vector<NodeId> work = {t.root()};
+  while (!work.empty()) {
+    NodeId v = work.back();
+    work.pop_back();
+    if (t.first_child(v) == kNoNode) continue;
+    std::vector<NodeId> kids = t.Children(v);
+    // Choose the last child: must δv-step into run[v].
+    TreeState target = run[v];
+    NodeId lc = kids.back();
+    TreeState chosen = num_states_;
+    for (TreeState q : p[lc]) {
+      if (HasVertical(q, t.label(lc), target)) {
+        chosen = q;
+        break;
+      }
+    }
+    if (chosen == num_states_) {
+      return Status::Internal("run extraction failed at vertical step");
+    }
+    run[lc] = chosen;
+    // Walk left through the siblinghood.
+    for (size_t i = kids.size() - 1; i-- > 0;) {
+      NodeId cur = kids[i];
+      TreeState next_state = run[kids[i + 1]];
+      TreeState pick = num_states_;
+      for (TreeState q : p[cur]) {
+        if (HasHorizontal(q, t.label(cur), next_state)) {
+          pick = q;
+          break;
+        }
+      }
+      if (pick == num_states_) {
+        return Status::Internal("run extraction failed at horizontal step");
+      }
+      run[cur] = pick;
+    }
+    for (NodeId c : kids) work.push_back(c);
+  }
+  return run;
+}
+
+Result<DataTree> TreeAutomaton::FindWitnessTree() const {
+  // Least-fixpoint reachability with explicit derivations.
+  //   S(q, a): a node with state q and label a is realizable at some chain
+  //            position (with a fully consistent subtree and left context);
+  //   U(q):    q is realizable as the state of a node with children (some
+  //            realizable last child δv-steps into q).
+  // Rules:
+  //   (q, a) ∈ S for all a,  if q ∈ (I ∪ U) \ NF          (first position)
+  //   (q',a') ∈ S for all a', if (q,a) ∈ S, (q,a,q') ∈ δh, q' ∈ I ∪ U
+  //   q' ∈ U                  if (q,a) ∈ S, (q,a,q') ∈ δv
+  // Nonempty iff some (q, a) ∈ F has q ∈ (I ∪ U) \ NF.
+  const size_t ns = num_states_;
+  const size_t na = num_symbols_;
+  if (ns == 0 || na == 0) return Status::NotFound("tree automaton is empty");
+
+  struct SPairInfo {
+    enum Kind { kFirstLeaf, kFirstUp, kStepLeaf, kStepUp } kind = kFirstLeaf;
+    TreeState prev_q = 0;  // for kStep*: predecessor pair in the chain
+    Symbol prev_a = 0;
+  };
+  struct UpInfo {
+    TreeState last_q = 0;  // last child pair producing this state
+    Symbol last_a = 0;
+  };
+  std::vector<char> in_s(ns * na, 0);
+  std::vector<SPairInfo> s_info(ns * na);
+  std::vector<char> in_u(ns, 0);
+  std::vector<UpInfo> u_info(ns);
+  auto key = [na](TreeState q, Symbol a) { return q * na + a; };
+
+  auto add_s = [&](TreeState q, Symbol a, SPairInfo info) {
+    size_t k = key(q, a);
+    if (in_s[k]) return false;
+    in_s[k] = 1;
+    s_info[k] = info;
+    return true;
+  };
+
+  // Naive saturation sweeps; the sets only grow and are small (|Q|·|Σ|).
+  for (TreeState q : initial_) {
+    if (!IsNonFirst(q)) {
+      for (Symbol a = 0; a < na; ++a) {
+        add_s(q, a, SPairInfo{SPairInfo::kFirstLeaf, 0, 0});
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TreeState q = 0; q < ns; ++q) {
+      for (Symbol a = 0; a < na; ++a) {
+        if (!in_s[key(q, a)]) continue;
+        // δv: parent becomes realizable-with-children.
+        for (TreeState r : VerticalSuccessors(q, a)) {
+          if (!in_u[r]) {
+            in_u[r] = 1;
+            u_info[r] = UpInfo{q, a};
+            changed = true;
+            if (!IsNonFirst(r)) {
+              for (Symbol b = 0; b < na; ++b) {
+                changed |= add_s(r, b, SPairInfo{SPairInfo::kFirstUp, 0, 0});
+              }
+            }
+          }
+        }
+        // δh: extend the chain; the successor is a leaf (I) or has
+        // children (U).
+        for (TreeState r : HorizontalSuccessors(q, a)) {
+          if (IsInitial(r)) {
+            for (Symbol b = 0; b < na; ++b) {
+              changed |= add_s(r, b, SPairInfo{SPairInfo::kStepLeaf, q, a});
+            }
+          }
+          if (in_u[r]) {
+            for (Symbol b = 0; b < na; ++b) {
+              changed |= add_s(r, b, SPairInfo{SPairInfo::kStepUp, q, a});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Root choice: leaf roots give smaller witnesses; prefer them.
+  const std::pair<TreeState, Symbol>* pick = nullptr;
+  bool pick_leaf = false;
+  for (const auto& pair : accepting_) {
+    if (IsNonFirst(pair.first)) continue;
+    if (IsInitial(pair.first)) {
+      pick = &pair;
+      pick_leaf = true;
+      break;
+    }
+    if (in_u[pair.first] && pick == nullptr) pick = &pair;
+  }
+  if (pick == nullptr) {
+    return Status::NotFound("tree automaton language is empty");
+  }
+
+  DataTree t;
+  (void)t.CreateRoot(pick->second, 0);
+  // Expand internal nodes by unrolling chain derivations. Task: realize the
+  // children of `parent` so the last child is the pair (last_q, last_a).
+  struct Task {
+    NodeId parent;
+    TreeState last_q;
+    Symbol last_a;
+  };
+  std::vector<Task> tasks;
+  if (!pick_leaf) {
+    tasks.push_back(
+        {t.root(), u_info[pick->first].last_q, u_info[pick->first].last_a});
+  }
+  while (!tasks.empty()) {
+    Task task = tasks.back();
+    tasks.pop_back();
+    // Walk the chain derivation backwards to its first element.
+    std::vector<std::pair<TreeState, Symbol>> chain;
+    TreeState q = task.last_q;
+    Symbol a = task.last_a;
+    for (;;) {
+      chain.emplace_back(q, a);
+      const SPairInfo& info = s_info[key(q, a)];
+      if (info.kind == SPairInfo::kFirstLeaf ||
+          info.kind == SPairInfo::kFirstUp) {
+        break;
+      }
+      q = info.prev_q;
+      a = info.prev_a;
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (const auto& [cq, ca] : chain) {
+      NodeId child = t.AppendChild(task.parent, ca, 0).value();
+      const SPairInfo& info = s_info[key(cq, ca)];
+      if (info.kind == SPairInfo::kFirstUp || info.kind == SPairInfo::kStepUp) {
+        tasks.push_back({child, u_info[cq].last_q, u_info[cq].last_a});
+      }
+    }
+  }
+  return t;
+}
+
+bool TreeAutomaton::IsEmpty() const { return !FindWitnessTree().ok(); }
+
+Result<TreeAutomaton> TreeAutomaton::Intersect(const TreeAutomaton& a,
+                                               const TreeAutomaton& b) {
+  if (a.num_symbols() != b.num_symbols()) {
+    return Status::InvalidArgument("product requires matching alphabets");
+  }
+  const size_t nb = b.num_states();
+  TreeAutomaton out(a.num_symbols(), a.num_states() * nb);
+  auto pair_id = [nb](TreeState qa, TreeState qb) {
+    return static_cast<TreeState>(qa * nb + qb);
+  };
+  for (const auto& [fa, sym, ta] : a.horizontal_list_) {
+    for (TreeState fb = 0; fb < nb; ++fb) {
+      for (TreeState tb : b.HorizontalSuccessors(fb, sym)) {
+        out.AddHorizontal(pair_id(fa, fb), sym, pair_id(ta, tb));
+      }
+    }
+  }
+  for (const auto& [fa, sym, ta] : a.vertical_list_) {
+    for (TreeState fb = 0; fb < nb; ++fb) {
+      for (TreeState tb : b.VerticalSuccessors(fb, sym)) {
+        out.AddVertical(pair_id(fa, fb), sym, pair_id(ta, tb));
+      }
+    }
+  }
+  for (TreeState qa : a.initial_) {
+    for (TreeState qb : b.initial_) out.SetInitial(pair_id(qa, qb));
+  }
+  for (const auto& [qa, sym] : a.accepting_) {
+    for (const auto& [qb, sym2] : b.accepting_) {
+      if (sym == sym2) out.SetAccepting(pair_id(qa, qb), sym);
+    }
+  }
+  // A pair state demands a horizontal predecessor when either component does.
+  for (TreeState qa = 0; qa < a.num_states(); ++qa) {
+    for (TreeState qb = 0; qb < nb; ++qb) {
+      if (a.IsNonFirst(qa) || b.IsNonFirst(qb)) {
+        out.SetNonFirst(pair_id(qa, qb));
+      }
+    }
+  }
+  return out;
+}
+
+Result<TreeAutomaton> TreeAutomaton::Union(const TreeAutomaton& a,
+                                           const TreeAutomaton& b) {
+  if (a.num_symbols() != b.num_symbols()) {
+    return Status::InvalidArgument("union requires matching alphabets");
+  }
+  const TreeState off = static_cast<TreeState>(a.num_states());
+  TreeAutomaton out(a.num_symbols(), a.num_states() + b.num_states());
+  for (const auto& [f, sym, to] : a.horizontal_list_) {
+    out.AddHorizontal(f, sym, to);
+  }
+  for (const auto& [f, sym, to] : a.vertical_list_) out.AddVertical(f, sym, to);
+  for (const auto& [f, sym, to] : b.horizontal_list_) {
+    out.AddHorizontal(f + off, sym, to + off);
+  }
+  for (const auto& [f, sym, to] : b.vertical_list_) {
+    out.AddVertical(f + off, sym, to + off);
+  }
+  for (TreeState q : a.initial_) out.SetInitial(q);
+  for (TreeState q : b.initial_) out.SetInitial(q + off);
+  for (TreeState q : a.non_first_) out.SetNonFirst(q);
+  for (TreeState q : b.non_first_) out.SetNonFirst(q + off);
+  for (const auto& [q, sym] : a.accepting_) out.SetAccepting(q, sym);
+  for (const auto& [q, sym] : b.accepting_) out.SetAccepting(q + off, sym);
+  return out;
+}
+
+TreeAutomaton TreeAutomaton::Trim() const {
+  // Bottom-up realizability: the S/U fixpoint of FindWitnessTree. A state is
+  // occupiable when it can sit on an actual node (leaf via I, or via δv from
+  // a realizable last child, possibly after δh steps).
+  const size_t ns = num_states_;
+  const size_t na = num_symbols_;
+  std::vector<char> in_s(ns, 0);  // occupiable at some position (any label)
+  std::vector<char> in_u(ns, 0);  // occupiable with children
+  for (TreeState q : initial_) in_s[q] = 1;  // leaves fit anywhere w.r.t. NF?
+  // Note: NF only restricts first positions; for occupiability we track the
+  // weaker "fits at some position", which needs either ¬NF (first) or a δh
+  // predecessor. We approximate from above (keep possibly-useless states
+  // rather than drop needed ones): every I or U state counts as occupiable.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TreeState q = 0; q < ns; ++q) {
+      if (!in_s[q]) continue;
+      for (Symbol a = 0; a < na; ++a) {
+        for (TreeState r : VerticalSuccessors(q, a)) {
+          if (!in_u[r]) {
+            in_u[r] = 1;
+            changed = true;
+          }
+          if (!in_s[r]) {
+            in_s[r] = 1;
+            changed = true;
+          }
+        }
+        for (TreeState r : HorizontalSuccessors(q, a)) {
+          if ((IsInitial(r) || in_u[r]) && !in_s[r]) {
+            in_s[r] = 1;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  // Co-reachability from accepting roots over reversed edges.
+  std::vector<char> useful(ns, 0);
+  std::vector<TreeState> work;
+  for (const auto& [q, a] : accepting_) {
+    (void)a;
+    if (!useful[q] && in_s[q] && !IsNonFirst(q)) {
+      useful[q] = 1;
+      work.push_back(q);
+    }
+  }
+  while (!work.empty()) {
+    TreeState q = work.back();
+    work.pop_back();
+    auto relax = [&](TreeState p) {
+      if (!useful[p] && in_s[p]) {
+        useful[p] = 1;
+        work.push_back(p);
+      }
+    };
+    for (const auto& [f, a, to] : vertical_list_) {
+      (void)a;
+      if (to == q) relax(f);
+    }
+    for (const auto& [f, a, to] : horizontal_list_) {
+      (void)a;
+      if (to == q) relax(f);
+      if (f == q) relax(to);  // keep right siblings of useful states
+    }
+  }
+  // Remap.
+  std::vector<TreeState> remap(ns, 0);
+  TreeState next = 0;
+  for (TreeState q = 0; q < ns; ++q) {
+    if (useful[q]) remap[q] = next++;
+  }
+  TreeAutomaton out(na, next);
+  for (const auto& [f, a, to] : horizontal_list_) {
+    if (useful[f] && useful[to]) out.AddHorizontal(remap[f], a, remap[to]);
+  }
+  for (const auto& [f, a, to] : vertical_list_) {
+    if (useful[f] && useful[to]) out.AddVertical(remap[f], a, remap[to]);
+  }
+  for (TreeState q : initial_) {
+    if (useful[q]) out.SetInitial(remap[q]);
+  }
+  for (TreeState q : non_first_) {
+    if (useful[q]) out.SetNonFirst(remap[q]);
+  }
+  for (const auto& [q, a] : accepting_) {
+    if (useful[q]) out.SetAccepting(remap[q], a);
+  }
+  return out;
+}
+
+TreeAutomaton TreeAutomaton::Universal(size_t num_symbols) {
+  TreeAutomaton out(num_symbols, 1);
+  out.SetInitial(0);
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    out.AddHorizontal(0, a, 0);
+    out.AddVertical(0, a, 0);
+    out.SetAccepting(0, a);
+  }
+  return out;
+}
+
+TreeAutomaton TreeAutomaton::LabelFilter(size_t num_symbols,
+                                         const std::vector<bool>& allowed) {
+  TreeAutomaton out(num_symbols, 1);
+  out.SetInitial(0);
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    if (!allowed[a]) continue;
+    out.AddHorizontal(0, a, 0);
+    out.AddVertical(0, a, 0);
+    out.SetAccepting(0, a);
+  }
+  return out;
+}
+
+std::string TreeAutomaton::ToString(const Alphabet& alphabet) const {
+  std::string out = StringFormat("TreeAutomaton{states=%zu, symbols=%zu\n",
+                                 num_states_, num_symbols_);
+  out += "  initial:";
+  for (TreeState q : initial_) out += StringFormat(" q%u", q);
+  out += "\n  non-first:";
+  for (TreeState q : non_first_) out += StringFormat(" q%u", q);
+  out += "\n  accepting:";
+  for (const auto& [q, a] : accepting_) {
+    out += StringFormat(" (q%u,%s)", q, alphabet.Name(a).c_str());
+  }
+  out += "\n  horizontal:\n";
+  for (const auto& [f, a, to] : horizontal_list_) {
+    out += StringFormat("    q%u --%s--> q%u\n", f, alphabet.Name(a).c_str(), to);
+  }
+  out += "  vertical:\n";
+  for (const auto& [f, a, to] : vertical_list_) {
+    out += StringFormat("    q%u ==%s==> q%u\n", f, alphabet.Name(a).c_str(), to);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fo2dt

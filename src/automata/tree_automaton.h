@@ -1,0 +1,170 @@
+/// \file tree_automaton.h
+/// \brief Nondeterministic automata over unranked trees, in the paper's
+/// hedge style (Section III; also [7], [17]).
+///
+/// An automaton has states Q and two transition relations
+///   δh, δv ⊆ Q × Σ × Q.
+/// A run labels every node with a state such that for a node v with label a:
+///   * if v has a horizontal successor w, then (ρ(v), a, ρ(w)) ∈ δh;
+///   * if v has no horizontal successor and parent w, then (ρ(v), a, ρ(w)) ∈ δv.
+/// A run accepts when every leaf carries an initial state from I and the
+/// root's (state, label) pair is in F ⊆ Q × Σ.
+///
+/// Note on the acceptance conditions: the conference paper's wording
+/// restricts the initial-state requirement to leaves "without horizontal
+/// predecessors". Under that literal reading the model is closed under
+/// deleting the subtree below any non-first sibling (such a node's
+/// from-below constraint simply disappears), so it could not even express
+/// "every leaf is labeled c" — contradicting Fact 1 (equivalence with
+/// regular tree languages). We therefore implement two strengthened — and
+/// still strictly local, hence EMSO²(+1)-definable — conditions:
+///   * every leaf carries an initial state from I, and
+///   * a node whose state lies in the designated *non-first* set NF must
+///     have a horizontal predecessor.
+/// The NF set lets constructions anchor per-siblinghood start conditions
+/// (e.g. the start state of a DTD content-model DFA); with both conditions
+/// the model recognizes exactly the regular unranked tree languages, like
+/// the standard automata of [7], [17] that the paper cites.
+///
+/// State thus threads left-to-right through each siblinghood and up from the
+/// last child into its parent — the shape that makes the translation to
+/// EMSO2(+1) (Fact 1) immediate, and that the LCTA layer (Theorem 2) counts
+/// over.
+
+#ifndef FO2DT_AUTOMATA_TREE_AUTOMATON_H_
+#define FO2DT_AUTOMATA_TREE_AUTOMATON_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol.h"
+#include "datatree/data_tree.h"
+
+namespace fo2dt {
+
+/// \brief State id in a tree automaton.
+using TreeState = uint32_t;
+
+/// \brief A run of a tree automaton: state per node, indexed by NodeId.
+using TreeRun = std::vector<TreeState>;
+
+/// \brief Nondeterministic unranked tree automaton (hedge style).
+class TreeAutomaton {
+ public:
+  /// An automaton over \p num_symbols labels with \p num_states states.
+  TreeAutomaton(size_t num_symbols, size_t num_states);
+  /// Empty automaton (no symbols, no states; empty language).
+  TreeAutomaton() : TreeAutomaton(0, 0) {}
+
+  size_t num_states() const { return num_states_; }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// Adds a fresh state and returns its id.
+  TreeState AddState();
+
+  void AddHorizontal(TreeState from, Symbol a, TreeState to);
+  void AddVertical(TreeState from, Symbol a, TreeState to);
+  void SetInitial(TreeState q);
+  void SetAccepting(TreeState q, Symbol a);
+  /// Marks \p q as non-first: nodes carrying it must have a horizontal
+  /// predecessor (see the header note).
+  void SetNonFirst(TreeState q);
+
+  bool HasHorizontal(TreeState from, Symbol a, TreeState to) const;
+  bool HasVertical(TreeState from, Symbol a, TreeState to) const;
+  bool IsInitial(TreeState q) const { return initial_.count(q) > 0; }
+  bool IsNonFirst(TreeState q) const { return non_first_.count(q) > 0; }
+  bool IsAccepting(TreeState q, Symbol a) const;
+
+  const std::set<TreeState>& initial() const { return initial_; }
+  const std::set<TreeState>& non_first() const { return non_first_; }
+  const std::set<std::pair<TreeState, Symbol>>& accepting() const {
+    return accepting_;
+  }
+  /// All horizontal transitions as (from, symbol, to) triples.
+  const std::vector<std::tuple<TreeState, Symbol, TreeState>>& horizontal()
+      const {
+    return horizontal_list_;
+  }
+  const std::vector<std::tuple<TreeState, Symbol, TreeState>>& vertical()
+      const {
+    return vertical_list_;
+  }
+
+  /// Horizontal successors of (q, a).
+  const std::vector<TreeState>& HorizontalSuccessors(TreeState q, Symbol a) const;
+  /// Vertical successors of (q, a).
+  const std::vector<TreeState>& VerticalSuccessors(TreeState q, Symbol a) const;
+
+  /// Whether \p run is an accepting run on \p t (labels read from t).
+  bool IsAcceptingRun(const DataTree& t, const TreeRun& run) const;
+
+  /// Whether the automaton accepts (the data erasure of) \p t.
+  bool Accepts(const DataTree& t) const;
+
+  /// An accepting run on \p t, or NotFound if none exists.
+  Result<TreeRun> FindAcceptingRun(const DataTree& t) const;
+
+  /// All states each node can take in *some* accepting run ("run sets"), or
+  /// NotFound if the tree is rejected. Used by type-annotation layers.
+  Result<std::vector<std::set<TreeState>>> AcceptingRunStates(
+      const DataTree& t) const;
+
+  /// True when L(A) = ∅.
+  bool IsEmpty() const;
+
+  /// A member of L(A) (labels only; data values are all zero), or NotFound
+  /// when empty. The witness is minimal in derivation depth, not necessarily
+  /// in node count.
+  Result<DataTree> FindWitnessTree() const;
+
+  /// Product automaton: accepts L(a) ∩ L(b). Both must share the alphabet.
+  static Result<TreeAutomaton> Intersect(const TreeAutomaton& a,
+                                         const TreeAutomaton& b);
+
+  /// Disjoint union: accepts L(a) ∪ L(b). Both must share the alphabet.
+  static Result<TreeAutomaton> Union(const TreeAutomaton& a,
+                                     const TreeAutomaton& b);
+
+  /// Removes states that cannot occur in any accepting run (not bottom-up
+  /// realizable, or not co-reachable from an accepting root) and remaps ids.
+  /// The language is unchanged; constructions like DtdToTreeAutomaton shed
+  /// most of their states here.
+  TreeAutomaton Trim() const;
+
+  /// The automaton accepting every tree over the alphabet (one state).
+  static TreeAutomaton Universal(size_t num_symbols);
+
+  /// The automaton accepting exactly the trees all of whose labels come from
+  /// \p allowed.
+  static TreeAutomaton LabelFilter(size_t num_symbols,
+                                   const std::vector<bool>& allowed);
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  // Dense key for (state, symbol).
+  size_t Key(TreeState q, Symbol a) const { return q * num_symbols_ + a; }
+
+  size_t num_symbols_;
+  size_t num_states_;
+  // successor lists indexed by Key(q, a).
+  std::vector<std::vector<TreeState>> horizontal_;
+  std::vector<std::vector<TreeState>> vertical_;
+  std::vector<std::tuple<TreeState, Symbol, TreeState>> horizontal_list_;
+  std::vector<std::tuple<TreeState, Symbol, TreeState>> vertical_list_;
+  std::unordered_set<uint64_t> horizontal_set_;
+  std::unordered_set<uint64_t> vertical_set_;
+  std::set<TreeState> initial_;
+  std::set<TreeState> non_first_;
+  std::set<std::pair<TreeState, Symbol>> accepting_;
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_AUTOMATA_TREE_AUTOMATON_H_

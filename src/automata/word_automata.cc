@@ -1,0 +1,522 @@
+#include "automata/word_automata.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+// ---------------------------------------------------------------------------
+// Nfa
+
+WordState Nfa::AddState() {
+  transitions_.emplace_back(num_symbols_);
+  epsilon_.emplace_back();
+  return static_cast<WordState>(transitions_.size() - 1);
+}
+
+void Nfa::AddTransition(WordState from, Symbol a, WordState to) {
+  transitions_[from][a].push_back(to);
+}
+
+void Nfa::AddEpsilon(WordState from, WordState to) {
+  epsilon_[from].push_back(to);
+}
+
+const std::vector<WordState>& Nfa::Successors(WordState s, Symbol a) const {
+  return transitions_[s][a];
+}
+
+const std::vector<WordState>& Nfa::EpsilonSuccessors(WordState s) const {
+  return epsilon_[s];
+}
+
+std::set<WordState> Nfa::EpsilonClosure(
+    const std::set<WordState>& states) const {
+  std::set<WordState> closure = states;
+  std::vector<WordState> work(states.begin(), states.end());
+  while (!work.empty()) {
+    WordState s = work.back();
+    work.pop_back();
+    for (WordState t : epsilon_[s]) {
+      if (closure.insert(t).second) work.push_back(t);
+    }
+  }
+  return closure;
+}
+
+bool Nfa::Accepts(const std::vector<Symbol>& word) const {
+  std::set<WordState> current = EpsilonClosure(initial_);
+  for (Symbol a : word) {
+    std::set<WordState> next;
+    for (WordState s : current) {
+      for (WordState t : transitions_[s][a]) next.insert(t);
+    }
+    current = EpsilonClosure(next);
+    if (current.empty()) return false;
+  }
+  for (WordState s : current) {
+    if (accepting_.count(s)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Dfa
+
+Dfa::Dfa(size_t num_symbols, size_t num_states, WordState initial)
+    : num_symbols_(num_symbols),
+      num_states_(num_states),
+      initial_(initial),
+      table_(num_symbols * num_states, 0),
+      accepting_(num_states, false) {}
+
+void Dfa::SetTransition(WordState from, Symbol a, WordState to) {
+  table_[from * num_symbols_ + a] = to;
+}
+
+void Dfa::SetAccepting(WordState s, bool accepting) { accepting_[s] = accepting; }
+
+bool Dfa::Accepts(const std::vector<Symbol>& word) const {
+  WordState s = initial_;
+  for (Symbol a : word) s = Transition(s, a);
+  return accepting_[s];
+}
+
+Dfa Dfa::Complement() const {
+  Dfa out = *this;
+  for (size_t s = 0; s < num_states_; ++s) out.accepting_[s] = !accepting_[s];
+  return out;
+}
+
+namespace {
+
+Dfa DfaProduct(const Dfa& a, const Dfa& b, bool want_union) {
+  Dfa out(a.num_symbols(), a.num_states() * b.num_states(),
+          a.initial() * static_cast<WordState>(b.num_states()) + b.initial());
+  for (WordState sa = 0; sa < a.num_states(); ++sa) {
+    for (WordState sb = 0; sb < b.num_states(); ++sb) {
+      WordState s = sa * static_cast<WordState>(b.num_states()) + sb;
+      bool acc = want_union ? (a.IsAccepting(sa) || b.IsAccepting(sb))
+                            : (a.IsAccepting(sa) && b.IsAccepting(sb));
+      out.SetAccepting(s, acc);
+      for (Symbol x = 0; x < a.num_symbols(); ++x) {
+        WordState ta = a.Transition(sa, x);
+        WordState tb = b.Transition(sb, x);
+        out.SetTransition(s, x,
+                          ta * static_cast<WordState>(b.num_states()) + tb);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dfa Dfa::Intersect(const Dfa& a, const Dfa& b) {
+  return DfaProduct(a, b, /*want_union=*/false);
+}
+
+Dfa Dfa::Union(const Dfa& a, const Dfa& b) {
+  return DfaProduct(a, b, /*want_union=*/true);
+}
+
+Dfa Dfa::Minimize() const {
+  // Restrict to reachable states first.
+  std::vector<bool> reach(num_states_, false);
+  std::vector<WordState> work = {initial_};
+  reach[initial_] = true;
+  while (!work.empty()) {
+    WordState s = work.back();
+    work.pop_back();
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      WordState t = Transition(s, a);
+      if (!reach[t]) {
+        reach[t] = true;
+        work.push_back(t);
+      }
+    }
+  }
+  // Moore refinement: iteratively split classes by (accepting, successor
+  // class vector).
+  std::vector<int> cls(num_states_, -1);
+  for (size_t s = 0; s < num_states_; ++s) {
+    if (reach[s]) cls[s] = accepting_[s] ? 1 : 0;
+  }
+  int num_classes = 2;
+  for (;;) {
+    std::map<std::vector<int>, int> signature_to_class;
+    std::vector<int> next(num_states_, -1);
+    for (size_t s = 0; s < num_states_; ++s) {
+      if (!reach[s]) continue;
+      std::vector<int> sig;
+      sig.reserve(num_symbols_ + 1);
+      sig.push_back(cls[s]);
+      for (Symbol a = 0; a < num_symbols_; ++a) {
+        sig.push_back(cls[Transition(static_cast<WordState>(s), a)]);
+      }
+      auto [it, fresh] =
+          signature_to_class.emplace(std::move(sig),
+                                     static_cast<int>(signature_to_class.size()));
+      (void)fresh;
+      next[s] = it->second;
+    }
+    int new_count = static_cast<int>(signature_to_class.size());
+    bool stable = new_count == num_classes;
+    cls = std::move(next);
+    num_classes = new_count;
+    if (stable) break;
+  }
+  Dfa out(num_symbols_, static_cast<size_t>(num_classes), 0);
+  // The initial state's class becomes the new initial id via renumbering.
+  out = Dfa(num_symbols_, static_cast<size_t>(num_classes),
+            static_cast<WordState>(cls[initial_]));
+  for (size_t s = 0; s < num_states_; ++s) {
+    if (!reach[s]) continue;
+    WordState c = static_cast<WordState>(cls[s]);
+    out.SetAccepting(c, accepting_[s]);
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      out.SetTransition(c, a,
+                        static_cast<WordState>(cls[Transition(
+                            static_cast<WordState>(s), a)]));
+    }
+  }
+  return out;
+}
+
+bool Dfa::IsEmpty() const { return !FindWitness().ok(); }
+
+Result<std::vector<Symbol>> Dfa::FindWitness() const {
+  // BFS from the initial state tracking one predecessor edge per state.
+  std::vector<int> pred_state(num_states_, -1);
+  std::vector<Symbol> pred_symbol(num_states_, kNoSymbol);
+  std::vector<bool> seen(num_states_, false);
+  std::deque<WordState> queue = {initial_};
+  seen[initial_] = true;
+  while (!queue.empty()) {
+    WordState s = queue.front();
+    queue.pop_front();
+    if (accepting_[s]) {
+      std::vector<Symbol> word;
+      for (WordState cur = s; cur != initial_ || pred_state[cur] >= 0;) {
+        if (pred_state[cur] < 0) break;
+        word.push_back(pred_symbol[cur]);
+        cur = static_cast<WordState>(pred_state[cur]);
+        if (cur == initial_) break;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      WordState t = Transition(s, a);
+      if (!seen[t]) {
+        seen[t] = true;
+        pred_state[t] = static_cast<int>(s);
+        pred_symbol[t] = a;
+        queue.push_back(t);
+      }
+    }
+  }
+  return Status::NotFound("DFA language is empty");
+}
+
+bool Dfa::Equivalent(const Dfa& a, const Dfa& b) {
+  // Symmetric difference must be empty.
+  Dfa left = Intersect(a, b.Complement());
+  if (!left.IsEmpty()) return false;
+  Dfa right = Intersect(a.Complement(), b);
+  return right.IsEmpty();
+}
+
+Dfa Determinize(const Nfa& nfa) {
+  std::map<std::set<WordState>, WordState> index;
+  std::vector<std::set<WordState>> subsets;
+  std::vector<std::vector<WordState>> table;  // per subset, per symbol
+  const size_t k = nfa.num_symbols();
+
+  auto intern = [&](std::set<WordState> subset) {
+    auto [it, fresh] =
+        index.emplace(subset, static_cast<WordState>(subsets.size()));
+    if (fresh) {
+      subsets.push_back(std::move(subset));
+      table.emplace_back(k, 0);
+    }
+    return it->second;
+  };
+
+  WordState start = intern(nfa.EpsilonClosure(nfa.initial()));
+  for (WordState s = 0; s < subsets.size(); ++s) {
+    for (Symbol a = 0; a < k; ++a) {
+      std::set<WordState> next;
+      for (WordState q : subsets[s]) {
+        for (WordState t : nfa.Successors(q, a)) next.insert(t);
+      }
+      table[s][a] = intern(nfa.EpsilonClosure(next));
+    }
+  }
+
+  Dfa out(k, subsets.size(), start);
+  for (WordState s = 0; s < subsets.size(); ++s) {
+    for (Symbol a = 0; a < k; ++a) out.SetTransition(s, a, table[s][a]);
+    for (WordState q : subsets[s]) {
+      if (nfa.accepting().count(q)) {
+        out.SetAccepting(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Regex
+
+Regex Regex::Epsilon() {
+  return Regex(std::make_shared<Node>(Node{Kind::kEpsilon, kNoSymbol, {}}));
+}
+Regex Regex::Empty() {
+  return Regex(std::make_shared<Node>(Node{Kind::kEmpty, kNoSymbol, {}}));
+}
+Regex Regex::Sym(Symbol s) {
+  return Regex(std::make_shared<Node>(Node{Kind::kSymbol, s, {}}));
+}
+Regex Regex::Concat(std::vector<Regex> parts) {
+  if (parts.empty()) return Epsilon();
+  if (parts.size() == 1) return parts[0];
+  return Regex(
+      std::make_shared<Node>(Node{Kind::kConcat, kNoSymbol, std::move(parts)}));
+}
+Regex Regex::Alt(std::vector<Regex> parts) {
+  if (parts.empty()) return Empty();
+  if (parts.size() == 1) return parts[0];
+  return Regex(
+      std::make_shared<Node>(Node{Kind::kAlt, kNoSymbol, std::move(parts)}));
+}
+Regex Regex::Star(Regex inner) {
+  return Regex(std::make_shared<Node>(
+      Node{Kind::kStar, kNoSymbol, {std::move(inner)}}));
+}
+Regex Regex::Plus(Regex inner) {
+  Regex copy = inner;
+  return Concat({std::move(inner), Star(std::move(copy))});
+}
+Regex Regex::Opt(Regex inner) { return Alt({std::move(inner), Epsilon()}); }
+
+namespace {
+
+// Thompson construction fragment: entry and exit states.
+struct Fragment {
+  WordState in;
+  WordState out;
+};
+
+Fragment BuildNfa(const Regex& r, Nfa* nfa) {
+  switch (r.kind()) {
+    case Regex::Kind::kEpsilon: {
+      WordState a = nfa->AddState();
+      WordState b = nfa->AddState();
+      nfa->AddEpsilon(a, b);
+      return {a, b};
+    }
+    case Regex::Kind::kEmpty: {
+      WordState a = nfa->AddState();
+      WordState b = nfa->AddState();
+      return {a, b};  // no connection: empty language
+    }
+    case Regex::Kind::kSymbol: {
+      WordState a = nfa->AddState();
+      WordState b = nfa->AddState();
+      nfa->AddTransition(a, r.symbol(), b);
+      return {a, b};
+    }
+    case Regex::Kind::kConcat: {
+      Fragment acc = BuildNfa(r.children()[0], nfa);
+      for (size_t i = 1; i < r.children().size(); ++i) {
+        Fragment next = BuildNfa(r.children()[i], nfa);
+        nfa->AddEpsilon(acc.out, next.in);
+        acc.out = next.out;
+      }
+      return acc;
+    }
+    case Regex::Kind::kAlt: {
+      WordState in = nfa->AddState();
+      WordState out = nfa->AddState();
+      for (const Regex& c : r.children()) {
+        Fragment f = BuildNfa(c, nfa);
+        nfa->AddEpsilon(in, f.in);
+        nfa->AddEpsilon(f.out, out);
+      }
+      return {in, out};
+    }
+    case Regex::Kind::kStar: {
+      WordState in = nfa->AddState();
+      WordState out = nfa->AddState();
+      Fragment f = BuildNfa(r.children()[0], nfa);
+      nfa->AddEpsilon(in, out);
+      nfa->AddEpsilon(in, f.in);
+      nfa->AddEpsilon(f.out, f.in);
+      nfa->AddEpsilon(f.out, out);
+      return {in, out};
+    }
+  }
+  // Unreachable.
+  WordState a = nfa->AddState();
+  return {a, a};
+}
+
+}  // namespace
+
+Nfa Regex::ToNfa(size_t num_symbols) const {
+  Nfa nfa(num_symbols);
+  Fragment f = BuildNfa(*this, &nfa);
+  nfa.SetInitial(f.in);
+  nfa.SetAccepting(f.out);
+  return nfa;
+}
+
+std::string Regex::ToString(const Alphabet& alphabet) const {
+  switch (kind()) {
+    case Kind::kEpsilon:
+      return "#eps";
+    case Kind::kEmpty:
+      return "#empty";
+    case Kind::kSymbol:
+      return alphabet.Name(symbol());
+    case Kind::kConcat: {
+      std::vector<std::string> parts;
+      for (const Regex& c : children()) parts.push_back(c.ToString(alphabet));
+      return "(" + JoinToString(parts, ", ") + ")";
+    }
+    case Kind::kAlt: {
+      std::vector<std::string> parts;
+      for (const Regex& c : children()) parts.push_back(c.ToString(alphabet));
+      return "(" + JoinToString(parts, " | ") + ")";
+    }
+    case Kind::kStar:
+      return children()[0].ToString(alphabet) + "*";
+  }
+  return "?";
+}
+
+namespace {
+
+class RegexParser {
+ public:
+  RegexParser(const std::string& text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  Result<Regex> Parse() {
+    FO2DT_ASSIGN_OR_RETURN(Regex r, ParseAlt());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StringFormat("trailing regex input at offset %zu", pos_));
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<Regex> ParseAlt() {
+    std::vector<Regex> parts;
+    FO2DT_ASSIGN_OR_RETURN(Regex first, ParseCat());
+    parts.push_back(std::move(first));
+    while (Peek('|')) {
+      ++pos_;
+      FO2DT_ASSIGN_OR_RETURN(Regex next, ParseCat());
+      parts.push_back(std::move(next));
+    }
+    return Regex::Alt(std::move(parts));
+  }
+
+  Result<Regex> ParseCat() {
+    std::vector<Regex> parts;
+    FO2DT_ASSIGN_OR_RETURN(Regex first, ParseRep());
+    parts.push_back(std::move(first));
+    while (Peek(',')) {
+      ++pos_;
+      FO2DT_ASSIGN_OR_RETURN(Regex next, ParseRep());
+      parts.push_back(std::move(next));
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  Result<Regex> ParseRep() {
+    FO2DT_ASSIGN_OR_RETURN(Regex r, ParseAtom());
+    for (;;) {
+      if (Peek('*')) {
+        ++pos_;
+        r = Regex::Star(std::move(r));
+      } else if (Peek('+')) {
+        ++pos_;
+        r = Regex::Plus(std::move(r));
+      } else if (Peek('?')) {
+        ++pos_;
+        r = Regex::Opt(std::move(r));
+      } else {
+        return r;
+      }
+    }
+  }
+
+  Result<Regex> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of regex");
+    }
+    if (text_[pos_] == '(') {
+      ++pos_;
+      FO2DT_ASSIGN_OR_RETURN(Regex r, ParseAlt());
+      if (!Peek(')')) return Status::ParseError("expected ')' in regex");
+      ++pos_;
+      return r;
+    }
+    if (text_[pos_] == '#') {
+      size_t start = pos_++;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      std::string word = text_.substr(start, pos_ - start);
+      if (word == "#eps") return Regex::Epsilon();
+      if (word == "#empty") return Regex::Empty();
+      return Status::ParseError("unknown regex keyword: " + word);
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(
+          StringFormat("expected regex atom at offset %zu", pos_));
+    }
+    return Regex::Sym(alphabet_->Intern(text_.substr(start, pos_ - start)));
+  }
+
+  const std::string& text_;
+  Alphabet* alphabet_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Regex> ParseRegex(const std::string& text, Alphabet* alphabet) {
+  return RegexParser(text, alphabet).Parse();
+}
+
+}  // namespace fo2dt

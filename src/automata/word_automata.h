@@ -1,0 +1,160 @@
+/// \file word_automata.h
+/// \brief Word automata over interned symbols: NFA (with epsilon), DFA,
+/// Thompson construction from regular expressions, determinization,
+/// minimization, product, complement and decision procedures.
+///
+/// Used as the substrate for DTD-style content models (horizontal languages
+/// of schemas) and for the regular-language plumbing inside the tree-automata
+/// and puzzle layers.
+
+#ifndef FO2DT_AUTOMATA_WORD_AUTOMATA_H_
+#define FO2DT_AUTOMATA_WORD_AUTOMATA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol.h"
+
+namespace fo2dt {
+
+/// \brief State id in a word automaton.
+using WordState = uint32_t;
+
+/// \brief Nondeterministic finite automaton with epsilon transitions.
+class Nfa {
+ public:
+  /// An NFA with \p num_symbols letters and no states.
+  explicit Nfa(size_t num_symbols) : num_symbols_(num_symbols) {}
+
+  WordState AddState();
+  size_t num_states() const { return transitions_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+
+  void AddTransition(WordState from, Symbol a, WordState to);
+  void AddEpsilon(WordState from, WordState to);
+  void SetInitial(WordState s) { initial_.insert(s); }
+  void SetAccepting(WordState s) { accepting_.insert(s); }
+
+  const std::set<WordState>& initial() const { return initial_; }
+  const std::set<WordState>& accepting() const { return accepting_; }
+  /// Successors of \p s on letter \p a (no epsilon closure applied).
+  const std::vector<WordState>& Successors(WordState s, Symbol a) const;
+  const std::vector<WordState>& EpsilonSuccessors(WordState s) const;
+
+  /// Epsilon closure of a state set.
+  std::set<WordState> EpsilonClosure(const std::set<WordState>& states) const;
+
+  /// Whether the NFA accepts \p word.
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+ private:
+  size_t num_symbols_;
+  // transitions_[s][a] = successor list; epsilon_[s] = epsilon successors.
+  std::vector<std::vector<std::vector<WordState>>> transitions_;
+  std::vector<std::vector<WordState>> epsilon_;
+  std::set<WordState> initial_;
+  std::set<WordState> accepting_;
+};
+
+/// \brief Complete deterministic finite automaton.
+///
+/// Always complete: every state has a successor on every letter (a sink is
+/// added by construction where needed), which makes complementation a flip
+/// of the accepting set.
+class Dfa {
+ public:
+  Dfa(size_t num_symbols, size_t num_states, WordState initial);
+
+  size_t num_states() const { return num_states_; }
+  size_t num_symbols() const { return num_symbols_; }
+  WordState initial() const { return initial_; }
+
+  void SetTransition(WordState from, Symbol a, WordState to);
+  WordState Transition(WordState from, Symbol a) const {
+    return table_[from * num_symbols_ + a];
+  }
+  void SetAccepting(WordState s, bool accepting = true);
+  bool IsAccepting(WordState s) const { return accepting_[s]; }
+
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  /// Language complement (flip accepting states; the DFA is complete).
+  Dfa Complement() const;
+  /// Language intersection via product construction.
+  static Dfa Intersect(const Dfa& a, const Dfa& b);
+  /// Language union via product construction.
+  static Dfa Union(const Dfa& a, const Dfa& b);
+  /// Hopcroft-style (Moore refinement) minimization.
+  Dfa Minimize() const;
+  /// True when no accepting state is reachable.
+  bool IsEmpty() const;
+  /// Some accepted word (shortest); NotFound when the language is empty.
+  Result<std::vector<Symbol>> FindWitness() const;
+  /// Language equivalence (via minimized product reasoning).
+  static bool Equivalent(const Dfa& a, const Dfa& b);
+
+ private:
+  size_t num_symbols_;
+  size_t num_states_;
+  WordState initial_;
+  std::vector<WordState> table_;
+  std::vector<bool> accepting_;
+};
+
+/// Subset construction. The result is complete.
+Dfa Determinize(const Nfa& nfa);
+
+/// \brief Regular expression AST for content models.
+///
+/// Concrete syntax parsed by ParseRegex:
+///   regex  := alt
+///   alt    := cat ('|' cat)*
+///   cat    := rep (',' rep)*          -- DTD-style sequencing
+///   rep    := atom ('*' | '+' | '?')*
+///   atom   := label | '(' alt ')' | '#eps' | '#empty'
+/// `#eps` is the empty word, `#empty` the empty language.
+class Regex {
+ public:
+  enum class Kind { kEpsilon, kEmpty, kSymbol, kConcat, kAlt, kStar };
+
+  static Regex Epsilon();
+  static Regex Empty();
+  static Regex Sym(Symbol s);
+  static Regex Concat(std::vector<Regex> parts);
+  static Regex Alt(std::vector<Regex> parts);
+  static Regex Star(Regex inner);
+  /// e+ == e , e*
+  static Regex Plus(Regex inner);
+  /// e? == e | eps
+  static Regex Opt(Regex inner);
+
+  Kind kind() const { return node_->kind; }
+  Symbol symbol() const { return node_->symbol; }
+  const std::vector<Regex>& children() const { return node_->children; }
+
+  /// Thompson construction over an alphabet of \p num_symbols letters.
+  Nfa ToNfa(size_t num_symbols) const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    Symbol symbol = kNoSymbol;
+    std::vector<Regex> children;
+  };
+  explicit Regex(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+/// Parses the concrete syntax above; labels are interned into \p alphabet.
+Result<Regex> ParseRegex(const std::string& text, Alphabet* alphabet);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_AUTOMATA_WORD_AUTOMATA_H_

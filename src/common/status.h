@@ -1,0 +1,179 @@
+/// \file status.h
+/// \brief Arrow-style error propagation: Status and Result<T>.
+///
+/// The public API of fo2dt never throws; every fallible operation returns a
+/// Status (when there is no value to produce) or a Result<T>. This mirrors the
+/// error-handling idiom of production database engines (Arrow, RocksDB).
+
+#ifndef FO2DT_COMMON_STATUS_H_
+#define FO2DT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fo2dt {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller supplied an argument that violates the documented contract.
+  kInvalidArgument = 1,
+  /// A well-formed request that the current implementation does not cover
+  /// (e.g. a formula outside the guarded local fragment, see DESIGN.md §2).
+  kNotImplemented = 2,
+  /// Parsing of a textual artifact (formula, XPath, XML, DTD) failed.
+  kParseError = 3,
+  /// A configured resource budget (node count, solver iterations) ran out
+  /// before the procedure reached a verdict.
+  kResourceExhausted = 4,
+  /// Arithmetic left the representable range of a fixed-width type.
+  kOverflow = 5,
+  /// An internal invariant failed; indicates a bug in fo2dt itself.
+  kInternal = 6,
+  /// A lookup did not find the requested entity.
+  kNotFound = 7,
+};
+
+/// \brief Human-readable name of a status code ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief The outcome of a fallible operation that produces no value.
+///
+/// A Status is either OK or carries a code plus a message. The OK state is
+/// represented without allocation; error states allocate one small block.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Overflow(std::string msg) {
+    return Status(StatusCode::kOverflow, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsOverflow() const { return code() == StatusCode::kOverflow; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns this status with \p context prepended to the message; OK stays OK.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // nullptr == OK
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an error Result aborts in debug builds; callers are
+/// expected to test ok() (or use the FO2DT_ASSIGN_OR_RETURN macro) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Implicit construction from an error status.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!this->status().ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or \p fallback when in the error state.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define FO2DT_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::fo2dt::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define FO2DT_CONCAT_IMPL(x, y) x##y
+#define FO2DT_CONCAT(x, y) FO2DT_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error status from the enclosing function.
+#define FO2DT_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto FO2DT_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!FO2DT_CONCAT(_res_, __LINE__).ok())                          \
+    return FO2DT_CONCAT(_res_, __LINE__).status();                  \
+  lhs = std::move(FO2DT_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_COMMON_STATUS_H_

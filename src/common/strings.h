@@ -1,0 +1,41 @@
+/// \file strings.h
+/// \brief Small string helpers shared across modules.
+
+#ifndef FO2DT_COMMON_STRINGS_H_
+#define FO2DT_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fo2dt {
+
+/// Joins the elements of \p parts with \p sep, using operator<< to format.
+template <typename Container>
+std::string JoinToString(const Container& parts, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out << sep;
+    first = false;
+    out << p;
+  }
+  return out.str();
+}
+
+/// Splits \p text on character \p sep; keeps empty segments.
+std::vector<std::string> SplitString(const std::string& text, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string StripWhitespace(const std::string& text);
+
+/// True if \p text begins with \p prefix.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_COMMON_STRINGS_H_

@@ -1,0 +1,25 @@
+#include "common/symbol.h"
+
+namespace fo2dt {
+
+Symbol Alphabet::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+Symbol Alphabet::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+std::vector<Symbol> Alphabet::AllSymbols() const {
+  std::vector<Symbol> out(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) out[i] = static_cast<Symbol>(i);
+  return out;
+}
+
+}  // namespace fo2dt

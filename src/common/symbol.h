@@ -1,0 +1,59 @@
+/// \file symbol.h
+/// \brief Interned label alphabets.
+///
+/// Formulas, automata, puzzles and trees all refer to node labels from a
+/// finite alphabet Σ. An Alphabet interns label strings to dense integer ids
+/// so that hot paths (automaton transitions, zone computation) work on small
+/// ints while diagnostics keep human-readable names.
+
+#ifndef FO2DT_COMMON_SYMBOL_H_
+#define FO2DT_COMMON_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fo2dt {
+
+/// \brief Dense id of an interned label. Valid ids are [0, alphabet size).
+using Symbol = uint32_t;
+
+/// \brief Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
+
+/// \brief A finite alphabet of node labels with string interning.
+///
+/// Interning is append-only; ids are stable for the lifetime of the Alphabet.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Interns \p name, returning its id (existing or fresh).
+  Symbol Intern(const std::string& name);
+
+  /// Looks up an already-interned label; kNoSymbol when absent.
+  Symbol Find(const std::string& name) const;
+
+  /// Whether \p s is a valid id in this alphabet.
+  bool Contains(Symbol s) const { return s < names_.size(); }
+
+  /// The label string of \p s. Precondition: Contains(s).
+  const std::string& Name(Symbol s) const { return names_[s]; }
+
+  /// Number of interned labels.
+  size_t size() const { return names_.size(); }
+
+  /// All ids, 0..size-1, convenience for iteration.
+  std::vector<Symbol> AllSymbols() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> index_;
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_COMMON_SYMBOL_H_

@@ -1,0 +1,168 @@
+#include "constraints/constraints.h"
+
+#include <map>
+
+#include "lcta/lcta.h"
+
+namespace fo2dt {
+
+bool ConstraintSet::IsForeignKey(const UnaryInclusion& inc) const {
+  for (const UnaryKey& k : keys) {
+    if (k.element == inc.to_element && k.attribute == inc.to_attribute) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<DataValue> AttributeValue(const DataTree& t, NodeId v,
+                                        Symbol attribute) {
+  for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+    if (t.label(c) == attribute) return t.data(c);
+  }
+  return std::nullopt;
+}
+
+bool DocumentSatisfiesKey(const DataTree& t, const UnaryKey& key) {
+  std::map<DataValue, size_t> seen;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.label(v) != key.element) continue;
+    std::optional<DataValue> val = AttributeValue(t, v, key.attribute);
+    if (!val.has_value()) continue;
+    if (++seen[*val] > 1) return false;
+  }
+  return true;
+}
+
+bool DocumentSatisfiesInclusion(const DataTree& t, const UnaryInclusion& inc) {
+  std::map<DataValue, bool> targets;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.label(v) != inc.to_element) continue;
+    std::optional<DataValue> val = AttributeValue(t, v, inc.to_attribute);
+    if (val.has_value()) targets[*val] = true;
+  }
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.label(v) != inc.from_element) continue;
+    std::optional<DataValue> val = AttributeValue(t, v, inc.from_attribute);
+    if (val.has_value() && !targets.count(*val)) return false;
+  }
+  return true;
+}
+
+bool DocumentSatisfies(const DataTree& t, const ConstraintSet& set) {
+  for (const UnaryKey& k : set.keys) {
+    if (!DocumentSatisfiesKey(t, k)) return false;
+  }
+  for (const UnaryInclusion& i : set.inclusions) {
+    if (!DocumentSatisfiesInclusion(t, i)) return false;
+  }
+  return true;
+}
+
+Formula KeyToFo2(const UnaryKey& key) {
+  // ∀x∀y: x,y are A-attribute nodes under τ-elements with x ~ y  →  x = y.
+  auto attr_under = [&](Var v) {
+    Var other = OtherVar(v);
+    return Formula::And(
+        Formula::Label(key.attribute, v),
+        Formula::Exists(other,
+                        Formula::And(Formula::Label(key.element, other),
+                                     Formula::Edge(Axis::kChild, other, v))));
+  };
+  Formula body = Formula::Implies(
+      Formula::And({attr_under(Var::kX), attr_under(Var::kY),
+                    Formula::SameData(Var::kX, Var::kY)}),
+      Formula::Equal(Var::kX, Var::kY));
+  return Formula::Forall(Var::kX, Formula::Forall(Var::kY, body));
+}
+
+Formula InclusionToFo2(const UnaryInclusion& inc) {
+  // ∀x (A(x) ∧ ∃y(τ1(y) ∧ child(y,x)))
+  //   → ∃y (x ~ y ∧ B(y) ∧ ∃x(τ2(x) ∧ child(x,y))).
+  Formula source = Formula::And(
+      Formula::Label(inc.from_attribute, Var::kX),
+      Formula::Exists(
+          Var::kY, Formula::And(Formula::Label(inc.from_element, Var::kY),
+                                Formula::Edge(Axis::kChild, Var::kY, Var::kX))));
+  Formula target = Formula::Exists(
+      Var::kY,
+      Formula::And(
+          {Formula::SameData(Var::kX, Var::kY),
+           Formula::Label(inc.to_attribute, Var::kY),
+           Formula::Exists(
+               Var::kX,
+               Formula::And(Formula::Label(inc.to_element, Var::kX),
+                            Formula::Edge(Axis::kChild, Var::kX, Var::kY)))}));
+  return Formula::Forall(Var::kX,
+                         Formula::Implies(std::move(source), std::move(target)));
+}
+
+Formula ConstraintSetToFo2(const ConstraintSet& set) {
+  std::vector<Formula> parts;
+  for (const UnaryKey& k : set.keys) parts.push_back(KeyToFo2(k));
+  for (const UnaryInclusion& i : set.inclusions) {
+    parts.push_back(InclusionToFo2(i));
+  }
+  return Formula::And(std::move(parts));
+}
+
+Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
+                                          const ConstraintSet& set,
+                                          const SolverOptions& options) {
+  SolverOptions opt = options;
+  opt.structural_filter = &schema;
+  return CheckFo2SatisfiabilityBounded(ConstraintSetToFo2(set), opt);
+}
+
+Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
+                                          const ConstraintSet& premises,
+                                          const Formula& conclusion,
+                                          const SolverOptions& options) {
+  SolverOptions opt = options;
+  opt.structural_filter = &schema;
+  Formula query = Formula::And(ConstraintSetToFo2(premises),
+                               Formula::Not(conclusion));
+  return CheckFo2SatisfiabilityBounded(query, opt);
+}
+
+Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
+                                                   const ConstraintSet& set,
+                                                   const LctaOptions& options) {
+  // Cardinality conditions over label counts: variable Q + l counts label l.
+  const VarId q = static_cast<VarId>(schema.num_states());
+  std::vector<LinearConstraint> parts;
+  for (const UnaryInclusion& inc : set.inclusions) {
+    bool source_keyed = false;
+    for (const UnaryKey& k : set.keys) {
+      if (k.element == inc.from_element && k.attribute == inc.from_attribute) {
+        source_keyed = true;
+        break;
+      }
+    }
+    LinearExpr n_from = LinearExpr::Variable(q + inc.from_element);
+    LinearExpr n_to = LinearExpr::Variable(q + inc.to_element);
+    if (source_keyed) {
+      // Distinct source values each need a distinct carrier: n_from <= n_to.
+      parts.push_back(LinearConstraint::Ge(n_to - n_from));
+    } else {
+      // Presence only: n_from == 0 or n_to >= 1.
+      LinearExpr n_to_pos = n_to;
+      n_to_pos.AddConstant(BigInt(-1));
+      parts.push_back(LinearConstraint::Or(
+          LinearConstraint::Eq(n_from), LinearConstraint::Ge(n_to_pos)));
+    }
+  }
+  Lcta lcta;
+  lcta.automaton = schema;
+  lcta.constraint = LinearConstraint::And(std::move(parts));
+  lcta.use_symbol_counts = true;
+  FO2DT_ASSIGN_OR_RETURN(LctaEmptinessResult r,
+                         CheckLctaEmptiness(lcta, options));
+  SatResult out;
+  out.method = SatMethod::kCountingAbstraction;
+  out.steps = r.ilp_nodes;
+  out.verdict = r.empty ? SatVerdict::kUnsat : SatVerdict::kSat;
+  return out;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,109 @@
+/// \file constraints.h
+/// \brief Unary keys, inclusion and foreign-key constraints (Section IV).
+///
+/// Documents are data trees in the Figure-3 encoding: the attributes of an
+/// element node v are represented by attribute children (labeled with the
+/// attribute name) whose data value is the attribute value; element nodes'
+/// own data values are unused by the constraint semantics.
+///
+/// Types are node labels here (the paper uses schema-automaton states; a
+/// label-typed schema corresponds to the classic DTD setting of [2], and
+/// state types reduce to label types by annotating labels with states via a
+/// product alphabet).
+///
+/// Three decision procedures are provided, mirroring DESIGN.md §2:
+/// * compilation to FO²(∼,+1) per Proposition 5 (the paper's formulas),
+///   decided with the bounded-complete model search of the frontend;
+/// * for the consistency of keys and foreign keys relative to a schema, the
+///   specialized cardinality reduction in the style of Arenas–Fan–Libkin [2]
+///   (sound and complete for label types), implemented on top of the
+///   Theorem-2 LCTA machinery — the "NP procedure" baseline of the paper's
+///   related-work discussion;
+/// * direct document-level checkers used as ground truth in tests.
+
+#ifndef FO2DT_CONSTRAINTS_CONSTRAINTS_H_
+#define FO2DT_CONSTRAINTS_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "frontend/solver.h"
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// \brief Unary key constraint τ[@A] → τ: the A-attribute value identifies
+/// the τ-element.
+struct UnaryKey {
+  Symbol element;
+  Symbol attribute;
+};
+
+/// \brief Unary inclusion constraint τ1[A] ⊆ τ2[B]: every A-value of a τ1
+/// element appears as the B-value of some τ2 element.
+struct UnaryInclusion {
+  Symbol from_element;
+  Symbol from_attribute;
+  Symbol to_element;
+  Symbol to_attribute;
+};
+
+/// \brief A set of unary constraints. A *foreign key* is an inclusion whose
+/// target (to_element, to_attribute) is a key in the same set.
+struct ConstraintSet {
+  std::vector<UnaryKey> keys;
+  std::vector<UnaryInclusion> inclusions;
+
+  /// Whether \p inc's target is keyed by this set.
+  bool IsForeignKey(const UnaryInclusion& inc) const;
+};
+
+/// \brief The A-attribute value of element \p v (data value of its first
+/// child labeled \p attribute), or nullopt when absent.
+std::optional<DataValue> AttributeValue(const DataTree& t, NodeId v,
+                                        Symbol attribute);
+
+/// Document-level ground truth.
+bool DocumentSatisfiesKey(const DataTree& t, const UnaryKey& key);
+bool DocumentSatisfiesInclusion(const DataTree& t, const UnaryInclusion& inc);
+bool DocumentSatisfies(const DataTree& t, const ConstraintSet& set);
+
+/// \brief Proposition 5 formulas. The key formula reads: any two same-valued
+/// A-attribute nodes under τ-elements are equal; the inclusion formula: every
+/// A-attribute node under a τ1-element has a same-valued B-attribute node
+/// under a τ2-element.
+Formula KeyToFo2(const UnaryKey& key);
+Formula InclusionToFo2(const UnaryInclusion& inc);
+/// Conjunction over the whole set.
+Formula ConstraintSetToFo2(const ConstraintSet& set);
+
+/// \brief Consistency relative to a schema: is there a document accepted by
+/// \p schema (over the base label alphabet; pass Universal for "no schema")
+/// satisfying every constraint? Bounded-complete via model enumeration.
+Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
+                                          const ConstraintSet& set,
+                                          const SolverOptions& options = {});
+
+/// \brief Implication: does every document accepted by \p schema satisfying
+/// \p premises also satisfy \p conclusion? Searches for a bounded
+/// counterexample: kSat means "refuted" (witness is the counterexample),
+/// kUnknown means no counterexample within the budget.
+Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
+                                          const ConstraintSet& premises,
+                                          const Formula& conclusion,
+                                          const SolverOptions& options = {});
+
+/// \brief Specialized consistency for keys + foreign keys relative to a
+/// schema (the [2]-style NP procedure): reduces to emptiness of an LCTA
+/// whose linear constraints encode the cardinality conditions
+///   * inclusion with keyed source: n_{τ1} ≤ n_{τ2}
+///   * inclusion without keyed source: n_{τ1} = 0 ∨ n_{τ2} ≥ 1
+/// over label-occurrence counts. Sound and complete for label types,
+/// provided the schema guarantees the referenced attribute children (the
+/// DTD builders in xmlenc do).
+Result<SatResult> CheckKeyForeignKeyConsistencyIlp(
+    const TreeAutomaton& schema, const ConstraintSet& set,
+    const LctaOptions& options = {});
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_CONSTRAINTS_CONSTRAINTS_H_

@@ -1,0 +1,209 @@
+#include "datatree/data_tree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+std::string ProfileToString(const NodeProfile& p) {
+  std::string out;
+  out += p.parent_same ? 'P' : '-';
+  out += p.left_same ? 'L' : '-';
+  out += p.right_same ? 'R' : '-';
+  return out;
+}
+
+Result<NodeId> DataTree::CreateRoot(Symbol label, DataValue data) {
+  if (!empty()) return Status::InvalidArgument("tree already has a root");
+  labels_.push_back(label);
+  data_.push_back(data);
+  parent_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  prev_sibling_.push_back(kNoNode);
+  return NodeId{0};
+}
+
+Result<NodeId> DataTree::AppendChild(NodeId parent, Symbol label,
+                                     DataValue data) {
+  if (!Contains(parent)) {
+    return Status::InvalidArgument(
+        StringFormat("AppendChild: no such parent %u", parent));
+  }
+  NodeId v = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  data_.push_back(data);
+  parent_.push_back(parent);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  NodeId prev = last_child_[parent];
+  prev_sibling_.push_back(prev);
+  if (prev != kNoNode) next_sibling_[prev] = v;
+  if (first_child_[parent] == kNoNode) first_child_[parent] = v;
+  last_child_[parent] = v;
+  return v;
+}
+
+bool DataTree::HorizontalOrder(NodeId x, NodeId y) const {
+  for (NodeId cur = next_sibling_[x]; cur != kNoNode;
+       cur = next_sibling_[cur]) {
+    if (cur == y) return true;
+  }
+  return false;
+}
+
+bool DataTree::VerticalOrder(NodeId x, NodeId y) const {
+  for (NodeId cur = parent_[y]; cur != kNoNode; cur = parent_[cur]) {
+    if (cur == x) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> DataTree::Children(NodeId v) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+size_t DataTree::NumChildren(NodeId v) const {
+  size_t n = 0;
+  for (NodeId c = first_child_[v]; c != kNoNode; c = next_sibling_[c]) ++n;
+  return n;
+}
+
+size_t DataTree::Depth(NodeId v) const {
+  size_t d = 0;
+  for (NodeId cur = parent_[v]; cur != kNoNode; cur = parent_[cur]) ++d;
+  return d;
+}
+
+std::vector<NodeId> DataTree::PreOrder() const {
+  std::vector<NodeId> out;
+  if (empty()) return out;
+  out.reserve(size());
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    // Push children right-to-left so they pop left-to-right.
+    std::vector<NodeId> kids = Children(v);
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+  }
+  return out;
+}
+
+NodeProfile DataTree::ProfileOf(NodeId v) const {
+  NodeProfile p;
+  NodeId par = parent_[v];
+  NodeId left = prev_sibling_[v];
+  NodeId right = next_sibling_[v];
+  p.parent_same = par != kNoNode && data_[par] == data_[v];
+  p.left_same = left != kNoNode && data_[left] == data_[v];
+  p.right_same = right != kNoNode && data_[right] == data_[v];
+  return p;
+}
+
+std::vector<NodeProfile> DataTree::AllProfiles() const {
+  std::vector<NodeProfile> out(size());
+  for (NodeId v = 0; v < size(); ++v) out[v] = ProfileOf(v);
+  return out;
+}
+
+std::vector<DataValue> DataTree::DistinctDataValues() const {
+  std::unordered_set<DataValue> seen(data_.begin(), data_.end());
+  std::vector<DataValue> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool DataTree::Equals(const DataTree& other) const {
+  return labels_ == other.labels_ && data_ == other.data_ &&
+         parent_ == other.parent_ && first_child_ == other.first_child_ &&
+         next_sibling_ == other.next_sibling_;
+}
+
+Status DataTree::Validate() const {
+  if (empty()) return Status::OK();
+  size_t root_count = 0;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (parent_[v] == kNoNode) {
+      ++root_count;
+      continue;
+    }
+    if (!Contains(parent_[v])) {
+      return Status::Internal(StringFormat("node %u has invalid parent", v));
+    }
+  }
+  if (root_count != 1) {
+    return Status::Internal(
+        StringFormat("expected exactly one root, found %zu", root_count));
+  }
+  for (NodeId v = 0; v < size(); ++v) {
+    NodeId next = next_sibling_[v];
+    if (next != kNoNode) {
+      if (prev_sibling_[next] != v) {
+        return Status::Internal(
+            StringFormat("sibling links broken at node %u", v));
+      }
+      if (parent_[next] != parent_[v]) {
+        return Status::Internal(
+            StringFormat("siblings with different parents at node %u", v));
+      }
+    }
+    NodeId fc = first_child_[v];
+    if (fc != kNoNode && (parent_[fc] != v || prev_sibling_[fc] != kNoNode)) {
+      return Status::Internal(
+          StringFormat("first-child link broken at node %u", v));
+    }
+    NodeId lc = last_child_[v];
+    if (lc != kNoNode && (parent_[lc] != v || next_sibling_[lc] != kNoNode)) {
+      return Status::Internal(
+          StringFormat("last-child link broken at node %u", v));
+    }
+  }
+  return Status::OK();
+}
+
+DataTree BuildProfiledTree(const DataTree& t, const Alphabet& sigma,
+                           Alphabet* profiled_alphabet) {
+  // Intern the full product Σ × Pro so ProfiledSymbol indices line up.
+  for (Symbol s = 0; s < sigma.size(); ++s) {
+    for (uint32_t p = 0; p < kNumProfiles; ++p) {
+      profiled_alphabet->Intern(sigma.Name(s) + "#" + std::to_string(p));
+    }
+  }
+  DataTree out;
+  if (t.empty()) return out;
+  // Creation order preserved: NodeIds map 1:1 because AppendChild follows the
+  // original creation order (parents precede children in id order).
+  for (NodeId v = 0; v < t.size(); ++v) {
+    Symbol s = ProfiledSymbol(t.label(v), EncodeProfile(t.ProfileOf(v)));
+    if (t.parent(v) == kNoNode) {
+      (void)out.CreateRoot(s, t.data(v));
+    } else {
+      (void)out.AppendChild(t.parent(v), s, t.data(v));
+    }
+  }
+  return out;
+}
+
+DataTree DataErasure(const DataTree& t) {
+  DataTree out;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.parent(v) == kNoNode) {
+      (void)out.CreateRoot(t.label(v), 0);
+    } else {
+      (void)out.AppendChild(t.parent(v), t.label(v), 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,174 @@
+/// \file data_tree.h
+/// \brief Unranked, ordered, labeled trees with data values (Section II).
+///
+/// A data tree over Σ has nodes carrying a label from the finite alphabet Σ
+/// and a data value from an infinite domain (here: uint64_t, standing in for
+/// N — the paper only ever compares values for equality, so any countable
+/// domain is equivalent).
+///
+/// The structure exposes exactly the predicates of the paper's logical
+/// signature: label tests, the data-equality relation ~, the horizontal
+/// successor E→, the vertical successor E↓, and their transitive closures
+/// E⇒ / E⇓.
+
+#ifndef FO2DT_DATATREE_DATA_TREE_H_
+#define FO2DT_DATATREE_DATA_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol.h"
+
+namespace fo2dt {
+
+/// \brief Index of a node within its DataTree. Dense, creation-ordered.
+using NodeId = uint32_t;
+
+/// \brief Sentinel for "no node" (absent parent/sibling/child).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// \brief A data value (element of the infinite domain, paper's N).
+using DataValue = uint64_t;
+
+/// \brief Node profile (Section II): which of the parent, left neighbor and
+/// right neighbor carry the same data value as the node itself.
+///
+/// |Pro| = 8; EncodeProfile maps a profile to its index in [0, 8).
+struct NodeProfile {
+  bool parent_same = false;
+  bool left_same = false;
+  bool right_same = false;
+
+  bool operator==(const NodeProfile&) const = default;
+};
+
+/// \brief Number of distinct node profiles.
+inline constexpr uint32_t kNumProfiles = 8;
+
+/// Dense encoding of a profile in [0, kNumProfiles).
+inline uint32_t EncodeProfile(const NodeProfile& p) {
+  return (p.parent_same ? 4u : 0u) | (p.left_same ? 2u : 0u) |
+         (p.right_same ? 1u : 0u);
+}
+
+/// Inverse of EncodeProfile. Precondition: code < kNumProfiles.
+inline NodeProfile DecodeProfile(uint32_t code) {
+  return NodeProfile{(code & 4u) != 0, (code & 2u) != 0, (code & 1u) != 0};
+}
+
+/// Short rendering such as "P-R" (parent same, left different, right same).
+std::string ProfileToString(const NodeProfile& p);
+
+/// \brief An unranked ordered tree whose nodes carry a label and a data value.
+///
+/// Nodes are created top-down (root first, children appended left to right)
+/// and addressed by dense NodeIds in creation order. The tree is append-only;
+/// all navigation accessors are O(1).
+class DataTree {
+ public:
+  DataTree() = default;
+
+  /// Creates the root. Error if a root already exists.
+  Result<NodeId> CreateRoot(Symbol label, DataValue data);
+
+  /// Appends a new rightmost child under \p parent.
+  Result<NodeId> AppendChild(NodeId parent, Symbol label, DataValue data);
+
+  /// Number of nodes.
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// The root id; kNoNode when empty.
+  NodeId root() const { return empty() ? kNoNode : 0; }
+
+  bool Contains(NodeId v) const { return v < labels_.size(); }
+
+  Symbol label(NodeId v) const { return labels_[v]; }
+  DataValue data(NodeId v) const { return data_[v]; }
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  NodeId first_child(NodeId v) const { return first_child_[v]; }
+  NodeId last_child(NodeId v) const { return last_child_[v]; }
+  NodeId next_sibling(NodeId v) const { return next_sibling_[v]; }
+  NodeId prev_sibling(NodeId v) const { return prev_sibling_[v]; }
+
+  /// Overwrites the data value of \p v (used by encoding passes, e.g. the
+  /// Theorem 3 element-value encoding).
+  void set_data(NodeId v, DataValue d) { data_[v] = d; }
+  /// Overwrites the label of \p v (used by profiled-tree construction).
+  void set_label(NodeId v, Symbol s) { labels_[v] = s; }
+
+  /// Paper predicate E→(x, y): y is the next sibling of x.
+  bool HorizontalSuccessor(NodeId x, NodeId y) const {
+    return next_sibling_[x] == y && y != kNoNode;
+  }
+  /// Paper predicate E↓(x, y): y is a child of x.
+  bool VerticalSuccessor(NodeId x, NodeId y) const {
+    return parent_[y] == x && x != kNoNode;
+  }
+  /// Paper predicate E⇒(x, y): y is a following sibling of x (transitive,
+  /// strict).
+  bool HorizontalOrder(NodeId x, NodeId y) const;
+  /// Paper predicate E⇓(x, y): y is a proper descendant of x.
+  bool VerticalOrder(NodeId x, NodeId y) const;
+  /// Paper predicate x ~ y: equal data values.
+  bool SameData(NodeId x, NodeId y) const { return data_[x] == data_[y]; }
+
+  /// The children of \p v, left to right.
+  std::vector<NodeId> Children(NodeId v) const;
+  /// Number of children of \p v.
+  size_t NumChildren(NodeId v) const;
+  /// Depth of \p v (root has depth 0).
+  size_t Depth(NodeId v) const;
+
+  /// Node ids in document order (preorder).
+  std::vector<NodeId> PreOrder() const;
+
+  /// The profile of node \p v.
+  NodeProfile ProfileOf(NodeId v) const;
+  /// Profiles for all nodes, indexed by NodeId.
+  std::vector<NodeProfile> AllProfiles() const;
+
+  /// Distinct data values in the tree.
+  std::vector<DataValue> DistinctDataValues() const;
+
+  /// Structural + data equality (same shape, labels, and data values).
+  bool Equals(const DataTree& other) const;
+
+  /// Internal-consistency check (link symmetry, single root); used by tests.
+  Status Validate() const;
+
+ private:
+  std::vector<Symbol> labels_;
+  std::vector<DataValue> data_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> prev_sibling_;
+};
+
+/// \brief Builds the *profiled tree* of \p t (Section II): same shape and
+/// data, labels from Σ × Pro.
+///
+/// The product alphabet is materialized into \p profiled_alphabet with label
+/// names "<label>#<profile code>"; \p profile_symbol maps
+/// (symbol, profile code) -> product symbol via index symbol * 8 + code.
+DataTree BuildProfiledTree(const DataTree& t, const Alphabet& sigma,
+                           Alphabet* profiled_alphabet);
+
+/// Product symbol id for (label, profile) pairs produced by BuildProfiledTree.
+inline Symbol ProfiledSymbol(Symbol label, uint32_t profile_code) {
+  return label * kNumProfiles + profile_code;
+}
+
+/// \brief The *data erasure* of \p t (Section II): same tree, data ignored.
+///
+/// Represented by zeroing every data value so the result is still a DataTree
+/// usable with label-only machinery (automata never read data).
+DataTree DataErasure(const DataTree& t);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_DATATREE_DATA_TREE_H_

@@ -1,0 +1,80 @@
+#include "datatree/generator.h"
+
+#include <string>
+#include <vector>
+
+namespace fo2dt {
+
+DataTree RandomDataTree(const RandomTreeOptions& options, RandomSource* rng,
+                        Alphabet* alphabet) {
+  std::vector<Symbol> labels;
+  for (size_t i = 0; i < options.num_labels; ++i) {
+    labels.push_back(alphabet->Intern("l" + std::to_string(i)));
+  }
+  auto pick_label = [&] { return labels[rng->UniformIndex(labels.size())]; };
+  auto fresh_value = [&] {
+    return static_cast<DataValue>(rng->UniformIndex(options.num_data_values));
+  };
+
+  DataTree t;
+  (void)t.CreateRoot(pick_label(), fresh_value());
+  // Frontier of nodes that may still receive children, with remaining
+  // capacity; grow until num_nodes reached.
+  std::vector<std::pair<NodeId, size_t>> frontier = {
+      {t.root(), options.max_children}};
+  while (t.size() < options.num_nodes && !frontier.empty()) {
+    size_t idx = rng->UniformIndex(frontier.size());
+    auto& [parent, capacity] = frontier[idx];
+    DataValue d;
+    if (rng->Bernoulli(options.data_copy_parent)) {
+      d = t.data(parent);
+    } else if (t.last_child(parent) != kNoNode &&
+               rng->Bernoulli(options.data_copy_left)) {
+      d = t.data(t.last_child(parent));
+    } else {
+      d = fresh_value();
+    }
+    NodeId child = t.AppendChild(parent, pick_label(), d).value();
+    if (--capacity == 0) {
+      frontier[idx] = frontier.back();
+      frontier.pop_back();
+    }
+    frontier.emplace_back(child, options.max_children);
+  }
+  return t;
+}
+
+DataTree CombTree(size_t spine_length, size_t teeth, size_t run_length,
+                  Alphabet* alphabet) {
+  Symbol spine = alphabet->Intern("s");
+  Symbol leaf = alphabet->Intern("t");
+  DataTree t;
+  if (spine_length == 0) return t;
+  auto value_at = [run_length](size_t i) {
+    return static_cast<DataValue>(run_length == 0 ? i : i / run_length);
+  };
+  NodeId cur = t.CreateRoot(spine, value_at(0)).value();
+  for (size_t i = 0; i < spine_length; ++i) {
+    for (size_t k = 0; k < teeth; ++k) {
+      (void)t.AppendChild(cur, leaf, value_at(i));
+    }
+    if (i + 1 < spine_length) {
+      cur = t.AppendChild(cur, spine, value_at(i + 1)).value();
+    }
+  }
+  return t;
+}
+
+DataTree FlatRunsTree(size_t n, size_t run_length, Alphabet* alphabet) {
+  Symbol root = alphabet->Intern("r");
+  Symbol leaf = alphabet->Intern("c");
+  DataTree t;
+  (void)t.CreateRoot(root, static_cast<DataValue>(-1));
+  for (size_t i = 0; i < n; ++i) {
+    DataValue d = static_cast<DataValue>(run_length == 0 ? i : i / run_length);
+    (void)t.AppendChild(t.root(), leaf, d);
+  }
+  return t;
+}
+
+}  // namespace fo2dt

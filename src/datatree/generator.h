@@ -1,0 +1,53 @@
+/// \file generator.h
+/// \brief Random data-tree generators for tests and benchmark workloads.
+///
+/// Shapes are controlled by a branching distribution, data values by a
+/// locality model: with probability `data_copy_parent` (resp.
+/// `data_copy_left`) a node copies its parent's (left sibling's) value —
+/// this is what produces nontrivial zones, pure intervals and data paths —
+/// otherwise it draws a fresh value from [0, num_data_values).
+
+#ifndef FO2DT_DATATREE_GENERATOR_H_
+#define FO2DT_DATATREE_GENERATOR_H_
+
+#include "common/random.h"
+#include "datatree/data_tree.h"
+
+namespace fo2dt {
+
+/// \brief Knobs for RandomDataTree.
+struct RandomTreeOptions {
+  /// Total number of nodes (>= 1).
+  size_t num_nodes = 20;
+  /// Maximum children per node.
+  size_t max_children = 4;
+  /// Number of distinct labels drawn uniformly (interned as l0, l1, ...).
+  size_t num_labels = 3;
+  /// Fresh data values are drawn uniformly from [0, num_data_values).
+  size_t num_data_values = 8;
+  /// Probability that a node copies its parent's data value.
+  double data_copy_parent = 0.3;
+  /// Probability that a non-first child copies its left sibling's value
+  /// (tested after the parent copy fails).
+  double data_copy_left = 0.3;
+};
+
+/// Generates a random data tree; labels l0..l{k-1} are interned into
+/// \p alphabet.
+DataTree RandomDataTree(const RandomTreeOptions& options, RandomSource* rng,
+                        Alphabet* alphabet);
+
+/// Generates a "comb" tree: a spine of `spine_length` nodes where node i has
+/// `teeth` extra leaf children; data values alternate every `run_length`
+/// nodes along the spine. Used by the Figure 2 interval benchmarks.
+DataTree CombTree(size_t spine_length, size_t teeth, size_t run_length,
+                  Alphabet* alphabet);
+
+/// Generates a single siblinghood under a root: `n` leaves whose data values
+/// form runs of length `run_length` (so ceil(n/run_length) maximal pure
+/// intervals). Used by interval tests and benchmarks.
+DataTree FlatRunsTree(size_t n, size_t run_length, Alphabet* alphabet);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_DATATREE_GENERATOR_H_

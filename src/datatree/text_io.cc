@@ -1,0 +1,139 @@
+#include "datatree/text_io.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  Result<DataTree> Parse() {
+    DataTree t;
+    SkipSpace();
+    FO2DT_RETURN_NOT_OK(ParseNode(&t, kNoNode));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StringFormat("trailing input at offset %zu", pos_));
+    }
+    return t;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ParseNode(DataTree* t, NodeId parent) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start || std::isdigit(static_cast<unsigned char>(text_[start]))) {
+      return Status::ParseError(
+          StringFormat("expected label at offset %zu", start));
+    }
+    std::string label = text_.substr(start, pos_ - start);
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      return Status::ParseError(
+          StringFormat("expected ':' after label at offset %zu", pos_));
+    }
+    ++pos_;
+    SkipSpace();
+    size_t dstart = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == dstart) {
+      return Status::ParseError(
+          StringFormat("expected data value at offset %zu", pos_));
+    }
+    DataValue data = 0;
+    for (size_t i = dstart; i < pos_; ++i) {
+      data = data * 10 + static_cast<DataValue>(text_[i] - '0');
+    }
+    Symbol sym = alphabet_->Intern(label);
+    NodeId me;
+    if (parent == kNoNode) {
+      FO2DT_ASSIGN_OR_RETURN(me, t->CreateRoot(sym, data));
+    } else {
+      FO2DT_ASSIGN_OR_RETURN(me, t->AppendChild(parent, sym, data));
+    }
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      SkipSpace();
+      while (pos_ < text_.size() && text_[pos_] != ')') {
+        FO2DT_RETURN_NOT_OK(ParseNode(t, me));
+        SkipSpace();
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated child list: expected ')'");
+      }
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  Alphabet* alphabet_;
+  size_t pos_ = 0;
+};
+
+void RenderNode(const DataTree& t, const Alphabet& alphabet, NodeId v,
+                std::string* out) {
+  *out += alphabet.Name(t.label(v));
+  *out += ':';
+  *out += std::to_string(t.data(v));
+  if (t.first_child(v) != kNoNode) {
+    *out += " (";
+    bool first = true;
+    for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+      if (!first) *out += ' ';
+      first = false;
+      RenderNode(t, alphabet, c, out);
+    }
+    *out += ')';
+  }
+}
+
+}  // namespace
+
+Result<DataTree> ParseDataTree(const std::string& text, Alphabet* alphabet) {
+  return Parser(text, alphabet).Parse();
+}
+
+std::string DataTreeToText(const DataTree& t, const Alphabet& alphabet) {
+  if (t.empty()) return "";
+  std::string out;
+  RenderNode(t, alphabet, t.root(), &out);
+  return out;
+}
+
+std::string DataTreeToPrettyText(const DataTree& t, const Alphabet& alphabet) {
+  std::string out;
+  for (NodeId v : t.PreOrder()) {
+    out += std::string(2 * t.Depth(v), ' ');
+    out += alphabet.Name(t.label(v));
+    out += StringFormat(":%llu  [node %u, profile %s]\n",
+                        static_cast<unsigned long long>(t.data(v)), v,
+                        ProfileToString(t.ProfileOf(v)).c_str());
+  }
+  return out;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,34 @@
+/// \file text_io.h
+/// \brief Compact textual syntax for data trees.
+///
+/// Grammar (whitespace-insensitive):
+///   tree  := node
+///   node  := label ':' data ( '(' node* ')' )?
+///   label := [A-Za-z_][A-Za-z0-9_]*
+///   data  := [0-9]+
+///
+/// Example: `a:1 (b:1 c:2 (d:2) b:1)` — the tree of Figure 1 style examples.
+/// Round-trips exactly through ParseDataTree / DataTreeToText.
+
+#ifndef FO2DT_DATATREE_TEXT_IO_H_
+#define FO2DT_DATATREE_TEXT_IO_H_
+
+#include <string>
+
+#include "datatree/data_tree.h"
+
+namespace fo2dt {
+
+/// Parses the textual syntax above, interning labels into \p alphabet.
+Result<DataTree> ParseDataTree(const std::string& text, Alphabet* alphabet);
+
+/// Renders \p t in the textual syntax (single line).
+std::string DataTreeToText(const DataTree& t, const Alphabet& alphabet);
+
+/// Multi-line indented rendering for diagnostics, one node per line with
+/// label, data value, and profile.
+std::string DataTreeToPrettyText(const DataTree& t, const Alphabet& alphabet);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_DATATREE_TEXT_IO_H_

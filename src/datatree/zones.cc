@@ -1,0 +1,212 @@
+#include "datatree/zones.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fo2dt {
+
+namespace {
+
+/// Plain union-find over NodeIds with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
+  }
+
+  NodeId Find(NodeId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    NodeId ra = Find(a);
+    NodeId rb = Find(b);
+    if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+ZonePartition ComputeZones(const DataTree& t) {
+  ZonePartition out;
+  const size_t n = t.size();
+  UnionFind uf(n);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId p = t.parent(v);
+    if (p != kNoNode && t.SameData(p, v)) uf.Union(p, v);
+    NodeId s = t.next_sibling(v);
+    if (s != kNoNode && t.SameData(s, v)) uf.Union(s, v);
+  }
+  out.zone_of.assign(n, 0);
+  std::unordered_map<NodeId, ZoneId> root_to_zone;
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId r = uf.Find(v);
+    auto [it, fresh] =
+        root_to_zone.emplace(r, static_cast<ZoneId>(out.members.size()));
+    if (fresh) {
+      out.members.emplace_back();
+      out.data_value.push_back(t.data(v));
+    }
+    out.zone_of[v] = it->second;
+    out.members[it->second].push_back(v);
+  }
+  return out;
+}
+
+std::vector<ZoneId> ZonePartition::AdjacentZones(const DataTree& t,
+                                                 ZoneId z) const {
+  std::set<ZoneId> adj;
+  for (NodeId v : members[z]) {
+    auto consider = [&](NodeId w) {
+      if (w != kNoNode && zone_of[w] != z) adj.insert(zone_of[w]);
+    };
+    consider(t.parent(v));
+    consider(t.prev_sibling(v));
+    consider(t.next_sibling(v));
+    for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+      consider(c);
+    }
+  }
+  return std::vector<ZoneId>(adj.begin(), adj.end());
+}
+
+ClassPartition ComputeClasses(const DataTree& t) {
+  std::map<DataValue, std::vector<NodeId>> by_value;
+  for (NodeId v = 0; v < t.size(); ++v) by_value[t.data(v)].push_back(v);
+  ClassPartition out;
+  out.classes.assign(by_value.begin(), by_value.end());
+  return out;
+}
+
+std::vector<std::vector<NodeId>> Siblinghoods(const DataTree& t) {
+  std::vector<std::vector<NodeId>> out;
+  if (t.empty()) return out;
+  out.push_back({t.root()});
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.first_child(v) == kNoNode) continue;
+    out.push_back(t.Children(v));
+  }
+  return out;
+}
+
+std::vector<PureInterval> MaximalPureIntervals(const DataTree& t) {
+  std::vector<PureInterval> out;
+  std::vector<std::vector<NodeId>> sibs = Siblinghoods(t);
+  for (size_t si = 0; si < sibs.size(); ++si) {
+    const std::vector<NodeId>& sib = sibs[si];
+    size_t begin = 0;
+    while (begin < sib.size()) {
+      size_t end = begin + 1;
+      DataValue d = t.data(sib[begin]);
+      while (end < sib.size() && t.data(sib[end]) == d) ++end;
+      // Maximal runs always have border (or absent, which counts as border)
+      // interfaces, hence maximal pure intervals are complete by
+      // construction; the flag matters for non-maximal intervals created by
+      // the pruning machinery, and for documentation clarity here.
+      out.push_back(PureInterval{si, begin, end, d, /*complete=*/true});
+      begin = end;
+    }
+  }
+  return out;
+}
+
+std::vector<DataPath> MaximalDataPaths(const DataTree& t) {
+  std::vector<DataPath> out;
+  if (t.empty()) return out;
+  // A maximal path starts at any node whose parent has a different value
+  // (or no parent) and extends through every chain of same-data children.
+  std::vector<NodeId> starts;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    NodeId p = t.parent(v);
+    if (p == kNoNode || !t.SameData(p, v)) starts.push_back(v);
+  }
+  // DFS over same-data child edges. Within the "same-data subtree" rooted at
+  // a start node, every root-to-leaf branch is one maximal data path.
+  struct Frame {
+    NodeId node;
+    NodeId next_child;      // resume cursor over children
+    bool any_child_taken;   // did this node extend the path at least once?
+  };
+  for (NodeId start : starts) {
+    std::vector<NodeId> path = {start};
+    std::vector<Frame> stack = {{start, t.first_child(start), false}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      NodeId c = f.next_child;
+      while (c != kNoNode && !t.SameData(c, f.node)) c = t.next_sibling(c);
+      if (c != kNoNode) {
+        f.next_child = t.next_sibling(c);
+        f.any_child_taken = true;
+        path.push_back(c);
+        stack.push_back({c, t.first_child(c), false});
+        continue;
+      }
+      if (!f.any_child_taken) {
+        out.push_back(DataPath{path, t.data(start)});
+      }
+      stack.pop_back();
+      path.pop_back();
+    }
+  }
+  return out;
+}
+
+TreeShapeStats ComputeShapeStats(const DataTree& t) {
+  TreeShapeStats s;
+  s.num_nodes = t.size();
+  s.num_classes = ComputeClasses(t).num_classes();
+  ZonePartition zones = ComputeZones(t);
+  s.num_zones = zones.num_zones();
+  for (const auto& z : zones.members) {
+    s.max_zone_size = std::max(s.max_zone_size, z.size());
+  }
+  std::vector<PureInterval> intervals = MaximalPureIntervals(t);
+  s.num_pure_intervals = intervals.size();
+  std::map<size_t, size_t> complete_per_sib;
+  for (const auto& iv : intervals) {
+    s.max_pure_interval_length =
+        std::max(s.max_pure_interval_length, iv.length());
+    if (iv.complete) {
+      ++s.num_complete_pure_intervals;
+      ++complete_per_sib[iv.siblinghood];
+    }
+  }
+  for (const auto& [sib, count] : complete_per_sib) {
+    (void)sib;
+    s.max_complete_intervals_per_siblinghood =
+        std::max(s.max_complete_intervals_per_siblinghood, count);
+  }
+  for (const auto& p : MaximalDataPaths(t)) {
+    s.max_data_path_length = std::max(s.max_data_path_length, p.nodes.size());
+  }
+  return s;
+}
+
+bool IsReduced(const DataTree& t, size_t m, size_t n) {
+  ZonePartition zones = ComputeZones(t);
+  size_t big_zones = 0;
+  for (const auto& z : zones.members) {
+    if (z.size() > n) ++big_zones;
+  }
+  if (big_zones > m) return false;
+  std::map<size_t, size_t> complete_per_sib;
+  for (const auto& iv : MaximalPureIntervals(t)) {
+    if (iv.complete) ++complete_per_sib[iv.siblinghood];
+  }
+  size_t big_sibs = 0;
+  for (const auto& [sib, count] : complete_per_sib) {
+    (void)sib;
+    if (count > n) ++big_sibs;
+  }
+  return big_sibs <= m;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,121 @@
+/// \file zones.h
+/// \brief Classes, zones, intervals and data paths (Sections II and III-B).
+///
+/// * A *class* is the set of all nodes with one data value.
+/// * A *zone* is a maximal connected set of nodes (in the underlying graph
+///   induced by E→ and E↓) with the same data value; zones refine classes
+///   (Figure 1).
+/// * Within a siblinghood, an *interval* is a contiguous run of siblings; a
+///   *pure* interval has one data value; a *complete* interval has border
+///   interfaces on both sides (Figure 2).
+/// * A *d-path* is a vertically connected set of d-valued nodes.
+///
+/// These notions drive the small-model property (Proposition 2); this module
+/// computes them for concrete trees and checks (M,N)-reducedness.
+
+#ifndef FO2DT_DATATREE_ZONES_H_
+#define FO2DT_DATATREE_ZONES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "datatree/data_tree.h"
+
+namespace fo2dt {
+
+/// \brief Id of a zone within a ZonePartition.
+using ZoneId = uint32_t;
+
+/// \brief The partition of a tree's nodes into zones.
+struct ZonePartition {
+  /// zone_of[v] is the zone of node v.
+  std::vector<ZoneId> zone_of;
+  /// members[z] lists the nodes of zone z in ascending NodeId order.
+  std::vector<std::vector<NodeId>> members;
+  /// data_value[z] is the shared data value of zone z.
+  std::vector<DataValue> data_value;
+
+  size_t num_zones() const { return members.size(); }
+
+  /// Zones adjacent to \p z (connected by an E→ or E↓ edge in either
+  /// direction), deduplicated, ascending.
+  std::vector<ZoneId> AdjacentZones(const DataTree& t, ZoneId z) const;
+};
+
+/// Computes the zone partition of \p t (union-find over same-data edges).
+ZonePartition ComputeZones(const DataTree& t);
+
+/// \brief The partition of a tree's nodes into classes (per data value).
+struct ClassPartition {
+  /// Pairs (data value, members ascending by NodeId), sorted by data value.
+  std::vector<std::pair<DataValue, std::vector<NodeId>>> classes;
+
+  size_t num_classes() const { return classes.size(); }
+};
+
+/// Computes the class partition of \p t.
+ClassPartition ComputeClasses(const DataTree& t);
+
+/// \brief A pure interval inside one siblinghood: siblings [begin, end) in
+/// the sibling order, all with data value `data`.
+struct PureInterval {
+  /// Index of the siblinghood in Siblinghoods(t).
+  size_t siblinghood;
+  /// First position within the siblinghood (inclusive).
+  size_t begin;
+  /// One past the last position (exclusive).
+  size_t end;
+  DataValue data;
+  /// True when both interfaces are border interfaces. Ends of a siblinghood
+  /// count as borders (the missing neighbor ⊥ trivially has a different
+  /// value).
+  bool complete;
+
+  size_t length() const { return end - begin; }
+};
+
+/// All siblinghoods of \p t: the root singleton first, then the children of
+/// each node in NodeId order (empty child lists omitted).
+std::vector<std::vector<NodeId>> Siblinghoods(const DataTree& t);
+
+/// Decomposes every siblinghood into its maximal pure intervals.
+std::vector<PureInterval> MaximalPureIntervals(const DataTree& t);
+
+/// \brief A maximal data path: vertically-linked same-data nodes, top-down.
+struct DataPath {
+  std::vector<NodeId> nodes;
+  DataValue data;
+};
+
+/// All maximal data paths of \p t. Every node lies on at least one path; a
+/// node whose parent has a different value starts new paths. Paths follow
+/// every same-data child, so a node with k same-data children contributes to
+/// k continuations (paths form the vertical skeleton of zones).
+std::vector<DataPath> MaximalDataPaths(const DataTree& t);
+
+/// \brief Aggregate structure statistics used by the reducedness check and
+/// the Figure 1 / Figure 2 benchmarks.
+struct TreeShapeStats {
+  size_t num_nodes = 0;
+  size_t num_classes = 0;
+  size_t num_zones = 0;
+  size_t max_zone_size = 0;
+  size_t num_pure_intervals = 0;
+  size_t num_complete_pure_intervals = 0;
+  size_t max_pure_interval_length = 0;
+  /// Max number of complete pure intervals within one siblinghood.
+  size_t max_complete_intervals_per_siblinghood = 0;
+  size_t max_data_path_length = 0;
+};
+
+/// Computes all statistics in one pass set.
+TreeShapeStats ComputeShapeStats(const DataTree& t);
+
+/// \brief (M,N)-reducedness (Section III-B): at most M zones of size > N and
+/// at most M siblinghoods with more than N complete pure intervals.
+bool IsReduced(const DataTree& t, size_t m, size_t n);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_DATATREE_ZONES_H_

@@ -1,0 +1,201 @@
+#include "frontend/solver.h"
+
+#include <algorithm>
+
+#include "lcta/lcta.h"
+#include "puzzle/puzzle.h"
+
+namespace fo2dt {
+
+const char* SatVerdictToString(SatVerdict v) {
+  switch (v) {
+    case SatVerdict::kSat:
+      return "SAT";
+    case SatVerdict::kUnsat:
+      return "UNSAT";
+    case SatVerdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Advances a restricted growth string (canonical set-partition encoding:
+/// rgs[0] == 0 and rgs[i] <= max(rgs[0..i-1]) + 1). Returns false after the
+/// last one.
+bool NextRestrictedGrowthString(std::vector<size_t>* rgs) {
+  const size_t n = rgs->size();
+  for (size_t i = n; i-- > 1;) {
+    size_t max_prefix = 0;
+    for (size_t j = 0; j < i; ++j) {
+      max_prefix = std::max(max_prefix, (*rgs)[j]);
+    }
+    if ((*rgs)[i] <= max_prefix) {
+      ++(*rgs)[i];
+      for (size_t j = i + 1; j < n; ++j) (*rgs)[j] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Enumerates data values as restricted-growth strings over node positions
+/// combined with labelings, checking the sentence on each candidate.
+class ModelEnumerator {
+ public:
+  ModelEnumerator(const Formula& sentence, size_t num_labels,
+                  const SolverOptions& options)
+      : sentence_(sentence), num_labels_(num_labels), options_(options) {}
+
+  Result<SatResult> Run() {
+    SatResult out;
+    out.method = SatMethod::kBoundedModelSearch;
+    for (size_t n = 1; n <= options_.max_model_nodes; ++n) {
+      for (const auto& parents : EnumerateTreeShapes(n)) {
+        DataTree skeleton;
+        FO2DT_RETURN_NOT_OK(skeleton.CreateRoot(0, 0).status());
+        for (size_t v = 1; v < n; ++v) {
+          FO2DT_RETURN_NOT_OK(skeleton.AppendChild(parents[v], 0, 0).status());
+        }
+        FO2DT_ASSIGN_OR_RETURN(bool found, SearchShape(&skeleton, n, &out));
+        if (found) {
+          out.verdict = SatVerdict::kSat;
+          return out;
+        }
+        if (budget_hit_) {
+          out.verdict = SatVerdict::kUnknown;
+          return out;
+        }
+      }
+    }
+    // The bound was exhausted: no model up to max_model_nodes. The paper's
+    // small-model property would turn this into UNSAT only past the Table I
+    // bound, so the honest verdict here is kUnknown.
+    out.verdict = SatVerdict::kUnknown;
+    out.steps = steps_;
+    return out;
+  }
+
+ private:
+  Result<bool> SearchShape(DataTree* t, size_t n, SatResult* out) {
+    // Odometer over labelings; per labeling, odometer over data partitions
+    // (restricted growth strings).
+    std::vector<Symbol> labels(n, 0);
+    for (;;) {
+      for (NodeId v = 0; v < n; ++v) t->set_label(v, labels[v]);
+      labels_checked_ = false;
+      std::vector<size_t> rgs(n, 0);  // rgs[0] == 0 always
+      for (;;) {
+        if (++steps_ > options_.max_steps) {
+          budget_hit_ = true;
+          return false;
+        }
+        for (NodeId v = 0; v < n; ++v) {
+          t->set_data(v, static_cast<DataValue>(rgs[v]));
+        }
+        if (options_.structural_filter != nullptr && !labels_checked_) {
+          // The filter ignores data; check once per labeling.
+          labels_ok_ = options_.structural_filter->Accepts(*t);
+          labels_checked_ = true;
+        }
+        if (options_.structural_filter != nullptr && !labels_ok_) break;
+        FO2DT_ASSIGN_OR_RETURN(bool ok,
+                               Evaluator::EvaluateSentence(sentence_, *t,
+                                                           nullptr));
+        if (ok) {
+          out->witness = *t;
+          out->steps = steps_;
+          return true;
+        }
+        if (!NextRestrictedGrowthString(&rgs)) break;
+      }
+      size_t i = 0;
+      while (i < n) {
+        if (++labels[i] < num_labels_) break;
+        labels[i] = 0;
+        ++i;
+      }
+      if (i == n) return false;
+    }
+  }
+
+  const Formula& sentence_;
+  size_t num_labels_;
+  const SolverOptions& options_;
+  uint64_t steps_ = 0;
+  bool budget_hit_ = false;
+  bool labels_checked_ = false;
+  bool labels_ok_ = false;
+};
+
+}  // namespace
+
+Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
+                                                const SolverOptions& options) {
+  if (!sentence.IsSentence()) {
+    return Status::InvalidArgument("satisfiability requires a sentence");
+  }
+  if (sentence.NumPredsSpanned() > 0) {
+    return Status::InvalidArgument(
+        "free unary predicates are not allowed; quantify them via EMSO "
+        "(CheckDnfSatisfiability) or substitute them away");
+  }
+  // A satisfiable FO² sentence has a model over the mentioned labels plus one
+  // extra "anonymous" label (any unmentioned label behaves identically).
+  size_t num_labels = options.num_labels;
+  if (num_labels == 0) {
+    num_labels = static_cast<size_t>(sentence.NumSymbolsSpanned()) + 1;
+  }
+  if (options.structural_filter != nullptr) {
+    // Models must use the schema's alphabet.
+    num_labels = options.structural_filter->num_symbols();
+    if (sentence.NumSymbolsSpanned() > num_labels) {
+      return Status::InvalidArgument(
+          "formula mentions labels outside the schema alphabet");
+    }
+  }
+  ModelEnumerator enumerator(sentence, num_labels, options);
+  return enumerator.Run();
+}
+
+Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
+                                         const SolverOptions& options) {
+  SatResult out;
+  bool all_unsat = true;
+  for (const DnfBlock& block : dnf.blocks) {
+    FO2DT_ASSIGN_OR_RETURN(Puzzle puzzle, PuzzleFromBlock(block, dnf.ext));
+    if (options.use_counting_abstraction) {
+      FO2DT_ASSIGN_OR_RETURN(
+          CountingResult counted,
+          CheckPuzzleUnsatByCounting(puzzle, options.counting));
+      out.steps += counted.ilp_nodes;
+      if (counted.verdict == CountingVerdict::kUnsat) {
+        continue;  // this block is dead; try the next disjunct
+      }
+    }
+    BoundedSolveOptions search = options.puzzle_search;
+    search.max_nodes = std::max(search.max_nodes, options.max_model_nodes);
+    FO2DT_ASSIGN_OR_RETURN(BoundedSolveResult solved,
+                           SolvePuzzleBounded(puzzle, search));
+    out.steps += solved.steps;
+    if (solved.verdict == BoundedVerdict::kSat) {
+      out.verdict = SatVerdict::kSat;
+      out.method = SatMethod::kPuzzlePipeline;
+      out.witness = std::move(solved.witness);
+      out.witness_interp = std::move(solved.interp);
+      return out;
+    }
+    all_unsat = false;  // bounded search is inconclusive for UNSAT overall
+  }
+  if (all_unsat) {
+    out.verdict = SatVerdict::kUnsat;
+    out.method = SatMethod::kCountingAbstraction;
+    return out;
+  }
+  out.verdict = SatVerdict::kUnknown;
+  out.method = SatMethod::kPuzzlePipeline;
+  return out;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,409 @@
+#include "lcta/lcta.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "solverlp/ilp.h"
+
+namespace fo2dt {
+
+namespace {
+
+/// Accepting runs of a hedge automaton are exactly the derivation trees of an
+/// ordinary context-free grammar with nonterminals
+///   N_q      — a node carrying state q (with its whole subtree),
+///   C_q      — the children chain of a node carrying state q,
+///   T_{p,q}  — the rest of a chain after a node with state p, in a chain
+///              that must close with a δv transition into q,
+/// and productions
+///   PLeaf[q]      : N_q → ε                  (q initial; the node is a leaf)
+///   PInner[q]     : N_q → C_q                (the node has children)
+///   PStart[q,p]   : C_q → N_p T_{p,q}        (first child has state p; p ∉ NF)
+///   PEnd[i]       : T_{p,q} → ε              (δv transition i = (p,a,q))
+///   PStep[i,q]    : T_{p,q} → N_{p'} T_{p',q} (δh transition i = (p,a,p'))
+/// The start symbol is N_{root state}; the root's label is chosen from F.
+///
+/// By the classical characterization of context-free Parikh images
+/// (Esparza; Verma–Seidl–Schwentick [21]), a vector of production counts
+/// extends to a derivation tree iff it satisfies the flow equations and the
+/// used-production graph is connected to the start symbol. We enforce flow
+/// directly and connectivity by lazy cuts.
+///
+/// Tails are instantiated *sparsely*: T_{p,q} exists only when p can still
+/// reach, along δh edges, some state with a δv transition into q. Without
+/// this the grammar is Θ(|Q|²)-dense and intractable for schema automata.
+struct Production {
+  VarId var;
+  size_t lhs;
+  size_t rhs[2];
+  int num_rhs;
+  /// Symbol this production reads (PEnd/PStep carry the label of the node
+  /// whose outgoing transition they encode); kNoSymbol otherwise.
+  Symbol reads = kNoSymbol;
+  /// For PLeaf/PInner: the state whose node count this production feeds.
+  TreeState node_state = 0;
+  bool counts_node = false;
+};
+
+struct Grammar {
+  size_t q = 0;
+  VarId base = 0;       // first production variable id
+  size_t num_nonterminals = 0;
+  std::vector<Production> productions;
+
+  // Nonterminal ids: N_q = q | C_q = q + s | tails mapped sparsely.
+  size_t NT_Node(TreeState s) const { return s; }
+  size_t NT_Chain(TreeState s) const { return q + s; }
+  std::map<std::pair<TreeState, TreeState>, size_t> tail_ids;
+
+  VarId TotalVars() const {
+    return base + static_cast<VarId>(productions.size());
+  }
+};
+
+Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
+  Grammar g;
+  g.q = a.num_states();
+  g.base = base;
+  g.num_nonterminals = 2 * g.q;
+
+  const auto& hor = a.horizontal();
+  const auto& ver = a.vertical();
+
+  // Sparse tail support: for each parent state q, the set of chain states p
+  // from which a δv into q is still reachable along δh edges.
+  // Backward closure from δv-sources of q over δh edges.
+  std::vector<std::vector<char>> support(g.q, std::vector<char>(g.q, 0));
+  for (TreeState parent = 0; parent < g.q; ++parent) {
+    std::vector<TreeState> work;
+    for (const auto& [p, sym, tgt] : ver) {
+      (void)sym;
+      if (tgt == parent && !support[parent][p]) {
+        support[parent][p] = 1;
+        work.push_back(p);
+      }
+    }
+    while (!work.empty()) {
+      TreeState cur = work.back();
+      work.pop_back();
+      for (const auto& [p, sym, pp] : hor) {
+        (void)sym;
+        if (pp == cur && !support[parent][p]) {
+          support[parent][p] = 1;
+          work.push_back(p);
+        }
+      }
+    }
+  }
+
+  auto tail_id = [&g](TreeState p, TreeState parent) {
+    auto [it, fresh] =
+        g.tail_ids.emplace(std::make_pair(p, parent), g.num_nonterminals);
+    if (fresh) ++g.num_nonterminals;
+    return it->second;
+  };
+
+  VarId next = base;
+  for (TreeState s = 0; s < g.q; ++s) {
+    if (a.IsInitial(s)) {
+      Production p{next++, g.NT_Node(s), {0, 0}, 0};
+      p.node_state = s;
+      p.counts_node = true;
+      g.productions.push_back(p);
+    }
+    {
+      Production p{next++, g.NT_Node(s), {g.NT_Chain(s), 0}, 1};
+      p.node_state = s;
+      p.counts_node = true;
+      g.productions.push_back(p);
+    }
+    for (TreeState first = 0; first < g.q; ++first) {
+      if (a.IsNonFirst(first) || !support[s][first]) continue;
+      Production p{next++,
+                   g.NT_Chain(s),
+                   {g.NT_Node(first), tail_id(first, s)},
+                   2};
+      g.productions.push_back(p);
+    }
+  }
+  for (const auto& [p, sym, tgt] : ver) {
+    Production prod{next++, tail_id(p, tgt), {0, 0}, 0};
+    prod.reads = sym;
+    g.productions.push_back(prod);
+  }
+  for (const auto& [p, sym, pp] : hor) {
+    for (TreeState parent = 0; parent < g.q; ++parent) {
+      if (!support[parent][p] || !support[parent][pp]) continue;
+      Production prod{next++,
+                      tail_id(p, parent),
+                      {g.NT_Node(pp), tail_id(pp, parent)},
+                      2};
+      prod.reads = sym;
+      g.productions.push_back(prod);
+    }
+  }
+  return g;
+}
+
+/// Flow equations, node-count and optional symbol-count definitions for a
+/// root with state `root` and label `root_label`.
+LinearConstraint BuildFlowConstraints(const TreeAutomaton& a, const Grammar& g,
+                                      TreeState root, Symbol root_label,
+                                      bool use_symbol_counts) {
+  std::vector<LinearExpr> flow(g.num_nonterminals);
+  for (const Production& p : g.productions) {
+    flow[p.lhs].AddTerm(p.var, BigInt(1));
+    for (int i = 0; i < p.num_rhs; ++i) {
+      flow[p.rhs[i]].AddTerm(p.var, BigInt(-1));
+    }
+  }
+  flow[g.NT_Node(root)].AddConstant(BigInt(-1));
+
+  std::vector<LinearConstraint> parts;
+  parts.reserve(g.num_nonterminals + g.q + a.num_symbols());
+  for (auto& e : flow) parts.push_back(LinearConstraint::Eq(std::move(e)));
+
+  // n_s == expansions of N_s.
+  for (TreeState s = 0; s < g.q; ++s) {
+    LinearExpr def = LinearExpr::Variable(static_cast<VarId>(s));
+    for (const Production& p : g.productions) {
+      if (p.counts_node && p.node_state == s) def.AddTerm(p.var, BigInt(-1));
+    }
+    parts.push_back(LinearConstraint::Eq(std::move(def)));
+  }
+  if (use_symbol_counts) {
+    // Every non-root node's label is read by exactly one PEnd/PStep usage.
+    for (Symbol sym = 0; sym < a.num_symbols(); ++sym) {
+      LinearExpr def = LinearExpr::Variable(static_cast<VarId>(g.q + sym));
+      for (const Production& p : g.productions) {
+        if (p.reads == sym) def.AddTerm(p.var, BigInt(-1));
+      }
+      if (sym == root_label) def.AddConstant(BigInt(-1));
+      parts.push_back(LinearConstraint::Eq(std::move(def)));
+    }
+  }
+  return LinearConstraint::And(std::move(parts));
+}
+
+/// Used nonterminals that the used-production graph cannot reach from the
+/// start symbol; empty means the solution is realizable.
+std::vector<size_t> UnreachableUsedNonterminals(const Grammar& g,
+                                                const IntAssignment& sol,
+                                                TreeState root) {
+  std::vector<char> used(g.num_nonterminals, 0);
+  for (const Production& p : g.productions) {
+    if (!sol[p.var].IsZero()) used[p.lhs] = 1;
+  }
+  std::vector<char> reach(g.num_nonterminals, 0);
+  reach[g.NT_Node(root)] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : g.productions) {
+      if (sol[p.var].IsZero() || !reach[p.lhs]) continue;
+      for (int i = 0; i < p.num_rhs; ++i) {
+        if (!reach[p.rhs[i]]) {
+          reach[p.rhs[i]] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<size_t> bad;
+  for (size_t x = 0; x < g.num_nonterminals; ++x) {
+    if (used[x] && !reach[x]) bad.push_back(x);
+  }
+  return bad;
+}
+
+/// Cut: either no U-nonterminal is expanded, or some used production outside
+/// U produces into U.
+LinearConstraint ConnectivityCut(const Grammar& g,
+                                 const std::vector<size_t>& u) {
+  std::vector<char> in_u(g.num_nonterminals, 0);
+  for (size_t x : u) in_u[x] = 1;
+  LinearExpr expansions;
+  LinearExpr crossing;
+  for (const Production& p : g.productions) {
+    if (in_u[p.lhs]) expansions.AddTerm(p.var, BigInt(1));
+    if (!in_u[p.lhs]) {
+      for (int i = 0; i < p.num_rhs; ++i) {
+        if (in_u[p.rhs[i]]) {
+          crossing.AddTerm(p.var, BigInt(1));
+          break;
+        }
+      }
+    }
+  }
+  crossing.AddConstant(BigInt(-1));  // crossing >= 1
+  return LinearConstraint::Or(LinearConstraint::Eq(std::move(expansions)),
+                              LinearConstraint::Ge(std::move(crossing)));
+}
+
+}  // namespace
+
+Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
+                                               const LctaOptions& options) {
+  const TreeAutomaton& a = lcta.automaton;
+  if (lcta.constraint.NumVarsSpanned() > lcta.NumUserVars()) {
+    return Status::InvalidArgument(
+        "LCTA constraint mentions a variable beyond the user block");
+  }
+  Grammar g = BuildGrammar(a, lcta.NumUserVars());
+  LctaEmptinessResult out;
+  out.empty = true;
+
+  IlpOptions ilp_options;
+  ilp_options.max_nodes = options.max_ilp_nodes;
+  ilp_options.max_dnf_branches = options.max_dnf_branches;
+
+  // Without symbol counting the flow system depends only on the root state,
+  // so accepting pairs sharing a state are handled once; with symbol
+  // counting the root's label contributes to a count and every pair matters.
+  std::set<std::pair<TreeState, Symbol>> roots;
+  for (const auto& [s, sym] : a.accepting()) {
+    if (a.IsNonFirst(s)) continue;  // the root has no siblings
+    roots.emplace(s, lcta.use_symbol_counts ? sym : 0);
+  }
+  for (const auto& [root, root_label] : roots) {
+    LinearConstraint flow = BuildFlowConstraints(a, g, root, root_label,
+                                                 lcta.use_symbol_counts);
+    std::vector<LinearConstraint> conjuncts = {flow, lcta.constraint};
+    for (size_t cut_round = 0;; ++cut_round) {
+      if (cut_round > options.max_cuts) {
+        return Status::ResourceExhausted(
+            "LCTA emptiness: connectivity cut budget exceeded");
+      }
+      FO2DT_ASSIGN_OR_RETURN(
+          IlpSolution sol,
+          IlpSolver::Solve(LinearConstraint::And(conjuncts), g.TotalVars(),
+                           ilp_options));
+      out.ilp_nodes += sol.nodes_explored;
+      if (!sol.feasible) break;  // this root choice yields nothing
+      std::vector<size_t> u = UnreachableUsedNonterminals(g, sol.assignment,
+                                                          root);
+      if (u.empty()) {
+        out.empty = false;
+        out.state_counts.assign(sol.assignment.begin(),
+                                sol.assignment.begin() + a.num_states());
+        return out;
+      }
+      conjuncts.push_back(ConnectivityCut(g, u));
+      ++out.connectivity_cuts;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> EnumerateTreeShapes(size_t num_nodes) {
+  // shapes[n] = parent arrays of n-node trees; forests built recursively.
+  // A forest with k nodes is a first subtree of size s plus a forest of
+  // size k - s; parent arrays use creation order (parents precede children).
+  struct Builder {
+    std::vector<std::vector<std::vector<uint32_t>>> tree_memo;  // by size
+
+    const std::vector<std::vector<uint32_t>>& Trees(size_t n) {
+      while (tree_memo.size() <= n) tree_memo.emplace_back();
+      if (n == 0 || !tree_memo[n].empty()) return tree_memo[n];
+      if (n == 1) {
+        tree_memo[1] = {{kNoNode}};
+        return tree_memo[1];
+      }
+      std::vector<std::vector<uint32_t>> out;
+      std::vector<std::vector<uint32_t>> forests = Forests(n - 1);
+      for (auto& f : forests) {
+        std::vector<uint32_t> parents = {kNoNode};
+        for (uint32_t p : f) {
+          // Forest arrays mark component roots with kNoNode; shift by one
+          // and attach component roots under the new root 0.
+          parents.push_back(p == kNoNode ? 0 : p + 1);
+        }
+        out.push_back(std::move(parents));
+      }
+      tree_memo[n] = std::move(out);
+      return tree_memo[n];
+    }
+
+    std::vector<std::vector<uint32_t>> Forests(size_t k) {
+      if (k == 0) return {{}};
+      std::vector<std::vector<uint32_t>> out;
+      for (size_t s = 1; s <= k; ++s) {
+        for (const auto& first : Trees(s)) {
+          for (const auto& rest : Forests(k - s)) {
+            std::vector<uint32_t> combined = first;  // root at index 0
+            for (uint32_t p : rest) {
+              combined.push_back(p == kNoNode ? kNoNode
+                                              : p + static_cast<uint32_t>(s));
+            }
+            out.push_back(std::move(combined));
+          }
+        }
+      }
+      return out;
+    }
+  };
+  Builder b;
+  return b.Trees(num_nodes);
+}
+
+Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes) {
+  const TreeAutomaton& a = lcta.automaton;
+  const size_t num_symbols = a.num_symbols();
+  if (lcta.num_aux > 0) {
+    return Status::NotImplemented(
+        "brute-force witness search does not support auxiliary variables");
+  }
+  for (size_t n = 1; n <= max_nodes; ++n) {
+    for (const auto& parents : EnumerateTreeShapes(n)) {
+      DataTree t;
+      (void)t.CreateRoot(0, 0);
+      for (size_t v = 1; v < n; ++v) {
+        (void)t.AppendChild(parents[v], 0, 0);
+      }
+      // Enumerate labelings (odometer over symbols).
+      std::vector<Symbol> labels(n, 0);
+      for (;;) {
+        for (NodeId v = 0; v < n; ++v) t.set_label(v, labels[v]);
+        auto runs_ok = [&]() -> Result<bool> {
+          // Odometer over per-node states; n and |Q| are tiny in the
+          // intended (test / witness) use of this function.
+          std::vector<TreeState> run(n, 0);
+          for (;;) {
+            TreeRun r(run.begin(), run.end());
+            if (a.IsAcceptingRun(t, r)) {
+              IntAssignment counts(lcta.NumUserVars(), BigInt(0));
+              for (TreeState s : run) counts[s] += BigInt(1);
+              if (lcta.use_symbol_counts) {
+                for (NodeId v = 0; v < n; ++v) {
+                  counts[a.num_states() + t.label(v)] += BigInt(1);
+                }
+              }
+              FO2DT_ASSIGN_OR_RETURN(bool ok, lcta.constraint.Evaluate(counts));
+              if (ok) return true;
+            }
+            size_t i = 0;
+            while (i < n) {
+              if (++run[i] < a.num_states()) break;
+              run[i] = 0;
+              ++i;
+            }
+            if (i == n) return false;
+          }
+        }();
+        FO2DT_RETURN_NOT_OK(runs_ok.status());
+        if (*runs_ok) return t;
+        size_t i = 0;
+        while (i < n) {
+          if (++labels[i] < num_symbols) break;
+          labels[i] = 0;
+          ++i;
+        }
+        if (i == n) break;
+      }
+    }
+  }
+  return Status::NotFound("no LCTA witness within the size bound");
+}
+
+}  // namespace fo2dt

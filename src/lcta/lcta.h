@@ -1,0 +1,90 @@
+/// \file lcta.h
+/// \brief Linear constraint tree automata and their emptiness (Theorem 2).
+///
+/// An LCTA is a nondeterministic unranked tree automaton A together with a
+/// linear constraint over A's states; it accepts a tree when some accepting
+/// run ρ satisfies the constraint on its Parikh image (|ρ⁻¹(q)|)_q.
+///
+/// Emptiness is decided through the Parikh image of accepting runs: a run is
+/// an in-tree over transition usages (every non-root node has exactly one
+/// outgoing constraint — δh to its next sibling or δv to its parent), so a
+/// vector of usage counts extends to a run iff it satisfies local flow
+/// equations plus connectivity of the used-transition graph (the classical
+/// existential-Presburger characterization of context-free Parikh images,
+/// Verma–Seidl–Schwentick [21]). We solve the flow system with the exact
+/// branch-and-bound ILP and add connectivity cuts lazily, which keeps the
+/// boolean structure small in practice; the procedure is sound and complete,
+/// with a node budget guarding against pathological cut enumeration.
+
+#ifndef FO2DT_LCTA_LCTA_H_
+#define FO2DT_LCTA_LCTA_H_
+
+#include "automata/tree_automaton.h"
+#include "solverlp/linear.h"
+
+namespace fo2dt {
+
+/// \brief A linear constraint tree automaton.
+///
+/// In `constraint`, variable v < Q := automaton.num_states() denotes the
+/// number of nodes the run maps to state v (the paper's |ρ⁻¹(q)|).
+///
+/// Two extensions used by the puzzle counting abstraction:
+/// * when `use_symbol_counts` is set, variables [Q, Q + num_symbols) denote
+///   the number of nodes labeled with each symbol;
+/// * `num_aux` further existentially quantified variables follow (ids
+///   [Q + (symbols?), … )), unconstrained except by `constraint` itself.
+struct Lcta {
+  TreeAutomaton automaton;
+  LinearConstraint constraint = LinearConstraint::True();
+  bool use_symbol_counts = false;
+  VarId num_aux = 0;
+
+  /// First id after the user-visible variable block.
+  VarId NumUserVars() const {
+    return static_cast<VarId>(automaton.num_states() +
+                              (use_symbol_counts ? automaton.num_symbols() : 0) +
+                              num_aux);
+  }
+};
+
+/// \brief Outcome of an LCTA emptiness check.
+struct LctaEmptinessResult {
+  bool empty = true;
+  /// When nonempty: a satisfying assignment of state counts (n_q per state).
+  IntAssignment state_counts;
+  /// Solver effort (for the Theorem-2 benchmark).
+  size_t ilp_nodes = 0;
+  size_t connectivity_cuts = 0;
+};
+
+/// \brief Tuning for the emptiness solver.
+struct LctaOptions {
+  /// Budget per ILP invocation.
+  size_t max_ilp_nodes = 200000;
+  /// Maximum lazy connectivity cuts before giving up (ResourceExhausted).
+  size_t max_cuts = 200;
+  /// Cap on DNF branches of the user constraint.
+  size_t max_dnf_branches = 4096;
+};
+
+/// \brief LCTA emptiness (Theorem 2). Sound and complete; may return
+/// ResourceExhausted when budgets are exceeded (never a wrong verdict).
+Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
+                                               const LctaOptions& options = {});
+
+/// \brief Brute-force reference: search for an accepted tree of size at most
+/// \p max_nodes over all shapes, labelings and runs. Exponential; used for
+/// differential testing and as a witness extractor for small instances.
+/// Returns the witness tree if found; NotFound if no tree of bounded size is
+/// accepted (which does not prove emptiness).
+Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes);
+
+/// Enumerates the parent-array representations of all ordered unranked tree
+/// shapes with exactly \p num_nodes nodes (node 0 is the root; parents precede
+/// children). Exposed for reuse by the puzzle bounded solver and tests.
+std::vector<std::vector<uint32_t>> EnumerateTreeShapes(size_t num_nodes);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_LCTA_LCTA_H_

@@ -1,0 +1,138 @@
+/// \file dnf.h
+/// \brief Data normal form (Section III-A).
+///
+/// A formula in data normal form is a disjunction of blocks
+///   ∃R_1 … R_m  ⋀_i θ_i
+/// where every θ_i is a *simple* formula of one of five kinds:
+///   (a) a data-blind property (here: a tree automaton over the extended,
+///       profiled alphabet),
+///   (b) "each class contains at most one node with type α",
+///   (c) "each class with at least one α has no β",
+///   (d) "each class with at least one α also has a β",
+///   (e) "each position with type α has profile p".
+///
+/// Types α, β are conjunctions of unary predicates and negations — here
+/// represented extensionally as sets of letters of the *extended alphabet*
+/// Σ × 2^preds (each node's letter is its label together with its predicate
+/// bit pattern), which makes type reasoning exact set algebra.
+
+#ifndef FO2DT_LOGIC_DNF_H_
+#define FO2DT_LOGIC_DNF_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/tree_automaton.h"
+#include "datatree/data_tree.h"
+#include "logic/eval.h"
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// \brief Letter of the extended alphabet: label id combined with a
+/// predicate bitmask. Encoded as label * 2^num_preds + bits.
+using ExtSymbol = uint32_t;
+
+/// \brief The extended alphabet Σ × 2^preds.
+struct ExtAlphabet {
+  size_t num_labels = 0;
+  PredId num_preds = 0;
+
+  size_t size() const { return num_labels << num_preds; }
+  ExtSymbol Make(Symbol label, uint32_t bits) const {
+    return static_cast<ExtSymbol>((label << num_preds) | bits);
+  }
+  Symbol LabelOf(ExtSymbol s) const { return s >> num_preds; }
+  uint32_t BitsOf(ExtSymbol s) const { return s & ((1u << num_preds) - 1); }
+
+  /// The profiled extension has one letter per (ext letter, profile).
+  size_t profiled_size() const { return size() * kNumProfiles; }
+  Symbol Profiled(ExtSymbol s, uint32_t profile_code) const {
+    return static_cast<Symbol>(s * kNumProfiles + profile_code);
+  }
+  ExtSymbol ExtOf(Symbol profiled) const { return profiled / kNumProfiles; }
+  uint32_t ProfileOf(Symbol profiled) const { return profiled % kNumProfiles; }
+
+  /// Human-readable letter name "a{R0,R2}".
+  std::string Name(ExtSymbol s, const Alphabet& labels) const;
+};
+
+/// \brief A type: a set of extended letters (characteristic vector).
+using TypeSet = std::vector<char>;
+
+/// Builds a TypeSet from a quantifier-free formula with one free variable,
+/// using only label and predicate atoms (boolean combinations allowed).
+/// InvalidArgument if the formula mentions binary atoms or quantifiers.
+Result<TypeSet> TypeFromFormula(const Formula& f, const ExtAlphabet& ext);
+
+/// The full type (all letters).
+TypeSet FullType(const ExtAlphabet& ext);
+/// Set operations.
+TypeSet TypeIntersect(const TypeSet& a, const TypeSet& b);
+TypeSet TypeUnion(const TypeSet& a, const TypeSet& b);
+TypeSet TypeComplement(const TypeSet& a);
+bool TypeEmpty(const TypeSet& a);
+bool TypeContains(const TypeSet& a, ExtSymbol s);
+
+/// \brief A simple class/profile formula (kinds b–e).
+struct SimpleFormula {
+  enum class Kind {
+    kAtMostOne,        ///< (b): each class has ≤ 1 node of type alpha
+    kNoCoexist,        ///< (c): no class has both an alpha and a beta
+    kImpliesPresence,  ///< (d): each class with an alpha also has a beta
+    kProfile,          ///< (e): alpha-nodes only take profiles in the mask
+  };
+  Kind kind;
+  TypeSet alpha;
+  TypeSet beta;                  // kNoCoexist / kImpliesPresence
+  uint8_t profile_mask = 0xff;   // kProfile: allowed profile codes (bit p)
+
+  std::string ToString(const ExtAlphabet& ext, const Alphabet& labels) const;
+};
+
+/// \brief One disjunct of a data normal form: conjunction of data-blind
+/// automata over the profiled extended alphabet plus simple formulas.
+struct DnfBlock {
+  /// Data-blind regular constraints; each automaton runs over the profiled
+  /// extended alphabet (ExtAlphabet::profiled_size() symbols). Conjunction.
+  std::vector<TreeAutomaton> regular;
+  std::vector<SimpleFormula> simples;
+};
+
+/// \brief A formula in data normal form.
+struct DataNormalForm {
+  ExtAlphabet ext;
+  /// Names of the predicates (diagnostics); size == ext.num_preds.
+  std::vector<std::string> pred_names;
+  /// Disjunction over blocks.
+  std::vector<DnfBlock> blocks;
+};
+
+/// Builds the profiled extended-alphabet data erasure of \p t under the
+/// interpretation \p interp: node labels become Profiled(ext letter, profile)
+/// symbols, data values are preserved (the automaton ignores them).
+Result<DataTree> BuildExtProfiledTree(const DataTree& t, const ExtAlphabet& ext,
+                                      const PredInterpretation& interp);
+
+/// Evaluates a single simple formula on \p t under \p interp.
+Result<bool> EvaluateSimple(const SimpleFormula& simple, const DataTree& t,
+                            const ExtAlphabet& ext,
+                            const PredInterpretation& interp);
+
+/// Evaluates one block (all automata and simples) under \p interp.
+Result<bool> EvaluateBlock(const DnfBlock& block, const DataTree& t,
+                           const ExtAlphabet& ext,
+                           const PredInterpretation& interp);
+
+/// Model-checks the DNF by brute force over predicate interpretations
+/// (2^(preds·nodes)); test/cross-check use only.
+Result<bool> EvaluateDnfBruteForce(const DataNormalForm& dnf, const DataTree& t,
+                                   size_t max_bits = 24);
+
+/// Converts a simple formula into the FO²(∼,+1) sentence it denotes
+/// (predicate atoms refer to the DNF's predicate ids).
+Formula SimpleToFormula(const SimpleFormula& simple, const ExtAlphabet& ext);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_LOGIC_DNF_H_

@@ -1,0 +1,261 @@
+#include "logic/eval.h"
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+PredInterpretation PredInterpretation::Empty(PredId num_preds,
+                                             size_t num_nodes) {
+  PredInterpretation out;
+  out.membership.assign(num_preds, std::vector<char>(num_nodes, 0));
+  return out;
+}
+
+namespace {
+
+/// Precomputed structural relations for O(1) pair checks.
+struct TreeIndex {
+  explicit TreeIndex(const DataTree& t) : tree(t) {
+    const size_t n = t.size();
+    pre.assign(n, 0);
+    post.assign(n, 0);
+    sibling_index.assign(n, 0);
+    size_t clock = 0;
+    // Iterative pre/post numbering.
+    struct Item {
+      NodeId node;
+      bool expanded;
+    };
+    if (n > 0) {
+      std::vector<Item> stack = {{t.root(), false}};
+      while (!stack.empty()) {
+        Item it = stack.back();
+        stack.pop_back();
+        if (it.expanded) {
+          post[it.node] = clock++;
+          continue;
+        }
+        pre[it.node] = clock++;
+        stack.push_back({it.node, true});
+        std::vector<NodeId> kids = t.Children(it.node);
+        for (size_t i = kids.size(); i-- > 0;) stack.push_back({kids[i], false});
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId prev = t.prev_sibling(v);
+      sibling_index[v] = prev == kNoNode ? 0 : sibling_index[prev] + 1;
+    }
+  }
+
+  bool Descendant(NodeId x, NodeId y) const {  // y proper descendant of x
+    return pre[x] < pre[y] && post[y] < post[x];
+  }
+  bool FollowingSibling(NodeId x, NodeId y) const {  // y after x, same parent
+    return tree.parent(x) == tree.parent(y) && tree.parent(x) != kNoNode &&
+           sibling_index[x] < sibling_index[y];
+  }
+
+  const DataTree& tree;
+  std::vector<size_t> pre;
+  std::vector<size_t> post;
+  std::vector<size_t> sibling_index;
+};
+
+// Note: sibling_index computation above relies on prev_sibling(v) < v in
+// creation order, which DataTree guarantees (children are appended left to
+// right).
+
+class PairEvaluator {
+ public:
+  PairEvaluator(const DataTree& t, const PredInterpretation* preds)
+      : t_(t), preds_(preds), index_(t), n_(t.size()) {}
+
+  Result<PairTable> Eval(const Formula& f) {
+    using Kind = Formula::Kind;
+    const size_t nn = n_ * n_;
+    switch (f.kind()) {
+      case Kind::kTrue:
+        return PairTable(nn, 1);
+      case Kind::kFalse:
+        return PairTable(nn, 0);
+      case Kind::kLabel: {
+        if (f.symbol() == kNoSymbol) {
+          return Status::InvalidArgument("label atom with no symbol");
+        }
+        return FromUnary(f.var(), [&](NodeId v) {
+          return t_.label(v) == f.symbol();
+        });
+      }
+      case Kind::kPred: {
+        if (preds_ == nullptr || f.pred() >= preds_->membership.size()) {
+          if (preds_ == nullptr) {
+            return FromUnary(f.var(), [](NodeId) { return false; });
+          }
+          return Status::InvalidArgument(
+              StringFormat("predicate $%u has no interpretation", f.pred()));
+        }
+        const std::vector<char>& member = preds_->membership[f.pred()];
+        return FromUnary(f.var(), [&](NodeId v) { return member[v] != 0; });
+      }
+      case Kind::kSameData:
+        return FromBinary(f.var(), f.var2(), [&](NodeId a, NodeId b) {
+          return t_.SameData(a, b);
+        });
+      case Kind::kEqual:
+        return FromBinary(f.var(), f.var2(),
+                          [](NodeId a, NodeId b) { return a == b; });
+      case Kind::kEdge:
+        return FromBinary(f.var(), f.var2(), [&](NodeId a, NodeId b) {
+          switch (f.axis()) {
+            case Axis::kNextSibling:
+              return t_.HorizontalSuccessor(a, b);
+            case Axis::kChild:
+              return t_.VerticalSuccessor(a, b);
+            case Axis::kFollowingSibling:
+              return index_.FollowingSibling(a, b);
+            case Axis::kDescendant:
+              return index_.Descendant(a, b);
+          }
+          return false;
+        });
+      case Kind::kNot: {
+        FO2DT_ASSIGN_OR_RETURN(PairTable sub, Eval(f.child(0)));
+        for (char& c : sub) c = !c;
+        return sub;
+      }
+      case Kind::kAnd:
+      case Kind::kOr: {
+        FO2DT_ASSIGN_OR_RETURN(PairTable acc, Eval(f.child(0)));
+        const bool is_and = f.kind() == Kind::kAnd;
+        for (size_t i = 1; i < f.children().size(); ++i) {
+          FO2DT_ASSIGN_OR_RETURN(PairTable next, Eval(f.child(i)));
+          for (size_t k = 0; k < nn; ++k) {
+            acc[k] = is_and ? (acc[k] && next[k]) : (acc[k] || next[k]);
+          }
+        }
+        return acc;
+      }
+      case Kind::kExists:
+      case Kind::kForall: {
+        FO2DT_ASSIGN_OR_RETURN(PairTable sub, Eval(f.child(0)));
+        const bool is_exists = f.kind() == Kind::kExists;
+        PairTable out(nn, 0);
+        if (f.var() == Var::kX) {
+          // Quantify over the first index; result constant in x.
+          for (NodeId y = 0; y < n_; ++y) {
+            bool acc = !is_exists;
+            for (NodeId x = 0; x < n_; ++x) {
+              bool v = sub[x * n_ + y] != 0;
+              acc = is_exists ? (acc || v) : (acc && v);
+            }
+            for (NodeId x = 0; x < n_; ++x) out[x * n_ + y] = acc;
+          }
+        } else {
+          for (NodeId x = 0; x < n_; ++x) {
+            bool acc = !is_exists;
+            for (NodeId y = 0; y < n_; ++y) {
+              bool v = sub[x * n_ + y] != 0;
+              acc = is_exists ? (acc || v) : (acc && v);
+            }
+            for (NodeId y = 0; y < n_; ++y) out[x * n_ + y] = acc;
+          }
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unreachable formula kind in evaluator");
+  }
+
+ private:
+  template <typename Fn>
+  PairTable FromUnary(Var v, Fn fn) {
+    PairTable out(n_ * n_, 0);
+    for (NodeId x = 0; x < n_; ++x) {
+      for (NodeId y = 0; y < n_; ++y) {
+        NodeId node = v == Var::kX ? x : y;
+        out[x * n_ + y] = fn(node) ? 1 : 0;
+      }
+    }
+    return out;
+  }
+
+  template <typename Fn>
+  PairTable FromBinary(Var a, Var b, Fn fn) {
+    PairTable out(n_ * n_, 0);
+    for (NodeId x = 0; x < n_; ++x) {
+      for (NodeId y = 0; y < n_; ++y) {
+        NodeId na = a == Var::kX ? x : y;
+        NodeId nb = b == Var::kX ? x : y;
+        out[x * n_ + y] = fn(na, nb) ? 1 : 0;
+      }
+    }
+    return out;
+  }
+
+  const DataTree& t_;
+  const PredInterpretation* preds_;
+  TreeIndex index_;
+  const size_t n_;
+};
+
+}  // namespace
+
+Result<PairTable> Evaluator::EvaluatePairs(const Formula& f, const DataTree& t,
+                                           const PredInterpretation* preds) {
+  if (t.empty()) {
+    return Status::InvalidArgument("evaluation requires a nonempty tree");
+  }
+  return PairEvaluator(t, preds).Eval(f);
+}
+
+Result<bool> Evaluator::EvaluateSentence(const Formula& f, const DataTree& t,
+                                         const PredInterpretation* preds) {
+  if (!f.IsSentence()) {
+    return Status::InvalidArgument("EvaluateSentence requires a sentence");
+  }
+  FO2DT_ASSIGN_OR_RETURN(PairTable table, EvaluatePairs(f, t, preds));
+  return table[0] != 0;  // constant over all pairs for sentences
+}
+
+Result<std::vector<char>> Evaluator::EvaluateUnary(
+    const Formula& f, const DataTree& t, Var free_var,
+    const PredInterpretation* preds) {
+  uint8_t fv = f.FreeVars();
+  uint8_t want = static_cast<uint8_t>(1u << static_cast<uint8_t>(free_var));
+  if ((fv | want) != want) {
+    return Status::InvalidArgument(
+        "EvaluateUnary: formula has other free variables");
+  }
+  FO2DT_ASSIGN_OR_RETURN(PairTable table, EvaluatePairs(f, t, preds));
+  const size_t n = t.size();
+  std::vector<char> out(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    out[v] = free_var == Var::kX ? table[v * n + 0] : table[0 * n + v];
+  }
+  return out;
+}
+
+Result<bool> Evaluator::EvaluateEmsoBruteForce(const Emso2Formula& f,
+                                               const DataTree& t,
+                                               size_t max_bits) {
+  const size_t n = t.size();
+  const size_t bits = f.num_preds * n;
+  if (bits > max_bits) {
+    return Status::ResourceExhausted(
+        StringFormat("EMSO brute force needs %zu bits > cap %zu", bits,
+                     max_bits));
+  }
+  const uint64_t limit = 1ULL << bits;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    PredInterpretation interp = PredInterpretation::Empty(f.num_preds, n);
+    for (size_t b = 0; b < bits; ++b) {
+      if (mask & (1ULL << b)) interp.membership[b / n][b % n] = 1;
+    }
+    FO2DT_ASSIGN_OR_RETURN(bool ok,
+                           EvaluateSentence(f.core, t, &interp));
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,62 @@
+/// \file eval.h
+/// \brief Model checking FO²(∼,<,+1) on concrete data trees.
+///
+/// The evaluator computes, bottom-up over the AST, the truth table of every
+/// subformula over all pairs of nodes — the classic O(|φ|·n²) FO² algorithm.
+/// It serves as the semantic ground truth for the whole library: the puzzle
+/// compiler, the XPath translation and the constraint compilers are all
+/// differential-tested against it.
+
+#ifndef FO2DT_LOGIC_EVAL_H_
+#define FO2DT_LOGIC_EVAL_H_
+
+#include <vector>
+
+#include "datatree/data_tree.h"
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// \brief Interpretation of the unary predicates R_0..R_{m-1} over a tree:
+/// membership[p][v] != 0 iff node v is in R_p.
+struct PredInterpretation {
+  std::vector<std::vector<char>> membership;
+
+  /// All-empty interpretation for \p num_preds predicates over \p num_nodes.
+  static PredInterpretation Empty(PredId num_preds, size_t num_nodes);
+};
+
+/// \brief Truth table of a formula over variable pairs: entry [x*n + y].
+using PairTable = std::vector<char>;
+
+/// \brief FO² model checker.
+class Evaluator {
+ public:
+  /// Truth table of \p f over all (x, y) node pairs of \p t. When \p preds is
+  /// null, every R-atom evaluates to false. InvalidArgument when \p f uses a
+  /// predicate id beyond the interpretation, or a label beyond the table.
+  static Result<PairTable> EvaluatePairs(const Formula& f, const DataTree& t,
+                                         const PredInterpretation* preds);
+
+  /// Truth value of a sentence on \p t. InvalidArgument for open formulas and
+  /// for empty trees (the paper's structures are nonempty).
+  static Result<bool> EvaluateSentence(const Formula& f, const DataTree& t,
+                                       const PredInterpretation* preds = nullptr);
+
+  /// The set of nodes v such that f(v) holds, for a formula with exactly one
+  /// free variable \p free_var.
+  static Result<std::vector<char>> EvaluateUnary(
+      const Formula& f, const DataTree& t, Var free_var,
+      const PredInterpretation* preds = nullptr);
+
+  /// Model-checks the EMSO² sentence by exhaustive search over the 2^(m·n)
+  /// predicate interpretations. Exponential — test/cross-check use only.
+  /// ResourceExhausted when m·n exceeds \p max_bits.
+  static Result<bool> EvaluateEmsoBruteForce(const Emso2Formula& f,
+                                             const DataTree& t,
+                                             size_t max_bits = 24);
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_LOGIC_EVAL_H_

@@ -1,0 +1,325 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+const char* VarName(Var v) { return v == Var::kX ? "x" : "y"; }
+
+Formula Formula::True() { return Make({Kind::kTrue}); }
+Formula Formula::False() { return Make({Kind::kFalse}); }
+
+Formula Formula::Label(Symbol a, Var v) {
+  Node n{Kind::kLabel};
+  n.symbol = a;
+  n.var = v;
+  return Make(std::move(n));
+}
+
+Formula Formula::Pred(PredId p, Var v) {
+  Node n{Kind::kPred};
+  n.pred = p;
+  n.var = v;
+  return Make(std::move(n));
+}
+
+Formula Formula::SameData(Var v, Var w) {
+  Node n{Kind::kSameData};
+  n.var = v;
+  n.var2 = w;
+  return Make(std::move(n));
+}
+
+Formula Formula::Equal(Var v, Var w) {
+  Node n{Kind::kEqual};
+  n.var = v;
+  n.var2 = w;
+  return Make(std::move(n));
+}
+
+Formula Formula::Edge(Axis axis, Var from, Var to) {
+  Node n{Kind::kEdge};
+  n.axis = axis;
+  n.var = from;
+  n.var2 = to;
+  return Make(std::move(n));
+}
+
+Formula Formula::Not(Formula f) {
+  Node n{Kind::kNot};
+  n.children.push_back(std::move(f));
+  return Make(std::move(n));
+}
+
+Formula Formula::And(std::vector<Formula> parts) {
+  if (parts.empty()) return True();
+  if (parts.size() == 1) return parts[0];
+  Node n{Kind::kAnd};
+  n.children = std::move(parts);
+  return Make(std::move(n));
+}
+
+Formula Formula::Or(std::vector<Formula> parts) {
+  if (parts.empty()) return False();
+  if (parts.size() == 1) return parts[0];
+  Node n{Kind::kOr};
+  n.children = std::move(parts);
+  return Make(std::move(n));
+}
+
+Formula Formula::Implies(Formula a, Formula b) {
+  return Or(Not(std::move(a)), std::move(b));
+}
+
+Formula Formula::Iff(Formula a, Formula b) {
+  Formula na = Not(a);
+  Formula nb = Not(b);
+  return And(Or(na, std::move(b)), Or(std::move(a), nb));
+}
+
+Formula Formula::Exists(Var v, Formula body) {
+  Node n{Kind::kExists};
+  n.var = v;
+  n.children.push_back(std::move(body));
+  return Make(std::move(n));
+}
+
+Formula Formula::Forall(Var v, Formula body) {
+  Node n{Kind::kForall};
+  n.var = v;
+  n.children.push_back(std::move(body));
+  return Make(std::move(n));
+}
+
+uint8_t Formula::FreeVars() const {
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return 0;
+    case Kind::kLabel:
+    case Kind::kPred:
+      return static_cast<uint8_t>(1u << static_cast<uint8_t>(var()));
+    case Kind::kSameData:
+    case Kind::kEqual:
+    case Kind::kEdge:
+      return static_cast<uint8_t>((1u << static_cast<uint8_t>(var())) |
+                                  (1u << static_cast<uint8_t>(var2())));
+    case Kind::kNot:
+      return child(0).FreeVars();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      uint8_t m = 0;
+      for (const Formula& c : children()) m |= c.FreeVars();
+      return m;
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return static_cast<uint8_t>(
+          child(0).FreeVars() & ~(1u << static_cast<uint8_t>(var())));
+  }
+  return 0;
+}
+
+bool Formula::UsesData() const {
+  if (kind() == Kind::kSameData) return true;
+  for (const Formula& c : children()) {
+    if (c.UsesData()) return true;
+  }
+  return false;
+}
+
+bool Formula::UsesOrderAxes() const {
+  if (kind() == Kind::kEdge &&
+      (axis() == Axis::kFollowingSibling || axis() == Axis::kDescendant)) {
+    return true;
+  }
+  for (const Formula& c : children()) {
+    if (c.UsesOrderAxes()) return true;
+  }
+  return false;
+}
+
+bool Formula::IsQuantifierFree() const {
+  if (kind() == Kind::kExists || kind() == Kind::kForall) return false;
+  for (const Formula& c : children()) {
+    if (!c.IsQuantifierFree()) return false;
+  }
+  return true;
+}
+
+PredId Formula::NumPredsSpanned() const {
+  PredId m = kind() == Kind::kPred ? pred() + 1 : 0;
+  for (const Formula& c : children()) m = std::max(m, c.NumPredsSpanned());
+  return m;
+}
+
+Symbol Formula::NumSymbolsSpanned() const {
+  Symbol m = kind() == Kind::kLabel ? symbol() + 1 : 0;
+  for (const Formula& c : children()) m = std::max(m, c.NumSymbolsSpanned());
+  return m;
+}
+
+Formula Formula::ToNnf() const { return ToNnfImpl(false); }
+
+Formula Formula::ToNnfImpl(bool negate) const {
+  switch (kind()) {
+    case Kind::kTrue:
+      return negate ? False() : *this;
+    case Kind::kFalse:
+      return negate ? True() : *this;
+    case Kind::kLabel:
+    case Kind::kPred:
+    case Kind::kSameData:
+    case Kind::kEqual:
+    case Kind::kEdge:
+      return negate ? Not(*this) : *this;
+    case Kind::kNot:
+      return child(0).ToNnfImpl(!negate);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(children().size());
+      for (const Formula& c : children()) parts.push_back(c.ToNnfImpl(negate));
+      bool is_and = (kind() == Kind::kAnd) != negate;
+      return is_and ? And(std::move(parts)) : Or(std::move(parts));
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      Formula body = child(0).ToNnfImpl(negate);
+      bool is_exists = (kind() == Kind::kExists) != negate;
+      return is_exists ? Exists(var(), std::move(body))
+                       : Forall(var(), std::move(body));
+    }
+  }
+  return *this;
+}
+
+Formula Formula::RenameFreeVar(Var from, Var to) const {
+  if (from == to) return *this;
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return *this;
+    case Kind::kLabel:
+      return var() == from ? Label(symbol(), to) : *this;
+    case Kind::kPred:
+      return var() == from ? Pred(pred(), to) : *this;
+    case Kind::kSameData:
+      return SameData(var() == from ? to : var(), var2() == from ? to : var2());
+    case Kind::kEqual:
+      return Equal(var() == from ? to : var(), var2() == from ? to : var2());
+    case Kind::kEdge:
+      return Edge(axis(), var() == from ? to : var(),
+                  var2() == from ? to : var2());
+    case Kind::kNot:
+      return Not(child(0).RenameFreeVar(from, to));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(children().size());
+      for (const Formula& c : children()) {
+        parts.push_back(c.RenameFreeVar(from, to));
+      }
+      return kind() == Kind::kAnd ? And(std::move(parts)) : Or(std::move(parts));
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      if (var() == from) return *this;  // `from` is bound below: no free occ.
+      Formula body = child(0).RenameFreeVar(from, to);
+      return kind() == Kind::kExists ? Exists(var(), std::move(body))
+                                     : Forall(var(), std::move(body));
+    }
+  }
+  return *this;
+}
+
+namespace {
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kNextSibling:
+      return "next";
+    case Axis::kChild:
+      return "child";
+    case Axis::kFollowingSibling:
+      return "foll";
+    case Axis::kDescendant:
+      return "desc";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Formula::ToString(const Alphabet& alphabet) const {
+  switch (kind()) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kLabel: {
+      std::string name = symbol() < alphabet.size()
+                             ? alphabet.Name(symbol())
+                             : StringFormat("sym%u", symbol());
+      return name + "(" + VarName(var()) + ")";
+    }
+    case Kind::kPred:
+      return StringFormat("$%u(%s)", pred(), VarName(var()));
+    case Kind::kSameData:
+      return StringFormat("%s ~ %s", VarName(var()), VarName(var2()));
+    case Kind::kEqual:
+      return StringFormat("%s = %s", VarName(var()), VarName(var2()));
+    case Kind::kEdge:
+      return StringFormat("%s(%s,%s)", AxisName(axis()), VarName(var()),
+                          VarName(var2()));
+    case Kind::kNot:
+      return "!" + child(0).ToString(alphabet);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children().size());
+      for (const Formula& c : children()) parts.push_back(c.ToString(alphabet));
+      return "(" + JoinToString(parts, kind() == Kind::kAnd ? " & " : " | ") +
+             ")";
+    }
+    case Kind::kExists:
+      return StringFormat("exists %s. ", VarName(var())) +
+             child(0).ToString(alphabet);
+    case Kind::kForall:
+      return StringFormat("forall %s. ", VarName(var())) +
+             child(0).ToString(alphabet);
+  }
+  return "?";
+}
+
+bool Formula::EqualsFormula(const Formula& other) const {
+  if (node_ == other.node_) return true;
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return true;
+    case Kind::kLabel:
+      return symbol() == other.symbol() && var() == other.var();
+    case Kind::kPred:
+      return pred() == other.pred() && var() == other.var();
+    case Kind::kSameData:
+    case Kind::kEqual:
+      return var() == other.var() && var2() == other.var2();
+    case Kind::kEdge:
+      return axis() == other.axis() && var() == other.var() &&
+             var2() == other.var2();
+    default: {
+      if (kind() == Kind::kExists || kind() == Kind::kForall) {
+        if (var() != other.var()) return false;
+      }
+      if (children().size() != other.children().size()) return false;
+      for (size_t i = 0; i < children().size(); ++i) {
+        if (!child(i).EqualsFormula(other.child(i))) return false;
+      }
+      return true;
+    }
+  }
+}
+
+}  // namespace fo2dt

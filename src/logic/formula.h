@@ -1,0 +1,156 @@
+/// \file formula.h
+/// \brief Abstract syntax of FO²(∼,<,+1) on data trees (Section II).
+///
+/// The logic has exactly two variables, x and y. Atomic formulas are label
+/// tests a(x), unary-predicate tests R(x) (for the existential second-order
+/// predicates of EMSO², and for attribute markers), data equality x ~ y,
+/// variable equality x = y, and the four structural edges:
+///   E→ (next sibling), E↓ (child), E⇒ (following sibling), E⇓ (descendant).
+/// FO²(∼,+1) is the fragment that avoids E⇒ and E⇓ (query with UsesOrderAxes).
+///
+/// Formulas are immutable trees shared by shared_ptr; all combinators are
+/// cheap and the AST can be safely reused across threads.
+
+#ifndef FO2DT_LOGIC_FORMULA_H_
+#define FO2DT_LOGIC_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol.h"
+
+namespace fo2dt {
+
+/// \brief One of the two variables of FO².
+enum class Var : uint8_t { kX = 0, kY = 1 };
+
+/// The other variable.
+inline Var OtherVar(Var v) { return v == Var::kX ? Var::kY : Var::kX; }
+
+/// "x" or "y".
+const char* VarName(Var v);
+
+/// \brief Structural binary predicates of the signature.
+enum class Axis : uint8_t {
+  kNextSibling,       ///< E→(x, y): y is the next sibling of x
+  kChild,             ///< E↓(x, y): y is a child of x
+  kFollowingSibling,  ///< E⇒(x, y): transitive closure of E→
+  kDescendant,        ///< E⇓(x, y): transitive closure of E↓
+};
+
+/// \brief Id of a unary predicate (EMSO² set variable / marker).
+using PredId = uint32_t;
+
+/// \brief An FO²(∼,<,+1) formula.
+class Formula {
+ public:
+  enum class Kind : uint8_t {
+    kTrue,
+    kFalse,
+    kLabel,     ///< a(v)
+    kPred,      ///< R(v)
+    kSameData,  ///< v ~ w
+    kEqual,     ///< v = w
+    kEdge,      ///< axis(v, w)
+    kNot,
+    kAnd,
+    kOr,
+    kExists,  ///< ∃v ψ
+    kForall,  ///< ∀v ψ
+  };
+
+  static Formula True();
+  static Formula False();
+  static Formula Label(Symbol a, Var v);
+  static Formula Pred(PredId p, Var v);
+  static Formula SameData(Var v, Var w);
+  static Formula Equal(Var v, Var w);
+  static Formula Edge(Axis axis, Var from, Var to);
+  static Formula Not(Formula f);
+  static Formula And(std::vector<Formula> parts);
+  static Formula And(Formula a, Formula b) { return And(std::vector<Formula>{std::move(a), std::move(b)}); }
+  static Formula Or(std::vector<Formula> parts);
+  static Formula Or(Formula a, Formula b) { return Or(std::vector<Formula>{std::move(a), std::move(b)}); }
+  static Formula Implies(Formula a, Formula b);
+  static Formula Iff(Formula a, Formula b);
+  static Formula Exists(Var v, Formula body);
+  static Formula Forall(Var v, Formula body);
+
+  Kind kind() const { return node_->kind; }
+  /// The variable of a kLabel/kPred/kExists/kForall node, or the first
+  /// variable of a binary atom.
+  Var var() const { return node_->var; }
+  /// The second variable of a binary atom (kSameData/kEqual/kEdge).
+  Var var2() const { return node_->var2; }
+  Symbol symbol() const { return node_->symbol; }
+  PredId pred() const { return node_->pred; }
+  Axis axis() const { return node_->axis; }
+  const std::vector<Formula>& children() const { return node_->children; }
+  const Formula& child(size_t i) const { return node_->children[i]; }
+
+  /// Bitmask of free variables: bit 0 for x, bit 1 for y.
+  uint8_t FreeVars() const;
+  /// True when no variable occurs free (a sentence).
+  bool IsSentence() const { return FreeVars() == 0; }
+  /// True when ∼ occurs anywhere.
+  bool UsesData() const;
+  /// True when E⇒ or E⇓ occurs anywhere (outside FO²(∼,+1)).
+  bool UsesOrderAxes() const;
+  /// True when no quantifier occurs.
+  bool IsQuantifierFree() const;
+  /// One plus the largest PredId used; 0 when none.
+  PredId NumPredsSpanned() const;
+  /// One plus the largest label Symbol used; 0 when none.
+  Symbol NumSymbolsSpanned() const;
+
+  /// Negation normal form: negation only on atoms, no kNot above kNot, with
+  /// ¬true/¬false folded.
+  Formula ToNnf() const;
+
+  /// Substitutes variable \p from by \p to in free positions. Only valid when
+  /// the substitution does not capture (\p to must not be bound at any free
+  /// occurrence of \p from); callers in this codebase only substitute inside
+  /// quantifier-free formulas.
+  Formula RenameFreeVar(Var from, Var to) const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+  /// Structural equality (deep).
+  bool EqualsFormula(const Formula& other) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    Var var = Var::kX;
+    Var var2 = Var::kY;
+    Symbol symbol = kNoSymbol;
+    PredId pred = 0;
+    Axis axis = Axis::kNextSibling;
+    std::vector<Formula> children;
+  };
+  explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static Formula Make(Node node) {
+    return Formula(std::make_shared<Node>(std::move(node)));
+  }
+
+  Formula ToNnfImpl(bool negate) const;
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// \brief An EMSO²(∼,<,+1) formula: ∃R_0 … R_{m-1} core, where core is FO².
+///
+/// For satisfiability the prefix is irrelevant (Corollary 1); it matters for
+/// model checking, where the sets must be guessed or supplied.
+struct Emso2Formula {
+  /// Number of existentially quantified unary predicates (ids 0..m-1).
+  PredId num_preds = 0;
+  Formula core = Formula::True();
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_LOGIC_FORMULA_H_

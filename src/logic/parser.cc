@@ -1,0 +1,229 @@
+#include "logic/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+
+class FormulaParser {
+ public:
+  FormulaParser(const std::string& text, Alphabet* alphabet,
+                Alphabet* pred_names)
+      : text_(text), alphabet_(alphabet), pred_names_(pred_names) {}
+
+  Result<Formula> Parse() {
+    FO2DT_ASSIGN_OR_RETURN(Formula f, ParseIff());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StringFormat("trailing formula input at offset %zu", pos_));
+    }
+    return f;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Match(const std::string& token) {
+    SkipSpace();
+    if (text_.compare(pos_, token.size(), token) != 0) return false;
+    // Keyword tokens must not be glued to identifier characters.
+    if (std::isalpha(static_cast<unsigned char>(token[0]))) {
+      size_t end = pos_ + token.size();
+      if (end < text_.size() &&
+          (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+           text_[end] == '_')) {
+        return false;
+      }
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  bool PeekChar(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(
+          StringFormat("expected identifier at offset %zu", start));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<Var> ParseVar() {
+    FO2DT_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+    if (name == "x") return Var::kX;
+    if (name == "y") return Var::kY;
+    return Status::ParseError("expected variable x or y, got: " + name);
+  }
+
+  Result<Formula> ParseIff() {
+    FO2DT_ASSIGN_OR_RETURN(Formula left, ParseImpl());
+    while (Match("<->")) {
+      FO2DT_ASSIGN_OR_RETURN(Formula right, ParseImpl());
+      left = Formula::Iff(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Formula> ParseImpl() {
+    FO2DT_ASSIGN_OR_RETURN(Formula left, ParseOr());
+    if (Match("->")) {
+      FO2DT_ASSIGN_OR_RETURN(Formula right, ParseImpl());
+      return Formula::Implies(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Formula> ParseOr() {
+    FO2DT_ASSIGN_OR_RETURN(Formula left, ParseAnd());
+    std::vector<Formula> parts = {std::move(left)};
+    while (PeekChar('|')) {
+      ++pos_;
+      FO2DT_ASSIGN_OR_RETURN(Formula next, ParseAnd());
+      parts.push_back(std::move(next));
+    }
+    return Formula::Or(std::move(parts));
+  }
+
+  Result<Formula> ParseAnd() {
+    FO2DT_ASSIGN_OR_RETURN(Formula left, ParseUnary());
+    std::vector<Formula> parts = {std::move(left)};
+    while (PeekChar('&')) {
+      ++pos_;
+      FO2DT_ASSIGN_OR_RETURN(Formula next, ParseUnary());
+      parts.push_back(std::move(next));
+    }
+    return Formula::And(std::move(parts));
+  }
+
+  Result<Formula> ParseUnary() {
+    if (PeekChar('!')) {
+      // Distinguish `!` (negation) from `!=` (handled in atoms).
+      size_t save = pos_;
+      ++pos_;
+      if (PeekChar('=')) {
+        pos_ = save;  // leave for atom parsing error path
+      } else {
+        FO2DT_ASSIGN_OR_RETURN(Formula inner, ParseUnary());
+        return Formula::Not(std::move(inner));
+      }
+    }
+    if (Match("exists")) {
+      FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
+      if (!Match(".")) return Status::ParseError("expected '.' after exists");
+      FO2DT_ASSIGN_OR_RETURN(Formula body, ParseIff());
+      return Formula::Exists(v, std::move(body));
+    }
+    if (Match("forall")) {
+      FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
+      if (!Match(".")) return Status::ParseError("expected '.' after forall");
+      FO2DT_ASSIGN_OR_RETURN(Formula body, ParseIff());
+      return Formula::Forall(v, std::move(body));
+    }
+    return ParseAtom();
+  }
+
+  Result<Formula> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of formula");
+    }
+    if (PeekChar('(')) {
+      ++pos_;
+      FO2DT_ASSIGN_OR_RETURN(Formula inner, ParseIff());
+      if (!Match(")")) return Status::ParseError("expected ')'");
+      return inner;
+    }
+    if (PeekChar('$')) {
+      ++pos_;
+      FO2DT_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+      if (pred_names_ == nullptr) {
+        return Status::ParseError("predicate atoms ($) not allowed here");
+      }
+      if (!Match("(")) return Status::ParseError("expected '(' after $pred");
+      FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
+      if (!Match(")")) return Status::ParseError("expected ')' after $pred var");
+      return Formula::Pred(pred_names_->Intern(name), v);
+    }
+    if (Match("true")) return Formula::True();
+    if (Match("false")) return Formula::False();
+
+    FO2DT_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    // Variable-led atoms: x ~ y, x = y, x != y.
+    if (ident == "x" || ident == "y") {
+      Var v = ident == "x" ? Var::kX : Var::kY;
+      if (Match("~")) {
+        FO2DT_ASSIGN_OR_RETURN(Var w, ParseVar());
+        return Formula::SameData(v, w);
+      }
+      if (Match("!=")) {
+        FO2DT_ASSIGN_OR_RETURN(Var w, ParseVar());
+        return Formula::Not(Formula::Equal(v, w));
+      }
+      if (Match("=")) {
+        FO2DT_ASSIGN_OR_RETURN(Var w, ParseVar());
+        return Formula::Equal(v, w);
+      }
+      return Status::ParseError("expected ~, = or != after variable");
+    }
+    // Relation or label atom: ident '(' var [',' var] ')'.
+    if (!Match("(")) {
+      return Status::ParseError("expected '(' after identifier " + ident);
+    }
+    FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
+    if (Match(",")) {
+      FO2DT_ASSIGN_OR_RETURN(Var w, ParseVar());
+      if (!Match(")")) return Status::ParseError("expected ')' after relation");
+      if (ident == "next") return Formula::Edge(Axis::kNextSibling, v, w);
+      if (ident == "child") return Formula::Edge(Axis::kChild, v, w);
+      if (ident == "foll") return Formula::Edge(Axis::kFollowingSibling, v, w);
+      if (ident == "desc") return Formula::Edge(Axis::kDescendant, v, w);
+      return Status::ParseError("unknown binary relation: " + ident);
+    }
+    if (!Match(")")) return Status::ParseError("expected ')' after label atom");
+    if (ident == "next" || ident == "child" || ident == "foll" ||
+        ident == "desc" || ident == "true" || ident == "false" ||
+        ident == "exists" || ident == "forall" || ident == "x" ||
+        ident == "y") {
+      return Status::ParseError("reserved word used as label: " + ident);
+    }
+    return Formula::Label(alphabet_->Intern(ident), v);
+  }
+
+  const std::string& text_;
+  Alphabet* alphabet_;
+  Alphabet* pred_names_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> ParseFormula(const std::string& text, Alphabet* alphabet,
+                             Alphabet* pred_names) {
+  return FormulaParser(text, alphabet, pred_names).Parse();
+}
+
+Result<Formula> ParseFormula(const std::string& text, Alphabet* alphabet) {
+  return ParseFormula(text, alphabet, nullptr);
+}
+
+}  // namespace fo2dt

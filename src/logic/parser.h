@@ -1,0 +1,43 @@
+/// \file parser.h
+/// \brief Concrete syntax for FO²(∼,<,+1) formulas.
+///
+/// Grammar (precedence low to high: <->, ->, |, &, !, quantifiers bind to
+/// the end of the enclosing scope):
+///
+///   formula  := iff
+///   iff      := impl ('<->' impl)*
+///   impl     := or ('->' or)*          -- right associative
+///   or       := and ('|' and)*
+///   and      := unary ('&' unary)*
+///   unary    := '!' unary | quant | atom
+///   quant    := ('exists' | 'forall') var '.' formula
+///   atom     := '(' formula ')' | 'true' | 'false'
+///             | var '~' var | var '=' var | var '!=' var
+///             | ident '(' var ')'            -- label test, e.g. a(x)
+///             | '$' ident '(' var ')'        -- unary predicate $R(x)
+///             | rel '(' var ',' var ')'      -- rel in next,child,foll,desc
+///   var      := 'x' | 'y'
+///
+/// `x != y` is sugar for `!(x = y)`. Label names are interned into the
+/// supplied alphabet; predicate names into the supplied predicate catalog.
+
+#ifndef FO2DT_LOGIC_PARSER_H_
+#define FO2DT_LOGIC_PARSER_H_
+
+#include <string>
+
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// Parses \p text; labels are interned into \p alphabet, `$name` predicates
+/// into \p pred_names (appended on first use; index == PredId).
+Result<Formula> ParseFormula(const std::string& text, Alphabet* alphabet,
+                             Alphabet* pred_names);
+
+/// Convenience overload without predicate support (`$` atoms are errors).
+Result<Formula> ParseFormula(const std::string& text, Alphabet* alphabet);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_LOGIC_PARSER_H_

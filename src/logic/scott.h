@@ -1,0 +1,51 @@
+/// \file scott.h
+/// \brief Scott normal form for FO² sentences.
+///
+/// Every FO² sentence φ is equisatisfiable with
+///   ∃R_1 … R_m ( ∀x∀y χ0  ∧  ⋀_i ∀x∃y χ_i )
+/// where the χ's are quantifier-free and the R's are fresh unary predicates —
+/// the classical first step of every FO² decision procedure (Grädel–Otto
+/// [14]), and the shape from which the paper's data-normal-form conversion
+/// (Lemma 2) starts. The transformation is linear: one fresh predicate per
+/// quantified subformula.
+
+#ifndef FO2DT_LOGIC_SCOTT_H_
+#define FO2DT_LOGIC_SCOTT_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// \brief A sentence in Scott normal form.
+struct ScottNormalForm {
+  /// Total number of unary predicates in use (original + fresh); fresh
+  /// predicates occupy ids [first_fresh, num_preds).
+  PredId num_preds = 0;
+  PredId first_fresh = 0;
+  /// Quantifier-free χ0; the sentence asserts ∀x∀y χ0. May mention both vars.
+  Formula universal = Formula::True();
+  /// Quantifier-free χ_i with free variables ⊆ {x, y}; each asserts ∀x∃y χ_i.
+  std::vector<Formula> witnesses;
+};
+
+/// Converts an FO² \p sentence into Scott normal form. \p num_existing_preds
+/// is the number of predicate ids already in use (fresh ones are appended).
+/// The result is equisatisfiable with ∃(fresh R's) over any structure, and
+/// every model of the result is a model of \p sentence (after forgetting the
+/// fresh predicates).
+Result<ScottNormalForm> ToScottNormalForm(const Formula& sentence,
+                                          PredId num_existing_preds);
+
+/// Swaps the roles of x and y in a quantifier-free formula.
+Result<Formula> SwapVars(const Formula& quantifier_free);
+
+/// Rebuilds the FO² sentence asserted by \p snf (with the fresh predicates
+/// left free, i.e. as an EMSO² core):
+///   ∀x∀y χ0 ∧ ⋀_i ∀x∃y χ_i.
+Formula ScottToFormula(const ScottNormalForm& snf);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_LOGIC_SCOTT_H_

@@ -1,0 +1,107 @@
+/// \file puzzle.h
+/// \brief Puzzles (Section III): the normal form for EMSO²(∼,+1).
+///
+/// A puzzle over Σ is a pair (L, F) where L is a regular language over
+/// Σ × Pro and F a set of accepting pairs (D, S) of disjoint letter sets. A
+/// data tree t solves (L, F) when the data erasure of its profiled tree lies
+/// in L and every class matches some pair: all its labels come from D ∪ S
+/// and every "dog" letter in D occurs exactly once ("sheep" letters in S are
+/// unrestricted).
+///
+/// Representation notes.
+/// * Σ here is the extended alphabet (base labels × predicate bit patterns)
+///   of a data normal form, so puzzle letters are full atomic types.
+/// * F is kept *symbolically*, as the class-level simple formulas (kinds
+///   b/c/d) it stems from: |F| is astronomically large (Table I feeds on
+///   |F| ∈ |Σ|-exponential counts), so enumerating pairs is hopeless, while
+///   checking a concrete pair — or a concrete class — against the simple
+///   formulas is trivial. CountAcceptingPairs computes |F| exactly (as a
+///   BigInt) by dynamic programming without enumeration.
+/// * Lemma 1 soundness requires the classic marker normalization of (d)
+///   formulas ("each class with α has a β" becomes "…has exactly one marked
+///   β" for a fresh marker predicate); NormalizeImpliesPresence performs it.
+///   After normalization, class-satisfaction and pair-satisfaction coincide.
+
+#ifndef FO2DT_PUZZLE_PUZZLE_H_
+#define FO2DT_PUZZLE_PUZZLE_H_
+
+#include <vector>
+
+#include "arith/bigint.h"
+#include "automata/tree_automaton.h"
+#include "logic/dnf.h"
+
+namespace fo2dt {
+
+/// \brief A puzzle (L, F) with F kept symbolically.
+struct Puzzle {
+  ExtAlphabet ext;
+  /// L: automaton over the profiled extended alphabet
+  /// (ext.profiled_size() symbols).
+  TreeAutomaton language{0, 0};
+  /// F, symbolically: class-level simple formulas (kinds b, c, d only).
+  std::vector<SimpleFormula> class_conditions;
+};
+
+/// \brief Lemma 1: builds the puzzle of one data-normal-form block.
+///
+/// The language is the intersection of the block's regular constraints, the
+/// profile restrictions (kind e), and the universal automaton; class-level
+/// simples become the symbolic F.
+Result<Puzzle> PuzzleFromBlock(const DnfBlock& block, const ExtAlphabet& ext);
+
+/// \brief Checks whether (t, interp) solves the puzzle: the profiled extended
+/// erasure is accepted by L and every class satisfies the class conditions.
+Result<bool> IsPuzzleSolution(const Puzzle& puzzle, const DataTree& t,
+                              const PredInterpretation& interp);
+
+/// \brief An explicit accepting pair (paper representation of F elements).
+struct AcceptingPair {
+  /// Characteristic vectors over the extended alphabet; disjoint.
+  TypeSet dogs;   // D: exactly-once letters
+  TypeSet sheep;  // S: unrestricted letters
+};
+
+/// \brief Whether EVERY class conforming to (D, S) satisfies the class
+/// conditions (the pair-level reading of F; exact after normalization).
+bool PairSatisfiesConditions(const AcceptingPair& pair,
+                             const std::vector<SimpleFormula>& conditions);
+
+/// \brief Whether a concrete class (multiset of letters, given as counts per
+/// extended letter) conforms to the pair.
+bool ClassConformsToPair(const std::vector<size_t>& letter_counts,
+                         const AcceptingPair& pair);
+
+/// \brief Rewrites every kImpliesPresence(α, β) in \p block into
+/// kAtMostOne(β∧R) ∧ kImpliesPresence(α, β∧R) with a fresh marker predicate
+/// R, growing the alphabet; afterwards pair-level and class-level
+/// satisfaction coincide (Lemma 1's construction). Types of all other
+/// simples and automata are re-embedded into the grown alphabet.
+Result<DnfBlock> NormalizeImpliesPresence(const DnfBlock& block,
+                                          ExtAlphabet* ext);
+
+/// \brief |F|: the exact number of accepting pairs (D, S), via DP over
+/// letters with per-condition trackers. Exponentially large, hence BigInt.
+BigInt CountAcceptingPairs(const Puzzle& puzzle);
+
+/// \brief Concrete instantiation of Table I's pruning constants.
+///
+/// The paper gives asymptotic forms (M_i = |F|·|Q|^O(|Q|), N_1 = O(|Q|²|Σ|),
+/// N_2 = O(|Σ||Q|³), N_3 = O(|Σ||Q|²)); we instantiate every O(·) with
+/// constant 1 (and |Q|^O(|Q|) as |Q|^|Q|) to obtain concrete numbers, and
+/// derive M = M1+M2+M3, N = (N1·N2)^(N3+1) as in Section III-B.
+struct TableIConstants {
+  BigInt f_size;  ///< |F|
+  BigInt m1, n1, m2, n2, m3, n3;
+  BigInt m;  ///< M = M1 + M2 + M3
+  BigInt n;  ///< N = (N1 · N2)^(N3 + 1); astronomically large
+  /// Number of decimal digits of N (N itself may be too large to print).
+  size_t n_digits;
+};
+
+/// Computes the Table I constants for \p puzzle.
+TableIConstants ComputeTableIConstants(const Puzzle& puzzle);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_PUZZLE_PUZZLE_H_

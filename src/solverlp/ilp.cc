@@ -1,0 +1,223 @@
+#include "solverlp/ilp.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace fo2dt {
+
+BigInt IlpSolver::SmallSolutionBound(const LinearSystem& system,
+                                     VarId num_vars) {
+  // Papadimitriou ("On the complexity of integer programming", JACM 1981):
+  // a feasible system Ax = b over N with m rows, n columns, and entries of
+  // magnitude at most a has a solution with entries at most
+  // n * (m * a + max|b| + 1)^(2m+1) -- inequalities reduce to equalities by
+  // adding m slack columns, which the n in front absorbs below.
+  BigInt a_max(1);
+  BigInt b_max(0);
+  for (const auto& atom : system) {
+    for (const auto& [v, c] : atom.expr.terms()) {
+      (void)v;
+      a_max = std::max(a_max, c.Abs());
+    }
+    b_max = std::max(b_max, atom.expr.constant().Abs());
+  }
+  BigInt m(static_cast<int64_t>(system.size()));
+  BigInt n(static_cast<int64_t>(num_vars) + static_cast<int64_t>(system.size()));
+  BigInt base = m * a_max + b_max + BigInt(1);
+  BigInt result = n.IsZero() ? BigInt(1) : n;
+  int64_t exp = 2 * static_cast<int64_t>(system.size()) + 1;
+  for (int64_t i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+
+namespace {
+
+enum class PreprocessVerdict { kOk, kInfeasible };
+
+/// GCD normalization (exact for equalities, Chvátal-Gomory tightening for
+/// inequalities): divides every atom by the gcd of its coefficients; an
+/// equality whose constant is not divisible is integer-infeasible outright.
+PreprocessVerdict Preprocess(const LinearSystem& in, LinearSystem* out) {
+  for (const LinearAtom& atom : in) {
+    if (atom.expr.terms().empty()) {
+      const BigInt& c = atom.expr.constant();
+      bool holds = atom.rel == LinearRel::kGe ? c >= BigInt(0) : c.IsZero();
+      if (!holds) return PreprocessVerdict::kInfeasible;
+      continue;  // trivially true; drop
+    }
+    BigInt g(0);
+    for (const auto& [v, coeff] : atom.expr.terms()) {
+      (void)v;
+      g = BigInt::Gcd(g, coeff);
+    }
+    const BigInt& c = atom.expr.constant();
+    LinearExpr e;
+    for (const auto& [v, coeff] : atom.expr.terms()) e.AddTerm(v, coeff / g);
+    if (atom.rel == LinearRel::kEq) {
+      if (!(c % g).IsZero()) return PreprocessVerdict::kInfeasible;
+      e.AddConstant(c / g);
+      out->push_back(LinearAtom::Eq(std::move(e)));
+    } else {
+      // sum a x + c >= 0  <=>  sum (a/g) x >= ceil(-c/g); rewritten back the
+      // tightened constant is floor(c/g).
+      e.AddConstant(c.FloorDiv(g));
+      out->push_back(LinearAtom::Ge(std::move(e)));
+    }
+  }
+  return PreprocessVerdict::kOk;
+}
+
+struct VarBounds {
+  BigInt lo;                 // >= 0 always
+  std::optional<BigInt> hi;  // nullopt == unbounded above
+};
+
+struct SearchState {
+  const LinearSystem* base = nullptr;
+  VarId num_vars = 0;
+  size_t nodes = 0;
+  size_t max_nodes = 0;
+};
+
+/// Builds the LP system for the current bounds and solves its relaxation.
+Result<LpSolution> SolveRelaxation(const SearchState& st,
+                                   const std::vector<VarBounds>& bounds) {
+  LinearSystem sys = *st.base;
+  for (VarId v = 0; v < st.num_vars; ++v) {
+    if (bounds[v].lo.IsPositive()) {
+      LinearExpr e = LinearExpr::Variable(v);
+      e.AddConstant(-bounds[v].lo);
+      sys.push_back(LinearAtom::Ge(std::move(e)));  // x >= lo
+    }
+    if (bounds[v].hi.has_value()) {
+      LinearExpr e(*bounds[v].hi);
+      e.AddTerm(v, BigInt(-1));
+      sys.push_back(LinearAtom::Ge(std::move(e)));  // x <= hi
+    }
+  }
+  return SimplexSolver::FindFeasible(sys, st.num_vars);
+}
+
+Result<std::optional<IntAssignment>> Branch(std::vector<VarBounds> bounds,
+                                            SearchState* st) {
+  if (++st->nodes > st->max_nodes) {
+    return Status::ResourceExhausted("ILP branch-and-bound node budget exceeded");
+  }
+  for (VarId v = 0; v < st->num_vars; ++v) {
+    if (bounds[v].hi.has_value() && bounds[v].lo > *bounds[v].hi) {
+      return std::optional<IntAssignment>();
+    }
+  }
+  FO2DT_ASSIGN_OR_RETURN(LpSolution lp, SolveRelaxation(*st, bounds));
+  if (lp.status == LpStatus::kInfeasible) {
+    return std::optional<IntAssignment>();
+  }
+  // Pick the most fractional coordinate.
+  VarId frac_var = st->num_vars;
+  Rational best_dist(0);
+  for (VarId v = 0; v < st->num_vars; ++v) {
+    const Rational& x = lp.assignment[v];
+    if (x.IsInteger()) continue;
+    Rational frac = x - Rational(x.Floor());
+    Rational dist = std::min(frac, Rational(1) - frac,
+                             [](const Rational& a, const Rational& b) {
+                               return a < b;
+                             });
+    if (frac_var == st->num_vars || dist > best_dist) {
+      frac_var = v;
+      best_dist = dist;
+    }
+  }
+  if (frac_var == st->num_vars) {
+    IntAssignment out(st->num_vars);
+    for (VarId v = 0; v < st->num_vars; ++v) {
+      out[v] = lp.assignment[v].Floor();
+    }
+    return std::optional<IntAssignment>(std::move(out));
+  }
+  BigInt floor = lp.assignment[frac_var].Floor();
+  // Down branch: x <= floor.
+  {
+    std::vector<VarBounds> down = bounds;
+    BigInt new_hi = floor;
+    if (!down[frac_var].hi.has_value() || new_hi < *down[frac_var].hi) {
+      down[frac_var].hi = new_hi;
+    }
+    FO2DT_ASSIGN_OR_RETURN(std::optional<IntAssignment> hit,
+                           Branch(std::move(down), st));
+    if (hit.has_value()) return hit;
+  }
+  // Up branch: x >= floor + 1.
+  bounds[frac_var].lo = std::max(bounds[frac_var].lo, floor + BigInt(1));
+  return Branch(std::move(bounds), st);
+}
+
+}  // namespace
+
+Result<IlpSolution> IlpSolver::FindIntegerPoint(const LinearSystem& system,
+                                                VarId num_vars,
+                                                const IlpOptions& options) {
+  IlpSolution out;
+  LinearSystem base;
+  if (Preprocess(system, &base) == PreprocessVerdict::kInfeasible) {
+    out.feasible = false;
+    out.nodes_explored = 0;
+    return out;
+  }
+  // Phase 1: unbounded search with a slim budget. Flow-style systems almost
+  // always resolve here; the branch bounds stay small so the exact simplex
+  // works with narrow numbers.
+  if (options.two_phase && options.add_small_solution_bound) {
+    SearchState st;
+    st.base = &base;
+    st.num_vars = num_vars;
+    st.max_nodes = std::max<size_t>(
+        1, options.max_nodes / std::max<size_t>(1, options.unbounded_fraction));
+    auto attempt = Branch(std::vector<VarBounds>(num_vars), &st);
+    if (attempt.ok()) {
+      out.nodes_explored = st.nodes;
+      out.feasible = attempt->has_value();
+      if (attempt->has_value()) out.assignment = std::move(**attempt);
+      return out;
+    }
+    if (!attempt.status().IsResourceExhausted()) return attempt.status();
+    out.nodes_explored += st.nodes;  // fall through to the bounded phase
+  }
+  std::vector<VarBounds> bounds(num_vars);
+  if (options.add_small_solution_bound && num_vars > 0) {
+    BigInt bound = SmallSolutionBound(base, num_vars);
+    for (VarId v = 0; v < num_vars; ++v) bounds[v].hi = bound;
+  }
+  SearchState st;
+  st.base = &base;
+  st.num_vars = num_vars;
+  st.max_nodes = options.max_nodes;
+  FO2DT_ASSIGN_OR_RETURN(std::optional<IntAssignment> hit,
+                         Branch(std::move(bounds), &st));
+  out.nodes_explored += st.nodes;
+  out.feasible = hit.has_value();
+  if (hit.has_value()) out.assignment = std::move(*hit);
+  return out;
+}
+
+Result<IlpSolution> IlpSolver::Solve(const LinearConstraint& constraint,
+                                     VarId num_vars,
+                                     const IlpOptions& options) {
+  FO2DT_ASSIGN_OR_RETURN(std::vector<LinearSystem> dnf,
+                         constraint.ToDnf(options.max_dnf_branches));
+  IlpSolution out;
+  for (const auto& branch : dnf) {
+    FO2DT_ASSIGN_OR_RETURN(IlpSolution sol,
+                           FindIntegerPoint(branch, num_vars, options));
+    out.nodes_explored += sol.nodes_explored;
+    if (sol.feasible) {
+      out.feasible = true;
+      out.assignment = std::move(sol.assignment);
+      return out;
+    }
+  }
+  out.feasible = false;
+  return out;
+}
+
+}  // namespace fo2dt

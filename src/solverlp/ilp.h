@@ -1,0 +1,75 @@
+/// \file ilp.h
+/// \brief Integer feasibility of linear constraint systems over N.
+///
+/// This is the arithmetic backend of Theorem 2: LCTA emptiness reduces to
+/// satisfiability of an existential Presburger formula, i.e. to finding a
+/// point in N^n satisfying a boolean combination of linear inequalities.
+/// The solver expands the combination to DNF and runs branch-and-bound over
+/// the exact simplex relaxation of each branch.
+///
+/// Termination: integer programming feasibility admits small-solution bounds
+/// (Papadimitriou 1981): if a system has a solution in N^n it has one whose
+/// entries are bounded by a value computable from the coefficients. The
+/// solver derives such a bound and adds it as explicit upper bounds, making
+/// the branch-and-bound tree finite; a node budget additionally guards
+/// against pathological blow-up (ResourceExhausted, never a wrong verdict).
+
+#ifndef FO2DT_SOLVERLP_ILP_H_
+#define FO2DT_SOLVERLP_ILP_H_
+
+#include <optional>
+
+#include "solverlp/linear.h"
+#include "solverlp/simplex.h"
+
+namespace fo2dt {
+
+/// \brief Tuning knobs for the ILP search.
+struct IlpOptions {
+  /// Maximum branch-and-bound nodes across all DNF branches.
+  size_t max_nodes = 200000;
+  /// Cap on DNF expansion of the input constraint.
+  size_t max_dnf_branches = 100000;
+  /// When true, add the small-solution upper bound to every variable,
+  /// guaranteeing termination (at the price of wider simplex coefficients).
+  bool add_small_solution_bound = true;
+  /// When true (and bounds are enabled), first run an unbounded search with
+  /// `max_nodes / unbounded_fraction` nodes: flow-style systems almost always
+  /// resolve there, avoiding the huge bound coefficients; only on budget
+  /// exhaustion is the guaranteed-terminating bounded search run.
+  bool two_phase = true;
+  size_t unbounded_fraction = 10;
+};
+
+/// \brief Outcome of an integer feasibility query.
+struct IlpSolution {
+  bool feasible = false;
+  /// Witness in N^n; meaningful iff feasible.
+  IntAssignment assignment;
+  /// Branch-and-bound nodes explored (for benchmarks).
+  size_t nodes_explored = 0;
+};
+
+/// \brief Branch-and-bound integer feasibility solver.
+class IlpSolver {
+ public:
+  /// Decides whether a conjunction of atoms has a solution in N^num_vars.
+  static Result<IlpSolution> FindIntegerPoint(const LinearSystem& system,
+                                              VarId num_vars,
+                                              const IlpOptions& options = {});
+
+  /// Decides whether a boolean combination of atoms has a solution in
+  /// N^num_vars (DNF expansion + FindIntegerPoint per branch).
+  static Result<IlpSolution> Solve(const LinearConstraint& constraint,
+                                   VarId num_vars,
+                                   const IlpOptions& options = {});
+
+  /// Derives an upper bound B such that: if `system` has a solution in N^n,
+  /// it has one with every entry <= B. (Papadimitriou-style bound; always
+  /// valid, usually extremely loose.)
+  static BigInt SmallSolutionBound(const LinearSystem& system, VarId num_vars);
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_SOLVERLP_ILP_H_

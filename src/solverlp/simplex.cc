@@ -1,0 +1,207 @@
+#include "solverlp/simplex.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+
+/// Dense exact tableau in equality form: rows are constraints
+/// sum_j T[i][j] * x_j == rhs[i] with rhs >= 0, plus a basis map.
+struct Tableau {
+  size_t num_cols = 0;                  // structural + surplus + artificial
+  std::vector<std::vector<Rational>> rows;
+  std::vector<Rational> rhs;
+  std::vector<size_t> basis;            // basis[i] = column basic in row i
+
+  void Pivot(size_t row, size_t col) {
+    Rational p = rows[row][col];
+    for (auto& v : rows[row]) v /= p;
+    rhs[row] /= p;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i == row) continue;
+      Rational f = rows[i][col];
+      if (f.IsZero()) continue;
+      for (size_t j = 0; j < num_cols; ++j) {
+        if (!rows[row][j].IsZero()) rows[i][j] -= f * rows[row][j];
+      }
+      rhs[i] -= f * rhs[row];
+    }
+    basis[row] = col;
+  }
+};
+
+enum class PhaseStatus { kOptimal, kUnbounded };
+
+/// Runs the simplex method minimizing cost over the tableau with Bland's
+/// anti-cycling rule. `cost` has one entry per column. Returns kUnbounded if a
+/// column with negative reduced cost has no positive entry.
+PhaseStatus RunSimplex(Tableau* t, const std::vector<Rational>& cost) {
+  const size_t m = t->rows.size();
+  for (;;) {
+    // Multipliers of basic costs, then reduced costs d_j = c_j - y . A_j.
+    // Computed directly from the tableau since basic columns are unit vectors:
+    // d_j = c_j - sum_i c_{basis[i]} * T[i][j].
+    size_t entering = t->num_cols;
+    for (size_t j = 0; j < t->num_cols; ++j) {
+      Rational d = cost[j];
+      for (size_t i = 0; i < m; ++i) {
+        const Rational& cb = cost[t->basis[i]];
+        if (!cb.IsZero() && !t->rows[i][j].IsZero()) d -= cb * t->rows[i][j];
+      }
+      if (d.IsNegative()) {  // Bland: first improving column.
+        entering = j;
+        break;
+      }
+    }
+    if (entering == t->num_cols) return PhaseStatus::kOptimal;
+
+    // Ratio test with Bland tie-break (smallest basis column index).
+    size_t leaving = m;
+    Rational best_ratio;
+    for (size_t i = 0; i < m; ++i) {
+      const Rational& a = t->rows[i][entering];
+      if (!a.IsPositive()) continue;
+      Rational ratio = t->rhs[i] / a;
+      if (leaving == m || ratio < best_ratio ||
+          (ratio == best_ratio && t->basis[i] < t->basis[leaving])) {
+        leaving = i;
+        best_ratio = ratio;
+      }
+    }
+    if (leaving == m) return PhaseStatus::kUnbounded;
+    t->Pivot(leaving, entering);
+  }
+}
+
+}  // namespace
+
+Result<LpSolution> SimplexSolver::Minimize(const LinearExpr& objective,
+                                           const LinearSystem& system,
+                                           VarId num_vars) {
+  if (objective.NumVarsSpanned() > num_vars) {
+    return Status::InvalidArgument("objective mentions variable >= num_vars");
+  }
+  for (const auto& atom : system) {
+    if (atom.expr.NumVarsSpanned() > num_vars) {
+      return Status::InvalidArgument(
+          "constraint mentions variable >= num_vars: " + atom.ToString());
+    }
+  }
+
+  const size_t n = num_vars;
+  const size_t m = system.size();
+  size_t num_surplus = 0;
+  for (const auto& atom : system) {
+    if (atom.rel == LinearRel::kGe) ++num_surplus;
+  }
+
+  Tableau t;
+  t.num_cols = n + num_surplus + m;  // structural | surplus | artificial
+  t.rows.assign(m, std::vector<Rational>(t.num_cols, Rational(0)));
+  t.rhs.assign(m, Rational(0));
+  t.basis.assign(m, 0);
+
+  size_t surplus_at = n;
+  for (size_t i = 0; i < m; ++i) {
+    const LinearAtom& atom = system[i];
+    // expr >= 0 means  sum a_j x_j >= -constant; rhs = -constant.
+    for (const auto& [v, c] : atom.expr.terms()) {
+      t.rows[i][v] = Rational(c);
+    }
+    Rational rhs = Rational(-atom.expr.constant());
+    if (atom.rel == LinearRel::kGe) {
+      t.rows[i][surplus_at++] = Rational(-1);
+    }
+    // Make rhs non-negative for phase 1.
+    if (rhs.IsNegative()) {
+      for (size_t j = 0; j < t.num_cols; ++j) {
+        if (!t.rows[i][j].IsZero()) t.rows[i][j] = -t.rows[i][j];
+      }
+      rhs = -rhs;
+    }
+    t.rhs[i] = rhs;
+    // Artificial variable for this row.
+    size_t art = n + num_surplus + i;
+    t.rows[i][art] = Rational(1);
+    t.basis[i] = art;
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<Rational> phase1_cost(t.num_cols, Rational(0));
+  for (size_t i = 0; i < m; ++i) phase1_cost[n + num_surplus + i] = Rational(1);
+  PhaseStatus p1 = RunSimplex(&t, phase1_cost);
+  if (p1 == PhaseStatus::kUnbounded) {
+    return Status::Internal("phase-1 simplex reported unbounded");
+  }
+  Rational art_sum(0);
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis[i] >= n + num_surplus) art_sum += t.rhs[i];
+  }
+  if (!art_sum.IsZero()) {
+    LpSolution out;
+    out.status = LpStatus::kInfeasible;
+    return out;
+  }
+
+  // Drive any zero-level artificials out of the basis; drop redundant rows.
+  for (size_t i = 0; i < t.rows.size();) {
+    if (t.basis[i] < n + num_surplus) {
+      ++i;
+      continue;
+    }
+    size_t pivot_col = t.num_cols;
+    for (size_t j = 0; j < n + num_surplus; ++j) {
+      if (!t.rows[i][j].IsZero()) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == t.num_cols) {
+      // Row is 0 == 0 over real columns: redundant.
+      t.rows.erase(t.rows.begin() + static_cast<long>(i));
+      t.rhs.erase(t.rhs.begin() + static_cast<long>(i));
+      t.basis.erase(t.basis.begin() + static_cast<long>(i));
+      continue;
+    }
+    t.Pivot(i, pivot_col);
+    ++i;
+  }
+
+  // Phase 2: forbid artificials by pricing them at "will never enter":
+  // simply exclude them via a huge cost is inexact; instead zero their
+  // columns. Since no artificial is basic, removing their columns is safe.
+  for (size_t i = 0; i < t.rows.size(); ++i) {
+    t.rows[i].resize(n + num_surplus);
+  }
+  t.num_cols = n + num_surplus;
+
+  std::vector<Rational> phase2_cost(t.num_cols, Rational(0));
+  for (const auto& [v, c] : objective.terms()) phase2_cost[v] = Rational(c);
+  PhaseStatus p2 = RunSimplex(&t, phase2_cost);
+
+  LpSolution out;
+  if (p2 == PhaseStatus::kUnbounded) {
+    out.status = LpStatus::kUnbounded;
+    return out;
+  }
+  out.status = LpStatus::kOptimal;
+  out.assignment.assign(n, Rational(0));
+  for (size_t i = 0; i < t.rows.size(); ++i) {
+    if (t.basis[i] < n) out.assignment[t.basis[i]] = t.rhs[i];
+  }
+  out.objective = Rational(objective.constant());
+  for (const auto& [v, c] : objective.terms()) {
+    out.objective += Rational(c) * out.assignment[v];
+  }
+  return out;
+}
+
+Result<LpSolution> SimplexSolver::FindFeasible(const LinearSystem& system,
+                                               VarId num_vars) {
+  return Minimize(LinearExpr(), system, num_vars);
+}
+
+}  // namespace fo2dt

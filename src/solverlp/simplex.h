@@ -1,0 +1,55 @@
+/// \file simplex.h
+/// \brief Exact-rational two-phase simplex for linear programs over Q>=0.
+///
+/// Solves min c.x subject to a LinearSystem (atoms expr >= 0 / expr == 0)
+/// with the implicit domain x >= 0 for every variable. All arithmetic is
+/// exact (Rational over BigInt) and pivoting uses Bland's rule, so the solver
+/// terminates on every input and never suffers numeric drift — a requirement
+/// for the decision procedures built on top (Theorem 2 emptiness checks must
+/// be exact, not approximate).
+
+#ifndef FO2DT_SOLVERLP_SIMPLEX_H_
+#define FO2DT_SOLVERLP_SIMPLEX_H_
+
+#include <vector>
+
+#include "arith/rational.h"
+#include "solverlp/linear.h"
+
+namespace fo2dt {
+
+/// \brief Verdict of an LP solve.
+enum class LpStatus {
+  kOptimal,     ///< feasible; `assignment` holds an optimal vertex
+  kInfeasible,  ///< the constraint system has no rational solution with x >= 0
+  kUnbounded,   ///< feasible but the objective decreases without bound
+};
+
+/// \brief Outcome of an LP solve.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Optimal vertex (size == num_vars); meaningful iff status == kOptimal.
+  std::vector<Rational> assignment;
+  /// Objective value at the vertex; meaningful iff status == kOptimal.
+  Rational objective;
+};
+
+/// \brief Exact LP solver.
+class SimplexSolver {
+ public:
+  /// Minimizes \p objective over { x in Q^num_vars : x >= 0, system holds }.
+  ///
+  /// \p num_vars must cover every variable mentioned by the system and the
+  /// objective. Returns InvalidArgument otherwise.
+  static Result<LpSolution> Minimize(const LinearExpr& objective,
+                                     const LinearSystem& system,
+                                     VarId num_vars);
+
+  /// Feasibility-only entry point (objective 0).
+  static Result<LpSolution> FindFeasible(const LinearSystem& system,
+                                         VarId num_vars);
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_SOLVERLP_SIMPLEX_H_

@@ -1,0 +1,138 @@
+/// \file vata.h
+/// \brief Vector addition tree automata and the Theorem-4 reduction.
+///
+/// A VATA (Section VI) is a bottom-up automaton on binary trees assigning
+/// each node a state and a vector over N. A transition with parameters
+/// (label, q0, ā, q1, b̄, q, c̄) applies at a node v with children carrying
+/// (q0, x̄), (q1, ȳ) when x̄ ≥ ā and ȳ ≥ b̄, giving v the state q and vector
+/// (x̄-ā)+(ȳ-b̄)+c̄. Leaf rules δ0 assign (q, n̄) to leaves. A tree is
+/// accepted when the root carries an accepting state and the zero vector.
+/// Emptiness of VATA is a long-standing open problem, equivalent to
+/// provability in MELL; Theorem 4 reduces it to FO²(∼,<,+1) satisfiability,
+/// which is why the paper leaves that logic's decidability open.
+///
+/// This module implements the model (membership, bounded emptiness search)
+/// and the Theorem-4 artifacts: the counter-tree coding of runs (Figure 4)
+/// and the FO²(∼,<,+1) conditions (1)–(4) that data values enforce on
+/// counter trees. Runs found by the bounded search are converted to counter
+/// trees and differential-tested against the formulas.
+
+#ifndef FO2DT_VATA_VATA_H_
+#define FO2DT_VATA_VATA_H_
+
+#include <optional>
+
+#include "datatree/data_tree.h"
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// \brief State id of a VATA.
+using VataState = uint32_t;
+
+/// \brief Counter vector (size == num_counters).
+using CounterVec = std::vector<int64_t>;
+
+/// \brief Leaf rule δ0(label, state, vector).
+struct VataLeafRule {
+  Symbol label;
+  VataState state;
+  CounterVec vector;
+};
+
+/// \brief Inner transition (label, q0, ā, q1, b̄, q, c̄).
+struct VataTransition {
+  Symbol label;
+  VataState left_state;
+  CounterVec take_left;  // ā
+  VataState right_state;
+  CounterVec take_right;  // b̄
+  VataState result_state;
+  CounterVec add;  // c̄
+};
+
+/// \brief A vector addition tree automaton.
+struct VataAutomaton {
+  size_t num_counters = 0;
+  size_t num_states = 0;
+  size_t num_labels = 0;
+  std::vector<VataState> accepting;
+  std::vector<VataLeafRule> leaf_rules;
+  std::vector<VataTransition> transitions;
+};
+
+/// \brief A run: per node, the rule applied and the resulting vector.
+struct VataRun {
+  /// Index into leaf_rules (leaves) or transitions (inner nodes).
+  std::vector<size_t> rule;
+  /// Resulting vector at each node.
+  std::vector<CounterVec> vector;
+};
+
+/// Whether \p t is binary (every node has zero or two children) — the shape
+/// VATA run on.
+bool IsBinaryTree(const DataTree& t);
+
+/// All (state, vector) pairs derivable at the root of \p t; membership is
+/// accepted iff one has an accepting state and the zero vector. The
+/// candidate budget caps the DP size (ResourceExhausted past it).
+Result<bool> VataAccepts(const VataAutomaton& a, const DataTree& t,
+                         size_t max_candidates = 100000);
+
+/// Finds an accepted tree (labels only) with at most \p max_nodes nodes,
+/// together with an accepting run; NotFound if none exists in the bound.
+Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
+    const VataAutomaton& a, size_t max_nodes, size_t max_candidates = 100000);
+
+/// \brief Alphabet layout of counter trees: per counter i the labels I_i and
+/// D_i, one label per VATA state (P_q) and the VATA's own labels.
+struct CounterTreeAlphabet {
+  size_t num_counters = 0;
+  size_t num_states = 0;
+  size_t num_base_labels = 0;
+
+  Symbol Inc(size_t counter) const { return static_cast<Symbol>(counter); }
+  Symbol Dec(size_t counter) const {
+    return static_cast<Symbol>(num_counters + counter);
+  }
+  Symbol StateLabel(VataState q) const {
+    return static_cast<Symbol>(2 * num_counters + q);
+  }
+  Symbol BaseLabel(Symbol a) const {
+    return static_cast<Symbol>(2 * num_counters + num_states + a);
+  }
+  size_t size() const {
+    return 2 * num_counters + num_states + num_base_labels;
+  }
+};
+
+/// \brief Figure 4: converts an accepted (tree, run) into a counter tree
+/// whose data values witness the counter discipline: every increment node
+/// I_i carries a fresh value, every decrement D_i shares its value with the
+/// matched increment below it.
+Result<DataTree> BuildCounterTree(const VataAutomaton& a, const DataTree& t,
+                                  const VataRun& run,
+                                  const CounterTreeAlphabet& alpha);
+
+/// \brief Theorem 4, conditions (1)-(4) as one FO²(∼,<,+1) sentence over the
+/// counter-tree alphabet:
+///  (1) all I_i nodes have pairwise different data values,
+///  (2) all D_i nodes have pairwise different data values,
+///  (3) every I_i node has a D_i ancestor with the same value,
+///  (4) every D_i node has an I_i descendant with the same value.
+Formula CounterDisciplineFormula(const CounterTreeAlphabet& alpha);
+
+/// \brief Structural sanity conditions of the coding, in FO²(+1):
+/// increment/decrement nodes form unary chains and no node has three
+/// children (binary gadget shape).
+Formula CounterTreeStructureFormula(const CounterTreeAlphabet& alpha);
+
+/// \brief The full Theorem-4 formula φ_A: discipline ∧ structure. A model of
+/// φ_A over counter trees encodes an accepting run of the automaton, hence
+/// FO²(∼,<,+1) satisfiability is at least as hard as VATA emptiness.
+Formula EncodeVataToFo2(const VataAutomaton& a,
+                        const CounterTreeAlphabet& alpha);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_VATA_VATA_H_

@@ -1,0 +1,107 @@
+#include "xmlenc/dtd.h"
+
+#include <optional>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+Result<TreeAutomaton> DtdToTreeAutomaton(const Dtd& dtd, size_t num_labels) {
+  const size_t l = num_labels;
+  if (dtd.root >= l) {
+    return Status::InvalidArgument("DTD root label outside alphabet");
+  }
+  // Content DFA per label; undeclared labels get the ε-only model.
+  std::vector<std::optional<Dfa>> dfas(l);
+  for (const DtdElement& e : dtd.elements) {
+    if (e.element >= l) {
+      return Status::InvalidArgument("DTD element label outside alphabet");
+    }
+    if (dfas[e.element].has_value()) {
+      return Status::InvalidArgument(
+          "duplicate DTD declaration for one element");
+    }
+    std::vector<Regex> parts;
+    for (Symbol a : e.attributes) {
+      if (a >= l) {
+        return Status::InvalidArgument("DTD attribute label outside alphabet");
+      }
+      parts.push_back(Regex::Sym(a));
+    }
+    parts.push_back(e.content);
+    dfas[e.element] =
+        Determinize(Regex::Concat(std::move(parts)).ToNfa(l)).Minimize();
+  }
+  for (Symbol a = 0; a < l; ++a) {
+    if (!dfas[a].has_value()) {
+      dfas[a] = Determinize(Regex::Epsilon().ToNfa(l)).Minimize();
+    }
+  }
+  size_t max_h = 1;
+  for (Symbol a = 0; a < l; ++a) {
+    max_h = std::max(max_h, dfas[a]->num_states());
+  }
+
+  // State = (ctx, h, flag, own): ctx in [0, l] where ctx == l is the root
+  // context (no parent); h = content-DFA state of D_ctx *before* reading the
+  // node's own label; flag: 0 = leaf, 1 = internal; own = the node's label.
+  const size_t num_states = (l + 1) * max_h * 2 * l;
+  auto state_id = [&](size_t ctx, size_t h, int flag, Symbol own) {
+    return static_cast<TreeState>(((ctx * max_h + h) * 2 + flag) * l + own);
+  };
+  TreeAutomaton out(l, num_states);
+
+  auto nullable = [&](Symbol a) {
+    return dfas[a]->IsAccepting(dfas[a]->initial());
+  };
+
+  for (size_t ctx = 0; ctx <= l; ++ctx) {
+    const size_t h_count = ctx < l ? dfas[ctx]->num_states() : 1;
+    for (size_t h = 0; h < h_count; ++h) {
+      for (Symbol own = 0; own < l; ++own) {
+        for (int flag = 0; flag < 2; ++flag) {
+          TreeState me = state_id(ctx, h, flag, own);
+          // Leaves must have nullable content (no children to realize it).
+          if (flag == 0 && nullable(own)) out.SetInitial(me);
+          // Within a siblinghood, the content DFA must start at its initial
+          // state: every other progress value needs a left neighbor.
+          if (ctx < l &&
+              h != dfas[ctx]->initial()) {
+            out.SetNonFirst(me);
+          }
+          if (ctx == l) {
+            // Root context: accept when the own label is the DTD root.
+            if (own == dtd.root) out.SetAccepting(me, own);
+            continue;  // the root has no outgoing transitions
+          }
+          WordState h_after =
+              dfas[ctx]->Transition(static_cast<WordState>(h), own);
+          // Horizontal: the next sibling continues in the same context.
+          for (Symbol next_own = 0; next_own < l; ++next_own) {
+            for (int next_flag = 0; next_flag < 2; ++next_flag) {
+              out.AddHorizontal(me, own,
+                                state_id(ctx, h_after, next_flag, next_own));
+            }
+          }
+          // Vertical: allowed when the children word is complete; the parent
+          // is an internal node whose own label equals this context.
+          if (dfas[ctx]->IsAccepting(h_after)) {
+            for (size_t pctx = 0; pctx <= l; ++pctx) {
+              const size_t ph_count = pctx < l ? dfas[pctx]->num_states() : 1;
+              for (size_t ph = 0; ph < ph_count; ++ph) {
+                out.AddVertical(
+                    me, own,
+                    state_id(pctx, ph, /*flag=*/1, static_cast<Symbol>(ctx)));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // The raw product space is mostly junk (impossible (context, own) pairs);
+  // trimming typically shrinks it by an order of magnitude.
+  return out.Trim();
+}
+
+}  // namespace fo2dt

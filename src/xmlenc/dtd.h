@@ -1,0 +1,50 @@
+/// \file dtd.h
+/// \brief DTD-style schemas and their compilation to tree automata.
+///
+/// A Dtd assigns each element label a content model (a regular expression
+/// over element labels) and a list of attributes. In the Figure-3 encoding
+/// an element's children are its attribute nodes (in declaration order)
+/// followed by a word in the content model; attribute nodes are leaves.
+///
+/// DtdToTreeAutomaton compiles the schema to a hedge automaton: states are
+/// (parent label, content-DFA progress, leaf flag, own label) tuples; the
+/// non-first state set anchors each content DFA's start at the first child,
+/// and the every-leaf-initial condition forces childless elements to have
+/// nullable content models — see the expressiveness note in
+/// tree_automaton.h. The resulting automaton accepts exactly the encodings
+/// of documents valid under the DTD.
+
+#ifndef FO2DT_XMLENC_DTD_H_
+#define FO2DT_XMLENC_DTD_H_
+
+#include <vector>
+
+#include "automata/tree_automaton.h"
+#include "automata/word_automata.h"
+
+namespace fo2dt {
+
+/// \brief Declaration of one element type.
+struct DtdElement {
+  Symbol element;
+  /// Content model over *element* labels (attributes are added implicitly).
+  Regex content = Regex::Epsilon();
+  /// Attribute labels, in order; each appears exactly once as a leading
+  /// child of the element.
+  std::vector<Symbol> attributes;
+};
+
+/// \brief A DTD: a root label plus element declarations. Labels without a
+/// declaration are attribute-like: always leaves, any data value.
+struct Dtd {
+  Symbol root = 0;
+  std::vector<DtdElement> elements;
+};
+
+/// Compiles \p dtd into a tree automaton over \p num_labels labels (must
+/// cover every label mentioned).
+Result<TreeAutomaton> DtdToTreeAutomaton(const Dtd& dtd, size_t num_labels);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_XMLENC_DTD_H_

@@ -1,0 +1,250 @@
+#include "xmlenc/xml.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(const std::string& text) : text_(text) {}
+
+  Result<XmlElement> Parse() {
+    SkipMisc();
+    FO2DT_ASSIGN_OR_RETURN(XmlElement root, ParseElement());
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StringFormat("trailing XML content at offset %zu", pos_));
+    }
+    return root;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, comments and text content.
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (text_.compare(pos_, 4, "<!--") == 0) {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+        continue;
+      }
+      // Text content: skip until the next '<'.
+      if (pos_ < text_.size() && text_[pos_] != '<') {
+        while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(
+          StringFormat("expected XML name at offset %zu", start));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<XmlElement> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::ParseError(
+          StringFormat("expected '<' at offset %zu", pos_));
+    }
+    ++pos_;
+    XmlElement elem;
+    FO2DT_ASSIGN_OR_RETURN(elem.tag, ParseName());
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated start tag: " + elem.tag);
+      }
+      if (text_[pos_] == '/') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') {
+          return Status::ParseError("malformed self-closing tag");
+        }
+        pos_ += 2;
+        return elem;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      XmlAttribute attr;
+      FO2DT_ASSIGN_OR_RETURN(attr.name, ParseName());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Status::ParseError("expected '=' after attribute " + attr.name);
+      }
+      ++pos_;
+      SkipSpace();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Status::ParseError("expected quoted attribute value");
+      }
+      char quote = text_[pos_++];
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated attribute value");
+      }
+      attr.value = text_.substr(start, pos_ - start);
+      ++pos_;
+      elem.attributes.push_back(std::move(attr));
+    }
+    // Content: child elements until the matching end tag.
+    for (;;) {
+      SkipMisc();
+      if (text_.compare(pos_, 2, "</") == 0) {
+        pos_ += 2;
+        FO2DT_ASSIGN_OR_RETURN(std::string closing, ParseName());
+        if (closing != elem.tag) {
+          return Status::ParseError("mismatched end tag: expected " +
+                                    elem.tag + ", got " + closing);
+        }
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Status::ParseError("expected '>' after end tag");
+        }
+        ++pos_;
+        return elem;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated element: " + elem.tag);
+      }
+      FO2DT_ASSIGN_OR_RETURN(XmlElement child, ParseElement());
+      elem.children.push_back(std::move(child));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void Render(const XmlElement& e, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  *out += '<' + e.tag;
+  for (const XmlAttribute& a : e.attributes) {
+    *out += ' ' + a.name + "=\"" + a.value + "\"";
+  }
+  if (e.children.empty()) {
+    *out += "/>\n";
+    return;
+  }
+  *out += ">\n";
+  for (const XmlElement& c : e.children) Render(c, depth + 1, out);
+  out->append(2 * depth, ' ');
+  *out += "</" + e.tag + ">\n";
+}
+
+}  // namespace
+
+Result<XmlElement> ParseXml(const std::string& text) {
+  return XmlParser(text).Parse();
+}
+
+std::string XmlToString(const XmlElement& root) {
+  std::string out;
+  Render(root, 0, &out);
+  return out;
+}
+
+DataValue ValueDictionary::Intern(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  DataValue v = static_cast<DataValue>(names_.size());
+  names_.push_back(value);
+  index_.emplace(value, v);
+  return v;
+}
+
+const std::string& ValueDictionary::Name(DataValue v) const {
+  static const std::string kEmpty;
+  return v < names_.size() ? names_[v] : kEmpty;
+}
+
+namespace {
+
+Status EncodeInto(const XmlElement& e, DataTree* t, NodeId parent,
+                  Alphabet* labels, ValueDictionary* values) {
+  Symbol tag = labels->Intern(e.tag);
+  NodeId me;
+  if (parent == kNoNode) {
+    FO2DT_ASSIGN_OR_RETURN(me, t->CreateRoot(tag, 0));
+  } else {
+    FO2DT_ASSIGN_OR_RETURN(me, t->AppendChild(parent, tag, 0));
+  }
+  for (const XmlAttribute& a : e.attributes) {
+    Symbol name = labels->Intern(a.name);
+    DataValue v = values->Intern(a.value);
+    FO2DT_RETURN_NOT_OK(t->AppendChild(me, name, v).status());
+  }
+  for (const XmlElement& c : e.children) {
+    FO2DT_RETURN_NOT_OK(EncodeInto(c, t, me, labels, values));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DataTree> EncodeXml(const XmlElement& root, Alphabet* labels,
+                           ValueDictionary* values) {
+  DataTree t;
+  FO2DT_RETURN_NOT_OK(EncodeInto(root, &t, kNoNode, labels, values));
+  return t;
+}
+
+namespace {
+
+Result<XmlElement> DecodeNode(const DataTree& t, NodeId v,
+                              const Alphabet& labels,
+                              const ValueDictionary& values,
+                              const std::vector<char>& is_attribute) {
+  XmlElement out;
+  out.tag = labels.Name(t.label(v));
+  for (NodeId c = t.first_child(v); c != kNoNode; c = t.next_sibling(c)) {
+    if (is_attribute[t.label(c)]) {
+      out.attributes.push_back(
+          XmlAttribute{labels.Name(t.label(c)), values.Name(t.data(c))});
+    } else {
+      FO2DT_ASSIGN_OR_RETURN(XmlElement child,
+                             DecodeNode(t, c, labels, values, is_attribute));
+      out.children.push_back(std::move(child));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<XmlElement> DecodeXml(const DataTree& t, const Alphabet& labels,
+                             const ValueDictionary& values,
+                             const std::vector<Symbol>& attribute_labels) {
+  if (t.empty()) return Status::InvalidArgument("cannot decode an empty tree");
+  std::vector<char> is_attribute(labels.size(), 0);
+  for (Symbol s : attribute_labels) {
+    if (s >= labels.size()) {
+      return Status::InvalidArgument("attribute label outside alphabet");
+    }
+    is_attribute[s] = 1;
+  }
+  return DecodeNode(t, t.root(), labels, values, is_attribute);
+}
+
+}  // namespace fo2dt

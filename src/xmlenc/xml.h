@@ -1,0 +1,71 @@
+/// \file xml.h
+/// \brief Minimal XML documents and the Figure-3 data-tree encoding.
+///
+/// The paper encodes XML following the XPath data model: the attributes of
+/// an element become attribute children (labeled with the attribute name)
+/// carrying the attribute's value as their data value; element nodes' own
+/// data values are unused (zero here). Attribute children precede element
+/// children, in declaration order.
+///
+/// The XML parser covers the fragment needed for the examples and
+/// benchmarks: nested elements, attributes with quoted values, self-closing
+/// tags, comments; text content is ignored.
+
+#ifndef FO2DT_XMLENC_XML_H_
+#define FO2DT_XMLENC_XML_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datatree/data_tree.h"
+
+namespace fo2dt {
+
+/// \brief An XML attribute.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// \brief An XML element (text content is not modeled).
+struct XmlElement {
+  std::string tag;
+  std::vector<XmlAttribute> attributes;
+  std::vector<XmlElement> children;
+};
+
+/// Parses a (fragment of an) XML document.
+Result<XmlElement> ParseXml(const std::string& text);
+
+/// Serializes with 2-space indentation.
+std::string XmlToString(const XmlElement& root);
+
+/// \brief Dictionary interning attribute value strings as data values.
+class ValueDictionary {
+ public:
+  DataValue Intern(const std::string& value);
+  /// Name of \p v; empty when out of range.
+  const std::string& Name(DataValue v) const;
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, DataValue> index_;
+};
+
+/// Figure-3 encoding: element/attribute labels are interned into
+/// \p labels, attribute values into \p values.
+Result<DataTree> EncodeXml(const XmlElement& root, Alphabet* labels,
+                           ValueDictionary* values);
+
+/// Inverse of EncodeXml (attribute children turn back into attributes;
+/// attribute labels are those that appear as leaves with interned values —
+/// callers pass the set of attribute labels explicitly to disambiguate).
+Result<XmlElement> DecodeXml(const DataTree& t, const Alphabet& labels,
+                             const ValueDictionary& values,
+                             const std::vector<Symbol>& attribute_labels);
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_XMLENC_XML_H_

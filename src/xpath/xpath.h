@@ -1,0 +1,164 @@
+/// \file xpath.h
+/// \brief LocalDataXPath (Section V): a data-aware XPath fragment whose
+/// satisfiability and containment reduce to FO²(∼,+1).
+///
+/// Grammar (as in the paper, with `::` axis syntax):
+///   LocPath    := RelLocPath | '/' RelLocPath
+///   RelLocPath := Step ('/' Step)*
+///   Step       := Axis '::' NameTest Predicate*
+///   Axis       := Child | Parent | NextSibling | PreviousSibling | Self
+///               | ElseWhere
+///   NameTest   := Name | '*'
+///   Predicate  := '[' PredExpr ']'
+///   PredExpr   := LocPath
+///               | LocPath '/' '@'Name EqOp AbsLocPath '/' '@'Name
+///               | Self-Step '/' '@'Name EqOp Step '/' '@'Name
+///               | PredExpr 'and' PredExpr | PredExpr 'or' PredExpr
+///               | 'not' PredExpr | '(' PredExpr ')'
+///   EqOp       := '=' | '!='
+///
+/// Relative (in-)equalities (the third PredExpr form) are subject to the
+/// paper's *safety* restriction: the induced label → attribute associations
+/// must be a function. Their translation stores the associated attribute's
+/// value in the element node's data (the Theorem-3 encoding); the required
+/// consistency formula is produced by ElementValueConsistencyFormula.
+
+#ifndef FO2DT_XPATH_XPATH_H_
+#define FO2DT_XPATH_XPATH_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "frontend/solver.h"
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// \brief LocalDataXPath axes (Section V; ElseWhere is the paper's addition
+/// for limited global navigation: every node other than the current one).
+enum class XpAxis {
+  kChild,
+  kParent,
+  kNextSibling,
+  kPreviousSibling,
+  kSelf,
+  kElsewhere,
+};
+
+/// \brief Name test: a label or the wildcard '*'.
+struct NameTest {
+  bool wildcard = false;
+  Symbol name = kNoSymbol;
+
+  bool Matches(Symbol label) const { return wildcard || label == name; }
+};
+
+struct XpPredicate;
+
+/// \brief One location step with its predicates.
+struct XpStep {
+  XpAxis axis = XpAxis::kChild;
+  NameTest test;
+  std::vector<XpPredicate> predicates;
+};
+
+/// \brief A location path.
+struct XpPath {
+  bool absolute = false;
+  std::vector<XpStep> steps;
+};
+
+/// \brief A predicate expression.
+struct XpPredicate {
+  enum class Kind {
+    kPathExists,   ///< LocPath
+    kPathCompare,  ///< LocPath/@A EqOp AbsLocPath/@B
+    kRelCompare,   ///< Self::t/@A EqOp Step/@B
+    kAnd,
+    kOr,
+    kNot,
+  };
+  Kind kind = Kind::kPathExists;
+
+  // kPathExists / kPathCompare.
+  std::shared_ptr<XpPath> path;
+  // kPathCompare: attributes and the absolute right-hand side.
+  Symbol left_attribute = kNoSymbol;
+  bool equal = true;  ///< '=' vs '!='
+  std::shared_ptr<XpPath> abs_path;
+  Symbol right_attribute = kNoSymbol;
+  // kRelCompare.
+  NameTest self_test;
+  std::shared_ptr<XpStep> rel_step;
+  // kAnd / kOr / kNot.
+  std::vector<XpPredicate> children;
+};
+
+/// Parses a LocalDataXPath expression; names are interned into \p labels.
+Result<XpPath> ParseXPath(const std::string& text, Alphabet* labels);
+
+/// Renders back to the concrete syntax.
+std::string XPathToString(const XpPath& path, const Alphabet& labels);
+
+/// \brief The label → attribute association induced by the relative
+/// (in-)equalities of a set of expressions (paper's safety condition).
+struct SafetyAssociations {
+  /// Exact-label associations.
+  std::map<Symbol, Symbol> by_label;
+  /// Association induced by a wildcard test (applies to every label).
+  std::optional<Symbol> wildcard;
+
+  /// The attribute associated with \p label, if any.
+  std::optional<Symbol> AttributeFor(Symbol label) const;
+};
+
+/// Computes the associations of \p paths and verifies safety (the induced
+/// relation is a function); InvalidArgument otherwise.
+Result<SafetyAssociations> CheckSafety(const std::vector<const XpPath*>& paths);
+
+/// \brief Evaluates \p path on a Figure-3-encoded document: result node set
+/// when started from \p start (use {root} for absolute paths; absolute paths
+/// reset to the root regardless).
+Result<std::vector<NodeId>> EvaluateXPath(const DataTree& t, const XpPath& path,
+                                          const std::vector<NodeId>& start);
+
+/// Convenience: evaluation from the root.
+Result<std::vector<NodeId>> EvaluateXPathFromRoot(const DataTree& t,
+                                                  const XpPath& path);
+
+/// \brief Translates an *absolute* path into an FO²(∼,+1) formula with one
+/// free variable x ("x is selected"). Relative equalities use the
+/// element-value encoding; conjoin ElementValueConsistencyFormula and apply
+/// ApplyElementValueEncoding to concrete trees when cross-checking.
+Result<Formula> TranslateXPathToFo2(const XpPath& path,
+                                    const SafetyAssociations& assoc);
+
+/// The FO² consistency formula tying element data values to the associated
+/// attribute children's values (over labels [0, num_labels)).
+Formula ElementValueConsistencyFormula(const SafetyAssociations& assoc,
+                                       size_t num_labels);
+
+/// Copies \p t with each associated element's data value overwritten by its
+/// associated attribute child's value (left unchanged when absent).
+DataTree ApplyElementValueEncoding(const DataTree& t,
+                                   const SafetyAssociations& assoc);
+
+/// \brief Satisfiability of an absolute LocalDataXPath query, optionally
+/// relative to a schema (Theorem 3; bounded-complete).
+Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
+                                           const TreeAutomaton* schema,
+                                           const SolverOptions& options = {});
+
+/// \brief Containment p ⊆ q of absolute queries (optionally under a schema):
+/// searches for a counterexample tree with a node selected by p but not q.
+/// kSat = refuted (witness attached), kUnknown = no counterexample within
+/// budget.
+Result<SatResult> CheckXPathContainment(const XpPath& p, const XpPath& q,
+                                        const TreeAutomaton* schema,
+                                        const SolverOptions& options = {});
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_XPATH_XPATH_H_

@@ -1,0 +1,170 @@
+#include "arith/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fo2dt {
+namespace {
+
+TEST(BigIntTest, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).ToString(), "0");
+  EXPECT_EQ(BigInt(1).ToString(), "1");
+  EXPECT_EQ(BigInt(-1).ToString(), "-1");
+  EXPECT_EQ(BigInt(123456789).ToString(), "123456789");
+  EXPECT_EQ(BigInt(-987654321).ToString(), "-987654321");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  for (const char* s : {"0", "1", "-1", "42", "-94837261", "123456789012345678901234567890",
+                        "-999999999999999999999999999999999999"}) {
+    auto v = BigInt::FromString(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToString(), s);
+  }
+}
+
+TEST(BigIntTest, FromStringErrors) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromString("0x10").ok());
+}
+
+TEST(BigIntTest, NegativeZeroNormalizes) {
+  auto v = BigInt::FromString("-0");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsZero());
+  EXPECT_FALSE(v->IsNegative());
+  EXPECT_EQ(v->ToString(), "0");
+}
+
+TEST(BigIntTest, AdditionBasics) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).ToString(), "5");
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).ToString(), "1");
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).ToString(), "-1");
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).ToString(), "-5");
+  EXPECT_EQ((BigInt(5) + BigInt(-5)).ToString(), "0");
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt big = *BigInt::FromString("4294967295");  // 2^32 - 1
+  EXPECT_EQ((big + BigInt(1)).ToString(), "4294967296");
+  BigInt big2 = *BigInt::FromString("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((big2 + BigInt(1)).ToString(), "18446744073709551616");
+  EXPECT_EQ((big2 + big2).ToString(), "36893488147419103230");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt a = *BigInt::FromString("123456789012345678901234567890");
+  BigInt b = *BigInt::FromString("987654321098765432109876543210");
+  EXPECT_EQ((a * b).ToString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToString(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).ToString(), "3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).ToString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToString(), "-1");
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).ToString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).ToString(), "-1");
+}
+
+TEST(BigIntTest, FloorAndCeilDiv) {
+  EXPECT_EQ(BigInt(7).FloorDiv(BigInt(2)).ToString(), "3");
+  EXPECT_EQ(BigInt(-7).FloorDiv(BigInt(2)).ToString(), "-4");
+  EXPECT_EQ(BigInt(7).CeilDiv(BigInt(2)).ToString(), "4");
+  EXPECT_EQ(BigInt(-7).CeilDiv(BigInt(2)).ToString(), "-3");
+  EXPECT_EQ(BigInt(6).FloorDiv(BigInt(3)).ToString(), "2");
+  EXPECT_EQ(BigInt(6).CeilDiv(BigInt(3)).ToString(), "2");
+}
+
+TEST(BigIntTest, DivisionLargeKnuthPath) {
+  BigInt a = *BigInt::FromString("340282366920938463463374607431768211456");  // 2^128
+  BigInt b = *BigInt::FromString("18446744073709551616");                    // 2^64
+  EXPECT_EQ((a / b).ToString(), "18446744073709551616");
+  EXPECT_EQ((a % b).ToString(), "0");
+  BigInt c = a + BigInt(12345);
+  EXPECT_EQ((c / b).ToString(), "18446744073709551616");
+  EXPECT_EQ((c % b).ToString(), "12345");
+}
+
+TEST(BigIntTest, DivModIdentityRandomized) {
+  RandomSource rng(42);
+  for (int iter = 0; iter < 500; ++iter) {
+    // Build random magnitudes of varying limb counts.
+    auto rand_big = [&rng](int limbs) {
+      BigInt v(0);
+      for (int i = 0; i < limbs; ++i) {
+        v = v * BigInt(static_cast<int64_t>(1) << 32) +
+            BigInt(static_cast<int64_t>(rng.Next() & 0xffffffffULL));
+      }
+      if (rng.Bernoulli(0.5)) v = -v;
+      return v;
+    };
+    BigInt a = rand_big(1 + static_cast<int>(rng.UniformIndex(4)));
+    BigInt b = rand_big(1 + static_cast<int>(rng.UniformIndex(3)));
+    if (b.IsZero()) continue;
+    BigInt q = a / b;
+    BigInt r = a % b;
+    EXPECT_EQ((q * b + r).Compare(a), 0)
+        << "a=" << a << " b=" << b << " q=" << q << " r=" << r;
+    EXPECT_LT(r.Abs().Compare(b.Abs()), 0);
+    if (!r.IsZero()) EXPECT_EQ(r.IsNegative(), a.IsNegative());
+  }
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  EXPECT_LT(BigInt(-5).Compare(BigInt(3)), 0);
+  EXPECT_GT(BigInt(3).Compare(BigInt(-5)), 0);
+  EXPECT_EQ(BigInt(7).Compare(BigInt(7)), 0);
+  EXPECT_LT(BigInt(-7).Compare(BigInt(-3)), 0);
+  BigInt big = *BigInt::FromString("99999999999999999999");
+  EXPECT_GT(big.Compare(BigInt(INT64_MAX)), 0);
+  EXPECT_LT((-big).Compare(BigInt(INT64_MIN)), 0);
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToString(), "0");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToString(), "1");
+}
+
+TEST(BigIntTest, ToInt64Bounds) {
+  EXPECT_EQ(*BigInt(INT64_MAX).ToInt64(), INT64_MAX);
+  EXPECT_EQ(*BigInt(INT64_MIN).ToInt64(), INT64_MIN);
+  BigInt over = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_TRUE(over.ToInt64().status().IsOverflow());
+  BigInt under = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_TRUE(under.ToInt64().status().IsOverflow());
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::FromString("18446744073709551616")->BitLength(), 65u);
+}
+
+TEST(BigIntTest, ArithmeticIdentitiesRandomized) {
+  RandomSource rng(7);
+  for (int iter = 0; iter < 300; ++iter) {
+    BigInt a(static_cast<int64_t>(rng.Next()) >> 16);
+    BigInt b(static_cast<int64_t>(rng.Next()) >> 16);
+    BigInt c(static_cast<int64_t>(rng.Next()) >> 40);
+    EXPECT_EQ(((a + b) * c).Compare(a * c + b * c), 0);
+    EXPECT_EQ((a - b).Compare(-(b - a)), 0);
+    EXPECT_EQ((a + b).Compare(b + a), 0);
+  }
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -1,0 +1,307 @@
+#include "datatree/data_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datatree/generator.h"
+#include "datatree/text_io.h"
+#include "datatree/zones.h"
+
+namespace fo2dt {
+namespace {
+
+// The running example: a(1)( b(1) c(2)( d(2) ) b(1) ).
+DataTree Example(Alphabet* alpha) {
+  auto t = ParseDataTree("a:1 (b:1 c:2 (d:2) b:1)", alpha);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *t;
+}
+
+TEST(DataTreeTest, ConstructionAndNavigation) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  ASSERT_EQ(t.size(), 5u);
+  NodeId root = t.root();
+  EXPECT_EQ(t.parent(root), kNoNode);
+  std::vector<NodeId> kids = t.Children(root);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(alpha.Name(t.label(kids[0])), "b");
+  EXPECT_EQ(alpha.Name(t.label(kids[1])), "c");
+  EXPECT_EQ(alpha.Name(t.label(kids[2])), "b");
+  EXPECT_EQ(t.next_sibling(kids[0]), kids[1]);
+  EXPECT_EQ(t.prev_sibling(kids[1]), kids[0]);
+  EXPECT_EQ(t.first_child(root), kids[0]);
+  EXPECT_EQ(t.last_child(root), kids[2]);
+  EXPECT_EQ(t.NumChildren(root), 3u);
+  EXPECT_EQ(t.Depth(kids[0]), 1u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(DataTreeTest, SingleRootInvariant) {
+  DataTree t;
+  Alphabet alpha;
+  Symbol a = alpha.Intern("a");
+  ASSERT_TRUE(t.CreateRoot(a, 1).ok());
+  EXPECT_FALSE(t.CreateRoot(a, 2).ok());
+  EXPECT_FALSE(t.AppendChild(17, a, 1).ok());
+}
+
+TEST(DataTreeTest, StructuralPredicates) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  std::vector<NodeId> kids = t.Children(t.root());
+  NodeId d = t.first_child(kids[1]);
+  EXPECT_TRUE(t.HorizontalSuccessor(kids[0], kids[1]));
+  EXPECT_FALSE(t.HorizontalSuccessor(kids[1], kids[0]));
+  EXPECT_TRUE(t.VerticalSuccessor(t.root(), kids[0]));
+  EXPECT_TRUE(t.VerticalSuccessor(kids[1], d));
+  EXPECT_FALSE(t.VerticalSuccessor(t.root(), d));
+  EXPECT_TRUE(t.HorizontalOrder(kids[0], kids[2]));
+  EXPECT_FALSE(t.HorizontalOrder(kids[2], kids[0]));
+  EXPECT_TRUE(t.VerticalOrder(t.root(), d));
+  EXPECT_FALSE(t.VerticalOrder(d, t.root()));
+  EXPECT_TRUE(t.SameData(kids[0], kids[2]));
+  EXPECT_FALSE(t.SameData(kids[0], kids[1]));
+}
+
+TEST(DataTreeTest, Profiles) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  std::vector<NodeId> kids = t.Children(t.root());
+  NodeId d = t.first_child(kids[1]);
+  // b(1): parent a(1) same, no left, right c(2) differs.
+  EXPECT_EQ(ProfileToString(t.ProfileOf(kids[0])), "P--");
+  // c(2): parent differs, left differs, right differs.
+  EXPECT_EQ(ProfileToString(t.ProfileOf(kids[1])), "---");
+  // d(2): parent c(2) same.
+  EXPECT_EQ(ProfileToString(t.ProfileOf(d)), "P--");
+  // root.
+  EXPECT_EQ(ProfileToString(t.ProfileOf(t.root())), "---");
+  // Profile encoding round trip.
+  for (uint32_t code = 0; code < kNumProfiles; ++code) {
+    EXPECT_EQ(EncodeProfile(DecodeProfile(code)), code);
+  }
+}
+
+TEST(DataTreeTest, ProfiledTreeAlignsSymbols) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  Alphabet profiled_alpha;
+  DataTree pt = BuildProfiledTree(t, alpha, &profiled_alpha);
+  ASSERT_EQ(pt.size(), t.size());
+  EXPECT_EQ(profiled_alpha.size(), alpha.size() * kNumProfiles);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    Symbol expect =
+        ProfiledSymbol(t.label(v), EncodeProfile(t.ProfileOf(v)));
+    EXPECT_EQ(pt.label(v), expect);
+    EXPECT_EQ(pt.data(v), t.data(v));
+    EXPECT_EQ(pt.parent(v), t.parent(v));
+  }
+}
+
+TEST(DataTreeTest, DataErasure) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  DataTree e = DataErasure(t);
+  ASSERT_EQ(e.size(), t.size());
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(e.data(v), 0u);
+    EXPECT_EQ(e.label(v), t.label(v));
+  }
+}
+
+TEST(TextIoTest, RoundTrip) {
+  Alphabet alpha;
+  const std::string text = "a:1 (b:1 c:2 (d:2) b:1)";
+  DataTree t = *ParseDataTree(text, &alpha);
+  EXPECT_EQ(DataTreeToText(t, alpha), text);
+}
+
+TEST(TextIoTest, ParseErrors) {
+  Alphabet alpha;
+  EXPECT_FALSE(ParseDataTree("", &alpha).ok());
+  EXPECT_FALSE(ParseDataTree("a", &alpha).ok());
+  EXPECT_FALSE(ParseDataTree("a:", &alpha).ok());
+  EXPECT_FALSE(ParseDataTree("a:1 (b:2", &alpha).ok());
+  EXPECT_FALSE(ParseDataTree("a:1 extra:2", &alpha).ok());
+  EXPECT_FALSE(ParseDataTree("1:a", &alpha).ok());
+}
+
+TEST(ZonesTest, PaperExampleZones) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  ZonePartition z = ComputeZones(t);
+  // Zones: {a,b} (root + first b, value 1, connected), {c,d} (value 2),
+  // {b} (second b, value 1, not adjacent to the first zone's members? It is
+  // a child of root with value 1 — root has value 1 and is its parent, so it
+  // IS connected to the root zone).
+  // Actually: root a(1) - child b(1): connected; root - last b(1): connected
+  // via parent edge. So zone {a, b, b} and zone {c, d}.
+  EXPECT_EQ(z.num_zones(), 2u);
+  std::vector<NodeId> kids = t.Children(t.root());
+  EXPECT_EQ(z.zone_of[t.root()], z.zone_of[kids[0]]);
+  EXPECT_EQ(z.zone_of[t.root()], z.zone_of[kids[2]]);
+  EXPECT_NE(z.zone_of[t.root()], z.zone_of[kids[1]]);
+  EXPECT_EQ(z.zone_of[kids[1]], z.zone_of[t.first_child(kids[1])]);
+}
+
+TEST(ZonesTest, ZoneDisconnectedSameValue) {
+  Alphabet alpha;
+  // a(1)( b(2) ( c(1) ) ): root and c share value 1 but are separated by b.
+  DataTree t = *ParseDataTree("a:1 (b:2 (c:1))", &alpha);
+  ZonePartition z = ComputeZones(t);
+  EXPECT_EQ(z.num_zones(), 3u);
+  ClassPartition c = ComputeClasses(t);
+  EXPECT_EQ(c.num_classes(), 2u);
+}
+
+TEST(ZonesTest, AdjacentZones) {
+  Alphabet alpha;
+  DataTree t = *ParseDataTree("a:1 (b:2 (c:1))", &alpha);
+  ZonePartition z = ComputeZones(t);
+  ZoneId zb = z.zone_of[t.first_child(t.root())];
+  std::vector<ZoneId> adj = z.AdjacentZones(t, zb);
+  EXPECT_EQ(adj.size(), 2u);  // adjacent to both value-1 zones
+}
+
+TEST(ZonesTest, SiblinghoodsIncludeRootSingleton) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  auto sibs = Siblinghoods(t);
+  ASSERT_EQ(sibs.size(), 3u);  // root, root's children, c's children
+  EXPECT_EQ(sibs[0].size(), 1u);
+  EXPECT_EQ(sibs[1].size(), 3u);
+  EXPECT_EQ(sibs[2].size(), 1u);
+}
+
+TEST(ZonesTest, MaximalPureIntervals) {
+  Alphabet alpha;
+  // Children data values: 1 1 2 2 2 1 under a root with value 9.
+  DataTree t = *ParseDataTree("r:9 (c:1 c:1 c:2 c:2 c:2 c:1)", &alpha);
+  auto intervals = MaximalPureIntervals(t);
+  // Root singleton interval + three runs in the children siblinghood.
+  ASSERT_EQ(intervals.size(), 4u);
+  EXPECT_EQ(intervals[1].length(), 2u);
+  EXPECT_EQ(intervals[2].length(), 3u);
+  EXPECT_EQ(intervals[3].length(), 1u);
+  EXPECT_EQ(intervals[1].data, 1u);
+  EXPECT_EQ(intervals[2].data, 2u);
+  for (const auto& iv : intervals) EXPECT_TRUE(iv.complete);
+}
+
+TEST(ZonesTest, DataPaths) {
+  Alphabet alpha;
+  // Vertical chain with a same-value run of length 3 in the middle.
+  DataTree t = *ParseDataTree("a:1 (b:2 (c:2 (d:2 (e:3))))", &alpha);
+  auto paths = MaximalDataPaths(t);
+  size_t max_len = 0;
+  for (const auto& p : paths) max_len = std::max(max_len, p.nodes.size());
+  EXPECT_EQ(max_len, 3u);
+  // Path starts: a (no parent), b (parent differs), e (parent differs).
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(ZonesTest, DataPathsBranching) {
+  Alphabet alpha;
+  // Root value 1 with two children value 1: two maximal paths of length 2.
+  DataTree t = *ParseDataTree("a:1 (b:1 c:1)", &alpha);
+  auto paths = MaximalDataPaths(t);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].nodes.size(), 2u);
+  EXPECT_EQ(paths[1].nodes.size(), 2u);
+}
+
+TEST(ZonesTest, ShapeStatsOnFlatRuns) {
+  Alphabet alpha;
+  DataTree t = FlatRunsTree(12, 3, &alpha);
+  TreeShapeStats s = ComputeShapeStats(t);
+  EXPECT_EQ(s.num_nodes, 13u);
+  EXPECT_EQ(s.num_zones, 5u);  // root + 4 runs
+  EXPECT_EQ(s.max_pure_interval_length, 3u);
+  EXPECT_EQ(s.max_complete_intervals_per_siblinghood, 4u);
+}
+
+TEST(ZonesTest, IsReducedThresholds) {
+  Alphabet alpha;
+  DataTree t = FlatRunsTree(12, 3, &alpha);  // 4 complete intervals, zones <= 3
+  EXPECT_TRUE(IsReduced(t, 0, 4));   // no zone bigger than 4, no sibs > 4
+  EXPECT_FALSE(IsReduced(t, 0, 2));  // 4 zones exceed size 2 > M=0
+  EXPECT_TRUE(IsReduced(t, 4, 2));
+  // Siblinghood with 4 complete pure intervals: N=3 -> one big siblinghood.
+  EXPECT_FALSE(IsReduced(t, 0, 3));
+  EXPECT_TRUE(IsReduced(t, 1, 3));
+}
+
+TEST(GeneratorTest, RandomTreeValid) {
+  Alphabet alpha;
+  RandomSource rng(5);
+  RandomTreeOptions opt;
+  opt.num_nodes = 200;
+  DataTree t = RandomDataTree(opt, &rng, &alpha);
+  EXPECT_EQ(t.size(), 200u);
+  EXPECT_TRUE(t.Validate().ok());
+  // Sanity: copy semantics produce some nontrivial zones.
+  TreeShapeStats s = ComputeShapeStats(t);
+  EXPECT_GT(s.num_zones, 1u);
+  EXPECT_LT(s.num_zones, s.num_nodes);
+}
+
+TEST(GeneratorTest, ZonesRefineClasses) {
+  // Property: every zone is contained in one class, and the number of zones
+  // is at least the number of classes.
+  Alphabet alpha;
+  RandomSource rng(17);
+  for (int iter = 0; iter < 20; ++iter) {
+    RandomTreeOptions opt;
+    opt.num_nodes = 60;
+    opt.num_data_values = 5;
+    DataTree t = RandomDataTree(opt, &rng, &alpha);
+    ZonePartition z = ComputeZones(t);
+    EXPECT_GE(z.num_zones(), ComputeClasses(t).num_classes());
+    for (const auto& members : z.members) {
+      for (NodeId v : members) {
+        EXPECT_EQ(t.data(v), t.data(members[0]));
+      }
+    }
+    // Zone maximality: any edge between same-data nodes stays in one zone.
+    for (NodeId v = 0; v < t.size(); ++v) {
+      NodeId p = t.parent(v);
+      if (p != kNoNode && t.SameData(p, v)) {
+        EXPECT_EQ(z.zone_of[p], z.zone_of[v]);
+      }
+      NodeId s = t.next_sibling(v);
+      if (s != kNoNode && t.SameData(s, v)) {
+        EXPECT_EQ(z.zone_of[s], z.zone_of[v]);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, CombTreeShape) {
+  Alphabet alpha;
+  DataTree t = CombTree(5, 2, 2, &alpha);
+  EXPECT_EQ(t.size(), 5u + 10u);
+  EXPECT_TRUE(t.Validate().ok());
+  TreeShapeStats s = ComputeShapeStats(t);
+  // Runs of length 2 along the spine: ceil(5/2) = 3 distinct values.
+  EXPECT_EQ(s.num_classes, 3u);
+}
+
+TEST(DataTreeTest, PreOrderIsDocumentOrder) {
+  Alphabet alpha;
+  DataTree t = Example(&alpha);
+  std::vector<NodeId> order = t.PreOrder();
+  ASSERT_EQ(order.size(), t.size());
+  EXPECT_EQ(order[0], t.root());
+  // Parent precedes children; left siblings precede right ones.
+  std::vector<size_t> pos(t.size());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.parent(v) != kNoNode) EXPECT_LT(pos[t.parent(v)], pos[v]);
+    if (t.next_sibling(v) != kNoNode) EXPECT_LT(pos[v], pos[t.next_sibling(v)]);
+  }
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -1,0 +1,121 @@
+#include "frontend/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace fo2dt {
+namespace {
+
+Result<SatResult> Solve(const std::string& text, Alphabet* labels,
+                        size_t max_nodes = 5) {
+  auto f = ParseFormula(text, labels);
+  if (!f.ok()) return f.status();
+  SolverOptions opt;
+  opt.max_model_nodes = max_nodes;
+  return CheckFo2SatisfiabilityBounded(*f, opt);
+}
+
+TEST(SolverTest, TriviallySatisfiable) {
+  Alphabet labels;
+  auto r = Solve("exists x. a(x)", &labels);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->verdict, SatVerdict::kSat);
+  ASSERT_TRUE(r->witness.has_value());
+  EXPECT_EQ(r->witness->size(), 1u);
+}
+
+TEST(SolverTest, PropositionalContradiction) {
+  Alphabet labels;
+  // A node cannot have two labels.
+  auto r = Solve("exists x. (a(x) & b(x))", &labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verdict, SatVerdict::kUnknown);  // bound exhausted, no model
+}
+
+TEST(SolverTest, DataConstraintsShapeWitness) {
+  Alphabet labels;
+  // Some two siblings share a data value while parent differs from both.
+  auto r = Solve(
+      "exists x. exists y. (next(x,y) & x ~ y & a(x)) & "
+      "forall x. forall y. (child(x,y) -> !(x ~ y))",
+      &labels);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->verdict, SatVerdict::kSat);
+  const DataTree& w = *r->witness;
+  EXPECT_GE(w.size(), 3u);
+  // Verify no parent-child pair shares a value.
+  for (NodeId v = 0; v < w.size(); ++v) {
+    if (w.parent(v) != kNoNode) {
+      EXPECT_FALSE(w.SameData(w.parent(v), v));
+    }
+  }
+}
+
+TEST(SolverTest, KeyLikeFormulaSat) {
+  Alphabet labels;
+  // Every a is unique in its class, and there exist two a's.
+  auto r = Solve(
+      "forall x. forall y. ((a(x) & a(y) & x ~ y) -> x = y) & "
+      "exists x. exists y. (a(x) & a(y) & x != y)",
+      &labels);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->verdict, SatVerdict::kSat);
+}
+
+TEST(SolverTest, OrderAxesSupported) {
+  Alphabet labels;
+  // Some node has a same-valued proper descendant at depth >= 2 (not a
+  // child) — requires the E⇓ axis of FO²(∼,<,+1).
+  auto r = Solve(
+      "exists x. exists y. (desc(x,y) & !child(x,y) & x ~ y)", &labels, 4);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->verdict, SatVerdict::kSat);
+  EXPECT_GE(r->witness->size(), 3u);
+}
+
+TEST(SolverTest, RejectsOpenFormulas) {
+  Alphabet labels;
+  auto f = ParseFormula("a(x)", &labels);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(CheckFo2SatisfiabilityBounded(*f).ok());
+}
+
+TEST(SolverTest, SchemaFilterRestrictsModels) {
+  Alphabet labels;
+  Formula f = *ParseFormula("exists x. b(x)", &labels);  // b interned at 1?
+  // Alphabet: formula interned "b" as 0. Build a schema over 2 labels that
+  // only accepts single-node trees labeled 0.
+  TreeAutomaton schema(2, 1);
+  schema.SetInitial(0);
+  schema.SetAccepting(0, 0);
+  SolverOptions opt;
+  opt.structural_filter = &schema;
+  auto r = CheckFo2SatisfiabilityBounded(f, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verdict, SatVerdict::kSat);  // single b-node is accepted
+  // Now a schema accepting only label-1 roots: "exists b(=0)" unsatisfiable.
+  TreeAutomaton schema2(2, 1);
+  schema2.SetInitial(0);
+  schema2.SetAccepting(0, 1);
+  opt.structural_filter = &schema2;
+  auto r2 = CheckFo2SatisfiabilityBounded(f, opt);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->verdict, SatVerdict::kUnknown);
+}
+
+TEST(SolverTest, WitnessIsMinimal) {
+  Alphabet labels;
+  // Needs 3 distinct classes pairwise different: minimal model has 3 nodes.
+  auto r = Solve(
+      "exists x. exists y. (a(x) & b(y) & !(x ~ y)) & "
+      "exists x. exists y. (b(x) & c(y) & !(x ~ y)) & "
+      "exists x. exists y. (a(x) & c(y) & !(x ~ y))",
+      &labels);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->verdict, SatVerdict::kSat);
+  EXPECT_EQ(r->witness->size(), 3u);
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -1,0 +1,145 @@
+// End-to-end integration: XML document -> Figure-3 encoding -> DTD schema ->
+// constraints -> FO² -> bounded decision, and DNF -> puzzle -> frontend.
+// Each step reuses another module's output rather than fixtures.
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraints.h"
+#include "frontend/solver.h"
+#include "logic/eval.h"
+#include "logic/scott.h"
+#include "puzzle/counting.h"
+#include "puzzle/puzzle.h"
+#include "xmlenc/dtd.h"
+#include "xmlenc/xml.h"
+#include "xpath/xpath.h"
+
+namespace fo2dt {
+namespace {
+
+TEST(IntegrationTest, XmlToConstraintsToDecision) {
+  // 1. Parse and encode a document.
+  XmlElement doc = *ParseXml(
+      "<schedule><course ID=\"5\"><lecturer faculty=\"12\"/></course>"
+      "<course ID=\"7\"><lecturer faculty=\"12\"/></course></schedule>");
+  Alphabet labels;
+  ValueDictionary values;
+  DataTree tree = *EncodeXml(doc, &labels, &values);
+
+  // 2. A DTD for exactly this shape accepts the encoding.
+  Dtd dtd;
+  dtd.root = labels.Find("schedule");
+  DtdElement sched{dtd.root, *ParseRegex("course+", &labels), {}};
+  DtdElement course{labels.Find("course"),
+                    *ParseRegex("lecturer?", &labels),
+                    {labels.Find("ID")}};
+  DtdElement lect{labels.Find("lecturer"),
+                  Regex::Epsilon(),
+                  {labels.Find("faculty")}};
+  dtd.elements = {sched, course, lect};
+  TreeAutomaton schema = *DtdToTreeAutomaton(dtd, labels.size());
+  EXPECT_TRUE(schema.Accepts(tree));
+
+  // 3. The key holds on the document and its FO² form agrees.
+  UnaryKey key{labels.Find("course"), labels.Find("ID")};
+  EXPECT_TRUE(DocumentSatisfiesKey(tree, key));
+  EXPECT_TRUE(*Evaluator::EvaluateSentence(KeyToFo2(key), tree, nullptr));
+
+  // 4. Consistency of the key relative to the DTD (bounded search finds a
+  // small valid document).
+  ConstraintSet set;
+  set.keys.push_back(key);
+  SolverOptions opt;
+  opt.max_model_nodes = 4;
+  auto sat = CheckConsistencyBounded(schema, set, opt);
+  ASSERT_TRUE(sat.ok()) << sat.status().ToString();
+  ASSERT_EQ(sat->verdict, SatVerdict::kSat);
+  EXPECT_TRUE(schema.Accepts(*sat->witness));
+  EXPECT_TRUE(DocumentSatisfiesKey(*sat->witness, key));
+
+  // 5. An XPath query over the same document.
+  Alphabet xp_labels = labels;
+  XpPath q = *ParseXPath("/Child::course[Child::lecturer]", &xp_labels);
+  auto hits = EvaluateXPathFromRoot(tree, q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST(IntegrationTest, DnfThroughPuzzleAndFrontend) {
+  // DNF with two blocks: an unsatisfiable one (courses forbidden entirely
+  // but required by the language) and a satisfiable one; the frontend must
+  // kill the first by counting and solve the second by search.
+  ExtAlphabet ext{2, 0};
+  DataNormalForm dnf;
+  dnf.ext = ext;
+
+  auto letter = [&](ExtSymbol l) {
+    TypeSet t(ext.size(), 0);
+    t[l] = 1;
+    return t;
+  };
+  // Block 1: label-0 nodes may not coexist with themselves (no 0 anywhere),
+  // yet the root must be labeled 0.
+  DnfBlock dead;
+  SimpleFormula no0;
+  no0.kind = SimpleFormula::Kind::kNoCoexist;
+  no0.alpha = letter(0);
+  no0.beta = letter(0);
+  dead.simples.push_back(no0);
+  TreeAutomaton root0(ext.profiled_size(), 1);
+  root0.SetInitial(0);
+  for (Symbol s = 0; s < ext.profiled_size(); ++s) {
+    root0.AddHorizontal(0, s, 0);
+    root0.AddVertical(0, s, 0);
+    if (ext.LabelOf(ext.ExtOf(s)) == 0) root0.SetAccepting(0, s);
+  }
+  dead.regular.push_back(root0);
+  // Block 2: at most one label-0 node per class.
+  DnfBlock live;
+  SimpleFormula amo;
+  amo.kind = SimpleFormula::Kind::kAtMostOne;
+  amo.alpha = letter(0);
+  live.simples.push_back(amo);
+  dnf.blocks = {dead, live};
+
+  SolverOptions opt;
+  opt.max_model_nodes = 3;
+  auto r = CheckDnfSatisfiability(dnf, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->verdict, SatVerdict::kSat);
+  // The witness solves the live block's puzzle.
+  Puzzle live_puzzle = *PuzzleFromBlock(live, ext);
+  EXPECT_TRUE(
+      *IsPuzzleSolution(live_puzzle, *r->witness, *r->witness_interp));
+
+  // With only the dead block, the counting abstraction certifies UNSAT.
+  dnf.blocks = {dead};
+  auto dead_r = CheckDnfSatisfiability(dnf, opt);
+  ASSERT_TRUE(dead_r.ok());
+  EXPECT_EQ(dead_r->verdict, SatVerdict::kUnsat);
+  EXPECT_EQ(dead_r->method, SatMethod::kCountingAbstraction);
+}
+
+TEST(IntegrationTest, ScottFormOfConstraintFormulaStaysFaithful) {
+  // Key formula -> Scott normal form -> brute-force EMSO evaluation agrees
+  // with the direct checker on the paper's example document.
+  Alphabet labels;
+  ValueDictionary values;
+  XmlElement doc = *ParseXml(
+      "<schedule><course ID=\"5\"/><course ID=\"5\"/></schedule>");
+  DataTree tree = *EncodeXml(doc, &labels, &values);
+  UnaryKey key{labels.Find("course"), labels.Find("ID")};
+  EXPECT_FALSE(DocumentSatisfiesKey(tree, key));
+  Formula f = KeyToFo2(key);
+  auto snf = ToScottNormalForm(f, 0);
+  ASSERT_TRUE(snf.ok());
+  Emso2Formula emso;
+  emso.num_preds = snf->num_preds;
+  emso.core = ScottToFormula(*snf);
+  auto via_snf = Evaluator::EvaluateEmsoBruteForce(emso, tree, 22);
+  ASSERT_TRUE(via_snf.ok()) << via_snf.status().ToString();
+  EXPECT_FALSE(*via_snf);
+}
+
+}  // namespace
+}  // namespace fo2dt

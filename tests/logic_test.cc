@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datatree/generator.h"
+#include "datatree/text_io.h"
+#include "logic/eval.h"
+#include "logic/formula.h"
+#include "logic/parser.h"
+#include "logic/scott.h"
+
+namespace fo2dt {
+namespace {
+
+struct Ctx {
+  Alphabet labels;
+  Alphabet preds;
+  DataTree tree;
+};
+
+Ctx MakeCtx(const std::string& tree_text) {
+  Ctx c;
+  auto t = ParseDataTree(tree_text, &c.labels);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  c.tree = *t;
+  return c;
+}
+
+Result<bool> Holds(Ctx* c, const std::string& formula_text) {
+  auto f = ParseFormula(formula_text, &c->labels, &c->preds);
+  if (!f.ok()) return f.status();
+  return Evaluator::EvaluateSentence(*f, c->tree, nullptr);
+}
+
+TEST(FormulaTest, ParseRenderRoundTrip) {
+  Alphabet labels;
+  Alphabet preds;
+  auto f = ParseFormula("forall x. (a(x) -> exists y. (child(x,y) & x ~ y))",
+                        &labels, &preds);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->ToString(labels),
+            "forall x. (!a(x) | exists y. (child(x,y) & x ~ y))");
+  EXPECT_TRUE(f->IsSentence());
+  EXPECT_TRUE(f->UsesData());
+  EXPECT_FALSE(f->UsesOrderAxes());
+}
+
+TEST(FormulaTest, ParseErrors) {
+  Alphabet labels;
+  EXPECT_FALSE(ParseFormula("", &labels).ok());
+  EXPECT_FALSE(ParseFormula("a(z)", &labels).ok());
+  EXPECT_FALSE(ParseFormula("exists x a(x)", &labels).ok());
+  EXPECT_FALSE(ParseFormula("a(x) &", &labels).ok());
+  EXPECT_FALSE(ParseFormula("next(x)", &labels).ok());
+  EXPECT_FALSE(ParseFormula("$R(x)", &labels).ok());  // no pred catalog
+  EXPECT_FALSE(ParseFormula("x ~ y extra", &labels).ok());
+}
+
+TEST(FormulaTest, FreeVarsAndSentences) {
+  Alphabet labels;
+  Alphabet preds;
+  Formula open = *ParseFormula("a(x) & exists y. x ~ y", &labels, &preds);
+  EXPECT_EQ(open.FreeVars(), 1u);
+  EXPECT_FALSE(open.IsSentence());
+  Formula closed = Formula::Forall(Var::kX, open);
+  EXPECT_TRUE(closed.IsSentence());
+}
+
+TEST(FormulaTest, NnfPushesNegations) {
+  Alphabet labels;
+  Formula f = *ParseFormula("!(a(x) & exists y. next(x,y))", &labels);
+  Formula nnf = f.ToNnf();
+  EXPECT_EQ(nnf.ToString(labels), "(!a(x) | forall y. !next(x,y))");
+  // Double negation collapses.
+  Formula dn = Formula::Not(Formula::Not(f)).ToNnf();
+  EXPECT_TRUE(dn.EqualsFormula(nnf));
+}
+
+TEST(FormulaTest, UsesOrderAxes) {
+  Alphabet labels;
+  EXPECT_TRUE(ParseFormula("exists x. exists y. desc(x,y)", &labels)->UsesOrderAxes());
+  EXPECT_TRUE(ParseFormula("exists x. exists y. foll(x,y)", &labels)->UsesOrderAxes());
+  EXPECT_FALSE(ParseFormula("exists x. exists y. child(x,y)", &labels)->UsesOrderAxes());
+}
+
+TEST(EvalTest, LabelAndStructure) {
+  Ctx c = MakeCtx("a:1 (b:1 c:2 (d:2) b:1)");
+  EXPECT_TRUE(*Holds(&c, "exists x. a(x)"));
+  EXPECT_FALSE(*Holds(&c, "exists x. e(x)"));
+  EXPECT_TRUE(*Holds(&c, "exists x. exists y. next(x,y) & b(x) & c(y)"));
+  EXPECT_FALSE(*Holds(&c, "exists x. exists y. next(x,y) & c(x) & b(x)"));
+  EXPECT_TRUE(*Holds(&c, "exists x. (c(x) & exists y. (child(x,y) & d(y)))"));
+  EXPECT_TRUE(*Holds(&c, "forall x. (d(x) -> exists y. (child(y,x) & c(y)))"));
+}
+
+TEST(EvalTest, DataEquality) {
+  Ctx c = MakeCtx("a:1 (b:1 c:2 (d:2) b:1)");
+  // Root shares its value with both b's.
+  EXPECT_TRUE(*Holds(&c, "forall x. (b(x) -> exists y. (a(y) & x ~ y))"));
+  // c and d share value 2; no b shares with c.
+  EXPECT_TRUE(*Holds(&c, "exists x. (c(x) & exists y. (d(y) & x ~ y))"));
+  EXPECT_FALSE(*Holds(&c, "exists x. (b(x) & exists y. (c(y) & x ~ y))"));
+  // Every class has at most 3 members — sanity via at-most-one failing.
+  EXPECT_FALSE(
+      *Holds(&c, "forall x. forall y. ((b(x) & b(y) & x ~ y) -> x = y)"));
+}
+
+TEST(EvalTest, TransitiveAxes) {
+  Ctx c = MakeCtx("a:1 (b:2 (c:3 (d:4)) e:5)");
+  EXPECT_TRUE(*Holds(&c, "exists x. exists y. (a(x) & d(y) & desc(x,y))"));
+  EXPECT_TRUE(*Holds(&c, "exists x. exists y. (b(x) & d(y) & desc(x,y))"));
+  EXPECT_FALSE(*Holds(&c, "exists x. exists y. (e(x) & d(y) & desc(x,y))"));
+  EXPECT_TRUE(*Holds(&c, "exists x. exists y. (b(x) & e(y) & foll(x,y))"));
+  EXPECT_FALSE(*Holds(&c, "exists x. exists y. (e(x) & b(y) & foll(x,y))"));
+  // desc is irreflexive and next/foll need a shared parent.
+  EXPECT_FALSE(*Holds(&c, "exists x. desc(x,x)"));
+  EXPECT_FALSE(*Holds(&c, "exists x. exists y. (a(x) & foll(x,y))"));
+}
+
+TEST(EvalTest, EqualityAtom) {
+  Ctx c = MakeCtx("a:1 (b:2)");
+  EXPECT_TRUE(*Holds(&c, "forall x. exists y. x = y"));
+  EXPECT_TRUE(*Holds(&c, "exists x. exists y. x != y"));
+  EXPECT_TRUE(*Holds(&c, "forall x. x ~ x"));
+}
+
+TEST(EvalTest, QuantifierAlternation) {
+  // "Every node has a child" is false; "some node has every node as
+  // child-or-self" nonsense checks quantifier nesting.
+  Ctx c = MakeCtx("a:1 (b:2 b:3)");
+  EXPECT_FALSE(*Holds(&c, "forall x. exists y. child(x,y)"));
+  EXPECT_TRUE(*Holds(&c, "exists x. forall y. (x = y | child(x,y))"));
+  EXPECT_FALSE(*Holds(&c, "exists x. forall y. child(x,y)"));
+}
+
+TEST(EvalTest, PredInterpretation) {
+  Ctx c = MakeCtx("a:1 (b:2 b:3)");
+  Formula f = *ParseFormula("exists x. ($M(x) & b(x))", &c.labels, &c.preds);
+  PredInterpretation interp = PredInterpretation::Empty(1, c.tree.size());
+  EXPECT_FALSE(*Evaluator::EvaluateSentence(f, c.tree, &interp));
+  interp.membership[0][1] = 1;  // mark the first b
+  EXPECT_TRUE(*Evaluator::EvaluateSentence(f, c.tree, &interp));
+  // Without any interpretation, predicates read as empty.
+  EXPECT_FALSE(*Evaluator::EvaluateSentence(f, c.tree, nullptr));
+}
+
+TEST(EvalTest, EvaluateUnary) {
+  Ctx c = MakeCtx("a:1 (b:1 c:2 (d:2) b:1)");
+  Formula f = *ParseFormula("exists y. (child(y,x) & y ~ x)", &c.labels, &c.preds);
+  auto sat = Evaluator::EvaluateUnary(f, c.tree, Var::kX);
+  ASSERT_TRUE(sat.ok());
+  // Nodes whose parent shares their value: both b's and d.
+  std::vector<char> expect = {0, 1, 0, 1, 1};
+  EXPECT_EQ(*sat, expect);
+  // Wrong free variable is an error.
+  EXPECT_FALSE(Evaluator::EvaluateUnary(f, c.tree, Var::kY).ok());
+}
+
+TEST(EvalTest, EmptyTreeIsError) {
+  DataTree t;
+  Formula f = Formula::True();
+  EXPECT_FALSE(Evaluator::EvaluateSentence(f, t, nullptr).ok());
+}
+
+TEST(ScottTest, ShapeOfResult) {
+  Alphabet labels;
+  Formula f = *ParseFormula(
+      "forall x. (a(x) -> exists y. (child(x,y) & x ~ y))", &labels);
+  auto snf = ToScottNormalForm(f, 0);
+  ASSERT_TRUE(snf.ok()) << snf.status().ToString();
+  EXPECT_TRUE(snf->universal.IsQuantifierFree());
+  for (const Formula& w : snf->witnesses) {
+    EXPECT_TRUE(w.IsQuantifierFree());
+    // Witness clauses are over (x free, y quantified): no stray vars needed.
+  }
+  EXPECT_GT(snf->num_preds, 0u);
+}
+
+TEST(ScottTest, EquisatisfiableOnModels) {
+  // For every model t of φ there is a predicate interpretation making the
+  // Scott form true, and vice versa (checked by brute force over small
+  // trees and interpretations).
+  Alphabet labels;
+  const char* formulas[] = {
+      "exists x. a(x)",
+      "forall x. (a(x) -> exists y. (child(x,y) & x ~ y))",
+      "exists x. (a(x) & forall y. (child(x,y) -> b(y)))",
+      "forall x. forall y. ((a(x) & a(y)) -> x = y)",
+      "exists x. exists y. (next(x,y) & x ~ y)",
+  };
+  const char* trees[] = {
+      "a:1",           "b:1",           "a:1 (a:1)",      "a:1 (b:1)",
+      "a:1 (b:2 b:1)", "b:1 (a:2 a:2)", "a:1 (a:2 (b:2))", "b:3 (b:3)",
+  };
+  for (const char* ftext : formulas) {
+    Formula f = *ParseFormula(ftext, &labels);
+    auto snf = ToScottNormalForm(f, 0);
+    ASSERT_TRUE(snf.ok());
+    Emso2Formula emso;
+    emso.num_preds = snf->num_preds;
+    emso.core = ScottToFormula(*snf);
+    for (const char* ttext : trees) {
+      Alphabet tree_labels = labels;  // share ids
+      DataTree t = *ParseDataTree(ttext, &tree_labels);
+      bool direct = *Evaluator::EvaluateSentence(f, t, nullptr);
+      auto via_snf = Evaluator::EvaluateEmsoBruteForce(emso, t, 22);
+      ASSERT_TRUE(via_snf.ok()) << via_snf.status().ToString();
+      EXPECT_EQ(direct, *via_snf) << ftext << " on " << ttext;
+    }
+  }
+}
+
+TEST(ScottTest, SwapVarsInvolution) {
+  Alphabet labels;
+  Formula f = *ParseFormula("a(x) & next(x,y) & x ~ y", &labels);
+  Formula swapped = *SwapVars(f);
+  EXPECT_EQ(swapped.ToString(labels), "(a(y) & next(y,x) & y ~ x)");
+  EXPECT_TRUE(SwapVars(swapped)->EqualsFormula(f));
+  Formula quantified = Formula::Exists(Var::kX, f);
+  EXPECT_FALSE(SwapVars(quantified).ok());
+}
+
+TEST(EvalTest, RandomizedSemanticsSpotChecks) {
+  // On random trees: "every node with a same-data parent" count matches a
+  // direct computation.
+  Alphabet labels;
+  Alphabet preds;
+  Formula f =
+      *ParseFormula("exists y. (child(y,x) & y ~ x)", &labels, &preds);
+  RandomSource rng(123);
+  RandomTreeOptions opt;
+  opt.num_nodes = 30;
+  opt.num_labels = 2;
+  for (int iter = 0; iter < 25; ++iter) {
+    // Reuse label ids: generator interns l0, l1 which differ from parse-time
+    // labels; the formula above uses no labels so this is safe.
+    DataTree t = RandomDataTree(opt, &rng, &labels);
+    auto sat = Evaluator::EvaluateUnary(f, t, Var::kX);
+    ASSERT_TRUE(sat.ok());
+    for (NodeId v = 0; v < t.size(); ++v) {
+      bool expect = t.parent(v) != kNoNode && t.SameData(t.parent(v), v);
+      EXPECT_EQ((*sat)[v] != 0, expect);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -1,0 +1,361 @@
+#include "puzzle/puzzle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datatree/generator.h"
+#include "datatree/text_io.h"
+#include "logic/eval.h"
+#include "puzzle/bounded_solver.h"
+#include "puzzle/counting.h"
+
+namespace fo2dt {
+namespace {
+
+// Alphabet {a=0, b=1}, no predicates.
+ExtAlphabet TinyExt() { return ExtAlphabet{2, 0}; }
+
+TypeSet LetterType(const ExtAlphabet& ext, ExtSymbol l) {
+  TypeSet t(ext.size(), 0);
+  t[l] = 1;
+  return t;
+}
+
+SimpleFormula AtMostOne(const ExtAlphabet& ext, ExtSymbol l) {
+  SimpleFormula s;
+  s.kind = SimpleFormula::Kind::kAtMostOne;
+  s.alpha = LetterType(ext, l);
+  return s;
+}
+
+SimpleFormula NoCoexist(const ExtAlphabet& ext, ExtSymbol a, ExtSymbol b) {
+  SimpleFormula s;
+  s.kind = SimpleFormula::Kind::kNoCoexist;
+  s.alpha = LetterType(ext, a);
+  s.beta = LetterType(ext, b);
+  return s;
+}
+
+SimpleFormula Implies(const ExtAlphabet& ext, ExtSymbol a, ExtSymbol b) {
+  SimpleFormula s;
+  s.kind = SimpleFormula::Kind::kImpliesPresence;
+  s.alpha = LetterType(ext, a);
+  s.beta = LetterType(ext, b);
+  return s;
+}
+
+DataTree T(const std::string& text, Alphabet* alpha) {
+  auto t = ParseDataTree(text, alpha);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *t;
+}
+
+TEST(PuzzleTest, UnconstrainedBlockAcceptsEverything) {
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  auto puzzle = PuzzleFromBlock(block, ext);
+  ASSERT_TRUE(puzzle.ok());
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  PredInterpretation none = PredInterpretation::Empty(0, 5);
+  DataTree t = T("a:1 (b:1 a:2 (b:2) b:1)", &alpha);
+  EXPECT_TRUE(*IsPuzzleSolution(*puzzle, t, none));
+}
+
+TEST(PuzzleTest, AtMostOneCondition) {
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  block.simples.push_back(AtMostOne(ext, 0));  // at most one 'a' per class
+  auto puzzle = PuzzleFromBlock(block, ext);
+  ASSERT_TRUE(puzzle.ok());
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  PredInterpretation none = PredInterpretation::Empty(0, 3);
+  EXPECT_TRUE(*IsPuzzleSolution(*puzzle, T("a:1 (a:2 b:1)", &alpha), none));
+  EXPECT_FALSE(*IsPuzzleSolution(*puzzle, T("a:1 (a:1 b:2)", &alpha), none));
+}
+
+TEST(PuzzleTest, ProfileConditionFoldsIntoLanguage) {
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  SimpleFormula prof;
+  prof.kind = SimpleFormula::Kind::kProfile;
+  prof.alpha = LetterType(ext, 1);  // every 'b'
+  // Allowed profiles: parent_same set (codes with bit 4 in EncodeProfile,
+  // i.e. codes 4..7).
+  prof.profile_mask = 0xf0;
+  block.simples.push_back(prof);
+  auto puzzle = PuzzleFromBlock(block, ext);
+  ASSERT_TRUE(puzzle.ok());
+  EXPECT_TRUE(puzzle->class_conditions.empty());
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  PredInterpretation none = PredInterpretation::Empty(0, 2);
+  // b child sharing the parent's value: profile P-- (code 4): allowed.
+  EXPECT_TRUE(*IsPuzzleSolution(*puzzle, T("a:1 (b:1)", &alpha), none));
+  // b child with a different value: profile ---: rejected.
+  EXPECT_FALSE(*IsPuzzleSolution(*puzzle, T("a:1 (b:2)", &alpha), none));
+}
+
+TEST(PuzzleTest, SimpleFormulasAgreeWithFo2Semantics) {
+  // Differential: EvaluateSimple must agree with the FO² reading
+  // (SimpleToFormula + model checker) on random trees.
+  ExtAlphabet ext = TinyExt();
+  std::vector<SimpleFormula> simples = {
+      AtMostOne(ext, 0), NoCoexist(ext, 0, 1), Implies(ext, 0, 1)};
+  SimpleFormula prof;
+  prof.kind = SimpleFormula::Kind::kProfile;
+  prof.alpha = LetterType(ext, 0);
+  prof.profile_mask = 0x0f;  // 'a' nodes must not share the parent's value
+  simples.push_back(prof);
+
+  Alphabet alpha;  // generator interns l0, l1 as labels 0, 1
+  RandomSource rng(321);
+  RandomTreeOptions opt;
+  opt.num_nodes = 8;
+  opt.num_labels = 2;
+  opt.num_data_values = 3;
+  PredInterpretation none = PredInterpretation::Empty(0, opt.num_nodes);
+  for (int iter = 0; iter < 60; ++iter) {
+    DataTree t = RandomDataTree(opt, &rng, &alpha);
+    for (const SimpleFormula& s : simples) {
+      bool direct = *EvaluateSimple(s, t, ext, none);
+      Formula f = SimpleToFormula(s, ext);
+      bool logical = *Evaluator::EvaluateSentence(f, t, nullptr);
+      EXPECT_EQ(direct, logical)
+          << s.ToString(ext, alpha) << " on " << DataTreeToText(t, alpha);
+    }
+  }
+}
+
+TEST(PuzzleTest, PairSemantics) {
+  ExtAlphabet ext = TinyExt();
+  std::vector<SimpleFormula> conds = {AtMostOne(ext, 0), Implies(ext, 1, 0)};
+  AcceptingPair ok;
+  ok.dogs = LetterType(ext, 0);   // D = {a}
+  ok.sheep = LetterType(ext, 1);  // S = {b}
+  EXPECT_TRUE(PairSatisfiesConditions(ok, conds));
+  AcceptingPair bad;
+  bad.dogs = TypeSet(2, 0);
+  bad.sheep = LetterType(ext, 1);  // b possible but a not guaranteed
+  EXPECT_FALSE(PairSatisfiesConditions(bad, conds));
+  AcceptingPair a_sheep;
+  a_sheep.dogs = TypeSet(2, 0);
+  a_sheep.sheep = TypeSet(2, 1);  // a in S violates at-most-one
+  EXPECT_FALSE(PairSatisfiesConditions(a_sheep, conds));
+
+  // Class conformance: dogs exactly once, sheep free, others zero.
+  EXPECT_TRUE(ClassConformsToPair({1, 3}, ok));
+  EXPECT_FALSE(ClassConformsToPair({2, 3}, ok));
+  EXPECT_FALSE(ClassConformsToPair({0, 3}, ok));  // dog 'a' must occur
+  AcceptingPair only_b;
+  only_b.dogs = TypeSet(2, 0);
+  only_b.sheep = LetterType(ext, 1);
+  EXPECT_TRUE(ClassConformsToPair({0, 0}, only_b));
+  EXPECT_FALSE(ClassConformsToPair({1, 0}, only_b));
+}
+
+TEST(PuzzleTest, CountAcceptingPairsMatchesEnumeration) {
+  // Exhaustive differential over all 3^E pair assignments for small E.
+  RandomSource rng(555);
+  for (int iter = 0; iter < 20; ++iter) {
+    ExtAlphabet ext{3, 0};  // three letters
+    Puzzle puzzle;
+    puzzle.ext = ext;
+    puzzle.language = TreeAutomaton::Universal(ext.profiled_size());
+    int num_conds = 1 + static_cast<int>(rng.UniformIndex(3));
+    for (int c = 0; c < num_conds; ++c) {
+      ExtSymbol x = static_cast<ExtSymbol>(rng.UniformIndex(3));
+      ExtSymbol y = static_cast<ExtSymbol>(rng.UniformIndex(3));
+      switch (rng.UniformIndex(3)) {
+        case 0:
+          puzzle.class_conditions.push_back(AtMostOne(ext, x));
+          break;
+        case 1:
+          puzzle.class_conditions.push_back(NoCoexist(ext, x, y));
+          break;
+        default:
+          puzzle.class_conditions.push_back(Implies(ext, x, y));
+      }
+    }
+    BigInt dp_count = CountAcceptingPairs(puzzle);
+    // Brute force: each letter in {absent, dog, sheep}.
+    int64_t brute = 0;
+    for (int assign = 0; assign < 27; ++assign) {
+      AcceptingPair pair;
+      pair.dogs = TypeSet(3, 0);
+      pair.sheep = TypeSet(3, 0);
+      int code = assign;
+      for (int l = 0; l < 3; ++l) {
+        int choice = code % 3;
+        code /= 3;
+        if (choice == 1) pair.dogs[l] = 1;
+        if (choice == 2) pair.sheep[l] = 1;
+      }
+      if (PairSatisfiesConditions(pair, puzzle.class_conditions)) ++brute;
+    }
+    EXPECT_EQ(dp_count.ToString(), BigInt(brute).ToString()) << "iter " << iter;
+  }
+}
+
+TEST(PuzzleTest, NormalizeImpliesPreservesSolutions) {
+  // Class-level satisfaction of the original block must equal EMSO-style
+  // satisfaction of the normalized block (∃ marker sets) on small trees.
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  block.simples.push_back(Implies(ext, 0, 1));  // class with a needs a b
+  ExtAlphabet grown = ext;
+  auto normalized = NormalizeImpliesPresence(block, &grown);
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_EQ(grown.num_preds, 1u);
+
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  const char* trees[] = {"a:1",       "b:1",           "a:1 (b:1)",
+                         "a:1 (b:2)", "a:1 (b:1 a:1)", "b:1 (a:2 b:2)"};
+  for (const char* text : trees) {
+    DataTree t = T(text, &alpha);
+    PredInterpretation none = PredInterpretation::Empty(0, t.size());
+    bool direct = true;
+    for (const SimpleFormula& s : block.simples) {
+      direct = direct && *EvaluateSimple(s, t, ext, none);
+    }
+    // Normalized: exists a marker assignment satisfying all simples.
+    DataNormalForm dnf;
+    dnf.ext = grown;
+    dnf.blocks.push_back(*normalized);
+    bool via_markers = *EvaluateDnfBruteForce(dnf, t, 24);
+    EXPECT_EQ(direct, via_markers) << text;
+  }
+}
+
+TEST(PuzzleTest, BoundedSolverFindsWitness) {
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  block.simples.push_back(Implies(ext, 0, 1));  // a-classes contain a b
+  auto puzzle = PuzzleFromBlock(block, ext);
+  ASSERT_TRUE(puzzle.ok());
+  auto result = SolvePuzzleBounded(*puzzle);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->verdict, BoundedVerdict::kSat);
+  EXPECT_TRUE(*IsPuzzleSolution(*puzzle, result->witness, result->interp));
+}
+
+TEST(PuzzleTest, BoundedSolverProvesBoundedUnsat) {
+  // 'a' may not coexist with itself (no class contains an a at all -> since
+  // every node is in some class, no a anywhere), but the language accepts
+  // only trees whose root is 'a'. Unsatisfiable.
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  block.simples.push_back(NoCoexist(ext, 0, 0));
+  // Language: root must be 'a' (any profile); one-state automaton.
+  TreeAutomaton root_a(ext.profiled_size(), 1);
+  root_a.SetInitial(0);
+  for (Symbol s = 0; s < ext.profiled_size(); ++s) {
+    root_a.AddHorizontal(0, s, 0);
+    root_a.AddVertical(0, s, 0);
+    if (ext.LabelOf(ext.ExtOf(s)) == 0) root_a.SetAccepting(0, s);
+  }
+  block.regular.push_back(root_a);
+  auto puzzle = PuzzleFromBlock(block, ext);
+  ASSERT_TRUE(puzzle.ok());
+  BoundedSolveOptions opt;
+  opt.max_nodes = 4;
+  auto result = SolvePuzzleBounded(*puzzle, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->verdict, BoundedVerdict::kUnsatWithinBound);
+  // The counting abstraction proves it outright.
+  auto counted = CheckPuzzleUnsatByCounting(*puzzle);
+  ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+  EXPECT_EQ(counted->verdict, CountingVerdict::kUnsat);
+}
+
+TEST(PuzzleTest, CountingInconclusiveOnSatisfiablePuzzle) {
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  block.simples.push_back(AtMostOne(ext, 0));
+  auto puzzle = PuzzleFromBlock(block, ext);
+  ASSERT_TRUE(puzzle.ok());
+  auto counted = CheckPuzzleUnsatByCounting(*puzzle);
+  ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+  EXPECT_EQ(counted->verdict, CountingVerdict::kInconclusive);
+}
+
+TEST(CoherenceTest, AcceptsProfilesOfRealTrees) {
+  ExtAlphabet ext = TinyExt();
+  TreeAutomaton coherent = ProfileCoherenceAutomaton(ext);
+  Alphabet alpha;
+  RandomSource rng(777);
+  RandomTreeOptions opt;
+  opt.num_nodes = 15;
+  opt.num_labels = 2;
+  opt.num_data_values = 4;
+  PredInterpretation none = PredInterpretation::Empty(0, opt.num_nodes);
+  for (int iter = 0; iter < 40; ++iter) {
+    DataTree t = RandomDataTree(opt, &rng, &alpha);
+    DataTree profiled = *BuildExtProfiledTree(t, ext, none);
+    EXPECT_TRUE(coherent.Accepts(profiled))
+        << DataTreeToText(t, alpha);
+  }
+}
+
+TEST(CoherenceTest, RejectsIncoherentProfiles) {
+  ExtAlphabet ext = TinyExt();
+  TreeAutomaton coherent = ProfileCoherenceAutomaton(ext);
+  // Root claiming a parent: profile P-- (code 4).
+  {
+    DataTree t;
+    (void)t.CreateRoot(ext.Profiled(0, 4), 0);
+    EXPECT_FALSE(coherent.Accepts(t));
+  }
+  // Two siblings with mismatched shared-edge bits: first claims right-same
+  // (code 1 = --R), second claims left-different (code 0 = ---).
+  {
+    DataTree t;
+    (void)t.CreateRoot(ext.Profiled(0, 0), 0);
+    (void)t.AppendChild(t.root(), ext.Profiled(0, 1), 0);
+    (void)t.AppendChild(t.root(), ext.Profiled(0, 0), 0);
+    EXPECT_FALSE(coherent.Accepts(t));
+  }
+  // Triangle violation: both children share the parent's value but claim to
+  // differ from each other: children profiles P-- (4) and P-- (4), sibling
+  // edge bits 0. Exactly one of the three equalities is false.
+  {
+    DataTree t;
+    (void)t.CreateRoot(ext.Profiled(0, 0), 0);
+    (void)t.AppendChild(t.root(), ext.Profiled(0, 4), 0);
+    (void)t.AppendChild(t.root(), ext.Profiled(0, 4), 0);
+    EXPECT_FALSE(coherent.Accepts(t));
+  }
+  // The same shape with a coherent marking is accepted: children share with
+  // the parent AND with each other: profiles P-R (code 5) then PL- (code 6).
+  {
+    DataTree t;
+    (void)t.CreateRoot(ext.Profiled(0, 0), 0);
+    (void)t.AppendChild(t.root(), ext.Profiled(0, 5), 0);
+    (void)t.AppendChild(t.root(), ext.Profiled(0, 6), 0);
+    EXPECT_TRUE(coherent.Accepts(t));
+  }
+}
+
+TEST(TableITest, ConstantsHaveExpectedStructure) {
+  ExtAlphabet ext = TinyExt();
+  DnfBlock block;
+  block.simples.push_back(AtMostOne(ext, 0));
+  auto puzzle = PuzzleFromBlock(block, ext);
+  ASSERT_TRUE(puzzle.ok());
+  TableIConstants c = ComputeTableIConstants(*puzzle);
+  EXPECT_TRUE(c.f_size.IsPositive());
+  EXPECT_EQ(c.m.Compare(c.m1 * BigInt(3)), 0);
+  EXPECT_TRUE(c.n1.IsPositive());
+  EXPECT_GT(c.n_digits, 0u);
+  // M_i = |F| * |Q|^|Q| with |Q| = 1 here (universal language): M1 == |F|.
+  EXPECT_EQ(c.m1.Compare(c.f_size), 0);
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -1,0 +1,75 @@
+#include "arith/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fo2dt {
+namespace {
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  Rational r(BigInt(6), BigInt(-4));
+  EXPECT_EQ(r.num().ToString(), "-3");
+  EXPECT_EQ(r.den().ToString(), "2");
+  EXPECT_EQ(r.ToString(), "-3/2");
+  Rational z(BigInt(0), BigInt(-7));
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.den().ToString(), "1");
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((-half).ToString(), "-1/2");
+}
+
+TEST(RationalTest, Comparisons) {
+  Rational a(BigInt(1), BigInt(3));
+  Rational b(BigInt(2), BigInt(5));
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_LT(Rational(-1), Rational(0));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Floor().ToString(), "3");
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Ceil().ToString(), "4");
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Floor().ToString(), "-4");
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Ceil().ToString(), "-3");
+  EXPECT_EQ(Rational(5).Floor().ToString(), "5");
+  EXPECT_EQ(Rational(5).Ceil().ToString(), "5");
+}
+
+TEST(RationalTest, IsInteger) {
+  EXPECT_TRUE(Rational(BigInt(4), BigInt(2)).IsInteger());
+  EXPECT_FALSE(Rational(BigInt(5), BigInt(2)).IsInteger());
+  EXPECT_TRUE(Rational(0).IsInteger());
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  RandomSource rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto rand_rat = [&rng] {
+      int64_t n = rng.UniformInt(-50, 50);
+      int64_t d = rng.UniformInt(1, 20);
+      return Rational(BigInt(n), BigInt(d));
+    };
+    Rational a = rand_rat();
+    Rational b = rand_rat();
+    Rational c = rand_rat();
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + (-a), Rational(0));
+    if (!b.IsZero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fo2dt

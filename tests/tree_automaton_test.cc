@@ -1,0 +1,258 @@
+#include "automata/tree_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datatree/generator.h"
+#include "datatree/text_io.h"
+
+namespace fo2dt {
+namespace {
+
+// Automaton over {a=0, b=1} accepting trees where all leaves are 'b' and all
+// internal nodes are 'a'. States: 0 = "leaf b" (initial), 1 = "internal a".
+TreeAutomaton LeavesAreB() {
+  TreeAutomaton aut(2, 2);
+  aut.SetInitial(0);
+  // Horizontal: any mix of leaf/internal siblings; δh reads the label of the
+  // left node, which must match its role.
+  aut.AddHorizontal(0, 1, 0);
+  aut.AddHorizontal(0, 1, 1);
+  aut.AddHorizontal(1, 0, 0);
+  aut.AddHorizontal(1, 0, 1);
+  // Vertical: last child hands off to its parent, which is internal (1).
+  aut.AddVertical(0, 1, 1);
+  aut.AddVertical(1, 0, 1);
+  aut.SetAccepting(1, 0);  // internal root labeled a
+  aut.SetAccepting(0, 1);  // single-leaf tree labeled b
+  return aut;
+}
+
+DataTree T(const std::string& text, Alphabet* alpha) {
+  auto t = ParseDataTree(text, alpha);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *t;
+}
+
+class LeafAutomatonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alpha_.Intern("a");
+    alpha_.Intern("b");
+  }
+  Alphabet alpha_;
+  TreeAutomaton aut_ = LeavesAreB();
+};
+
+TEST_F(LeafAutomatonTest, AcceptsGoodTrees) {
+  EXPECT_TRUE(aut_.Accepts(T("b:0", &alpha_)));
+  EXPECT_TRUE(aut_.Accepts(T("a:0 (b:0)", &alpha_)));
+  EXPECT_TRUE(aut_.Accepts(T("a:0 (b:0 b:0 b:0)", &alpha_)));
+  EXPECT_TRUE(aut_.Accepts(T("a:0 (b:0 a:0 (b:0) b:0)", &alpha_)));
+}
+
+TEST_F(LeafAutomatonTest, RejectsBadTrees) {
+  EXPECT_FALSE(aut_.Accepts(T("a:0", &alpha_)));               // leaf a
+  EXPECT_FALSE(aut_.Accepts(T("b:0 (b:0)", &alpha_)));         // internal b
+  EXPECT_FALSE(aut_.Accepts(T("a:0 (b:0 a:0 b:0)", &alpha_))); // leaf a inside
+}
+
+TEST_F(LeafAutomatonTest, FindRunIsAcceptingRun) {
+  DataTree t = T("a:0 (b:0 a:0 (b:0) b:0)", &alpha_);
+  auto run = aut_.FindAcceptingRun(t);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(aut_.IsAcceptingRun(t, *run));
+  // The run is unique for this automaton: leaves 0, internal 1.
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ((*run)[v], t.first_child(v) == kNoNode ? 0u : 1u);
+  }
+}
+
+TEST_F(LeafAutomatonTest, IsAcceptingRunRejectsBadRuns) {
+  DataTree t = T("a:0 (b:0)", &alpha_);
+  TreeRun bad = {0, 0};  // root must be state 1
+  EXPECT_FALSE(aut_.IsAcceptingRun(t, bad));
+  TreeRun wrong_size = {1};
+  EXPECT_FALSE(aut_.IsAcceptingRun(t, wrong_size));
+}
+
+TEST_F(LeafAutomatonTest, WitnessTreeIsAccepted) {
+  auto w = aut_.FindWitnessTree();
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(aut_.Accepts(*w));
+  EXPECT_FALSE(aut_.IsEmpty());
+}
+
+TEST(TreeAutomatonTest, EmptyWhenNoAcceptingReachable) {
+  TreeAutomaton aut(1, 2);
+  aut.SetInitial(0);
+  aut.AddVertical(0, 0, 1);
+  // No accepting pairs at all.
+  EXPECT_TRUE(aut.IsEmpty());
+  aut.SetAccepting(1, 0);
+  EXPECT_FALSE(aut.IsEmpty());
+  auto w = aut.FindWitnessTree();
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->size(), 2u);  // chain: root with one leaf child
+  EXPECT_TRUE(aut.Accepts(*w));
+}
+
+TEST(TreeAutomatonTest, UniversalAcceptsEverything) {
+  TreeAutomaton u = TreeAutomaton::Universal(3);
+  Alphabet alpha;
+  RandomSource rng(9);
+  RandomTreeOptions opt;
+  opt.num_nodes = 40;
+  opt.num_labels = 3;
+  for (int i = 0; i < 10; ++i) {
+    DataTree t = RandomDataTree(opt, &rng, &alpha);
+    EXPECT_TRUE(u.Accepts(t));
+  }
+}
+
+TEST(TreeAutomatonTest, LabelFilter) {
+  TreeAutomaton f = TreeAutomaton::LabelFilter(3, {true, false, true});
+  Alphabet alpha;
+  DataTree ok = T("a:0 (c:0)", &alpha);   // a=0, c interned later
+  // Intern order: a=0, c=1 — careful: build labels explicitly instead.
+  Alphabet a2;
+  Symbol s0 = a2.Intern("s0");
+  Symbol s1 = a2.Intern("s1");
+  Symbol s2 = a2.Intern("s2");
+  (void)s0; (void)s1; (void)s2;
+  DataTree good;
+  (void)good.CreateRoot(0, 0);
+  (void)good.AppendChild(good.root(), 2, 0);
+  EXPECT_TRUE(f.Accepts(good));
+  DataTree bad;
+  (void)bad.CreateRoot(0, 0);
+  (void)bad.AppendChild(bad.root(), 1, 0);
+  EXPECT_FALSE(f.Accepts(bad));
+  (void)ok;
+}
+
+TEST(TreeAutomatonTest, IntersectionSemantics) {
+  // A1: all leaves b; A2: label filter allowing only labels {a, b} with at
+  // most... use: trees whose root is 'a'. Build root-label automaton.
+  TreeAutomaton a1 = LeavesAreB();
+  TreeAutomaton root_a(2, 1);
+  root_a.SetInitial(0);
+  root_a.AddHorizontal(0, 0, 0);
+  root_a.AddHorizontal(0, 1, 0);
+  root_a.AddVertical(0, 0, 0);
+  root_a.AddVertical(0, 1, 0);
+  root_a.SetAccepting(0, 0);  // root must be labeled a
+  auto inter = TreeAutomaton::Intersect(a1, root_a);
+  ASSERT_TRUE(inter.ok());
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  EXPECT_TRUE(inter->Accepts(T("a:0 (b:0 b:0)", &alpha)));
+  EXPECT_FALSE(inter->Accepts(T("b:0", &alpha)));          // root not a
+  EXPECT_FALSE(inter->Accepts(T("a:0 (a:0 b:0)", &alpha)));  // leaf a
+}
+
+TEST(TreeAutomatonTest, UnionSemantics) {
+  TreeAutomaton a1 = LeavesAreB();
+  // A2: single-node tree labeled a.
+  TreeAutomaton single(2, 1);
+  single.SetInitial(0);
+  single.SetAccepting(0, 0);
+  auto uni = TreeAutomaton::Union(a1, single);
+  ASSERT_TRUE(uni.ok());
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  EXPECT_TRUE(uni->Accepts(T("a:0", &alpha)));
+  EXPECT_TRUE(uni->Accepts(T("a:0 (b:0)", &alpha)));
+  EXPECT_FALSE(uni->Accepts(T("a:0 (a:0)", &alpha)));
+}
+
+TEST(TreeAutomatonTest, AlphabetMismatchErrors) {
+  TreeAutomaton a(2, 1);
+  TreeAutomaton b(3, 1);
+  EXPECT_FALSE(TreeAutomaton::Intersect(a, b).ok());
+  EXPECT_FALSE(TreeAutomaton::Union(a, b).ok());
+}
+
+TEST(TreeAutomatonTest, RandomizedProductAgreesWithConjunction) {
+  // Product membership == both memberships, on random trees.
+  TreeAutomaton a1 = LeavesAreB();
+  TreeAutomaton parity(2, 2);
+  // parity automaton: counts nothing meaningful but is nontrivial: state
+  // flips along horizontal steps; accepts when root has state 0.
+  parity.SetInitial(0);
+  parity.SetInitial(1);
+  for (Symbol s = 0; s < 2; ++s) {
+    parity.AddHorizontal(0, s, 1);
+    parity.AddHorizontal(1, s, 0);
+    parity.AddVertical(0, s, 0);
+    parity.AddVertical(0, s, 1);
+    parity.AddVertical(1, s, 0);
+    parity.AddVertical(1, s, 1);
+    parity.SetAccepting(0, s);
+  }
+  auto prod = TreeAutomaton::Intersect(a1, parity);
+  ASSERT_TRUE(prod.ok());
+  Alphabet alpha;
+  RandomSource rng(77);
+  RandomTreeOptions opt;
+  opt.num_nodes = 12;
+  opt.num_labels = 2;
+  for (int i = 0; i < 50; ++i) {
+    DataTree t = RandomDataTree(opt, &rng, &alpha);
+    EXPECT_EQ(prod->Accepts(t), a1.Accepts(t) && parity.Accepts(t));
+  }
+}
+
+// The singleton language {a(b, c(d))} requires anchoring "c is the second
+// child" — exactly what the non-first state set provides (see the header
+// note in tree_automaton.h).
+TreeAutomaton SingletonAbCd() {
+  // Σ: a=0, b=1, c=2, d=3. States: 0 = b-leaf, 1 = c-node (non-first),
+  // 2 = d-leaf, 3 = root.
+  TreeAutomaton aut(4, 4);
+  aut.SetInitial(0);
+  aut.SetInitial(2);
+  aut.SetNonFirst(1);
+  aut.AddHorizontal(0, 1, 1);  // b then c
+  aut.AddVertical(2, 3, 1);    // d's parent is the c-node
+  aut.AddVertical(1, 2, 3);    // c closes the chain into the root
+  aut.SetAccepting(3, 0);
+  return aut;
+}
+
+TEST(TreeAutomatonTest, NonFirstStatesPinSiblingPositions) {
+  TreeAutomaton aut = SingletonAbCd();
+  Alphabet alpha;
+  for (const char* name : {"a", "b", "c", "d"}) alpha.Intern(name);
+  EXPECT_TRUE(aut.Accepts(*ParseDataTree("a:0 (b:0 c:0 (d:0))", &alpha)));
+  // Pruning c's subtree must now be rejected (c would be a non-I leaf).
+  EXPECT_FALSE(aut.Accepts(*ParseDataTree("a:0 (b:0 c:0)", &alpha)));
+  // Dropping b must be rejected (c's state is non-first).
+  EXPECT_FALSE(aut.Accepts(*ParseDataTree("a:0 (c:0 (d:0))", &alpha)));
+  // Reordering or duplication fails too.
+  EXPECT_FALSE(aut.Accepts(*ParseDataTree("a:0 (c:0 (d:0) b:0)", &alpha)));
+  EXPECT_FALSE(aut.Accepts(*ParseDataTree("a:0 (b:0 c:0 (d:0 d:0))", &alpha)));
+  EXPECT_FALSE(aut.Accepts(*ParseDataTree("a:0 (b:0 c:0 (d:0) b:0)", &alpha)));
+  // The witness generator must produce the single member.
+  auto w = aut.FindWitnessTree();
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->size(), 4u);
+  EXPECT_TRUE(aut.Accepts(*w));
+}
+
+TEST(TreeAutomatonTest, AcceptingRunStatesRootRestricted) {
+  TreeAutomaton aut = LeavesAreB();
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  DataTree t = T("a:0 (b:0 b:0)", &alpha);
+  auto sets = aut.AcceptingRunStates(t);
+  ASSERT_TRUE(sets.ok());
+  EXPECT_EQ((*sets)[t.root()].count(1), 1u);
+  EXPECT_EQ((*sets)[t.root()].size(), 1u);
+}
+
+}  // namespace
+}  // namespace fo2dt

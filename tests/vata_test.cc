@@ -1,0 +1,132 @@
+#include "vata/vata.h"
+
+#include <gtest/gtest.h>
+
+#include "datatree/text_io.h"
+#include "datatree/zones.h"
+#include "logic/eval.h"
+
+namespace fo2dt {
+namespace {
+
+// A one-counter VATA over labels {a=0, leaf=1}: leaves produce (q0, [1]);
+// an inner 'a' node consumes one token from each child and adds one:
+// vector at a node = (#leaves - 2*#inner... ). Transition:
+// δ(a, q0, [1], q0, [1], q0, [1]): vector = (x-1)+(y-1)+1 = x+y-1.
+// Root accepts at zero: a tree with L leaves and I inner nodes has root
+// value L - I (each inner -1... since every inner node consumes 2 adds 1).
+// Binary: L = I + 1, so root value is always 1 -> never accepted. Adjust:
+// add a second transition that consumes without adding to make acceptance
+// possible at the root: δ(a, q0,[1], q0,[1], q1, [0]) with q1 accepting.
+VataAutomaton OneCounter() {
+  VataAutomaton a;
+  a.num_counters = 1;
+  a.num_states = 2;
+  a.num_labels = 2;
+  a.accepting = {1};
+  a.leaf_rules.push_back({1, 0, {1}});
+  a.transitions.push_back({0, 0, {1}, 0, {1}, 0, {1}});
+  a.transitions.push_back({0, 0, {1}, 0, {1}, 1, {0}});
+  return a;
+}
+
+TEST(VataTest, MembershipSmallTrees) {
+  VataAutomaton a = OneCounter();
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("leaf");
+  // Single leaf: vector [1], not zero -> reject.
+  EXPECT_FALSE(*VataAccepts(a, *ParseDataTree("leaf:0", &alpha)));
+  // a(leaf, leaf): rule 2 gives (q1, [0]) -> accept.
+  EXPECT_TRUE(*VataAccepts(a, *ParseDataTree("a:0 (leaf:0 leaf:0)", &alpha)));
+  // a(a(leaf,leaf), leaf): inner a must use rule 1 -> (q0,[1]); root rule 2:
+  // (1-1)+(1-1)+0 = 0 at q1 -> accept.
+  EXPECT_TRUE(*VataAccepts(
+      a, *ParseDataTree("a:0 (a:0 (leaf:0 leaf:0) leaf:0)", &alpha)));
+  // Non-binary tree is an error.
+  EXPECT_FALSE(VataAccepts(a, *ParseDataTree("a:0 (leaf:0)", &alpha)).ok());
+}
+
+TEST(VataTest, CountersBlockUnderflow) {
+  // A VATA that requires taking 2 tokens from a child producing only 1.
+  VataAutomaton a;
+  a.num_counters = 1;
+  a.num_states = 1;
+  a.num_labels = 2;
+  a.accepting = {0};
+  a.leaf_rules.push_back({1, 0, {0}});
+  a.transitions.push_back({0, 0, {2}, 0, {0}, 0, {0}});
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("leaf");
+  EXPECT_FALSE(
+      *VataAccepts(a, *ParseDataTree("a:0 (leaf:0 leaf:0)", &alpha)));
+}
+
+TEST(VataTest, BoundedEmptinessFindsWitness) {
+  VataAutomaton a = OneCounter();
+  auto w = FindVataWitnessBounded(a, 5);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->first.size(), 3u);  // a(leaf, leaf)
+  EXPECT_TRUE(*VataAccepts(a, w->first));
+}
+
+TEST(VataTest, BoundedEmptinessNotFound) {
+  // Accepting state unreachable.
+  VataAutomaton a = OneCounter();
+  a.accepting = {};
+  EXPECT_TRUE(FindVataWitnessBounded(a, 7).status().IsNotFound());
+}
+
+TEST(VataTest, CounterTreeSatisfiesDiscipline) {
+  VataAutomaton a = OneCounter();
+  auto w = FindVataWitnessBounded(a, 7);
+  ASSERT_TRUE(w.ok());
+  CounterTreeAlphabet alpha{a.num_counters, a.num_states, a.num_labels};
+  auto ct = BuildCounterTree(a, w->first, w->second, alpha);
+  ASSERT_TRUE(ct.ok()) << ct.status().ToString();
+  EXPECT_TRUE(ct->Validate().ok());
+  // The counter tree satisfies the Theorem-4 conditions (1)-(4) and the
+  // structural coding shape — checked with the FO² model checker.
+  Formula phi = EncodeVataToFo2(a, alpha);
+  auto ok = Evaluator::EvaluateSentence(phi, *ct, nullptr);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(*ok);
+}
+
+TEST(VataTest, BrokenCounterTreeViolatesDiscipline) {
+  VataAutomaton a = OneCounter();
+  auto w = FindVataWitnessBounded(a, 7);
+  ASSERT_TRUE(w.ok());
+  CounterTreeAlphabet alpha{a.num_counters, a.num_states, a.num_labels};
+  DataTree ct = *BuildCounterTree(a, w->first, w->second, alpha);
+  // Find an increment node and corrupt its value.
+  for (NodeId v = 0; v < ct.size(); ++v) {
+    if (ct.label(v) == alpha.Inc(0)) {
+      ct.set_data(v, 999999);
+      break;
+    }
+  }
+  Formula phi = CounterDisciplineFormula(alpha);
+  EXPECT_FALSE(*Evaluator::EvaluateSentence(phi, ct, nullptr));
+}
+
+TEST(VataTest, CounterTreeShape) {
+  // The coding produces unary I/D chains and binary label nodes (Figure 4).
+  VataAutomaton a = OneCounter();
+  auto w = FindVataWitnessBounded(a, 7);
+  ASSERT_TRUE(w.ok());
+  CounterTreeAlphabet alpha{a.num_counters, a.num_states, a.num_labels};
+  DataTree ct = *BuildCounterTree(a, w->first, w->second, alpha);
+  for (NodeId v = 0; v < ct.size(); ++v) {
+    size_t kids = ct.NumChildren(v);
+    if (ct.label(v) < alpha.StateLabel(0)) {
+      EXPECT_EQ(kids, 1u) << "I/D nodes are unary";
+    } else {
+      EXPECT_LE(kids, 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -1,0 +1,161 @@
+#include "automata/word_automata.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fo2dt {
+namespace {
+
+std::vector<Symbol> Word(std::initializer_list<Symbol> syms) { return syms; }
+
+TEST(RegexTest, ParseAndRender) {
+  Alphabet alpha;
+  auto r = ParseRegex("(a | b)*, c", &alpha);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(alpha.size(), 3u);
+  auto bad = ParseRegex("(a | ", &alpha);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(ParseRegex("a**)", &alpha).ok());
+  EXPECT_FALSE(ParseRegex("#unknown", &alpha).ok());
+}
+
+TEST(RegexTest, ThompsonNfaAccepts) {
+  Alphabet alpha;
+  Regex r = *ParseRegex("(a | b)*, c", &alpha);
+  Nfa nfa = r.ToNfa(alpha.size());
+  Symbol a = alpha.Find("a");
+  Symbol b = alpha.Find("b");
+  Symbol c = alpha.Find("c");
+  EXPECT_TRUE(nfa.Accepts(Word({c})));
+  EXPECT_TRUE(nfa.Accepts(Word({a, b, a, c})));
+  EXPECT_FALSE(nfa.Accepts(Word({a, b})));
+  EXPECT_FALSE(nfa.Accepts(Word({c, a})));
+  EXPECT_FALSE(nfa.Accepts(Word({})));
+}
+
+TEST(RegexTest, PlusAndOpt) {
+  Alphabet alpha;
+  Regex r = *ParseRegex("a+, b?", &alpha);
+  Nfa nfa = r.ToNfa(alpha.size());
+  Symbol a = alpha.Find("a");
+  Symbol b = alpha.Find("b");
+  EXPECT_TRUE(nfa.Accepts(Word({a})));
+  EXPECT_TRUE(nfa.Accepts(Word({a, a, b})));
+  EXPECT_FALSE(nfa.Accepts(Word({b})));
+  EXPECT_FALSE(nfa.Accepts(Word({a, b, b})));
+}
+
+TEST(RegexTest, EpsilonAndEmpty) {
+  Alphabet alpha;
+  alpha.Intern("a");
+  Regex eps = *ParseRegex("#eps", &alpha);
+  EXPECT_TRUE(eps.ToNfa(1).Accepts(Word({})));
+  EXPECT_FALSE(eps.ToNfa(1).Accepts(Word({0})));
+  Regex empty = *ParseRegex("#empty", &alpha);
+  EXPECT_FALSE(empty.ToNfa(1).Accepts(Word({})));
+  Dfa d = Determinize(empty.ToNfa(1));
+  EXPECT_TRUE(d.IsEmpty());
+}
+
+TEST(DfaTest, DeterminizeMatchesNfa) {
+  Alphabet alpha;
+  Regex r = *ParseRegex("(a, b | b, a)*, a?", &alpha);
+  Nfa nfa = r.ToNfa(alpha.size());
+  Dfa dfa = Determinize(nfa);
+  RandomSource rng(23);
+  for (int iter = 0; iter < 500; ++iter) {
+    size_t len = rng.UniformIndex(8);
+    std::vector<Symbol> w;
+    for (size_t i = 0; i < len; ++i) {
+      w.push_back(static_cast<Symbol>(rng.UniformIndex(alpha.size())));
+    }
+    EXPECT_EQ(nfa.Accepts(w), dfa.Accepts(w));
+  }
+}
+
+TEST(DfaTest, ComplementFlipsMembership) {
+  Alphabet alpha;
+  Regex r = *ParseRegex("a, a*", &alpha);
+  Dfa dfa = Determinize(r.ToNfa(alpha.size()));
+  Dfa comp = dfa.Complement();
+  EXPECT_TRUE(dfa.Accepts(Word({0})));
+  EXPECT_FALSE(comp.Accepts(Word({0})));
+  EXPECT_FALSE(dfa.Accepts(Word({})));
+  EXPECT_TRUE(comp.Accepts(Word({})));
+}
+
+TEST(DfaTest, IntersectAndUnion) {
+  Alphabet alpha;
+  Dfa has_a = Determinize(ParseRegex("(a | b)*, a, (a | b)*", &alpha)->ToNfa(2));
+  Dfa has_b = Determinize(ParseRegex("(a | b)*, b, (a | b)*", &alpha)->ToNfa(2));
+  Dfa both = Dfa::Intersect(has_a, has_b);
+  Dfa either = Dfa::Union(has_a, has_b);
+  EXPECT_TRUE(both.Accepts(Word({0, 1})));
+  EXPECT_FALSE(both.Accepts(Word({0, 0})));
+  EXPECT_TRUE(either.Accepts(Word({0, 0})));
+  EXPECT_FALSE(either.Accepts(Word({})));
+}
+
+TEST(DfaTest, MinimizePreservesLanguage) {
+  Alphabet alpha;
+  Regex r = *ParseRegex("(a, a)*", &alpha);
+  Dfa dfa = Determinize(r.ToNfa(1));
+  Dfa min = dfa.Minimize();
+  EXPECT_LE(min.num_states(), dfa.num_states());
+  RandomSource rng(31);
+  for (int iter = 0; iter < 100; ++iter) {
+    size_t len = rng.UniformIndex(10);
+    std::vector<Symbol> w(len, 0);
+    EXPECT_EQ(dfa.Accepts(w), min.Accepts(w));
+  }
+  // Even-length unary language needs exactly 2 states.
+  EXPECT_EQ(min.num_states(), 2u);
+}
+
+TEST(DfaTest, EquivalenceChecks) {
+  Alphabet alpha;
+  Dfa a1 = Determinize(ParseRegex("a*, a", &alpha)->ToNfa(1));
+  Dfa a2 = Determinize(ParseRegex("a, a*", &alpha)->ToNfa(1));
+  Dfa a3 = Determinize(ParseRegex("a*", &alpha)->ToNfa(1));
+  EXPECT_TRUE(Dfa::Equivalent(a1, a2));
+  EXPECT_FALSE(Dfa::Equivalent(a1, a3));
+}
+
+TEST(DfaTest, FindWitnessShortest) {
+  Alphabet alpha;
+  Dfa d = Determinize(ParseRegex("a, b, a", &alpha)->ToNfa(2));
+  auto w = d.FindWitness();
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, Word({0, 1, 0}));
+  Dfa empty = Determinize(ParseRegex("#empty", &alpha)->ToNfa(2));
+  EXPECT_TRUE(empty.FindWitness().status().IsNotFound());
+  // Witness of the whole language: empty word (initial accepting).
+  Dfa all = Determinize(ParseRegex("(a | b)*", &alpha)->ToNfa(2));
+  auto we = all.FindWitness();
+  ASSERT_TRUE(we.ok());
+  EXPECT_TRUE(we->empty());
+}
+
+TEST(DfaTest, DeMorganProperty) {
+  // Randomized regex pairs: L(r1) ∩ L(r2) == complement(complement(L1) ∪
+  // complement(L2)).
+  Alphabet alpha;
+  alpha.Intern("a");
+  alpha.Intern("b");
+  RandomSource rng(41);
+  const char* pool[] = {"a*", "(a|b)*", "a,b", "(a,b)*", "b?,a+", "a|b,b"};
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      Dfa d1 = Determinize(ParseRegex(pool[i], &alpha)->ToNfa(2));
+      Dfa d2 = Determinize(ParseRegex(pool[j], &alpha)->ToNfa(2));
+      Dfa inter = Dfa::Intersect(d1, d2);
+      Dfa via_de_morgan =
+          Dfa::Union(d1.Complement(), d2.Complement()).Complement();
+      EXPECT_TRUE(Dfa::Equivalent(inter, via_de_morgan)) << pool[i] << " " << pool[j];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "datatree/text_io.h"
+#include "xmlenc/dtd.h"
+#include "xmlenc/xml.h"
+
+namespace fo2dt {
+namespace {
+
+const char* kScheduleXml = R"(
+<schedule>
+  <course ID="5">
+    <lecturer faculty="12"> </lecturer>
+    <building nr="1"> </building>
+  </course>
+</schedule>
+)";
+
+TEST(XmlTest, ParsePaperExample) {
+  auto doc = ParseXml(kScheduleXml);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->tag, "schedule");
+  ASSERT_EQ(doc->children.size(), 1u);
+  const XmlElement& course = doc->children[0];
+  EXPECT_EQ(course.tag, "course");
+  ASSERT_EQ(course.attributes.size(), 1u);
+  EXPECT_EQ(course.attributes[0].name, "ID");
+  EXPECT_EQ(course.attributes[0].value, "5");
+  ASSERT_EQ(course.children.size(), 2u);
+  EXPECT_EQ(course.children[0].tag, "lecturer");
+  EXPECT_EQ(course.children[1].tag, "building");
+}
+
+TEST(XmlTest, ParseErrors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a x=5/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=\"1/>").ok());
+  EXPECT_TRUE(ParseXml("<a x='1'/>").ok());
+  EXPECT_TRUE(ParseXml("<a><!-- comment --><b/></a>").ok());
+}
+
+TEST(XmlTest, Figure3Encoding) {
+  XmlElement doc = *ParseXml(kScheduleXml);
+  Alphabet labels;
+  ValueDictionary values;
+  auto t = EncodeXml(doc, &labels, &values);
+  ASSERT_TRUE(t.ok());
+  // 7 nodes: schedule, course, ID, lecturer, faculty, building, nr.
+  EXPECT_EQ(t->size(), 7u);
+  // The course's first child is the ID attribute node with value "5".
+  NodeId course = t->first_child(t->root());
+  NodeId id = t->first_child(course);
+  EXPECT_EQ(labels.Name(t->label(id)), "ID");
+  EXPECT_EQ(values.Name(t->data(id)), "5");
+  // Attribute nodes precede element children.
+  NodeId lecturer = t->next_sibling(id);
+  EXPECT_EQ(labels.Name(t->label(lecturer)), "lecturer");
+  EXPECT_TRUE(t->Validate().ok());
+}
+
+TEST(XmlTest, EncodeDecodeRoundTrip) {
+  XmlElement doc = *ParseXml(kScheduleXml);
+  Alphabet labels;
+  ValueDictionary values;
+  DataTree t = *EncodeXml(doc, &labels, &values);
+  std::vector<Symbol> attrs = {labels.Find("ID"), labels.Find("faculty"),
+                               labels.Find("nr")};
+  auto back = DecodeXml(t, labels, values, attrs);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(XmlToString(*back), XmlToString(doc));
+}
+
+class DtdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schedule_ = labels_.Intern("schedule");
+    course_ = labels_.Intern("course");
+    id_ = labels_.Intern("ID");
+    lecturer_ = labels_.Intern("lecturer");
+    faculty_ = labels_.Intern("faculty");
+
+    Dtd dtd;
+    dtd.root = schedule_;
+    DtdElement sched;
+    sched.element = schedule_;
+    sched.content = *ParseRegex("course+", &labels_);
+    DtdElement course;
+    course.element = course_;
+    course.attributes = {id_};
+    course.content = *ParseRegex("lecturer?", &labels_);
+    DtdElement lecturer;
+    lecturer.element = lecturer_;
+    lecturer.attributes = {faculty_};
+    dtd.elements = {sched, course, lecturer};
+    auto schema = DtdToTreeAutomaton(dtd, labels_.size());
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = std::make_unique<TreeAutomaton>(*schema);
+  }
+
+  bool Valid(const char* text) {
+    Alphabet copy = labels_;
+    auto t = ParseDataTree(text, &copy);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_LE(copy.size(), labels_.size()) << "test used unknown labels";
+    return schema_->Accepts(*t);
+  }
+
+  Alphabet labels_;
+  Symbol schedule_, course_, id_, lecturer_, faculty_;
+  std::unique_ptr<TreeAutomaton> schema_;
+};
+
+TEST_F(DtdTest, AcceptsValidDocuments) {
+  EXPECT_TRUE(Valid("schedule:0 (course:0 (ID:5))"));
+  EXPECT_TRUE(Valid("schedule:0 (course:0 (ID:5) course:0 (ID:6))"));
+  EXPECT_TRUE(
+      Valid("schedule:0 (course:0 (ID:5 lecturer:0 (faculty:12)))"));
+}
+
+TEST_F(DtdTest, RejectsInvalidDocuments) {
+  // Empty schedule: content model requires course+.
+  EXPECT_FALSE(Valid("schedule:0"));
+  // Missing the ID attribute.
+  EXPECT_FALSE(Valid("schedule:0 (course:0)"));
+  // Attribute after the element child (attributes come first).
+  EXPECT_FALSE(
+      Valid("schedule:0 (course:0 (lecturer:0 (faculty:12) ID:5))"));
+  // Two lecturers.
+  EXPECT_FALSE(Valid(
+      "schedule:0 (course:0 (ID:5 lecturer:0 (faculty:1) lecturer:0 "
+      "(faculty:2)))"));
+  // Wrong root.
+  EXPECT_FALSE(Valid("course:0 (ID:5)"));
+  // Lecturer without faculty.
+  EXPECT_FALSE(Valid("schedule:0 (course:0 (ID:5 lecturer:0))"));
+  // Attribute node with children.
+  EXPECT_FALSE(Valid("schedule:0 (course:0 (ID:5 (faculty:1)))"));
+}
+
+TEST_F(DtdTest, EmptinessAndWitness) {
+  EXPECT_FALSE(schema_->IsEmpty());
+  auto w = schema_->FindWitnessTree();
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(schema_->Accepts(*w));
+}
+
+TEST(DtdErrorTest, BadInputs) {
+  Alphabet labels;
+  Symbol a = labels.Intern("a");
+  Dtd dtd;
+  dtd.root = 7;  // outside alphabet
+  EXPECT_FALSE(DtdToTreeAutomaton(dtd, labels.size()).ok());
+  dtd.root = a;
+  DtdElement e1{a, Regex::Epsilon(), {}};
+  dtd.elements = {e1, e1};
+  EXPECT_FALSE(DtdToTreeAutomaton(dtd, labels.size()).ok());  // duplicate
+}
+
+}  // namespace
+}  // namespace fo2dt
