@@ -8,13 +8,30 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 
+#include "arith/arith_stats.h"
 #include "constraints/constraints.h"
+#include "solverlp/simplex.h"
 #include "xmlenc/dtd.h"
 
 namespace fo2dt {
 namespace {
+
+// Attaches the solver-core counters (simplex effort, warm-start hit rate,
+// BigInt small-int fast-path rate) accumulated over the timing loop.
+void ReportSolverCounters(benchmark::State& state) {
+  SimplexCounters sx = SimplexStats::Aggregate();
+  ArithCounters ar = ArithStats::Aggregate();
+  double iters = static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.counters["pivots"] = static_cast<double>(sx.pivots) / iters;
+  state.counters["tableau_builds"] =
+      static_cast<double>(sx.tableau_builds) / iters;
+  state.counters["warm_start_hit_rate"] = sx.WarmStartHitRate();
+  state.counters["arith_fast_path_rate"] = ar.FastPathRate();
+}
 
 /// Schema with k entity kinds: root may contain, per kind i, two "src_i" and
 /// one optional "ref_i"; each carries one attribute "k_i". Constraint set:
@@ -59,6 +76,8 @@ Family MakeFamily(size_t kinds, bool consistent) {
 void BM_SpecializedIlp(benchmark::State& state) {
   Family f = MakeFamily(static_cast<size_t>(state.range(0)),
                         state.range(1) != 0);
+  SimplexStats::Reset();
+  ArithStats::Reset();
   for (auto _ : state) {
     auto r = CheckKeyForeignKeyConsistencyIlp(f.schema, f.set);
     benchmark::DoNotOptimize(r);
@@ -66,6 +85,7 @@ void BM_SpecializedIlp(benchmark::State& state) {
       state.counters["unsat"] = r->verdict == SatVerdict::kUnsat ? 1 : 0;
     }
   }
+  ReportSolverCounters(state);
 }
 // Growth from 1 to 2 kinds already shows the NP scaling of the exact
 // rational ILP; 3 kinds takes minutes and is left out of the default grid.

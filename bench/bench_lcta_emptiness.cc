@@ -8,10 +8,28 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
+#include "arith/arith_stats.h"
 #include "lcta/lcta.h"
+#include "solverlp/simplex.h"
 
 namespace fo2dt {
 namespace {
+
+// Attaches the solver-core counters (simplex effort, warm-start hit rate,
+// BigInt small-int fast-path rate) accumulated over the timing loop.
+void ReportSolverCounters(benchmark::State& state) {
+  SimplexCounters sx = SimplexStats::Aggregate();
+  ArithCounters ar = ArithStats::Aggregate();
+  double iters = static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.counters["pivots"] = static_cast<double>(sx.pivots) / iters;
+  state.counters["tableau_builds"] =
+      static_cast<double>(sx.tableau_builds) / iters;
+  state.counters["warm_start_hit_rate"] = sx.WarmStartHitRate();
+  state.counters["arith_fast_path_rate"] = ar.FastPathRate();
+}
 
 // Flat trees with k leaf kinds under one root; the constraint demands equal
 // counts of all kinds and at least `m` of the first — minimal witnesses have
@@ -41,11 +59,14 @@ Lcta MakeLcta(size_t kinds, int64_t m) {
 
 void BM_ParikhIlp(benchmark::State& state) {
   Lcta lcta = MakeLcta(static_cast<size_t>(state.range(0)), state.range(1));
+  SimplexStats::Reset();
+  ArithStats::Reset();
   for (auto _ : state) {
     auto r = CheckLctaEmptiness(lcta);
     benchmark::DoNotOptimize(r);
     if (r.ok()) state.counters["ilp_nodes"] = static_cast<double>(r->ilp_nodes);
   }
+  ReportSolverCounters(state);
 }
 BENCHMARK(BM_ParikhIlp)
     ->Args({2, 1})
@@ -74,10 +95,13 @@ void BM_EmptyVerdict(benchmark::State& state) {
   root_twice.AddConstant(BigInt(-2));
   lcta.constraint = LinearConstraint::And(lcta.constraint,
                                           LinearConstraint::Eq(root_twice));
+  SimplexStats::Reset();
+  ArithStats::Reset();
   for (auto _ : state) {
     auto r = CheckLctaEmptiness(lcta);
     benchmark::DoNotOptimize(r);
   }
+  ReportSolverCounters(state);
 }
 BENCHMARK(BM_EmptyVerdict);
 

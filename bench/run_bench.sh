@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the two solver-core benchmarks and writes their JSON reports to the
+# repo root (BENCH_lcta.json, BENCH_constraints.json). These files are
+# committed so the performance trajectory of the exact Presburger core is
+# reviewable per PR; see EXPERIMENTS.md for how to regenerate and compare.
+#
+# Usage: bench/run_bench.sh [build-dir]    (default: ./build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_lcta_emptiness" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_lcta_emptiness not built." >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# min_time keeps the slow grid points bounded while still averaging the fast
+# ones over many iterations (google-benchmark wants a plain double here).
+MIN_TIME="${BENCH_MIN_TIME:-0.1}"
+
+"$BUILD_DIR/bench/bench_lcta_emptiness" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > BENCH_lcta.json
+
+"$BUILD_DIR/bench/bench_constraints" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > BENCH_constraints.json
+
+echo "wrote BENCH_lcta.json and BENCH_constraints.json"

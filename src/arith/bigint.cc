@@ -4,28 +4,70 @@
 #include <cmath>
 #include <ostream>
 
+#include "arith/arith_stats.h"
+
 namespace fo2dt {
 
 namespace {
+
 constexpr uint64_t kBase = 1ULL << 32;
+
+// Two's-complement-safe |v| (valid for INT64_MIN).
+inline uint64_t Abs64(int64_t v) {
+  return v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+}
+
+inline void CountSmall() { ++ArithStats::Local().small_ops; }
+inline void CountBig() { ++ArithStats::Local().big_ops; }
+
 }  // namespace
 
-BigInt::BigInt(int64_t v) {
-  negative_ = v < 0;
-  // Careful with INT64_MIN: negate in unsigned space.
-  uint64_t mag = negative_ ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
-  if (mag != 0) mag_.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
-  if (mag >> 32) mag_.push_back(static_cast<uint32_t>(mag >> 32));
-  Normalize();
+BigInt::MagView BigInt::View() const {
+  MagView v;
+  if (small_rep_) {
+    v.negative = small_ < 0;
+    uint64_t u = Abs64(small_);
+    if (u) v.storage.push_back(static_cast<uint32_t>(u & 0xffffffffULL));
+    if (u >> 32) v.storage.push_back(static_cast<uint32_t>(u >> 32));
+    v.inline_rep = true;
+  } else {
+    v.negative = negative_;
+    v.heap = &mag_;
+    v.inline_rep = false;
+  }
+  return v;
+}
+
+BigInt BigInt::FromMagU64(bool negative, uint64_t mag) {
+  if (mag <= (negative ? 0x8000000000000000ULL : 0x7fffffffffffffffULL)) {
+    // ~mag + 1 is two's-complement negation; the cast is defined in C++20.
+    return BigInt(negative ? static_cast<int64_t>(~mag + 1)
+                           : static_cast<int64_t>(mag));
+  }
+  BigInt out;
+  out.small_rep_ = false;
+  out.negative_ = negative;
+  out.mag_.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
+  if (mag >> 32) out.mag_.push_back(static_cast<uint32_t>(mag >> 32));
+  return out;
+}
+
+BigInt BigInt::FromMag(bool negative, std::vector<uint32_t> mag) {
+  TrimMag(&mag);
+  if (mag.size() <= 2) {
+    uint64_t u = mag.empty() ? 0 : mag[0];
+    if (mag.size() == 2) u |= static_cast<uint64_t>(mag[1]) << 32;
+    return FromMagU64(negative, u);
+  }
+  BigInt out;
+  out.small_rep_ = false;
+  out.negative_ = negative;
+  out.mag_ = std::move(mag);
+  return out;
 }
 
 void BigInt::TrimMag(std::vector<uint32_t>* m) {
   while (!m->empty() && m->back() == 0) m->pop_back();
-}
-
-void BigInt::Normalize() {
-  TrimMag(&mag_);
-  if (mag_.empty()) negative_ = false;
 }
 
 int BigInt::CompareMag(const std::vector<uint32_t>& a,
@@ -224,12 +266,11 @@ Result<BigInt> BigInt::FromString(const std::string& text) {
     }
     out = out * BigInt(10) + BigInt(text[i] - '0');
   }
-  if (neg && !out.IsZero()) out.negative_ = true;
-  return out;
+  return neg ? -out : out;
 }
 
 std::string BigInt::ToString() const {
-  if (IsZero()) return "0";
+  if (small_rep_) return std::to_string(small_);
   std::vector<uint32_t> cur = mag_;
   std::string digits;
   std::vector<uint32_t> q, r;
@@ -250,21 +291,13 @@ std::string BigInt::ToString() const {
 }
 
 Result<int64_t> BigInt::ToInt64() const {
-  if (mag_.size() > 2) return Status::Overflow("BigInt exceeds int64 range");
-  uint64_t mag = 0;
-  if (mag_.size() >= 1) mag = mag_[0];
-  if (mag_.size() == 2) mag |= static_cast<uint64_t>(mag_[1]) << 32;
-  if (negative_) {
-    if (mag > 0x8000000000000000ULL)
-      return Status::Overflow("BigInt exceeds int64 range");
-    return static_cast<int64_t>(~mag + 1);
-  }
-  if (mag > 0x7fffffffffffffffULL)
-    return Status::Overflow("BigInt exceeds int64 range");
-  return static_cast<int64_t>(mag);
+  // The representation is canonical: heap-backed values are out of range.
+  if (small_rep_) return small_;
+  return Status::Overflow("BigInt exceeds int64 range");
 }
 
 double BigInt::ToDouble() const {
+  if (small_rep_) return static_cast<double>(small_);
   double out = 0;
   for (size_t i = mag_.size(); i-- > 0;) {
     out = out * 4294967296.0 + mag_[i];
@@ -273,7 +306,10 @@ double BigInt::ToDouble() const {
 }
 
 size_t BigInt::BitLength() const {
-  if (mag_.empty()) return 0;
+  if (small_rep_) {
+    uint64_t u = Abs64(small_);
+    return u == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(u));
+  }
   uint32_t top = mag_.back();
   size_t bits = (mag_.size() - 1) * 32;
   while (top) {
@@ -284,71 +320,105 @@ size_t BigInt::BitLength() const {
 }
 
 BigInt BigInt::operator-() const {
-  BigInt out = *this;
-  if (!out.IsZero()) out.negative_ = !out.negative_;
-  return out;
+  if (small_rep_) {
+    if (small_ != INT64_MIN) return BigInt(-small_);
+    return FromMagU64(false, 0x8000000000000000ULL);
+  }
+  return FromMag(!negative_, mag_);
 }
 
 BigInt BigInt::Abs() const {
-  BigInt out = *this;
-  out.negative_ = false;
-  return out;
+  if (small_rep_) {
+    if (small_ != INT64_MIN) return BigInt(small_ < 0 ? -small_ : small_);
+    return FromMagU64(false, 0x8000000000000000ULL);
+  }
+  return FromMag(false, mag_);
 }
 
 BigInt BigInt::operator+(const BigInt& o) const {
-  BigInt out;
-  if (negative_ == o.negative_) {
-    out.mag_ = AddMag(mag_, o.mag_);
-    out.negative_ = negative_;
-  } else {
-    int c = CompareMag(mag_, o.mag_);
-    if (c == 0) return BigInt();
-    if (c > 0) {
-      out.mag_ = SubMag(mag_, o.mag_);
-      out.negative_ = negative_;
-    } else {
-      out.mag_ = SubMag(o.mag_, mag_);
-      out.negative_ = o.negative_;
+  if (small_rep_ && o.small_rep_) {
+    int64_t r;
+    if (!__builtin_add_overflow(small_, o.small_, &r)) {
+      CountSmall();
+      return BigInt(r);
     }
   }
-  out.Normalize();
-  return out;
+  CountBig();
+  MagView a = View();
+  MagView b = o.View();
+  if (a.negative == b.negative) {
+    return FromMag(a.negative, AddMag(a.mag(), b.mag()));
+  }
+  int c = CompareMag(a.mag(), b.mag());
+  if (c == 0) return BigInt();
+  if (c > 0) return FromMag(a.negative, SubMag(a.mag(), b.mag()));
+  return FromMag(b.negative, SubMag(b.mag(), a.mag()));
 }
 
-BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+BigInt BigInt::operator-(const BigInt& o) const {
+  if (small_rep_ && o.small_rep_) {
+    int64_t r;
+    if (!__builtin_sub_overflow(small_, o.small_, &r)) {
+      CountSmall();
+      return BigInt(r);
+    }
+  }
+  return *this + (-o);
+}
 
 BigInt BigInt::operator*(const BigInt& o) const {
-  BigInt out;
-  out.mag_ = MulMag(mag_, o.mag_);
-  out.negative_ = negative_ != o.negative_;
-  out.Normalize();
-  return out;
+  if (small_rep_ && o.small_rep_) {
+    int64_t r;
+    if (!__builtin_mul_overflow(small_, o.small_, &r)) {
+      CountSmall();
+      return BigInt(r);
+    }
+  }
+  CountBig();
+  MagView a = View();
+  MagView b = o.View();
+  return FromMag(a.negative != b.negative, MulMag(a.mag(), b.mag()));
 }
 
 BigInt BigInt::operator/(const BigInt& o) const {
-  BigInt q;
+  if (small_rep_ && o.small_rep_) {
+    // INT64_MIN / -1 is the lone overflowing quotient.
+    if (!(small_ == INT64_MIN && o.small_ == -1)) {
+      CountSmall();
+      return BigInt(small_ / o.small_);
+    }
+  }
+  CountBig();
+  MagView a = View();
+  MagView b = o.View();
   std::vector<uint32_t> qm, rm;
-  DivModMag(mag_, o.mag_, &qm, &rm);
-  q.mag_ = std::move(qm);
-  q.negative_ = negative_ != o.negative_;
-  q.Normalize();
-  return q;
+  DivModMag(a.mag(), b.mag(), &qm, &rm);
+  return FromMag(a.negative != b.negative, std::move(qm));
 }
 
 BigInt BigInt::operator%(const BigInt& o) const {
-  BigInt r;
+  if (small_rep_ && o.small_rep_) {
+    CountSmall();
+    // INT64_MIN % -1 overflows in hardware; the result is 0.
+    if (o.small_ == -1) return BigInt(0);
+    return BigInt(small_ % o.small_);
+  }
+  CountBig();
+  MagView a = View();
+  MagView b = o.View();
   std::vector<uint32_t> qm, rm;
-  DivModMag(mag_, o.mag_, &qm, &rm);
-  r.mag_ = std::move(rm);
-  r.negative_ = negative_;
-  r.Normalize();
-  return r;
+  DivModMag(a.mag(), b.mag(), &qm, &rm);
+  return FromMag(a.negative, std::move(rm));
 }
 
-int BigInt::Compare(const BigInt& o) const {
-  if (negative_ != o.negative_) return negative_ ? -1 : 1;
-  int c = CompareMag(mag_, o.mag_);
-  return negative_ ? -c : c;
+int BigInt::CompareSlow(const BigInt& o) const {
+  MagView a = View();
+  MagView b = o.View();
+  bool a_neg = a.negative && !a.mag().empty();
+  bool b_neg = b.negative && !b.mag().empty();
+  if (a_neg != b_neg) return a_neg ? -1 : 1;
+  int c = CompareMag(a.mag(), b.mag());
+  return a_neg ? -c : c;
 }
 
 BigInt BigInt::FloorDiv(const BigInt& o) const {
@@ -366,6 +436,18 @@ BigInt BigInt::CeilDiv(const BigInt& o) const {
 }
 
 BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  if (a.small_rep_ && b.small_rep_) {
+    CountSmall();
+    uint64_t x = Abs64(a.small_);
+    uint64_t y = Abs64(b.small_);
+    while (y) {
+      uint64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    return FromMagU64(false, x);
+  }
+  CountBig();
   BigInt x = a.Abs();
   BigInt y = b.Abs();
   while (!y.IsZero()) {
@@ -377,6 +459,11 @@ BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
 }
 
 size_t BigInt::Hash() const {
+  if (small_rep_) {
+    uint64_t z = static_cast<uint64_t>(small_) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<size_t>(z ^ (z >> 27));
+  }
   size_t h = negative_ ? 0x9e3779b97f4a7c15ULL : 0;
   for (uint32_t limb : mag_) {
     h ^= limb + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);

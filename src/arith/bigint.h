@@ -1,12 +1,17 @@
 /// \file bigint.h
-/// \brief Arbitrary-precision signed integers.
+/// \brief Arbitrary-precision signed integers with an inline int64 fast path.
 ///
 /// The LCTA emptiness procedure (Theorem 2) solves existential Presburger
 /// constraints with an exact-rational simplex; pivoting blows past 64 bits
 /// quickly, so all solver arithmetic is done over BigInt/Rational.
 ///
-/// Representation: sign + little-endian magnitude in base 2^32 with no
-/// trailing zero limbs; zero is the empty magnitude with sign +1.
+/// Representation: values that fit a machine int64 are stored inline with no
+/// heap allocation (the overwhelmingly common case in solver pivots); only on
+/// overflow does a value spill into a sign + little-endian base-2^32 limb
+/// vector. The representation is canonical — a value is heap-backed iff it
+/// does not fit int64 — so equality and hashing never compare across
+/// representations. Results are demoted back to the inline form whenever they
+/// shrink into range.
 
 #ifndef FO2DT_ARITH_BIGINT_H_
 #define FO2DT_ARITH_BIGINT_H_
@@ -25,7 +30,7 @@ class BigInt {
   /// Zero.
   BigInt() = default;
   /// From a machine integer (implicit: BigInt is a drop-in numeric type).
-  BigInt(int64_t v);  // NOLINT: implicit by design
+  BigInt(int64_t v) : small_(v) {}  // NOLINT: implicit by design
 
   /// Parses an optionally signed decimal string.
   static Result<BigInt> FromString(const std::string& text);
@@ -38,9 +43,12 @@ class BigInt {
   /// Value as double (may lose precision; infinity on huge values).
   double ToDouble() const;
 
-  bool IsZero() const { return mag_.empty(); }
-  bool IsNegative() const { return negative_; }
-  bool IsPositive() const { return !negative_ && !mag_.empty(); }
+  bool IsZero() const { return small_rep_ && small_ == 0; }
+  bool IsOne() const { return small_rep_ && small_ == 1; }
+  bool IsNegative() const { return small_rep_ ? small_ < 0 : negative_; }
+  bool IsPositive() const { return small_rep_ ? small_ > 0 : !negative_; }
+  /// True when the value fits the inline int64 representation.
+  bool FitsInt64() const { return small_rep_; }
 
   /// Number of significant bits of the magnitude (0 for zero).
   size_t BitLength() const;
@@ -65,7 +73,12 @@ class BigInt {
   BigInt& operator%=(const BigInt& o) { return *this = *this % o; }
 
   /// Three-way comparison: negative, zero, positive.
-  int Compare(const BigInt& o) const;
+  int Compare(const BigInt& o) const {
+    if (small_rep_ && o.small_rep_) {
+      return small_ < o.small_ ? -1 : (small_ > o.small_ ? 1 : 0);
+    }
+    return CompareSlow(o);
+  }
 
   bool operator==(const BigInt& o) const { return Compare(o) == 0; }
   bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
@@ -88,6 +101,27 @@ class BigInt {
   size_t Hash() const;
 
  private:
+  // Sign + magnitude view of either representation: inline values
+  // materialize limbs into `storage`, heap values are referenced in place.
+  // (No self-referential pointer, so the view is safely movable.)
+  struct MagView {
+    bool negative = false;
+    bool inline_rep = true;
+    std::vector<uint32_t> storage;
+    const std::vector<uint32_t>* heap = nullptr;
+    const std::vector<uint32_t>& mag() const {
+      return inline_rep ? storage : *heap;
+    }
+  };
+  MagView View() const;
+
+  // Builds the canonical representation from sign + magnitude (demotes to the
+  // inline form when the value fits int64).
+  static BigInt FromMag(bool negative, std::vector<uint32_t> mag);
+  static BigInt FromMagU64(bool negative, uint64_t mag);
+
+  int CompareSlow(const BigInt& o) const;
+
   // Comparison/arithmetic on magnitudes only (interpret as non-negative).
   static int CompareMag(const std::vector<uint32_t>& a,
                         const std::vector<uint32_t>& b);
@@ -104,10 +138,12 @@ class BigInt {
                         std::vector<uint32_t>* q, std::vector<uint32_t>* r);
   static void TrimMag(std::vector<uint32_t>* m);
 
-  void Normalize();
-
+  // Inline representation: value == small_ when small_rep_.
+  int64_t small_ = 0;
+  bool small_rep_ = true;
+  // Heap representation (canonical: only for |value| beyond int64).
   bool negative_ = false;
-  std::vector<uint32_t> mag_;  // little-endian base 2^32; empty == 0
+  std::vector<uint32_t> mag_;  // little-endian base 2^32
 };
 
 /// Stream rendering in decimal (for tests and diagnostics).

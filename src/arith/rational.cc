@@ -14,12 +14,13 @@ void Rational::Normalize() {
     num_ = -num_;
     den_ = -den_;
   }
+  if (den_.IsOne()) return;  // already reduced: n/1
   if (num_.IsZero()) {
     den_ = BigInt(1);
     return;
   }
   BigInt g = BigInt::Gcd(num_, den_);
-  if (g != BigInt(1)) {
+  if (!g.IsOne()) {
     num_ /= g;
     den_ /= g;
   }
@@ -32,14 +33,20 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational& o) const {
+  // Integer fast path: no cross-multiplication, no gcd.
+  if (den_.IsOne() && o.den_.IsOne()) return Rational(num_ + o.num_);
+  if (den_ == o.den_) return Rational(num_ + o.num_, den_);
   return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
 }
 
 Rational Rational::operator-(const Rational& o) const {
+  if (den_.IsOne() && o.den_.IsOne()) return Rational(num_ - o.num_);
+  if (den_ == o.den_) return Rational(num_ - o.num_, den_);
   return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
 }
 
 Rational Rational::operator*(const Rational& o) const {
+  if (den_.IsOne() && o.den_.IsOne()) return Rational(num_ * o.num_);
   return Rational(num_ * o.num_, den_ * o.den_);
 }
 
@@ -48,6 +55,7 @@ Rational Rational::operator/(const Rational& o) const {
 }
 
 int Rational::Compare(const Rational& o) const {
+  if (den_ == o.den_) return num_.Compare(o.num_);
   return (num_ * o.den_).Compare(o.num_ * den_);
 }
 

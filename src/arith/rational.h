@@ -29,8 +29,10 @@ class Rational {
   bool IsZero() const { return num_.IsZero(); }
   bool IsNegative() const { return num_.IsNegative(); }
   bool IsPositive() const { return num_.IsPositive(); }
+  /// True when the value is exactly 1.
+  bool IsOne() const { return num_.IsOne() && den_.IsOne(); }
   /// True when the denominator is 1.
-  bool IsInteger() const { return den_ == BigInt(1); }
+  bool IsInteger() const { return den_.IsOne(); }
 
   Rational operator-() const;
   Rational operator+(const Rational& o) const;

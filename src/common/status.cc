@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNotFound:
       return "Not found";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

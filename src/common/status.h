@@ -35,6 +35,9 @@ enum class StatusCode : int {
   kInternal = 6,
   /// A lookup did not find the requested entity.
   kNotFound = 7,
+  /// The operation was abandoned because a concurrent sibling already
+  /// produced the answer (first-SAT-wins fan-outs); never a verdict.
+  kCancelled = 8,
 };
 
 /// \brief Human-readable name of a status code ("OK", "Invalid argument", ...).
@@ -76,6 +79,9 @@ class Status {
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -94,6 +100,7 @@ class Status {
   bool IsOverflow() const { return code() == StatusCode::kOverflow; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

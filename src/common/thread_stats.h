@@ -1,0 +1,84 @@
+/// \file thread_stats.h
+/// \brief Thread-local performance counters with global aggregation.
+///
+/// Hot paths (BigInt arithmetic, simplex pivots) increment plain thread-local
+/// counters — no atomics, no contention. Benchmarks aggregate across threads
+/// afterwards. A counter struct `C` must be default-constructible and provide
+///   void AddTo(C* out) const;   // out->x += x for every field
+///   void Clear();               // zero every field
+///
+/// Aggregate()/Reset() take a registry lock and are intended to be called
+/// while worker threads are quiescent (between benchmark iterations); calling
+/// them concurrently with active workers is memory-safe but may miss
+/// in-flight increments.
+
+#ifndef FO2DT_COMMON_THREAD_STATS_H_
+#define FO2DT_COMMON_THREAD_STATS_H_
+
+#include <mutex>
+#include <vector>
+
+namespace fo2dt {
+
+template <typename C>
+class ThreadStats {
+ public:
+  /// The calling thread's counter block (registered on first use).
+  static C& Local() {
+    thread_local Handle handle;
+    return handle.counters;
+  }
+
+  /// Sum over all live threads plus exited threads since the last Reset().
+  static C Aggregate() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    C out = r.retired;
+    for (const C* c : r.live) c->AddTo(&out);
+    return out;
+  }
+
+  /// Zeroes the retired accumulator and every live thread's block.
+  static void Reset() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.retired.Clear();
+    for (C* c : r.live) c->Clear();
+  }
+
+ private:
+  struct Registry {
+    std::mutex mu;
+    std::vector<C*> live;
+    C retired;
+  };
+
+  static Registry& GetRegistry() {
+    static Registry* r = new Registry();  // leaked: outlives thread exits
+    return *r;
+  }
+
+  struct Handle {
+    C counters;
+    Handle() {
+      Registry& r = GetRegistry();
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.live.push_back(&counters);
+    }
+    ~Handle() {
+      Registry& r = GetRegistry();
+      std::lock_guard<std::mutex> lock(r.mu);
+      counters.AddTo(&r.retired);
+      for (size_t i = 0; i < r.live.size(); ++i) {
+        if (r.live[i] == &counters) {
+          r.live.erase(r.live.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+    }
+  };
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_COMMON_THREAD_STATS_H_

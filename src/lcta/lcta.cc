@@ -1,7 +1,10 @@
 #include "lcta/lcta.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
 
 #include "common/strings.h"
 #include "solverlp/ilp.h"
@@ -46,16 +49,19 @@ struct Production {
   bool counts_node = false;
 };
 
+constexpr size_t kNoTail = static_cast<size_t>(-1);
+
 struct Grammar {
   size_t q = 0;
   VarId base = 0;       // first production variable id
   size_t num_nonterminals = 0;
   std::vector<Production> productions;
 
-  // Nonterminal ids: N_q = q | C_q = q + s | tails mapped sparsely.
+  // Nonterminal ids: N_q = q | C_q = q + s | tails mapped sparsely through a
+  // flat p * q + parent index (kNoTail when T_{p,parent} is not instantiated).
   size_t NT_Node(TreeState s) const { return s; }
   size_t NT_Chain(TreeState s) const { return q + s; }
-  std::map<std::pair<TreeState, TreeState>, size_t> tail_ids;
+  std::vector<size_t> tail_ids;
 
   VarId TotalVars() const {
     return base + static_cast<VarId>(productions.size());
@@ -72,14 +78,25 @@ Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
   const auto& ver = a.vertical();
 
   // Sparse tail support: for each parent state q, the set of chain states p
-  // from which a δv into q is still reachable along δh edges.
-  // Backward closure from δv-sources of q over δh edges.
+  // from which a δv into q is still reachable along δh edges. Backward
+  // closure from δv-sources of q over pre-indexed reverse δh adjacency, so
+  // each closure visits only incident edges instead of scanning all of δh
+  // per work item.
+  std::vector<std::vector<TreeState>> rev_hor(g.q);
+  for (const auto& [p, sym, pp] : hor) {
+    (void)sym;
+    rev_hor[pp].push_back(p);
+  }
+  std::vector<std::vector<TreeState>> ver_sources(g.q);
+  for (const auto& [p, sym, tgt] : ver) {
+    (void)sym;
+    ver_sources[tgt].push_back(p);
+  }
   std::vector<std::vector<char>> support(g.q, std::vector<char>(g.q, 0));
   for (TreeState parent = 0; parent < g.q; ++parent) {
     std::vector<TreeState> work;
-    for (const auto& [p, sym, tgt] : ver) {
-      (void)sym;
-      if (tgt == parent && !support[parent][p]) {
+    for (TreeState p : ver_sources[parent]) {
+      if (!support[parent][p]) {
         support[parent][p] = 1;
         work.push_back(p);
       }
@@ -87,9 +104,8 @@ Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
     while (!work.empty()) {
       TreeState cur = work.back();
       work.pop_back();
-      for (const auto& [p, sym, pp] : hor) {
-        (void)sym;
-        if (pp == cur && !support[parent][p]) {
+      for (TreeState p : rev_hor[cur]) {
+        if (!support[parent][p]) {
           support[parent][p] = 1;
           work.push_back(p);
         }
@@ -97,11 +113,11 @@ Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
     }
   }
 
+  g.tail_ids.assign(g.q * g.q, kNoTail);
   auto tail_id = [&g](TreeState p, TreeState parent) {
-    auto [it, fresh] =
-        g.tail_ids.emplace(std::make_pair(p, parent), g.num_nonterminals);
-    if (fresh) ++g.num_nonterminals;
-    return it->second;
+    size_t& slot = g.tail_ids[static_cast<size_t>(p) * g.q + parent];
+    if (slot == kNoTail) slot = g.num_nonterminals++;
+    return slot;
   };
 
   VarId next = base;
@@ -241,6 +257,70 @@ LinearConstraint ConnectivityCut(const Grammar& g,
                               LinearConstraint::Ge(std::move(crossing)));
 }
 
+/// Per-root outcome of the cut loop (one slot per accepting root choice).
+struct RootOutcome {
+  enum Kind { kPending, kEmpty, kNonEmpty, kAbandoned };
+  Kind kind = kPending;
+  IntAssignment state_counts;
+  size_t ilp_nodes = 0;
+  size_t connectivity_cuts = 0;
+};
+
+/// Runs the lazy-cut loop for one accepting root choice. The conjunction is
+/// converted to DNF exactly once; each cut round multiplies the *surviving*
+/// branch set by the cut's two DNF branches (a branch proven infeasible stays
+/// infeasible when atoms are added, so it is pruned instead of re-solved).
+Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
+                 Symbol root_label, const LctaOptions& options,
+                 const IlpOptions& ilp_options, RootOutcome* out) {
+  const TreeAutomaton& a = lcta.automaton;
+  LinearConstraint flow =
+      BuildFlowConstraints(a, g, root, root_label, lcta.use_symbol_counts);
+  FO2DT_ASSIGN_OR_RETURN(
+      std::vector<LinearSystem> branches,
+      LinearConstraint::And(flow, lcta.constraint)
+          .ToDnf(options.max_dnf_branches));
+  for (size_t cut_round = 0;; ++cut_round) {
+    if (cut_round > options.max_cuts) {
+      return Status::ResourceExhausted(
+          "LCTA emptiness: connectivity cut budget exceeded");
+    }
+    FO2DT_ASSIGN_OR_RETURN(
+        DnfSolveResult r,
+        IlpSolver::SolveDnf(branches, g.TotalVars(), ilp_options));
+    out->ilp_nodes += r.solution.nodes_explored;
+    if (!r.solution.feasible) {
+      out->kind = RootOutcome::kEmpty;  // this root choice yields nothing
+      return Status::OK();
+    }
+    std::vector<size_t> u =
+        UnreachableUsedNonterminals(g, r.solution.assignment, root);
+    if (u.empty()) {
+      out->kind = RootOutcome::kNonEmpty;
+      out->state_counts.assign(r.solution.assignment.begin(),
+                               r.solution.assignment.begin() + a.num_states());
+      return Status::OK();
+    }
+    FO2DT_ASSIGN_OR_RETURN(std::vector<LinearSystem> cut_dnf,
+                           ConnectivityCut(g, u).ToDnf(2));
+    std::vector<LinearSystem> next;
+    for (size_t i = 0; i < branches.size(); ++i) {
+      if (r.outcomes[i] == BranchOutcome::kInfeasible) continue;
+      for (const LinearSystem& cut : cut_dnf) {
+        LinearSystem extended = branches[i];
+        extended.insert(extended.end(), cut.begin(), cut.end());
+        next.push_back(std::move(extended));
+      }
+    }
+    if (next.size() > options.max_dnf_branches) {
+      return Status::ResourceExhausted(
+          "LCTA emptiness: DNF branch budget exceeded");
+    }
+    branches = std::move(next);
+    ++out->connectivity_cuts;
+  }
+}
+
 }  // namespace
 
 Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
@@ -250,47 +330,123 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
     return Status::InvalidArgument(
         "LCTA constraint mentions a variable beyond the user block");
   }
+  // Grammar and flow structure are built once for the whole check and shared
+  // (read-only) by every root worker.
   Grammar g = BuildGrammar(a, lcta.NumUserVars());
   LctaEmptinessResult out;
   out.empty = true;
 
-  IlpOptions ilp_options;
-  ilp_options.max_nodes = options.max_ilp_nodes;
-  ilp_options.max_dnf_branches = options.max_dnf_branches;
-
   // Without symbol counting the flow system depends only on the root state,
   // so accepting pairs sharing a state are handled once; with symbol
   // counting the root's label contributes to a count and every pair matters.
-  std::set<std::pair<TreeState, Symbol>> roots;
+  std::vector<std::pair<TreeState, Symbol>> roots;
   for (const auto& [s, sym] : a.accepting()) {
     if (a.IsNonFirst(s)) continue;  // the root has no siblings
-    roots.emplace(s, lcta.use_symbol_counts ? sym : 0);
+    roots.emplace_back(s, lcta.use_symbol_counts ? sym : Symbol{0});
   }
-  for (const auto& [root, root_label] : roots) {
-    LinearConstraint flow = BuildFlowConstraints(a, g, root, root_label,
-                                                 lcta.use_symbol_counts);
-    std::vector<LinearConstraint> conjuncts = {flow, lcta.constraint};
-    for (size_t cut_round = 0;; ++cut_round) {
-      if (cut_round > options.max_cuts) {
-        return Status::ResourceExhausted(
-            "LCTA emptiness: connectivity cut budget exceeded");
-      }
-      FO2DT_ASSIGN_OR_RETURN(
-          IlpSolution sol,
-          IlpSolver::Solve(LinearConstraint::And(conjuncts), g.TotalVars(),
-                           ilp_options));
-      out.ilp_nodes += sol.nodes_explored;
-      if (!sol.feasible) break;  // this root choice yields nothing
-      std::vector<size_t> u = UnreachableUsedNonterminals(g, sol.assignment,
-                                                          root);
-      if (u.empty()) {
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  if (roots.empty()) return out;
+
+  const size_t num_threads =
+      options.num_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : options.num_threads;
+  const size_t root_workers = std::min(num_threads, roots.size());
+
+  IlpOptions ilp_options;
+  ilp_options.max_nodes = options.max_ilp_nodes;
+  ilp_options.max_dnf_branches = options.max_dnf_branches;
+  ilp_options.num_threads = std::max<size_t>(1, num_threads / root_workers);
+
+  if (root_workers <= 1) {
+    for (const auto& [root, root_label] : roots) {
+      RootOutcome o;
+      FO2DT_RETURN_NOT_OK(
+          SolveRoot(lcta, g, root, root_label, options, ilp_options, &o));
+      out.ilp_nodes += o.ilp_nodes;
+      out.connectivity_cuts += o.connectivity_cuts;
+      if (o.kind == RootOutcome::kNonEmpty) {
         out.empty = false;
-        out.state_counts.assign(sol.assignment.begin(),
-                                sol.assignment.begin() + a.num_states());
+        out.state_counts = std::move(o.state_counts);
         return out;
       }
-      conjuncts.push_back(ConnectivityCut(g, u));
-      ++out.connectivity_cuts;
+    }
+    return out;
+  }
+
+  // Parallel root fan-out, first-nonempty-wins with deterministic selection:
+  // `stop_at` is the smallest root index known terminal (nonempty or error);
+  // roots above it are abandoned via their cancellation flags, roots below it
+  // always complete, so the ascending scan below is schedule-independent.
+  struct Slot {
+    RootOutcome outcome;
+    Status error;  // non-OK turns the slot into an error terminal
+  };
+  std::vector<Slot> slots(roots.size());
+  std::unique_ptr<std::atomic<bool>[]> abandon(
+      new std::atomic<bool>[roots.size()]);
+  for (size_t i = 0; i < roots.size(); ++i) abandon[i].store(false);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> stop_at{roots.size()};
+  auto mark_terminal = [&](size_t i) {
+    size_t cur = stop_at.load(std::memory_order_relaxed);
+    while (i < cur &&
+           !stop_at.compare_exchange_weak(cur, i, std::memory_order_acq_rel)) {
+    }
+    for (size_t j = i + 1; j < roots.size(); ++j) abandon[j].store(true);
+  };
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= roots.size()) return;
+      Slot& slot = slots[i];
+      if (i > stop_at.load(std::memory_order_acquire)) {
+        slot.outcome.kind = RootOutcome::kAbandoned;
+        continue;
+      }
+      IlpOptions my_ilp = ilp_options;
+      my_ilp.cancel = &abandon[i];
+      Status st = SolveRoot(lcta, g, roots[i].first, roots[i].second, options,
+                            my_ilp, &slot.outcome);
+      if (!st.ok()) {
+        if (st.IsCancelled()) {
+          slot.outcome.kind = RootOutcome::kAbandoned;
+          continue;
+        }
+        slot.error = st;
+        mark_terminal(i);
+        continue;
+      }
+      if (slot.outcome.kind == RootOutcome::kNonEmpty) mark_terminal(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(root_workers - 1);
+  for (size_t t = 1; t < root_workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+
+  // Exact counter aggregation: summed single-threaded after the join.
+  for (const Slot& slot : slots) {
+    out.ilp_nodes += slot.outcome.ilp_nodes;
+    out.connectivity_cuts += slot.outcome.connectivity_cuts;
+  }
+  for (size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    if (!slot.error.ok()) return slot.error;
+    switch (slot.outcome.kind) {
+      case RootOutcome::kNonEmpty:
+        out.empty = false;
+        out.state_counts = std::move(slot.outcome.state_counts);
+        return out;
+      case RootOutcome::kEmpty:
+        break;
+      case RootOutcome::kPending:
+      case RootOutcome::kAbandoned:
+        // Every root below the smallest terminal index completes; reaching an
+        // unsolved slot here means that invariant broke.
+        return Status::Internal("unsolved root below the terminal index");
     }
   }
   return out;

@@ -64,8 +64,14 @@ struct LctaOptions {
   size_t max_ilp_nodes = 200000;
   /// Maximum lazy connectivity cuts before giving up (ResourceExhausted).
   size_t max_cuts = 200;
-  /// Cap on DNF branches of the user constraint.
+  /// Cap on DNF branches of the user constraint (and on the branch set kept
+  /// across cut rounds).
   size_t max_dnf_branches = 4096;
+  /// Worker threads, split between the accepting-root fan-out and the ILP
+  /// DNF fan-out (0 = hardware concurrency). The verdict and witness counts
+  /// are identical for every thread count: the smallest qualifying root (and
+  /// within it the smallest-index DNF branch) always wins.
+  size_t num_threads = 0;
 };
 
 /// \brief LCTA emptiness (Theorem 2). Sound and complete; may return

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <optional>
+#include <thread>
+#include <utility>
 
 namespace fo2dt {
 
@@ -67,58 +69,48 @@ PreprocessVerdict Preprocess(const LinearSystem& in, LinearSystem* out) {
   return PreprocessVerdict::kOk;
 }
 
-struct VarBounds {
-  BigInt lo;                 // >= 0 always
-  std::optional<BigInt> hi;  // nullopt == unbounded above
-};
-
 struct SearchState {
-  const LinearSystem* base = nullptr;
   VarId num_vars = 0;
   size_t nodes = 0;
   size_t max_nodes = 0;
+  // External cancellation plus first-SAT-wins abandonment: the search is
+  // abandoned once a sibling DNF branch with a smaller index has terminated.
+  const std::atomic<bool>* external_cancel = nullptr;
+  const std::atomic<size_t>* stop_at = nullptr;
+  size_t branch_index = 0;
+
+  bool ShouldCancel() const {
+    if (external_cancel != nullptr &&
+        external_cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return stop_at != nullptr &&
+           stop_at->load(std::memory_order_relaxed) < branch_index;
+  }
 };
 
-/// Builds the LP system for the current bounds and solves its relaxation.
-Result<LpSolution> SolveRelaxation(const SearchState& st,
-                                   const std::vector<VarBounds>& bounds) {
-  LinearSystem sys = *st.base;
-  for (VarId v = 0; v < st.num_vars; ++v) {
-    if (bounds[v].lo.IsPositive()) {
-      LinearExpr e = LinearExpr::Variable(v);
-      e.AddConstant(-bounds[v].lo);
-      sys.push_back(LinearAtom::Ge(std::move(e)));  // x >= lo
-    }
-    if (bounds[v].hi.has_value()) {
-      LinearExpr e(*bounds[v].hi);
-      e.AddTerm(v, BigInt(-1));
-      sys.push_back(LinearAtom::Ge(std::move(e)));  // x <= hi
-    }
-  }
-  return SimplexSolver::FindFeasible(sys, st.num_vars);
-}
-
-Result<std::optional<IntAssignment>> Branch(std::vector<VarBounds> bounds,
+/// One branch-and-bound node. The tableau arrives already repaired for this
+/// node's bounds; branching copies it once for the down child and mutates it
+/// in place for the up child (one dual-simplex warm start each, never a
+/// from-scratch rebuild).
+Result<std::optional<IntAssignment>> Branch(IncrementalSimplex tab,
                                             SearchState* st) {
   if (++st->nodes > st->max_nodes) {
     return Status::ResourceExhausted("ILP branch-and-bound node budget exceeded");
   }
-  for (VarId v = 0; v < st->num_vars; ++v) {
-    if (bounds[v].hi.has_value() && bounds[v].lo > *bounds[v].hi) {
-      return std::optional<IntAssignment>();
-    }
+  if (st->ShouldCancel()) {
+    return Status::Cancelled("ILP search abandoned");
   }
-  FO2DT_ASSIGN_OR_RETURN(LpSolution lp, SolveRelaxation(*st, bounds));
-  if (lp.status == LpStatus::kInfeasible) {
+  if (!tab.feasible()) {
     return std::optional<IntAssignment>();
   }
+  std::vector<Rational> x = tab.Assignment();
   // Pick the most fractional coordinate.
   VarId frac_var = st->num_vars;
   Rational best_dist(0);
   for (VarId v = 0; v < st->num_vars; ++v) {
-    const Rational& x = lp.assignment[v];
-    if (x.IsInteger()) continue;
-    Rational frac = x - Rational(x.Floor());
+    if (x[v].IsInteger()) continue;
+    Rational frac = x[v] - Rational(x[v].Floor());
     Rational dist = std::min(frac, Rational(1) - frac,
                              [](const Rational& a, const Rational& b) {
                                return a < b;
@@ -130,38 +122,51 @@ Result<std::optional<IntAssignment>> Branch(std::vector<VarBounds> bounds,
   }
   if (frac_var == st->num_vars) {
     IntAssignment out(st->num_vars);
-    for (VarId v = 0; v < st->num_vars; ++v) {
-      out[v] = lp.assignment[v].Floor();
-    }
+    for (VarId v = 0; v < st->num_vars; ++v) out[v] = x[v].Floor();
     return std::optional<IntAssignment>(std::move(out));
   }
-  BigInt floor = lp.assignment[frac_var].Floor();
-  // Down branch: x <= floor.
+  const BigInt floor = x[frac_var].Floor();
+  // Down branch: x <= floor (strictly tighter, since floor < x <= old hi).
   {
-    std::vector<VarBounds> down = bounds;
-    BigInt new_hi = floor;
-    if (!down[frac_var].hi.has_value() || new_hi < *down[frac_var].hi) {
-      down[frac_var].hi = new_hi;
-    }
+    IncrementalSimplex down = tab;
+    FO2DT_RETURN_NOT_OK(down.SetUpperBound(frac_var, floor));
     FO2DT_ASSIGN_OR_RETURN(std::optional<IntAssignment> hit,
                            Branch(std::move(down), st));
     if (hit.has_value()) return hit;
   }
-  // Up branch: x >= floor + 1.
-  bounds[frac_var].lo = std::max(bounds[frac_var].lo, floor + BigInt(1));
-  return Branch(std::move(bounds), st);
+  // Up branch: x >= floor + 1 (strictly tighter, since old lo <= floor).
+  FO2DT_RETURN_NOT_OK(tab.SetLowerBound(frac_var, floor + BigInt(1)));
+  return Branch(std::move(tab), st);
 }
 
-}  // namespace
+/// Builds the root tableau (one phase-1 solve for the whole search) and runs
+/// branch-and-bound.
+Result<std::optional<IntAssignment>> RunSearch(
+    const LinearSystem& base, const std::optional<BigInt>& upper_bound,
+    SearchState* st) {
+  FO2DT_ASSIGN_OR_RETURN(IncrementalSimplex root,
+                         IncrementalSimplex::Create(base, st->num_vars));
+  if (upper_bound.has_value()) {
+    for (VarId v = 0; v < st->num_vars && root.feasible(); ++v) {
+      FO2DT_RETURN_NOT_OK(root.SetUpperBound(v, *upper_bound));
+    }
+  }
+  return Branch(std::move(root), st);
+}
 
-Result<IlpSolution> IlpSolver::FindIntegerPoint(const LinearSystem& system,
-                                                VarId num_vars,
-                                                const IlpOptions& options) {
+/// FindIntegerPoint with the fan-out plumbing exposed. \p nodes_used is
+/// accumulated on every path, including errors and cancellation, so callers
+/// can aggregate exact node totals.
+Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
+                                         VarId num_vars,
+                                         const IlpOptions& options,
+                                         const std::atomic<size_t>* stop_at,
+                                         size_t branch_index,
+                                         size_t* nodes_used) {
   IlpSolution out;
   LinearSystem base;
   if (Preprocess(system, &base) == PreprocessVerdict::kInfeasible) {
     out.feasible = false;
-    out.nodes_explored = 0;
     return out;
   }
   // Phase 1: unbounded search with a slim budget. Flow-style systems almost
@@ -169,11 +174,14 @@ Result<IlpSolution> IlpSolver::FindIntegerPoint(const LinearSystem& system,
   // works with narrow numbers.
   if (options.two_phase && options.add_small_solution_bound) {
     SearchState st;
-    st.base = &base;
     st.num_vars = num_vars;
     st.max_nodes = std::max<size_t>(
         1, options.max_nodes / std::max<size_t>(1, options.unbounded_fraction));
-    auto attempt = Branch(std::vector<VarBounds>(num_vars), &st);
+    st.external_cancel = options.cancel;
+    st.stop_at = stop_at;
+    st.branch_index = branch_index;
+    auto attempt = RunSearch(base, std::nullopt, &st);
+    *nodes_used += st.nodes;
     if (attempt.ok()) {
       out.nodes_explored = st.nodes;
       out.feasible = attempt->has_value();
@@ -183,20 +191,162 @@ Result<IlpSolution> IlpSolver::FindIntegerPoint(const LinearSystem& system,
     if (!attempt.status().IsResourceExhausted()) return attempt.status();
     out.nodes_explored += st.nodes;  // fall through to the bounded phase
   }
-  std::vector<VarBounds> bounds(num_vars);
+  std::optional<BigInt> bound;
   if (options.add_small_solution_bound && num_vars > 0) {
-    BigInt bound = SmallSolutionBound(base, num_vars);
-    for (VarId v = 0; v < num_vars; ++v) bounds[v].hi = bound;
+    bound = IlpSolver::SmallSolutionBound(base, num_vars);
   }
   SearchState st;
-  st.base = &base;
   st.num_vars = num_vars;
   st.max_nodes = options.max_nodes;
-  FO2DT_ASSIGN_OR_RETURN(std::optional<IntAssignment> hit,
-                         Branch(std::move(bounds), &st));
+  st.external_cancel = options.cancel;
+  st.stop_at = stop_at;
+  st.branch_index = branch_index;
+  auto hit = RunSearch(base, bound, &st);
+  *nodes_used += st.nodes;
+  if (!hit.ok()) return hit.status();
   out.nodes_explored += st.nodes;
-  out.feasible = hit.has_value();
-  if (hit.has_value()) out.assignment = std::move(*hit);
+  out.feasible = hit->has_value();
+  if (hit->has_value()) out.assignment = std::move(**hit);
+  return out;
+}
+
+}  // namespace
+
+Result<IlpSolution> IlpSolver::FindIntegerPoint(const LinearSystem& system,
+                                                VarId num_vars,
+                                                const IlpOptions& options) {
+  size_t nodes = 0;
+  return FindIntegerPointImpl(system, num_vars, options, /*stop_at=*/nullptr,
+                              /*branch_index=*/0, &nodes);
+}
+
+Result<DnfSolveResult> IlpSolver::SolveDnf(
+    const std::vector<LinearSystem>& branches, VarId num_vars,
+    const IlpOptions& options) {
+  DnfSolveResult out;
+  out.outcomes.assign(branches.size(), BranchOutcome::kSkipped);
+  if (branches.empty()) {
+    out.solution.feasible = false;
+    return out;
+  }
+  size_t num_threads =
+      options.num_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : options.num_threads;
+  num_threads = std::min(num_threads, branches.size());
+
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < branches.size(); ++i) {
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        return Status::Cancelled("ILP DNF solve cancelled");
+      }
+      size_t nodes = 0;
+      Result<IlpSolution> sol = FindIntegerPointImpl(
+          branches[i], num_vars, options, nullptr, 0, &nodes);
+      out.solution.nodes_explored += nodes;
+      if (!sol.ok()) return sol.status();
+      if (sol->feasible) {
+        out.outcomes[i] = BranchOutcome::kFeasible;
+        out.solution.feasible = true;
+        out.solution.assignment = std::move(sol.value().assignment);
+        return out;
+      }
+      out.outcomes[i] = BranchOutcome::kInfeasible;
+    }
+    out.solution.feasible = false;
+    return out;
+  }
+
+  // Parallel fan-out with deterministic first-SAT-wins selection. `stop_at`
+  // is the smallest branch index known to be terminal (feasible or error);
+  // branches above it are abandoned, branches below it always complete, so
+  // the ascending scan after the join is independent of scheduling.
+  struct Slot {
+    enum Kind { kPending, kInfeasible, kFeasible, kAbandoned, kError };
+    Kind kind = kPending;
+    Status error;
+    IntAssignment assignment;
+    size_t nodes = 0;
+  };
+  std::vector<Slot> slots(branches.size());
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> stop_at{branches.size()};
+  auto lower_stop_at = [&stop_at](size_t i) {
+    size_t cur = stop_at.load(std::memory_order_relaxed);
+    while (i < cur &&
+           !stop_at.compare_exchange_weak(cur, i, std::memory_order_acq_rel)) {
+    }
+  };
+  auto worker = [&]() {
+    for (;;) {
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= branches.size()) return;
+      Slot& slot = slots[i];
+      if (i > stop_at.load(std::memory_order_acquire)) {
+        slot.kind = Slot::kAbandoned;
+        continue;
+      }
+      Result<IlpSolution> sol = FindIntegerPointImpl(
+          branches[i], num_vars, options, &stop_at, i, &slot.nodes);
+      if (!sol.ok()) {
+        if (sol.status().IsCancelled()) {
+          slot.kind = Slot::kAbandoned;
+          continue;
+        }
+        slot.error = sol.status();
+        slot.kind = Slot::kError;
+        lower_stop_at(i);
+        continue;
+      }
+      if (sol->feasible) {
+        slot.assignment = std::move(sol.value().assignment);
+        slot.kind = Slot::kFeasible;
+        lower_stop_at(i);
+      } else {
+        slot.kind = Slot::kInfeasible;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  for (size_t t = 1; t < num_threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("ILP DNF solve cancelled");
+  }
+
+  // Exact node aggregation: summed single-threaded after the join.
+  for (const Slot& slot : slots) out.solution.nodes_explored += slot.nodes;
+
+  for (size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    switch (slot.kind) {
+      case Slot::kError:
+        return slot.error;
+      case Slot::kFeasible:
+        out.outcomes[i] = BranchOutcome::kFeasible;
+        out.solution.feasible = true;
+        out.solution.assignment = std::move(slot.assignment);
+        return out;
+      case Slot::kInfeasible:
+        out.outcomes[i] = BranchOutcome::kInfeasible;
+        break;
+      case Slot::kPending:
+      case Slot::kAbandoned:
+        // Every branch below the smallest terminal index completes; reaching
+        // an unsolved slot here means that invariant broke.
+        return Status::Internal("unsolved DNF branch below the terminal index");
+    }
+  }
+  out.solution.feasible = false;
   return out;
 }
 
@@ -205,19 +355,9 @@ Result<IlpSolution> IlpSolver::Solve(const LinearConstraint& constraint,
                                      const IlpOptions& options) {
   FO2DT_ASSIGN_OR_RETURN(std::vector<LinearSystem> dnf,
                          constraint.ToDnf(options.max_dnf_branches));
-  IlpSolution out;
-  for (const auto& branch : dnf) {
-    FO2DT_ASSIGN_OR_RETURN(IlpSolution sol,
-                           FindIntegerPoint(branch, num_vars, options));
-    out.nodes_explored += sol.nodes_explored;
-    if (sol.feasible) {
-      out.feasible = true;
-      out.assignment = std::move(sol.assignment);
-      return out;
-    }
-  }
-  out.feasible = false;
-  return out;
+  FO2DT_ASSIGN_OR_RETURN(DnfSolveResult result,
+                         SolveDnf(dnf, num_vars, options));
+  return std::move(result.solution);
 }
 
 }  // namespace fo2dt

@@ -7,6 +7,11 @@
 /// The solver expands the combination to DNF and runs branch-and-bound over
 /// the exact simplex relaxation of each branch.
 ///
+/// Branch-and-bound is *incremental*: each search path carries one warm
+/// IncrementalSimplex tableau. A child node applies a single integer bound
+/// change and repairs feasibility with dual-simplex pivots instead of
+/// re-running phase 1 from scratch (see simplex.h).
+///
 /// Termination: integer programming feasibility admits small-solution bounds
 /// (Papadimitriou 1981): if a system has a solution in N^n it has one whose
 /// entries are bounded by a value computable from the coefficients. The
@@ -17,7 +22,8 @@
 #ifndef FO2DT_SOLVERLP_ILP_H_
 #define FO2DT_SOLVERLP_ILP_H_
 
-#include <optional>
+#include <atomic>
+#include <vector>
 
 #include "solverlp/linear.h"
 #include "solverlp/simplex.h"
@@ -26,7 +32,7 @@ namespace fo2dt {
 
 /// \brief Tuning knobs for the ILP search.
 struct IlpOptions {
-  /// Maximum branch-and-bound nodes across all DNF branches.
+  /// Maximum branch-and-bound nodes per DNF branch.
   size_t max_nodes = 200000;
   /// Cap on DNF expansion of the input constraint.
   size_t max_dnf_branches = 100000;
@@ -39,6 +45,14 @@ struct IlpOptions {
   /// exhaustion is the guaranteed-terminating bounded search run.
   bool two_phase = true;
   size_t unbounded_fraction = 10;
+  /// Worker threads for the DNF branch fan-out (0 = hardware concurrency).
+  /// The verdict, witness, and branch outcomes are identical for every
+  /// thread count; only wall-clock and node totals vary.
+  size_t num_threads = 1;
+  /// Optional external cancellation flag, checked between branch-and-bound
+  /// nodes. When it becomes true the solve aborts with StatusCode::kCancelled
+  /// (never a verdict).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// \brief Outcome of an integer feasibility query.
@@ -46,8 +60,24 @@ struct IlpSolution {
   bool feasible = false;
   /// Witness in N^n; meaningful iff feasible.
   IntAssignment assignment;
-  /// Branch-and-bound nodes explored (for benchmarks).
+  /// Branch-and-bound nodes explored (for benchmarks). Under a parallel
+  /// fan-out this includes work on branches that were later abandoned, so it
+  /// may vary with num_threads (the verdict and witness never do).
   size_t nodes_explored = 0;
+};
+
+/// \brief Per-branch verdict of a DNF fan-out solve.
+enum class BranchOutcome {
+  kInfeasible,  ///< proven to have no integer point
+  kFeasible,    ///< the branch that produced the returned witness
+  kSkipped,     ///< not solved: a smaller-index branch already terminated
+};
+
+/// \brief Result of SolveDnf: the overall verdict plus what happened to each
+/// input branch (callers running cut loops prune the proven-infeasible ones).
+struct DnfSolveResult {
+  IlpSolution solution;
+  std::vector<BranchOutcome> outcomes;  // size == number of input branches
 };
 
 /// \brief Branch-and-bound integer feasibility solver.
@@ -58,8 +88,18 @@ class IlpSolver {
                                               VarId num_vars,
                                               const IlpOptions& options = {});
 
+  /// Solves an explicit list of DNF branches (first feasible branch wins).
+  ///
+  /// Deterministic regardless of options.num_threads: the returned witness is
+  /// always the one of the smallest-index feasible branch, and an error from
+  /// branch i is reported only if no branch j < i is feasible. Workers
+  /// abandon branches above the smallest terminal index (first-SAT-wins).
+  static Result<DnfSolveResult> SolveDnf(
+      const std::vector<LinearSystem>& branches, VarId num_vars,
+      const IlpOptions& options = {});
+
   /// Decides whether a boolean combination of atoms has a solution in
-  /// N^num_vars (DNF expansion + FindIntegerPoint per branch).
+  /// N^num_vars (DNF expansion + SolveDnf).
   static Result<IlpSolution> Solve(const LinearConstraint& constraint,
                                    VarId num_vars,
                                    const IlpOptions& options = {});

@@ -1,82 +1,404 @@
 #include "solverlp/simplex.h"
 
 #include <algorithm>
-
-#include "common/strings.h"
+#include <utility>
 
 namespace fo2dt {
 
 namespace {
 
-/// Dense exact tableau in equality form: rows are constraints
-/// sum_j T[i][j] * x_j == rhs[i] with rhs >= 0, plus a basis map.
-struct Tableau {
-  size_t num_cols = 0;                  // structural + surplus + artificial
-  std::vector<std::vector<Rational>> rows;
-  std::vector<Rational> rhs;
-  std::vector<size_t> basis;            // basis[i] = column basic in row i
+// Safety-net pivot budget for the from-scratch Rebuild path. Bland's rule
+// guarantees termination, so this is only insurance against a bug turning
+// into a hang.
+constexpr size_t kRebuildPivotCap = 10'000'000;
 
-  void Pivot(size_t row, size_t col) {
-    Rational p = rows[row][col];
-    for (auto& v : rows[row]) v /= p;
-    rhs[row] /= p;
-    for (size_t i = 0; i < rows.size(); ++i) {
-      if (i == row) continue;
-      Rational f = rows[i][col];
-      if (f.IsZero()) continue;
-      for (size_t j = 0; j < num_cols; ++j) {
-        if (!rows[row][j].IsZero()) rows[i][j] -= f * rows[row][j];
-      }
-      rhs[i] -= f * rhs[row];
+}  // namespace
+
+void IncrementalSimplex::Pivot(size_t row, size_t col) {
+  ++SimplexStats::Local().pivots;
+  std::vector<Rational>& prow = rows_[row];
+  const Rational p = prow[col];
+  if (!p.IsOne()) {
+    for (Rational& v : prow) {
+      if (!v.IsZero()) v /= p;
     }
-    basis[row] = col;
+    rhs_[row] /= p;
   }
-};
+  // Collect the pivot row's nonzero columns once; every elimination below
+  // touches only these instead of sweeping all num_cols_ cells.
+  nz_scratch_.clear();
+  for (size_t j = 0; j < num_cols_; ++j) {
+    if (j != col && !prow[j].IsZero()) {
+      nz_scratch_.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i == row) continue;
+    std::vector<Rational>& target = rows_[i];
+    if (target[col].IsZero()) continue;
+    const Rational f = target[col];
+    target[col] = Rational(0);  // the eliminated column needs no subtraction
+    for (uint32_t j : nz_scratch_) target[j] -= f * prow[j];
+    rhs_[i] -= f * rhs_[row];
+  }
+  if (!cost_.empty() && !cost_[col].IsZero()) {
+    const Rational f = cost_[col];
+    cost_[col] = Rational(0);
+    for (uint32_t j : nz_scratch_) cost_[j] -= f * prow[j];
+  }
+  col_to_row_[basis_[row]] = kNoRow;
+  col_to_row_[col] = row;
+  basis_[row] = col;
+}
 
-enum class PhaseStatus { kOptimal, kUnbounded };
-
-/// Runs the simplex method minimizing cost over the tableau with Bland's
-/// anti-cycling rule. `cost` has one entry per column. Returns kUnbounded if a
-/// column with negative reduced cost has no positive entry.
-PhaseStatus RunSimplex(Tableau* t, const std::vector<Rational>& cost) {
-  const size_t m = t->rows.size();
+bool IncrementalSimplex::RunPrimal() {
   for (;;) {
-    // Multipliers of basic costs, then reduced costs d_j = c_j - y . A_j.
-    // Computed directly from the tableau since basic columns are unit vectors:
-    // d_j = c_j - sum_i c_{basis[i]} * T[i][j].
-    size_t entering = t->num_cols;
-    for (size_t j = 0; j < t->num_cols; ++j) {
-      Rational d = cost[j];
-      for (size_t i = 0; i < m; ++i) {
-        const Rational& cb = cost[t->basis[i]];
-        if (!cb.IsZero() && !t->rows[i][j].IsZero()) d -= cb * t->rows[i][j];
-      }
-      if (d.IsNegative()) {  // Bland: first improving column.
+    // Bland: first column with negative maintained reduced cost.
+    size_t entering = num_cols_;
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (cost_[j].IsNegative()) {
         entering = j;
         break;
       }
     }
-    if (entering == t->num_cols) return PhaseStatus::kOptimal;
+    if (entering == num_cols_) return true;
 
     // Ratio test with Bland tie-break (smallest basis column index).
-    size_t leaving = m;
+    size_t leaving = rows_.size();
     Rational best_ratio;
-    for (size_t i = 0; i < m; ++i) {
-      const Rational& a = t->rows[i][entering];
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Rational& a = rows_[i][entering];
       if (!a.IsPositive()) continue;
-      Rational ratio = t->rhs[i] / a;
-      if (leaving == m || ratio < best_ratio ||
-          (ratio == best_ratio && t->basis[i] < t->basis[leaving])) {
+      Rational ratio = rhs_[i] / a;
+      if (leaving == rows_.size() || ratio < best_ratio ||
+          (ratio == best_ratio && basis_[i] < basis_[leaving])) {
         leaving = i;
-        best_ratio = ratio;
+        best_ratio = std::move(ratio);
       }
     }
-    if (leaving == m) return PhaseStatus::kUnbounded;
-    t->Pivot(leaving, entering);
+    if (leaving == rows_.size()) return false;
+    Pivot(leaving, entering);
   }
 }
 
-}  // namespace
+IncrementalSimplex::DualStatus IncrementalSimplex::RunDualRepair(
+    size_t max_pivots) {
+  size_t used = 0;
+  for (;;) {
+    // Leaving row: negative rhs with the smallest basic column index (Bland).
+    size_t r = kNoRow;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (rhs_[i].IsNegative() && (r == kNoRow || basis_[i] < basis_[r])) {
+        r = i;
+      }
+    }
+    if (r == kNoRow) return DualStatus::kFeasible;
+
+    // Entering column: smallest index with a negative coefficient. With the
+    // feasibility objective all reduced costs are zero, so every such column
+    // ties the dual ratio test and Bland's smallest-index choice applies.
+    const std::vector<Rational>& row = rows_[r];
+    size_t c = num_cols_;
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (row[j].IsNegative()) {
+        c = j;
+        break;
+      }
+    }
+    if (c == num_cols_) {
+      // basic = rhs - sum(a_j x_j) with all a_j >= 0 and rhs < 0: no x >= 0
+      // can make the basic variable non-negative.
+      return DualStatus::kInfeasible;
+    }
+    if (++used > max_pivots) return DualStatus::kCapExceeded;
+    Pivot(r, c);
+  }
+}
+
+void IncrementalSimplex::InitObjective(const LinearExpr& objective) {
+  // Original costs per column, then reduce against the current basis:
+  // d_j = c_j - sum_i c_{basis[i]} * T[i][j].
+  std::vector<Rational> orig(num_cols_, Rational(0));
+  for (const auto& [v, c] : objective.terms()) orig[v] = Rational(c);
+  cost_ = orig;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Rational& cb = orig[basis_[i]];
+    if (cb.IsZero()) continue;
+    const std::vector<Rational>& row = rows_[i];
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (!row[j].IsZero()) cost_[j] -= cb * row[j];
+    }
+  }
+}
+
+void IncrementalSimplex::RebuildColToRow() {
+  col_to_row_.assign(num_cols_, kNoRow);
+  for (size_t i = 0; i < rows_.size(); ++i) col_to_row_[basis_[i]] = i;
+}
+
+Result<IncrementalSimplex> IncrementalSimplex::Create(const LinearSystem& base,
+                                                      VarId num_vars) {
+  for (const auto& atom : base) {
+    if (atom.expr.NumVarsSpanned() > num_vars) {
+      return Status::InvalidArgument(
+          "constraint mentions variable >= num_vars: " + atom.ToString());
+    }
+  }
+  return CreateInternal(base, num_vars);
+}
+
+Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
+    const LinearSystem& base, VarId num_vars) {
+  ++SimplexStats::Local().tableau_builds;
+
+  IncrementalSimplex t;
+  t.num_vars_ = num_vars;
+  t.base_ = std::make_shared<const LinearSystem>(base);
+  t.lower_.assign(num_vars, BoundRow());
+  t.upper_.assign(num_vars, BoundRow());
+
+  const size_t n = num_vars;
+  const size_t m = base.size();
+  size_t num_surplus = 0;
+  for (const auto& atom : base) {
+    if (atom.rel == LinearRel::kGe) ++num_surplus;
+  }
+
+  t.num_cols_ = n + num_surplus + m;  // structural | surplus | artificial
+  t.rows_.assign(m, std::vector<Rational>(t.num_cols_, Rational(0)));
+  t.rhs_.assign(m, Rational(0));
+  t.basis_.assign(m, 0);
+  t.col_to_row_.assign(t.num_cols_, kNoRow);
+
+  size_t surplus_at = n;
+  for (size_t i = 0; i < m; ++i) {
+    const LinearAtom& atom = base[i];
+    // expr >= 0 means  sum a_j x_j >= -constant; rhs = -constant.
+    for (const auto& [v, c] : atom.expr.terms()) {
+      t.rows_[i][v] = Rational(c);
+    }
+    Rational rhs = Rational(-atom.expr.constant());
+    if (atom.rel == LinearRel::kGe) {
+      t.rows_[i][surplus_at++] = Rational(-1);
+    }
+    // Make rhs non-negative for phase 1.
+    if (rhs.IsNegative()) {
+      for (size_t j = 0; j < t.num_cols_; ++j) {
+        if (!t.rows_[i][j].IsZero()) t.rows_[i][j] = -t.rows_[i][j];
+      }
+      rhs = -rhs;
+    }
+    t.rhs_[i] = rhs;
+    // Artificial variable for this row.
+    const size_t art = n + num_surplus + i;
+    t.rows_[i][art] = Rational(1);
+    t.basis_[i] = art;
+    t.col_to_row_[art] = i;
+  }
+
+  // Phase 1: minimize the sum of artificials. Maintained reduced costs with
+  // every artificial basic at cost 1: d_art = 0 and d_j = -sum_i T[i][j] for
+  // the real columns.
+  t.cost_.assign(t.num_cols_, Rational(0));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n + num_surplus; ++j) {
+      if (!t.rows_[i][j].IsZero()) t.cost_[j] -= t.rows_[i][j];
+    }
+  }
+  if (!t.RunPrimal()) {
+    return Status::Internal("phase-1 simplex reported unbounded");
+  }
+  Rational art_sum(0);
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis_[i] >= n + num_surplus) art_sum += t.rhs_[i];
+  }
+  if (!art_sum.IsZero()) {
+    t.feasible_ = false;
+    return t;
+  }
+
+  // Drive any zero-level artificials out of the basis; drop redundant rows.
+  for (size_t i = 0; i < t.rows_.size();) {
+    if (t.basis_[i] < n + num_surplus) {
+      ++i;
+      continue;
+    }
+    size_t pivot_col = t.num_cols_;
+    for (size_t j = 0; j < n + num_surplus; ++j) {
+      if (!t.rows_[i][j].IsZero()) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == t.num_cols_) {
+      // Row is 0 == 0 over real columns: redundant.
+      t.rows_.erase(t.rows_.begin() + static_cast<long>(i));
+      t.rhs_.erase(t.rhs_.begin() + static_cast<long>(i));
+      t.basis_.erase(t.basis_.begin() + static_cast<long>(i));
+      continue;
+    }
+    t.Pivot(i, pivot_col);
+    ++i;
+  }
+
+  // No artificial is basic now; their columns can be dropped entirely.
+  t.num_cols_ = n + num_surplus;
+  for (auto& row : t.rows_) row.resize(t.num_cols_);
+  t.cost_.assign(t.num_cols_, Rational(0));  // feasibility objective
+  t.RebuildColToRow();
+  t.feasible_ = true;
+  return t;
+}
+
+void IncrementalSimplex::InsertBoundRow(VarId v, const BigInt& value,
+                                        bool is_upper) {
+  const size_t scol = num_cols_++;
+  for (auto& row : rows_) row.emplace_back(0);
+  cost_.emplace_back(0);
+  col_to_row_.push_back(kNoRow);
+
+  // Lower bound enters the system as  x_v - s = lo  (s >= 0), upper as
+  // x_v + s = hi. If x_v is basic its row is subtracted to keep basic columns
+  // unit; a final negation (lower bounds only) makes s basic with +1.
+  std::vector<Rational> nrow(num_cols_, Rational(0));
+  Rational nrhs = Rational(BigInt(value));
+  nrow[v] = Rational(1);
+  nrow[scol] = is_upper ? Rational(1) : Rational(-1);
+  const size_t vrow = col_to_row_[v];
+  if (vrow != kNoRow) {
+    const std::vector<Rational>& brow = rows_[vrow];
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (!brow[j].IsZero()) nrow[j] -= brow[j];
+    }
+    nrhs -= rhs_[vrow];
+  }
+  if (!is_upper) {
+    for (Rational& x : nrow) {
+      if (!x.IsZero()) x = -x;
+    }
+    nrhs = -nrhs;
+  }
+  col_to_row_[scol] = rows_.size();
+  basis_.push_back(scol);
+  rows_.push_back(std::move(nrow));
+  rhs_.push_back(std::move(nrhs));
+
+  BoundRow& b = is_upper ? upper_[v] : lower_[v];
+  b.set = true;
+  b.col = scol;
+  b.value = value;
+}
+
+void IncrementalSimplex::TightenBoundRow(VarId v, const BigInt& value,
+                                         bool is_upper) {
+  BoundRow& b = is_upper ? upper_[v] : lower_[v];
+  const BigInt delta = value - b.value;
+  // The bound row's surplus column s appears in exactly one original row, so
+  // in the current tableau (a row-operation image of the original system) a
+  // bound-constant change of delta shifts every rhs by +-delta times the
+  // current column of s. No pivot, no rebuild.
+  const Rational db = is_upper ? Rational(delta) : Rational(-delta);
+  const size_t col = b.col;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Rational& a = rows_[i][col];
+    if (!a.IsZero()) rhs_[i] += db * a;
+  }
+  b.value = value;
+}
+
+size_t IncrementalSimplex::DualPivotCap() const {
+  return 100 + 10 * (rows_.size() + num_cols_);
+}
+
+Status IncrementalSimplex::ApplyBound(VarId v, const BigInt& value,
+                                      bool is_upper) {
+  if (v >= num_vars_) {
+    return Status::InvalidArgument("bound on variable >= num_vars");
+  }
+  if (!feasible_) {
+    return Status::Internal("bound change applied to an infeasible tableau");
+  }
+  SimplexCounters& counters = SimplexStats::Local();
+  ++counters.warm_starts;
+
+  BoundRow& b = is_upper ? upper_[v] : lower_[v];
+  if (!b.set) {
+    if (!is_upper && !value.IsPositive()) {
+      // x >= 0 already holds implicitly; nothing to add.
+      ++counters.warm_start_hits;
+      return Status::OK();
+    }
+    InsertBoundRow(v, value, is_upper);
+  } else {
+    const int cmp = value.Compare(b.value);
+    if (cmp == 0) {
+      ++counters.warm_start_hits;
+      return Status::OK();
+    }
+    if (is_upper ? cmp > 0 : cmp < 0) {
+      return Status::InvalidArgument("bounds may only be tightened");
+    }
+    TightenBoundRow(v, value, is_upper);
+  }
+
+  switch (RunDualRepair(DualPivotCap())) {
+    case DualStatus::kFeasible:
+      ++counters.warm_start_hits;
+      return Status::OK();
+    case DualStatus::kInfeasible:
+      ++counters.warm_start_hits;
+      feasible_ = false;
+      return Status::OK();
+    case DualStatus::kCapExceeded:
+      return Rebuild();
+  }
+  return Status::Internal("unreachable dual status");
+}
+
+Status IncrementalSimplex::SetLowerBound(VarId v, const BigInt& lo) {
+  return ApplyBound(v, lo, /*is_upper=*/false);
+}
+
+Status IncrementalSimplex::SetUpperBound(VarId v, const BigInt& hi) {
+  return ApplyBound(v, hi, /*is_upper=*/true);
+}
+
+Status IncrementalSimplex::Rebuild() {
+  const std::vector<BoundRow> lo = std::move(lower_);
+  const std::vector<BoundRow> hi = std::move(upper_);
+  FO2DT_ASSIGN_OR_RETURN(IncrementalSimplex fresh,
+                         CreateInternal(*base_, num_vars_));
+  if (!fresh.feasible_) {
+    return Status::Internal("rebuild: previously feasible base is infeasible");
+  }
+  for (VarId v = 0; v < num_vars_ && fresh.feasible_; ++v) {
+    for (int pass = 0; pass < 2 && fresh.feasible_; ++pass) {
+      const bool is_upper = pass == 1;
+      const BoundRow& b = is_upper ? hi[v] : lo[v];
+      if (!b.set) continue;
+      fresh.InsertBoundRow(v, b.value, is_upper);
+      switch (fresh.RunDualRepair(kRebuildPivotCap)) {
+        case DualStatus::kFeasible:
+          break;
+        case DualStatus::kInfeasible:
+          fresh.feasible_ = false;
+          break;
+        case DualStatus::kCapExceeded:
+          return Status::Internal("rebuild exceeded its pivot budget");
+      }
+    }
+  }
+  *this = std::move(fresh);
+  return Status::OK();
+}
+
+std::vector<Rational> IncrementalSimplex::Assignment() const {
+  std::vector<Rational> out(num_vars_, Rational(0));
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (basis_[i] < num_vars_) out[basis_[i]] = rhs_[i];
+  }
+  return out;
+}
 
 Result<LpSolution> SimplexSolver::Minimize(const LinearExpr& objective,
                                            const LinearSystem& system,
@@ -84,114 +406,22 @@ Result<LpSolution> SimplexSolver::Minimize(const LinearExpr& objective,
   if (objective.NumVarsSpanned() > num_vars) {
     return Status::InvalidArgument("objective mentions variable >= num_vars");
   }
-  for (const auto& atom : system) {
-    if (atom.expr.NumVarsSpanned() > num_vars) {
-      return Status::InvalidArgument(
-          "constraint mentions variable >= num_vars: " + atom.ToString());
-    }
-  }
-
-  const size_t n = num_vars;
-  const size_t m = system.size();
-  size_t num_surplus = 0;
-  for (const auto& atom : system) {
-    if (atom.rel == LinearRel::kGe) ++num_surplus;
-  }
-
-  Tableau t;
-  t.num_cols = n + num_surplus + m;  // structural | surplus | artificial
-  t.rows.assign(m, std::vector<Rational>(t.num_cols, Rational(0)));
-  t.rhs.assign(m, Rational(0));
-  t.basis.assign(m, 0);
-
-  size_t surplus_at = n;
-  for (size_t i = 0; i < m; ++i) {
-    const LinearAtom& atom = system[i];
-    // expr >= 0 means  sum a_j x_j >= -constant; rhs = -constant.
-    for (const auto& [v, c] : atom.expr.terms()) {
-      t.rows[i][v] = Rational(c);
-    }
-    Rational rhs = Rational(-atom.expr.constant());
-    if (atom.rel == LinearRel::kGe) {
-      t.rows[i][surplus_at++] = Rational(-1);
-    }
-    // Make rhs non-negative for phase 1.
-    if (rhs.IsNegative()) {
-      for (size_t j = 0; j < t.num_cols; ++j) {
-        if (!t.rows[i][j].IsZero()) t.rows[i][j] = -t.rows[i][j];
-      }
-      rhs = -rhs;
-    }
-    t.rhs[i] = rhs;
-    // Artificial variable for this row.
-    size_t art = n + num_surplus + i;
-    t.rows[i][art] = Rational(1);
-    t.basis[i] = art;
-  }
-
-  // Phase 1: minimize the sum of artificials.
-  std::vector<Rational> phase1_cost(t.num_cols, Rational(0));
-  for (size_t i = 0; i < m; ++i) phase1_cost[n + num_surplus + i] = Rational(1);
-  PhaseStatus p1 = RunSimplex(&t, phase1_cost);
-  if (p1 == PhaseStatus::kUnbounded) {
-    return Status::Internal("phase-1 simplex reported unbounded");
-  }
-  Rational art_sum(0);
-  for (size_t i = 0; i < m; ++i) {
-    if (t.basis[i] >= n + num_surplus) art_sum += t.rhs[i];
-  }
-  if (!art_sum.IsZero()) {
-    LpSolution out;
+  FO2DT_ASSIGN_OR_RETURN(IncrementalSimplex t,
+                         IncrementalSimplex::Create(system, num_vars));
+  LpSolution out;
+  if (!t.feasible()) {
     out.status = LpStatus::kInfeasible;
     return out;
   }
 
-  // Drive any zero-level artificials out of the basis; drop redundant rows.
-  for (size_t i = 0; i < t.rows.size();) {
-    if (t.basis[i] < n + num_surplus) {
-      ++i;
-      continue;
-    }
-    size_t pivot_col = t.num_cols;
-    for (size_t j = 0; j < n + num_surplus; ++j) {
-      if (!t.rows[i][j].IsZero()) {
-        pivot_col = j;
-        break;
-      }
-    }
-    if (pivot_col == t.num_cols) {
-      // Row is 0 == 0 over real columns: redundant.
-      t.rows.erase(t.rows.begin() + static_cast<long>(i));
-      t.rhs.erase(t.rhs.begin() + static_cast<long>(i));
-      t.basis.erase(t.basis.begin() + static_cast<long>(i));
-      continue;
-    }
-    t.Pivot(i, pivot_col);
-    ++i;
-  }
-
-  // Phase 2: forbid artificials by pricing them at "will never enter":
-  // simply exclude them via a huge cost is inexact; instead zero their
-  // columns. Since no artificial is basic, removing their columns is safe.
-  for (size_t i = 0; i < t.rows.size(); ++i) {
-    t.rows[i].resize(n + num_surplus);
-  }
-  t.num_cols = n + num_surplus;
-
-  std::vector<Rational> phase2_cost(t.num_cols, Rational(0));
-  for (const auto& [v, c] : objective.terms()) phase2_cost[v] = Rational(c);
-  PhaseStatus p2 = RunSimplex(&t, phase2_cost);
-
-  LpSolution out;
-  if (p2 == PhaseStatus::kUnbounded) {
+  // Phase 2: install the real objective and re-optimize.
+  t.InitObjective(objective);
+  if (!t.RunPrimal()) {
     out.status = LpStatus::kUnbounded;
     return out;
   }
   out.status = LpStatus::kOptimal;
-  out.assignment.assign(n, Rational(0));
-  for (size_t i = 0; i < t.rows.size(); ++i) {
-    if (t.basis[i] < n) out.assignment[t.basis[i]] = t.rhs[i];
-  }
+  out.assignment = t.Assignment();
   out.objective = Rational(objective.constant());
   for (const auto& [v, c] : objective.terms()) {
     out.objective += Rational(c) * out.assignment[v];

@@ -1,5 +1,6 @@
 /// \file simplex.h
-/// \brief Exact-rational two-phase simplex for linear programs over Q>=0.
+/// \brief Exact-rational simplex for linear programs over Q>=0, with an
+/// incremental warm-started variant for branch-and-bound.
 ///
 /// Solves min c.x subject to a LinearSystem (atoms expr >= 0 / expr == 0)
 /// with the implicit domain x >= 0 for every variable. All arithmetic is
@@ -7,13 +8,25 @@
 /// terminates on every input and never suffers numeric drift — a requirement
 /// for the decision procedures built on top (Theorem 2 emptiness checks must
 /// be exact, not approximate).
+///
+/// Two entry points:
+///  * SimplexSolver — one-shot two-phase primal solve (phase 1 drives
+///    artificials out, phase 2 minimizes the objective with maintained
+///    row-zero pricing).
+///  * IncrementalSimplex — a feasibility tableau that persists across a
+///    branch-and-bound search path. Phase 1 runs once; integer bound changes
+///    (x_v >= lo, x_v <= hi) are applied in place and repaired with a dual
+///    simplex warm start instead of re-running the primal from scratch.
 
 #ifndef FO2DT_SOLVERLP_SIMPLEX_H_
 #define FO2DT_SOLVERLP_SIMPLEX_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arith/rational.h"
+#include "common/thread_stats.h"
 #include "solverlp/linear.h"
 
 namespace fo2dt {
@@ -34,7 +47,122 @@ struct LpSolution {
   Rational objective;
 };
 
-/// \brief Exact LP solver.
+/// \brief Counters for the solver performance benchmarks (thread-local,
+/// aggregated via SimplexStats::Aggregate()).
+struct SimplexCounters {
+  /// Total simplex pivots (primal and dual).
+  uint64_t pivots = 0;
+  /// From-scratch phase-1 tableau constructions.
+  uint64_t tableau_builds = 0;
+  /// Incremental bound updates attempted on a warm tableau.
+  uint64_t warm_starts = 0;
+  /// Bound updates resolved by dual-simplex repair (no rebuild needed).
+  uint64_t warm_start_hits = 0;
+
+  void AddTo(SimplexCounters* out) const {
+    out->pivots += pivots;
+    out->tableau_builds += tableau_builds;
+    out->warm_starts += warm_starts;
+    out->warm_start_hits += warm_start_hits;
+  }
+  void Clear() { *this = SimplexCounters(); }
+
+  double WarmStartHitRate() const {
+    return warm_starts == 0
+               ? 1.0
+               : static_cast<double>(warm_start_hits) /
+                     static_cast<double>(warm_starts);
+  }
+};
+
+using SimplexStats = ThreadStats<SimplexCounters>;
+
+/// \brief A feasibility tableau that survives across bound changes.
+///
+/// Built once per conjunctive system (one exact phase-1 solve); afterwards
+/// integer variable bounds can only be *tightened*. Each tightening updates
+/// the tableau in place — the first bound on a variable appends one row and
+/// one surplus column, later tightenings only shift the right-hand side —
+/// and restores primal feasibility with dual-simplex pivots (Bland's rule on
+/// both the leaving and the entering index, so repair always terminates).
+/// When the dual repair exceeds its pivot cap, the tableau is rebuilt from
+/// scratch as a safety net (counted as a warm-start miss).
+///
+/// Copies are deep and independent: branch-and-bound copies the tableau for
+/// the down-branch and keeps mutating the original for the up-branch.
+///
+/// Contract: once feasible() is false the tableau is dead — no further bound
+/// changes may be applied (branch-and-bound prunes such nodes immediately).
+class IncrementalSimplex {
+ public:
+  /// Runs phase 1 on \p base (implicit x >= 0). The result may be infeasible;
+  /// check feasible(). Statuses are reserved for contract violations.
+  static Result<IncrementalSimplex> Create(const LinearSystem& base,
+                                           VarId num_vars);
+
+  bool feasible() const { return feasible_; }
+  VarId num_vars() const { return num_vars_; }
+
+  /// Tightens x_v >= lo (lo must not decrease) and repairs feasibility.
+  Status SetLowerBound(VarId v, const BigInt& lo);
+  /// Tightens x_v <= hi (hi must not increase) and repairs feasibility.
+  Status SetUpperBound(VarId v, const BigInt& hi);
+
+  /// Current vertex for the structural variables; meaningful iff feasible().
+  std::vector<Rational> Assignment() const;
+
+ private:
+  friend class SimplexSolver;
+
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+  enum class DualStatus { kFeasible, kInfeasible, kCapExceeded };
+
+  struct BoundRow {
+    bool set = false;
+    size_t col = 0;  // the bound row's surplus/slack column
+    BigInt value;    // current bound constant
+  };
+
+  IncrementalSimplex() = default;
+
+  static Result<IncrementalSimplex> CreateInternal(const LinearSystem& base,
+                                                   VarId num_vars);
+
+  void Pivot(size_t row, size_t col);
+  /// Primal simplex on the maintained reduced-cost row (Bland). Returns
+  /// false when unbounded.
+  bool RunPrimal();
+  /// Dual-simplex feasibility repair; never exceeds \p max_pivots.
+  DualStatus RunDualRepair(size_t max_pivots);
+  /// Installs \p objective as the maintained reduced-cost row.
+  void InitObjective(const LinearExpr& objective);
+  void InsertBoundRow(VarId v, const BigInt& value, bool is_upper);
+  void TightenBoundRow(VarId v, const BigInt& value, bool is_upper);
+  Status ApplyBound(VarId v, const BigInt& value, bool is_upper);
+  /// From-scratch safety net used when dual repair exceeds its cap.
+  Status Rebuild();
+  void RebuildColToRow();
+  size_t DualPivotCap() const;
+
+  // Dense exact tableau: rows are constraints sum_j T[i][j] x_j == rhs[i]
+  // with basis[i] basic in row i (unit column).
+  size_t num_cols_ = 0;
+  std::vector<std::vector<Rational>> rows_;
+  std::vector<Rational> rhs_;
+  std::vector<size_t> basis_;
+  std::vector<size_t> col_to_row_;  // col -> basic row, or kNoRow
+  std::vector<Rational> cost_;      // maintained reduced-cost row
+  std::vector<uint32_t> nz_scratch_;
+
+  VarId num_vars_ = 0;
+  bool feasible_ = false;
+  std::shared_ptr<const LinearSystem> base_;  // for the rebuild safety net
+  std::vector<BoundRow> lower_;
+  std::vector<BoundRow> upper_;
+};
+
+/// \brief Exact one-shot LP solver.
 class SimplexSolver {
  public:
   /// Minimizes \p objective over { x in Q^num_vars : x >= 0, system holds }.

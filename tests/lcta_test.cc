@@ -189,6 +189,140 @@ TEST(LctaTest, ConstraintBeyondStatesRejected) {
   EXPECT_FALSE(CheckLctaEmptiness(lcta).ok());
 }
 
+TEST(LctaTest, DifferentialRandomized200) {
+  // ~200 random LCTAs: the Parikh solver and bounded brute force must agree
+  // in both directions within the brute-force bound — a brute witness forces
+  // nonempty, and an empty verdict forbids any bounded witness. Nonempty
+  // verdicts additionally ship state counts that must be internally sane.
+  RandomSource rng(20260805);
+  size_t agreements_nonempty = 0;
+  size_t agreements_empty = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t states = 2 + rng.UniformIndex(2);
+    TreeAutomaton a(2, states);
+    a.SetInitial(static_cast<TreeState>(rng.UniformIndex(states)));
+    if (rng.Bernoulli(0.3)) {
+      a.SetInitial(static_cast<TreeState>(rng.UniformIndex(states)));
+    }
+    size_t edges = 2 + rng.UniformIndex(6);
+    for (size_t e = 0; e < edges; ++e) {
+      TreeState f = static_cast<TreeState>(rng.UniformIndex(states));
+      TreeState t = static_cast<TreeState>(rng.UniformIndex(states));
+      Symbol s = static_cast<Symbol>(rng.UniformIndex(2));
+      if (rng.Bernoulli(0.5)) {
+        a.AddHorizontal(f, s, t);
+      } else {
+        a.AddVertical(f, s, t);
+      }
+    }
+    a.SetAccepting(static_cast<TreeState>(rng.UniformIndex(states)),
+                   static_cast<Symbol>(rng.UniformIndex(2)));
+    if (rng.Bernoulli(0.4)) {
+      a.SetAccepting(static_cast<TreeState>(rng.UniformIndex(states)),
+                     static_cast<Symbol>(rng.UniformIndex(2)));
+    }
+    // Constraint: random atom or a disjunction, to exercise the DNF fan-out.
+    auto random_atom = [&]() {
+      LinearExpr e;
+      e.AddTerm(static_cast<VarId>(rng.UniformIndex(states)),
+                BigInt(rng.Bernoulli(0.5) ? -1 : 1));
+      e.AddConstant(BigInt(static_cast<int64_t>(rng.UniformIndex(4)) - 1));
+      return rng.Bernoulli(0.25) ? LinearConstraint::Eq(std::move(e))
+                                 : LinearConstraint::Ge(std::move(e));
+    };
+    LinearConstraint c = random_atom();
+    if (rng.Bernoulli(0.5)) c = LinearConstraint::Or(c, random_atom());
+    if (rng.Bernoulli(0.3)) c = LinearConstraint::And(c, random_atom());
+    Lcta lcta{a, c};
+    auto parikh = CheckLctaEmptiness(lcta);
+    ASSERT_TRUE(parikh.ok()) << "iter " << iter << ": "
+                             << parikh.status().ToString();
+    auto brute = FindLctaWitnessBounded(lcta, 4);
+    if (brute.ok()) {
+      EXPECT_FALSE(parikh->empty) << "iter " << iter;
+      ++agreements_nonempty;
+    } else {
+      ASSERT_TRUE(brute.status().IsNotFound()) << brute.status().ToString();
+    }
+    if (parikh->empty) {
+      EXPECT_FALSE(brute.ok()) << "iter " << iter;
+      ++agreements_empty;
+    } else {
+      // The witness counts describe a nonempty run: some state is used and
+      // no count is negative.
+      ASSERT_EQ(parikh->state_counts.size(), states);
+      bool any_used = false;
+      for (const BigInt& n : parikh->state_counts) {
+        EXPECT_FALSE(n.IsNegative());
+        if (n.IsPositive()) any_used = true;
+      }
+      EXPECT_TRUE(any_used) << "iter " << iter;
+    }
+  }
+  // The generator must exercise both verdicts for the test to mean anything.
+  EXPECT_GT(agreements_nonempty, 20u);
+  EXPECT_GT(agreements_empty, 20u);
+}
+
+TEST(LctaTest, DeterministicAcrossThreadCounts) {
+  // Verdict and witness state counts must be identical with 1, 2, and 8
+  // threads (first-qualifying-root / first-SAT-branch selection).
+  RandomSource rng(424242);
+  size_t nonempty_checked = 0;
+  for (int iter = 0; iter < 25; ++iter) {
+    size_t states = 2 + rng.UniformIndex(3);
+    TreeAutomaton a(2, states);
+    a.SetInitial(static_cast<TreeState>(rng.UniformIndex(states)));
+    size_t edges = 3 + rng.UniformIndex(5);
+    for (size_t e = 0; e < edges; ++e) {
+      TreeState f = static_cast<TreeState>(rng.UniformIndex(states));
+      TreeState t = static_cast<TreeState>(rng.UniformIndex(states));
+      Symbol s = static_cast<Symbol>(rng.UniformIndex(2));
+      if (rng.Bernoulli(0.5)) {
+        a.AddHorizontal(f, s, t);
+      } else {
+        a.AddVertical(f, s, t);
+      }
+    }
+    // Several accepting roots so the root fan-out has real work to race on.
+    for (int k = 0; k < 3; ++k) {
+      a.SetAccepting(static_cast<TreeState>(rng.UniformIndex(states)),
+                     static_cast<Symbol>(rng.UniformIndex(2)));
+    }
+    LinearExpr e;
+    e.AddTerm(static_cast<VarId>(rng.UniformIndex(states)), BigInt(-1));
+    e.AddConstant(BigInt(static_cast<int64_t>(rng.UniformIndex(3)) + 1));
+    LinearExpr f2;
+    f2.AddTerm(static_cast<VarId>(rng.UniformIndex(states)), BigInt(1));
+    f2.AddConstant(BigInt(-1));
+    Lcta lcta{a, LinearConstraint::Or(LinearConstraint::Ge(e),
+                                      LinearConstraint::Ge(f2))};
+
+    bool ref_empty = true;
+    IntAssignment ref_counts;
+    for (size_t threads : {1u, 2u, 8u}) {
+      LctaOptions opt;
+      opt.num_threads = threads;
+      auto r = CheckLctaEmptiness(lcta, opt);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      if (threads == 1) {
+        ref_empty = r->empty;
+        ref_counts = r->state_counts;
+        if (!ref_empty) ++nonempty_checked;
+      } else {
+        EXPECT_EQ(r->empty, ref_empty) << "iter " << iter << " threads "
+                                       << threads;
+        ASSERT_EQ(r->state_counts.size(), ref_counts.size());
+        for (size_t i = 0; i < ref_counts.size(); ++i) {
+          EXPECT_EQ(r->state_counts[i].Compare(ref_counts[i]), 0)
+              << "iter " << iter << " threads " << threads << " state " << i;
+        }
+      }
+    }
+  }
+  EXPECT_GT(nonempty_checked, 5u);  // witnesses were actually compared
+}
+
 TEST(LctaTest, ConnectivityCutsFire) {
   // An automaton with a disconnected "phantom" cycle that pure flow happily
   // uses: a δv self-loop on state 2 satisfies every local degree equation

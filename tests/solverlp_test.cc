@@ -293,5 +293,194 @@ TEST(IlpTest, SmallSolutionBoundIsPositive) {
   EXPECT_TRUE(bound.IsPositive());
 }
 
+TEST(IncrementalSimplexTest, BoundTighteningMatchesFreshSolve) {
+  // x0 + x1 <= 10, x0 - x1 >= -3. Tighten bounds step by step and compare
+  // feasibility with a from-scratch solve of the equivalent explicit system.
+  LinearSystem base = {LinearAtom::Ge(MakeExpr({-1, -1}, 10)),
+                       LinearAtom::Ge(MakeExpr({1, -1}, 3))};
+  auto inc = IncrementalSimplex::Create(base, 2);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(inc->feasible());
+
+  struct Step {
+    VarId v;
+    bool upper;
+    int64_t value;
+  };
+  const std::vector<Step> steps = {
+      {0, false, 2}, {1, false, 4}, {0, true, 6}, {1, true, 5}, {0, false, 5},
+  };
+  LinearSystem explicit_sys = base;
+  for (const Step& s : steps) {
+    Status st = s.upper ? inc->SetUpperBound(s.v, BigInt(s.value))
+                        : inc->SetLowerBound(s.v, BigInt(s.value));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    LinearExpr e;
+    if (s.upper) {
+      e.AddTerm(s.v, BigInt(-1));
+      e.AddConstant(BigInt(s.value));
+    } else {
+      e.AddTerm(s.v, BigInt(1));
+      e.AddConstant(BigInt(-s.value));
+    }
+    explicit_sys.push_back(LinearAtom::Ge(std::move(e)));
+    auto fresh = SimplexSolver::FindFeasible(explicit_sys, 2);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(inc->feasible(), fresh->status == LpStatus::kOptimal);
+    if (inc->feasible()) {
+      // The warm vertex satisfies every constraint of the explicit system.
+      std::vector<Rational> x = inc->Assignment();
+      for (const auto& atom : explicit_sys) {
+        Rational val = *atom.expr.EvaluateRational(x);
+        if (atom.rel == LinearRel::kGe) {
+          EXPECT_FALSE(val.IsNegative()) << atom.ToString();
+        } else {
+          EXPECT_TRUE(val.IsZero()) << atom.ToString();
+        }
+      }
+    }
+  }
+  // x1 in [4,5] and x0 >= 5 with x0 - x1 >= -3 is still satisfiable
+  // (e.g. x0=5, x1=4); pushing x1's lower bound to 6 contradicts x1 <= 5.
+  ASSERT_TRUE(inc->feasible());
+  ASSERT_TRUE(inc->SetLowerBound(1, BigInt(6)).ok());
+  EXPECT_FALSE(inc->feasible());
+}
+
+TEST(IncrementalSimplexTest, CopiesAreIndependent) {
+  LinearSystem base = {LinearAtom::Ge(MakeExpr({-1, -1}, 8))};
+  auto inc = IncrementalSimplex::Create(base, 2);
+  ASSERT_TRUE(inc.ok() && inc->feasible());
+  IncrementalSimplex down = *inc;
+  ASSERT_TRUE(down.SetUpperBound(0, BigInt(3)).ok());
+  ASSERT_TRUE(down.SetLowerBound(0, BigInt(4)).ok());  // 4 <= x0 <= 3
+  EXPECT_FALSE(down.feasible());
+  EXPECT_TRUE(inc->feasible());  // the original is untouched
+  ASSERT_TRUE(inc->SetLowerBound(0, BigInt(7)).ok());
+  EXPECT_TRUE(inc->feasible());
+}
+
+TEST(IncrementalSimplexTest, RandomizedAgainstFreshSolves) {
+  RandomSource rng(31337);
+  for (int iter = 0; iter < 60; ++iter) {
+    const VarId n = 3;
+    LinearSystem base;
+    const size_t rows = 1 + rng.UniformIndex(3);
+    for (size_t i = 0; i < rows; ++i) {
+      LinearExpr e;
+      for (VarId v = 0; v < n; ++v) {
+        e.AddTerm(v, BigInt(rng.UniformInt(-3, 3)));
+      }
+      e.AddConstant(BigInt(rng.UniformInt(-5, 10)));
+      base.push_back(rng.Bernoulli(0.3) ? LinearAtom::Eq(std::move(e))
+                                        : LinearAtom::Ge(std::move(e)));
+    }
+    auto inc = IncrementalSimplex::Create(base, n);
+    ASSERT_TRUE(inc.ok());
+    auto fresh0 = SimplexSolver::FindFeasible(base, n);
+    ASSERT_TRUE(fresh0.ok());
+    ASSERT_EQ(inc->feasible(), fresh0->status == LpStatus::kOptimal);
+    if (!inc->feasible()) continue;
+
+    // Apply a random monotone bound sequence, mirroring into an explicit
+    // system solved from scratch at every step.
+    LinearSystem explicit_sys = base;
+    std::vector<int64_t> lo(n, 0);
+    std::vector<int64_t> hi(n, 8);
+    for (int step = 0; step < 6 && inc->feasible(); ++step) {
+      const VarId v = static_cast<VarId>(rng.UniformIndex(n));
+      const bool upper = rng.Bernoulli(0.5);
+      if (upper) {
+        hi[v] = std::max<int64_t>(0, hi[v] - static_cast<int64_t>(
+                                                 rng.UniformIndex(3)) - 1);
+      } else {
+        lo[v] += static_cast<int64_t>(rng.UniformIndex(3)) + 1;
+      }
+      const int64_t value = upper ? hi[v] : lo[v];
+      Status st = upper ? inc->SetUpperBound(v, BigInt(value))
+                        : inc->SetLowerBound(v, BigInt(value));
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      LinearExpr e;
+      e.AddTerm(v, BigInt(upper ? -1 : 1));
+      e.AddConstant(BigInt(upper ? value : -value));
+      explicit_sys.push_back(LinearAtom::Ge(std::move(e)));
+      auto fresh = SimplexSolver::FindFeasible(explicit_sys, n);
+      ASSERT_TRUE(fresh.ok());
+      ASSERT_EQ(inc->feasible(), fresh->status == LpStatus::kOptimal)
+          << "iter " << iter << " step " << step;
+    }
+  }
+}
+
+TEST(IlpTest, SolveDnfDeterministicAcrossThreadCounts) {
+  // A disjunction whose branches have distinct witnesses: the selected
+  // branch (and thus the witness) must not depend on the thread count.
+  std::vector<LinearSystem> branches;
+  for (int64_t k = 5; k >= 1; --k) {
+    // Branch: x0 == k && x1 == 10 - k.
+    branches.push_back({LinearAtom::Eq(MakeExpr({1, 0}, -k)),
+                        LinearAtom::Eq(MakeExpr({0, 1}, k - 10))});
+  }
+  // Prepend two infeasible branches so the first feasible index is 2.
+  branches.insert(branches.begin(),
+                  {LinearAtom::Ge(MakeExpr({-1, 0}, -1)),
+                   LinearAtom::Ge(MakeExpr({1, 0}, -2))});  // x0<=-1 && x0>=2
+  branches.insert(branches.begin(), {LinearAtom::Eq(MakeExpr({0, 0}, 1))});
+
+  IntAssignment expected;
+  std::vector<BranchOutcome> expected_outcomes;
+  for (size_t threads : {1u, 2u, 8u}) {
+    IlpOptions opt;
+    opt.num_threads = threads;
+    auto r = IlpSolver::SolveDnf(branches, 2, opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(r->solution.feasible);
+    if (threads == 1) {
+      expected = r->solution.assignment;
+      expected_outcomes = r->outcomes;
+      EXPECT_EQ(expected[0].ToString(), "5");  // first feasible branch: k=5
+      EXPECT_EQ(expected[1].ToString(), "5");
+      EXPECT_EQ(r->outcomes[0], BranchOutcome::kInfeasible);
+      EXPECT_EQ(r->outcomes[1], BranchOutcome::kInfeasible);
+      EXPECT_EQ(r->outcomes[2], BranchOutcome::kFeasible);
+    } else {
+      ASSERT_EQ(r->solution.assignment.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(r->solution.assignment[i].Compare(expected[i]), 0)
+            << "threads " << threads << " var " << i;
+      }
+      EXPECT_EQ(r->outcomes, expected_outcomes) << "threads " << threads;
+    }
+  }
+}
+
+TEST(IlpTest, CancellationAbortsBetweenNodes) {
+  // A pre-set cancellation flag must abort the solve with kCancelled before
+  // any verdict is produced.
+  std::atomic<bool> cancel{true};
+  IlpOptions opt;
+  opt.cancel = &cancel;
+  LinearSystem sys = {LinearAtom::Ge(MakeExpr({1}, -1))};
+  auto r = IlpSolver::FindIntegerPoint(sys, 1, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled());
+  auto dnf = IlpSolver::SolveDnf({sys}, 1, opt);
+  ASSERT_FALSE(dnf.ok());
+  EXPECT_TRUE(dnf.status().IsCancelled());
+}
+
+TEST(SimplexStatsTest, WarmStartCountersMove) {
+  SimplexStats::Reset();
+  LinearSystem base = {LinearAtom::Ge(MakeExpr({-1, -1}, 10))};
+  auto inc = IncrementalSimplex::Create(base, 2);
+  ASSERT_TRUE(inc.ok() && inc->feasible());
+  ASSERT_TRUE(inc->SetUpperBound(0, BigInt(4)).ok());
+  ASSERT_TRUE(inc->SetLowerBound(0, BigInt(2)).ok());
+  SimplexCounters agg = SimplexStats::Aggregate();
+  EXPECT_GE(agg.tableau_builds, 1u);
+  EXPECT_GE(agg.warm_starts, 2u);
+  EXPECT_EQ(agg.warm_starts, agg.warm_start_hits);  // no rebuild needed here
+}
+
 }  // namespace
 }  // namespace fo2dt
