@@ -20,12 +20,26 @@ fi
 # ones over many iterations (google-benchmark wants a plain double here).
 MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 
-"$BUILD_DIR/bench/bench_lcta_emptiness" \
-  --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json > BENCH_lcta.json
+# Per-benchmark wall-clock guard: a perf regression (or a hang in the solver
+# core) must fail the bench job loudly instead of wedging it. Override with
+# BENCH_TIMEOUT_SECS for slow machines.
+TIMEOUT_SECS="${BENCH_TIMEOUT_SECS:-600}"
 
-"$BUILD_DIR/bench/bench_constraints" \
+run_guarded() {
+  local out="$1"
+  shift
+  if ! timeout --kill-after=10 "$TIMEOUT_SECS" "$@" > "$out"; then
+    echo "error: benchmark '$1' exceeded ${TIMEOUT_SECS}s (or crashed); $out is stale" >&2
+    exit 1
+  fi
+}
+
+run_guarded BENCH_lcta.json "$BUILD_DIR/bench/bench_lcta_emptiness" \
   --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json > BENCH_constraints.json
+  --benchmark_format=json
+
+run_guarded BENCH_constraints.json "$BUILD_DIR/bench/bench_constraints" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json
 
 echo "wrote BENCH_lcta.json and BENCH_constraints.json"

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "arith/arith_stats.h"
+#include "common/failpoint.h"
 
 namespace fo2dt {
 
@@ -336,7 +337,12 @@ BigInt BigInt::Abs() const {
 }
 
 BigInt BigInt::operator+(const BigInt& o) const {
-  if (small_rep_ && o.small_rep_) {
+  // Failpoint: steer the addition into the limb (heap) path as if the
+  // inline int64 fast path had overflowed; the magnitude arithmetic must
+  // produce the identical canonical value.
+  bool force_slow = false;
+  FO2DT_FAILPOINT("bigint.force_slow_add", &force_slow);
+  if (!force_slow && small_rep_ && o.small_rep_) {
     int64_t r;
     if (!__builtin_add_overflow(small_, o.small_, &r)) {
       CountSmall();

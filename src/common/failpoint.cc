@@ -1,0 +1,61 @@
+#include "common/failpoint.h"
+
+namespace fo2dt {
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();  // leaked: process lifetime
+  return *instance;
+}
+
+void Failpoints::Enable(const std::string& site,
+                        std::function<void(void*)> callback, int64_t skip,
+                        int64_t fire) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(site);
+  it->second.callback = std::move(callback);
+  it->second.skip = skip;
+  it->second.fire = fire;
+  it->second.hits = 0;
+  if (inserted) active_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    active_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  active_sites_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Failpoints::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+void Failpoints::Hit(const char* site, void* arg) {
+  std::function<void(void*)> callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return;
+    Site& s = it->second;
+    ++s.hits;
+    if (s.skip > 0) {
+      --s.skip;
+      return;
+    }
+    if (s.fire == 0) return;
+    if (s.fire > 0) --s.fire;
+    callback = s.callback;  // copy: run outside the lock (callback may
+                            // re-enter the registry, e.g. to disable itself)
+  }
+  if (callback) callback(arg);
+}
+
+}  // namespace fo2dt

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include "common/strings.h"
+
 namespace fo2dt {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -26,6 +28,45 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+const char* StopKindToString(StopKind kind) {
+  switch (kind) {
+    case StopKind::kNone:
+      return "none";
+    case StopKind::kDeadline:
+      return "deadline";
+    case StopKind::kCancelled:
+      return "cancelled";
+    case StopKind::kStepBudget:
+      return "step budget";
+    case StopKind::kNodeBudget:
+      return "node budget";
+    case StopKind::kCutBudget:
+      return "cut budget";
+    case StopKind::kBranchBudget:
+      return "branch budget";
+    case StopKind::kCandidateBudget:
+      return "candidate budget";
+    case StopKind::kPivotBudget:
+      return "pivot budget";
+    case StopKind::kMemoryBudget:
+      return "memory budget";
+    case StopKind::kInjectedFault:
+      return "injected fault";
+  }
+  return "unknown";
+}
+
+std::string StopReason::ToString() const {
+  if (!stopped()) return "none";
+  const char* unit = kind == StopKind::kDeadline ? " ms" : "";
+  if (limit > 0) {
+    return StringFormat("%s in %s (%llu of %llu%s)", StopKindToString(kind),
+                        module, static_cast<unsigned long long>(counter),
+                        static_cast<unsigned long long>(limit), unit);
+  }
+  return StringFormat("%s in %s", StopKindToString(kind), module);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code());
@@ -36,7 +77,18 @@ std::string Status::ToString() const {
 
 Status Status::WithContext(const std::string& context) const {
   if (ok()) return *this;
-  return Status(code(), context + ": " + message());
+  Status out(code(), context + ": " + message());
+  if (const StopReason* reason = stop_reason()) {
+    out = out.WithStopReason(*reason);
+  }
+  return out;
+}
+
+Status Status::WithStopReason(StopReason reason) const {
+  if (ok()) return *this;
+  Status out = *this;
+  out.state_ = std::make_shared<State>(State{code(), message(), reason});
+  return out;
 }
 
 }  // namespace fo2dt

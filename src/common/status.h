@@ -9,6 +9,7 @@
 #define FO2DT_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -43,6 +44,62 @@ enum class StatusCode : int {
 /// \brief Human-readable name of a status code ("OK", "Invalid argument", ...).
 const char* StatusCodeToString(StatusCode code);
 
+/// \brief Which budget (or external signal) terminated a computation early.
+///
+/// Every ResourceExhausted/Cancelled status produced by the solver pipeline
+/// carries a StopReason so callers can distinguish "the wall-clock deadline
+/// fired inside simplex" from "the ILP node budget ran out" without parsing
+/// message strings. kNone is reserved for statuses predating the governor.
+enum class StopKind : int {
+  kNone = 0,
+  /// The ExecutionContext wall-clock deadline passed.
+  kDeadline = 1,
+  /// A CancellationToken (external caller, or a first-SAT-wins sibling that
+  /// already produced the answer) requested cancellation.
+  kCancelled = 2,
+  /// A step budget (model-enumeration steps, marker-predicate combinations).
+  kStepBudget = 3,
+  /// A branch-and-bound node budget (IlpOptions::max_nodes).
+  kNodeBudget = 4,
+  /// The LCTA connectivity-cut round budget (LctaOptions::max_cuts).
+  kCutBudget = 5,
+  /// A DNF expansion / disjunct branch cap.
+  kBranchBudget = 6,
+  /// The VATA derivation candidate budget.
+  kCandidateBudget = 7,
+  /// The simplex pivot cap (kRebuildPivotCap without successful repair).
+  kPivotBudget = 8,
+  /// The memory accountant's byte budget.
+  kMemoryBudget = 9,
+  /// A failpoint-injected fault (testing only; never in production builds).
+  kInjectedFault = 10,
+};
+
+/// \brief Human-readable name of a stop kind ("deadline", "node budget", ...).
+const char* StopKindToString(StopKind kind);
+
+/// \brief Structured description of why a computation stopped early.
+///
+/// Carried inside Status (for ResourceExhausted/Cancelled) and surfaced on
+/// SatResult so that every layer reports *which* budget died, at what counter
+/// value, against which configured limit, and in which module.
+struct StopReason {
+  StopKind kind = StopKind::kNone;
+  /// Static identifier of the module that detected the stop, e.g.
+  /// "solverlp.ilp" or "lcta.cuts". Must point at storage with static
+  /// lifetime (string literals).
+  const char* module = "";
+  /// Counter value when the budget was exhausted (elapsed ms for kDeadline).
+  uint64_t counter = 0;
+  /// The configured limit (budget ms for kDeadline; 0 when not applicable).
+  uint64_t limit = 0;
+
+  bool stopped() const { return kind != StopKind::kNone; }
+
+  /// e.g. "deadline in lcta.cuts (52 of 50 ms)".
+  std::string ToString() const;
+};
+
 /// \brief The outcome of a fallible operation that produces no value.
 ///
 /// A Status is either OK or carries a code plus a message. The OK state is
@@ -55,7 +112,8 @@ class Status {
   Status(StatusCode code, std::string message)
       : state_(code == StatusCode::kOk
                    ? nullptr
-                   : std::make_shared<State>(State{code, std::move(message)})) {}
+                   : std::make_shared<State>(
+                         State{code, std::move(message), StopReason{}})) {}
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -70,6 +128,10 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg, StopReason reason) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg))
+        .WithStopReason(reason);
+  }
   static Status Overflow(std::string msg) {
     return Status(StatusCode::kOverflow, std::move(msg));
   }
@@ -81,6 +143,10 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Cancelled(std::string msg, StopReason reason) {
+    return Status(StatusCode::kCancelled, std::move(msg))
+        .WithStopReason(reason);
   }
 
   bool ok() const { return state_ == nullptr; }
@@ -108,10 +174,22 @@ class Status {
   /// Returns this status with \p context prepended to the message; OK stays OK.
   Status WithContext(const std::string& context) const;
 
+  /// Returns this status with the structured stop reason attached; OK stays
+  /// OK (a reason on a success status would be meaningless).
+  Status WithStopReason(StopReason reason) const;
+
+  /// The structured stop reason, or nullptr when none was attached (OK
+  /// statuses and errors predating the execution governor).
+  const StopReason* stop_reason() const {
+    return (ok() || !state_->stop_reason.stopped()) ? nullptr
+                                                    : &state_->stop_reason;
+  }
+
  private:
   struct State {
     StatusCode code;
     std::string message;
+    StopReason stop_reason;  // kind == kNone when absent
   };
   std::shared_ptr<State> state_;  // nullptr == OK
 };

@@ -7,18 +7,46 @@
 ///   void AddTo(C* out) const;   // out->x += x for every field
 ///   void Clear();               // zero every field
 ///
-/// Aggregate()/Reset() take a registry lock and are intended to be called
-/// while worker threads are quiescent (between benchmark iterations); calling
-/// them concurrently with active workers is memory-safe but may miss
-/// in-flight increments.
+/// Aggregate()/Reset() take a registry lock and REQUIRE worker quiescence:
+/// every solver worker thread must have been joined first, or in-flight
+/// increments are silently missed. The precondition is enforced in debug
+/// builds — fan-out workers hold a ScopedStatsWorker for their lifetime and
+/// Aggregate()/Reset() assert that no worker is live.
 
 #ifndef FO2DT_COMMON_THREAD_STATS_H_
 #define FO2DT_COMMON_THREAD_STATS_H_
 
+#include <atomic>
+#include <cassert>
 #include <mutex>
 #include <vector>
 
 namespace fo2dt {
+
+/// Process-wide count of live solver worker threads that may be writing
+/// thread-local counter blocks. Shared across all ThreadStats
+/// instantiations (a worker typically writes several counter families).
+inline std::atomic<int>& ActiveStatsWorkerCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+/// \brief RAII declaration "this thread is a counter-writing worker".
+///
+/// Construct as the first statement of a fan-out worker body; the join of
+/// the worker thread then orders the destructor before any subsequent
+/// Aggregate()/Reset() on the spawning thread.
+class ScopedStatsWorker {
+ public:
+  ScopedStatsWorker() {
+    ActiveStatsWorkerCount().fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ScopedStatsWorker() {
+    ActiveStatsWorkerCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+  ScopedStatsWorker(const ScopedStatsWorker&) = delete;
+  ScopedStatsWorker& operator=(const ScopedStatsWorker&) = delete;
+};
 
 template <typename C>
 class ThreadStats {
@@ -30,7 +58,11 @@ class ThreadStats {
   }
 
   /// Sum over all live threads plus exited threads since the last Reset().
+  /// Precondition: all solver workers joined (asserted in debug builds).
   static C Aggregate() {
+    assert(ActiveStatsWorkerCount().load(std::memory_order_acquire) == 0 &&
+           "ThreadStats::Aggregate requires quiescent workers: join fan-out "
+           "threads before aggregating");
     Registry& r = GetRegistry();
     std::lock_guard<std::mutex> lock(r.mu);
     C out = r.retired;
@@ -39,7 +71,11 @@ class ThreadStats {
   }
 
   /// Zeroes the retired accumulator and every live thread's block.
+  /// Precondition: all solver workers joined (asserted in debug builds).
   static void Reset() {
+    assert(ActiveStatsWorkerCount().load(std::memory_order_acquire) == 0 &&
+           "ThreadStats::Reset requires quiescent workers: join fan-out "
+           "threads before resetting");
     Registry& r = GetRegistry();
     std::lock_guard<std::mutex> lock(r.mu);
     r.retired.Clear();

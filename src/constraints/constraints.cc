@@ -156,12 +156,22 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
   lcta.automaton = schema;
   lcta.constraint = LinearConstraint::And(std::move(parts));
   lcta.use_symbol_counts = true;
-  FO2DT_ASSIGN_OR_RETURN(LctaEmptinessResult r,
-                         CheckLctaEmptiness(lcta, options));
+  Result<LctaEmptinessResult> r = CheckLctaEmptiness(lcta, options);
   SatResult out;
   out.method = SatMethod::kCountingAbstraction;
-  out.steps = r.ilp_nodes;
-  out.verdict = r.empty ? SatVerdict::kUnsat : SatVerdict::kSat;
+  if (!r.ok()) {
+    // Graceful degradation: a dead budget (deadline, node/cut cap) is an
+    // honest kUnknown with the structured reason; cancellation and genuine
+    // errors propagate.
+    if (!r.status().IsResourceExhausted()) return r.status();
+    out.verdict = SatVerdict::kUnknown;
+    if (const StopReason* reason = r.status().stop_reason()) {
+      out.stop_reason = *reason;
+    }
+    return out;
+  }
+  out.steps = r->ilp_nodes;
+  out.verdict = r->empty ? SatVerdict::kUnsat : SatVerdict::kSat;
   return out;
 }
 

@@ -21,6 +21,26 @@ const char* SatVerdictToString(SatVerdict v) {
 
 namespace {
 
+constexpr char kFrontendModule[] = "frontend.solver";
+constexpr char kEnumModule[] = "frontend.enumerate";
+
+/// Graceful degradation at the facade: a budget exhaustion anywhere in the
+/// pipeline (deadline, step/node/cut caps) becomes an honest kUnknown verdict
+/// carrying the structured StopReason. Caller cancellation and genuine
+/// errors still propagate as non-OK statuses.
+Result<SatResult> DegradeToUnknown(Result<SatResult> result, SatMethod method) {
+  if (result.ok()) return result;
+  const Status& st = result.status();
+  if (!st.IsResourceExhausted()) return result;
+  SatResult out;
+  out.verdict = SatVerdict::kUnknown;
+  out.method = method;
+  if (const StopReason* reason = st.stop_reason()) {
+    out.stop_reason = *reason;
+  }
+  return out;
+}
+
 /// Advances a restricted growth string (canonical set-partition encoding:
 /// rgs[0] == 0 and rgs[i] <= max(rgs[0..i-1]) + 1). Returns false after the
 /// last one.
@@ -46,7 +66,10 @@ class ModelEnumerator {
  public:
   ModelEnumerator(const Formula& sentence, size_t num_labels,
                   const SolverOptions& options)
-      : sentence_(sentence), num_labels_(num_labels), options_(options) {}
+      : sentence_(sentence),
+        num_labels_(num_labels),
+        options_(options),
+        checkpoint_(options.exec, /*token=*/nullptr, kEnumModule) {}
 
   Result<SatResult> Run() {
     SatResult out;
@@ -65,6 +88,9 @@ class ModelEnumerator {
         }
         if (budget_hit_) {
           out.verdict = SatVerdict::kUnknown;
+          out.steps = steps_;
+          out.stop_reason = StopReason{StopKind::kStepBudget, kEnumModule,
+                                       steps_, options_.max_steps};
           return out;
         }
       }
@@ -91,6 +117,7 @@ class ModelEnumerator {
           budget_hit_ = true;
           return false;
         }
+        FO2DT_RETURN_NOT_OK(checkpoint_.Tick());
         for (NodeId v = 0; v < n; ++v) {
           t->set_data(v, static_cast<DataValue>(rgs[v]));
         }
@@ -123,6 +150,7 @@ class ModelEnumerator {
   const Formula& sentence_;
   size_t num_labels_;
   const SolverOptions& options_;
+  ExecCheckpoint checkpoint_;
   uint64_t steps_ = 0;
   bool budget_hit_ = false;
   bool labels_checked_ = false;
@@ -156,26 +184,39 @@ Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
     }
   }
   ModelEnumerator enumerator(sentence, num_labels, options);
-  return enumerator.Run();
+  return DegradeToUnknown(enumerator.Run(), SatMethod::kBoundedModelSearch);
 }
 
-Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
-                                         const SolverOptions& options) {
+namespace {
+
+Result<SatResult> CheckDnfSatisfiabilityImpl(const DataNormalForm& dnf,
+                                             const SolverOptions& options) {
+  // Propagate the governor into the sub-pipelines unless the caller already
+  // installed a more specific one there.
+  CountingOptions counting = options.counting;
+  if (counting.lcta.exec == nullptr) counting.lcta.exec = options.exec;
+  if (!counting.lcta.cancel_token.CanBeCancelled() && options.exec != nullptr) {
+    counting.lcta.cancel_token = options.exec->token();
+  }
+  BoundedSolveOptions search = options.puzzle_search;
+  if (search.exec == nullptr) search.exec = options.exec;
+  search.max_nodes = std::max(search.max_nodes, options.max_model_nodes);
+
   SatResult out;
   bool all_unsat = true;
   for (const DnfBlock& block : dnf.blocks) {
+    if (options.exec != nullptr) {
+      FO2DT_RETURN_NOT_OK(options.exec->Check(kFrontendModule));
+    }
     FO2DT_ASSIGN_OR_RETURN(Puzzle puzzle, PuzzleFromBlock(block, dnf.ext));
     if (options.use_counting_abstraction) {
-      FO2DT_ASSIGN_OR_RETURN(
-          CountingResult counted,
-          CheckPuzzleUnsatByCounting(puzzle, options.counting));
+      FO2DT_ASSIGN_OR_RETURN(CountingResult counted,
+                             CheckPuzzleUnsatByCounting(puzzle, counting));
       out.steps += counted.ilp_nodes;
       if (counted.verdict == CountingVerdict::kUnsat) {
         continue;  // this block is dead; try the next disjunct
       }
     }
-    BoundedSolveOptions search = options.puzzle_search;
-    search.max_nodes = std::max(search.max_nodes, options.max_model_nodes);
     FO2DT_ASSIGN_OR_RETURN(BoundedSolveResult solved,
                            SolvePuzzleBounded(puzzle, search));
     out.steps += solved.steps;
@@ -185,6 +226,10 @@ Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
       out.witness = std::move(solved.witness);
       out.witness_interp = std::move(solved.interp);
       return out;
+    }
+    if (solved.verdict == BoundedVerdict::kBudgetExhausted &&
+        !out.stop_reason.has_value()) {
+      out.stop_reason = solved.stop_reason;
     }
     all_unsat = false;  // bounded search is inconclusive for UNSAT overall
   }
@@ -196,6 +241,14 @@ Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
   out.verdict = SatVerdict::kUnknown;
   out.method = SatMethod::kPuzzlePipeline;
   return out;
+}
+
+}  // namespace
+
+Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
+                                         const SolverOptions& options) {
+  return DegradeToUnknown(CheckDnfSatisfiabilityImpl(dnf, options),
+                          SatMethod::kPuzzlePipeline);
 }
 
 }  // namespace fo2dt

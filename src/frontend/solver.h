@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "common/execution_context.h"
 #include "logic/dnf.h"
 #include "logic/eval.h"
 #include "logic/formula.h"
@@ -53,6 +54,10 @@ struct SatResult {
   std::optional<PredInterpretation> witness_interp;
   /// Search effort, for benchmarks.
   uint64_t steps = 0;
+  /// When the verdict is kUnknown because some budget died (deadline, step
+  /// cap, node cap, ...): which one, where, and at what counter value.
+  /// Unset for definite verdicts and for pre-governor unknowns.
+  std::optional<StopReason> stop_reason;
 };
 
 /// \brief Budgets for the solver.
@@ -74,6 +79,12 @@ struct SolverOptions {
   bool use_counting_abstraction = true;
   CountingOptions counting;
   BoundedSolveOptions puzzle_search;
+  /// Optional execution governor. Its wall-clock deadline degrades the
+  /// verdict to kUnknown (with SatResult::stop_reason saying so); its
+  /// cancellation token aborts with StatusCode::kCancelled. Propagated into
+  /// `counting` and `puzzle_search` unless those set their own. Not owned;
+  /// must outlive the call.
+  const ExecutionContext* exec = nullptr;
 };
 
 /// \brief Bounded-complete FO²(∼,<,+1) satisfiability by model enumeration.

@@ -6,12 +6,17 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
+#include "common/thread_stats.h"
 #include "solverlp/ilp.h"
 
 namespace fo2dt {
 
 namespace {
+
+constexpr char kLctaModule[] = "lcta.emptiness";
+constexpr char kCutModule[] = "lcta.cuts";
 
 /// Accepting runs of a hedge automaton are exactly the derivation trees of an
 /// ordinary context-free grammar with nonterminals
@@ -233,6 +238,17 @@ std::vector<size_t> UnreachableUsedNonterminals(const Grammar& g,
   return bad;
 }
 
+/// The overall stop state of an emptiness check: the caller's token, then
+/// the governor (which also covers its own token and the deadline).
+Status OverallStop(const LctaOptions& options) {
+  if (options.cancel_token.IsCancelled()) {
+    return Status::Cancelled("LCTA emptiness cancelled by caller",
+                             ExecutionContext::CancelReason(kLctaModule));
+  }
+  if (options.exec != nullptr) return options.exec->Check(kLctaModule);
+  return Status::OK();
+}
+
 /// Cut: either no U-nonterminal is expanded, or some used production outside
 /// U produces into U.
 LinearConstraint ConnectivityCut(const Grammar& g,
@@ -283,7 +299,22 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
   for (size_t cut_round = 0;; ++cut_round) {
     if (cut_round > options.max_cuts) {
       return Status::ResourceExhausted(
-          "LCTA emptiness: connectivity cut budget exceeded");
+          StringFormat("LCTA emptiness: connectivity cut budget exceeded in "
+                       "%s: %zu of %zu cut rounds",
+                       kCutModule, cut_round, options.max_cuts),
+          StopReason{StopKind::kCutBudget, kCutModule, cut_round,
+                     options.max_cuts});
+    }
+    if (options.exec != nullptr) {
+      options.exec->counters().lcta_cut_rounds.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    // Failpoint: inject an error into the cut loop (tests prove a failing
+    // cut round unwinds as a clean Status through the root fan-out).
+    if (Failpoints::CompiledIn()) {
+      Status injected;
+      FO2DT_FAILPOINT("lcta.cut_round", &injected);
+      if (!injected.ok()) return injected;
     }
     FO2DT_ASSIGN_OR_RETURN(
         DnfSolveResult r,
@@ -314,7 +345,12 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
     }
     if (next.size() > options.max_dnf_branches) {
       return Status::ResourceExhausted(
-          "LCTA emptiness: DNF branch budget exceeded");
+          StringFormat("LCTA emptiness: DNF branch budget exceeded in %s: "
+                       "%zu of %zu branches after cut %zu",
+                       kCutModule, next.size(), options.max_dnf_branches,
+                       cut_round),
+          StopReason{StopKind::kBranchBudget, kCutModule, next.size(),
+                     options.max_dnf_branches});
     }
     branches = std::move(next);
     ++out->connectivity_cuts;
@@ -358,9 +394,12 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
   ilp_options.max_nodes = options.max_ilp_nodes;
   ilp_options.max_dnf_branches = options.max_dnf_branches;
   ilp_options.num_threads = std::max<size_t>(1, num_threads / root_workers);
+  ilp_options.cancel_token = options.cancel_token;
+  ilp_options.exec = options.exec;
 
   if (root_workers <= 1) {
     for (const auto& [root, root_label] : roots) {
+      FO2DT_RETURN_NOT_OK(OverallStop(options));
       RootOutcome o;
       FO2DT_RETURN_NOT_OK(
           SolveRoot(lcta, g, root, root_label, options, ilp_options, &o));
@@ -375,38 +414,34 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
     return out;
   }
 
-  // Parallel root fan-out, first-nonempty-wins with deterministic selection:
-  // `stop_at` is the smallest root index known terminal (nonempty or error);
-  // roots above it are abandoned via their cancellation flags, roots below it
-  // always complete, so the ascending scan below is schedule-independent.
+  // Parallel root fan-out, first-nonempty-wins with deterministic selection,
+  // coordinated by FirstWinsFanout: its terminal index is the smallest root
+  // index known terminal (nonempty or error); roots above it are abandoned
+  // via their branch tokens, roots below it always complete, so the
+  // ascending scan below is schedule-independent.
   struct Slot {
     RootOutcome outcome;
     Status error;  // non-OK turns the slot into an error terminal
   };
   std::vector<Slot> slots(roots.size());
-  std::unique_ptr<std::atomic<bool>[]> abandon(
-      new std::atomic<bool>[roots.size()]);
-  for (size_t i = 0; i < roots.size(); ++i) abandon[i].store(false);
   std::atomic<size_t> next{0};
-  std::atomic<size_t> stop_at{roots.size()};
-  auto mark_terminal = [&](size_t i) {
-    size_t cur = stop_at.load(std::memory_order_relaxed);
-    while (i < cur &&
-           !stop_at.compare_exchange_weak(cur, i, std::memory_order_acq_rel)) {
-    }
-    for (size_t j = i + 1; j < roots.size(); ++j) abandon[j].store(true);
-  };
+  FirstWinsFanout fanout(roots.size(), options.cancel_token);
   auto worker = [&]() {
+    // Workers write thread-local solver counters; declare so that
+    // ThreadStats aggregation can assert quiescence (the join below orders
+    // this destructor before any post-solve Aggregate()).
+    ScopedStatsWorker stats_worker;
     for (;;) {
+      if (!OverallStop(options).ok()) return;
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= roots.size()) return;
       Slot& slot = slots[i];
-      if (i > stop_at.load(std::memory_order_acquire)) {
+      if (fanout.Abandoned(i)) {
         slot.outcome.kind = RootOutcome::kAbandoned;
         continue;
       }
       IlpOptions my_ilp = ilp_options;
-      my_ilp.cancel = &abandon[i];
+      my_ilp.cancel_token = fanout.TokenFor(i);
       Status st = SolveRoot(lcta, g, roots[i].first, roots[i].second, options,
                             my_ilp, &slot.outcome);
       if (!st.ok()) {
@@ -415,10 +450,10 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
           continue;
         }
         slot.error = st;
-        mark_terminal(i);
+        fanout.MarkTerminal(i);
         continue;
       }
-      if (slot.outcome.kind == RootOutcome::kNonEmpty) mark_terminal(i);
+      if (slot.outcome.kind == RootOutcome::kNonEmpty) fanout.MarkTerminal(i);
     }
   };
   std::vector<std::thread> pool;
@@ -426,6 +461,9 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
   for (size_t t = 1; t < root_workers; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& th : pool) th.join();
+
+  // All workers are joined: safe to aggregate stats and scan slots.
+  FO2DT_RETURN_NOT_OK(OverallStop(options));
 
   // Exact counter aggregation: summed single-threaded after the join.
   for (const Slot& slot : slots) {

@@ -20,6 +20,7 @@
 #define FO2DT_LCTA_LCTA_H_
 
 #include "automata/tree_automaton.h"
+#include "common/execution_context.h"
 #include "solverlp/linear.h"
 
 namespace fo2dt {
@@ -72,6 +73,12 @@ struct LctaOptions {
   /// are identical for every thread count: the smallest qualifying root (and
   /// within it the smallest-index DNF branch) always wins.
   size_t num_threads = 0;
+  /// Cooperative cancellation for the whole emptiness check (inert by
+  /// default). Fires as StatusCode::kCancelled, never a verdict.
+  CancellationToken cancel_token;
+  /// Optional execution governor (wall-clock deadline, caller cancellation,
+  /// effort accounting); must outlive the check. Null = ungoverned.
+  const ExecutionContext* exec = nullptr;
 };
 
 /// \brief LCTA emptiness (Theorem 2). Sound and complete; may return

@@ -8,16 +8,19 @@ namespace fo2dt {
 
 namespace {
 
+constexpr char kBoundedModule[] = "puzzle.bounded";
+
 /// DFS state for one tree shape.
 class ShapeSearch {
  public:
   ShapeSearch(const Puzzle& puzzle, const std::vector<uint32_t>& parents,
               const std::vector<ExtSymbol>& allowed_letters, uint64_t* steps,
-              uint64_t max_steps)
+              uint64_t max_steps, const ExecutionContext* exec)
       : puzzle_(puzzle),
         allowed_(allowed_letters),
         steps_(steps),
         max_steps_(max_steps),
+        checkpoint_(exec, /*token=*/nullptr, kBoundedModule),
         n_(parents.size()) {
     (void)skeleton_.CreateRoot(0, 0);
     for (size_t v = 1; v < n_; ++v) {
@@ -68,6 +71,9 @@ class ShapeSearch {
       // Restricted growth: class ids 0..num_classes (a fresh one allowed).
       for (size_t cls = 0; cls <= num_classes && cls < n_; ++cls) {
         if (++*steps_ > max_steps_) return BoundedVerdict::kBudgetExhausted;
+        // Deadline/cancellation abort the search with an error status (the
+        // facade maps it to kUnknown); amortized to keep the DFS hot path.
+        FO2DT_RETURN_NOT_OK(checkpoint_.Tick());
         letters_[v] = letter;
         class_of_[v] = cls;
         if (PartialClassesViolate(v + 1,
@@ -107,6 +113,7 @@ class ShapeSearch {
   const std::vector<ExtSymbol>& allowed_;
   uint64_t* steps_;
   uint64_t max_steps_;
+  ExecCheckpoint checkpoint_;
   size_t n_;
   DataTree skeleton_;
   std::vector<ExtSymbol> letters_;
@@ -153,8 +160,14 @@ Result<BoundedSolveResult> SolvePuzzleBounded(
   for (size_t n = 1; n <= options.max_nodes; ++n) {
     for (const auto& parents : EnumerateTreeShapes(n)) {
       ShapeSearch search(puzzle, parents, allowed, &out.steps,
-                         options.max_steps);
-      FO2DT_ASSIGN_OR_RETURN(BoundedVerdict verdict, search.Run(&out));
+                         options.max_steps, options.exec);
+      auto run = search.Run(&out);
+      if (options.exec != nullptr) {
+        // Flushed per shape so governed callers see effort even on errors.
+        options.exec->counters().search_steps.store(
+            out.steps, std::memory_order_relaxed);
+      }
+      FO2DT_ASSIGN_OR_RETURN(BoundedVerdict verdict, std::move(run));
       if (verdict == BoundedVerdict::kSat) {
         out.verdict = verdict;
         return out;
@@ -163,8 +176,13 @@ Result<BoundedSolveResult> SolvePuzzleBounded(
     }
     if (budget_hit) break;
   }
-  out.verdict = budget_hit ? BoundedVerdict::kBudgetExhausted
-                           : BoundedVerdict::kUnsatWithinBound;
+  if (budget_hit) {
+    out.verdict = BoundedVerdict::kBudgetExhausted;
+    out.stop_reason = StopReason{StopKind::kStepBudget, kBoundedModule,
+                                 out.steps, options.max_steps};
+  } else {
+    out.verdict = BoundedVerdict::kUnsatWithinBound;
+  }
   return out;
 }
 

@@ -16,6 +16,7 @@
 #ifndef FO2DT_PUZZLE_BOUNDED_SOLVER_H_
 #define FO2DT_PUZZLE_BOUNDED_SOLVER_H_
 
+#include "common/execution_context.h"
 #include "puzzle/puzzle.h"
 
 namespace fo2dt {
@@ -26,6 +27,10 @@ struct BoundedSolveOptions {
   size_t max_nodes = 6;
   /// DFS assignment-step budget across the whole search.
   uint64_t max_steps = 20000000;
+  /// Optional execution governor: its deadline/cancellation aborts the DFS
+  /// with a Status error (amortized checks; never a verdict). Null =
+  /// ungoverned.
+  const ExecutionContext* exec = nullptr;
 };
 
 enum class BoundedVerdict {
@@ -42,6 +47,9 @@ struct BoundedSolveResult {
   /// Predicate interpretation of the witness; meaningful iff kSat.
   PredInterpretation interp;
   uint64_t steps = 0;
+  /// Which budget died (kind == kStepBudget) when the verdict is
+  /// kBudgetExhausted; kind == kNone otherwise.
+  StopReason stop_reason;
 };
 
 /// Solves \p puzzle over trees of bounded size.

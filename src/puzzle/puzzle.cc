@@ -129,8 +129,10 @@ Result<DnfBlock> NormalizeImpliesPresence(const DnfBlock& block,
   ExtAlphabet grown = old;
   grown.num_preds += static_cast<PredId>(num_markers);
   if (grown.num_preds > 20) {
-    return Status::ResourceExhausted(
-        "marker normalization would exceed the predicate budget");
+    return Status::ResourceExhausted(StringFormat(
+        "marker normalization in puzzle.normalize would exceed the predicate "
+        "budget: %u of 20 predicates",
+        static_cast<unsigned>(grown.num_preds)));
   }
 
   // Embedding: a grown letter maps to the old letter by dropping marker bits.

@@ -1,9 +1,14 @@
 #include "solverlp/ilp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <thread>
 #include <utility>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "common/thread_stats.h"
 
 namespace fo2dt {
 
@@ -69,23 +74,42 @@ PreprocessVerdict Preprocess(const LinearSystem& in, LinearSystem* out) {
   return PreprocessVerdict::kOk;
 }
 
+constexpr char kIlpModule[] = "solverlp.ilp";
+
+// Amortization period for deadline reads between branch-and-bound nodes; a
+// node costs at least one dual-simplex repair, so 16 keeps the overshoot
+// tiny without a clock read per node.
+constexpr uint32_t kNodeCheckPeriod = 16;
+
 struct SearchState {
   VarId num_vars = 0;
   size_t nodes = 0;
   size_t max_nodes = 0;
-  // External cancellation plus first-SAT-wins abandonment: the search is
-  // abandoned once a sibling DNF branch with a smaller index has terminated.
-  const std::atomic<bool>* external_cancel = nullptr;
-  const std::atomic<size_t>* stop_at = nullptr;
-  size_t branch_index = 0;
+  // Cancellation (caller token chained with first-SAT-wins abandonment: the
+  // branch token is cancelled once a sibling DNF branch with a smaller index
+  // has terminated) plus the optional execution governor (deadline).
+  CancellationToken token;
+  const ExecutionContext* exec = nullptr;
+  ExecCheckpoint deadline_check{nullptr, nullptr, kIlpModule};
 
-  bool ShouldCancel() const {
-    if (external_cancel != nullptr &&
-        external_cancel->load(std::memory_order_relaxed)) {
-      return true;
+  void ArmGovernor() {
+    deadline_check =
+        ExecCheckpoint(exec, /*token=*/nullptr, kIlpModule, kNodeCheckPeriod);
+  }
+
+  /// Per-node stop check: the branch token every node, the deadline
+  /// amortized. Returns Cancelled / ResourceExhausted with a StopReason.
+  Status CheckStop() {
+    if (token.IsCancelled()) {
+      if (exec != nullptr && exec->token().IsCancelled()) {
+        return Status::Cancelled("ILP search cancelled by caller",
+                                 ExecutionContext::CancelReason(kIlpModule));
+      }
+      return Status::Cancelled(
+          "ILP search abandoned: a sibling DNF branch already terminated",
+          ExecutionContext::CancelReason(kIlpModule));
     }
-    return stop_at != nullptr &&
-           stop_at->load(std::memory_order_relaxed) < branch_index;
+    return deadline_check.Tick();
   }
 };
 
@@ -95,12 +119,18 @@ struct SearchState {
 /// from-scratch rebuild).
 Result<std::optional<IntAssignment>> Branch(IncrementalSimplex tab,
                                             SearchState* st) {
+  // Failpoint: per-node observation/cancellation hook (tests use it to
+  // request cancellation from inside a running search).
+  FO2DT_FAILPOINT("ilp.branch", nullptr);
   if (++st->nodes > st->max_nodes) {
-    return Status::ResourceExhausted("ILP branch-and-bound node budget exceeded");
+    return Status::ResourceExhausted(
+        StringFormat("ILP branch-and-bound node budget exceeded in %s: "
+                     "%zu of %zu nodes",
+                     kIlpModule, st->nodes, st->max_nodes),
+        StopReason{StopKind::kNodeBudget, kIlpModule, st->nodes,
+                   st->max_nodes});
   }
-  if (st->ShouldCancel()) {
-    return Status::Cancelled("ILP search abandoned");
-  }
+  FO2DT_RETURN_NOT_OK(st->CheckStop());
   if (!tab.feasible()) {
     return std::optional<IntAssignment>();
   }
@@ -144,8 +174,11 @@ Result<std::optional<IntAssignment>> Branch(IncrementalSimplex tab,
 Result<std::optional<IntAssignment>> RunSearch(
     const LinearSystem& base, const std::optional<BigInt>& upper_bound,
     SearchState* st) {
-  FO2DT_ASSIGN_OR_RETURN(IncrementalSimplex root,
-                         IncrementalSimplex::Create(base, st->num_vars));
+  st->ArmGovernor();
+  FO2DT_ASSIGN_OR_RETURN(
+      IncrementalSimplex root,
+      IncrementalSimplex::Create(base, st->num_vars, st->exec));
+  root.SetGovernor(st->exec, st->token);
   if (upper_bound.has_value()) {
     for (VarId v = 0; v < st->num_vars && root.feasible(); ++v) {
       FO2DT_RETURN_NOT_OK(root.SetUpperBound(v, *upper_bound));
@@ -154,14 +187,34 @@ Result<std::optional<IntAssignment>> RunSearch(
   return Branch(std::move(root), st);
 }
 
+/// Accumulates per-search node totals into \p nodes_used and the governor's
+/// effort counters on every path (verdicts, errors, cancellation).
+void FlushNodes(const SearchState& st, const IlpOptions& options,
+                size_t* nodes_used) {
+  *nodes_used += st.nodes;
+  if (options.exec != nullptr) {
+    options.exec->counters().ilp_nodes.fetch_add(st.nodes,
+                                                 std::memory_order_relaxed);
+  }
+}
+
+/// True when a non-OK search status may fall through from the slim unbounded
+/// phase to the guaranteed-terminating bounded phase: only genuine node-
+/// budget exhaustion qualifies; deadline/cancellation stops must propagate.
+bool MayFallThrough(const Status& status) {
+  if (!status.IsResourceExhausted()) return false;
+  const StopReason* reason = status.stop_reason();
+  return reason == nullptr || reason->kind == StopKind::kNodeBudget;
+}
+
 /// FindIntegerPoint with the fan-out plumbing exposed. \p nodes_used is
 /// accumulated on every path, including errors and cancellation, so callers
-/// can aggregate exact node totals.
+/// can aggregate exact node totals. \p token is the branch's cancellation
+/// token (caller token, possibly chained with first-SAT-wins abandonment).
 Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
                                          VarId num_vars,
                                          const IlpOptions& options,
-                                         const std::atomic<size_t>* stop_at,
-                                         size_t branch_index,
+                                         const CancellationToken& token,
                                          size_t* nodes_used) {
   IlpSolution out;
   LinearSystem base;
@@ -177,18 +230,17 @@ Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
     st.num_vars = num_vars;
     st.max_nodes = std::max<size_t>(
         1, options.max_nodes / std::max<size_t>(1, options.unbounded_fraction));
-    st.external_cancel = options.cancel;
-    st.stop_at = stop_at;
-    st.branch_index = branch_index;
+    st.token = token;
+    st.exec = options.exec;
     auto attempt = RunSearch(base, std::nullopt, &st);
-    *nodes_used += st.nodes;
+    FlushNodes(st, options, nodes_used);
     if (attempt.ok()) {
       out.nodes_explored = st.nodes;
       out.feasible = attempt->has_value();
       if (attempt->has_value()) out.assignment = std::move(**attempt);
       return out;
     }
-    if (!attempt.status().IsResourceExhausted()) return attempt.status();
+    if (!MayFallThrough(attempt.status())) return attempt.status();
     out.nodes_explored += st.nodes;  // fall through to the bounded phase
   }
   std::optional<BigInt> bound;
@@ -198,16 +250,26 @@ Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
   SearchState st;
   st.num_vars = num_vars;
   st.max_nodes = options.max_nodes;
-  st.external_cancel = options.cancel;
-  st.stop_at = stop_at;
-  st.branch_index = branch_index;
+  st.token = token;
+  st.exec = options.exec;
   auto hit = RunSearch(base, bound, &st);
-  *nodes_used += st.nodes;
+  FlushNodes(st, options, nodes_used);
   if (!hit.ok()) return hit.status();
   out.nodes_explored += st.nodes;
   out.feasible = hit->has_value();
   if (hit->has_value()) out.assignment = std::move(**hit);
   return out;
+}
+
+/// The overall stop state of a solve: the caller's token, then the governor
+/// (which also covers its own token and the deadline).
+Status OverallStop(const IlpOptions& options) {
+  if (options.cancel_token.IsCancelled()) {
+    return Status::Cancelled("ILP DNF solve cancelled by caller",
+                             ExecutionContext::CancelReason(kIlpModule));
+  }
+  if (options.exec != nullptr) return options.exec->Check(kIlpModule);
+  return Status::OK();
 }
 
 }  // namespace
@@ -216,8 +278,8 @@ Result<IlpSolution> IlpSolver::FindIntegerPoint(const LinearSystem& system,
                                                 VarId num_vars,
                                                 const IlpOptions& options) {
   size_t nodes = 0;
-  return FindIntegerPointImpl(system, num_vars, options, /*stop_at=*/nullptr,
-                              /*branch_index=*/0, &nodes);
+  return FindIntegerPointImpl(system, num_vars, options, options.cancel_token,
+                              &nodes);
 }
 
 Result<DnfSolveResult> IlpSolver::SolveDnf(
@@ -237,13 +299,10 @@ Result<DnfSolveResult> IlpSolver::SolveDnf(
 
   if (num_threads <= 1) {
     for (size_t i = 0; i < branches.size(); ++i) {
-      if (options.cancel != nullptr &&
-          options.cancel->load(std::memory_order_relaxed)) {
-        return Status::Cancelled("ILP DNF solve cancelled");
-      }
+      FO2DT_RETURN_NOT_OK(OverallStop(options));
       size_t nodes = 0;
       Result<IlpSolution> sol = FindIntegerPointImpl(
-          branches[i], num_vars, options, nullptr, 0, &nodes);
+          branches[i], num_vars, options, options.cancel_token, &nodes);
       out.solution.nodes_explored += nodes;
       if (!sol.ok()) return sol.status();
       if (sol->feasible) {
@@ -258,10 +317,11 @@ Result<DnfSolveResult> IlpSolver::SolveDnf(
     return out;
   }
 
-  // Parallel fan-out with deterministic first-SAT-wins selection. `stop_at`
-  // is the smallest branch index known to be terminal (feasible or error);
-  // branches above it are abandoned, branches below it always complete, so
-  // the ascending scan after the join is independent of scheduling.
+  // Parallel fan-out with deterministic first-SAT-wins selection, driven by
+  // FirstWinsFanout: its terminal index is the smallest branch index known
+  // to be terminal (feasible or error); branches above it are abandoned
+  // (their tokens get cancelled), branches below it always complete, so the
+  // ascending scan after the join is independent of scheduling.
   struct Slot {
     enum Kind { kPending, kInfeasible, kFeasible, kAbandoned, kError };
     Kind kind = kPending;
@@ -271,28 +331,31 @@ Result<DnfSolveResult> IlpSolver::SolveDnf(
   };
   std::vector<Slot> slots(branches.size());
   std::atomic<size_t> next{0};
-  std::atomic<size_t> stop_at{branches.size()};
-  auto lower_stop_at = [&stop_at](size_t i) {
-    size_t cur = stop_at.load(std::memory_order_relaxed);
-    while (i < cur &&
-           !stop_at.compare_exchange_weak(cur, i, std::memory_order_acq_rel)) {
-    }
-  };
+  FirstWinsFanout fanout(branches.size(), options.cancel_token);
   auto worker = [&]() {
+    // Workers write thread-local solver counters; declare so that
+    // ThreadStats aggregation can assert quiescence (the join below orders
+    // this destructor before any post-solve Aggregate()).
+    ScopedStatsWorker stats_worker;
     for (;;) {
-      if (options.cancel != nullptr &&
-          options.cancel->load(std::memory_order_relaxed)) {
-        return;
-      }
+      if (!OverallStop(options).ok()) return;
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= branches.size()) return;
       Slot& slot = slots[i];
-      if (i > stop_at.load(std::memory_order_acquire)) {
+      if (fanout.Abandoned(i)) {
         slot.kind = Slot::kAbandoned;
         continue;
       }
       Result<IlpSolution> sol = FindIntegerPointImpl(
-          branches[i], num_vars, options, &stop_at, i, &slot.nodes);
+          branches[i], num_vars, options, fanout.TokenFor(i), &slot.nodes);
+      // Failpoint: inject a worker fault after the branch solve (tests
+      // prove a failing fan-out task surfaces as a clean error, joined and
+      // leak-free, never a hang or a wrong verdict).
+      if (Failpoints::CompiledIn() && sol.ok()) {
+        Status injected;
+        FO2DT_FAILPOINT("ilp.worker_fault", &injected);
+        if (!injected.ok()) sol = injected;
+      }
       if (!sol.ok()) {
         if (sol.status().IsCancelled()) {
           slot.kind = Slot::kAbandoned;
@@ -300,13 +363,13 @@ Result<DnfSolveResult> IlpSolver::SolveDnf(
         }
         slot.error = sol.status();
         slot.kind = Slot::kError;
-        lower_stop_at(i);
+        fanout.MarkTerminal(i);
         continue;
       }
       if (sol->feasible) {
         slot.assignment = std::move(sol.value().assignment);
         slot.kind = Slot::kFeasible;
-        lower_stop_at(i);
+        fanout.MarkTerminal(i);
       } else {
         slot.kind = Slot::kInfeasible;
       }
@@ -318,10 +381,8 @@ Result<DnfSolveResult> IlpSolver::SolveDnf(
   worker();
   for (std::thread& th : pool) th.join();
 
-  if (options.cancel != nullptr &&
-      options.cancel->load(std::memory_order_relaxed)) {
-    return Status::Cancelled("ILP DNF solve cancelled");
-  }
+  // All workers are joined: safe to aggregate stats and scan slots.
+  FO2DT_RETURN_NOT_OK(OverallStop(options));
 
   // Exact node aggregation: summed single-threaded after the join.
   for (const Slot& slot : slots) out.solution.nodes_explored += slot.nodes;

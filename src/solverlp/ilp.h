@@ -22,9 +22,9 @@
 #ifndef FO2DT_SOLVERLP_ILP_H_
 #define FO2DT_SOLVERLP_ILP_H_
 
-#include <atomic>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "solverlp/linear.h"
 #include "solverlp/simplex.h"
 
@@ -49,10 +49,16 @@ struct IlpOptions {
   /// The verdict, witness, and branch outcomes are identical for every
   /// thread count; only wall-clock and node totals vary.
   size_t num_threads = 1;
-  /// Optional external cancellation flag, checked between branch-and-bound
-  /// nodes. When it becomes true the solve aborts with StatusCode::kCancelled
-  /// (never a verdict).
-  const std::atomic<bool>* cancel = nullptr;
+  /// Cooperative cancellation, checked between branch-and-bound nodes and
+  /// (amortized) inside simplex pivot loops. When it fires the solve aborts
+  /// with StatusCode::kCancelled (never a verdict). Defaults to an inert
+  /// token. Legacy call sites holding a raw std::atomic<bool> flag adapt via
+  /// CancellationToken::WrapFlag(&flag).
+  CancellationToken cancel_token;
+  /// Optional execution governor: wall-clock deadline, caller cancellation,
+  /// and effort accounting (see common/execution_context.h). Must outlive
+  /// the solve. Null = ungoverned.
+  const ExecutionContext* exec = nullptr;
 };
 
 /// \brief Outcome of an integer feasibility query.

@@ -219,7 +219,13 @@ Status ToDnfImpl(const LinearConstraint& c, bool positive, size_t max_branches,
         for (const auto& ch : c.children()) {
           FO2DT_RETURN_NOT_OK(ToDnfImpl(ch, positive, max_branches, out));
           if (out->size() > max_branches) {
-            return Status::ResourceExhausted("DNF expansion exceeded branch cap");
+            return Status::ResourceExhausted(
+                       StringFormat("DNF expansion exceeded its branch cap in "
+                                    "solverlp.linear: %zu of %zu branches",
+                                    out->size(), max_branches))
+                .WithStopReason(StopReason{StopKind::kBranchBudget,
+                                           "solverlp.linear", out->size(),
+                                           max_branches});
           }
         }
         return Status::OK();
@@ -238,7 +244,13 @@ Status ToDnfImpl(const LinearConstraint& c, bool positive, size_t max_branches,
             next.push_back(std::move(merged));
             if (next.size() > max_branches) {
               return Status::ResourceExhausted(
-                  "DNF expansion exceeded branch cap");
+                         StringFormat(
+                             "DNF expansion exceeded its branch cap in "
+                             "solverlp.linear: %zu of %zu branches",
+                             next.size(), max_branches))
+                  .WithStopReason(StopReason{StopKind::kBranchBudget,
+                                             "solverlp.linear", next.size(),
+                                             max_branches});
             }
           }
         }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace fo2dt {
 
 namespace {
@@ -11,6 +13,25 @@ namespace {
 // guarantees termination, so this is only insurance against a bug turning
 // into a hang.
 constexpr size_t kRebuildPivotCap = 10'000'000;
+
+// Amortization period for governor (deadline/cancellation) checks inside
+// the pivot loops; exact-rational pivots are slow enough that 256 bounds
+// the deadline overshoot to well under a millisecond.
+constexpr uint32_t kPivotCheckPeriod = 256;
+
+// Flushes a pivot-loop's local count into the shared ExecCounters exactly
+// once per loop invocation (atomics per pivot would contend across the
+// fan-out workers).
+struct PivotTally {
+  const ExecutionContext* exec;
+  uint64_t count = 0;
+  ~PivotTally() {
+    if (exec != nullptr && count != 0) {
+      exec->counters().simplex_pivots.fetch_add(count,
+                                                std::memory_order_relaxed);
+    }
+  }
+};
 
 }  // namespace
 
@@ -51,8 +72,12 @@ void IncrementalSimplex::Pivot(size_t row, size_t col) {
   basis_[row] = col;
 }
 
-bool IncrementalSimplex::RunPrimal() {
+Result<bool> IncrementalSimplex::RunPrimal() {
+  ExecCheckpoint checkpoint(exec_, &token_, "solverlp.simplex",
+                            kPivotCheckPeriod);
+  PivotTally tally{exec_};
   for (;;) {
+    FO2DT_RETURN_NOT_OK(checkpoint.Tick());
     // Bland: first column with negative maintained reduced cost.
     size_t entering = num_cols_;
     for (size_t j = 0; j < num_cols_; ++j) {
@@ -77,14 +102,22 @@ bool IncrementalSimplex::RunPrimal() {
       }
     }
     if (leaving == rows_.size()) return false;
+    ++tally.count;
     Pivot(leaving, entering);
   }
 }
 
 IncrementalSimplex::DualStatus IncrementalSimplex::RunDualRepair(
-    size_t max_pivots) {
+    size_t max_pivots, Status* stop) {
+  ExecCheckpoint checkpoint(exec_, &token_, "solverlp.simplex",
+                            kPivotCheckPeriod);
+  PivotTally tally{exec_};
   size_t used = 0;
   for (;;) {
+    if (Status st = checkpoint.Tick(); !st.ok()) {
+      if (stop != nullptr) *stop = std::move(st);
+      return DualStatus::kStopped;
+    }
     // Leaving row: negative rhs with the smallest basic column index (Bland).
     size_t r = kNoRow;
     for (size_t i = 0; i < rows_.size(); ++i) {
@@ -111,6 +144,7 @@ IncrementalSimplex::DualStatus IncrementalSimplex::RunDualRepair(
       return DualStatus::kInfeasible;
     }
     if (++used > max_pivots) return DualStatus::kCapExceeded;
+    ++tally.count;
     Pivot(r, c);
   }
 }
@@ -136,22 +170,25 @@ void IncrementalSimplex::RebuildColToRow() {
   for (size_t i = 0; i < rows_.size(); ++i) col_to_row_[basis_[i]] = i;
 }
 
-Result<IncrementalSimplex> IncrementalSimplex::Create(const LinearSystem& base,
-                                                      VarId num_vars) {
+Result<IncrementalSimplex> IncrementalSimplex::Create(
+    const LinearSystem& base, VarId num_vars, const ExecutionContext* exec) {
   for (const auto& atom : base) {
     if (atom.expr.NumVarsSpanned() > num_vars) {
       return Status::InvalidArgument(
           "constraint mentions variable >= num_vars: " + atom.ToString());
     }
   }
-  return CreateInternal(base, num_vars);
+  return CreateInternal(base, num_vars, exec, CancellationToken());
 }
 
 Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
-    const LinearSystem& base, VarId num_vars) {
+    const LinearSystem& base, VarId num_vars, const ExecutionContext* exec,
+    CancellationToken token) {
   ++SimplexStats::Local().tableau_builds;
 
   IncrementalSimplex t;
+  t.exec_ = exec;
+  t.token_ = std::move(token);
   t.num_vars_ = num_vars;
   t.base_ = std::make_shared<const LinearSystem>(base);
   t.lower_.assign(num_vars, BoundRow());
@@ -205,7 +242,8 @@ Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
       if (!t.rows_[i][j].IsZero()) t.cost_[j] -= t.rows_[i][j];
     }
   }
-  if (!t.RunPrimal()) {
+  FO2DT_ASSIGN_OR_RETURN(bool phase1_bounded, t.RunPrimal());
+  if (!phase1_bounded) {
     return Status::Internal("phase-1 simplex reported unbounded");
   }
   Rational art_sum(0);
@@ -341,7 +379,14 @@ Status IncrementalSimplex::ApplyBound(VarId v, const BigInt& value,
     TightenBoundRow(v, value, is_upper);
   }
 
-  switch (RunDualRepair(DualPivotCap())) {
+  // Failpoint: pretend the dual repair blew its pivot cap so tests can
+  // drive the Rebuild safety net deterministically.
+  bool force_rebuild = false;
+  FO2DT_FAILPOINT("simplex.force_rebuild", &force_rebuild);
+
+  Status stop;
+  switch (force_rebuild ? DualStatus::kCapExceeded
+                        : RunDualRepair(DualPivotCap(), &stop)) {
     case DualStatus::kFeasible:
       ++counters.warm_start_hits;
       return Status::OK();
@@ -351,6 +396,10 @@ Status IncrementalSimplex::ApplyBound(VarId v, const BigInt& value,
       return Status::OK();
     case DualStatus::kCapExceeded:
       return Rebuild();
+    case DualStatus::kStopped:
+      // Mid-repair stop: the tableau may be primal-infeasible; the caller
+      // is unwinding the whole search, so it must not reuse it.
+      return stop;
   }
   return Status::Internal("unreachable dual status");
 }
@@ -367,7 +416,7 @@ Status IncrementalSimplex::Rebuild() {
   const std::vector<BoundRow> lo = std::move(lower_);
   const std::vector<BoundRow> hi = std::move(upper_);
   FO2DT_ASSIGN_OR_RETURN(IncrementalSimplex fresh,
-                         CreateInternal(*base_, num_vars_));
+                         CreateInternal(*base_, num_vars_, exec_, token_));
   if (!fresh.feasible_) {
     return Status::Internal("rebuild: previously feasible base is infeasible");
   }
@@ -377,14 +426,21 @@ Status IncrementalSimplex::Rebuild() {
       const BoundRow& b = is_upper ? hi[v] : lo[v];
       if (!b.set) continue;
       fresh.InsertBoundRow(v, b.value, is_upper);
-      switch (fresh.RunDualRepair(kRebuildPivotCap)) {
+      Status stop;
+      switch (fresh.RunDualRepair(kRebuildPivotCap, &stop)) {
         case DualStatus::kFeasible:
           break;
         case DualStatus::kInfeasible:
           fresh.feasible_ = false;
           break;
         case DualStatus::kCapExceeded:
-          return Status::Internal("rebuild exceeded its pivot budget");
+          return Status::Internal(
+                     "rebuild exceeded its pivot budget")
+              .WithStopReason(StopReason{StopKind::kPivotBudget,
+                                         "solverlp.simplex", kRebuildPivotCap,
+                                         kRebuildPivotCap});
+        case DualStatus::kStopped:
+          return stop;
       }
     }
   }
@@ -402,12 +458,13 @@ std::vector<Rational> IncrementalSimplex::Assignment() const {
 
 Result<LpSolution> SimplexSolver::Minimize(const LinearExpr& objective,
                                            const LinearSystem& system,
-                                           VarId num_vars) {
+                                           VarId num_vars,
+                                           const ExecutionContext* exec) {
   if (objective.NumVarsSpanned() > num_vars) {
     return Status::InvalidArgument("objective mentions variable >= num_vars");
   }
   FO2DT_ASSIGN_OR_RETURN(IncrementalSimplex t,
-                         IncrementalSimplex::Create(system, num_vars));
+                         IncrementalSimplex::Create(system, num_vars, exec));
   LpSolution out;
   if (!t.feasible()) {
     out.status = LpStatus::kInfeasible;
@@ -416,7 +473,8 @@ Result<LpSolution> SimplexSolver::Minimize(const LinearExpr& objective,
 
   // Phase 2: install the real objective and re-optimize.
   t.InitObjective(objective);
-  if (!t.RunPrimal()) {
+  FO2DT_ASSIGN_OR_RETURN(bool phase2_bounded, t.RunPrimal());
+  if (!phase2_bounded) {
     out.status = LpStatus::kUnbounded;
     return out;
   }
@@ -430,8 +488,9 @@ Result<LpSolution> SimplexSolver::Minimize(const LinearExpr& objective,
 }
 
 Result<LpSolution> SimplexSolver::FindFeasible(const LinearSystem& system,
-                                               VarId num_vars) {
-  return Minimize(LinearExpr(), system, num_vars);
+                                               VarId num_vars,
+                                               const ExecutionContext* exec) {
+  return Minimize(LinearExpr(), system, num_vars, exec);
 }
 
 }  // namespace fo2dt

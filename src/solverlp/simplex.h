@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "arith/rational.h"
+#include "common/execution_context.h"
 #include "common/thread_stats.h"
 #include "solverlp/linear.h"
 
@@ -96,12 +97,25 @@ using SimplexStats = ThreadStats<SimplexCounters>;
 class IncrementalSimplex {
  public:
   /// Runs phase 1 on \p base (implicit x >= 0). The result may be infeasible;
-  /// check feasible(). Statuses are reserved for contract violations.
-  static Result<IncrementalSimplex> Create(const LinearSystem& base,
-                                           VarId num_vars);
+  /// check feasible(). Statuses are reserved for contract violations and
+  /// governor stops (deadline/cancellation during phase 1). A non-null
+  /// \p exec governs phase 1 and is inherited by the tableau (SetGovernor
+  /// can additionally install a per-branch token).
+  static Result<IncrementalSimplex> Create(
+      const LinearSystem& base, VarId num_vars,
+      const ExecutionContext* exec = nullptr);
 
   bool feasible() const { return feasible_; }
   VarId num_vars() const { return num_vars_; }
+
+  /// Installs the execution governor: pivot loops poll \p token and the
+  /// \p exec deadline (amortized). Copies of the tableau inherit the
+  /// governor, so a branch-and-bound search arms it once. Either may be
+  /// null/inert; \p exec must outlive the tableau and its copies.
+  void SetGovernor(const ExecutionContext* exec, CancellationToken token) {
+    exec_ = exec;
+    token_ = std::move(token);
+  }
 
   /// Tightens x_v >= lo (lo must not decrease) and repairs feasibility.
   Status SetLowerBound(VarId v, const BigInt& lo);
@@ -116,7 +130,7 @@ class IncrementalSimplex {
 
   static constexpr size_t kNoRow = static_cast<size_t>(-1);
 
-  enum class DualStatus { kFeasible, kInfeasible, kCapExceeded };
+  enum class DualStatus { kFeasible, kInfeasible, kCapExceeded, kStopped };
 
   struct BoundRow {
     bool set = false;
@@ -126,15 +140,18 @@ class IncrementalSimplex {
 
   IncrementalSimplex() = default;
 
-  static Result<IncrementalSimplex> CreateInternal(const LinearSystem& base,
-                                                   VarId num_vars);
+  static Result<IncrementalSimplex> CreateInternal(
+      const LinearSystem& base, VarId num_vars, const ExecutionContext* exec,
+      CancellationToken token);
 
   void Pivot(size_t row, size_t col);
   /// Primal simplex on the maintained reduced-cost row (Bland). Returns
-  /// false when unbounded.
-  bool RunPrimal();
-  /// Dual-simplex feasibility repair; never exceeds \p max_pivots.
-  DualStatus RunDualRepair(size_t max_pivots);
+  /// false when unbounded; the error state is a governor stop (deadline or
+  /// cancellation) with a structured StopReason.
+  Result<bool> RunPrimal();
+  /// Dual-simplex feasibility repair; never exceeds \p max_pivots. On
+  /// kStopped the governor's status is written to \p stop.
+  DualStatus RunDualRepair(size_t max_pivots, Status* stop);
   /// Installs \p objective as the maintained reduced-cost row.
   void InitObjective(const LinearExpr& objective);
   void InsertBoundRow(VarId v, const BigInt& value, bool is_upper);
@@ -160,6 +177,11 @@ class IncrementalSimplex {
   std::shared_ptr<const LinearSystem> base_;  // for the rebuild safety net
   std::vector<BoundRow> lower_;
   std::vector<BoundRow> upper_;
+
+  // Execution governor (optional): polled by the pivot loops. Copied with
+  // the tableau so every branch-and-bound node stays governed.
+  const ExecutionContext* exec_ = nullptr;
+  CancellationToken token_;
 };
 
 /// \brief Exact one-shot LP solver.
@@ -168,14 +190,17 @@ class SimplexSolver {
   /// Minimizes \p objective over { x in Q^num_vars : x >= 0, system holds }.
   ///
   /// \p num_vars must cover every variable mentioned by the system and the
-  /// objective. Returns InvalidArgument otherwise.
+  /// objective. Returns InvalidArgument otherwise. A non-null \p exec
+  /// governs the pivot loops (deadline + cancellation).
   static Result<LpSolution> Minimize(const LinearExpr& objective,
                                      const LinearSystem& system,
-                                     VarId num_vars);
+                                     VarId num_vars,
+                                     const ExecutionContext* exec = nullptr);
 
   /// Feasibility-only entry point (objective 0).
   static Result<LpSolution> FindFeasible(const LinearSystem& system,
-                                         VarId num_vars);
+                                         VarId num_vars,
+                                         const ExecutionContext* exec = nullptr);
 };
 
 }  // namespace fo2dt

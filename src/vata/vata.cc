@@ -18,6 +18,8 @@ bool IsBinaryTree(const DataTree& t) {
 
 namespace {
 
+constexpr char kVataModule[] = "vata.derive";
+
 bool VecGe(const CounterVec& a, const CounterVec& b) {
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i] < b[i]) return false;
@@ -45,14 +47,26 @@ struct Candidate {
   size_t right_cand;
 };
 
-Result<std::vector<std::vector<Candidate>>> DeriveAll(const VataAutomaton& a,
-                                                      const DataTree& t,
-                                                      size_t max_candidates) {
+Result<std::vector<std::vector<Candidate>>> DeriveAll(
+    const VataAutomaton& a, const DataTree& t, size_t max_candidates,
+    const ExecutionContext* exec) {
   if (!IsBinaryTree(t)) {
     return Status::InvalidArgument("VATA runs require a binary tree");
   }
+  ExecCheckpoint checkpoint(exec, /*token=*/nullptr, kVataModule);
   std::vector<std::vector<Candidate>> cands(t.size());
   size_t total = 0;
+  // Flush the effort counter on every exit path (success, budget, deadline).
+  struct CandidateTally {
+    const ExecutionContext* exec;
+    const size_t* total;
+    ~CandidateTally() {
+      if (exec != nullptr) {
+        exec->counters().vata_candidates.fetch_add(*total,
+                                                   std::memory_order_relaxed);
+      }
+    }
+  } tally{exec, &total};
   // Children have larger NodeIds only in creation order... process in
   // post-order to be safe.
   std::vector<NodeId> order;
@@ -102,8 +116,14 @@ Result<std::vector<std::vector<Candidate>>> DeriveAll(const VataAutomaton& a,
                 r, li, ri});
             if (++total > max_candidates) {
               return Status::ResourceExhausted(
-                  "VATA derivation candidate budget exceeded");
+                         StringFormat("VATA derivation candidate budget "
+                                      "exceeded in %s: %zu of %zu candidates",
+                                      kVataModule, total, max_candidates))
+                  .WithStopReason(StopReason{StopKind::kCandidateBudget,
+                                             kVataModule, total,
+                                             max_candidates});
             }
+            FO2DT_RETURN_NOT_OK(checkpoint.Tick());
           }
         }
       }
@@ -134,9 +154,9 @@ bool IsZero(const CounterVec& v) {
 }  // namespace
 
 Result<bool> VataAccepts(const VataAutomaton& a, const DataTree& t,
-                         size_t max_candidates) {
+                         size_t max_candidates, const ExecutionContext* exec) {
   FO2DT_ASSIGN_OR_RETURN(std::vector<std::vector<Candidate>> cands,
-                         DeriveAll(a, t, max_candidates));
+                         DeriveAll(a, t, max_candidates, exec));
   for (const Candidate& c : cands[t.root()]) {
     if (IsZero(c.vector) &&
         std::find(a.accepting.begin(), a.accepting.end(), c.state) !=
@@ -148,7 +168,8 @@ Result<bool> VataAccepts(const VataAutomaton& a, const DataTree& t,
 }
 
 Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
-    const VataAutomaton& a, size_t max_nodes, size_t max_candidates) {
+    const VataAutomaton& a, size_t max_nodes, size_t max_candidates,
+    const ExecutionContext* exec) {
   for (size_t n = 1; n <= max_nodes; n += 2) {  // binary trees have odd size
     for (const auto& parents : EnumerateTreeShapes(n)) {
       DataTree t;
@@ -159,9 +180,17 @@ Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
       std::vector<Symbol> labels(n, 0);
       for (;;) {
         for (NodeId v = 0; v < n; ++v) t.set_label(v, labels[v]);
-        auto cands_or = DeriveAll(a, t, max_candidates);
-        if (!cands_or.ok() && !cands_or.status().IsResourceExhausted()) {
-          return cands_or.status();
+        auto cands_or = DeriveAll(a, t, max_candidates, exec);
+        if (!cands_or.ok()) {
+          const Status& st = cands_or.status();
+          // A per-tree candidate cap just skips this labeling; a governor
+          // stop (deadline/cancellation) aborts the whole search.
+          const StopReason* reason = st.stop_reason();
+          bool per_tree_cap =
+              st.IsResourceExhausted() &&
+              (reason == nullptr ||
+               reason->kind == StopKind::kCandidateBudget);
+          if (!per_tree_cap) return st;
         }
         if (cands_or.ok()) {
           const auto& cands = *cands_or;

@@ -22,6 +22,7 @@
 
 #include <optional>
 
+#include "common/execution_context.h"
 #include "datatree/data_tree.h"
 #include "logic/formula.h"
 
@@ -75,14 +76,18 @@ bool IsBinaryTree(const DataTree& t);
 
 /// All (state, vector) pairs derivable at the root of \p t; membership is
 /// accepted iff one has an accepting state and the zero vector. The
-/// candidate budget caps the DP size (ResourceExhausted past it).
+/// candidate budget caps the DP size (ResourceExhausted past it). A non-null
+/// \p exec adds a deadline/cancellation check amortized over candidates.
 Result<bool> VataAccepts(const VataAutomaton& a, const DataTree& t,
-                         size_t max_candidates = 100000);
+                         size_t max_candidates = 100000,
+                         const ExecutionContext* exec = nullptr);
 
 /// Finds an accepted tree (labels only) with at most \p max_nodes nodes,
 /// together with an accepting run; NotFound if none exists in the bound.
+/// A non-null \p exec bounds the search by its deadline/cancellation.
 Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
-    const VataAutomaton& a, size_t max_nodes, size_t max_candidates = 100000);
+    const VataAutomaton& a, size_t max_nodes, size_t max_candidates = 100000,
+    const ExecutionContext* exec = nullptr);
 
 /// \brief Alphabet layout of counter trees: per counter i the labels I_i and
 /// D_i, one label per VATA state (P_q) and the VATA's own labels.

@@ -146,7 +146,9 @@ DataTree ApplyElementValueEncoding(const DataTree& t,
                                    const SafetyAssociations& assoc);
 
 /// \brief Satisfiability of an absolute LocalDataXPath query, optionally
-/// relative to a schema (Theorem 3; bounded-complete).
+/// relative to a schema (Theorem 3; bounded-complete). Honors
+/// SolverOptions::exec: a deadline degrades the verdict to kUnknown with a
+/// structured SatResult::stop_reason, a cancellation aborts with kCancelled.
 Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
                                            const TreeAutomaton* schema,
                                            const SolverOptions& options = {});

@@ -1,0 +1,476 @@
+/// \file robustness_test.cc
+/// \brief Execution governor and graceful degradation tests.
+///
+/// Covers the ExecutionContext subsystem (deadline, hierarchical
+/// cancellation, accounting, StopReason), the FirstWinsFanout protocol, the
+/// ThreadStats quiescence contract, and the failpoint framework: every
+/// injected fault must surface as a clean Status with an intact StopReason —
+/// never a crash, hang (guarded by a watchdog), leak, or wrong verdict.
+/// Failpoint-dependent tests skip themselves in builds where the sites are
+/// compiled out (release/RelWithDebInfo); the sanitizer presets build Debug
+/// and run them all.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "arith/bigint.h"
+#include "common/execution_context.h"
+#include "common/failpoint.h"
+#include "common/thread_stats.h"
+#include "frontend/solver.h"
+#include "lcta/lcta.h"
+#include "logic/parser.h"
+#include "solverlp/ilp.h"
+
+namespace fo2dt {
+namespace {
+
+/// Aborts the process if the guarded scope outlives `limit` — turns a hang
+/// (the one failure mode a test cannot otherwise report) into a loud crash.
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::seconds limit)
+      : thread_([this, limit] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, limit, [this] { return done_; })) {
+            std::fprintf(stderr, "watchdog: test hung; aborting\n");
+            std::abort();
+          }
+        }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// Disarms every failpoint when the test scope exits, pass or fail.
+struct FailpointGuard {
+  ~FailpointGuard() { Failpoints::Instance().DisableAll(); }
+};
+
+LinearExpr MakeExpr(std::vector<int64_t> coeffs, int64_t c) {
+  LinearExpr e{BigInt(c)};
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    e.AddTerm(static_cast<VarId>(i), BigInt(coeffs[i]));
+  }
+  return e;
+}
+
+// Automaton over one symbol accepting all "flat" trees (root + leaf
+// children); the standard small LCTA test instance.
+TreeAutomaton FlatTrees() {
+  TreeAutomaton a(1, 2);
+  a.SetInitial(0);
+  a.AddHorizontal(0, 0, 0);
+  a.AddVertical(0, 0, 1);
+  a.SetAccepting(1, 0);
+  a.SetAccepting(0, 0);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// StopReason plumbing
+// ---------------------------------------------------------------------------
+
+TEST(StopReasonTest, ToStringNamesBudgetModuleAndCounters) {
+  StopReason r{StopKind::kNodeBudget, "solverlp.ilp", 200001, 200000};
+  EXPECT_TRUE(r.stopped());
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("solverlp.ilp"), std::string::npos) << s;
+  EXPECT_NE(s.find("200001"), std::string::npos) << s;
+  EXPECT_NE(s.find("200000"), std::string::npos) << s;
+  EXPECT_FALSE(StopReason{}.stopped());
+}
+
+TEST(StopReasonTest, SurvivesWithContext) {
+  Status st = Status::ResourceExhausted(
+      "node budget", StopReason{StopKind::kNodeBudget, "solverlp.ilp", 7, 5});
+  ASSERT_NE(st.stop_reason(), nullptr);
+  Status wrapped = st.WithContext("while testing");
+  ASSERT_NE(wrapped.stop_reason(), nullptr);
+  EXPECT_EQ(wrapped.stop_reason()->kind, StopKind::kNodeBudget);
+  EXPECT_EQ(wrapped.stop_reason()->counter, 7u);
+  EXPECT_EQ(Status::OK().stop_reason(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// CancellationToken / FirstWinsFanout / ExecCheckpoint
+// ---------------------------------------------------------------------------
+
+TEST(CancellationTokenTest, HierarchyAndFlagAdapter) {
+  CancellationToken inert;
+  EXPECT_FALSE(inert.CanBeCancelled());
+  EXPECT_FALSE(inert.IsCancelled());
+  inert.RequestCancel();  // no-op
+  EXPECT_FALSE(inert.IsCancelled());
+
+  CancellationToken parent = CancellationToken::Create();
+  CancellationToken child = parent.Child();
+  CancellationToken grandchild = child.Child();
+  EXPECT_FALSE(grandchild.IsCancelled());
+  // Cancelling a child leaves the parent untouched.
+  child.RequestCancel();
+  EXPECT_TRUE(child.IsCancelled());
+  EXPECT_TRUE(grandchild.IsCancelled());
+  EXPECT_FALSE(parent.IsCancelled());
+  // Cancelling the parent reaches every descendant.
+  CancellationToken other = parent.Child();
+  parent.RequestCancel();
+  EXPECT_TRUE(other.IsCancelled());
+
+  std::atomic<bool> flag{false};
+  CancellationToken wrapped = CancellationToken::WrapFlag(&flag);
+  CancellationToken wrapped_child = wrapped.Child();
+  EXPECT_FALSE(wrapped_child.IsCancelled());
+  flag.store(true);
+  EXPECT_TRUE(wrapped.IsCancelled());
+  EXPECT_TRUE(wrapped_child.IsCancelled());
+}
+
+TEST(FirstWinsFanoutTest, TerminalCancelsOnlyHigherBranches) {
+  CancellationToken parent = CancellationToken::Create();
+  FirstWinsFanout fanout(4, parent);
+  EXPECT_EQ(fanout.stop_at(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(fanout.Abandoned(i));
+    EXPECT_FALSE(fanout.TokenFor(i).IsCancelled());
+  }
+  fanout.MarkTerminal(2);
+  EXPECT_EQ(fanout.stop_at(), 2u);
+  EXPECT_FALSE(fanout.TokenFor(0).IsCancelled());
+  EXPECT_FALSE(fanout.TokenFor(1).IsCancelled());
+  EXPECT_FALSE(fanout.TokenFor(2).IsCancelled());
+  EXPECT_TRUE(fanout.TokenFor(3).IsCancelled());
+  EXPECT_TRUE(fanout.Abandoned(3));
+  EXPECT_FALSE(fanout.Abandoned(2));
+  // A later, smaller terminal index still lowers the bar.
+  fanout.MarkTerminal(1);
+  EXPECT_EQ(fanout.stop_at(), 1u);
+  EXPECT_TRUE(fanout.TokenFor(2).IsCancelled());
+  // A larger one does not raise it back.
+  fanout.MarkTerminal(3);
+  EXPECT_EQ(fanout.stop_at(), 1u);
+  // The caller's token still cancels everything, including branch 0.
+  parent.RequestCancel();
+  EXPECT_TRUE(fanout.TokenFor(0).IsCancelled());
+}
+
+TEST(ExecCheckpointTest, ReportsDeadlineWithStopReason) {
+  ExecutionContext exec;
+  exec.SetDeadlineAfter(std::chrono::milliseconds(0));
+  ExecCheckpoint checkpoint(&exec, nullptr, "test.module", /*period=*/4);
+  Status st = Status::OK();
+  for (int i = 0; i < 8 && st.ok(); ++i) st = checkpoint.Tick();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted());
+  ASSERT_NE(st.stop_reason(), nullptr);
+  EXPECT_EQ(st.stop_reason()->kind, StopKind::kDeadline);
+  EXPECT_STREQ(st.stop_reason()->module, "test.module");
+  EXPECT_GT(exec.counters().deadline_checks.load(), 0u);
+}
+
+TEST(ExecCheckpointTest, ReportsCallerCancellation) {
+  ExecutionContext exec;
+  CancellationToken token = CancellationToken::Create();
+  exec.set_token(token);
+  ExecCheckpoint checkpoint(&exec, nullptr, "test.module", /*period=*/2);
+  EXPECT_TRUE(checkpoint.Tick().ok());
+  token.RequestCancel();
+  Status st = Status::OK();
+  for (int i = 0; i < 4 && st.ok(); ++i) st = checkpoint.Tick();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCancelled());
+  ASSERT_NE(st.stop_reason(), nullptr);
+  EXPECT_EQ(st.stop_reason()->kind, StopKind::kCancelled);
+}
+
+TEST(ExecutionContextTest, MemoryAccountant) {
+  ExecutionContext exec;
+  exec.set_max_bytes(1000);
+  EXPECT_TRUE(exec.ChargeMemory(600, "test.module").ok());
+  Status st = exec.ChargeMemory(600, "test.module");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted());
+  ASSERT_NE(st.stop_reason(), nullptr);
+  EXPECT_EQ(st.stop_reason()->kind, StopKind::kMemoryBudget);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline end-to-end: every public entry point fails fast and clean
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, FrontendDegradesToUnknownWithin500Ms) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  Alphabet labels;
+  // Propositionally unsatisfiable, so enumeration never terminates early;
+  // with 10-node trees the space is astronomically larger than any budget.
+  auto f = ParseFormula("exists x. (a(x) & b(x))", &labels);
+  ASSERT_TRUE(f.ok());
+  SolverOptions opt;
+  opt.max_model_nodes = 10;
+  opt.max_steps = ~uint64_t{0};  // only the deadline can stop this
+  ExecutionContext exec;
+  exec.SetDeadlineAfter(std::chrono::milliseconds(50));
+  opt.exec = &exec;
+  auto start = std::chrono::steady_clock::now();
+  auto r = CheckFo2SatisfiabilityBounded(*f, opt);
+  auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->verdict, SatVerdict::kUnknown);
+  ASSERT_TRUE(r->stop_reason.has_value());
+  EXPECT_EQ(r->stop_reason->kind, StopKind::kDeadline);
+  EXPECT_STREQ(r->stop_reason->module, "frontend.enumerate");
+  EXPECT_LT(wall.count(), 500) << "deadline overshoot";
+  EXPECT_GT(exec.counters().deadline_checks.load(), 0u);
+}
+
+TEST(DeadlineTest, FrontendCancellationPropagatesAsStatus) {
+  Alphabet labels;
+  auto f = ParseFormula("exists x. (a(x) & b(x))", &labels);
+  ASSERT_TRUE(f.ok());
+  SolverOptions opt;
+  opt.max_model_nodes = 10;
+  opt.max_steps = ~uint64_t{0};
+  ExecutionContext exec;
+  CancellationToken token = CancellationToken::Create();
+  exec.set_token(token);
+  opt.exec = &exec;
+  token.RequestCancel();
+  auto r = CheckFo2SatisfiabilityBounded(*f, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled());
+  ASSERT_NE(r.status().stop_reason(), nullptr);
+  EXPECT_EQ(r.status().stop_reason()->kind, StopKind::kCancelled);
+}
+
+TEST(DeadlineTest, LctaVerdictsIdenticalAcrossThreadCounts) {
+  Watchdog watchdog(std::chrono::seconds(60));
+  // Flat trees with n_0 == 4: nonempty, witness counts are deterministic.
+  LinearExpr e;
+  e.AddTerm(0, BigInt(1));
+  e.AddConstant(BigInt(-4));
+  for (size_t threads : {1u, 2u, 8u}) {
+    Lcta lcta{FlatTrees(), LinearConstraint::Eq(e)};
+    LctaOptions opt;
+    opt.num_threads = threads;
+    auto r = CheckLctaEmptiness(lcta, opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->empty) << "threads " << threads;
+    ASSERT_EQ(r->state_counts.size(), 2u);
+    EXPECT_EQ(r->state_counts[0].ToString(), "4") << "threads " << threads;
+  }
+  // With an already-expired deadline every thread count reports the same
+  // clean deadline stop — never a verdict, never a hang.
+  for (size_t threads : {1u, 2u, 8u}) {
+    Lcta lcta{FlatTrees(), LinearConstraint::Eq(e)};
+    LctaOptions opt;
+    opt.num_threads = threads;
+    ExecutionContext exec;
+    exec.SetDeadlineAfter(std::chrono::milliseconds(0));
+    opt.exec = &exec;
+    auto r = CheckLctaEmptiness(lcta, opt);
+    ASSERT_FALSE(r.ok()) << "threads " << threads;
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << "threads " << threads;
+    ASSERT_NE(r.status().stop_reason(), nullptr);
+    EXPECT_EQ(r.status().stop_reason()->kind, StopKind::kDeadline);
+  }
+}
+
+TEST(DeadlineTest, GovernedIlpSolveAccountsEffort) {
+  ExecutionContext exec;
+  exec.SetDeadlineAfter(std::chrono::seconds(30));  // generous: must finish
+  IlpOptions opt;
+  opt.exec = &exec;
+  // Fractional LP vertex forces branching, so nodes and pivots accumulate.
+  LinearSystem sys = {LinearAtom::Eq(MakeExpr({2, -1}, 0)),
+                      LinearAtom::Ge(MakeExpr({0, 1}, -3))};
+  auto sol = IlpSolver::FindIntegerPoint(sys, 2, opt);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_TRUE(sol->feasible);
+  EXPECT_GT(exec.counters().ilp_nodes.load(), 0u);
+  EXPECT_GT(exec.counters().simplex_pivots.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadStats quiescence contract
+// ---------------------------------------------------------------------------
+
+TEST(ThreadStatsTest, ScopedWorkerTracksLiveWorkers) {
+  ASSERT_EQ(ActiveStatsWorkerCount().load(), 0);
+  {
+    ScopedStatsWorker outer;
+    EXPECT_EQ(ActiveStatsWorkerCount().load(), 1);
+    std::thread t([] {
+      ScopedStatsWorker inner;
+      EXPECT_EQ(ActiveStatsWorkerCount().load(), 2);
+    });
+    t.join();
+    EXPECT_EQ(ActiveStatsWorkerCount().load(), 1);
+  }
+  EXPECT_EQ(ActiveStatsWorkerCount().load(), 0);
+}
+
+TEST(ThreadStatsTest, ParallelSolveLeavesWorkersQuiescent) {
+  // The DNF fan-out joins its workers before returning, so the registry is
+  // quiescent and the (asserted) aggregation precondition holds.
+  std::vector<LinearSystem> branches;
+  for (int64_t k = 1; k <= 6; ++k) {
+    branches.push_back({LinearAtom::Eq(MakeExpr({1, 0}, -k)),
+                        LinearAtom::Eq(MakeExpr({0, 1}, k - 10))});
+  }
+  IlpOptions opt;
+  opt.num_threads = 4;
+  auto r = IlpSolver::SolveDnf(branches, 2, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->solution.feasible);
+  EXPECT_EQ(ActiveStatsWorkerCount().load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints: graceful degradation under injected faults
+// ---------------------------------------------------------------------------
+
+TEST(FailpointTest, FrameworkSkipAndFireWindows) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointGuard guard;
+  int fired = 0;
+  Failpoints::Instance().Enable(
+      "test.site", [&](void*) { ++fired; }, /*skip=*/2, /*fire=*/3);
+  for (int i = 0; i < 10; ++i) FO2DT_FAILPOINT("test.site", nullptr);
+  EXPECT_EQ(fired, 3);  // hits 3..5 of 10
+  EXPECT_EQ(Failpoints::Instance().HitCount("test.site"), 10u);
+  Failpoints::Instance().Disable("test.site");
+  FO2DT_FAILPOINT("test.site", nullptr);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(FailpointTest, BigIntSlowAddMatchesFastPath) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Watchdog watchdog(std::chrono::seconds(60));
+  // Reference results on the small-int fast path.
+  std::vector<std::pair<int64_t, int64_t>> cases = {
+      {0, 0},     {1, -1},         {123456789, 987654321},
+      {-5, 3},    {1 << 30, 1},    {-(1LL << 40), 1LL << 40},
+      {7, -7000}, {999999, 999999}};
+  std::vector<std::string> expected;
+  for (const auto& [a, b] : cases) {
+    expected.push_back((BigInt(a) + BigInt(b)).ToString());
+  }
+  // Forcing the limb path must produce identical canonical values.
+  FailpointGuard guard;
+  Failpoints::Instance().Enable("bigint.force_slow_add", [](void* arg) {
+    *static_cast<bool*>(arg) = true;
+  });
+  for (size_t i = 0; i < cases.size(); ++i) {
+    BigInt slow = BigInt(cases[i].first) + BigInt(cases[i].second);
+    EXPECT_EQ(slow.ToString(), expected[i])
+        << cases[i].first << " + " << cases[i].second;
+  }
+  EXPECT_GT(Failpoints::Instance().HitCount("bigint.force_slow_add"), 0u);
+}
+
+TEST(FailpointTest, SimplexForcedRebuildKeepsVerdict) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Watchdog watchdog(std::chrono::seconds(60));
+  FailpointGuard guard;
+  // Every bound application reports a pivot-cap overflow, forcing the
+  // rebuild path; the verdict and witness must not change.
+  Failpoints::Instance().Enable("simplex.force_rebuild", [](void* arg) {
+    *static_cast<bool*>(arg) = true;
+  });
+  LinearSystem sys = {LinearAtom::Eq(MakeExpr({2, -1}, 0)),
+                      LinearAtom::Ge(MakeExpr({0, 1}, -3))};
+  auto sol = IlpSolver::FindIntegerPoint(sys, 2);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  ASSERT_TRUE(sol->feasible);
+  for (const auto& atom : sys) {
+    EXPECT_TRUE(*atom.Evaluate(sol->assignment)) << atom.ToString();
+  }
+  EXPECT_GT(Failpoints::Instance().HitCount("simplex.force_rebuild"), 0u);
+
+  LinearSystem infeasible = {LinearAtom::Eq(MakeExpr({2, -2}, -1))};
+  auto none = IlpSolver::FindIntegerPoint(infeasible, 2);
+  ASSERT_TRUE(none.ok()) << none.status().ToString();
+  EXPECT_FALSE(none->feasible);
+}
+
+TEST(FailpointTest, IlpWorkerFaultSurfacesCleanStatus) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Watchdog watchdog(std::chrono::seconds(60));
+  FailpointGuard guard;
+  Failpoints::Instance().Enable("ilp.worker_fault", [](void* arg) {
+    *static_cast<Status*>(arg) = Status::Internal("injected worker fault");
+  });
+  std::vector<LinearSystem> branches;
+  for (int64_t k = 1; k <= 6; ++k) {
+    branches.push_back({LinearAtom::Eq(MakeExpr({1, 0}, -k)),
+                        LinearAtom::Eq(MakeExpr({0, 1}, k - 10))});
+  }
+  IlpOptions opt;
+  opt.num_threads = 4;
+  auto r = IlpSolver::SolveDnf(branches, 2, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+  EXPECT_NE(r.status().ToString().find("injected worker fault"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(ActiveStatsWorkerCount().load(), 0);  // workers joined cleanly
+}
+
+TEST(FailpointTest, MidSearchCancellationThroughBranchHook) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Watchdog watchdog(std::chrono::seconds(60));
+  FailpointGuard guard;
+  CancellationToken token = CancellationToken::Create();
+  // Cancel from *inside* the search, at the first branch-and-bound node.
+  Failpoints::Instance().Enable(
+      "ilp.branch", [&token](void*) { token.RequestCancel(); },
+      /*skip=*/0, /*fire=*/1);
+  IlpOptions opt;
+  opt.cancel_token = token;
+  LinearSystem sys = {LinearAtom::Eq(MakeExpr({2, -1}, 0)),
+                      LinearAtom::Ge(MakeExpr({0, 1}, -3))};
+  auto r = IlpSolver::FindIntegerPoint(sys, 2, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled());
+  ASSERT_NE(r.status().stop_reason(), nullptr);
+  EXPECT_EQ(r.status().stop_reason()->kind, StopKind::kCancelled);
+}
+
+TEST(FailpointTest, LctaCutRoundFaultSurfacesCleanStatus) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Watchdog watchdog(std::chrono::seconds(60));
+  FailpointGuard guard;
+  Failpoints::Instance().Enable("lcta.cut_round", [](void* arg) {
+    *static_cast<Status*>(arg) = Status::Internal("injected cut-round fault");
+  });
+  Lcta lcta{FlatTrees(), LinearConstraint::True()};
+  auto r = CheckLctaEmptiness(lcta);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+  EXPECT_NE(r.status().ToString().find("injected cut-round fault"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace fo2dt

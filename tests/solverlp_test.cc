@@ -455,11 +455,11 @@ TEST(IlpTest, SolveDnfDeterministicAcrossThreadCounts) {
 }
 
 TEST(IlpTest, CancellationAbortsBetweenNodes) {
-  // A pre-set cancellation flag must abort the solve with kCancelled before
-  // any verdict is produced.
+  // A pre-set cancellation flag (adapted through the legacy WrapFlag shim)
+  // must abort the solve with kCancelled before any verdict is produced.
   std::atomic<bool> cancel{true};
   IlpOptions opt;
-  opt.cancel = &cancel;
+  opt.cancel_token = CancellationToken::WrapFlag(&cancel);
   LinearSystem sys = {LinearAtom::Ge(MakeExpr({1}, -1))};
   auto r = IlpSolver::FindIntegerPoint(sys, 1, opt);
   ASSERT_FALSE(r.ok());
@@ -467,6 +467,21 @@ TEST(IlpTest, CancellationAbortsBetweenNodes) {
   auto dnf = IlpSolver::SolveDnf({sys}, 1, opt);
   ASSERT_FALSE(dnf.ok());
   EXPECT_TRUE(dnf.status().IsCancelled());
+}
+
+TEST(IlpTest, CancellationTokenAbortsBetweenNodes) {
+  // Same through a native token, plus hierarchy: cancelling the parent
+  // aborts a solve polling the child.
+  CancellationToken parent = CancellationToken::Create();
+  IlpOptions opt;
+  opt.cancel_token = parent.Child();
+  parent.RequestCancel();
+  LinearSystem sys = {LinearAtom::Ge(MakeExpr({1}, -1))};
+  auto r = IlpSolver::FindIntegerPoint(sys, 1, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled());
+  ASSERT_NE(r.status().stop_reason(), nullptr);
+  EXPECT_EQ(r.status().stop_reason()->kind, StopKind::kCancelled);
 }
 
 TEST(SimplexStatsTest, WarmStartCountersMove) {
