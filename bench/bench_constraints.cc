@@ -13,6 +13,7 @@
 #include <string>
 
 #include "arith/arith_stats.h"
+#include "bench_main.h"
 #include "constraints/constraints.h"
 #include "solverlp/simplex.h"
 #include "xmlenc/dtd.h"
@@ -78,6 +79,7 @@ void BM_SpecializedIlp(benchmark::State& state) {
                         state.range(1) != 0);
   SimplexStats::Reset();
   ArithStats::Reset();
+  PhaseStats::Reset();
   for (auto _ : state) {
     auto r = CheckKeyForeignKeyConsistencyIlp(f.schema, f.set);
     benchmark::DoNotOptimize(r);
@@ -86,6 +88,7 @@ void BM_SpecializedIlp(benchmark::State& state) {
     }
   }
   ReportSolverCounters(state);
+  ReportPhaseCounters(state);
 }
 // Growth from 1 to 2 kinds already shows the NP scaling of the exact
 // rational ILP; 3 kinds takes minutes and is left out of the default grid.
@@ -99,10 +102,12 @@ void BM_GenericBoundedSearch(benchmark::State& state) {
   Family f = MakeFamily(1, true);
   SolverOptions opt;
   opt.max_model_nodes = static_cast<size_t>(state.range(0));
+  PhaseStats::Reset();
   for (auto _ : state) {
     auto r = CheckConsistencyBounded(f.schema, f.set, opt);
     benchmark::DoNotOptimize(r);
   }
+  ReportPhaseCounters(state);
 }
 // The generic route: cost explodes with the model bound (the schema needs
 // >= 5-node documents, so small bounds return UNKNOWN quickly and the
@@ -120,14 +125,16 @@ void BM_ImplicationCounterexample(benchmark::State& state) {
                                                f.labels.Find("k0")});
   SolverOptions opt;
   opt.max_model_nodes = static_cast<size_t>(state.range(0));
+  PhaseStats::Reset();
   for (auto _ : state) {
     auto r = CheckImplicationBounded(f.schema, premises, conclusion, opt);
     benchmark::DoNotOptimize(r);
   }
+  ReportPhaseCounters(state);
 }
 BENCHMARK(BM_ImplicationCounterexample)->Arg(5)->Arg(6);
 
 }  // namespace
 }  // namespace fo2dt
 
-BENCHMARK_MAIN();
+FO2DT_BENCH_MAIN();

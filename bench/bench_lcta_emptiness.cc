@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "arith/arith_stats.h"
+#include "bench_main.h"
 #include "lcta/lcta.h"
 #include "solverlp/simplex.h"
 
@@ -61,12 +62,14 @@ void BM_ParikhIlp(benchmark::State& state) {
   Lcta lcta = MakeLcta(static_cast<size_t>(state.range(0)), state.range(1));
   SimplexStats::Reset();
   ArithStats::Reset();
+  PhaseStats::Reset();
   for (auto _ : state) {
     auto r = CheckLctaEmptiness(lcta);
     benchmark::DoNotOptimize(r);
     if (r.ok()) state.counters["ilp_nodes"] = static_cast<double>(r->ilp_nodes);
   }
   ReportSolverCounters(state);
+  ReportPhaseCounters(state);
 }
 BENCHMARK(BM_ParikhIlp)
     ->Args({2, 1})
@@ -80,10 +83,12 @@ void BM_BruteForceBaseline(benchmark::State& state) {
   Lcta lcta = MakeLcta(static_cast<size_t>(state.range(0)), state.range(1));
   size_t witness_bound =
       static_cast<size_t>(state.range(0) * state.range(1)) + 1;
+  PhaseStats::Reset();
   for (auto _ : state) {
     auto w = FindLctaWitnessBounded(lcta, witness_bound);
     benchmark::DoNotOptimize(w);
   }
+  ReportPhaseCounters(state);
 }
 // The baseline explodes quickly; keep the grid small.
 BENCHMARK(BM_BruteForceBaseline)->Args({2, 1})->Args({2, 2})->Args({3, 2});
@@ -97,15 +102,17 @@ void BM_EmptyVerdict(benchmark::State& state) {
                                           LinearConstraint::Eq(root_twice));
   SimplexStats::Reset();
   ArithStats::Reset();
+  PhaseStats::Reset();
   for (auto _ : state) {
     auto r = CheckLctaEmptiness(lcta);
     benchmark::DoNotOptimize(r);
   }
   ReportSolverCounters(state);
+  ReportPhaseCounters(state);
 }
 BENCHMARK(BM_EmptyVerdict);
 
 }  // namespace
 }  // namespace fo2dt
 
-BENCHMARK_MAIN();
+FO2DT_BENCH_MAIN();

@@ -4,6 +4,11 @@
 # committed so the performance trajectory of the exact Presburger core is
 # reviewable per PR; see EXPERIMENTS.md for how to regenerate and compare.
 #
+# Each report now carries per-phase breakdowns (phase_<name>_ms /
+# phase_<name>_effort counters) from the observability layer; the raw
+# span/metrics dump of each run goes to <build-dir>/bench/TRACE_*.json and
+# is not committed.
+#
 # Usage: bench/run_bench.sh [build-dir]    (default: ./build)
 set -euo pipefail
 
@@ -25,21 +30,47 @@ MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 # BENCH_TIMEOUT_SECS for slow machines.
 TIMEOUT_SECS="${BENCH_TIMEOUT_SECS:-600}"
 
+# Writes to a temp file and renames on success, so a timeout/crash can never
+# leave a partial or stale report behind: the target either keeps its old
+# content (and the run fails) or gets the complete new one.
 run_guarded() {
   local out="$1"
   shift
-  if ! timeout --kill-after=10 "$TIMEOUT_SECS" "$@" > "$out"; then
-    echo "error: benchmark '$1' exceeded ${TIMEOUT_SECS}s (or crashed); $out is stale" >&2
+  local tmp
+  tmp="$(mktemp "${out}.XXXXXX.tmp")"
+  trap 'rm -f "$tmp"' RETURN
+  local rc=0
+  timeout --kill-after=10 "$TIMEOUT_SECS" "$@" > "$tmp" || rc=$?
+  if [[ "$rc" -eq 124 || "$rc" -eq 137 ]]; then
+    echo "TIMEOUT: benchmark '$1' exceeded ${TIMEOUT_SECS}s; $out left untouched" >&2
+    rm -f "$tmp"
     exit 1
   fi
+  if [[ "$rc" -ne 0 ]]; then
+    echo "error: benchmark '$1' failed (exit $rc); $out left untouched" >&2
+    rm -f "$tmp"
+    exit 1
+  fi
+  mv "$tmp" "$out"
 }
 
 run_guarded BENCH_lcta.json "$BUILD_DIR/bench/bench_lcta_emptiness" \
   --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json
+  --benchmark_format=json \
+  --trace-json="$BUILD_DIR/bench/TRACE_lcta.json"
 
 run_guarded BENCH_constraints.json "$BUILD_DIR/bench/bench_constraints" \
   --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json
+  --benchmark_format=json \
+  --trace-json="$BUILD_DIR/bench/TRACE_constraints.json"
+
+# The committed reports must carry the per-phase breakdown; catch a silent
+# regression (e.g. a bench binary that dropped its ReportPhaseCounters call).
+for f in BENCH_lcta.json BENCH_constraints.json; do
+  if ! grep -q '"phase_' "$f"; then
+    echo "error: $f has no per-phase counters (phase_*_ms)" >&2
+    exit 1
+  fi
+done
 
 echo "wrote BENCH_lcta.json and BENCH_constraints.json"

@@ -6,10 +6,22 @@
 
 #include "arith/arith_stats.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace fo2dt {
 
 namespace {
+
+// Federates the BigInt fast-path counters into the unified MetricsRegistry.
+const MetricsSourceRegistrar kArithMetricsSource(
+    "arith",
+    [](MetricsSnapshot* snap) {
+      ArithCounters c = ArithStats::Aggregate();
+      snap->Set("arith.small_ops", static_cast<double>(c.small_ops));
+      snap->Set("arith.big_ops", static_cast<double>(c.big_ops));
+      snap->Set("arith.fast_path_rate", c.FastPathRate());
+    },
+    [] { ArithStats::Reset(); });
 
 constexpr uint64_t kBase = 1ULL << 32;
 

@@ -23,6 +23,7 @@ CancellationToken CancellationToken::Child() const {
 Status ExecutionContext::ChargeMemory(uint64_t bytes, const char* module) {
   uint64_t total =
       bytes_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  phases_.RecordMemory(total);  // high-water gauge, budget or not
   if (max_bytes_ != 0 && total > max_bytes_) {
     return Status::ResourceExhausted(
         StringFormat("memory budget exhausted in %s: %llu of %llu bytes",

@@ -35,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace fo2dt {
@@ -159,6 +160,18 @@ class ExecutionContext {
   /// a const pointer by worker threads, and the counters are atomics).
   ExecCounters& counters() const { return counters_; }
 
+  /// Per-phase wall-time/effort accumulator for this solve, written by
+  /// ScopedPhaseTimer from every worker thread (same const-ref convention as
+  /// counters()). Snapshot with SnapshotPhaseProfile(). Accumulates over the
+  /// context's lifetime: reuse a context across solves and the profile spans
+  /// all of them, exactly like the effort counters.
+  PhaseAccumulator& phases() const { return phases_; }
+
+  /// Peak value ever charged against the memory accountant, in bytes.
+  uint64_t MemoryHighWater() const {
+    return phases_.mem_high_water.load(std::memory_order_relaxed);
+  }
+
   /// Charges \p bytes against the memory budget; ResourceExhausted with
   /// StopKind::kMemoryBudget when the cap is exceeded.
   Status ChargeMemory(uint64_t bytes, const char* module);
@@ -191,8 +204,10 @@ class ExecutionContext {
   CancellationToken token_;
   uint64_t max_bytes_ = 0;
   std::atomic<uint64_t> bytes_charged_{0};
-  // mutable: Check() is logically const but counts deadline consultations.
+  // mutable: Check() is logically const but counts deadline consultations,
+  // and phase timers charge the shared accumulator through const pointers.
   mutable ExecCounters counters_;
+  mutable PhaseAccumulator phases_;
 };
 
 /// \brief Amortized stop checks for hot loops.

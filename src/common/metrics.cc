@@ -1,0 +1,240 @@
+#include "common/metrics.h"
+
+#include <cstring>
+
+#include "common/execution_context.h"
+#include "common/strings.h"
+
+namespace fo2dt {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kScott: return "scott";
+    case Phase::kDnf: return "dnf";
+    case Phase::kPuzzle: return "puzzle";
+    case Phase::kBoundedSearch: return "bounded_search";
+    case Phase::kLcta: return "lcta";
+    case Phase::kIlp: return "ilp";
+    case Phase::kVata: return "vata";
+    case Phase::kConstraints: return "constraints";
+    case Phase::kXpath: return "xpath";
+    case Phase::kFrontend: return "frontend";
+  }
+  return "unknown";
+}
+
+Phase PhaseForModule(const char* module) {
+  if (module == nullptr) return Phase::kFrontend;
+  auto prefixed = [module](const char* prefix) {
+    return std::strncmp(module, prefix, std::strlen(prefix)) == 0;
+  };
+  if (prefixed("logic.scott")) return Phase::kScott;
+  if (prefixed("logic.dnf")) return Phase::kDnf;
+  if (prefixed("puzzle.bounded")) return Phase::kBoundedSearch;
+  if (prefixed("frontend.enumerate")) return Phase::kBoundedSearch;
+  if (prefixed("puzzle.")) return Phase::kPuzzle;
+  if (prefixed("lcta.")) return Phase::kLcta;
+  if (prefixed("solverlp.")) return Phase::kIlp;
+  if (prefixed("vata.")) return Phase::kVata;
+  if (prefixed("constraints.")) return Phase::kConstraints;
+  if (prefixed("xpath.")) return Phase::kXpath;
+  return Phase::kFrontend;
+}
+
+namespace {
+
+ScopedPhaseTimer*& ThreadCurrentTimer() {
+  thread_local ScopedPhaseTimer* current = nullptr;
+  return current;
+}
+
+}  // namespace
+
+ScopedPhaseTimer* ScopedPhaseTimer::Current() { return ThreadCurrentTimer(); }
+
+ScopedPhaseTimer::ScopedPhaseTimer(Phase phase, const ExecutionContext* exec)
+    : phase_(phase), exec_(exec), parent_(ThreadCurrentTimer()) {
+  auto now = std::chrono::steady_clock::now();
+  if (parent_ != nullptr) {
+    // Pause the enclosing timer: bank its running stretch as self time.
+    parent_->self_ns_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - parent_->resumed_)
+            .count());
+  }
+  ThreadCurrentTimer() = this;
+  resumed_ = now;
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  auto now = std::chrono::steady_clock::now();
+  self_ns_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - resumed_)
+          .count());
+  PhaseCounters& local = PhaseStats::Local();
+  PhaseCounters::Entry& entry = local.phases[static_cast<size_t>(phase_)];
+  entry.calls += 1;
+  entry.wall_ns += self_ns_;
+  entry.effort += effort_;
+  if (exec_ != nullptr) exec_->phases().Add(phase_, self_ns_, effort_);
+  ThreadCurrentTimer() = parent_;
+  if (parent_ != nullptr) parent_->resumed_ = now;  // resume its clock
+}
+
+Phase PhaseProfile::DominantPhase() const {
+  size_t best = 0;
+  for (size_t i = 1; i < kPhaseCount; ++i) {
+    if (phases[i].wall_ns > phases[best].wall_ns) best = i;
+  }
+  return static_cast<Phase>(best);
+}
+
+std::string PhaseProfile::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    const Entry& e = phases[i];
+    if (e.calls == 0) continue;
+    if (!out.empty()) out += "; ";
+    out += StringFormat("%s: %.2f ms/%llu effort",
+                        PhaseName(static_cast<Phase>(i)),
+                        static_cast<double>(e.wall_ns) / 1e6,
+                        static_cast<unsigned long long>(e.effort));
+  }
+  if (out.empty()) out = "(no instrumented phases ran)";
+  if (stop.stopped()) {
+    out += StringFormat(" (stopped: %s)", stop.ToString().c_str());
+  }
+  return out;
+}
+
+std::string PhaseProfile::ToJson() const {
+  std::string out = "{\"phases\":{";
+  bool first = true;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    const Entry& e = phases[i];
+    if (e.calls == 0) continue;
+    out += StringFormat(
+        "%s\"%s\":{\"calls\":%llu,\"wall_ns\":%llu,\"effort\":%llu}",
+        first ? "" : ",", PhaseName(static_cast<Phase>(i)),
+        static_cast<unsigned long long>(e.calls),
+        static_cast<unsigned long long>(e.wall_ns),
+        static_cast<unsigned long long>(e.effort));
+    first = false;
+  }
+  out += StringFormat(
+      "},\"ilp_max_depth\":%llu,\"mem_high_water\":%llu",
+      static_cast<unsigned long long>(ilp_max_depth),
+      static_cast<unsigned long long>(mem_high_water));
+  if (stop.stopped()) {
+    out += StringFormat(",\"stop\":{\"kind\":\"%s\",\"module\":\"%s\","
+                        "\"counter\":%llu,\"limit\":%llu}",
+                        StopKindToString(stop.kind), stop.module,
+                        static_cast<unsigned long long>(stop.counter),
+                        static_cast<unsigned long long>(stop.limit));
+  }
+  out += "}";
+  return out;
+}
+
+PhaseProfile SnapshotPhaseProfile(const ExecutionContext& exec) {
+  const PhaseAccumulator& acc = exec.phases();
+  PhaseProfile out;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    out.phases[i].calls = acc.slots[i].calls.load(std::memory_order_relaxed);
+    out.phases[i].wall_ns =
+        acc.slots[i].wall_ns.load(std::memory_order_relaxed);
+    out.phases[i].effort = acc.slots[i].effort.load(std::memory_order_relaxed);
+  }
+  out.ilp_max_depth = acc.ilp_max_depth.load(std::memory_order_relaxed);
+  out.mem_high_water = acc.mem_high_water.load(std::memory_order_relaxed);
+  return out;
+}
+
+double MetricsSnapshot::Get(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : values) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool MetricsSnapshot::Has(const std::string& key) const {
+  for (const auto& [k, v] : values) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); ++i) {
+    out += StringFormat("%s\"%s\":%.17g", i == 0 ? "" : ",",
+                        values[i].first.c_str(), values[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  // The phase/gauge family lives in this translation unit, so register it
+  // here instead of relying on a static initializer ordering.
+  sources_.push_back(Source{
+      "phase",
+      [](MetricsSnapshot* snap) {
+        PhaseCounters agg = PhaseStats::Aggregate();
+        for (size_t i = 0; i < kPhaseCount; ++i) {
+          const PhaseCounters::Entry& e = agg.phases[i];
+          const char* name = PhaseName(static_cast<Phase>(i));
+          snap->Set(StringFormat("phase.%s.calls", name),
+                    static_cast<double>(e.calls));
+          snap->Set(StringFormat("phase.%s.wall_ns", name),
+                    static_cast<double>(e.wall_ns));
+          snap->Set(StringFormat("phase.%s.effort", name),
+                    static_cast<double>(e.effort));
+        }
+        snap->Set("gauge.ilp_max_depth",
+                  static_cast<double>(agg.ilp_max_depth));
+        snap->Set("gauge.mem_high_water",
+                  static_cast<double>(agg.mem_high_water));
+      },
+      [] { PhaseStats::Reset(); }});
+}
+
+void MetricsRegistry::Register(const std::string& name, CollectFn collect,
+                               ResetFn reset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Source& s : sources_) {
+    if (s.name == name) {
+      s.collect = std::move(collect);
+      s.reset = std::move(reset);
+      return;
+    }
+  }
+  sources_.push_back(Source{name, std::move(collect), std::move(reset)});
+}
+
+std::vector<std::string> MetricsRegistry::SourceNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const Source& s : sources_) out.push_back(s.name);
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const Source& s : sources_) s.collect(&snap);
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Source& s : sources_) s.reset();
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,278 @@
+/// \file metrics.h
+/// \brief Unified metrics: pipeline phases, per-phase profiling, and the
+/// federating MetricsRegistry.
+///
+/// Three pieces, layered bottom-up:
+///
+///  1. **Phase** — the closed enumeration of pipeline stages (Scott normal
+///     form, DNF, puzzle construction, bounded search, LCTA emptiness,
+///     simplex/ILP, VATA, constraints, XPath, frontend facade), plus
+///     `PhaseForModule` mapping the governor's module strings
+///     ("solverlp.ilp", "lcta.cuts", ...) onto phases so a StopReason can be
+///     attributed to the phase that exhausted the budget.
+///
+///  2. **ScopedPhaseTimer** — always-compiled coarse instrumentation (a few
+///     steady_clock reads per phase entry/exit, at facade granularity; this
+///     is *not* the fine-grained span tracing of common/trace.h, which is
+///     compiled out of optimized builds). Timers attribute *self* time:
+///     entering a nested timer pauses the enclosing one, so the per-phase
+///     wall times are exclusive and sum to the instrumented total instead of
+///     double-counting nested calls (LCTA → ILP → simplex). Each timer
+///     writes two sinks at destruction: the thread-local PhaseStats block
+///     (process-wide aggregation for benchmarks, via ThreadStats) and, when
+///     given one, the ExecutionContext's PhaseAccumulator (per-solve
+///     aggregation across worker threads, the source of SatResult's
+///     PhaseProfile).
+///
+///  3. **MetricsRegistry** — one snapshot/reset API federating every counter
+///     family in the process: the phase/gauge blocks defined here plus the
+///     pre-existing ArithStats and SimplexStats ThreadStats families, which
+///     register themselves from their home translation units (bigint.cc,
+///     simplex.cc) so common/ never depends upward.
+
+#ifndef FO2DT_COMMON_METRICS_H_
+#define FO2DT_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_stats.h"
+
+namespace fo2dt {
+
+class ExecutionContext;
+
+/// \brief The pipeline stages that per-phase wall time is attributed to.
+///
+/// kIlp deliberately covers both "solverlp.ilp" and "solverlp.simplex":
+/// simplex work happens inside B&B nodes and the two are one budget domain
+/// for attribution purposes (the ISSUE's "simplex/ILP" phase).
+enum class Phase : int {
+  kScott = 0,     ///< Scott normal form (logic/scott)
+  kDnf,           ///< data normal form (logic/dnf)
+  kPuzzle,        ///< puzzle construction + counting abstraction setup
+  kBoundedSearch, ///< bounded model search (puzzle/bounded_solver, enumeration)
+  kLcta,          ///< LCTA emptiness: grammar, flows, cut rounds
+  kIlp,           ///< simplex/ILP (solverlp)
+  kVata,          ///< VATA counter-tree derivation
+  kConstraints,   ///< key/foreign-key constraint facades
+  kXpath,         ///< XPath translation + containment facades
+  kFrontend,      ///< frontend facade glue (solver.cc outside other phases)
+};
+
+inline constexpr size_t kPhaseCount = static_cast<size_t>(Phase::kFrontend) + 1;
+
+/// Short stable name, e.g. "scott", "ilp" (used in metric keys and JSON).
+const char* PhaseName(Phase phase);
+
+/// Maps a governor module string ("solverlp.simplex", "lcta.cuts",
+/// "frontend.enumerate", ...) to the phase that owns it. Unknown modules map
+/// to kFrontend.
+Phase PhaseForModule(const char* module);
+
+/// \brief Thread-local per-phase counter block (a ThreadStats family).
+///
+/// `effort` is the phase's own notion of work: enumeration/search steps for
+/// kBoundedSearch, cut rounds for kLcta, B&B nodes for kIlp, derivation
+/// candidates for kVata. The two gauges merge by max, not sum.
+struct PhaseCounters {
+  struct Entry {
+    uint64_t calls = 0;
+    uint64_t wall_ns = 0;  // self time (exclusive of nested phases)
+    uint64_t effort = 0;
+  };
+  std::array<Entry, kPhaseCount> phases;
+  uint64_t ilp_max_depth = 0;    // deepest B&B recursion seen
+  uint64_t mem_high_water = 0;   // accountant peak, bytes
+
+  void AddTo(PhaseCounters* out) const {
+    for (size_t i = 0; i < kPhaseCount; ++i) {
+      out->phases[i].calls += phases[i].calls;
+      out->phases[i].wall_ns += phases[i].wall_ns;
+      out->phases[i].effort += phases[i].effort;
+    }
+    if (ilp_max_depth > out->ilp_max_depth) out->ilp_max_depth = ilp_max_depth;
+    if (mem_high_water > out->mem_high_water) {
+      out->mem_high_water = mem_high_water;
+    }
+  }
+  void Clear() { *this = PhaseCounters(); }
+};
+
+using PhaseStats = ThreadStats<PhaseCounters>;
+
+/// \brief Per-solve phase accumulator, shared by every worker thread of one
+/// ExecutionContext. All atomics; written by ScopedPhaseTimer destructors.
+struct PhaseAccumulator {
+  struct Slot {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> wall_ns{0};
+    std::atomic<uint64_t> effort{0};
+  };
+  std::array<Slot, kPhaseCount> slots;
+  std::atomic<uint64_t> ilp_max_depth{0};
+  std::atomic<uint64_t> mem_high_water{0};
+
+  void Add(Phase phase, uint64_t wall_ns, uint64_t effort) {
+    Slot& s = slots[static_cast<size_t>(phase)];
+    s.calls.fetch_add(1, std::memory_order_relaxed);
+    s.wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+    s.effort.fetch_add(effort, std::memory_order_relaxed);
+  }
+  void RecordDepth(uint64_t depth) { MaxInto(&ilp_max_depth, depth); }
+  void RecordMemory(uint64_t bytes) { MaxInto(&mem_high_water, bytes); }
+
+  static void MaxInto(std::atomic<uint64_t>* slot, uint64_t value) {
+    uint64_t cur = slot->load(std::memory_order_relaxed);
+    while (cur < value && !slot->compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// \brief RAII self-time attribution for one phase. Always compiled in; the
+/// overhead budget is a handful of clock reads per *phase entry*, never per
+/// work unit — hot loops stay untimed and only flush effort counters.
+///
+/// Nesting (same or different phases, same thread) is handled by pausing the
+/// enclosing timer: its elapsed-since-resume is charged to its own phase
+/// before the nested timer starts the clock for its phase.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(Phase phase, const ExecutionContext* exec = nullptr);
+  ~ScopedPhaseTimer();
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  /// Adds phase-specific effort units (steps, nodes, rounds) to be flushed
+  /// with the timer.
+  void AddEffort(uint64_t units) { effort_ += units; }
+
+  /// The innermost timer open on the calling thread (nullptr outside any).
+  static ScopedPhaseTimer* Current();
+
+ private:
+  Phase phase_;
+  const ExecutionContext* exec_;
+  ScopedPhaseTimer* parent_;
+  uint64_t self_ns_ = 0;
+  uint64_t effort_ = 0;
+  std::chrono::steady_clock::time_point resumed_;
+};
+
+/// \brief Per-phase profile of one solve, carried on SatResult.
+///
+/// Wall times are self times (see ScopedPhaseTimer) summed across the
+/// solve's worker threads; on a parallel solve they can exceed elapsed wall
+/// clock. `stop` is the structured reason if the solve degraded or was cut
+/// short (kind == kNone for a definite verdict).
+struct PhaseProfile {
+  struct Entry {
+    uint64_t calls = 0;
+    uint64_t wall_ns = 0;
+    uint64_t effort = 0;
+  };
+  std::array<Entry, kPhaseCount> phases;
+  uint64_t ilp_max_depth = 0;
+  uint64_t mem_high_water = 0;
+  StopReason stop;
+
+  const Entry& operator[](Phase p) const {
+    return phases[static_cast<size_t>(p)];
+  }
+
+  /// The phase with the largest self wall time (ties: smallest enum value).
+  Phase DominantPhase() const;
+
+  /// The phase owning the stop's module (kFrontend when not stopped).
+  Phase StopPhase() const { return PhaseForModule(stop.module); }
+
+  /// e.g. "ilp: 42.1 ms/1731 effort; lcta: 1.2 ms/3 effort (stopped: ...)".
+  std::string ToString() const;
+
+  /// One JSON object with per-phase wall_ns/calls/effort plus the gauges.
+  std::string ToJson() const;
+};
+
+/// Reads \p exec's PhaseAccumulator into a value-type profile (stop reason
+/// left at kNone; the facade fills it from the SatResult).
+PhaseProfile SnapshotPhaseProfile(const ExecutionContext& exec);
+
+/// \brief Ordered key → value snapshot of every registered metric source.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> values;
+
+  void Set(const std::string& key, double value) {
+    values.emplace_back(key, value);
+  }
+  /// First value recorded under \p key, or \p fallback.
+  double Get(const std::string& key, double fallback = 0.0) const;
+  bool Has(const std::string& key) const;
+  /// Flat JSON object {"key": value, ...}.
+  std::string ToJson() const;
+};
+
+/// \brief Process-wide federation point for counter families.
+///
+/// Sources register once (from their home translation unit) with a collect
+/// callback and a reset callback; Snapshot()/Reset() fan out to all of them
+/// under one lock. The phase/gauge family above is pre-registered; arith and
+/// simplex register from bigint.cc / simplex.cc.
+///
+/// Collect callbacks typically call ThreadStats<C>::Aggregate(), so the
+/// quiescence precondition applies: snapshot between solves, not during.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  using CollectFn = std::function<void(MetricsSnapshot*)>;
+  using ResetFn = std::function<void()>;
+
+  /// Registers a named source. Re-registering a name replaces the callbacks
+  /// (makes static-initializer registration idempotent across re-links).
+  void Register(const std::string& name, CollectFn collect, ResetFn reset);
+
+  /// Names of all registered sources, registration order.
+  std::vector<std::string> SourceNames() const;
+
+  /// Runs every source's collect callback into one snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Runs every source's reset callback.
+  void Reset();
+
+ private:
+  MetricsRegistry();
+
+  struct Source {
+    std::string name;
+    CollectFn collect;
+    ResetFn reset;
+  };
+  mutable std::mutex mu_;
+  std::vector<Source> sources_;
+};
+
+/// \brief Registers a metrics source from a static initializer.
+///
+/// Usage (file scope, in the counter family's home .cc):
+///   static MetricsSourceRegistrar reg("arith", collect_fn, reset_fn);
+struct MetricsSourceRegistrar {
+  MetricsSourceRegistrar(const std::string& name,
+                         MetricsRegistry::CollectFn collect,
+                         MetricsRegistry::ResetFn reset) {
+    MetricsRegistry::Instance().Register(name, std::move(collect),
+                                         std::move(reset));
+  }
+};
+
+}  // namespace fo2dt
+
+#endif  // FO2DT_COMMON_METRICS_H_

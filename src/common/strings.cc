@@ -49,4 +49,23 @@ std::string StringFormat(const char* fmt, ...) {
   return out;
 }
 
+TextPosition TextPositionAt(const std::string& text, size_t offset) {
+  TextPosition pos;
+  const size_t end = offset < text.size() ? offset : text.size();
+  for (size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') {
+      ++pos.line;
+      pos.column = 1;
+    } else {
+      ++pos.column;
+    }
+  }
+  return pos;
+}
+
+std::string FormatTextPosition(const std::string& text, size_t offset) {
+  TextPosition pos = TextPositionAt(text, offset);
+  return StringFormat("line %zu, column %zu", pos.line, pos.column);
+}
+
 }  // namespace fo2dt

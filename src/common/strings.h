@@ -36,6 +36,18 @@ bool StartsWith(const std::string& text, const std::string& prefix);
 std::string StringFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// 1-based line/column of a byte offset in \p text. Offsets past the end
+/// report the position one past the last character.
+struct TextPosition {
+  size_t line = 1;
+  size_t column = 1;
+};
+
+TextPosition TextPositionAt(const std::string& text, size_t offset);
+
+/// Renders the position of \p offset in \p text as "line L, column C".
+std::string FormatTextPosition(const std::string& text, size_t offset);
+
 }  // namespace fo2dt
 
 #endif  // FO2DT_COMMON_STRINGS_H_

@@ -42,7 +42,11 @@ class ScopedStatsWorker {
     ActiveStatsWorkerCount().fetch_add(1, std::memory_order_relaxed);
   }
   ~ScopedStatsWorker() {
-    ActiveStatsWorkerCount().fetch_sub(1, std::memory_order_relaxed);
+    // Release pairs with the acquire load in Aggregate()/Reset(): when the
+    // assertion observes count == 0, every counter write that preceded a
+    // worker's destructor is visible. A relaxed fetch_sub here would let the
+    // assertion pass while a worker's increments were still in flight.
+    ActiveStatsWorkerCount().fetch_sub(1, std::memory_order_release);
   }
   ScopedStatsWorker(const ScopedStatsWorker&) = delete;
   ScopedStatsWorker& operator=(const ScopedStatsWorker&) = delete;

@@ -1,0 +1,131 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+uint64_t& ThreadCurrentSpanId() {
+  thread_local uint64_t current = 0;
+  return current;
+}
+
+uint32_t TraceRecorder::CurrentThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+TraceRecorder::TraceRecorder() {
+  epoch_ns_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  ring_.reserve(capacity_);
+  const char* env = std::getenv("FO2DT_TRACE");
+  if (env != nullptr && std::strcmp(env, "1") == 0) {
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder* recorder = new TraceRecorder();  // leaked: see
+  return *recorder;  // thread_stats.h GetRegistry for the rationale
+}
+
+uint64_t TraceRecorder::NowNs() const {
+  uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch_ns_;
+}
+
+void TraceRecorder::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+  dropped_ = 0;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument(
+        StringFormat("cannot open trace output file '%s'", path.c_str()));
+  }
+  std::fputs("{\"traceEvents\":[", f);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // Chrome "complete" events; timestamps/durations are in microseconds
+    // (fractional values are accepted, so nanosecond precision survives).
+    std::fprintf(
+        f,
+        "%s\n  {\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+        "\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"id\":%llu,\"parent\":%llu}}",
+        i == 0 ? "" : ",", e.name, e.thread,
+        static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.end_ns - e.start_ns) / 1e3,
+        static_cast<unsigned long long>(e.id),
+        static_cast<unsigned long long>(e.parent));
+  }
+  std::fprintf(f,
+               "\n],\"otherData\":{\"enabled\":%s,\"dropped\":%llu}}\n",
+               enabled() ? "true" : "false",
+               static_cast<unsigned long long>(dropped()));
+  if (std::fclose(f) != 0) {
+    return Status::Internal(
+        StringFormat("error writing trace output file '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace fo2dt

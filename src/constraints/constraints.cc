@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "lcta/lcta.h"
 
 namespace fo2dt {
@@ -111,7 +113,14 @@ Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
                                           const SolverOptions& options) {
   SolverOptions opt = options;
   opt.structural_filter = &schema;
-  return CheckFo2SatisfiabilityBounded(ConstraintSetToFo2(set), opt);
+  // Translation is charged to kConstraints; the bounded search inside the
+  // frontend call times itself (and attaches the PhaseProfile).
+  Formula query = [&] {
+    FO2DT_TRACE_SPAN("constraints.translate");
+    ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
+    return ConstraintSetToFo2(set);
+  }();
+  return CheckFo2SatisfiabilityBounded(query, opt);
 }
 
 Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
@@ -120,14 +129,24 @@ Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
                                           const SolverOptions& options) {
   SolverOptions opt = options;
   opt.structural_filter = &schema;
-  Formula query = Formula::And(ConstraintSetToFo2(premises),
-                               Formula::Not(conclusion));
+  Formula query = [&] {
+    FO2DT_TRACE_SPAN("constraints.translate");
+    ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
+    return Formula::And(ConstraintSetToFo2(premises),
+                        Formula::Not(conclusion));
+  }();
   return CheckFo2SatisfiabilityBounded(query, opt);
 }
 
-Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
-                                                   const ConstraintSet& set,
-                                                   const LctaOptions& options) {
+namespace {
+
+Result<SatResult> CheckKeyForeignKeyConsistencyIlpImpl(
+    const TreeAutomaton& schema, const ConstraintSet& set,
+    const LctaOptions& options) {
+  FO2DT_TRACE_SPAN("constraints.keyfk_ilp");
+  // Self time = cardinality-constraint construction; the LCTA emptiness call
+  // below runs its own kLcta/kIlp timers.
+  ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
   // Cardinality conditions over label counts: variable Q + l counts label l.
   const VarId q = static_cast<VarId>(schema.num_states());
   std::vector<LinearConstraint> parts;
@@ -173,6 +192,22 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
   out.steps = r->ilp_nodes;
   out.verdict = r->empty ? SatVerdict::kUnsat : SatVerdict::kSat;
   return out;
+}
+
+}  // namespace
+
+Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
+                                                   const ConstraintSet& set,
+                                                   const LctaOptions& options) {
+  Result<SatResult> run =
+      CheckKeyForeignKeyConsistencyIlpImpl(schema, set, options);
+  // Attach the per-phase profile after every timer of the solve has closed.
+  if (run.ok() && options.exec != nullptr) {
+    PhaseProfile profile = SnapshotPhaseProfile(*options.exec);
+    if (run->stop_reason.has_value()) profile.stop = *run->stop_reason;
+    run->profile = std::move(profile);
+  }
+  return run;
 }
 
 }  // namespace fo2dt

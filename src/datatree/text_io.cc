@@ -19,13 +19,17 @@ class Parser {
     FO2DT_RETURN_NOT_OK(ParseNode(&t, kNoNode));
     SkipSpace();
     if (pos_ != text_.size()) {
-      return Status::ParseError(
-          StringFormat("trailing input at offset %zu", pos_));
+      return Err("trailing input", pos_);
     }
     return t;
   }
 
  private:
+  /// ParseError pointing at byte offset \p at, rendered as line/column.
+  Status Err(const std::string& what, size_t at) const {
+    return Status::ParseError(what + " at " + FormatTextPosition(text_, at));
+  }
+
   void SkipSpace() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
@@ -41,15 +45,14 @@ class Parser {
             text_[pos_] == '_')) {
       ++pos_;
     }
-    if (pos_ == start || std::isdigit(static_cast<unsigned char>(text_[start]))) {
-      return Status::ParseError(
-          StringFormat("expected label at offset %zu", start));
+    if (pos_ == start ||
+        std::isdigit(static_cast<unsigned char>(text_[start]))) {
+      return Err("expected label", start);
     }
     std::string label = text_.substr(start, pos_ - start);
     SkipSpace();
     if (pos_ >= text_.size() || text_[pos_] != ':') {
-      return Status::ParseError(
-          StringFormat("expected ':' after label at offset %zu", pos_));
+      return Err("expected ':' after label", pos_);
     }
     ++pos_;
     SkipSpace();
@@ -59,8 +62,7 @@ class Parser {
       ++pos_;
     }
     if (pos_ == dstart) {
-      return Status::ParseError(
-          StringFormat("expected data value at offset %zu", pos_));
+      return Err("expected data value", pos_);
     }
     DataValue data = 0;
     for (size_t i = dstart; i < pos_; ++i) {
@@ -82,7 +84,7 @@ class Parser {
         SkipSpace();
       }
       if (pos_ >= text_.size()) {
-        return Status::ParseError("unterminated child list: expected ')'");
+        return Err("unterminated child list: expected ')'", pos_);
       }
       ++pos_;
     }

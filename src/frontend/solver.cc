@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "lcta/lcta.h"
 #include "puzzle/puzzle.h"
 
@@ -39,6 +41,18 @@ Result<SatResult> DegradeToUnknown(Result<SatResult> result, SatMethod method) {
     out.stop_reason = *reason;
   }
   return out;
+}
+
+/// Attaches the governed solve's per-phase profile to the outgoing result.
+/// Must run after every ScopedPhaseTimer of the solve has closed, so the
+/// facade timers live in a narrower scope than the call to this.
+Result<SatResult> AttachProfile(Result<SatResult> result,
+                                const ExecutionContext* exec) {
+  if (!result.ok() || exec == nullptr) return result;
+  PhaseProfile profile = SnapshotPhaseProfile(*exec);
+  if (result->stop_reason.has_value()) profile.stop = *result->stop_reason;
+  result->profile = std::move(profile);
+  return result;
 }
 
 /// Advances a restricted growth string (canonical set-partition encoding:
@@ -183,8 +197,17 @@ Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
           "formula mentions labels outside the schema alphabet");
     }
   }
-  ModelEnumerator enumerator(sentence, num_labels, options);
-  return DegradeToUnknown(enumerator.Run(), SatMethod::kBoundedModelSearch);
+  Result<SatResult> run = [&]() -> Result<SatResult> {
+    FO2DT_TRACE_SPAN("frontend.enumerate");
+    ScopedPhaseTimer phase_timer(Phase::kBoundedSearch, options.exec);
+    ModelEnumerator enumerator(sentence, num_labels, options);
+    Result<SatResult> r = enumerator.Run();
+    if (r.ok()) phase_timer.AddEffort(r->steps);
+    return r;
+  }();
+  return AttachProfile(
+      DegradeToUnknown(std::move(run), SatMethod::kBoundedModelSearch),
+      options.exec);
 }
 
 namespace {
@@ -247,8 +270,17 @@ Result<SatResult> CheckDnfSatisfiabilityImpl(const DataNormalForm& dnf,
 
 Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
                                          const SolverOptions& options) {
-  return DegradeToUnknown(CheckDnfSatisfiabilityImpl(dnf, options),
-                          SatMethod::kPuzzlePipeline);
+  Result<SatResult> run = [&] {
+    FO2DT_TRACE_SPAN("frontend.solver");
+    // Facade glue only: each sub-pipeline (puzzle construction, counting,
+    // LCTA, ILP, bounded search) runs its own timer, so kFrontend self time
+    // is the per-block orchestration cost.
+    ScopedPhaseTimer phase_timer(Phase::kFrontend, options.exec);
+    return CheckDnfSatisfiabilityImpl(dnf, options);
+  }();
+  return AttachProfile(
+      DegradeToUnknown(std::move(run), SatMethod::kPuzzlePipeline),
+      options.exec);
 }
 
 }  // namespace fo2dt

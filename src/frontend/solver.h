@@ -58,6 +58,12 @@ struct SatResult {
   /// cap, node cap, ...): which one, where, and at what counter value.
   /// Unset for definite verdicts and for pre-governor unknowns.
   std::optional<StopReason> stop_reason;
+  /// Per-phase profile of the solve (self wall time, effort counters, stop
+  /// attribution — see common/metrics.h). Set whenever the query ran under
+  /// an ExecutionContext (`SolverOptions::exec`); when a budget died,
+  /// `profile->stop` mirrors `stop_reason` so the dominant phase and the
+  /// stopping module can be cross-checked.
+  std::optional<PhaseProfile> profile;
 };
 
 /// \brief Budgets for the solver.

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_stats.h"
+#include "common/trace.h"
 #include "solverlp/ilp.h"
 
 namespace fo2dt {
@@ -289,6 +292,10 @@ struct RootOutcome {
 Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
                  Symbol root_label, const LctaOptions& options,
                  const IlpOptions& ilp_options, RootOutcome* out) {
+  FO2DT_TRACE_SPAN("lcta.solve_root");
+  // Self time = flow building + cut machinery (the nested ILP solves carry
+  // their own kIlp timers); effort = cut rounds.
+  ScopedPhaseTimer phase_timer(Phase::kLcta, options.exec);
   const TreeAutomaton& a = lcta.automaton;
   LinearConstraint flow =
       BuildFlowConstraints(a, g, root, root_label, lcta.use_symbol_counts);
@@ -297,6 +304,8 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
       LinearConstraint::And(flow, lcta.constraint)
           .ToDnf(options.max_dnf_branches));
   for (size_t cut_round = 0;; ++cut_round) {
+    FO2DT_TRACE_SPAN("lcta.cut_round");
+    phase_timer.AddEffort(1);
     if (cut_round > options.max_cuts) {
       return Status::ResourceExhausted(
           StringFormat("LCTA emptiness: connectivity cut budget exceeded in "
@@ -315,6 +324,12 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
       Status injected;
       FO2DT_FAILPOINT("lcta.cut_round", &injected);
       if (!injected.ok()) return injected;
+    }
+    // Unamortized per-round governor check: a deadline that dies between
+    // cut rounds is attributed to the cut loop ("lcta.cuts"), not to
+    // whichever ILP stumbled on it hundreds of pivots later.
+    if (options.exec != nullptr) {
+      FO2DT_RETURN_NOT_OK(options.exec->Check(kCutModule));
     }
     FO2DT_ASSIGN_OR_RETURN(
         DnfSolveResult r,
@@ -361,6 +376,13 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
 
 Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
                                                const LctaOptions& options) {
+  FO2DT_TRACE_SPAN("lcta.emptiness");
+  // Facade timer: validation + shared grammar construction. Closed before
+  // the parallel fan-out below — each worker's SolveRoot runs its own kLcta
+  // timer, and an open main-thread timer would bill the join wait to kLcta,
+  // double-counting the workers' time.
+  std::optional<ScopedPhaseTimer> phase_timer;
+  phase_timer.emplace(Phase::kLcta, options.exec);
   const TreeAutomaton& a = lcta.automaton;
   if (lcta.constraint.NumVarsSpanned() > lcta.NumUserVars()) {
     return Status::InvalidArgument(
@@ -413,6 +435,8 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
     }
     return out;
   }
+
+  phase_timer.reset();  // workers time their own SolveRoot calls
 
   // Parallel root fan-out, first-nonempty-wins with deterministic selection,
   // coordinated by FirstWinsFanout: its terminal index is the smallest root
@@ -542,6 +566,8 @@ std::vector<std::vector<uint32_t>> EnumerateTreeShapes(size_t num_nodes) {
 }
 
 Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes) {
+  FO2DT_TRACE_SPAN("lcta.witness_bruteforce");
+  ScopedPhaseTimer phase_timer(Phase::kLcta);
   const TreeAutomaton& a = lcta.automaton;
   const size_t num_symbols = a.num_symbols();
   if (lcta.num_aux > 0) {

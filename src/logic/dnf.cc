@@ -2,7 +2,9 @@
 
 #include <map>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "datatree/zones.h"
 
 namespace fo2dt {
@@ -27,7 +29,29 @@ std::string ExtAlphabet::Name(ExtSymbol s, const Alphabet& labels) const {
   return out;
 }
 
-Result<TypeSet> TypeFromFormula(const Formula& f, const ExtAlphabet& ext) {
+TypeSet FullType(const ExtAlphabet& ext) { return TypeSet(ext.size(), 1); }
+
+TypeSet TypeIntersect(const TypeSet& a, const TypeSet& b) {
+  TypeSet out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] && b[i];
+  return out;
+}
+
+TypeSet TypeUnion(const TypeSet& a, const TypeSet& b) {
+  TypeSet out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] || b[i];
+  return out;
+}
+
+TypeSet TypeComplement(const TypeSet& a) {
+  TypeSet out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = !a[i];
+  return out;
+}
+
+namespace {
+
+Result<TypeSet> TypeFromFormulaImpl(const Formula& f, const ExtAlphabet& ext) {
   using Kind = Formula::Kind;
   switch (f.kind()) {
     case Kind::kTrue:
@@ -53,14 +77,15 @@ Result<TypeSet> TypeFromFormula(const Formula& f, const ExtAlphabet& ext) {
       return out;
     }
     case Kind::kNot: {
-      FO2DT_ASSIGN_OR_RETURN(TypeSet sub, TypeFromFormula(f.child(0), ext));
+      FO2DT_ASSIGN_OR_RETURN(TypeSet sub, TypeFromFormulaImpl(f.child(0), ext));
       return TypeComplement(sub);
     }
     case Kind::kAnd:
     case Kind::kOr: {
-      FO2DT_ASSIGN_OR_RETURN(TypeSet acc, TypeFromFormula(f.child(0), ext));
+      FO2DT_ASSIGN_OR_RETURN(TypeSet acc, TypeFromFormulaImpl(f.child(0), ext));
       for (size_t i = 1; i < f.children().size(); ++i) {
-        FO2DT_ASSIGN_OR_RETURN(TypeSet next, TypeFromFormula(f.child(i), ext));
+        FO2DT_ASSIGN_OR_RETURN(TypeSet next,
+                               TypeFromFormulaImpl(f.child(i), ext));
         acc = f.kind() == Kind::kAnd ? TypeIntersect(acc, next)
                                      : TypeUnion(acc, next);
       }
@@ -72,24 +97,12 @@ Result<TypeSet> TypeFromFormula(const Formula& f, const ExtAlphabet& ext) {
   }
 }
 
-TypeSet FullType(const ExtAlphabet& ext) { return TypeSet(ext.size(), 1); }
+}  // namespace
 
-TypeSet TypeIntersect(const TypeSet& a, const TypeSet& b) {
-  TypeSet out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] && b[i];
-  return out;
-}
-
-TypeSet TypeUnion(const TypeSet& a, const TypeSet& b) {
-  TypeSet out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] || b[i];
-  return out;
-}
-
-TypeSet TypeComplement(const TypeSet& a) {
-  TypeSet out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = !a[i];
-  return out;
+Result<TypeSet> TypeFromFormula(const Formula& f, const ExtAlphabet& ext) {
+  FO2DT_TRACE_SPAN("logic.dnf.type");
+  ScopedPhaseTimer phase_timer(Phase::kDnf);
+  return TypeFromFormulaImpl(f, ext);
 }
 
 bool TypeEmpty(const TypeSet& a) {

@@ -18,13 +18,19 @@ class FormulaParser {
     FO2DT_ASSIGN_OR_RETURN(Formula f, ParseIff());
     SkipSpace();
     if (pos_ != text_.size()) {
-      return Status::ParseError(
-          StringFormat("trailing formula input at offset %zu", pos_));
+      return Err("trailing formula input");
     }
     return f;
   }
 
  private:
+  /// ParseError pointing at byte offset \p at (default: the cursor),
+  /// rendered as line/column.
+  Status Err(const std::string& what) const { return Err(what, pos_); }
+  Status Err(const std::string& what, size_t at) const {
+    return Status::ParseError(what + " at " + FormatTextPosition(text_, at));
+  }
+
   void SkipSpace() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
@@ -62,8 +68,7 @@ class FormulaParser {
       ++pos_;
     }
     if (pos_ == start) {
-      return Status::ParseError(
-          StringFormat("expected identifier at offset %zu", start));
+      return Err("expected identifier", start);
     }
     return text_.substr(start, pos_ - start);
   }
@@ -72,7 +77,7 @@ class FormulaParser {
     FO2DT_ASSIGN_OR_RETURN(std::string name, ParseIdent());
     if (name == "x") return Var::kX;
     if (name == "y") return Var::kY;
-    return Status::ParseError("expected variable x or y, got: " + name);
+    return Err("expected variable x or y, got: " + name, pos_ - name.size());
   }
 
   Result<Formula> ParseIff() {
@@ -129,13 +134,13 @@ class FormulaParser {
     }
     if (Match("exists")) {
       FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
-      if (!Match(".")) return Status::ParseError("expected '.' after exists");
+      if (!Match(".")) return Err("expected '.' after exists");
       FO2DT_ASSIGN_OR_RETURN(Formula body, ParseIff());
       return Formula::Exists(v, std::move(body));
     }
     if (Match("forall")) {
       FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
-      if (!Match(".")) return Status::ParseError("expected '.' after forall");
+      if (!Match(".")) return Err("expected '.' after forall");
       FO2DT_ASSIGN_OR_RETURN(Formula body, ParseIff());
       return Formula::Forall(v, std::move(body));
     }
@@ -145,23 +150,24 @@ class FormulaParser {
   Result<Formula> ParseAtom() {
     SkipSpace();
     if (pos_ >= text_.size()) {
-      return Status::ParseError("unexpected end of formula");
+      return Err("unexpected end of formula");
     }
     if (PeekChar('(')) {
       ++pos_;
       FO2DT_ASSIGN_OR_RETURN(Formula inner, ParseIff());
-      if (!Match(")")) return Status::ParseError("expected ')'");
+      if (!Match(")")) return Err("expected ')'");
       return inner;
     }
     if (PeekChar('$')) {
       ++pos_;
       FO2DT_ASSIGN_OR_RETURN(std::string name, ParseIdent());
       if (pred_names_ == nullptr) {
-        return Status::ParseError("predicate atoms ($) not allowed here");
+        return Err("predicate atoms ($) not allowed here",
+                   pos_ - name.size() - 1);
       }
-      if (!Match("(")) return Status::ParseError("expected '(' after $pred");
+      if (!Match("(")) return Err("expected '(' after $pred");
       FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
-      if (!Match(")")) return Status::ParseError("expected ')' after $pred var");
+      if (!Match(")")) return Err("expected ')' after $pred var");
       return Formula::Pred(pred_names_->Intern(name), v);
     }
     if (Match("true")) return Formula::True();
@@ -183,28 +189,28 @@ class FormulaParser {
         FO2DT_ASSIGN_OR_RETURN(Var w, ParseVar());
         return Formula::Equal(v, w);
       }
-      return Status::ParseError("expected ~, = or != after variable");
+      return Err("expected ~, = or != after variable");
     }
     // Relation or label atom: ident '(' var [',' var] ')'.
     if (!Match("(")) {
-      return Status::ParseError("expected '(' after identifier " + ident);
+      return Err("expected '(' after identifier " + ident);
     }
     FO2DT_ASSIGN_OR_RETURN(Var v, ParseVar());
     if (Match(",")) {
       FO2DT_ASSIGN_OR_RETURN(Var w, ParseVar());
-      if (!Match(")")) return Status::ParseError("expected ')' after relation");
+      if (!Match(")")) return Err("expected ')' after relation");
       if (ident == "next") return Formula::Edge(Axis::kNextSibling, v, w);
       if (ident == "child") return Formula::Edge(Axis::kChild, v, w);
       if (ident == "foll") return Formula::Edge(Axis::kFollowingSibling, v, w);
       if (ident == "desc") return Formula::Edge(Axis::kDescendant, v, w);
-      return Status::ParseError("unknown binary relation: " + ident);
+      return Err("unknown binary relation: " + ident);
     }
-    if (!Match(")")) return Status::ParseError("expected ')' after label atom");
+    if (!Match(")")) return Err("expected ')' after label atom");
     if (ident == "next" || ident == "child" || ident == "foll" ||
         ident == "desc" || ident == "true" || ident == "false" ||
         ident == "exists" || ident == "forall" || ident == "x" ||
         ident == "y") {
-      return Status::ParseError("reserved word used as label: " + ident);
+      return Err("reserved word used as label: " + ident);
     }
     return Formula::Label(alphabet_->Intern(ident), v);
   }

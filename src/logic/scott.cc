@@ -1,6 +1,8 @@
 #include "logic/scott.h"
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace fo2dt {
 
@@ -148,6 +150,8 @@ struct ScottBuilder {
 
 Result<ScottNormalForm> ToScottNormalForm(const Formula& sentence,
                                           PredId num_existing_preds) {
+  FO2DT_TRACE_SPAN("logic.scott");
+  ScopedPhaseTimer phase_timer(Phase::kScott);
   if (!sentence.IsSentence()) {
     return Status::InvalidArgument("Scott normal form requires a sentence");
   }

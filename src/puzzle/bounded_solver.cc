@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "lcta/lcta.h"
 
 namespace fo2dt {
@@ -124,7 +126,16 @@ class ShapeSearch {
 
 Result<BoundedSolveResult> SolvePuzzleBounded(
     const Puzzle& puzzle, const BoundedSolveOptions& options) {
+  FO2DT_TRACE_SPAN("puzzle.bounded");
+  ScopedPhaseTimer phase_timer(Phase::kBoundedSearch, options.exec);
   BoundedSolveResult out;
+  // Flushes the step count as phase effort on every exit path, including
+  // error propagation (destroyed before phase_timer by construction order).
+  struct EffortFlush {
+    ScopedPhaseTimer* timer;
+    const uint64_t* steps;
+    ~EffortFlush() { timer->AddEffort(*steps); }
+  } effort_flush{&phase_timer, &out.steps};
   // Letters that can appear at all: non-root symbols are read by their
   // outgoing transition, roots by F; a letter some profiled variant of which
   // occurs nowhere can be skipped entirely.

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace fo2dt {
 
@@ -138,6 +140,10 @@ bool ClassTypeValid(const std::vector<int>& tau, const Regions& regions,
 
 Result<CountingResult> CheckPuzzleUnsatByCounting(
     const Puzzle& puzzle, const CountingOptions& options) {
+  FO2DT_TRACE_SPAN("puzzle.counting");
+  // Self time = region/class-type abstraction building; the LCTA emptiness
+  // call below carries its own kLcta timer.
+  ScopedPhaseTimer phase_timer(Phase::kPuzzle, options.lcta.exec);
   CountingResult out;
   // Collect condition types (alpha, beta) with indices.
   std::vector<const TypeSet*> types;

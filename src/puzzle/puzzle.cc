@@ -4,12 +4,16 @@
 #include <cmath>
 #include <map>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "datatree/zones.h"
 
 namespace fo2dt {
 
 Result<Puzzle> PuzzleFromBlock(const DnfBlock& block, const ExtAlphabet& ext) {
+  FO2DT_TRACE_SPAN("puzzle.build");
+  ScopedPhaseTimer phase_timer(Phase::kPuzzle);
   Puzzle out;
   out.ext = ext;
   const size_t num_profiled = ext.profiled_size();

@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_stats.h"
+#include "common/trace.h"
 
 namespace fo2dt {
 
@@ -85,6 +87,8 @@ struct SearchState {
   VarId num_vars = 0;
   size_t nodes = 0;
   size_t max_nodes = 0;
+  size_t depth = 0;      // current B&B recursion depth
+  size_t max_depth = 0;  // deepest node seen (the PhaseProfile gauge)
   // Cancellation (caller token chained with first-SAT-wins abandonment: the
   // branch token is cancelled once a sibling DNF branch with a smaller index
   // has terminated) plus the optional execution governor (deadline).
@@ -113,12 +117,24 @@ struct SearchState {
   }
 };
 
+/// Tracks B&B recursion depth across Branch's early returns.
+struct DepthGuard {
+  explicit DepthGuard(SearchState* st) : st_(st) {
+    if (++st_->depth > st_->max_depth) st_->max_depth = st_->depth;
+  }
+  ~DepthGuard() { --st_->depth; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+  SearchState* st_;
+};
+
 /// One branch-and-bound node. The tableau arrives already repaired for this
 /// node's bounds; branching copies it once for the down child and mutates it
 /// in place for the up child (one dual-simplex warm start each, never a
 /// from-scratch rebuild).
 Result<std::optional<IntAssignment>> Branch(IncrementalSimplex tab,
                                             SearchState* st) {
+  DepthGuard depth_guard(st);
   // Failpoint: per-node observation/cancellation hook (tests use it to
   // request cancellation from inside a running search).
   FO2DT_FAILPOINT("ilp.branch", nullptr);
@@ -195,7 +211,10 @@ void FlushNodes(const SearchState& st, const IlpOptions& options,
   if (options.exec != nullptr) {
     options.exec->counters().ilp_nodes.fetch_add(st.nodes,
                                                  std::memory_order_relaxed);
+    options.exec->phases().RecordDepth(st.max_depth);
   }
+  PhaseCounters& local = PhaseStats::Local();
+  if (st.max_depth > local.ilp_max_depth) local.ilp_max_depth = st.max_depth;
 }
 
 /// True when a non-OK search status may fall through from the slim unbounded
@@ -216,6 +235,10 @@ Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
                                          const IlpOptions& options,
                                          const CancellationToken& token,
                                          size_t* nodes_used) {
+  FO2DT_TRACE_SPAN("solverlp.ilp");
+  // One timer per DNF-branch solve; covers the nested simplex work too
+  // (simplex and B&B are one attribution phase). Effort = B&B nodes.
+  ScopedPhaseTimer phase_timer(Phase::kIlp, options.exec);
   IlpSolution out;
   LinearSystem base;
   if (Preprocess(system, &base) == PreprocessVerdict::kInfeasible) {
@@ -234,6 +257,7 @@ Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
     st.exec = options.exec;
     auto attempt = RunSearch(base, std::nullopt, &st);
     FlushNodes(st, options, nodes_used);
+    phase_timer.AddEffort(st.nodes);
     if (attempt.ok()) {
       out.nodes_explored = st.nodes;
       out.feasible = attempt->has_value();
@@ -254,6 +278,7 @@ Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
   st.exec = options.exec;
   auto hit = RunSearch(base, bound, &st);
   FlushNodes(st, options, nodes_used);
+  phase_timer.AddEffort(st.nodes);
   if (!hit.ok()) return hit.status();
   out.nodes_explored += st.nodes;
   out.feasible = hit->has_value();

@@ -4,10 +4,28 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace fo2dt {
 
 namespace {
+
+// Federates the simplex counter family into the unified MetricsRegistry
+// (common/metrics.h); keys mirror the bench counter names.
+const MetricsSourceRegistrar kSimplexMetricsSource(
+    "simplex",
+    [](MetricsSnapshot* snap) {
+      SimplexCounters c = SimplexStats::Aggregate();
+      snap->Set("simplex.pivots", static_cast<double>(c.pivots));
+      snap->Set("simplex.tableau_builds",
+                static_cast<double>(c.tableau_builds));
+      snap->Set("simplex.warm_starts", static_cast<double>(c.warm_starts));
+      snap->Set("simplex.warm_start_hits",
+                static_cast<double>(c.warm_start_hits));
+      snap->Set("simplex.warm_start_hit_rate", c.WarmStartHitRate());
+    },
+    [] { SimplexStats::Reset(); });
 
 // Safety-net pivot budget for the from-scratch Rebuild path. Bland's rule
 // guarantees termination, so this is only insurance against a bug turning
@@ -184,6 +202,7 @@ Result<IncrementalSimplex> IncrementalSimplex::Create(
 Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
     const LinearSystem& base, VarId num_vars, const ExecutionContext* exec,
     CancellationToken token) {
+  FO2DT_TRACE_SPAN("solverlp.tableau_build");
   ++SimplexStats::Local().tableau_builds;
 
   IncrementalSimplex t;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "lcta/lcta.h"
 
 namespace fo2dt {
@@ -50,6 +52,8 @@ struct Candidate {
 Result<std::vector<std::vector<Candidate>>> DeriveAll(
     const VataAutomaton& a, const DataTree& t, size_t max_candidates,
     const ExecutionContext* exec) {
+  FO2DT_TRACE_SPAN("vata.derive");
+  ScopedPhaseTimer phase_timer(Phase::kVata, exec);
   if (!IsBinaryTree(t)) {
     return Status::InvalidArgument("VATA runs require a binary tree");
   }
@@ -60,13 +64,15 @@ Result<std::vector<std::vector<Candidate>>> DeriveAll(
   struct CandidateTally {
     const ExecutionContext* exec;
     const size_t* total;
+    ScopedPhaseTimer* timer;
     ~CandidateTally() {
       if (exec != nullptr) {
         exec->counters().vata_candidates.fetch_add(*total,
                                                    std::memory_order_relaxed);
       }
+      timer->AddEffort(*total);
     }
-  } tally{exec, &total};
+  } tally{exec, &total, &phase_timer};
   // Children have larger NodeIds only in creation order... process in
   // post-order to be safe.
   std::vector<NodeId> order;

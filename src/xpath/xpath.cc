@@ -5,7 +5,9 @@
 #include <functional>
 #include <set>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace fo2dt {
 
@@ -830,37 +832,48 @@ DataTree ApplyElementValueEncoding(const DataTree& t,
 Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
                                            const TreeAutomaton* schema,
                                            const SolverOptions& options) {
-  FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&path}));
-  FO2DT_ASSIGN_OR_RETURN(Formula selected, TranslateXPathToFo2(path, assoc));
-  size_t num_labels =
-      schema != nullptr ? schema->num_symbols()
-                        : static_cast<size_t>(selected.NumSymbolsSpanned()) + 1;
-  Formula query =
-      Formula::And(Formula::Exists(Var::kX, std::move(selected)),
-                   ElementValueConsistencyFormula(assoc, num_labels));
+  // Translation is charged to kXpath; the solver call at the end times
+  // itself (and attaches the PhaseProfile), so the timer closes first.
+  Result<Formula> query = [&]() -> Result<Formula> {
+    FO2DT_TRACE_SPAN("xpath.translate");
+    ScopedPhaseTimer phase_timer(Phase::kXpath, options.exec);
+    FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&path}));
+    FO2DT_ASSIGN_OR_RETURN(Formula selected, TranslateXPathToFo2(path, assoc));
+    size_t num_labels =
+        schema != nullptr
+            ? schema->num_symbols()
+            : static_cast<size_t>(selected.NumSymbolsSpanned()) + 1;
+    return Formula::And(Formula::Exists(Var::kX, std::move(selected)),
+                        ElementValueConsistencyFormula(assoc, num_labels));
+  }();
+  FO2DT_RETURN_NOT_OK(query.status());
   SolverOptions opt = options;
   opt.structural_filter = schema;
-  return CheckFo2SatisfiabilityBounded(query, opt);
+  return CheckFo2SatisfiabilityBounded(*query, opt);
 }
 
 Result<SatResult> CheckXPathContainment(const XpPath& p, const XpPath& q,
                                         const TreeAutomaton* schema,
                                         const SolverOptions& options) {
-  FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&p, &q}));
-  FO2DT_ASSIGN_OR_RETURN(Formula in_p, TranslateXPathToFo2(p, assoc));
-  FO2DT_ASSIGN_OR_RETURN(Formula in_q, TranslateXPathToFo2(q, assoc));
-  Formula counterexample =
-      Formula::And(std::move(in_p), Formula::Not(std::move(in_q)));
-  size_t num_labels =
-      schema != nullptr
-          ? schema->num_symbols()
-          : static_cast<size_t>(counterexample.NumSymbolsSpanned()) + 1;
-  Formula query =
-      Formula::And(Formula::Exists(Var::kX, std::move(counterexample)),
-                   ElementValueConsistencyFormula(assoc, num_labels));
+  Result<Formula> query = [&]() -> Result<Formula> {
+    FO2DT_TRACE_SPAN("xpath.translate");
+    ScopedPhaseTimer phase_timer(Phase::kXpath, options.exec);
+    FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&p, &q}));
+    FO2DT_ASSIGN_OR_RETURN(Formula in_p, TranslateXPathToFo2(p, assoc));
+    FO2DT_ASSIGN_OR_RETURN(Formula in_q, TranslateXPathToFo2(q, assoc));
+    Formula counterexample =
+        Formula::And(std::move(in_p), Formula::Not(std::move(in_q)));
+    size_t num_labels =
+        schema != nullptr
+            ? schema->num_symbols()
+            : static_cast<size_t>(counterexample.NumSymbolsSpanned()) + 1;
+    return Formula::And(Formula::Exists(Var::kX, std::move(counterexample)),
+                        ElementValueConsistencyFormula(assoc, num_labels));
+  }();
+  FO2DT_RETURN_NOT_OK(query.status());
   SolverOptions opt = options;
   opt.structural_filter = schema;
-  return CheckFo2SatisfiabilityBounded(query, opt);
+  return CheckFo2SatisfiabilityBounded(*query, opt);
 }
 
 }  // namespace fo2dt

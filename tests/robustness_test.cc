@@ -17,17 +17,23 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "arith/bigint.h"
 #include "common/execution_context.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_stats.h"
+#include "constraints/constraints.h"
 #include "frontend/solver.h"
 #include "lcta/lcta.h"
 #include "logic/parser.h"
 #include "solverlp/ilp.h"
+#include "xmlenc/dtd.h"
 
 namespace fo2dt {
 namespace {
@@ -454,6 +460,169 @@ TEST(FailpointTest, MidSearchCancellationThroughBranchHook) {
   EXPECT_TRUE(r.status().IsCancelled());
   ASSERT_NE(r.status().stop_reason(), nullptr);
   EXPECT_EQ(r.status().stop_reason()->kind, StopKind::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Stop attribution end-to-end: when a deadline (or budget) kills a solve, the
+// degraded SatResult must say not just *that* it stopped but *where* — the
+// StopReason module and the PhaseProfile's dominant phase have to agree on
+// the pipeline stage that was burning the clock. One test per stop site:
+// the LCTA cut loop, the simplex/B&B core, the ILP node budget, and the
+// connectivity-cut budget.
+// ---------------------------------------------------------------------------
+
+/// Key/foreign-key family over a DTD schema, mirroring the benchmark
+/// instance: per kind i the root holds "src_i, src_i, ref_i?", each element
+/// carrying attribute k_i, with keyed inclusions src_i.k_i -> ref_i.k_i.
+/// The inconsistent variant also keys src_i (two sources, at most one
+/// target), which drives the specialized ILP into a node-heavy search.
+struct KeyFkFamily {
+  Alphabet labels;
+  TreeAutomaton schema;
+  ConstraintSet set;
+};
+
+KeyFkFamily MakeKeyFkFamily(size_t kinds, bool consistent) {
+  KeyFkFamily f;
+  Symbol root = f.labels.Intern("root");
+  Dtd dtd;
+  dtd.root = root;
+  std::string content;
+  for (size_t i = 0; i < kinds; ++i) {
+    Symbol src = f.labels.Intern("src" + std::to_string(i));
+    Symbol ref = f.labels.Intern("ref" + std::to_string(i));
+    Symbol key = f.labels.Intern("k" + std::to_string(i));
+    dtd.elements.push_back(DtdElement{src, Regex::Epsilon(), {key}});
+    dtd.elements.push_back(DtdElement{ref, Regex::Epsilon(), {key}});
+    if (!content.empty()) content += ", ";
+    content += "src" + std::to_string(i) + ", src" + std::to_string(i) +
+               ", ref" + std::to_string(i) + "?";
+    if (!consistent) f.set.keys.push_back({src, key});
+    f.set.keys.push_back({ref, key});
+    f.set.inclusions.push_back({src, key, ref, key});
+  }
+  DtdElement root_el;
+  root_el.element = root;
+  Alphabet regex_labels = f.labels;
+  root_el.content = *ParseRegex(content, &regex_labels);
+  dtd.elements.push_back(root_el);
+  f.schema = *DtdToTreeAutomaton(dtd, f.labels.size());
+  return f;
+}
+
+TEST(StopAttributionTest, CutLoopDeadlineAttributesToLcta) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Watchdog watchdog(std::chrono::seconds(120));
+  FailpointGuard guard;
+  // Stall the first cut round well past the deadline; the per-round
+  // checkpoint right after the failpoint must then attribute the stop to
+  // the cut loop (module "lcta.cuts"), and the stall itself lands in the
+  // kLcta phase timer that wraps SolveRoot.
+  Failpoints::Instance().Enable("lcta.cut_round", [](void*) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  });
+  KeyFkFamily f = MakeKeyFkFamily(1, /*consistent=*/true);
+  ExecutionContext exec;
+  exec.SetDeadlineAfter(std::chrono::milliseconds(250));
+  LctaOptions opt;
+  opt.exec = &exec;
+  opt.num_threads = 1;  // serialize the root fan-out for determinism
+  auto r = CheckKeyForeignKeyConsistencyIlp(f.schema, f.set, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->verdict, SatVerdict::kUnknown);
+  ASSERT_TRUE(r->stop_reason.has_value());
+  EXPECT_EQ(r->stop_reason->kind, StopKind::kDeadline);
+  EXPECT_STREQ(r->stop_reason->module, "lcta.cuts");
+  ASSERT_TRUE(r->profile.has_value());
+  EXPECT_EQ(r->profile->stop.kind, r->stop_reason->kind);
+  EXPECT_STREQ(r->profile->stop.module, r->stop_reason->module);
+  EXPECT_EQ(r->profile->StopPhase(), Phase::kLcta);
+  EXPECT_EQ(r->profile->DominantPhase(), Phase::kLcta);
+}
+
+TEST(StopAttributionTest, MidSimplexDeadlineAttributesToSolverCore) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Watchdog watchdog(std::chrono::seconds(120));
+  FailpointGuard guard;
+  // The 2-kind inconsistent root LP runs ~500 exact pivots in one tableau,
+  // past the amortized 256-pivot deadline checkpoint. Expire the deadline
+  // from inside that pivot loop — the bigint failpoint fires on every
+  // small-int add, and in a single-threaded solve the add sequence is
+  // deterministic: hit ~100 lands after the cut-round-0 governor check
+  // (which happens at add ~4) but before the 256th pivot (~add 430). The
+  // stop must then be attributed to simplex pivoting, not the cut loop.
+  // The initial deadline must be armed (nonzero) before the solve starts:
+  // checkpoints constructed against a deadline-free context disarm
+  // themselves for the fast path and would never observe the shortening.
+  ExecutionContext exec;
+  exec.SetDeadlineAfter(std::chrono::minutes(5));
+  Failpoints::Instance().Enable(
+      "bigint.force_slow_add",
+      [&exec](void*) { exec.SetDeadlineAfter(std::chrono::milliseconds(0)); },
+      /*skip=*/99, /*fire=*/1);
+  KeyFkFamily f = MakeKeyFkFamily(2, /*consistent=*/false);
+  LctaOptions opt;
+  opt.exec = &exec;
+  opt.num_threads = 1;
+  auto r = CheckKeyForeignKeyConsistencyIlp(f.schema, f.set, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->verdict, SatVerdict::kUnknown);
+  ASSERT_TRUE(r->stop_reason.has_value());
+  EXPECT_EQ(r->stop_reason->kind, StopKind::kDeadline);
+  EXPECT_STREQ(r->stop_reason->module, "solverlp.simplex");
+  ASSERT_TRUE(r->profile.has_value());
+  EXPECT_EQ(r->profile->StopPhase(), Phase::kIlp);
+  // The phase that was cut short must show up in the profile: the solver
+  // core had run hundreds of pivots before the checkpoint fired.
+  EXPECT_GT((*r->profile)[Phase::kIlp].calls, 0u);
+  EXPECT_GT((*r->profile)[Phase::kIlp].wall_ns, 0u);
+  // Distinctness against the cut-loop case above: same stop kind, different
+  // module, different owning phase.
+  EXPECT_NE(r->profile->StopPhase(), Phase::kLcta);
+}
+
+TEST(StopAttributionTest, IlpNodeBudgetAttributesToIlpModule) {
+  // No failpoints: runs in every build. The LCTA flow systems are
+  // effectively totally unimodular — their searches conclude at the root
+  // node — so a genuine budget trip needs a genuinely branching system:
+  // 2x + 3y == 1 has the fractional LP vertex x = 1/2 but no nonnegative
+  // integer point, and its coefficient gcd is 1 so preprocessing keeps it.
+  // A node budget of 0 must then trip with the ILP module's StopReason.
+  Watchdog watchdog(std::chrono::seconds(120));
+  LinearSystem sys = {LinearAtom::Eq(MakeExpr({2, 3}, -1)),
+                      LinearAtom::Ge(MakeExpr({1, 0}, 0)),
+                      LinearAtom::Ge(MakeExpr({0, 1}, 0))};
+  IlpOptions opt;
+  opt.max_nodes = 0;
+  auto r = IlpSolver::FindIntegerPoint(sys, 2, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  ASSERT_NE(r.status().stop_reason(), nullptr);
+  EXPECT_EQ(r.status().stop_reason()->kind, StopKind::kNodeBudget);
+  EXPECT_STREQ(r.status().stop_reason()->module, "solverlp.ilp");
+}
+
+TEST(StopAttributionTest, CutBudgetSurfacesWithCutModule) {
+  // The phantom-cycle instance (cf. lcta_test ConnectivityCutsFire) needs at
+  // least one connectivity cut; with max_cuts=0 the second round trips the
+  // cut budget, which must be attributed to the cut loop, not the ILP.
+  Watchdog watchdog(std::chrono::seconds(120));
+  TreeAutomaton a(1, 3);
+  a.SetInitial(0);
+  a.AddVertical(0, 0, 1);
+  a.SetAccepting(1, 0);
+  a.AddVertical(2, 0, 2);
+  LinearExpr e = LinearExpr::Variable(2);  // n_2 >= 1: only the phantom
+  e.AddConstant(BigInt(-1));
+  Lcta lcta{a, LinearConstraint::Ge(e)};
+  LctaOptions opt;
+  opt.max_cuts = 0;
+  auto r = CheckLctaEmptiness(lcta, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  ASSERT_NE(r.status().stop_reason(), nullptr);
+  EXPECT_EQ(r.status().stop_reason()->kind, StopKind::kCutBudget);
+  EXPECT_STREQ(r.status().stop_reason()->module, "lcta.cuts");
 }
 
 TEST(FailpointTest, LctaCutRoundFaultSurfacesCleanStatus) {
