@@ -10,8 +10,7 @@
 // spans in (FO2DT_TRACE); in release builds the file still carries the
 // metrics snapshot and an empty traceEvents list.
 
-#ifndef FO2DT_BENCH_BENCH_MAIN_H_
-#define FO2DT_BENCH_BENCH_MAIN_H_
+#pragma once
 
 #include <benchmark/benchmark.h>
 
@@ -106,4 +105,3 @@ inline int BenchMain(int argc, char** argv) {
     return ::fo2dt::bench_internal::BenchMain(argc, argv); \
   }
 
-#endif  // FO2DT_BENCH_BENCH_MAIN_H_

@@ -32,7 +32,7 @@ DataTree MakeTree(size_t nodes, double copy_prob, Alphabet* alpha,
 void BM_ComputeZones(benchmark::State& state) {
   Alphabet alpha;
   DataTree t = MakeTree(static_cast<size_t>(state.range(0)),
-                        state.range(1) / 100.0, &alpha, 42);
+                        static_cast<double>(state.range(1)) / 100.0, &alpha, 42);
   size_t zones = 0;
   for (auto _ : state) {
     ZonePartition z = ComputeZones(t);

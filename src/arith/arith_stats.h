@@ -6,8 +6,7 @@
 /// the multi-limb slow path. Benchmarks report the fast-path rate to prove
 /// where solver time goes.
 
-#ifndef FO2DT_ARITH_ARITH_STATS_H_
-#define FO2DT_ARITH_ARITH_STATS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -38,4 +37,3 @@ using ArithStats = ThreadStats<ArithCounters>;
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_ARITH_ARITH_STATS_H_

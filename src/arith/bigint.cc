@@ -7,6 +7,7 @@
 #include "arith/arith_stats.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/registry_names.h"
 
 namespace fo2dt {
 
@@ -17,9 +18,9 @@ const MetricsSourceRegistrar kArithMetricsSource(
     "arith",
     [](MetricsSnapshot* snap) {
       ArithCounters c = ArithStats::Aggregate();
-      snap->Set("arith.small_ops", static_cast<double>(c.small_ops));
-      snap->Set("arith.big_ops", static_cast<double>(c.big_ops));
-      snap->Set("arith.fast_path_rate", c.FastPathRate());
+      snap->Set(names::kMetricArithSmallOps, static_cast<double>(c.small_ops));
+      snap->Set(names::kMetricArithBigOps, static_cast<double>(c.big_ops));
+      snap->Set(names::kMetricArithFastPathRate, c.FastPathRate());
     },
     [] { ArithStats::Reset(); });
 
@@ -353,7 +354,7 @@ BigInt BigInt::operator+(const BigInt& o) const {
   // inline int64 fast path had overflowed; the magnitude arithmetic must
   // produce the identical canonical value.
   bool force_slow = false;
-  FO2DT_FAILPOINT("bigint.force_slow_add", &force_slow);
+  FO2DT_FAILPOINT(names::kFpBigintForceSlowAdd, &force_slow);
   if (!force_slow && small_rep_ && o.small_rep_) {
     int64_t r;
     if (!__builtin_add_overflow(small_, o.small_, &r)) {

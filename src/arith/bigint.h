@@ -13,8 +13,7 @@
 /// representations. Results are demoted back to the inline form whenever they
 /// shrink into range.
 
-#ifndef FO2DT_ARITH_BIGINT_H_
-#define FO2DT_ARITH_BIGINT_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -151,4 +150,3 @@ std::ostream& operator<<(std::ostream& os, const BigInt& v);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_ARITH_BIGINT_H_

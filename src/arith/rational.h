@@ -3,8 +3,7 @@
 ///
 /// Invariant: denominator > 0 and gcd(|num|, den) == 1; zero is 0/1.
 
-#ifndef FO2DT_ARITH_RATIONAL_H_
-#define FO2DT_ARITH_RATIONAL_H_
+#pragma once
 
 #include <string>
 
@@ -74,4 +73,3 @@ std::ostream& operator<<(std::ostream& os, const Rational& v);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_ARITH_RATIONAL_H_

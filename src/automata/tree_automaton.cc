@@ -191,7 +191,7 @@ Result<TreeRun> TreeAutomaton::FindAcceptingRun(const DataTree& t) const {
     // Choose the last child: must δv-step into run[v].
     TreeState target = run[v];
     NodeId lc = kids.back();
-    TreeState chosen = num_states_;
+    TreeState chosen = static_cast<TreeState>(num_states_);
     for (TreeState q : p[lc]) {
       if (HasVertical(q, t.label(lc), target)) {
         chosen = q;
@@ -206,7 +206,7 @@ Result<TreeRun> TreeAutomaton::FindAcceptingRun(const DataTree& t) const {
     for (size_t i = kids.size() - 1; i-- > 0;) {
       NodeId cur = kids[i];
       TreeState next_state = run[kids[i + 1]];
-      TreeState pick = num_states_;
+      TreeState pick = static_cast<TreeState>(num_states_);
       for (TreeState q : p[cur]) {
         if (HasHorizontal(q, t.label(cur), next_state)) {
           pick = q;

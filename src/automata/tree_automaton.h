@@ -31,8 +31,7 @@
 /// EMSO2(+1) (Fact 1) immediate, and that the LCTA layer (Theorem 2) counts
 /// over.
 
-#ifndef FO2DT_AUTOMATA_TREE_AUTOMATON_H_
-#define FO2DT_AUTOMATA_TREE_AUTOMATON_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -167,4 +166,3 @@ class TreeAutomaton {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_AUTOMATA_TREE_AUTOMATON_H_

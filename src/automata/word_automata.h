@@ -7,8 +7,7 @@
 /// of schemas) and for the regular-language plumbing inside the tree-automata
 /// and puzzle layers.
 
-#ifndef FO2DT_AUTOMATA_WORD_AUTOMATA_H_
-#define FO2DT_AUTOMATA_WORD_AUTOMATA_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -157,4 +156,3 @@ Result<Regex> ParseRegex(const std::string& text, Alphabet* alphabet);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_AUTOMATA_WORD_AUTOMATA_H_

@@ -26,8 +26,7 @@
 /// All methods are thread-safe; one ExecutionContext is shared by every
 /// worker thread of a solve.
 
-#ifndef FO2DT_COMMON_EXECUTION_CONTEXT_H_
-#define FO2DT_COMMON_EXECUTION_CONTEXT_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -298,4 +297,3 @@ class FirstWinsFanout {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_EXECUTION_CONTEXT_H_

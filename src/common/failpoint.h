@@ -27,8 +27,7 @@
 ///   "ilp.worker_fault"        Status* inject an error into a DNF worker
 ///   "lcta.cut_round"          Status* inject an error into the cut loop
 
-#ifndef FO2DT_COMMON_FAILPOINT_H_
-#define FO2DT_COMMON_FAILPOINT_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -115,4 +114,3 @@ class Failpoints {
   } while (false)
 #endif
 
-#endif  // FO2DT_COMMON_FAILPOINT_H_

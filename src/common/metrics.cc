@@ -3,41 +3,32 @@
 #include <cstring>
 
 #include "common/execution_context.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 
 namespace fo2dt {
 
+// The Phase enum and the generated registry must enumerate the same phases
+// in the same order; the lint registry (tools/lint/registry.json) is the
+// source of truth for the names.
+static_assert(names::kNumPhases == kPhaseCount,
+              "Phase enum and tools/lint/registry.json disagree; edit the "
+              "JSON and re-run tools/lint/gen_registry.py");
+
 const char* PhaseName(Phase phase) {
-  switch (phase) {
-    case Phase::kScott: return "scott";
-    case Phase::kDnf: return "dnf";
-    case Phase::kPuzzle: return "puzzle";
-    case Phase::kBoundedSearch: return "bounded_search";
-    case Phase::kLcta: return "lcta";
-    case Phase::kIlp: return "ilp";
-    case Phase::kVata: return "vata";
-    case Phase::kConstraints: return "constraints";
-    case Phase::kXpath: return "xpath";
-    case Phase::kFrontend: return "frontend";
-  }
-  return "unknown";
+  size_t i = static_cast<size_t>(phase);
+  return i < names::kNumPhases ? names::kPhaseNames[i] : "unknown";
 }
 
 Phase PhaseForModule(const char* module) {
   if (module == nullptr) return Phase::kFrontend;
-  auto prefixed = [module](const char* prefix) {
-    return std::strncmp(module, prefix, std::strlen(prefix)) == 0;
-  };
-  if (prefixed("logic.scott")) return Phase::kScott;
-  if (prefixed("logic.dnf")) return Phase::kDnf;
-  if (prefixed("puzzle.bounded")) return Phase::kBoundedSearch;
-  if (prefixed("frontend.enumerate")) return Phase::kBoundedSearch;
-  if (prefixed("puzzle.")) return Phase::kPuzzle;
-  if (prefixed("lcta.")) return Phase::kLcta;
-  if (prefixed("solverlp.")) return Phase::kIlp;
-  if (prefixed("vata.")) return Phase::kVata;
-  if (prefixed("constraints.")) return Phase::kConstraints;
-  if (prefixed("xpath.")) return Phase::kXpath;
+  // The generated table is ordered longest-prefix-first (the generator
+  // rejects a shadowed ordering), so the first hit is the most specific.
+  for (const names::ModulePhasePrefix& entry : names::kPhasePrefixes) {
+    if (std::strncmp(module, entry.prefix, std::strlen(entry.prefix)) == 0) {
+      return static_cast<Phase>(entry.phase);
+    }
+  }
   return Phase::kFrontend;
 }
 
@@ -196,9 +187,9 @@ MetricsRegistry::MetricsRegistry() {
           snap->Set(StringFormat("phase.%s.effort", name),
                     static_cast<double>(e.effort));
         }
-        snap->Set("gauge.ilp_max_depth",
+        snap->Set(names::kMetricGaugeIlpMaxDepth,
                   static_cast<double>(agg.ilp_max_depth));
-        snap->Set("gauge.mem_high_water",
+        snap->Set(names::kMetricGaugeMemHighWater,
                   static_cast<double>(agg.mem_high_water));
       },
       [] { PhaseStats::Reset(); }});

@@ -30,8 +30,7 @@
 ///     register themselves from their home translation units (bigint.cc,
 ///     simplex.cc) so common/ never depends upward.
 
-#ifndef FO2DT_COMMON_METRICS_H_
-#define FO2DT_COMMON_METRICS_H_
+#pragma once
 
 #include <array>
 #include <atomic>
@@ -275,4 +274,3 @@ struct MetricsSourceRegistrar {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_METRICS_H_

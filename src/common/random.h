@@ -5,9 +5,21 @@
 /// draws. All randomized components in fo2dt (tree generators, workload
 /// synthesis, property tests) take a RandomSource so runs are reproducible
 /// from a seed.
+///
+/// Thread ownership: a RandomSource is NOT internally synchronized — it is
+/// thread-confined, owned by the thread that constructed it. The parallel
+/// fan-outs in the solver core (IlpSolver::SolveDnf, the LCTA accepting-root
+/// loop) are deterministic and take no RandomSource, so nothing in src/**
+/// shares a generator across threads; every existing instance is
+/// stack-local to a test or benchmark. Code that does need randomness on
+/// worker threads must give each worker its own stream via Split() before
+/// spawning — never hand one RandomSource to two threads.
+///
+/// fo2dt_lint (rule no-raw-rand) bans rand()/srand()/std::random_device/
+/// std::mt19937 in src/** and bench/** so every random draw flows through
+/// this seeded, reproducible, ownership-documented type.
 
-#ifndef FO2DT_COMMON_RANDOM_H_
-#define FO2DT_COMMON_RANDOM_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -47,6 +59,18 @@ class RandomSource {
   /// Precondition: n > 0.
   size_t UniformIndex(size_t n) { return static_cast<size_t>(Next() % n); }
 
+  /// Derives an independent child stream, e.g. one per worker thread of a
+  /// parallel section (see the thread-ownership contract above). The child
+  /// is seeded from the parent's sequence through one extra mixing step, so
+  /// parent and child outputs are uncorrelated, and the derivation is
+  /// deterministic: splitting the same parent state yields the same child.
+  RandomSource Split() {
+    // Re-mix with a distinct odd constant so the child does not replay the
+    // parent's upcoming outputs.
+    uint64_t child_seed = Next() * 0xd1342543de82ef95ULL + 1;
+    return RandomSource(child_seed);
+  }
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* v) {
@@ -62,4 +86,3 @@ class RandomSource {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_RANDOM_H_

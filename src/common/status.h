@@ -5,8 +5,7 @@
 /// Status (when there is no value to produce) or a Result<T>. This mirrors the
 /// error-handling idiom of production database engines (Arrow, RocksDB).
 
-#ifndef FO2DT_COMMON_STATUS_H_
-#define FO2DT_COMMON_STATUS_H_
+#pragma once
 
 #include <cassert>
 #include <cstdint>
@@ -104,7 +103,12 @@ struct StopReason {
 ///
 /// A Status is either OK or carries a code plus a message. The OK state is
 /// represented without allocation; error states allocate one small block.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is exactly the drift class the
+/// static-analysis layer exists to prevent — discard explicitly with a
+/// `(void)` cast plus a reason comment when a result is intentionally
+/// ignored (see DESIGN.md "Static analysis & invariants").
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -198,8 +202,9 @@ class Status {
 ///
 /// Accessing the value of an error Result aborts in debug builds; callers are
 /// expected to test ok() (or use the FO2DT_ASSIGN_OR_RETURN macro) first.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
@@ -261,4 +266,3 @@ class Result {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_STATUS_H_

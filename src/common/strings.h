@@ -1,8 +1,7 @@
 /// \file strings.h
 /// \brief Small string helpers shared across modules.
 
-#ifndef FO2DT_COMMON_STRINGS_H_
-#define FO2DT_COMMON_STRINGS_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -50,4 +49,3 @@ std::string FormatTextPosition(const std::string& text, size_t offset);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_STRINGS_H_

@@ -6,8 +6,7 @@
 /// so that hot paths (automaton transitions, zone computation) work on small
 /// ints while diagnostics keep human-readable names.
 
-#ifndef FO2DT_COMMON_SYMBOL_H_
-#define FO2DT_COMMON_SYMBOL_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -56,4 +55,3 @@ class Alphabet {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_SYMBOL_H_

@@ -13,8 +13,7 @@
 /// builds — fan-out workers hold a ScopedStatsWorker for their lifetime and
 /// Aggregate()/Reset() assert that no worker is live.
 
-#ifndef FO2DT_COMMON_THREAD_STATS_H_
-#define FO2DT_COMMON_THREAD_STATS_H_
+#pragma once
 
 #include <atomic>
 #include <cassert>
@@ -121,4 +120,3 @@ class ThreadStats {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_THREAD_STATS_H_

@@ -25,8 +25,7 @@
 /// The buffer exports in Chrome trace-event format ("catapult" JSON), so a
 /// dump loads directly into chrome://tracing or https://ui.perfetto.dev.
 
-#ifndef FO2DT_COMMON_TRACE_H_
-#define FO2DT_COMMON_TRACE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -178,4 +177,3 @@ class TraceSpan {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_COMMON_TRACE_H_

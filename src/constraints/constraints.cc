@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/trace.h"
 #include "lcta/lcta.h"
 
@@ -116,7 +117,7 @@ Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
   // Translation is charged to kConstraints; the bounded search inside the
   // frontend call times itself (and attaches the PhaseProfile).
   Formula query = [&] {
-    FO2DT_TRACE_SPAN("constraints.translate");
+    FO2DT_TRACE_SPAN(names::kModConstraintsTranslate);
     ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
     return ConstraintSetToFo2(set);
   }();
@@ -130,7 +131,7 @@ Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
   SolverOptions opt = options;
   opt.structural_filter = &schema;
   Formula query = [&] {
-    FO2DT_TRACE_SPAN("constraints.translate");
+    FO2DT_TRACE_SPAN(names::kModConstraintsTranslate);
     ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
     return Formula::And(ConstraintSetToFo2(premises),
                         Formula::Not(conclusion));
@@ -143,7 +144,7 @@ namespace {
 Result<SatResult> CheckKeyForeignKeyConsistencyIlpImpl(
     const TreeAutomaton& schema, const ConstraintSet& set,
     const LctaOptions& options) {
-  FO2DT_TRACE_SPAN("constraints.keyfk_ilp");
+  FO2DT_TRACE_SPAN(names::kModConstraintsKeyfkIlp);
   // Self time = cardinality-constraint construction; the LCTA emptiness call
   // below runs its own kLcta/kIlp timers.
   ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);

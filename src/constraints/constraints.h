@@ -21,8 +21,7 @@
 ///   related-work discussion;
 /// * direct document-level checkers used as ground truth in tests.
 
-#ifndef FO2DT_CONSTRAINTS_CONSTRAINTS_H_
-#define FO2DT_CONSTRAINTS_CONSTRAINTS_H_
+#pragma once
 
 #include <vector>
 
@@ -79,7 +78,7 @@ Formula ConstraintSetToFo2(const ConstraintSet& set);
 /// \brief Consistency relative to a schema: is there a document accepted by
 /// \p schema (over the base label alphabet; pass Universal for "no schema")
 /// satisfying every constraint? Bounded-complete via model enumeration.
-Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
+[[nodiscard]] Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
                                           const ConstraintSet& set,
                                           const SolverOptions& options = {});
 
@@ -87,7 +86,7 @@ Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
 /// \p premises also satisfy \p conclusion? Searches for a bounded
 /// counterexample: kSat means "refuted" (witness is the counterexample),
 /// kUnknown means no counterexample within the budget.
-Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
+[[nodiscard]] Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
                                           const ConstraintSet& premises,
                                           const Formula& conclusion,
                                           const SolverOptions& options = {});
@@ -100,10 +99,9 @@ Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
 /// over label-occurrence counts. Sound and complete for label types,
 /// provided the schema guarantees the referenced attribute children (the
 /// DTD builders in xmlenc do).
-Result<SatResult> CheckKeyForeignKeyConsistencyIlp(
+[[nodiscard]] Result<SatResult> CheckKeyForeignKeyConsistencyIlp(
     const TreeAutomaton& schema, const ConstraintSet& set,
     const LctaOptions& options = {});
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_CONSTRAINTS_CONSTRAINTS_H_

@@ -11,8 +11,7 @@
 /// successor E→, the vertical successor E↓, and their transitive closures
 /// E⇒ / E⇓.
 
-#ifndef FO2DT_DATATREE_DATA_TREE_H_
-#define FO2DT_DATATREE_DATA_TREE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -171,4 +170,3 @@ DataTree DataErasure(const DataTree& t);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_DATATREE_DATA_TREE_H_

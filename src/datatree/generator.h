@@ -7,8 +7,7 @@
 /// this is what produces nontrivial zones, pure intervals and data paths —
 /// otherwise it draws a fresh value from [0, num_data_values).
 
-#ifndef FO2DT_DATATREE_GENERATOR_H_
-#define FO2DT_DATATREE_GENERATOR_H_
+#pragma once
 
 #include "common/random.h"
 #include "datatree/data_tree.h"
@@ -50,4 +49,3 @@ DataTree FlatRunsTree(size_t n, size_t run_length, Alphabet* alphabet);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_DATATREE_GENERATOR_H_

@@ -10,8 +10,7 @@
 /// Example: `a:1 (b:1 c:2 (d:2) b:1)` — the tree of Figure 1 style examples.
 /// Round-trips exactly through ParseDataTree / DataTreeToText.
 
-#ifndef FO2DT_DATATREE_TEXT_IO_H_
-#define FO2DT_DATATREE_TEXT_IO_H_
+#pragma once
 
 #include <string>
 
@@ -31,4 +30,3 @@ std::string DataTreeToPrettyText(const DataTree& t, const Alphabet& alphabet);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_DATATREE_TEXT_IO_H_

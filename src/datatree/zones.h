@@ -13,8 +13,7 @@
 /// These notions drive the small-model property (Proposition 2); this module
 /// computes them for concrete trees and checks (M,N)-reducedness.
 
-#ifndef FO2DT_DATATREE_ZONES_H_
-#define FO2DT_DATATREE_ZONES_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -118,4 +117,3 @@ bool IsReduced(const DataTree& t, size_t m, size_t n);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_DATATREE_ZONES_H_

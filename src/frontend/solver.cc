@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/trace.h"
 #include "lcta/lcta.h"
 #include "puzzle/puzzle.h"
@@ -23,8 +24,8 @@ const char* SatVerdictToString(SatVerdict v) {
 
 namespace {
 
-constexpr char kFrontendModule[] = "frontend.solver";
-constexpr char kEnumModule[] = "frontend.enumerate";
+constexpr const char* kFrontendModule = names::kModFrontendSolver;
+constexpr const char* kEnumModule = names::kModFrontendEnumerate;
 
 /// Graceful degradation at the facade: a budget exhaustion anywhere in the
 /// pipeline (deadline, step/node/cut caps) becomes an honest kUnknown verdict
@@ -198,7 +199,7 @@ Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
     }
   }
   Result<SatResult> run = [&]() -> Result<SatResult> {
-    FO2DT_TRACE_SPAN("frontend.enumerate");
+    FO2DT_TRACE_SPAN(names::kModFrontendEnumerate);
     ScopedPhaseTimer phase_timer(Phase::kBoundedSearch, options.exec);
     ModelEnumerator enumerator(sentence, num_labels, options);
     Result<SatResult> r = enumerator.Run();
@@ -271,7 +272,7 @@ Result<SatResult> CheckDnfSatisfiabilityImpl(const DataNormalForm& dnf,
 Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
                                          const SolverOptions& options) {
   Result<SatResult> run = [&] {
-    FO2DT_TRACE_SPAN("frontend.solver");
+    FO2DT_TRACE_SPAN(names::kModFrontendSolver);
     // Facade glue only: each sub-pipeline (puzzle construction, counting,
     // LCTA, ILP, bounded search) runs its own timer, so kFrontend self time
     // is the per-block orchestration cost.

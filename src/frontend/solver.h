@@ -12,8 +12,7 @@
 ///   * the verdict is kSat (with witness), kUnsat (with proof route), or
 ///     kUnknown (budgets exhausted).
 
-#ifndef FO2DT_FRONTEND_SOLVER_H_
-#define FO2DT_FRONTEND_SOLVER_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -100,14 +99,13 @@ struct SolverOptions {
 /// model-checks \p sentence. Sound in both directions within the bound;
 /// kUnknown when the bound or budget is exhausted without a model.
 /// Handles full FO²(∼,<,+1) (including the order axes of Section VI).
-Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
+[[nodiscard]] Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
                                                 const SolverOptions& options = {});
 
 /// \brief Satisfiability of a data normal form (i.e. of EMSO²(∼,+1)):
 /// counting abstraction for UNSAT, puzzle bounded search for SAT.
-Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
+[[nodiscard]] Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
                                          const SolverOptions& options = {});
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_FRONTEND_SOLVER_H_

@@ -9,6 +9,7 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/thread_stats.h"
 #include "common/trace.h"
@@ -18,8 +19,8 @@ namespace fo2dt {
 
 namespace {
 
-constexpr char kLctaModule[] = "lcta.emptiness";
-constexpr char kCutModule[] = "lcta.cuts";
+constexpr const char* kLctaModule = names::kModLctaEmptiness;
+constexpr const char* kCutModule = names::kModLctaCuts;
 
 /// Accepting runs of a hedge automaton are exactly the derivation trees of an
 /// ordinary context-free grammar with nonterminals
@@ -222,6 +223,7 @@ std::vector<size_t> UnreachableUsedNonterminals(const Grammar& g,
   std::vector<char> reach(g.num_nonterminals, 0);
   reach[g.NT_Node(root)] = 1;
   bool changed = true;
+  // fo2dt-lint: allow(no-checkpoint, monotone fixpoint with at most one pass per nonterminal)
   while (changed) {
     changed = false;
     for (const Production& p : g.productions) {
@@ -292,7 +294,7 @@ struct RootOutcome {
 Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
                  Symbol root_label, const LctaOptions& options,
                  const IlpOptions& ilp_options, RootOutcome* out) {
-  FO2DT_TRACE_SPAN("lcta.solve_root");
+  FO2DT_TRACE_SPAN(names::kSpanLctaSolveRoot);
   // Self time = flow building + cut machinery (the nested ILP solves carry
   // their own kIlp timers); effort = cut rounds.
   ScopedPhaseTimer phase_timer(Phase::kLcta, options.exec);
@@ -304,7 +306,7 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
       LinearConstraint::And(flow, lcta.constraint)
           .ToDnf(options.max_dnf_branches));
   for (size_t cut_round = 0;; ++cut_round) {
-    FO2DT_TRACE_SPAN("lcta.cut_round");
+    FO2DT_TRACE_SPAN(names::kSpanLctaCutRound);
     phase_timer.AddEffort(1);
     if (cut_round > options.max_cuts) {
       return Status::ResourceExhausted(
@@ -322,7 +324,7 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
     // cut round unwinds as a clean Status through the root fan-out).
     if (Failpoints::CompiledIn()) {
       Status injected;
-      FO2DT_FAILPOINT("lcta.cut_round", &injected);
+      FO2DT_FAILPOINT(names::kFpLctaCutRound, &injected);
       if (!injected.ok()) return injected;
     }
     // Unamortized per-round governor check: a deadline that dies between
@@ -344,7 +346,8 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
     if (u.empty()) {
       out->kind = RootOutcome::kNonEmpty;
       out->state_counts.assign(r.solution.assignment.begin(),
-                               r.solution.assignment.begin() + a.num_states());
+                               r.solution.assignment.begin() +
+                                   static_cast<std::ptrdiff_t>(a.num_states()));
       return Status::OK();
     }
     FO2DT_ASSIGN_OR_RETURN(std::vector<LinearSystem> cut_dnf,
@@ -376,7 +379,7 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
 
 Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
                                                const LctaOptions& options) {
-  FO2DT_TRACE_SPAN("lcta.emptiness");
+  FO2DT_TRACE_SPAN(names::kModLctaEmptiness);
   // Facade timer: validation + shared grammar construction. Closed before
   // the parallel fan-out below — each worker's SolveRoot runs its own kLcta
   // timer, and an open main-thread timer would bill the join wait to kLcta,
@@ -522,6 +525,7 @@ std::vector<std::vector<uint32_t>> EnumerateTreeShapes(size_t num_nodes) {
     std::vector<std::vector<std::vector<uint32_t>>> tree_memo;  // by size
 
     const std::vector<std::vector<uint32_t>>& Trees(size_t n) {
+      // fo2dt-lint: allow(no-checkpoint, memo resize bounded by requested size n)
       while (tree_memo.size() <= n) tree_memo.emplace_back();
       if (n == 0 || !tree_memo[n].empty()) return tree_memo[n];
       if (n == 1) {
@@ -565,9 +569,11 @@ std::vector<std::vector<uint32_t>> EnumerateTreeShapes(size_t num_nodes) {
   return b.Trees(num_nodes);
 }
 
-Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes) {
-  FO2DT_TRACE_SPAN("lcta.witness_bruteforce");
-  ScopedPhaseTimer phase_timer(Phase::kLcta);
+Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes,
+                                        const ExecutionContext* exec) {
+  FO2DT_TRACE_SPAN(names::kSpanLctaWitnessBruteforce);
+  ScopedPhaseTimer phase_timer(Phase::kLcta, exec);
+  ExecCheckpoint checkpoint(exec, nullptr, kLctaModule);
   const TreeAutomaton& a = lcta.automaton;
   const size_t num_symbols = a.num_symbols();
   if (lcta.num_aux > 0) {
@@ -590,6 +596,7 @@ Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes) {
           // intended (test / witness) use of this function.
           std::vector<TreeState> run(n, 0);
           for (;;) {
+            FO2DT_RETURN_NOT_OK(checkpoint.Tick());
             TreeRun r(run.begin(), run.end());
             if (a.IsAcceptingRun(t, r)) {
               IntAssignment counts(lcta.NumUserVars(), BigInt(0));
@@ -603,6 +610,7 @@ Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes) {
               if (ok) return true;
             }
             size_t i = 0;
+            // fo2dt-lint: allow(no-checkpoint, odometer carry bounded by n digits)
             while (i < n) {
               if (++run[i] < a.num_states()) break;
               run[i] = 0;
@@ -614,6 +622,7 @@ Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes) {
         FO2DT_RETURN_NOT_OK(runs_ok.status());
         if (*runs_ok) return t;
         size_t i = 0;
+        // fo2dt-lint: allow(no-checkpoint, odometer carry bounded by n digits)
         while (i < n) {
           if (++labels[i] < num_symbols) break;
           labels[i] = 0;

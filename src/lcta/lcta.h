@@ -16,8 +16,7 @@
 /// boolean structure small in practice; the procedure is sound and complete,
 /// with a node budget guarding against pathological cut enumeration.
 
-#ifndef FO2DT_LCTA_LCTA_H_
-#define FO2DT_LCTA_LCTA_H_
+#pragma once
 
 #include "automata/tree_automaton.h"
 #include "common/execution_context.h"
@@ -83,15 +82,17 @@ struct LctaOptions {
 
 /// \brief LCTA emptiness (Theorem 2). Sound and complete; may return
 /// ResourceExhausted when budgets are exceeded (never a wrong verdict).
-Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
+[[nodiscard]] Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
                                                const LctaOptions& options = {});
 
 /// \brief Brute-force reference: search for an accepted tree of size at most
 /// \p max_nodes over all shapes, labelings and runs. Exponential; used for
 /// differential testing and as a witness extractor for small instances.
 /// Returns the witness tree if found; NotFound if no tree of bounded size is
-/// accepted (which does not prove emptiness).
-Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes);
+/// accepted (which does not prove emptiness). The search is exponential, so
+/// it polls \p exec (when given) for deadline/cancellation between runs.
+Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes,
+                                        const ExecutionContext* exec = nullptr);
 
 /// Enumerates the parent-array representations of all ordered unranked tree
 /// shapes with exactly \p num_nodes nodes (node 0 is the root; parents precede
@@ -100,4 +101,3 @@ std::vector<std::vector<uint32_t>> EnumerateTreeShapes(size_t num_nodes);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_LCTA_LCTA_H_

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "datatree/zones.h"
@@ -100,7 +101,7 @@ Result<TypeSet> TypeFromFormulaImpl(const Formula& f, const ExtAlphabet& ext) {
 }  // namespace
 
 Result<TypeSet> TypeFromFormula(const Formula& f, const ExtAlphabet& ext) {
-  FO2DT_TRACE_SPAN("logic.dnf.type");
+  FO2DT_TRACE_SPAN(names::kSpanLogicDnfType);
   ScopedPhaseTimer phase_timer(Phase::kDnf);
   return TypeFromFormulaImpl(f, ext);
 }

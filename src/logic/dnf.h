@@ -16,8 +16,7 @@
 /// Σ × 2^preds (each node's letter is its label together with its predicate
 /// bit pattern), which makes type reasoning exact set algebra.
 
-#ifndef FO2DT_LOGIC_DNF_H_
-#define FO2DT_LOGIC_DNF_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -135,4 +134,3 @@ Formula SimpleToFormula(const SimpleFormula& simple, const ExtAlphabet& ext);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_LOGIC_DNF_H_

@@ -28,6 +28,7 @@ struct TreeIndex {
     };
     if (n > 0) {
       std::vector<Item> stack = {{t.root(), false}};
+      // fo2dt-lint: allow(no-checkpoint, DFS visits each tree node exactly twice)
       while (!stack.empty()) {
         Item it = stack.back();
         stack.pop_back();

@@ -7,8 +7,7 @@
 /// compiler, the XPath translation and the constraint compilers are all
 /// differential-tested against it.
 
-#ifndef FO2DT_LOGIC_EVAL_H_
-#define FO2DT_LOGIC_EVAL_H_
+#pragma once
 
 #include <vector>
 
@@ -59,4 +58,3 @@ class Evaluator {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_LOGIC_EVAL_H_

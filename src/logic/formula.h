@@ -11,8 +11,7 @@
 /// Formulas are immutable trees shared by shared_ptr; all combinators are
 /// cheap and the AST can be safely reused across threads.
 
-#ifndef FO2DT_LOGIC_FORMULA_H_
-#define FO2DT_LOGIC_FORMULA_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -129,7 +128,7 @@ class Formula {
     Symbol symbol = kNoSymbol;
     PredId pred = 0;
     Axis axis = Axis::kNextSibling;
-    std::vector<Formula> children;
+    std::vector<Formula> children = {};
   };
   explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
   static Formula Make(Node node) {
@@ -153,4 +152,3 @@ struct Emso2Formula {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_LOGIC_FORMULA_H_

@@ -32,6 +32,7 @@ class FormulaParser {
   }
 
   void SkipSpace() {
+    // fo2dt-lint: allow(no-checkpoint, scan advances pos_ and is bounded by input length)
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
@@ -62,6 +63,7 @@ class FormulaParser {
   Result<std::string> ParseIdent() {
     SkipSpace();
     size_t start = pos_;
+    // fo2dt-lint: allow(no-checkpoint, scan advances pos_ and is bounded by input length)
     while (pos_ < text_.size() &&
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '_')) {
@@ -74,14 +76,20 @@ class FormulaParser {
   }
 
   Result<Var> ParseVar() {
-    FO2DT_ASSIGN_OR_RETURN(std::string name, ParseIdent());
-    if (name == "x") return Var::kX;
-    if (name == "y") return Var::kY;
-    return Err("expected variable x or y, got: " + name, pos_ - name.size());
+    // Reads through the Result instead of moving the string out: GCC 12's
+    // -Wmaybe-uninitialized false-positives on the SSO buffer of a string
+    // moved out of a std::variant at -O2.
+    Result<std::string> name = ParseIdent();
+    if (!name.ok()) return name.status();
+    if (*name == "x") return Var::kX;
+    if (*name == "y") return Var::kY;
+    return Err("expected variable x or y, got: " + *name,
+               pos_ - name->size());
   }
 
   Result<Formula> ParseIff() {
     FO2DT_ASSIGN_OR_RETURN(Formula left, ParseImpl());
+    // fo2dt-lint: allow(no-checkpoint, each iteration consumes one operator token)
     while (Match("<->")) {
       FO2DT_ASSIGN_OR_RETURN(Formula right, ParseImpl());
       left = Formula::Iff(std::move(left), std::move(right));
@@ -101,6 +109,7 @@ class FormulaParser {
   Result<Formula> ParseOr() {
     FO2DT_ASSIGN_OR_RETURN(Formula left, ParseAnd());
     std::vector<Formula> parts = {std::move(left)};
+    // fo2dt-lint: allow(no-checkpoint, each iteration consumes one operator token)
     while (PeekChar('|')) {
       ++pos_;
       FO2DT_ASSIGN_OR_RETURN(Formula next, ParseAnd());
@@ -112,6 +121,7 @@ class FormulaParser {
   Result<Formula> ParseAnd() {
     FO2DT_ASSIGN_OR_RETURN(Formula left, ParseUnary());
     std::vector<Formula> parts = {std::move(left)};
+    // fo2dt-lint: allow(no-checkpoint, each iteration consumes one operator token)
     while (PeekChar('&')) {
       ++pos_;
       FO2DT_ASSIGN_OR_RETURN(Formula next, ParseUnary());
@@ -173,7 +183,10 @@ class FormulaParser {
     if (Match("true")) return Formula::True();
     if (Match("false")) return Formula::False();
 
-    FO2DT_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    // Reads through the Result for the same GCC 12 reason as ParseVar.
+    Result<std::string> ident_res = ParseIdent();
+    if (!ident_res.ok()) return ident_res.status();
+    const std::string& ident = *ident_res;
     // Variable-led atoms: x ~ y, x = y, x != y.
     if (ident == "x" || ident == "y") {
       Var v = ident == "x" ? Var::kX : Var::kY;

@@ -21,8 +21,7 @@
 /// `x != y` is sugar for `!(x = y)`. Label names are interned into the
 /// supplied alphabet; predicate names into the supplied predicate catalog.
 
-#ifndef FO2DT_LOGIC_PARSER_H_
-#define FO2DT_LOGIC_PARSER_H_
+#pragma once
 
 #include <string>
 
@@ -40,4 +39,3 @@ Result<Formula> ParseFormula(const std::string& text, Alphabet* alphabet);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_LOGIC_PARSER_H_

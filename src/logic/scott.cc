@@ -1,6 +1,7 @@
 #include "logic/scott.h"
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -150,7 +151,7 @@ struct ScottBuilder {
 
 Result<ScottNormalForm> ToScottNormalForm(const Formula& sentence,
                                           PredId num_existing_preds) {
-  FO2DT_TRACE_SPAN("logic.scott");
+  FO2DT_TRACE_SPAN(names::kModLogicScott);
   ScopedPhaseTimer phase_timer(Phase::kScott);
   if (!sentence.IsSentence()) {
     return Status::InvalidArgument("Scott normal form requires a sentence");

@@ -9,8 +9,7 @@
 /// (Lemma 2) starts. The transformation is linear: one fresh predicate per
 /// quantified subformula.
 
-#ifndef FO2DT_LOGIC_SCOTT_H_
-#define FO2DT_LOGIC_SCOTT_H_
+#pragma once
 
 #include <vector>
 
@@ -48,4 +47,3 @@ Formula ScottToFormula(const ScottNormalForm& snf);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_LOGIC_SCOTT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/trace.h"
 #include "lcta/lcta.h"
 
@@ -10,7 +11,7 @@ namespace fo2dt {
 
 namespace {
 
-constexpr char kBoundedModule[] = "puzzle.bounded";
+constexpr const char* kBoundedModule = names::kModPuzzleBounded;
 
 /// DFS state for one tree shape.
 class ShapeSearch {
@@ -126,7 +127,7 @@ class ShapeSearch {
 
 Result<BoundedSolveResult> SolvePuzzleBounded(
     const Puzzle& puzzle, const BoundedSolveOptions& options) {
-  FO2DT_TRACE_SPAN("puzzle.bounded");
+  FO2DT_TRACE_SPAN(names::kModPuzzleBounded);
   ScopedPhaseTimer phase_timer(Phase::kBoundedSearch, options.exec);
   BoundedSolveResult out;
   // Flushes the step count as phase effort on every exit path, including

@@ -13,8 +13,7 @@
 ///     the configured limit (only for degenerate puzzles, as the paper's
 ///     complexity analysis predicts).
 
-#ifndef FO2DT_PUZZLE_BOUNDED_SOLVER_H_
-#define FO2DT_PUZZLE_BOUNDED_SOLVER_H_
+#pragma once
 
 #include "common/execution_context.h"
 #include "puzzle/puzzle.h"
@@ -58,4 +57,3 @@ Result<BoundedSolveResult> SolvePuzzleBounded(
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_PUZZLE_BOUNDED_SOLVER_H_

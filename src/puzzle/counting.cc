@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "common/execution_context.h"
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -140,7 +142,7 @@ bool ClassTypeValid(const std::vector<int>& tau, const Regions& regions,
 
 Result<CountingResult> CheckPuzzleUnsatByCounting(
     const Puzzle& puzzle, const CountingOptions& options) {
-  FO2DT_TRACE_SPAN("puzzle.counting");
+  FO2DT_TRACE_SPAN(names::kModPuzzleCounting);
   // Self time = region/class-type abstraction building; the LCTA emptiness
   // call below carries its own kLcta timer.
   ScopedPhaseTimer phase_timer(Phase::kPuzzle, options.lcta.exec);
@@ -171,7 +173,12 @@ Result<CountingResult> CheckPuzzleUnsatByCounting(
       return out;  // abstraction too large to enumerate
     }
     std::vector<int> tau(regions.count(), kZero);
+    // Up to 4e6 combinations (guarded above): poll the governor so a
+    // deadline or cancellation can cut the enumeration short.
+    ExecCheckpoint checkpoint(options.lcta.exec, nullptr,
+                              names::kModPuzzleCounting);
     for (;;) {
+      FO2DT_RETURN_NOT_OK(checkpoint.Tick());
       if (ClassTypeValid(tau, regions, puzzle.class_conditions, type_index)) {
         valid_types.push_back(tau);
         if (valid_types.size() > options.max_class_types) {
@@ -181,6 +188,7 @@ Result<CountingResult> CheckPuzzleUnsatByCounting(
         }
       }
       size_t i = 0;
+      // fo2dt-lint: allow(no-checkpoint, odometer carry bounded by the region count)
       while (i < tau.size()) {
         if (++tau[i] <= kMany) break;
         tau[i] = kZero;

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "datatree/zones.h"
@@ -12,7 +13,7 @@
 namespace fo2dt {
 
 Result<Puzzle> PuzzleFromBlock(const DnfBlock& block, const ExtAlphabet& ext) {
-  FO2DT_TRACE_SPAN("puzzle.build");
+  FO2DT_TRACE_SPAN(names::kModPuzzleBuild);
   ScopedPhaseTimer phase_timer(Phase::kPuzzle);
   Puzzle out;
   out.ext = ext;
@@ -329,6 +330,7 @@ namespace {
 BigInt BigIntPow(const BigInt& base, uint64_t exp) {
   BigInt result(1);
   BigInt b = base;
+  // fo2dt-lint: allow(no-checkpoint, square-and-multiply runs at most 64 iterations)
   while (exp > 0) {
     if (exp & 1) result *= b;
     b *= b;

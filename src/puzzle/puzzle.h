@@ -22,8 +22,7 @@
 ///   β" for a fresh marker predicate); NormalizeImpliesPresence performs it.
 ///   After normalization, class-satisfaction and pair-satisfaction coincide.
 
-#ifndef FO2DT_PUZZLE_PUZZLE_H_
-#define FO2DT_PUZZLE_PUZZLE_H_
+#pragma once
 
 #include <vector>
 
@@ -104,4 +103,3 @@ TableIConstants ComputeTableIConstants(const Puzzle& puzzle);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_PUZZLE_PUZZLE_H_

@@ -8,6 +8,7 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/thread_stats.h"
 #include "common/trace.h"
@@ -76,7 +77,7 @@ PreprocessVerdict Preprocess(const LinearSystem& in, LinearSystem* out) {
   return PreprocessVerdict::kOk;
 }
 
-constexpr char kIlpModule[] = "solverlp.ilp";
+constexpr const char* kIlpModule = names::kModSolverlpIlp;
 
 // Amortization period for deadline reads between branch-and-bound nodes; a
 // node costs at least one dual-simplex repair, so 16 keeps the overshoot
@@ -137,7 +138,7 @@ Result<std::optional<IntAssignment>> Branch(IncrementalSimplex tab,
   DepthGuard depth_guard(st);
   // Failpoint: per-node observation/cancellation hook (tests use it to
   // request cancellation from inside a running search).
-  FO2DT_FAILPOINT("ilp.branch", nullptr);
+  FO2DT_FAILPOINT(names::kFpIlpBranch, nullptr);
   if (++st->nodes > st->max_nodes) {
     return Status::ResourceExhausted(
         StringFormat("ILP branch-and-bound node budget exceeded in %s: "
@@ -235,7 +236,7 @@ Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
                                          const IlpOptions& options,
                                          const CancellationToken& token,
                                          size_t* nodes_used) {
-  FO2DT_TRACE_SPAN("solverlp.ilp");
+  FO2DT_TRACE_SPAN(names::kModSolverlpIlp);
   // One timer per DNF-branch solve; covers the nested simplex work too
   // (simplex and B&B are one attribution phase). Effort = B&B nodes.
   ScopedPhaseTimer phase_timer(Phase::kIlp, options.exec);
@@ -378,7 +379,7 @@ Result<DnfSolveResult> IlpSolver::SolveDnf(
       // leak-free, never a hang or a wrong verdict).
       if (Failpoints::CompiledIn() && sol.ok()) {
         Status injected;
-        FO2DT_FAILPOINT("ilp.worker_fault", &injected);
+        FO2DT_FAILPOINT(names::kFpIlpWorkerFault, &injected);
         if (!injected.ok()) sol = injected;
       }
       if (!sol.ok()) {

@@ -19,8 +19,7 @@
 /// the branch-and-bound tree finite; a node budget additionally guards
 /// against pathological blow-up (ResourceExhausted, never a wrong verdict).
 
-#ifndef FO2DT_SOLVERLP_ILP_H_
-#define FO2DT_SOLVERLP_ILP_H_
+#pragma once
 
 #include <vector>
 
@@ -118,4 +117,3 @@ class IlpSolver {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_SOLVERLP_ILP_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/registry_names.h"
 #include "common/strings.h"
 
 namespace fo2dt {
@@ -224,7 +225,7 @@ Status ToDnfImpl(const LinearConstraint& c, bool positive, size_t max_branches,
                                     "solverlp.linear: %zu of %zu branches",
                                     out->size(), max_branches))
                 .WithStopReason(StopReason{StopKind::kBranchBudget,
-                                           "solverlp.linear", out->size(),
+                                           names::kModSolverlpLinear, out->size(),
                                            max_branches});
           }
         }
@@ -249,7 +250,7 @@ Status ToDnfImpl(const LinearConstraint& c, bool positive, size_t max_branches,
                              "solverlp.linear: %zu of %zu branches",
                              next.size(), max_branches))
                   .WithStopReason(StopReason{StopKind::kBranchBudget,
-                                             "solverlp.linear", next.size(),
+                                             names::kModSolverlpLinear, next.size(),
                                              max_branches});
             }
           }

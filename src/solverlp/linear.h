@@ -7,8 +7,7 @@
 /// conversion to disjunctive normal form (a disjunction of conjunctive
 /// inequality systems), which is what the simplex/ILP backends consume.
 
-#ifndef FO2DT_SOLVERLP_LINEAR_H_
-#define FO2DT_SOLVERLP_LINEAR_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -154,4 +153,3 @@ class LinearConstraint {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_SOLVERLP_LINEAR_H_

@@ -5,6 +5,7 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/trace.h"
 
 namespace fo2dt {
@@ -17,13 +18,13 @@ const MetricsSourceRegistrar kSimplexMetricsSource(
     "simplex",
     [](MetricsSnapshot* snap) {
       SimplexCounters c = SimplexStats::Aggregate();
-      snap->Set("simplex.pivots", static_cast<double>(c.pivots));
-      snap->Set("simplex.tableau_builds",
+      snap->Set(names::kMetricSimplexPivots, static_cast<double>(c.pivots));
+      snap->Set(names::kMetricSimplexTableauBuilds,
                 static_cast<double>(c.tableau_builds));
-      snap->Set("simplex.warm_starts", static_cast<double>(c.warm_starts));
-      snap->Set("simplex.warm_start_hits",
+      snap->Set(names::kMetricSimplexWarmStarts, static_cast<double>(c.warm_starts));
+      snap->Set(names::kMetricSimplexWarmStartHits,
                 static_cast<double>(c.warm_start_hits));
-      snap->Set("simplex.warm_start_hit_rate", c.WarmStartHitRate());
+      snap->Set(names::kMetricSimplexWarmStartHitRate, c.WarmStartHitRate());
     },
     [] { SimplexStats::Reset(); });
 
@@ -91,7 +92,7 @@ void IncrementalSimplex::Pivot(size_t row, size_t col) {
 }
 
 Result<bool> IncrementalSimplex::RunPrimal() {
-  ExecCheckpoint checkpoint(exec_, &token_, "solverlp.simplex",
+  ExecCheckpoint checkpoint(exec_, &token_, names::kModSolverlpSimplex,
                             kPivotCheckPeriod);
   PivotTally tally{exec_};
   for (;;) {
@@ -127,7 +128,7 @@ Result<bool> IncrementalSimplex::RunPrimal() {
 
 IncrementalSimplex::DualStatus IncrementalSimplex::RunDualRepair(
     size_t max_pivots, Status* stop) {
-  ExecCheckpoint checkpoint(exec_, &token_, "solverlp.simplex",
+  ExecCheckpoint checkpoint(exec_, &token_, names::kModSolverlpSimplex,
                             kPivotCheckPeriod);
   PivotTally tally{exec_};
   size_t used = 0;
@@ -202,7 +203,7 @@ Result<IncrementalSimplex> IncrementalSimplex::Create(
 Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
     const LinearSystem& base, VarId num_vars, const ExecutionContext* exec,
     CancellationToken token) {
-  FO2DT_TRACE_SPAN("solverlp.tableau_build");
+  FO2DT_TRACE_SPAN(names::kSpanSolverlpTableauBuild);
   ++SimplexStats::Local().tableau_builds;
 
   IncrementalSimplex t;
@@ -401,7 +402,7 @@ Status IncrementalSimplex::ApplyBound(VarId v, const BigInt& value,
   // Failpoint: pretend the dual repair blew its pivot cap so tests can
   // drive the Rebuild safety net deterministically.
   bool force_rebuild = false;
-  FO2DT_FAILPOINT("simplex.force_rebuild", &force_rebuild);
+  FO2DT_FAILPOINT(names::kFpSimplexForceRebuild, &force_rebuild);
 
   Status stop;
   switch (force_rebuild ? DualStatus::kCapExceeded
@@ -456,7 +457,7 @@ Status IncrementalSimplex::Rebuild() {
           return Status::Internal(
                      "rebuild exceeded its pivot budget")
               .WithStopReason(StopReason{StopKind::kPivotBudget,
-                                         "solverlp.simplex", kRebuildPivotCap,
+                                         names::kModSolverlpSimplex, kRebuildPivotCap,
                                          kRebuildPivotCap});
         case DualStatus::kStopped:
           return stop;

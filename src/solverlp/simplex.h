@@ -18,8 +18,7 @@
 ///    (x_v >= lo, x_v <= hi) are applied in place and repaired with a dual
 ///    simplex warm start instead of re-running the primal from scratch.
 
-#ifndef FO2DT_SOLVERLP_SIMPLEX_H_
-#define FO2DT_SOLVERLP_SIMPLEX_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -205,4 +204,3 @@ class SimplexSolver {
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_SOLVERLP_SIMPLEX_H_

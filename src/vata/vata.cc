@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "lcta/lcta.h"
@@ -20,7 +21,7 @@ bool IsBinaryTree(const DataTree& t) {
 
 namespace {
 
-constexpr char kVataModule[] = "vata.derive";
+constexpr const char* kVataModule = names::kModVataDerive;
 
 bool VecGe(const CounterVec& a, const CounterVec& b) {
   for (size_t i = 0; i < a.size(); ++i) {
@@ -52,7 +53,7 @@ struct Candidate {
 Result<std::vector<std::vector<Candidate>>> DeriveAll(
     const VataAutomaton& a, const DataTree& t, size_t max_candidates,
     const ExecutionContext* exec) {
-  FO2DT_TRACE_SPAN("vata.derive");
+  FO2DT_TRACE_SPAN(names::kModVataDerive);
   ScopedPhaseTimer phase_timer(Phase::kVata, exec);
   if (!IsBinaryTree(t)) {
     return Status::InvalidArgument("VATA runs require a binary tree");
@@ -78,6 +79,7 @@ Result<std::vector<std::vector<Candidate>>> DeriveAll(
   std::vector<NodeId> order;
   {
     std::vector<std::pair<NodeId, bool>> stack = {{t.root(), false}};
+    // fo2dt-lint: allow(no-checkpoint, post-order walk visits each node exactly twice)
     while (!stack.empty()) {
       auto [v, expanded] = stack.back();
       stack.pop_back();
@@ -136,14 +138,14 @@ Result<std::vector<std::vector<Candidate>>> DeriveAll(
     }
     // Deduplicate identical (state, vector) pairs to curb blow-up.
     std::sort(cands[v].begin(), cands[v].end(),
-              [](const Candidate& a, const Candidate& b) {
-                if (a.state != b.state) return a.state < b.state;
-                return a.vector < b.vector;
+              [](const Candidate& lhs, const Candidate& rhs) {
+                if (lhs.state != rhs.state) return lhs.state < rhs.state;
+                return lhs.vector < rhs.vector;
               });
     cands[v].erase(std::unique(cands[v].begin(), cands[v].end(),
-                               [](const Candidate& a, const Candidate& b) {
-                                 return a.state == b.state &&
-                                        a.vector == b.vector;
+                               [](const Candidate& lhs, const Candidate& rhs) {
+                                 return lhs.state == rhs.state &&
+                                        lhs.vector == rhs.vector;
                                }),
                    cands[v].end());
   }
@@ -184,6 +186,7 @@ Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
       if (!IsBinaryTree(t)) continue;
       // Odometer over labelings.
       std::vector<Symbol> labels(n, 0);
+      // fo2dt-lint: allow(no-checkpoint, every iteration calls DeriveAll which polls the governor)
       for (;;) {
         for (NodeId v = 0; v < n; ++v) t.set_label(v, labels[v]);
         auto cands_or = DeriveAll(a, t, max_candidates, exec);
@@ -212,6 +215,7 @@ Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
             run.rule.assign(t.size(), 0);
             run.vector.assign(t.size(), CounterVec(a.num_counters, 0));
             std::vector<std::pair<NodeId, size_t>> stack = {{t.root(), ci}};
+            // fo2dt-lint: allow(no-checkpoint, run extraction visits each node once)
             while (!stack.empty()) {
               auto [v, idx] = stack.back();
               stack.pop_back();
@@ -229,6 +233,7 @@ Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
           }
         }
         size_t i = 0;
+        // fo2dt-lint: allow(no-checkpoint, odometer carry bounded by n digits)
         while (i < n) {
           if (++labels[i] < a.num_labels) break;
           labels[i] = 0;

@@ -17,8 +17,7 @@
 /// counter trees. Runs found by the bounded search are converted to counter
 /// trees and differential-tested against the formulas.
 
-#ifndef FO2DT_VATA_VATA_H_
-#define FO2DT_VATA_VATA_H_
+#pragma once
 
 #include <optional>
 
@@ -140,4 +139,3 @@ Formula EncodeVataToFo2(const VataAutomaton& a,
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_VATA_VATA_H_

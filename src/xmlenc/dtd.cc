@@ -46,7 +46,7 @@ Result<TreeAutomaton> DtdToTreeAutomaton(const Dtd& dtd, size_t num_labels) {
   // context (no parent); h = content-DFA state of D_ctx *before* reading the
   // node's own label; flag: 0 = leaf, 1 = internal; own = the node's label.
   const size_t num_states = (l + 1) * max_h * 2 * l;
-  auto state_id = [&](size_t ctx, size_t h, int flag, Symbol own) {
+  auto state_id = [&](size_t ctx, size_t h, size_t flag, Symbol own) {
     return static_cast<TreeState>(((ctx * max_h + h) * 2 + flag) * l + own);
   };
   TreeAutomaton out(l, num_states);
@@ -59,7 +59,7 @@ Result<TreeAutomaton> DtdToTreeAutomaton(const Dtd& dtd, size_t num_labels) {
     const size_t h_count = ctx < l ? dfas[ctx]->num_states() : 1;
     for (size_t h = 0; h < h_count; ++h) {
       for (Symbol own = 0; own < l; ++own) {
-        for (int flag = 0; flag < 2; ++flag) {
+        for (size_t flag = 0; flag < 2; ++flag) {
           TreeState me = state_id(ctx, h, flag, own);
           // Leaves must have nullable content (no children to realize it).
           if (flag == 0 && nullable(own)) out.SetInitial(me);
@@ -78,7 +78,7 @@ Result<TreeAutomaton> DtdToTreeAutomaton(const Dtd& dtd, size_t num_labels) {
               dfas[ctx]->Transition(static_cast<WordState>(h), own);
           // Horizontal: the next sibling continues in the same context.
           for (Symbol next_own = 0; next_own < l; ++next_own) {
-            for (int next_flag = 0; next_flag < 2; ++next_flag) {
+            for (size_t next_flag = 0; next_flag < 2; ++next_flag) {
               out.AddHorizontal(me, own,
                                 state_id(ctx, h_after, next_flag, next_own));
             }

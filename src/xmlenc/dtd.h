@@ -14,8 +14,7 @@
 /// tree_automaton.h. The resulting automaton accepts exactly the encodings
 /// of documents valid under the DTD.
 
-#ifndef FO2DT_XMLENC_DTD_H_
-#define FO2DT_XMLENC_DTD_H_
+#pragma once
 
 #include <vector>
 
@@ -47,4 +46,3 @@ Result<TreeAutomaton> DtdToTreeAutomaton(const Dtd& dtd, size_t num_labels);
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_XMLENC_DTD_H_

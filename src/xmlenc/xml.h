@@ -11,8 +11,7 @@
 /// benchmarks: nested elements, attributes with quoted values, self-closing
 /// tags, comments; text content is ignored.
 
-#ifndef FO2DT_XMLENC_XML_H_
-#define FO2DT_XMLENC_XML_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -68,4 +67,3 @@ Result<XmlElement> DecodeXml(const DataTree& t, const Alphabet& labels,
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_XMLENC_XML_H_

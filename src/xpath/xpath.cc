@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -835,7 +836,7 @@ Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
   // Translation is charged to kXpath; the solver call at the end times
   // itself (and attaches the PhaseProfile), so the timer closes first.
   Result<Formula> query = [&]() -> Result<Formula> {
-    FO2DT_TRACE_SPAN("xpath.translate");
+    FO2DT_TRACE_SPAN(names::kModXpathTranslate);
     ScopedPhaseTimer phase_timer(Phase::kXpath, options.exec);
     FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&path}));
     FO2DT_ASSIGN_OR_RETURN(Formula selected, TranslateXPathToFo2(path, assoc));
@@ -856,7 +857,7 @@ Result<SatResult> CheckXPathContainment(const XpPath& p, const XpPath& q,
                                         const TreeAutomaton* schema,
                                         const SolverOptions& options) {
   Result<Formula> query = [&]() -> Result<Formula> {
-    FO2DT_TRACE_SPAN("xpath.translate");
+    FO2DT_TRACE_SPAN(names::kModXpathTranslate);
     ScopedPhaseTimer phase_timer(Phase::kXpath, options.exec);
     FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&p, &q}));
     FO2DT_ASSIGN_OR_RETURN(Formula in_p, TranslateXPathToFo2(p, assoc));

@@ -23,8 +23,7 @@
 /// value in the element node's data (the Theorem-3 encoding); the required
 /// consistency formula is produced by ElementValueConsistencyFormula.
 
-#ifndef FO2DT_XPATH_XPATH_H_
-#define FO2DT_XPATH_XPATH_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -149,7 +148,7 @@ DataTree ApplyElementValueEncoding(const DataTree& t,
 /// relative to a schema (Theorem 3; bounded-complete). Honors
 /// SolverOptions::exec: a deadline degrades the verdict to kUnknown with a
 /// structured SatResult::stop_reason, a cancellation aborts with kCancelled.
-Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
+[[nodiscard]] Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
                                            const TreeAutomaton* schema,
                                            const SolverOptions& options = {});
 
@@ -157,10 +156,9 @@ Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
 /// searches for a counterexample tree with a node selected by p but not q.
 /// kSat = refuted (witness attached), kUnknown = no counterexample within
 /// budget.
-Result<SatResult> CheckXPathContainment(const XpPath& p, const XpPath& q,
+[[nodiscard]] Result<SatResult> CheckXPathContainment(const XpPath& p, const XpPath& q,
                                         const TreeAutomaton* schema,
                                         const SolverOptions& options = {});
 
 }  // namespace fo2dt
 
-#endif  // FO2DT_XPATH_XPATH_H_

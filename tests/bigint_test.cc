@@ -116,7 +116,9 @@ TEST(BigIntTest, DivModIdentityRandomized) {
     EXPECT_EQ((q * b + r).Compare(a), 0)
         << "a=" << a << " b=" << b << " q=" << q << " r=" << r;
     EXPECT_LT(r.Abs().Compare(b.Abs()), 0);
-    if (!r.IsZero()) EXPECT_EQ(r.IsNegative(), a.IsNegative());
+    if (!r.IsZero()) {
+      EXPECT_EQ(r.IsNegative(), a.IsNegative());
+    }
   }
 }
 

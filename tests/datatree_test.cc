@@ -298,8 +298,12 @@ TEST(DataTreeTest, PreOrderIsDocumentOrder) {
   std::vector<size_t> pos(t.size());
   for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
   for (NodeId v = 0; v < t.size(); ++v) {
-    if (t.parent(v) != kNoNode) EXPECT_LT(pos[t.parent(v)], pos[v]);
-    if (t.next_sibling(v) != kNoNode) EXPECT_LT(pos[v], pos[t.next_sibling(v)]);
+    if (t.parent(v) != kNoNode) {
+      EXPECT_LT(pos[t.parent(v)], pos[v]);
+    }
+    if (t.next_sibling(v) != kNoNode) {
+      EXPECT_LT(pos[v], pos[t.next_sibling(v)]);
+    }
   }
 }
 

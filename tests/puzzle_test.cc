@@ -192,8 +192,8 @@ TEST(PuzzleTest, CountAcceptingPairsMatchesEnumeration) {
       for (int l = 0; l < 3; ++l) {
         int choice = code % 3;
         code /= 3;
-        if (choice == 1) pair.dogs[l] = 1;
-        if (choice == 2) pair.sheep[l] = 1;
+        if (choice == 1) pair.dogs[static_cast<size_t>(l)] = 1;
+        if (choice == 2) pair.sheep[static_cast<size_t>(l)] = 1;
       }
       if (PairSatisfiesConditions(pair, puzzle.class_conditions)) ++brute;
     }

@@ -1,0 +1,13 @@
+// Lint fixture: emits a counter grammar that disagrees with the registry's
+// <prefix><phase><suffix> contract (wrong prefix/suffix, no PhaseName()).
+#pragma once
+
+#include <string>
+
+namespace fo2dt {
+
+inline std::string CounterKey(const char* phase) {
+  return std::string("ph_") + phase + "_millis";
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Lint fixture: asserts the wrong counter prefix on the committed reports,
+# so the bench-key-mismatch rule must flag the missing registry prefix.
+set -eu
+grep -q '"wrong_' BENCH_fake.json

@@ -1,0 +1,15 @@
+// Lint fixture: failpoint sites that bypass the registry.
+#include "common/failpoint.h"
+#include "common/registry_names.h"
+
+namespace fo2dt {
+
+void InlineLiteralSite(bool* flag) {
+  FO2DT_FAILPOINT("inlinename", flag);  // finding: unregistered-failpoint
+}
+
+void UnknownConstantSite(bool* flag) {
+  FO2DT_FAILPOINT(kFpMadeUp, flag);  // finding: unregistered-failpoint
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,13 @@
+// Lint fixture: header hygiene violations — an old-style include guard
+// instead of the pragma the project standardizes on, and a namespace
+// leaked into every includer.
+#ifndef FO2DT_FIXTURE_BAD_HEADER_H_
+#define FO2DT_FIXTURE_BAD_HEADER_H_
+
+#include <vector>
+
+using namespace std;  // finding: header-hygiene
+
+inline int Twice(int x) { return x * 2; }
+
+#endif  // FO2DT_FIXTURE_BAD_HEADER_H_

@@ -1,0 +1,15 @@
+// Lint fixture: dotted-name literals and stale names:: constants.
+#include "common/registry_names.h"
+
+namespace fo2dt {
+
+// finding: unregistered-name (duplicates the registered "lcta.emptiness")
+const char* RegisteredDuplicate() { return "lcta.emptiness"; }
+
+// finding: unregistered-name (nobody registered this dotted name)
+const char* NeverRegistered() { return "nobody.registered_this"; }
+
+// finding: unknown-constant (the registry defines no such module)
+const char* StaleConstant() { return names::kModDoesNotExist; }
+
+}  // namespace fo2dt

@@ -1,0 +1,14 @@
+// Lint fixture: raw randomness instead of the seeded RandomSource.
+#include <cstdlib>
+#include <random>
+
+namespace fo2dt {
+
+int WeakSeed() {
+  std::random_device rd;  // finding: no-raw-rand
+  std::mt19937 gen(rd());  // finding: no-raw-rand
+  int draw = rand() % 3;  // finding: no-raw-rand
+  return static_cast<int>(gen() % 7) + draw;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,73 @@
+// Lint fixture: known-bad loops for the no-checkpoint rule and the
+// suppression protocol. This file is never compiled — it exists so
+// tools/lint/test_lint.py can prove each finding class actually fires
+// (see expected_findings.txt for the golden output).
+#include "common/execution_context.h"
+#include "common/registry_names.h"
+
+namespace fo2dt {
+
+int UnpolledWhile(int n) {
+  int i = 0;
+  while (i < n) {  // finding: no-checkpoint
+    ++i;
+  }
+  return i;
+}
+
+int UnpolledDoWhile(int n) {
+  int i = 0;
+  do {  // finding: no-checkpoint
+    ++i;
+  } while (i < n);
+  return i;
+}
+
+int UnpolledForever(int n) {
+  int i = 0;
+  for (;;) {  // finding: no-checkpoint
+    if (++i == n) break;
+  }
+  return i;
+}
+
+int CountedForLoop(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;  // bounded by construction: clean
+  return acc;
+}
+
+Status PolledWhile(const ExecutionContext* exec, int n) {
+  ExecCheckpoint checkpoint(exec, nullptr, names::kModLctaEmptiness);
+  int i = 0;
+  while (i < n) {  // polls the governor: clean
+    FO2DT_RETURN_NOT_OK(checkpoint.Tick());
+    ++i;
+  }
+  return Status::OK();
+}
+
+int SuppressedWithReason(int n) {
+  int i = 0;
+  // fo2dt-lint: allow(no-checkpoint, fixture loop bounded by the argument n)
+  while (i < n) ++i;  // audited suppression: clean
+  return i;
+}
+
+int SuppressedWithoutReason(int n) {
+  int i = 0;
+  while (i < n) ++i;  // fo2dt-lint: allow(no-checkpoint)
+  return i;  // the loop is suppressed but the empty reason is a finding
+}
+
+int UnknownRuleSuppression(int n) {
+  // fo2dt-lint: allow(made-up-rule, no such rule exists)
+  return n;  // finding: bad-suppression (unknown rule)
+}
+
+int UnusedSuppression(int n) {
+  // fo2dt-lint: allow(no-raw-rand, nothing here draws randomness)
+  return n;  // finding: bad-suppression (nothing is flagged here)
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Self-test for the fo2dt lint toolchain (runs as the fo2dt_lint_fixtures
+ctest).
+
+1. fixtures/ is a miniature repo tree where every file violates one rule
+   class; the linter's text output on it must match expected_findings.txt
+   byte for byte, proving each finding class actually fires.
+2. Every rule the linter advertises (--list-rules) must appear at least
+   once in the golden output — a rule that cannot fire is dead code.
+3. The real tree must scan clean: the fixtures prove the rules detect
+   violations, the clean run proves the tree honors the invariants.
+4. gen_registry.py must reject malformed registries (shadowed prefix
+   order, unknown phase), detect drift between the JSON and the committed
+   header, and pass --check on the committed pair.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+LINT_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(LINT_DIR))
+PY = sys.executable or "python3"
+LINT = os.path.join(LINT_DIR, "fo2dt_lint.py")
+GEN = os.path.join(LINT_DIR, "gen_registry.py")
+
+failures = []
+
+
+def run(args):
+    return subprocess.run(args, capture_output=True, text=True)
+
+
+def check(cond, label, detail=""):
+    print(("ok   " if cond else "FAIL ") + label)
+    if not cond:
+        failures.append(label)
+        if detail:
+            print(detail)
+
+
+def main():
+    # 1. Golden fixture scan.
+    fixtures = os.path.join(LINT_DIR, "fixtures")
+    with open(os.path.join(LINT_DIR, "expected_findings.txt"),
+              encoding="utf-8") as f:
+        golden = f.read()
+    r = run([PY, LINT, "--root", fixtures])
+    check(r.returncode == 1, "fixture scan exits 1", r.stdout + r.stderr)
+    check(r.stdout == golden,
+          "fixture findings match expected_findings.txt",
+          "---- got ----\n" + r.stdout + "---- want ----\n" + golden)
+
+    # 2. Every advertised rule fires somewhere in the fixtures.
+    rules = run([PY, LINT, "--list-rules"]).stdout.split()
+    check(len(rules) >= 8, "linter advertises its rule set")
+    for rule in rules:
+        check(f"[{rule}]" in golden, f"fixtures exercise rule '{rule}'")
+
+    # 3. The real tree is clean.
+    r = run([PY, LINT, "--root", REPO])
+    check(r.returncode == 0, "real tree is lint-clean", r.stdout + r.stderr)
+
+    # 4a. Committed registry/header pair is in sync.
+    r = run([PY, GEN, "--check"])
+    check(r.returncode == 0, "registry_names.h matches registry.json",
+          r.stdout + r.stderr)
+
+    # 4b. The generator rejects malformed registries and detects drift.
+    with open(os.path.join(LINT_DIR, "registry.json"), encoding="utf-8") as f:
+        reg = json.load(f)
+
+    def expect_check_fails(mutate, label):
+        bad = json.loads(json.dumps(reg))
+        mutate(bad)
+        fd, path = tempfile.mkstemp(suffix=".json", text=True)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as tf:
+                json.dump(bad, tf)
+            r = run([PY, GEN, "--registry", path, "--check"])
+            check(r.returncode != 0, label, r.stdout)
+        finally:
+            os.unlink(path)
+
+    expect_check_fails(
+        lambda b: b["phase_prefixes"].reverse(),
+        "generator rejects a shadowed prefix ordering")
+    expect_check_fails(
+        lambda b: b["modules"][0].update(phase="no_such_phase"),
+        "generator rejects a module with an unknown phase")
+    expect_check_fails(
+        lambda b: b["modules"][0].update(name="frontend.renamed"),
+        "generator --check detects drift after a registry edit")
+
+    print(f"test_lint: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
