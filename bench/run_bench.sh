@@ -64,6 +64,35 @@ run_guarded BENCH_constraints.json "$BUILD_DIR/bench/bench_constraints" \
   --benchmark_format=json \
   --trace-json="$BUILD_DIR/bench/TRACE_constraints.json"
 
+# A benchmark that self-skips (state.SkipWithError) surfaces in the
+# google-benchmark JSON as error_occurred / a skip message, with garbage or
+# zero counters. Mark those entries with an explicit "skipped": true so
+# downstream tooling (tools/report/fo2dt_report.py) can exclude them without
+# knowing google-benchmark's error convention — and so a skip is visible in
+# the committed diff instead of silently polluting the phase aggregates.
+mark_skipped() {
+  python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+marked = 0
+for entry in data.get("benchmarks", []):
+    if entry.get("error_occurred") or entry.get("skipped"):
+        if entry.get("skipped") is not True:
+            entry["skipped"] = True
+            marked += 1
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+if marked:
+    print("%s: marked %d self-skipped benchmark entr%s" %
+          (path, marked, "y" if marked == 1 else "ies"))
+EOF
+}
+mark_skipped BENCH_lcta.json
+mark_skipped BENCH_constraints.json
+
 # The committed reports must carry the per-phase breakdown; catch a silent
 # regression (e.g. a bench binary that dropped its ReportPhaseCounters call).
 for f in BENCH_lcta.json BENCH_constraints.json; do

@@ -1,0 +1,214 @@
+#include "automata/automaton_io.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+
+// Whitespace-separated token cursor. The grammar has counts before every
+// list, so token order alone determines structure; newlines are cosmetic.
+class TokenReader {
+ public:
+  TokenReader(const std::string& text, size_t pos) : text_(text), pos_(pos) {}
+
+  size_t pos() const { return pos_; }
+
+  Result<std::string> Next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("automaton text ended early");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Status Expect(const char* keyword) {
+    FO2DT_ASSIGN_OR_RETURN(std::string token, Next());
+    if (token != keyword) {
+      return Status::ParseError(StringFormat(
+          "expected '%s' in automaton text, got '%s'", keyword, token.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Number() {
+    FO2DT_ASSIGN_OR_RETURN(std::string token, Next());
+    uint64_t value = 0;
+    if (token.empty()) return Status::ParseError("empty automaton number");
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        return Status::ParseError(StringFormat(
+            "bad number '%s' in automaton text", token.c_str()));
+      }
+      uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        return Status::ParseError(StringFormat(
+            "number '%s' overflows in automaton text", token.c_str()));
+      }
+      value = value * 10 + digit;
+    }
+    return value;
+  }
+
+  Result<uint64_t> NumberBelow(uint64_t bound, const char* what) {
+    FO2DT_ASSIGN_OR_RETURN(uint64_t value, Number());
+    if (value >= bound) {
+      return Status::ParseError(StringFormat(
+          "%s %llu out of range (have %llu)", what,
+          static_cast<unsigned long long>(value),
+          static_cast<unsigned long long>(bound)));
+    }
+    return value;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_;
+};
+
+}  // namespace
+
+std::string TreeAutomatonToText(const TreeAutomaton& automaton) {
+  std::string out = StringFormat(
+      "automaton %llu %llu\n",
+      static_cast<unsigned long long>(automaton.num_symbols()),
+      static_cast<unsigned long long>(automaton.num_states()));
+
+  out += StringFormat("initial %llu",
+                      static_cast<unsigned long long>(automaton.initial().size()));
+  for (TreeState q : automaton.initial()) {
+    out += StringFormat(" %u", q);
+  }
+  out += "\n";
+
+  out += StringFormat(
+      "nonfirst %llu",
+      static_cast<unsigned long long>(automaton.non_first().size()));
+  for (TreeState q : automaton.non_first()) {
+    out += StringFormat(" %u", q);
+  }
+  out += "\n";
+
+  out += StringFormat(
+      "accepting %llu",
+      static_cast<unsigned long long>(automaton.accepting().size()));
+  for (const auto& [q, a] : automaton.accepting()) {
+    out += StringFormat(" %u %u", q, a);
+  }
+  out += "\n";
+
+  out += StringFormat(
+      "horizontal %llu",
+      static_cast<unsigned long long>(automaton.horizontal().size()));
+  for (const auto& [from, a, to] : automaton.horizontal()) {
+    out += StringFormat(" %u %u %u", from, a, to);
+  }
+  out += "\n";
+
+  out += StringFormat(
+      "vertical %llu",
+      static_cast<unsigned long long>(automaton.vertical().size()));
+  for (const auto& [from, a, to] : automaton.vertical()) {
+    out += StringFormat(" %u %u %u", from, a, to);
+  }
+  out += "\n";
+  return out;
+}
+
+Result<TreeAutomaton> ParseTreeAutomatonText(const std::string& text,
+                                             size_t* pos) {
+  TokenReader reader(text, *pos);
+  FO2DT_RETURN_NOT_OK(reader.Expect("automaton"));
+  FO2DT_ASSIGN_OR_RETURN(uint64_t num_symbols, reader.Number());
+  FO2DT_ASSIGN_OR_RETURN(uint64_t num_states, reader.Number());
+  // A generous sanity cap; replay inputs are small by construction.
+  constexpr uint64_t kMaxDim = 1u << 24;
+  if (num_symbols > kMaxDim || num_states > kMaxDim) {
+    return Status::ParseError("automaton dimensions implausibly large");
+  }
+  TreeAutomaton automaton(static_cast<size_t>(num_symbols),
+                          static_cast<size_t>(num_states));
+
+  FO2DT_RETURN_NOT_OK(reader.Expect("initial"));
+  FO2DT_ASSIGN_OR_RETURN(uint64_t k, reader.Number());
+  for (uint64_t i = 0; i < k; ++i) {
+    FO2DT_ASSIGN_OR_RETURN(uint64_t q,
+                           reader.NumberBelow(num_states, "initial state"));
+    automaton.SetInitial(static_cast<TreeState>(q));
+  }
+
+  FO2DT_RETURN_NOT_OK(reader.Expect("nonfirst"));
+  FO2DT_ASSIGN_OR_RETURN(k, reader.Number());
+  for (uint64_t i = 0; i < k; ++i) {
+    FO2DT_ASSIGN_OR_RETURN(uint64_t q,
+                           reader.NumberBelow(num_states, "nonfirst state"));
+    automaton.SetNonFirst(static_cast<TreeState>(q));
+  }
+
+  FO2DT_RETURN_NOT_OK(reader.Expect("accepting"));
+  FO2DT_ASSIGN_OR_RETURN(k, reader.Number());
+  for (uint64_t i = 0; i < k; ++i) {
+    FO2DT_ASSIGN_OR_RETURN(uint64_t q,
+                           reader.NumberBelow(num_states, "accepting state"));
+    FO2DT_ASSIGN_OR_RETURN(uint64_t a,
+                           reader.NumberBelow(num_symbols, "accepting symbol"));
+    automaton.SetAccepting(static_cast<TreeState>(q), static_cast<Symbol>(a));
+  }
+
+  FO2DT_RETURN_NOT_OK(reader.Expect("horizontal"));
+  FO2DT_ASSIGN_OR_RETURN(k, reader.Number());
+  for (uint64_t i = 0; i < k; ++i) {
+    FO2DT_ASSIGN_OR_RETURN(uint64_t from,
+                           reader.NumberBelow(num_states, "horizontal state"));
+    FO2DT_ASSIGN_OR_RETURN(
+        uint64_t a, reader.NumberBelow(num_symbols, "horizontal symbol"));
+    FO2DT_ASSIGN_OR_RETURN(uint64_t to,
+                           reader.NumberBelow(num_states, "horizontal state"));
+    automaton.AddHorizontal(static_cast<TreeState>(from),
+                            static_cast<Symbol>(a),
+                            static_cast<TreeState>(to));
+  }
+
+  FO2DT_RETURN_NOT_OK(reader.Expect("vertical"));
+  FO2DT_ASSIGN_OR_RETURN(k, reader.Number());
+  for (uint64_t i = 0; i < k; ++i) {
+    FO2DT_ASSIGN_OR_RETURN(uint64_t from,
+                           reader.NumberBelow(num_states, "vertical state"));
+    FO2DT_ASSIGN_OR_RETURN(uint64_t a,
+                           reader.NumberBelow(num_symbols, "vertical symbol"));
+    FO2DT_ASSIGN_OR_RETURN(uint64_t to,
+                           reader.NumberBelow(num_states, "vertical state"));
+    automaton.AddVertical(static_cast<TreeState>(from), static_cast<Symbol>(a),
+                          static_cast<TreeState>(to));
+  }
+
+  *pos = reader.pos();
+  return automaton;
+}
+
+Result<TreeAutomaton> ParseTreeAutomaton(const std::string& text) {
+  size_t pos = 0;
+  FO2DT_ASSIGN_OR_RETURN(TreeAutomaton automaton,
+                         ParseTreeAutomatonText(text, &pos));
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  if (pos != text.size()) {
+    return Status::ParseError("trailing content after automaton text");
+  }
+  return automaton;
+}
+
+}  // namespace fo2dt

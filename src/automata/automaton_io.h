@@ -1,0 +1,42 @@
+/// \file automaton_io.h
+/// \brief Line-based text serialization of tree automata, used by the flight
+/// recorder's post-mortem bundles and tools/replay/fo2dt_replay.
+///
+/// Format (one section per line, counts first so parsing is one pass):
+///
+///   automaton <num_symbols> <num_states>
+///   initial <k> <q>...
+///   nonfirst <k> <q>...
+///   accepting <k> <q> <a> ...
+///   horizontal <k> <from> <a> <to> ...
+///   vertical <k> <from> <a> <to> ...
+///
+/// Every section is always present (k == 0 lists nothing after the count).
+/// Symbols are raw dense ids — bundles pair the automaton with a canonical
+/// replay alphabet (common/flight_recorder.h MakeReplayAlphabet), so ids are
+/// position-stable across capture and replay. Round-trip is exact:
+/// Parse(ToText(a)) reproduces the same transition lists, in order.
+
+#pragma once
+
+#include <string>
+
+#include "automata/tree_automaton.h"
+#include "common/status.h"
+
+namespace fo2dt {
+
+/// Serializes \p automaton into the line format above (trailing newline).
+std::string TreeAutomatonToText(const TreeAutomaton& automaton);
+
+/// Parses the output of TreeAutomatonToText starting at \p *pos inside
+/// \p text; advances \p *pos past the consumed sections. ParseError on any
+/// malformed line, count mismatch, or out-of-range state/symbol id.
+Result<TreeAutomaton> ParseTreeAutomatonText(const std::string& text,
+                                             size_t* pos);
+
+/// Convenience wrapper: parses \p text from the start and requires that
+/// nothing but whitespace follows the automaton.
+Result<TreeAutomaton> ParseTreeAutomaton(const std::string& text);
+
+}  // namespace fo2dt

@@ -171,6 +171,12 @@ class ExecutionContext {
     return phases_.mem_high_water.load(std::memory_order_relaxed);
   }
 
+  /// Running total currently charged against the accountant, in bytes.
+  /// Sampled by ScopedPhaseMemory to attribute footprints to phases.
+  uint64_t BytesCharged() const {
+    return bytes_charged_.load(std::memory_order_relaxed);
+  }
+
   /// Charges \p bytes against the memory budget; ResourceExhausted with
   /// StopKind::kMemoryBudget when the cap is exceeded.
   Status ChargeMemory(uint64_t bytes, const char* module);

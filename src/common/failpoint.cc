@@ -1,5 +1,7 @@
 #include "common/failpoint.h"
 
+#include <algorithm>
+
 namespace fo2dt {
 
 Failpoints& Failpoints::Instance() {
@@ -30,6 +32,15 @@ void Failpoints::DisableAll() {
   std::lock_guard<std::mutex> lock(mu_);
   sites_.clear();
   active_sites_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string> Failpoints::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, _] : sites_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 uint64_t Failpoints::HitCount(const std::string& site) const {

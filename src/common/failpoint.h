@@ -35,6 +35,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace fo2dt {
 
@@ -70,6 +71,11 @@ class Failpoints {
   /// Number of times \p site was reached while armed (including skipped and
   /// post-fire hits).
   uint64_t HitCount(const std::string& site) const;
+
+  /// Names of all currently armed sites, sorted. The flight recorder writes
+  /// these into post-mortem bundles so fo2dt_replay can re-arm the same
+  /// injections deterministically.
+  std::vector<std::string> ArmedSites() const;
 
   /// True when at least one site is armed (single relaxed load — the only
   /// cost an unarmed build pays per site hit).

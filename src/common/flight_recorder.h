@@ -1,0 +1,156 @@
+/// \file flight_recorder.h
+/// \brief Per-solve flight recording: query-log records and post-mortem
+/// capture/replay bundles.
+///
+/// The recorder closes the operational loop the ROADMAP's north star needs:
+/// every facade solve leaves a structured JSONL record (common/query_log.h),
+/// and every *anomalous* solve — a degraded kUnknown, an error, or any solve
+/// when `FO2DT_CAPTURE=always` — leaves a self-contained bundle that
+/// `tools/replay/fo2dt_replay` re-executes deterministically and diffs
+/// against the recorded outcome.
+///
+/// Bundle layout (`<capture_dir>/<facade>-<hash>-<seq>/`, names from the
+/// registry's `bundle_files`):
+///   manifest.json   the query-log record plus bundle metadata
+///   input.fo2dt     line-based replay input: header, facade body, armed
+///                   failpoints, and `expect` lines with the recorded outcome
+///   trace.json      trace-ring export (Chrome JSON, open spans included)
+///   metrics.json    MetricsRegistry snapshot at capture time
+///
+/// Configuration: `FO2DT_QUERY_LOG=<path>` enables recording;
+/// `FO2DT_CAPTURE=never|degraded|always` picks the capture policy (default
+/// degraded); `FO2DT_CAPTURE_DIR=<dir>` overrides the bundle root (default
+/// `<query_log>.captures`). Tests use Configure() directly.
+///
+/// Usage in a facade (see frontend/solver.cc for the pattern):
+///   SolveRecorder rec(names::kFacadeFrontendSat, options.exec);
+///   if (rec.active()) {            // serialization only when recording
+///     rec.SetInput(canonical);     // hashing + size
+///     rec.SetReplayInput(body);    // replayable text, enables capture
+///     rec.AddBudget("max_steps", options.max_steps);
+///   }
+///   auto result = <solve>;
+///   rec.Finish(OutcomeFrom(result));
+///
+/// Nested facades (constraints → frontend) do not double-log: SolveRecorder
+/// keeps a thread-local depth and only the outermost recorder is active.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/query_log.h"
+#include "common/symbol.h"
+
+namespace fo2dt {
+
+class ExecutionContext;
+
+/// \brief Recorder configuration; see the file comment for the env mapping.
+struct FlightRecorderConfig {
+  /// JSONL sink; empty disables recording entirely.
+  std::string query_log_path;
+  /// One of names::kAllCaptureModes ("never" / "degraded" / "always").
+  std::string capture_mode;
+  /// Bundle root; empty derives `<query_log_path>.captures`.
+  std::string capture_dir;
+};
+
+/// \brief Process-wide recorder state. Thread-safe.
+class FlightRecorder {
+ public:
+  static FlightRecorder& Instance();
+
+  /// Replaces the configuration (tests; production uses the environment).
+  /// Also points the QueryLog singleton at the new path.
+  void Configure(FlightRecorderConfig config);
+
+  FlightRecorderConfig config() const;
+
+  /// True when solves should be recorded at all.
+  bool enabled() const;
+
+  /// The directory bundles land in (config or derived default).
+  std::string CaptureDir() const;
+
+  /// Monotonic per-process bundle sequence number (unique bundle dirs even
+  /// for identical inputs).
+  uint64_t NextBundleSeq() {
+    return bundle_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  FlightRecorder();  // seeds from FO2DT_QUERY_LOG / FO2DT_CAPTURE[_DIR]
+
+  mutable std::mutex mu_;
+  FlightRecorderConfig config_;
+  std::atomic<uint64_t> bundle_seq_{0};
+};
+
+/// \brief RAII recorder for one facade solve. Construct at facade entry,
+/// call Finish() with the outcome before returning. Inactive recorders (no
+/// query log configured, or nested inside another facade on this thread)
+/// cost two thread-local increments and nothing else.
+class SolveRecorder {
+ public:
+  SolveRecorder(const char* facade, const ExecutionContext* exec);
+  ~SolveRecorder();
+  SolveRecorder(const SolveRecorder&) = delete;
+  SolveRecorder& operator=(const SolveRecorder&) = delete;
+
+  /// True when this solve will be recorded; gate serialization work on it.
+  bool active() const { return active_; }
+
+  /// The canonical input text: hashed (with the facade name) and measured.
+  void SetInput(const std::string& canonical);
+
+  /// The replayable facade body for input.fo2dt. Without it no bundle is
+  /// captured (the record still logs).
+  void SetReplayInput(std::string text);
+
+  /// Records one budget constant in effect (key must be a plain identifier).
+  void AddBudget(const char* key, uint64_t value);
+
+  void SetThreads(uint64_t threads);
+  void SetSeed(uint64_t seed);
+
+  /// Logs the record (and captures a bundle per policy). Idempotent; only
+  /// the first call records. When \p outcome carries no profile and the
+  /// facade ran under an ExecutionContext, the profile is snapshotted here.
+  void Finish(SolveOutcome outcome);
+
+ private:
+  std::string WriteBundle(const QueryRecord& record,
+                          const SolveOutcome& outcome) const;
+
+  const char* facade_;
+  const ExecutionContext* exec_;
+  bool active_ = false;
+  bool finished_ = false;
+  QueryRecord record_;
+  std::string replay_input_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t cpu_start_ms_ = 0;
+};
+
+/// Synthetic dense alphabet "l0".."l<n-1>" — the canonical label namespace
+/// bundles are serialized in. Replaying with the same n reproduces the same
+/// symbol ids, making serialized formulas/trees/paths position-stable.
+Alphabet MakeReplayAlphabet(size_t num_labels);
+
+/// The canonical name of replay label \p i ("l<i>").
+std::string ReplayLabelName(size_t i);
+
+/// Re-arms \p site with the canonical deterministic replay injection used
+/// by capture-time tests and fo2dt_replay: Status*-argument sites sleep a
+/// fixed interval (so the owning phase dominates the profile) and inject
+/// ResourceExhausted with StopKind::kInjectedFault; bool* sites force their
+/// branch. False when \p site is not a registered failpoint.
+bool ArmCanonicalReplayInjection(const std::string& site);
+
+}  // namespace fo2dt

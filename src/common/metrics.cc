@@ -39,6 +39,11 @@ ScopedPhaseTimer*& ThreadCurrentTimer() {
   return current;
 }
 
+ScopedPhaseMemory*& ThreadCurrentMemoryScope() {
+  thread_local ScopedPhaseMemory* current = nullptr;
+  return current;
+}
+
 }  // namespace
 
 ScopedPhaseTimer* ScopedPhaseTimer::Current() { return ThreadCurrentTimer(); }
@@ -70,6 +75,34 @@ ScopedPhaseTimer::~ScopedPhaseTimer() {
   if (exec_ != nullptr) exec_->phases().Add(phase_, self_ns_, effort_);
   ThreadCurrentTimer() = parent_;
   if (parent_ != nullptr) parent_->resumed_ = now;  // resume its clock
+}
+
+bool ScopedPhaseMemory::CurrentPhase(Phase* out) {
+  ScopedPhaseMemory* current = ThreadCurrentMemoryScope();
+  if (current == nullptr) return false;
+  *out = current->phase_;
+  return true;
+}
+
+ScopedPhaseMemory::ScopedPhaseMemory(Phase phase, const ExecutionContext* exec)
+    : phase_(phase), exec_(exec), parent_(ThreadCurrentMemoryScope()) {
+  ThreadCurrentMemoryScope() = this;
+  if (exec_ != nullptr) {
+    exec_->phases().RecordPhaseMemory(phase_, exec_->BytesCharged());
+  }
+}
+
+ScopedPhaseMemory::~ScopedPhaseMemory() {
+  if (exec_ != nullptr) {
+    uint64_t total = exec_->BytesCharged();
+    exec_->phases().RecordPhaseMemory(phase_, total);
+    // Mirror into the thread-local block so the process-wide bench view
+    // carries the same per-phase gauge as the per-solve accumulator.
+    PhaseCounters::Entry& entry =
+        PhaseStats::Local().phases[static_cast<size_t>(phase_)];
+    if (total > entry.mem_peak) entry.mem_peak = total;
+  }
+  ThreadCurrentMemoryScope() = parent_;
 }
 
 Phase PhaseProfile::DominantPhase() const {
@@ -105,11 +138,13 @@ std::string PhaseProfile::ToJson() const {
     const Entry& e = phases[i];
     if (e.calls == 0) continue;
     out += StringFormat(
-        "%s\"%s\":{\"calls\":%llu,\"wall_ns\":%llu,\"effort\":%llu}",
+        "%s\"%s\":{\"calls\":%llu,\"wall_ns\":%llu,\"effort\":%llu,"
+        "\"mem_peak\":%llu}",
         first ? "" : ",", PhaseName(static_cast<Phase>(i)),
         static_cast<unsigned long long>(e.calls),
         static_cast<unsigned long long>(e.wall_ns),
-        static_cast<unsigned long long>(e.effort));
+        static_cast<unsigned long long>(e.effort),
+        static_cast<unsigned long long>(e.mem_peak));
     first = false;
   }
   out += StringFormat(
@@ -135,6 +170,8 @@ PhaseProfile SnapshotPhaseProfile(const ExecutionContext& exec) {
     out.phases[i].wall_ns =
         acc.slots[i].wall_ns.load(std::memory_order_relaxed);
     out.phases[i].effort = acc.slots[i].effort.load(std::memory_order_relaxed);
+    out.phases[i].mem_peak =
+        acc.slots[i].mem_peak.load(std::memory_order_relaxed);
   }
   out.ilp_max_depth = acc.ilp_max_depth.load(std::memory_order_relaxed);
   out.mem_high_water = acc.mem_high_water.load(std::memory_order_relaxed);
@@ -186,6 +223,8 @@ MetricsRegistry::MetricsRegistry() {
                     static_cast<double>(e.wall_ns));
           snap->Set(StringFormat("phase.%s.effort", name),
                     static_cast<double>(e.effort));
+          snap->Set(StringFormat("phase.%s.mem_peak", name),
+                    static_cast<double>(e.mem_peak));
         }
         snap->Set(names::kMetricGaugeIlpMaxDepth,
                   static_cast<double>(agg.ilp_max_depth));

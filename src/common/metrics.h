@@ -86,6 +86,7 @@ struct PhaseCounters {
     uint64_t calls = 0;
     uint64_t wall_ns = 0;  // self time (exclusive of nested phases)
     uint64_t effort = 0;
+    uint64_t mem_peak = 0;  // accountant high-water while the phase was open
   };
   std::array<Entry, kPhaseCount> phases;
   uint64_t ilp_max_depth = 0;    // deepest B&B recursion seen
@@ -96,6 +97,9 @@ struct PhaseCounters {
       out->phases[i].calls += phases[i].calls;
       out->phases[i].wall_ns += phases[i].wall_ns;
       out->phases[i].effort += phases[i].effort;
+      if (phases[i].mem_peak > out->phases[i].mem_peak) {
+        out->phases[i].mem_peak = phases[i].mem_peak;  // gauge: merge by max
+      }
     }
     if (ilp_max_depth > out->ilp_max_depth) out->ilp_max_depth = ilp_max_depth;
     if (mem_high_water > out->mem_high_water) {
@@ -114,6 +118,7 @@ struct PhaseAccumulator {
     std::atomic<uint64_t> calls{0};
     std::atomic<uint64_t> wall_ns{0};
     std::atomic<uint64_t> effort{0};
+    std::atomic<uint64_t> mem_peak{0};  // accountant high-water, this phase
   };
   std::array<Slot, kPhaseCount> slots;
   std::atomic<uint64_t> ilp_max_depth{0};
@@ -127,6 +132,9 @@ struct PhaseAccumulator {
   }
   void RecordDepth(uint64_t depth) { MaxInto(&ilp_max_depth, depth); }
   void RecordMemory(uint64_t bytes) { MaxInto(&mem_high_water, bytes); }
+  void RecordPhaseMemory(Phase phase, uint64_t bytes) {
+    MaxInto(&slots[static_cast<size_t>(phase)].mem_peak, bytes);
+  }
 
   static void MaxInto(std::atomic<uint64_t>* slot, uint64_t value) {
     uint64_t cur = slot->load(std::memory_order_relaxed);
@@ -166,6 +174,35 @@ class ScopedPhaseTimer {
   std::chrono::steady_clock::time_point resumed_;
 };
 
+/// \brief RAII memory-scope companion to ScopedPhaseTimer: while open, the
+/// memory accountant attributes its running total to \p phase, so every
+/// charge lands in a per-phase high-water gauge next to the phase's wall
+/// time. The lint rule `timer-memory-scope` enforces that each timer site
+/// opens the matching memory scope.
+///
+/// Like the timer, scopes nest per thread (innermost wins: a charge during
+/// LCTA → ILP is the ILP phase's memory). Construction and destruction also
+/// sample the accountant's current total into the phase's gauge, so a phase
+/// that merely *holds* memory charged earlier still shows its footprint.
+/// With a null ExecutionContext the scope is inert (two branch tests).
+class ScopedPhaseMemory {
+ public:
+  explicit ScopedPhaseMemory(Phase phase,
+                             const ExecutionContext* exec = nullptr);
+  ~ScopedPhaseMemory();
+  ScopedPhaseMemory(const ScopedPhaseMemory&) = delete;
+  ScopedPhaseMemory& operator=(const ScopedPhaseMemory&) = delete;
+
+  /// The innermost open scope's phase on the calling thread; false when no
+  /// scope is open (the accountant then falls back to PhaseForModule).
+  static bool CurrentPhase(Phase* out);
+
+ private:
+  Phase phase_;
+  const ExecutionContext* exec_;
+  ScopedPhaseMemory* parent_;
+};
+
 /// \brief Per-phase profile of one solve, carried on SatResult.
 ///
 /// Wall times are self times (see ScopedPhaseTimer) summed across the
@@ -177,6 +214,7 @@ struct PhaseProfile {
     uint64_t calls = 0;
     uint64_t wall_ns = 0;
     uint64_t effort = 0;
+    uint64_t mem_peak = 0;
   };
   std::array<Entry, kPhaseCount> phases;
   uint64_t ilp_max_depth = 0;

@@ -1,0 +1,187 @@
+#include "common/query_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/registry_names.h"
+#include "common/strings.h"
+
+namespace fo2dt {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string HashToHex(uint64_t hash) {
+  return StringFormat("%016llx", static_cast<unsigned long long>(hash));
+}
+
+namespace {
+
+void AppendField(std::string* out, const char* key, const std::string& value) {
+  *out += StringFormat("\"%s\":\"%s\"", key, JsonEscape(value).c_str());
+}
+
+void AppendField(std::string* out, const char* key, uint64_t value) {
+  *out += StringFormat("\"%s\":%llu", key,
+                       static_cast<unsigned long long>(value));
+}
+
+}  // namespace
+
+std::string QueryRecord::ToJsonLine() const {
+  std::string out = "{";
+  AppendField(&out, names::kLogFieldV, static_cast<uint64_t>(v));
+  out += ",";
+  AppendField(&out, names::kLogFieldTsMs, ts_ms);
+  out += ",";
+  AppendField(&out, names::kLogFieldFacade, std::string(facade));
+  out += ",";
+  AppendField(&out, names::kLogFieldInputHash, input_hash);
+  out += ",";
+  AppendField(&out, names::kLogFieldInputSize, input_size);
+  out += ",";
+  AppendField(&out, names::kLogFieldVerdict, outcome.verdict);
+  out += ",";
+  AppendField(&out, names::kLogFieldMethod, outcome.method);
+  out += ",";
+  AppendField(&out, names::kLogFieldSteps, outcome.steps);
+  out += ",";
+  AppendField(&out, names::kLogFieldStopKind,
+              std::string(StopKindToString(outcome.stop.kind)));
+  out += ",";
+  AppendField(&out, names::kLogFieldStopModule,
+              std::string(outcome.stop.module));
+  out += ",";
+  AppendField(&out, names::kLogFieldStopCounter, outcome.stop.counter);
+  out += ",";
+  AppendField(&out, names::kLogFieldStopLimit, outcome.stop.limit);
+  out += ",";
+  // Phases: nested {"<phase>":{"ms":..,"effort":..,"mem_peak":..}} for every
+  // phase that ran; the dominant phase names the largest self wall time.
+  std::string dominant;
+  std::string phases = "{";
+  uint64_t ilp_max_depth = 0;
+  uint64_t mem_high_water = 0;
+  if (outcome.profile.has_value()) {
+    const PhaseProfile& p = *outcome.profile;
+    dominant = PhaseName(p.DominantPhase());
+    ilp_max_depth = p.ilp_max_depth;
+    mem_high_water = p.mem_high_water;
+    bool first = true;
+    for (size_t i = 0; i < kPhaseCount; ++i) {
+      const PhaseProfile::Entry& e = p.phases[i];
+      if (e.calls == 0) continue;
+      phases += StringFormat(
+          "%s\"%s\":{\"ms\":%.3f,\"effort\":%llu,\"mem_peak\":%llu}",
+          first ? "" : ",", PhaseName(static_cast<Phase>(i)),
+          static_cast<double>(e.wall_ns) / 1e6,
+          static_cast<unsigned long long>(e.effort),
+          static_cast<unsigned long long>(e.mem_peak));
+      first = false;
+    }
+  }
+  phases += "}";
+  AppendField(&out, names::kLogFieldDominantPhase, dominant);
+  out += StringFormat(",\"%s\":%s,", names::kLogFieldPhases, phases.c_str());
+  AppendField(&out, names::kLogFieldIlpMaxDepth, ilp_max_depth);
+  out += ",";
+  AppendField(&out, names::kLogFieldMemHighWater, mem_high_water);
+  out += ",";
+  AppendField(&out, names::kLogFieldWallMs, wall_ms);
+  out += ",";
+  AppendField(&out, names::kLogFieldCpuMs, cpu_ms);
+  out += ",";
+  AppendField(&out, names::kLogFieldThreads, threads);
+  out += ",";
+  AppendField(&out, names::kLogFieldSeed, seed);
+  out += StringFormat(",\"%s\":{", names::kLogFieldBudgets);
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendField(&out, budgets[i].first.c_str(), budgets[i].second);
+  }
+  out += "},";
+  AppendField(&out, names::kLogFieldCapture, capture);
+  out += "}";
+  return out;
+}
+
+QueryLog& QueryLog::Instance() {
+  static QueryLog* log = new QueryLog();  // leaked: process lifetime
+  return *log;
+}
+
+QueryLog::QueryLog() {
+  const char* env = std::getenv("FO2DT_QUERY_LOG");
+  if (env != nullptr && env[0] != '\0') path_ = env;
+}
+
+void QueryLog::Configure(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+}
+
+std::string QueryLog::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+bool QueryLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !path_.empty();
+}
+
+Status QueryLog::Append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return Status::OK();
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) {
+    return Status::InvalidArgument(
+        StringFormat("cannot open query log '%s'", path_.c_str()));
+  }
+  std::fputs(line.c_str(), f);
+  std::fputc('\n', f);
+  if (std::fclose(f) != 0) {
+    return Status::Internal(
+        StringFormat("error appending to query log '%s'", path_.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace fo2dt

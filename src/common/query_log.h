@@ -1,0 +1,110 @@
+/// \file query_log.h
+/// \brief The per-solve query-log record and its JSONL sink.
+///
+/// Every facade solve leaves exactly one structured record: what was asked
+/// (a stable input hash and size), under which budgets, what came out
+/// (verdict, method, StopReason), and where the effort went (the full
+/// per-phase profile with wall time, effort, and memory high-water). The
+/// records append to a JSON-Lines file configured via `FO2DT_QUERY_LOG` (or
+/// programmatically), one object per line, so `tools/report/fo2dt_report.py`
+/// can aggregate histories across runs and machines.
+///
+/// Field names are registry-backed (tools/lint/registry.json `log_fields` →
+/// names::kLogField...), so the C++ writer, the Python analyzer, and the
+/// schema ctest cannot silently disagree on the schema.
+///
+/// Layering: this header is src/common — it knows nothing about formulas,
+/// trees, or automata. Facades serialize their own inputs to strings and
+/// hand them down (see common/flight_recorder.h for the recording RAII).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace fo2dt {
+
+/// Escapes \p s for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// FNV-1a 64-bit over \p data — the stable input hash. Not cryptographic;
+/// collisions only cost a shared bundle prefix.
+uint64_t Fnv1a64(const std::string& data);
+
+/// \p hash as 16 lowercase hex digits.
+std::string HashToHex(uint64_t hash);
+
+/// \brief Facade-agnostic outcome of one solve, as the flight recorder sees
+/// it. Facades convert their own result types (SatResult, Result<bool>)
+/// into this common-layer shape.
+struct SolveOutcome {
+  /// "SAT" / "UNSAT" / "UNKNOWN" for satisfiability facades, "ACCEPT" /
+  /// "REJECT" for membership, "ERROR:<code name>" for failed calls.
+  std::string verdict;
+  /// The decision method ("bounded_model_search", "counting_abstraction",
+  /// "lcta_ilp", ...); empty when not applicable.
+  std::string method;
+  /// Facade-reported step count (SatResult::steps or equivalent).
+  uint64_t steps = 0;
+  /// The structured stop, kind == kNone for definite verdicts.
+  StopReason stop;
+  /// Per-phase profile; the recorder snapshots the ExecutionContext when a
+  /// facade leaves this unset.
+  std::optional<PhaseProfile> profile;
+};
+
+/// \brief One query-log record; renders as a single JSONL line whose keys
+/// follow names::kAllLogFields order. All fields are always emitted so
+/// downstream consumers never need existence checks.
+struct QueryRecord {
+  int v = 1;                 ///< schema version
+  uint64_t ts_ms = 0;        ///< wall clock at solve end, ms since epoch
+  const char* facade = "";   ///< names::kFacade... constant
+  std::string input_hash;    ///< 16 hex digits (Fnv1a64 of facade + input)
+  uint64_t input_size = 0;   ///< canonical input bytes
+  SolveOutcome outcome;
+  uint64_t wall_ms = 0;      ///< end-to-end wall time of the solve
+  uint64_t cpu_ms = 0;       ///< process CPU time consumed
+  uint64_t threads = 1;      ///< worker thread count in effect
+  uint64_t seed = 0;         ///< RandomSource seed in effect
+  /// The Table-I-style budget constants in effect (max_model_nodes,
+  /// max_steps, max_cuts, ...), facade-specific.
+  std::vector<std::pair<std::string, uint64_t>> budgets;
+  std::string capture;       ///< bundle directory, or empty
+
+  std::string ToJsonLine() const;
+};
+
+/// \brief Process-wide append-only JSONL sink. Thread-safe; appends are
+/// whole-line and serialized under one mutex, so concurrent solves never
+/// interleave partial records.
+class QueryLog {
+ public:
+  static QueryLog& Instance();
+
+  /// Points the sink at \p path (empty disables logging). Overrides the
+  /// FO2DT_QUERY_LOG environment configuration.
+  void Configure(std::string path);
+
+  std::string path() const;
+  bool enabled() const;
+
+  /// Appends one record line (newline added here). No-op when disabled.
+  Status Append(const std::string& line);
+
+ private:
+  QueryLog();  // seeds path_ from FO2DT_QUERY_LOG
+
+  mutable std::mutex mu_;
+  std::string path_;
+};
+
+}  // namespace fo2dt

@@ -59,6 +59,7 @@ void TraceRecorder::Clear() {
   ring_.clear();
   head_ = 0;
   dropped_ = 0;
+  open_.clear();
 }
 
 size_t TraceRecorder::size() const {
@@ -71,8 +72,21 @@ uint64_t TraceRecorder::dropped() const {
   return dropped_;
 }
 
+void TraceRecorder::BeginSpan(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_.push_back(event);
+}
+
 void TraceRecorder::Record(const TraceEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Retire the in-flight entry. Spans destroy strictly LIFO per thread, so
+  // the match is almost always at or near the back.
+  for (size_t i = open_.size(); i > 0; --i) {
+    if (open_[i - 1].id == event.id) {
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      break;
+    }
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
     return;
@@ -94,8 +108,15 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   return out;
 }
 
+std::vector<TraceEvent> TraceRecorder::OpenSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
 Status TraceRecorder::WriteJson(const std::string& path) const {
   std::vector<TraceEvent> events = Snapshot();
+  std::vector<TraceEvent> open_spans = OpenSpans();
+  uint64_t now_ns = NowNs();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::InvalidArgument(
@@ -117,10 +138,29 @@ Status TraceRecorder::WriteJson(const std::string& path) const {
         static_cast<unsigned long long>(e.id),
         static_cast<unsigned long long>(e.parent));
   }
+  // In-flight spans: still open at export time (a post-mortem snapshot shows
+  // where execution stopped). Marked "open":true; the duration runs up to
+  // the export instant.
+  for (size_t i = 0; i < open_spans.size(); ++i) {
+    const TraceEvent& e = open_spans[i];
+    uint64_t dur_ns = now_ns > e.start_ns ? now_ns - e.start_ns : 0;
+    std::fprintf(
+        f,
+        "%s\n  {\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+        "\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"id\":%llu,\"parent\":%llu,\"open\":true}}",
+        events.empty() && i == 0 ? "" : ",", e.name, e.thread,
+        static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(dur_ns) / 1e3,
+        static_cast<unsigned long long>(e.id),
+        static_cast<unsigned long long>(e.parent));
+  }
   std::fprintf(f,
-               "\n],\"otherData\":{\"enabled\":%s,\"dropped\":%llu}}\n",
+               "\n],\"otherData\":{\"enabled\":%s,\"dropped\":%llu,"
+               "\"open_spans\":%llu}}\n",
                enabled() ? "true" : "false",
-               static_cast<unsigned long long>(dropped()));
+               static_cast<unsigned long long>(dropped()),
+               static_cast<unsigned long long>(open_spans.size()));
   if (std::fclose(f) != 0) {
     return Status::Internal(
         StringFormat("error writing trace output file '%s'", path.c_str()));

@@ -20,7 +20,9 @@
 ///    one relaxed atomic load per span;
 ///  * with recording enabled (environment variable FO2DT_TRACE=1, or
 ///    TraceRecorder::SetEnabled(true)) each span costs two steady_clock
-///    reads plus one short critical section at destruction.
+///    reads plus two short critical sections — one at construction to
+///    register the span as in-flight (so a post-mortem export can show
+///    where execution stopped), one at destruction to complete it.
 ///
 /// The buffer exports in Chrome trace-event format ("catapult" JSON), so a
 /// dump loads directly into chrome://tracing or https://ui.perfetto.dev.
@@ -80,17 +82,30 @@ class TraceRecorder {
   /// Number of events overwritten because the ring was full.
   uint64_t dropped() const;
 
-  /// The buffered events, oldest first.
+  /// The buffered events, oldest first. Completed spans only; in-flight
+  /// spans are reported separately by OpenSpans().
   std::vector<TraceEvent> Snapshot() const;
 
+  /// Spans currently open (constructed, not yet destroyed), oldest first,
+  /// with end_ns == 0. A post-mortem export taken mid-solve shows exactly
+  /// where execution stopped through these.
+  std::vector<TraceEvent> OpenSpans() const;
+
   /// Writes the buffer to \p path in Chrome trace-event JSON. The file is a
-  /// single object: {"traceEvents": [...], "otherData": {...}}.
+  /// single object: {"traceEvents": [...], "otherData": {...}}. In-flight
+  /// spans are emitted after the completed ones with `"open":true` in their
+  /// args and a duration running up to the export time.
   Status WriteJson(const std::string& path) const;
 
   /// Monotonic nanoseconds since the recorder's construction.
   uint64_t NowNs() const;
 
-  /// Appends one completed event (called by ~TraceSpan).
+  /// Registers an in-flight span (called by the TraceSpan constructor;
+  /// \p event carries end_ns == 0 until completion).
+  void BeginSpan(const TraceEvent& event);
+
+  /// Appends one completed event and retires its in-flight entry (called by
+  /// ~TraceSpan).
   void Record(const TraceEvent& event);
 
   /// Allocates a fresh span id.
@@ -111,6 +126,7 @@ class TraceRecorder {
   size_t capacity_ = kDefaultCapacity;
   size_t head_ = 0;        // next overwrite position once full
   uint64_t dropped_ = 0;
+  std::vector<TraceEvent> open_;  // in-flight spans, guarded by mu_
 };
 
 // The per-thread innermost open span id; spans link to it as their parent.
@@ -132,6 +148,13 @@ class TraceSpan {
     parent_ = current;
     current = id_;
     start_ns_ = rec.NowNs();
+    TraceEvent ev;
+    ev.id = id_;
+    ev.parent = parent_;
+    ev.name = name_;
+    ev.thread = TraceRecorder::CurrentThreadIndex();
+    ev.start_ns = start_ns_;
+    rec.BeginSpan(ev);  // end_ns stays 0 until destruction
   }
   ~TraceSpan() {
     if (!armed_) return;

@@ -1,13 +1,38 @@
 #include "constraints/constraints.h"
 
+#include <algorithm>
 #include <map>
+#include <thread>
 
+#include "automata/automaton_io.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
+#include "common/strings.h"
 #include "common/trace.h"
 #include "lcta/lcta.h"
 
 namespace fo2dt {
+
+namespace {
+
+// Replay body shared by the three constraint facades: the schema automaton
+// followed by one line per constraint (dense symbol ids; the canonical
+// replay alphabet restores them positionally).
+std::string SerializeConstraintProblem(const TreeAutomaton& schema,
+                                       const ConstraintSet& set) {
+  std::string body = "schema\n" + TreeAutomatonToText(schema);
+  for (const UnaryKey& k : set.keys) {
+    body += StringFormat("key %u %u\n", k.element, k.attribute);
+  }
+  for (const UnaryInclusion& inc : set.inclusions) {
+    body += StringFormat("inclusion %u %u %u %u\n", inc.from_element,
+                         inc.from_attribute, inc.to_element, inc.to_attribute);
+  }
+  return body;
+}
+
+}  // namespace
 
 bool ConstraintSet::IsForeignKey(const UnaryInclusion& inc) const {
   for (const UnaryKey& k : keys) {
@@ -114,14 +139,30 @@ Result<SatResult> CheckConsistencyBounded(const TreeAutomaton& schema,
                                           const SolverOptions& options) {
   SolverOptions opt = options;
   opt.structural_filter = &schema;
+  SolveRecorder rec(names::kFacadeConstraintsConsistency, options.exec);
+  if (rec.active()) {
+    std::string body = SerializeConstraintProblem(schema, set);
+    body += StringFormat(
+        "budget max_model_nodes %llu\n",
+        static_cast<unsigned long long>(options.max_model_nodes));
+    body += StringFormat("budget max_steps %llu\n",
+                         static_cast<unsigned long long>(options.max_steps));
+    rec.SetInput(body);
+    rec.SetReplayInput(body);
+    rec.AddBudget("max_model_nodes", options.max_model_nodes);
+    rec.AddBudget("max_steps", options.max_steps);
+  }
   // Translation is charged to kConstraints; the bounded search inside the
   // frontend call times itself (and attaches the PhaseProfile).
   Formula query = [&] {
     FO2DT_TRACE_SPAN(names::kModConstraintsTranslate);
     ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
+    ScopedPhaseMemory phase_memory(Phase::kConstraints, options.exec);
     return ConstraintSetToFo2(set);
   }();
-  return CheckFo2SatisfiabilityBounded(query, opt);
+  Result<SatResult> result = CheckFo2SatisfiabilityBounded(query, opt);
+  rec.Finish(SolveOutcomeFromSat(result));
+  return result;
 }
 
 Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
@@ -130,13 +171,34 @@ Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
                                           const SolverOptions& options) {
   SolverOptions opt = options;
   opt.structural_filter = &schema;
+  SolveRecorder rec(names::kFacadeConstraintsImplication, options.exec);
+  if (rec.active()) {
+    std::string body = SerializeConstraintProblem(schema, premises);
+    Alphabet replay_alphabet = MakeReplayAlphabet(
+        std::max(schema.num_symbols(),
+                 static_cast<size_t>(conclusion.NumSymbolsSpanned())));
+    body += StringFormat("conclusion %s\n",
+                         conclusion.ToString(replay_alphabet).c_str());
+    body += StringFormat(
+        "budget max_model_nodes %llu\n",
+        static_cast<unsigned long long>(options.max_model_nodes));
+    body += StringFormat("budget max_steps %llu\n",
+                         static_cast<unsigned long long>(options.max_steps));
+    rec.SetInput(body);
+    rec.SetReplayInput(body);
+    rec.AddBudget("max_model_nodes", options.max_model_nodes);
+    rec.AddBudget("max_steps", options.max_steps);
+  }
   Formula query = [&] {
     FO2DT_TRACE_SPAN(names::kModConstraintsTranslate);
     ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
+    ScopedPhaseMemory phase_memory(Phase::kConstraints, options.exec);
     return Formula::And(ConstraintSetToFo2(premises),
                         Formula::Not(conclusion));
   }();
-  return CheckFo2SatisfiabilityBounded(query, opt);
+  Result<SatResult> result = CheckFo2SatisfiabilityBounded(query, opt);
+  rec.Finish(SolveOutcomeFromSat(result));
+  return result;
 }
 
 namespace {
@@ -148,6 +210,7 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlpImpl(
   // Self time = cardinality-constraint construction; the LCTA emptiness call
   // below runs its own kLcta/kIlp timers.
   ScopedPhaseTimer phase_timer(Phase::kConstraints, options.exec);
+  ScopedPhaseMemory phase_memory(Phase::kConstraints, options.exec);
   // Cardinality conditions over label counts: variable Q + l counts label l.
   const VarId q = static_cast<VarId>(schema.num_states());
   std::vector<LinearConstraint> parts;
@@ -200,6 +263,26 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlpImpl(
 Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
                                                    const ConstraintSet& set,
                                                    const LctaOptions& options) {
+  SolveRecorder rec(names::kFacadeConstraintsKeyfk, options.exec);
+  if (rec.active()) {
+    std::string body = SerializeConstraintProblem(schema, set);
+    body += StringFormat("budget max_ilp_nodes %llu\n",
+                         static_cast<unsigned long long>(options.max_ilp_nodes));
+    body += StringFormat("budget max_cuts %llu\n",
+                         static_cast<unsigned long long>(options.max_cuts));
+    body += StringFormat(
+        "budget max_dnf_branches %llu\n",
+        static_cast<unsigned long long>(options.max_dnf_branches));
+    rec.SetInput(body);
+    rec.SetReplayInput(body);
+    rec.AddBudget("max_ilp_nodes", options.max_ilp_nodes);
+    rec.AddBudget("max_cuts", options.max_cuts);
+    rec.AddBudget("max_dnf_branches", options.max_dnf_branches);
+    size_t threads = options.num_threads != 0
+                         ? options.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    rec.SetThreads(threads);
+  }
   Result<SatResult> run =
       CheckKeyForeignKeyConsistencyIlpImpl(schema, set, options);
   // Attach the per-phase profile after every timer of the solve has closed.
@@ -208,6 +291,7 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
     if (run->stop_reason.has_value()) profile.stop = *run->stop_reason;
     run->profile = std::move(profile);
   }
+  rec.Finish(SolveOutcomeFromSat(run));
   return run;
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "automata/automaton_io.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
+#include "common/strings.h"
 #include "common/trace.h"
 #include "lcta/lcta.h"
 #include "puzzle/puzzle.h"
@@ -20,6 +23,38 @@ const char* SatVerdictToString(SatVerdict v) {
       return "UNKNOWN";
   }
   return "?";
+}
+
+const char* SatMethodToString(SatMethod m) {
+  switch (m) {
+    case SatMethod::kBoundedModelSearch:
+      return "bounded_model_search";
+    case SatMethod::kCountingAbstraction:
+      return "counting_abstraction";
+    case SatMethod::kPuzzlePipeline:
+      return "puzzle_pipeline";
+    case SatMethod::kNone:
+      return "";
+  }
+  return "";
+}
+
+SolveOutcome SolveOutcomeFromSat(const Result<SatResult>& result) {
+  SolveOutcome out;
+  if (!result.ok()) {
+    out.verdict =
+        std::string("ERROR:") + StatusCodeToString(result.status().code());
+    if (const StopReason* reason = result.status().stop_reason()) {
+      out.stop = *reason;
+    }
+    return out;
+  }
+  out.verdict = SatVerdictToString(result->verdict);
+  out.method = SatMethodToString(result->method);
+  out.steps = result->steps;
+  if (result->stop_reason.has_value()) out.stop = *result->stop_reason;
+  out.profile = result->profile;
+  return out;
 }
 
 namespace {
@@ -198,17 +233,46 @@ Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
           "formula mentions labels outside the schema alphabet");
     }
   }
+  SolveRecorder rec(names::kFacadeFrontendSat, options.exec);
+  if (rec.active()) {
+    // Serialize in the canonical replay alphabet: the formula mentions dense
+    // symbol ids, so an alphabet of matching size reproduces them exactly.
+    size_t alpha = std::max(
+        num_labels, static_cast<size_t>(sentence.NumSymbolsSpanned()));
+    Alphabet replay_alphabet = MakeReplayAlphabet(alpha);
+    std::string body = StringFormat(
+        "labels %llu\n", static_cast<unsigned long long>(num_labels));
+    body += StringFormat(
+        "budget max_model_nodes %llu\n",
+        static_cast<unsigned long long>(options.max_model_nodes));
+    body += StringFormat("budget max_steps %llu\n",
+                         static_cast<unsigned long long>(options.max_steps));
+    body += StringFormat("flag use_counting_abstraction %d\n",
+                         options.use_counting_abstraction ? 1 : 0);
+    if (options.structural_filter != nullptr) {
+      body += "filter\n" + TreeAutomatonToText(*options.structural_filter);
+    }
+    body += StringFormat("formula %s\n",
+                         sentence.ToString(replay_alphabet).c_str());
+    rec.SetInput(body);
+    rec.SetReplayInput(body);
+    rec.AddBudget("max_model_nodes", options.max_model_nodes);
+    rec.AddBudget("max_steps", options.max_steps);
+  }
   Result<SatResult> run = [&]() -> Result<SatResult> {
     FO2DT_TRACE_SPAN(names::kModFrontendEnumerate);
     ScopedPhaseTimer phase_timer(Phase::kBoundedSearch, options.exec);
+    ScopedPhaseMemory phase_memory(Phase::kBoundedSearch, options.exec);
     ModelEnumerator enumerator(sentence, num_labels, options);
     Result<SatResult> r = enumerator.Run();
     if (r.ok()) phase_timer.AddEffort(r->steps);
     return r;
   }();
-  return AttachProfile(
+  Result<SatResult> result = AttachProfile(
       DegradeToUnknown(std::move(run), SatMethod::kBoundedModelSearch),
       options.exec);
+  rec.Finish(SolveOutcomeFromSat(result));
+  return result;
 }
 
 namespace {
@@ -271,17 +335,29 @@ Result<SatResult> CheckDnfSatisfiabilityImpl(const DataNormalForm& dnf,
 
 Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
                                          const SolverOptions& options) {
+  SolveRecorder rec(names::kFacadeFrontendDnfSat, options.exec);
+  if (rec.active()) {
+    // A DataNormalForm has no text serialization, so this facade logs a
+    // structural summary hash and never captures a replay bundle.
+    rec.SetInput(StringFormat(
+        "dnf blocks=%llu", static_cast<unsigned long long>(dnf.blocks.size())));
+    rec.AddBudget("max_model_nodes", options.max_model_nodes);
+    rec.AddBudget("max_steps", options.max_steps);
+  }
   Result<SatResult> run = [&] {
     FO2DT_TRACE_SPAN(names::kModFrontendSolver);
     // Facade glue only: each sub-pipeline (puzzle construction, counting,
     // LCTA, ILP, bounded search) runs its own timer, so kFrontend self time
     // is the per-block orchestration cost.
     ScopedPhaseTimer phase_timer(Phase::kFrontend, options.exec);
+    ScopedPhaseMemory phase_memory(Phase::kFrontend, options.exec);
     return CheckDnfSatisfiabilityImpl(dnf, options);
   }();
-  return AttachProfile(
+  Result<SatResult> result = AttachProfile(
       DegradeToUnknown(std::move(run), SatMethod::kPuzzlePipeline),
       options.exec);
+  rec.Finish(SolveOutcomeFromSat(result));
+  return result;
 }
 
 }  // namespace fo2dt

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/execution_context.h"
+#include "common/query_log.h"
 #include "logic/dnf.h"
 #include "logic/eval.h"
 #include "logic/formula.h"
@@ -42,6 +43,9 @@ enum class SatMethod {
   kPuzzlePipeline,       ///< DNF -> puzzle bounded solver
   kNone,
 };
+
+/// Stable short name ("bounded_model_search", ...; query-log `method` field).
+const char* SatMethodToString(SatMethod m);
 
 /// \brief Outcome of a satisfiability query.
 struct SatResult {
@@ -106,6 +110,11 @@ struct SolverOptions {
 /// counting abstraction for UNSAT, puzzle bounded search for SAT.
 [[nodiscard]] Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
                                          const SolverOptions& options = {});
+
+/// Converts a solver facade result into the flight recorder's
+/// facade-agnostic outcome shape (verdict/method strings, StopReason,
+/// profile). Shared by every facade that reports through the frontend.
+SolveOutcome SolveOutcomeFromSat(const Result<SatResult>& result);
 
 }  // namespace fo2dt
 

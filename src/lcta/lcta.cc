@@ -298,6 +298,7 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
   // Self time = flow building + cut machinery (the nested ILP solves carry
   // their own kIlp timers); effort = cut rounds.
   ScopedPhaseTimer phase_timer(Phase::kLcta, options.exec);
+  ScopedPhaseMemory phase_memory(Phase::kLcta, options.exec);
   const TreeAutomaton& a = lcta.automaton;
   LinearConstraint flow =
       BuildFlowConstraints(a, g, root, root_label, lcta.use_symbol_counts);
@@ -386,6 +387,7 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
   // double-counting the workers' time.
   std::optional<ScopedPhaseTimer> phase_timer;
   phase_timer.emplace(Phase::kLcta, options.exec);
+  ScopedPhaseMemory phase_memory(Phase::kLcta, options.exec);
   const TreeAutomaton& a = lcta.automaton;
   if (lcta.constraint.NumVarsSpanned() > lcta.NumUserVars()) {
     return Status::InvalidArgument(
@@ -573,6 +575,7 @@ Result<DataTree> FindLctaWitnessBounded(const Lcta& lcta, size_t max_nodes,
                                         const ExecutionContext* exec) {
   FO2DT_TRACE_SPAN(names::kSpanLctaWitnessBruteforce);
   ScopedPhaseTimer phase_timer(Phase::kLcta, exec);
+  ScopedPhaseMemory phase_memory(Phase::kLcta, exec);
   ExecCheckpoint checkpoint(exec, nullptr, kLctaModule);
   const TreeAutomaton& a = lcta.automaton;
   const size_t num_symbols = a.num_symbols();

@@ -103,6 +103,7 @@ Result<TypeSet> TypeFromFormulaImpl(const Formula& f, const ExtAlphabet& ext) {
 Result<TypeSet> TypeFromFormula(const Formula& f, const ExtAlphabet& ext) {
   FO2DT_TRACE_SPAN(names::kSpanLogicDnfType);
   ScopedPhaseTimer phase_timer(Phase::kDnf);
+  ScopedPhaseMemory phase_memory(Phase::kDnf);
   return TypeFromFormulaImpl(f, ext);
 }
 

@@ -153,6 +153,7 @@ Result<ScottNormalForm> ToScottNormalForm(const Formula& sentence,
                                           PredId num_existing_preds) {
   FO2DT_TRACE_SPAN(names::kModLogicScott);
   ScopedPhaseTimer phase_timer(Phase::kScott);
+  ScopedPhaseMemory phase_memory(Phase::kScott);
   if (!sentence.IsSentence()) {
     return Status::InvalidArgument("Scott normal form requires a sentence");
   }

@@ -129,6 +129,7 @@ Result<BoundedSolveResult> SolvePuzzleBounded(
     const Puzzle& puzzle, const BoundedSolveOptions& options) {
   FO2DT_TRACE_SPAN(names::kModPuzzleBounded);
   ScopedPhaseTimer phase_timer(Phase::kBoundedSearch, options.exec);
+  ScopedPhaseMemory phase_memory(Phase::kBoundedSearch, options.exec);
   BoundedSolveResult out;
   // Flushes the step count as phase effort on every exit path, including
   // error propagation (destroyed before phase_timer by construction order).

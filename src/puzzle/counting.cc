@@ -146,6 +146,7 @@ Result<CountingResult> CheckPuzzleUnsatByCounting(
   // Self time = region/class-type abstraction building; the LCTA emptiness
   // call below carries its own kLcta timer.
   ScopedPhaseTimer phase_timer(Phase::kPuzzle, options.lcta.exec);
+  ScopedPhaseMemory phase_memory(Phase::kPuzzle, options.lcta.exec);
   CountingResult out;
   // Collect condition types (alpha, beta) with indices.
   std::vector<const TypeSet*> types;

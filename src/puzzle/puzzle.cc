@@ -15,6 +15,7 @@ namespace fo2dt {
 Result<Puzzle> PuzzleFromBlock(const DnfBlock& block, const ExtAlphabet& ext) {
   FO2DT_TRACE_SPAN(names::kModPuzzleBuild);
   ScopedPhaseTimer phase_timer(Phase::kPuzzle);
+  ScopedPhaseMemory phase_memory(Phase::kPuzzle);
   Puzzle out;
   out.ext = ext;
   const size_t num_profiled = ext.profiled_size();

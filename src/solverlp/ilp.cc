@@ -240,6 +240,7 @@ Result<IlpSolution> FindIntegerPointImpl(const LinearSystem& system,
   // One timer per DNF-branch solve; covers the nested simplex work too
   // (simplex and B&B are one attribution phase). Effort = B&B nodes.
   ScopedPhaseTimer phase_timer(Phase::kIlp, options.exec);
+  ScopedPhaseMemory phase_memory(Phase::kIlp, options.exec);
   IlpSolution out;
   LinearSystem base;
   if (Preprocess(system, &base) == PreprocessVerdict::kInfeasible) {

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <map>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "datatree/text_io.h"
 #include "lcta/lcta.h"
 
 namespace fo2dt {
@@ -55,6 +57,7 @@ Result<std::vector<std::vector<Candidate>>> DeriveAll(
     const ExecutionContext* exec) {
   FO2DT_TRACE_SPAN(names::kModVataDerive);
   ScopedPhaseTimer phase_timer(Phase::kVata, exec);
+  ScopedPhaseMemory phase_memory(Phase::kVata, exec);
   if (!IsBinaryTree(t)) {
     return Status::InvalidArgument("VATA runs require a binary tree");
   }
@@ -159,20 +162,90 @@ bool IsZero(const CounterVec& v) {
   return true;
 }
 
+void AppendVec(std::string* out, const CounterVec& v) {
+  for (int64_t x : v) {
+    *out += StringFormat(" %lld", static_cast<long long>(x));
+  }
+}
+
+// Replay body: the full automaton (counts first, vectors inline as signed
+// decimals), the subject tree in text_io syntax over the canonical replay
+// alphabet, and the candidate budget.
+std::string SerializeVataProblem(const VataAutomaton& a, const DataTree& t,
+                                 size_t max_candidates) {
+  std::string body = StringFormat(
+      "vata %llu %llu %llu\n", static_cast<unsigned long long>(a.num_counters),
+      static_cast<unsigned long long>(a.num_states),
+      static_cast<unsigned long long>(a.num_labels));
+  body += StringFormat("accepting %llu",
+                       static_cast<unsigned long long>(a.accepting.size()));
+  for (VataState q : a.accepting) body += StringFormat(" %u", q);
+  body += "\n";
+  body += StringFormat("leafrules %llu\n",
+                       static_cast<unsigned long long>(a.leaf_rules.size()));
+  for (const VataLeafRule& r : a.leaf_rules) {
+    body += StringFormat("%u %u", r.label, r.state);
+    AppendVec(&body, r.vector);
+    body += "\n";
+  }
+  body += StringFormat("transitions %llu\n",
+                       static_cast<unsigned long long>(a.transitions.size()));
+  for (const VataTransition& tr : a.transitions) {
+    body += StringFormat("%u %u", tr.label, tr.left_state);
+    AppendVec(&body, tr.take_left);
+    body += StringFormat(" %u", tr.right_state);
+    AppendVec(&body, tr.take_right);
+    body += StringFormat(" %u", tr.result_state);
+    AppendVec(&body, tr.add);
+    body += "\n";
+  }
+  size_t alpha = a.num_labels;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.label(v) + 1 > alpha) alpha = t.label(v) + 1;
+  }
+  Alphabet replay_alphabet = MakeReplayAlphabet(alpha);
+  body += StringFormat("tree %s\n",
+                       DataTreeToText(t, replay_alphabet).c_str());
+  body += StringFormat("budget max_candidates %llu\n",
+                       static_cast<unsigned long long>(max_candidates));
+  return body;
+}
+
 }  // namespace
 
 Result<bool> VataAccepts(const VataAutomaton& a, const DataTree& t,
                          size_t max_candidates, const ExecutionContext* exec) {
-  FO2DT_ASSIGN_OR_RETURN(std::vector<std::vector<Candidate>> cands,
-                         DeriveAll(a, t, max_candidates, exec));
-  for (const Candidate& c : cands[t.root()]) {
-    if (IsZero(c.vector) &&
-        std::find(a.accepting.begin(), a.accepting.end(), c.state) !=
-            a.accepting.end()) {
-      return true;
+  SolveRecorder rec(names::kFacadeVataAccepts, exec);
+  if (rec.active()) {
+    std::string body = SerializeVataProblem(a, t, max_candidates);
+    rec.SetInput(body);
+    rec.SetReplayInput(body);
+    rec.AddBudget("max_candidates", max_candidates);
+  }
+  Result<bool> result = [&]() -> Result<bool> {
+    FO2DT_ASSIGN_OR_RETURN(std::vector<std::vector<Candidate>> cands,
+                           DeriveAll(a, t, max_candidates, exec));
+    for (const Candidate& c : cands[t.root()]) {
+      if (IsZero(c.vector) &&
+          std::find(a.accepting.begin(), a.accepting.end(), c.state) !=
+              a.accepting.end()) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  SolveOutcome outcome;
+  if (result.ok()) {
+    outcome.verdict = *result ? "ACCEPT" : "REJECT";
+  } else {
+    outcome.verdict =
+        std::string("ERROR:") + StatusCodeToString(result.status().code());
+    if (const StopReason* reason = result.status().stop_reason()) {
+      outcome.stop = *reason;
     }
   }
-  return false;
+  rec.Finish(std::move(outcome));
+  return result;
 }
 
 Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(

@@ -5,6 +5,8 @@
 #include <functional>
 #include <set>
 
+#include "automata/automaton_io.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
 #include "common/strings.h"
@@ -830,14 +832,89 @@ DataTree ApplyElementValueEncoding(const DataTree& t,
   return out;
 }
 
+namespace {
+
+void MaxSymbolIn(const XpPath& path, Symbol* max_plus_one);
+
+void MaxSymbolIn(const NameTest& test, Symbol* max_plus_one) {
+  if (!test.wildcard && test.name != kNoSymbol && test.name + 1 > *max_plus_one) {
+    *max_plus_one = test.name + 1;
+  }
+}
+
+void MaxSymbolIn(const XpPredicate& pred, Symbol* max_plus_one) {
+  auto attr = [&](Symbol a) {
+    if (a != kNoSymbol && a + 1 > *max_plus_one) *max_plus_one = a + 1;
+  };
+  if (pred.path != nullptr) MaxSymbolIn(*pred.path, max_plus_one);
+  if (pred.abs_path != nullptr) MaxSymbolIn(*pred.abs_path, max_plus_one);
+  attr(pred.left_attribute);
+  attr(pred.right_attribute);
+  MaxSymbolIn(pred.self_test, max_plus_one);
+  if (pred.rel_step != nullptr) {
+    MaxSymbolIn(pred.rel_step->test, max_plus_one);
+    for (const XpPredicate& p : pred.rel_step->predicates) {
+      MaxSymbolIn(p, max_plus_one);
+    }
+  }
+  for (const XpPredicate& p : pred.children) MaxSymbolIn(p, max_plus_one);
+}
+
+void MaxSymbolIn(const XpPath& path, Symbol* max_plus_one) {
+  for (const XpStep& step : path.steps) {
+    MaxSymbolIn(step.test, max_plus_one);
+    for (const XpPredicate& p : step.predicates) MaxSymbolIn(p, max_plus_one);
+  }
+}
+
+// Replay body for the XPath facades: alphabet size, optional schema, the
+// expression(s) in concrete syntax, budgets. All symbol ids are dense, so
+// re-parsing against a same-size canonical alphabet is position-stable —
+// provided the replay alphabet is pre-interned before ParseXPath interns.
+std::string SerializeXPathProblem(const std::vector<const XpPath*>& paths,
+                                  const TreeAutomaton* schema,
+                                  const SolverOptions& options) {
+  Symbol alpha = 0;
+  for (const XpPath* p : paths) MaxSymbolIn(*p, &alpha);
+  if (schema != nullptr && schema->num_symbols() > alpha) {
+    alpha = static_cast<Symbol>(schema->num_symbols());
+  }
+  Alphabet replay_alphabet = MakeReplayAlphabet(alpha);
+  std::string body =
+      StringFormat("labels %llu\n", static_cast<unsigned long long>(alpha));
+  body += StringFormat("budget max_model_nodes %llu\n",
+                       static_cast<unsigned long long>(options.max_model_nodes));
+  body += StringFormat("budget max_steps %llu\n",
+                       static_cast<unsigned long long>(options.max_steps));
+  if (schema != nullptr) {
+    body += "schema\n" + TreeAutomatonToText(*schema);
+  }
+  for (const XpPath* p : paths) {
+    body += StringFormat("xpath %s\n",
+                         XPathToString(*p, replay_alphabet).c_str());
+  }
+  return body;
+}
+
+}  // namespace
+
 Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
                                            const TreeAutomaton* schema,
                                            const SolverOptions& options) {
+  SolveRecorder rec(names::kFacadeXpathSat, options.exec);
+  if (rec.active()) {
+    std::string body = SerializeXPathProblem({&path}, schema, options);
+    rec.SetInput(body);
+    rec.SetReplayInput(body);
+    rec.AddBudget("max_model_nodes", options.max_model_nodes);
+    rec.AddBudget("max_steps", options.max_steps);
+  }
   // Translation is charged to kXpath; the solver call at the end times
   // itself (and attaches the PhaseProfile), so the timer closes first.
   Result<Formula> query = [&]() -> Result<Formula> {
     FO2DT_TRACE_SPAN(names::kModXpathTranslate);
     ScopedPhaseTimer phase_timer(Phase::kXpath, options.exec);
+    ScopedPhaseMemory phase_memory(Phase::kXpath, options.exec);
     FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&path}));
     FO2DT_ASSIGN_OR_RETURN(Formula selected, TranslateXPathToFo2(path, assoc));
     size_t num_labels =
@@ -847,18 +924,35 @@ Result<SatResult> CheckXPathSatisfiability(const XpPath& path,
     return Formula::And(Formula::Exists(Var::kX, std::move(selected)),
                         ElementValueConsistencyFormula(assoc, num_labels));
   }();
-  FO2DT_RETURN_NOT_OK(query.status());
+  if (!query.ok()) {
+    SolveOutcome outcome;
+    outcome.verdict =
+        std::string("ERROR:") + StatusCodeToString(query.status().code());
+    rec.Finish(std::move(outcome));
+    return query.status();
+  }
   SolverOptions opt = options;
   opt.structural_filter = schema;
-  return CheckFo2SatisfiabilityBounded(*query, opt);
+  Result<SatResult> result = CheckFo2SatisfiabilityBounded(*query, opt);
+  rec.Finish(SolveOutcomeFromSat(result));
+  return result;
 }
 
 Result<SatResult> CheckXPathContainment(const XpPath& p, const XpPath& q,
                                         const TreeAutomaton* schema,
                                         const SolverOptions& options) {
+  SolveRecorder rec(names::kFacadeXpathContainment, options.exec);
+  if (rec.active()) {
+    std::string body = SerializeXPathProblem({&p, &q}, schema, options);
+    rec.SetInput(body);
+    rec.SetReplayInput(body);
+    rec.AddBudget("max_model_nodes", options.max_model_nodes);
+    rec.AddBudget("max_steps", options.max_steps);
+  }
   Result<Formula> query = [&]() -> Result<Formula> {
     FO2DT_TRACE_SPAN(names::kModXpathTranslate);
     ScopedPhaseTimer phase_timer(Phase::kXpath, options.exec);
+    ScopedPhaseMemory phase_memory(Phase::kXpath, options.exec);
     FO2DT_ASSIGN_OR_RETURN(SafetyAssociations assoc, CheckSafety({&p, &q}));
     FO2DT_ASSIGN_OR_RETURN(Formula in_p, TranslateXPathToFo2(p, assoc));
     FO2DT_ASSIGN_OR_RETURN(Formula in_q, TranslateXPathToFo2(q, assoc));
@@ -871,10 +965,18 @@ Result<SatResult> CheckXPathContainment(const XpPath& p, const XpPath& q,
     return Formula::And(Formula::Exists(Var::kX, std::move(counterexample)),
                         ElementValueConsistencyFormula(assoc, num_labels));
   }();
-  FO2DT_RETURN_NOT_OK(query.status());
+  if (!query.ok()) {
+    SolveOutcome outcome;
+    outcome.verdict =
+        std::string("ERROR:") + StatusCodeToString(query.status().code());
+    rec.Finish(std::move(outcome));
+    return query.status();
+  }
   SolverOptions opt = options;
   opt.structural_filter = schema;
-  return CheckFo2SatisfiabilityBounded(*query, opt);
+  Result<SatResult> result = CheckFo2SatisfiabilityBounded(*query, opt);
+  rec.Finish(SolveOutcomeFromSat(result));
+  return result;
 }
 
 }  // namespace fo2dt

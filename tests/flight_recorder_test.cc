@@ -1,0 +1,266 @@
+/// \file flight_recorder_test.cc
+/// \brief Flight recorder: JSONL query log across all four facades,
+/// failpoint-forced post-mortem capture, and deterministic replay through
+/// the fo2dt_replay binary.
+
+#include "common/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "common/failpoint.h"
+#include "common/registry_names.h"
+#include "constraints/constraints.h"
+#include "datatree/text_io.h"
+#include "frontend/solver.h"
+#include "logic/parser.h"
+#include "vata/vata.h"
+#include "xpath/xpath.h"
+
+namespace fo2dt {
+namespace {
+
+/// Restores the process-global recorder (and the query log it configures)
+/// no matter how the test exits; tests in this binary serialize on it.
+class RecorderGuard {
+ public:
+  explicit RecorderGuard(FlightRecorderConfig config)
+      : saved_(FlightRecorder::Instance().config()) {
+    FlightRecorder::Instance().Configure(std::move(config));
+  }
+  ~RecorderGuard() { FlightRecorder::Instance().Configure(saved_); }
+
+ private:
+  FlightRecorderConfig saved_;
+};
+
+class FailpointGuard {
+ public:
+  ~FailpointGuard() { Failpoints::Instance().DisableAll(); }
+};
+
+std::string UniquePath(const char* stem) {
+  static int counter = 0;
+  return ::testing::TempDir() + "fr_" + stem + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++);
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Value of a top-level string field in one JSONL record. The writer escapes
+/// quotes, so scanning to the next unescaped quote is exact.
+std::string JsonStringField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  std::string out;
+  for (size_t i = begin; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[i + 1];
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') break;
+    out += line[i];
+  }
+  return out;
+}
+
+VataAutomaton OneCounterVata() {
+  VataAutomaton a;
+  a.num_counters = 1;
+  a.num_states = 2;
+  a.num_labels = 2;
+  a.accepting = {1};
+  a.leaf_rules.push_back({1, 0, {1}});
+  a.transitions.push_back({0, 0, {1}, 0, {1}, 1, {0}});
+  return a;
+}
+
+TEST(FlightRecorderTest, OneRecordPerSolveAcrossFacades) {
+  std::string log = UniquePath("facades") + ".jsonl";
+  RecorderGuard guard({log, names::kCaptureModeNever, ""});
+
+  {
+    Alphabet labels;
+    Formula f = *ParseFormula("exists x. a(x)", &labels);
+    SolverOptions opt;
+    opt.max_model_nodes = 3;
+    auto r = CheckFo2SatisfiabilityBounded(f, opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  {
+    // Nested facade: consistency runs through the frontend solver
+    // internally, and must still produce exactly ONE record.
+    TreeAutomaton schema = TreeAutomaton::Universal(3);
+    ConstraintSet set;
+    set.keys.push_back(UnaryKey{0, 1});
+    SolverOptions opt;
+    opt.max_model_nodes = 3;
+    auto r = CheckConsistencyBounded(schema, set, opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  {
+    Alphabet labels;
+    XpPath p = *ParseXPath("/Child::a", &labels);
+    SolverOptions opt;
+    opt.max_model_nodes = 3;
+    auto r = CheckXPathSatisfiability(p, nullptr, opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  {
+    Alphabet alpha;
+    VataAutomaton a = OneCounterVata();
+    DataTree t = *ParseDataTree("a:0 (leaf:0 leaf:0)", &alpha);
+    auto r = VataAccepts(a, t);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(*r);
+  }
+
+  std::vector<std::string> lines = ReadLines(log);
+  ASSERT_EQ(lines.size(), 4u) << "expected one record per facade solve";
+  EXPECT_EQ(JsonStringField(lines[0], "facade"), names::kFacadeFrontendSat);
+  EXPECT_EQ(JsonStringField(lines[1], "facade"),
+            names::kFacadeConstraintsConsistency);
+  EXPECT_EQ(JsonStringField(lines[2], "facade"), names::kFacadeXpathSat);
+  EXPECT_EQ(JsonStringField(lines[3], "facade"), names::kFacadeVataAccepts);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("{\"v\":1,", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(JsonStringField(line, "input_hash").size(), 16u);
+    EXPECT_NE(line.find("\"phases\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"budgets\":{"), std::string::npos);
+    EXPECT_EQ(JsonStringField(line, "capture"), "");  // mode = never
+  }
+  EXPECT_EQ(JsonStringField(lines[0], "verdict"), "SAT");
+  EXPECT_EQ(JsonStringField(lines[3], "verdict"), "ACCEPT");
+  std::remove(log.c_str());
+}
+
+TEST(FlightRecorderTest, DisabledRecorderWritesNothing) {
+  std::string log = UniquePath("disabled") + ".jsonl";
+  RecorderGuard guard(FlightRecorderConfig{});  // empty path: disabled
+
+  Alphabet labels;
+  Formula f = *ParseFormula("exists x. a(x)", &labels);
+  SolverOptions opt;
+  opt.max_model_nodes = 3;
+  auto r = CheckFo2SatisfiabilityBounded(f, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(std::filesystem::exists(log));
+  EXPECT_FALSE(FlightRecorder::Instance().enabled());
+}
+
+TEST(FlightRecorderTest, ReplayAlphabetIsPositional) {
+  Alphabet a = MakeReplayAlphabet(3);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Name(0), "l0");
+  EXPECT_EQ(a.Name(1), "l1");
+  EXPECT_EQ(a.Name(2), "l2");
+}
+
+/// The tentpole acceptance test: a failpoint-forced degraded solve must
+/// produce a self-contained bundle, and fo2dt_replay must re-execute it to
+/// the identical outcome (verdict, StopReason kind + module, DominantPhase
+/// — all encoded as `expect` lines the binary diffs against).
+TEST(FlightRecorderTest, FailpointCaptureReplaysIdentically) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  std::string log = UniquePath("capture") + ".jsonl";
+  std::string caps = UniquePath("caps");
+  RecorderGuard guard({log, names::kCaptureModeDegraded, caps});
+  FailpointGuard fp_guard;
+  ASSERT_TRUE(ArmCanonicalReplayInjection(names::kFpLctaCutRound));
+
+  TreeAutomaton schema = TreeAutomaton::Universal(4);
+  ConstraintSet set;
+  set.keys.push_back(UnaryKey{0, 1});
+  set.inclusions.push_back(UnaryInclusion{2, 3, 0, 1});
+  ExecutionContext exec;
+  LctaOptions opt;
+  opt.exec = &exec;
+  opt.num_threads = 1;
+  auto r = CheckKeyForeignKeyConsistencyIlp(schema, set, opt);
+  Failpoints::Instance().DisableAll();
+
+  // The injected cut-round fault degrades the solve (either a kUnknown
+  // verdict or a clean ResourceExhausted, depending on where the fan-out
+  // unwinds); both are "degraded" to the recorder.
+  std::vector<std::string> lines = ReadLines(log);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& record = lines[0];
+  EXPECT_EQ(JsonStringField(record, "facade"),
+            names::kFacadeConstraintsKeyfk);
+  EXPECT_EQ(JsonStringField(record, "stop_kind"), "injected fault");
+  EXPECT_EQ(JsonStringField(record, "stop_module"), "lcta.cuts");
+  std::string bundle = JsonStringField(record, "capture");
+  ASSERT_FALSE(bundle.empty()) << "degraded solve must capture a bundle";
+
+  for (const char* file :
+       {names::kBundleFileManifestJson, names::kBundleFileInputFo2dt,
+        names::kBundleFileTraceJson, names::kBundleFileMetricsJson}) {
+    EXPECT_TRUE(std::filesystem::exists(bundle + "/" + file))
+        << "bundle missing " << file;
+  }
+  std::ifstream in(bundle + "/" + names::kBundleFileInputFo2dt);
+  std::stringstream input_text;
+  input_text << in.rdbuf();
+  EXPECT_NE(input_text.str().find("facade constraints.keyfk"),
+            std::string::npos);
+  EXPECT_NE(input_text.str().find("failpoint lcta.cut_round"),
+            std::string::npos);
+  EXPECT_NE(input_text.str().find("expect verdict "), std::string::npos);
+  EXPECT_NE(input_text.str().find("expect stop_module lcta.cuts"),
+            std::string::npos);
+
+  // Re-execute the bundle; exit 0 means every recorded expectation
+  // (verdict, stop kind/module, dominant phase) reproduced exactly.
+  std::string cmd = std::string(FO2DT_REPLAY_BIN_PATH) + " \"" + bundle +
+                    "\" > \"" + bundle + "/replay.out\" 2>&1";
+  int rc = std::system(cmd.c_str());
+  std::string replay_out;
+  {
+    std::ifstream out_file(bundle + "/replay.out");
+    std::stringstream buf;
+    buf << out_file.rdbuf();
+    replay_out = buf.str();
+  }
+  ASSERT_EQ(rc, 0) << "fo2dt_replay diverged:\n" << replay_out;
+  EXPECT_NE(replay_out.find("replay outcome matches the recording"),
+            std::string::npos)
+      << replay_out;
+
+  std::remove(log.c_str());
+  std::filesystem::remove_all(caps);
+}
+
+/// Without a bundle on disk the replay binary must fail loudly, not
+/// fabricate a match.
+TEST(FlightRecorderTest, ReplayRejectsMissingBundle) {
+  std::string bogus = UniquePath("nonexistent");
+  std::string cmd = std::string(FO2DT_REPLAY_BIN_PATH) + " \"" + bogus +
+                    "\" > /dev/null 2>&1";
+  int rc = std::system(cmd.c_str());
+  EXPECT_NE(rc, 0);
+}
+
+}  // namespace
+}  // namespace fo2dt

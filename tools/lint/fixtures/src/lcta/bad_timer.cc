@@ -1,0 +1,36 @@
+// Lint fixture: phase timer sites for the timer-memory-scope rule. This
+// file is never compiled — it exists so tools/lint/test_lint.py can prove
+// the rule fires on a timer with no matching memory scope and stays quiet
+// on paired sites, optional emplaces, and pointer declarations.
+#include "common/metrics.h"
+
+namespace fo2dt {
+
+void TimerWithoutMemoryScope(const ExecutionContext* exec) {
+  ScopedPhaseTimer timer(Phase::kLcta, exec);  // finding: timer-memory-scope
+  timer.AddEffort(1);
+}
+
+void TimerWithMemoryScope(const ExecutionContext* exec) {
+  ScopedPhaseTimer timer(Phase::kLcta, exec);  // paired below: clean
+  ScopedPhaseMemory mem(Phase::kLcta, exec);
+  timer.AddEffort(1);
+}
+
+void EmplacedTimerWithoutMemoryScope(const ExecutionContext* exec) {
+  std::optional<ScopedPhaseTimer> timer;
+  timer.emplace(Phase::kIlp, exec);  // finding: timer-memory-scope
+  timer.reset();
+}
+
+void EmplacedNonTimer(const ExecutionContext* exec) {
+  std::optional<ScopedPhaseMemory> mem;
+  mem.emplace(Phase::kIlp, exec);  // not a timer: clean
+  mem.reset();
+}
+
+void PointerDeclarationIsNotASite(ScopedPhaseTimer* timer) {
+  timer->AddEffort(1);  // no construction here: clean
+}
+
+}  // namespace fo2dt

@@ -32,6 +32,10 @@ enforces them:
   no-raw-rand            rand()/srand()/std::random_device/std::mt19937 are
                          banned; all randomness flows through the seeded,
                          thread-confined common/random.h RandomSource.
+  timer-memory-scope     every ScopedPhaseTimer construction must open the
+                         matching ScopedPhaseMemory scope for the same phase
+                         nearby, so the flight recorder's per-phase memory
+                         high-water stays in lockstep with the phase timers.
   bad-suppression        a fo2dt-lint suppression comment that is malformed,
                          names an unknown rule, or lacks a reason.
 
@@ -61,6 +65,7 @@ RULES = (
     "header-hygiene",
     "bench-key-mismatch",
     "no-raw-rand",
+    "timer-memory-scope",
     "bad-suppression",
 )
 
@@ -195,8 +200,12 @@ class Linter:
                 ("module", "modules", "kMod"),
                 ("span", "spans", "kSpan"),
                 ("failpoint", "failpoints", "kFp"),
-                ("metric", "metric_keys", "kMetric")):
-            for entry in registry[key]:
+                ("metric", "metric_keys", "kMetric"),
+                ("facade", "facades", "kFacade"),
+                ("log_field", "log_fields", "kLogField"),
+                ("capture_mode", "capture_modes", "kCaptureMode"),
+                ("bundle_file", "bundle_files", "kBundleFile")):
+            for entry in registry.get(key, []):
                 value = entry["name"]
                 self.registered_values.add(value)
                 self.constants[prefix + _camel(value)] = (category, value)
@@ -358,6 +367,40 @@ class Linter:
                 "raw C/std randomness is banned; draw from the seeded, "
                 "thread-confined RandomSource in common/random.h (use "
                 "Split() for per-thread streams)")
+
+    # -- rule: timer-memory-scope --------------------------------------------
+
+    TIMER_DECL_RE = re.compile(r"\bScopedPhaseTimer\s+\w+\s*[({]\s*Phase::(k\w+)")
+    TIMER_EMPLACE_RE = re.compile(r"\b(\w+)\.emplace\s*\(\s*Phase::(k\w+)")
+    OPTIONAL_TIMER_RE = re.compile(r"optional\s*<\s*ScopedPhaseTimer\s*>\s*(\w+)")
+
+    def check_timer_memory_scopes(self, sf):
+        """Every phase timer site must open the matching memory scope within
+        three lines, so PhaseProfile wall time and mem_peak cover the same
+        region. Pointer declarations and emplaces on non-timer optionals are
+        not construction sites and are ignored."""
+        code = sf.code
+        sites = []  # (line_no, phase_constant)
+        for m in self.TIMER_DECL_RE.finditer(code):
+            sites.append((sf.line_of_offset(m.start()), m.group(1)))
+        optional_timers = {m.group(1)
+                           for m in self.OPTIONAL_TIMER_RE.finditer(code)}
+        for m in self.TIMER_EMPLACE_RE.finditer(code):
+            if m.group(1) in optional_timers:
+                sites.append((sf.line_of_offset(m.start()), m.group(2)))
+        code_lines = code.split("\n")
+        for line_no, phase in sites:
+            lo = max(0, line_no - 4)
+            hi = min(len(code_lines), line_no + 3)
+            window = code_lines[lo:hi]
+            if any("ScopedPhaseMemory" in ln and "Phase::" + phase in ln
+                   for ln in window):
+                continue
+            self.report(
+                sf, line_no, "timer-memory-scope",
+                f"ScopedPhaseTimer site for Phase::{phase} opens no matching "
+                f"ScopedPhaseMemory scope within 3 lines; the flight "
+                "recorder's per-phase memory high-water is blind here")
 
     # -- rule: bench-key-mismatch --------------------------------------------
 
@@ -532,6 +575,7 @@ def main():
         linter.check_failpoints(sf)
         linter.check_header_hygiene(sf)
         linter.check_raw_rand(sf)
+        linter.check_timer_memory_scopes(sf)
     linter.check_bench_contract(bench_main, run_bench)
     linter.check_unused_suppressions(files)
 

@@ -1,0 +1,373 @@
+#!/usr/bin/env python3
+"""fo2dt_report: aggregate flight-recorder query logs into a regression report.
+
+Reads one or more JSONL query logs (written by the C++ side under
+FO2DT_QUERY_LOG) plus optional BENCH_*.json histories, and emits a per-phase
+report: p50/p95 self wall time, effort, memory high-water, verdict and
+dominant-phase distributions. With --baseline it diffs against an older log
+and fails (exit 1) on a p95 phase-time or memory high-water regression, so CI
+can gate on it.
+
+Exit status (machine-readable):
+  0  report produced, no regression detected
+  1  regression detected against --baseline
+  2  unreadable/malformed input, or --validate found schema violations
+
+The record schema is owned by tools/lint/registry.json (log_fields); this
+tool validates against that registry, never against a hand-maintained copy.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+REGISTRY_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "lint", "registry.json")
+
+VERDICTS = {"SAT", "UNSAT", "UNKNOWN", "ACCEPT", "REJECT"}
+
+INT_FIELDS = {
+    "v", "ts_ms", "input_size", "steps", "stop_counter", "stop_limit",
+    "ilp_max_depth", "mem_high_water", "wall_ms", "cpu_ms", "threads", "seed",
+}
+STR_FIELDS = {
+    "facade", "input_hash", "verdict", "method", "stop_kind", "stop_module",
+    "dominant_phase", "capture",
+}
+DICT_FIELDS = {"phases", "budgets"}
+
+
+def load_registry():
+    with open(REGISTRY_PATH, "r", encoding="utf-8") as f:
+        reg = json.load(f)
+    def names(entries):
+        return [e["name"] if isinstance(e, dict) else e for e in entries]
+
+    return {
+        "log_fields": names(reg["log_fields"]),
+        "phases": names(reg["phases"]),
+        "facades": names(reg["facades"]),
+    }
+
+
+def validate_record(rec, lineno, reg, errors):
+    """Appends 'line N: ...' strings to errors for every schema violation."""
+
+    def err(msg):
+        errors.append("line %d: %s" % (lineno, msg))
+
+    if not isinstance(rec, dict):
+        err("record is not a JSON object")
+        return
+    fields = reg["log_fields"]
+    keys = list(rec.keys())
+    if keys != fields:
+        missing = [f for f in fields if f not in rec]
+        unknown = [k for k in keys if k not in fields]
+        if missing:
+            err("missing field(s): %s" % ", ".join(missing))
+        if unknown:
+            err("unknown field(s): %s" % ", ".join(unknown))
+        if not missing and not unknown:
+            err("fields out of registry order")
+        return
+    for f in INT_FIELDS:
+        if not isinstance(rec[f], int) or isinstance(rec[f], bool):
+            err("field '%s' is not an integer" % f)
+    for f in STR_FIELDS:
+        if not isinstance(rec[f], str):
+            err("field '%s' is not a string" % f)
+    for f in DICT_FIELDS:
+        if not isinstance(rec[f], dict):
+            err("field '%s' is not an object" % f)
+            return
+    if rec["v"] != 1:
+        err("unsupported record version %r" % (rec["v"],))
+    if rec["facade"] not in reg["facades"]:
+        err("unregistered facade %r" % (rec["facade"],))
+    h = rec["input_hash"]
+    if len(h) != 16 or any(c not in "0123456789abcdef" for c in h):
+        err("input_hash %r is not 16 lowercase hex digits" % (h,))
+    v = rec["verdict"]
+    if v not in VERDICTS and not v.startswith("ERROR:"):
+        err("verdict %r not in %s or ERROR:<code>" % (v, sorted(VERDICTS)))
+    dom = rec["dominant_phase"]
+    if dom and dom not in reg["phases"]:
+        err("dominant_phase %r not a registered phase" % (dom,))
+    for phase, entry in rec["phases"].items():
+        if phase not in reg["phases"]:
+            err("phase %r not a registered phase" % (phase,))
+            continue
+        if not isinstance(entry, dict) or set(entry) != {"ms", "effort",
+                                                         "mem_peak"}:
+            err("phase %r entry must have exactly ms/effort/mem_peak" % phase)
+            continue
+        if not isinstance(entry["ms"], (int, float)):
+            err("phase %r ms is not a number" % phase)
+        for k in ("effort", "mem_peak"):
+            if not isinstance(entry[k], int):
+                err("phase %r %s is not an integer" % (phase, k))
+    for key, value in rec["budgets"].items():
+        if not isinstance(value, int):
+            err("budget %r is not an integer" % (key,))
+    if rec["phases"] and dom == "":
+        err("record has phases but no dominant_phase")
+
+
+def read_log(paths, reg, errors):
+    records = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as e:
+            raise SystemExit("fo2dt_report: %s" % e)
+        for i, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError as e:
+                errors.append("%s line %d: invalid JSON (%s)" % (path, i, e))
+                continue
+            validate_record(rec, i, reg, errors)
+            records.append(rec)
+    return records
+
+
+def percentile(samples, q):
+    """Nearest-rank percentile; deterministic for golden output."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class PhaseStats:
+    def __init__(self):
+        self.ms = []
+        self.effort = 0
+        self.mem_peak = 0
+
+    def add(self, entry):
+        self.ms.append(float(entry["ms"]))
+        self.effort += int(entry["effort"])
+        self.mem_peak = max(self.mem_peak, int(entry["mem_peak"]))
+
+
+def aggregate(records):
+    agg = {
+        "count": len(records),
+        "verdicts": {},
+        "dominant": {},
+        "facades": {},
+        "phases": {},
+        "mem_high_water": [],
+        "captures": sum(1 for r in records if r["capture"]),
+    }
+    for rec in records:
+        agg["verdicts"][rec["verdict"]] = agg["verdicts"].get(
+            rec["verdict"], 0) + 1
+        if rec["dominant_phase"]:
+            agg["dominant"][rec["dominant_phase"]] = agg["dominant"].get(
+                rec["dominant_phase"], 0) + 1
+        agg["facades"][rec["facade"]] = agg["facades"].get(rec["facade"], 0) + 1
+        agg["mem_high_water"].append(int(rec["mem_high_water"]))
+        for phase, entry in rec["phases"].items():
+            agg["phases"].setdefault(phase, PhaseStats()).add(entry)
+    return agg
+
+
+def bench_phase_samples(paths, errors):
+    """phase -> [ms] from BENCH_*.json, skipping skipped/errored entries."""
+    samples = {}
+    skipped = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, ValueError) as e:
+            errors.append("%s: %s" % (path, e))
+            continue
+        for entry in data.get("benchmarks", []):
+            if entry.get("skipped") or entry.get("error_occurred"):
+                skipped += 1
+                continue
+            for key, value in entry.items():
+                if key.startswith("phase_") and key.endswith("_ms"):
+                    phase = key[len("phase_"):-len("_ms")]
+                    samples.setdefault(phase, []).append(float(value))
+    return samples, skipped
+
+
+def modal(counter):
+    """Deterministic argmax: highest count, ties broken alphabetically."""
+    if not counter:
+        return ""
+    return sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+
+
+def compare(current, baseline, args):
+    """Returns (lines, regressions) diffing current vs baseline aggregates."""
+    lines = []
+    regressions = []
+    cur_dom = modal(current["dominant"])
+    base_dom = modal(baseline["dominant"])
+    if base_dom and cur_dom and cur_dom != base_dom:
+        lines.append("dominant-phase shift: %s -> %s" % (base_dom, cur_dom))
+    for phase in sorted(set(current["phases"]) | set(baseline["phases"])):
+        cur = current["phases"].get(phase)
+        base = baseline["phases"].get(phase)
+        if cur is None:
+            lines.append("phase %-14s absent in current (was p95 %.3f ms)" %
+                         (phase, percentile(base.ms, 95)))
+            continue
+        if base is None:
+            lines.append("phase %-14s new in current (p95 %.3f ms)" %
+                         (phase, percentile(cur.ms, 95)))
+            continue
+        cur_p95 = percentile(cur.ms, 95)
+        base_p95 = percentile(base.ms, 95)
+        delta = cur_p95 - base_p95
+        ratio = cur_p95 / base_p95 if base_p95 > 0 else float("inf")
+        marker = ""
+        if delta > args.p95_abs_ms and ratio > args.p95_ratio:
+            marker = "  REGRESSION"
+            regressions.append(
+                "phase %s p95 %.3f ms -> %.3f ms (x%.2f)" %
+                (phase, base_p95, cur_p95, ratio))
+        lines.append(
+            "phase %-14s p50 %.3f -> %.3f ms   p95 %.3f -> %.3f ms%s" %
+            (phase, percentile(base.ms, 50), percentile(cur.ms, 50),
+             base_p95, cur_p95, marker))
+    cur_mem = percentile(current["mem_high_water"], 95)
+    base_mem = percentile(baseline["mem_high_water"], 95)
+    if base_mem > 0 and cur_mem - base_mem > args.mem_abs_bytes and \
+            cur_mem / base_mem > args.mem_ratio:
+        regressions.append(
+            "mem_high_water p95 %d -> %d bytes (x%.2f)" %
+            (base_mem, cur_mem, cur_mem / base_mem))
+        lines.append("mem_high_water p95 %d -> %d bytes  REGRESSION" %
+                     (base_mem, cur_mem))
+    else:
+        lines.append("mem_high_water p95 %d -> %d bytes" % (base_mem, cur_mem))
+    return lines, regressions
+
+
+def format_report(agg, bench, bench_skipped, log_names):
+    lines = []
+    lines.append("fo2dt_report: %d record(s) from %s" %
+                 (agg["count"], ", ".join(log_names)))
+    lines.append("captures: %d" % agg["captures"])
+    lines.append("verdicts: " + ", ".join(
+        "%s=%d" % (k, v) for k, v in sorted(agg["verdicts"].items())))
+    if agg["dominant"]:
+        lines.append("dominant phases: " + ", ".join(
+            "%s=%d" % (k, v) for k, v in sorted(agg["dominant"].items())))
+    lines.append("facades: " + ", ".join(
+        "%s=%d" % (k, v) for k, v in sorted(agg["facades"].items())))
+    for phase in sorted(agg["phases"]):
+        st = agg["phases"][phase]
+        lines.append(
+            "phase %-14s calls %-4d p50 %.3f ms  p95 %.3f ms  "
+            "effort %d  mem_peak %d" %
+            (phase, len(st.ms), percentile(st.ms, 50), percentile(st.ms, 95),
+             st.effort, st.mem_peak))
+    if agg["mem_high_water"]:
+        lines.append("mem_high_water p50 %d  p95 %d  max %d bytes" %
+                     (percentile(agg["mem_high_water"], 50),
+                      percentile(agg["mem_high_water"], 95),
+                      max(agg["mem_high_water"])))
+    if bench:
+        lines.append("bench histories (%d skipped entr%s excluded):" %
+                     (bench_skipped, "y" if bench_skipped == 1 else "ies"))
+        for phase in sorted(bench):
+            lines.append(
+                "bench phase %-14s n %-4d p50 %.3f ms  p95 %.3f ms" %
+                (phase, len(bench[phase]), percentile(bench[phase], 50),
+                 percentile(bench[phase], 95)))
+    return lines
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="aggregate fo2dt query logs into a regression report")
+    parser.add_argument("logs", nargs="+", help="query-log JSONL file(s)")
+    parser.add_argument("--baseline", help="baseline query-log JSONL to diff")
+    parser.add_argument("--bench", action="append", default=[],
+                        metavar="BENCH_JSON",
+                        help="BENCH_*.json history to fold in (repeatable)")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check only; exit 2 on any violation")
+    parser.add_argument("--p95-ratio", type=float, default=1.5,
+                        help="p95 ratio above which a phase regresses")
+    parser.add_argument("--p95-abs-ms", type=float, default=1.0,
+                        help="minimum absolute p95 delta (ms) to regress")
+    parser.add_argument("--mem-ratio", type=float, default=1.5,
+                        help="mem high-water p95 ratio to regress")
+    parser.add_argument("--mem-abs-bytes", type=int, default=16384,
+                        help="minimum absolute mem delta (bytes) to regress")
+    parser.add_argument("--out", help="write the report here instead of stdout")
+    args = parser.parse_args()
+
+    reg = load_registry()
+    errors = []
+    records = read_log(args.logs, reg, errors)
+    if errors:
+        for e in errors:
+            print("fo2dt_report: %s" % e, file=sys.stderr)
+        return 2
+    if args.validate:
+        print("fo2dt_report: %d record(s) valid against %d-field registry "
+              "schema" % (len(records), len(reg["log_fields"])))
+        return 0
+    if not records:
+        print("fo2dt_report: no records in %s" % ", ".join(args.logs),
+              file=sys.stderr)
+        return 2
+
+    bench, bench_skipped = bench_phase_samples(args.bench, errors)
+    if errors:
+        for e in errors:
+            print("fo2dt_report: %s" % e, file=sys.stderr)
+        return 2
+
+    agg = aggregate(records)
+    lines = format_report(agg, bench, bench_skipped,
+                          [os.path.basename(p) for p in args.logs])
+
+    regressions = []
+    if args.baseline:
+        base_errors = []
+        base_records = read_log([args.baseline], reg, base_errors)
+        if base_errors or not base_records:
+            for e in base_errors:
+                print("fo2dt_report: %s" % e, file=sys.stderr)
+            print("fo2dt_report: unusable baseline %s" % args.baseline,
+                  file=sys.stderr)
+            return 2
+        lines.append("--- vs baseline %s ---" %
+                     os.path.basename(args.baseline))
+        cmp_lines, regressions = compare(agg, aggregate(base_records), args)
+        lines.extend(cmp_lines)
+        if regressions:
+            lines.append("REGRESSIONS (%d):" % len(regressions))
+            lines.extend("  " + r for r in regressions)
+        else:
+            lines.append("no regressions")
+
+    text = "\n".join(lines) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Self-test for fo2dt_report.py against the committed fixtures.
+
+Covers the three exit-status contracts (0 clean, 1 regression, 2 invalid),
+golden-report stability, schema validation (both the accept and the reject
+direction, field by field), and the skipped-benchmark exclusion.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPORT = os.path.join(HERE, "fo2dt_report.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+failures = []
+
+
+def check(name, ok, detail=""):
+    if ok:
+        print("ok %s" % name)
+    else:
+        failures.append(name)
+        print("FAIL %s%s" % (name, (": " + detail) if detail else ""))
+
+
+def run(args):
+    proc = subprocess.run(
+        [sys.executable, REPORT] + args, capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def main():
+    # Exit-status contract.
+    code, out, _ = run([fixture("current_ok.jsonl"),
+                        "--baseline", fixture("baseline.jsonl")])
+    check("ok series vs baseline exits 0", code == 0, "exit %d" % code)
+    check("ok series reports no regressions", "no regressions" in out)
+
+    code, out, _ = run([fixture("current_regressed.jsonl"),
+                        "--baseline", fixture("baseline.jsonl")])
+    check("regressed series vs baseline exits 1", code == 1, "exit %d" % code)
+    check("regression names the lcta phase", "phase lcta p95" in out)
+    check("regression reports dominant-phase shift",
+          "dominant-phase shift: bounded_search -> lcta" in out)
+    check("regression reports memory high-water trend",
+          "mem_high_water p95 65536 -> 131072 bytes (x2.00)" in out)
+
+    # Golden reports: byte-stable output for both comparisons.
+    for current, golden, want in (
+            ("current_ok.jsonl", "golden_ok_report.txt", 0),
+            ("current_regressed.jsonl", "golden_regressed_report.txt", 1)):
+        with tempfile.TemporaryDirectory() as tmp:
+            out_path = os.path.join(tmp, "report.txt")
+            code, _, _ = run([fixture(current),
+                              "--baseline", fixture("baseline.jsonl"),
+                              "--out", out_path])
+            with open(out_path, "r", encoding="utf-8") as f:
+                got = f.read()
+        with open(fixture(golden), "r", encoding="utf-8") as f:
+            expected = f.read()
+        check("golden report %s matches" % golden,
+              code == want and got == expected)
+
+    # Schema validation accepts every committed fixture record.
+    code, out, _ = run(["--validate", fixture("baseline.jsonl"),
+                        fixture("current_ok.jsonl"),
+                        fixture("current_regressed.jsonl")])
+    check("fixtures pass --validate", code == 0, "exit %d" % code)
+
+    # Reject direction: each mutation of a valid record must fail validation.
+    with open(fixture("baseline.jsonl"), "r", encoding="utf-8") as f:
+        good = json.loads(f.readline())
+    mutations = {
+        "missing field": {k: v for k, v in good.items() if k != "wall_ms"},
+        "unknown field": dict(good, bogus_field=1),
+        "bad version": dict(good, v=2),
+        "unregistered facade": dict(good, facade="frontend.bogus"),
+        "short hash": dict(good, input_hash="abc"),
+        "bad verdict": dict(good, verdict="MAYBE"),
+        "bad dominant phase": dict(good, dominant_phase="warp"),
+        "string wall_ms": dict(good, wall_ms="3"),
+        "bad phase entry": dict(
+            good, phases=dict(good["phases"], scott={"ms": 1.0})),
+    }
+    for name, bad in mutations.items():
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bad.jsonl")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(json.dumps(bad) + "\n")
+            code, _, err = run(["--validate", path])
+        check("--validate rejects %s" % name, code == 2,
+              "exit %d, stderr %r" % (code, err.strip()))
+
+    # Field order matters: same keys, shuffled, must be rejected.
+    shuffled = dict(reversed(list(good.items())))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "shuffled.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(shuffled) + "\n")
+        code, _, err = run(["--validate", path])
+    check("--validate rejects out-of-order fields", code == 2,
+          "exit %d" % code)
+
+    # Malformed JSON and empty logs are hard errors, not silent successes.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "garbage.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{not json\n")
+        code, _, _ = run([path])
+        check("malformed JSONL exits 2", code == 2, "exit %d" % code)
+        empty = os.path.join(tmp, "empty.jsonl")
+        open(empty, "w").close()
+        code, _, _ = run([empty])
+        check("empty log exits 2", code == 2, "exit %d" % code)
+
+    # Bench folding: skipped entries are excluded and counted.
+    bench = {
+        "benchmarks": [
+            {"name": "BM_A/1", "phase_lcta_ms": 1.0, "phase_lcta_effort": 5},
+            {"name": "BM_A/2", "phase_lcta_ms": 2.0, "skipped": True},
+            {"name": "BM_A/3", "phase_ilp_ms": 0.5, "error_occurred": True},
+        ]
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(bench, f)
+        code, out, _ = run([fixture("current_ok.jsonl"), "--bench", path])
+    check("bench skipped entries excluded", code == 0 and
+          "2 skipped entries excluded" in out and
+          "bench phase lcta           n 1" in out, out)
+
+    print("test_report: %d failure(s)" % len(failures))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
