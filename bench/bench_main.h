@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/registry_names.h"
+#include "common/solve_cache.h"
 #include "common/trace.h"
 
 namespace fo2dt {
@@ -41,6 +43,26 @@ inline void ReportPhaseCounters(benchmark::State& state) {
     state.counters[std::string("phase_") + name + "_effort"] =
         static_cast<double>(e.effort) / iters;
   }
+}
+
+/// Attaches the solve-cache hit/miss counters accumulated over the timing
+/// loop (verdict-cache and sub-memo lookups combined), per iteration. Pass a
+/// SolveCache::Instance().stats() snapshot taken before the loop — the
+/// cache's counters are cumulative across the whole binary. Counter names
+/// come from the generated registry (`bench_counters.extras`), so the BENCH
+/// grammar check and fo2dt_report recognize them.
+inline void ReportCacheCounters(benchmark::State& state,
+                                const SolveCache::Stats& before) {
+  SolveCache::Stats now = SolveCache::Instance().stats();
+  double iters = static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.counters[names::kBenchExtraCacheHits] =
+      static_cast<double>((now.solve_hits + now.sub_hits) -
+                          (before.solve_hits + before.sub_hits)) /
+      iters;
+  state.counters[names::kBenchExtraCacheMisses] =
+      static_cast<double>((now.solve_misses + now.sub_misses) -
+                          (before.solve_misses + before.sub_misses)) /
+      iters;
 }
 
 namespace bench_internal {

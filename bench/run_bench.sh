@@ -30,6 +30,20 @@ MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 # BENCH_TIMEOUT_SECS for slow machines.
 TIMEOUT_SECS="${BENCH_TIMEOUT_SECS:-600}"
 
+# Query-log pass-through: when the caller exports FO2DT_QUERY_LOG, each bench
+# binary appends its facade solves to a per-binary JSONL derived from it
+# (<base>_lcta.jsonl / <base>_constraints.jsonl), so fo2dt_report can compute
+# per-workload cache hit rates without two binaries interleaving one file.
+QUERY_LOG_BASE="${FO2DT_QUERY_LOG:-}"
+query_log_for() {
+  local tag="$1"
+  if [[ -z "$QUERY_LOG_BASE" ]]; then
+    echo ""
+  else
+    echo "${QUERY_LOG_BASE%.jsonl}_${tag}.jsonl"
+  fi
+}
+
 # Writes to a temp file and renames on success, so a timeout/crash can never
 # leave a partial or stale report behind: the target either keeps its old
 # content (and the run fails) or gets the complete new one.
@@ -54,11 +68,13 @@ run_guarded() {
   mv "$tmp" "$out"
 }
 
+FO2DT_QUERY_LOG="$(query_log_for lcta)" \
 run_guarded BENCH_lcta.json "$BUILD_DIR/bench/bench_lcta_emptiness" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json \
   --trace-json="$BUILD_DIR/bench/TRACE_lcta.json"
 
+FO2DT_QUERY_LOG="$(query_log_for constraints)" \
 run_guarded BENCH_constraints.json "$BUILD_DIR/bench/bench_constraints" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json \
@@ -102,4 +118,20 @@ for f in BENCH_lcta.json BENCH_constraints.json; do
   fi
 done
 
+# Same for the solve-cache counters: the repeated-workload benchmarks must
+# report cache_hits/cache_misses (names owned by the registry's
+# bench_counters.extras), so the committed history shows hit rates per grid
+# point and fo2dt_report can gate on them.
+for f in BENCH_lcta.json BENCH_constraints.json; do
+  for counter in cache_hits cache_misses; do
+    if ! grep -q "\"$counter\"" "$f"; then
+      echo "error: $f has no $counter counter (ReportCacheCounters missing?)" >&2
+      exit 1
+    fi
+  done
+done
+
 echo "wrote BENCH_lcta.json and BENCH_constraints.json"
+if [[ -n "$QUERY_LOG_BASE" ]]; then
+  echo "query logs: $(query_log_for lcta) and $(query_log_for constraints)"
+fi

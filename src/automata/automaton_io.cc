@@ -1,5 +1,6 @@
 #include "automata/automaton_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 
@@ -108,10 +109,20 @@ std::string TreeAutomatonToText(const TreeAutomaton& automaton) {
   }
   out += "\n";
 
+  // Transitions are stored in insertion order; emit them sorted so textual
+  // round-trips of structurally equal automata produce identical bytes — the
+  // solve cache and the query log key on the FNV-1a of this text.
+  auto sorted = [](const std::vector<std::tuple<TreeState, Symbol, TreeState>>&
+                       transitions) {
+    std::vector<std::tuple<TreeState, Symbol, TreeState>> ordered = transitions;
+    std::sort(ordered.begin(), ordered.end());
+    return ordered;
+  };
+
   out += StringFormat(
       "horizontal %llu",
       static_cast<unsigned long long>(automaton.horizontal().size()));
-  for (const auto& [from, a, to] : automaton.horizontal()) {
+  for (const auto& [from, a, to] : sorted(automaton.horizontal())) {
     out += StringFormat(" %u %u %u", from, a, to);
   }
   out += "\n";
@@ -119,7 +130,7 @@ std::string TreeAutomatonToText(const TreeAutomaton& automaton) {
   out += StringFormat(
       "vertical %llu",
       static_cast<unsigned long long>(automaton.vertical().size()));
-  for (const auto& [from, a, to] : automaton.vertical()) {
+  for (const auto& [from, a, to] : sorted(automaton.vertical())) {
     out += StringFormat(" %u %u %u", from, a, to);
   }
   out += "\n";

@@ -20,7 +20,8 @@ CancellationToken CancellationToken::Child() const {
   return CancellationToken(std::move(state));
 }
 
-Status ExecutionContext::ChargeMemory(uint64_t bytes, const char* module) {
+Status ExecutionContext::ChargeMemory(uint64_t bytes,
+                                      const char* module) const {
   uint64_t total =
       bytes_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   phases_.RecordMemory(total);  // high-water gauge, budget or not

@@ -179,7 +179,9 @@ class ExecutionContext {
 
   /// Charges \p bytes against the memory budget; ResourceExhausted with
   /// StopKind::kMemoryBudget when the cap is exceeded.
-  Status ChargeMemory(uint64_t bytes, const char* module);
+  /// Const for the same reason counters() is: the accountant is an atomic
+  /// and the context is shared as a const pointer by worker threads.
+  Status ChargeMemory(uint64_t bytes, const char* module) const;
 
   /// The full (unamortized) stop check: the caller's token, then the
   /// deadline. Returns OK, or Cancelled / ResourceExhausted carrying a
@@ -208,7 +210,7 @@ class ExecutionContext {
   bool has_deadline_ = false;
   CancellationToken token_;
   uint64_t max_bytes_ = 0;
-  std::atomic<uint64_t> bytes_charged_{0};
+  mutable std::atomic<uint64_t> bytes_charged_{0};
   // mutable: Check() is logically const but counts deadline consultations,
   // and phase timers charge the shared accumulator through const pointers.
   mutable ExecCounters counters_;

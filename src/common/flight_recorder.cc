@@ -26,6 +26,14 @@ int& ThreadSolveDepth() {
   return depth;
 }
 
+// Solve-cache disposition for the top-level solve on this thread; "" when no
+// cache lookup happened (or caching is off). Reset by the outermost
+// SolveRecorder so state never leaks across solves.
+const char*& ThreadCacheDisposition() {
+  thread_local const char* disposition = "";
+  return disposition;
+}
+
 uint64_t ProcessCpuMs() {
   return static_cast<uint64_t>(static_cast<double>(std::clock()) * 1000.0 /
                                CLOCKS_PER_SEC);
@@ -116,6 +124,7 @@ SolveRecorder::SolveRecorder(const char* facade, const ExecutionContext* exec)
     : facade_(facade), exec_(exec) {
   int& depth = ThreadSolveDepth();
   ++depth;
+  if (depth == 1) ThreadCacheDisposition() = "";
   // The env-seeded QueryLog is authoritative when the recorder was never
   // Configure()d; checking both keeps tests and production in one path.
   active_ = depth == 1 &&
@@ -183,6 +192,7 @@ void SolveRecorder::Finish(SolveOutcome outcome) {
       (mode == names::kCaptureModeAlways ||
        (mode == names::kCaptureModeDegraded && degraded));
   if (capture) record_.capture = WriteBundle(record_, record_.outcome);
+  record_.cache = ThreadCacheDisposition();
 
   // Observability must never fail the solve: a full disk loses the record,
   // not the verdict.
@@ -240,6 +250,12 @@ std::string SolveRecorder::WriteBundle(const QueryRecord& record,
       dir + "/" + names::kBundleFileMetricsJson,
       MetricsRegistry::Instance().Snapshot().ToJson() + "\n");
   return dir;
+}
+
+void NoteSolveCacheDisposition(const char* disposition) {
+  if (ThreadSolveDepth() == 0) return;
+  const char*& current = ThreadCacheDisposition();
+  if (current[0] == '\0') current = disposition;
 }
 
 Alphabet MakeReplayAlphabet(size_t num_labels) {

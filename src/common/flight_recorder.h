@@ -138,6 +138,13 @@ class SolveRecorder {
   uint64_t cpu_start_ms_ = 0;
 };
 
+/// Notes the solve cache's disposition ("hit" / "miss") for the top-level
+/// solve running on this thread. First call wins: a verdict-cache hit at the
+/// inner frontend entry is not overwritten by later sub-memo lookups. The
+/// outermost SolveRecorder resets the note on entry and folds it into the
+/// query-log `cache` field at Finish; calls outside any solve are dropped.
+void NoteSolveCacheDisposition(const char* disposition);
+
 /// Synthetic dense alphabet "l0".."l<n-1>" — the canonical label namespace
 /// bundles are serialized in. Replaying with the same n reproduces the same
 /// symbol ids, making serialized formulas/trees/paths position-stable.

@@ -1,0 +1,79 @@
+/// \file hash.h
+/// \brief FNV-1a 64-bit hashing shared by the query log, the intern tables,
+/// and the solve cache.
+///
+/// One hash function, one set of constants: the query log's canonical input
+/// hash, the hash-consed IR's bucket index, and the persistent solve-cache
+/// key all speak the same FNV-1a 64 so a hash printed in one subsystem can
+/// be looked up in another. Not cryptographic; collisions only cost a shared
+/// bundle prefix or a bucket probe.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+/// FNV-1a 64-bit offset basis / prime (the canonical constants).
+inline constexpr uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// FNV-1a 64-bit over \p len raw bytes starting at \p data, continuing from
+/// \p seed (pass the offset basis to start a fresh hash).
+inline uint64_t Fnv1a64Bytes(const void* data, size_t len,
+                             uint64_t seed = kFnv1aOffsetBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// FNV-1a 64-bit over \p data — the stable input hash. Not cryptographic;
+/// collisions only cost a shared bundle prefix.
+inline uint64_t Fnv1a64(const std::string& data) {
+  return Fnv1a64Bytes(data.data(), data.size());
+}
+
+/// \brief Incremental FNV-1a 64 for callers that hash a record piecewise
+/// (the intern table hashes kind + operand ids without materializing a
+/// string). Mix* calls must happen in a deterministic order.
+class Fnv1aHasher {
+ public:
+  Fnv1aHasher() = default;
+
+  Fnv1aHasher& MixBytes(const void* data, size_t len) {
+    hash_ = Fnv1a64Bytes(data, len, hash_);
+    return *this;
+  }
+  Fnv1aHasher& MixString(const std::string& s) {
+    return MixBytes(s.data(), s.size());
+  }
+  Fnv1aHasher& MixU64(uint64_t v) {
+    // Fixed-width little-endian mix so the hash is layout-independent.
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xffu);
+    }
+    return MixBytes(bytes, sizeof(bytes));
+  }
+  Fnv1aHasher& MixU32(uint32_t v) { return MixU64(v); }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kFnv1aOffsetBasis;
+};
+
+/// \p hash as 16 lowercase hex digits.
+inline std::string HashToHex(uint64_t hash) {
+  return StringFormat("%016llx", static_cast<unsigned long long>(hash));
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,165 @@
+#include "common/intern.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/registry_names.h"
+
+namespace fo2dt {
+
+namespace {
+
+constexpr size_t kInitialIndexCapacity = 64;  // power of two
+
+}  // namespace
+
+InternPool::InternPool() : index_(kInitialIndexCapacity, 0) {}
+
+InternHandle InternPool::Find(const void* data, size_t len,
+                              uint64_t hash) const {
+  const size_t mask = index_.size() - 1;
+  size_t slot = static_cast<size_t>(hash) & mask;
+  while (index_[slot] != 0) {
+    const InternHandle handle = index_[slot] - 1;
+    const Record& rec = records_[handle];
+    if (rec.hash == hash && rec.length == len &&
+        (len == 0 ||
+         std::memcmp(arena_.data() + rec.offset, data, len) == 0)) {
+      return handle;
+    }
+    slot = (slot + 1) & mask;
+  }
+  return kInvalidInternHandle;
+}
+
+void InternPool::Grow() {
+  std::vector<uint32_t> bigger(index_.size() * 2, 0);
+  const size_t mask = bigger.size() - 1;
+  for (uint32_t entry : index_) {
+    if (entry == 0) continue;
+    size_t slot = static_cast<size_t>(records_[entry - 1].hash) & mask;
+    while (bigger[slot] != 0) slot = (slot + 1) & mask;
+    bigger[slot] = entry;
+  }
+  index_.swap(bigger);
+}
+
+InternHandle InternPool::Intern(const void* data, size_t len) {
+  const uint64_t hash = Fnv1a64Bytes(data, len);
+  InternHandle existing = Find(data, len, hash);
+  if (existing != kInvalidInternHandle) {
+    ++hits_;
+    return existing;
+  }
+  ++misses_;
+  // Keep the probe sequence short: grow at ~70% load.
+  if ((records_.size() + 1) * 10 >= index_.size() * 7) Grow();
+  Record rec;
+  rec.offset = arena_.size();
+  rec.length = len;
+  rec.hash = hash;
+  if (len > 0) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    arena_.insert(arena_.end(), p, p + len);
+  }
+  assert(records_.size() < kInvalidInternHandle);
+  const InternHandle handle = static_cast<InternHandle>(records_.size());
+  records_.push_back(rec);
+  const size_t mask = index_.size() - 1;
+  size_t slot = static_cast<size_t>(hash) & mask;
+  while (index_[slot] != 0) slot = (slot + 1) & mask;
+  index_[slot] = handle + 1;
+  return handle;
+}
+
+const uint8_t* InternPool::data(InternHandle handle) const {
+  return arena_.data() + records_[handle].offset;
+}
+
+size_t InternPool::length(InternHandle handle) const {
+  return records_[handle].length;
+}
+
+std::string InternPool::ToString(InternHandle handle) const {
+  const Record& rec = records_[handle];
+  return std::string(reinterpret_cast<const char*>(arena_.data()) + rec.offset,
+                     rec.length);
+}
+
+size_t InternPool::bytes() const {
+  return arena_.capacity() + records_.capacity() * sizeof(Record) +
+         index_.capacity() * sizeof(uint32_t);
+}
+
+void InternPool::Clear() {
+  arena_.clear();
+  records_.clear();
+  index_.assign(kInitialIndexCapacity, 0);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+SharedInternTable& SharedInternTable::Instance() {
+  static SharedInternTable* table =
+      new SharedInternTable();  // leaked: process lifetime
+  return *table;
+}
+
+InternHandle SharedInternTable::Intern(const void* data, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.Intern(data, len);
+}
+
+InternHandle SharedInternTable::InternString(const std::string& s) {
+  return Intern(s.data(), s.size());
+}
+
+std::string SharedInternTable::ToString(InternHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.ToString(handle);
+}
+
+size_t SharedInternTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+size_t SharedInternTable::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.bytes();
+}
+
+uint64_t SharedInternTable::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.hits();
+}
+
+void SharedInternTable::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.Clear();
+}
+
+namespace {
+
+// Federates the shared intern table into the unified MetricsRegistry. The
+// table is monotone (records are never dropped outside tests), so reset only
+// zeroes the hit counters via Clear in tests — the registry reset is a no-op
+// here to keep outstanding handles valid.
+const MetricsSourceRegistrar kInternMetricsSource(
+    "intern",
+    [](MetricsSnapshot* snap) {
+      SharedInternTable& table = SharedInternTable::Instance();
+      snap->Set(names::kMetricCacheInternNodes,
+                static_cast<double>(table.size()));
+      snap->Set(names::kMetricCacheInternHits,
+                static_cast<double>(table.hits()));
+      snap->Set(names::kMetricCacheInternBytes,
+                static_cast<double>(table.bytes()));
+    },
+    [] {});
+
+}  // namespace
+
+}  // namespace fo2dt

@@ -1,0 +1,113 @@
+/// \file intern.h
+/// \brief Hash-consing intern table: canonical byte records to flat uint32
+/// handles with O(1) equality.
+///
+/// The pool stores each distinct record exactly once in a flat byte arena and
+/// hands out dense `uint32` handles; two records are byte-equal iff their
+/// handles are equal, so equality and hashing of interned terms are O(1)
+/// integer operations. This is the dedup-database idiom (canonicalize, then
+/// intern): the logic layer encodes canonicalized formula nodes as records
+/// whose operands are child handles, the facades intern canonical automaton
+/// texts, and the solve cache reuses the resulting ids as cheap keys.
+///
+/// `InternPool` is the single-threaded core; `SharedInternTable` is the
+/// process-wide, mutex-guarded instance that also federates the
+/// cache.intern.* counters into the MetricsRegistry.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fo2dt {
+
+/// Dense id of one interned record. Handles are allocated consecutively from
+/// zero, so they index companion side tables directly.
+using InternHandle = uint32_t;
+
+/// Sentinel for "no record" (the pool can never grow this large).
+inline constexpr InternHandle kInvalidInternHandle = 0xffffffffu;
+
+/// \brief Flat-arena hash-consing pool. Not thread-safe; wrap with a mutex
+/// (see SharedInternTable) or confine to one thread.
+class InternPool {
+ public:
+  InternPool();
+
+  /// Interns \p len bytes at \p data: returns the existing handle when an
+  /// identical record is resident, otherwise copies the bytes into the arena
+  /// and allocates the next handle.
+  InternHandle Intern(const void* data, size_t len);
+  InternHandle InternString(const std::string& s) {
+    return Intern(s.data(), s.size());
+  }
+
+  /// Pointer/length of the record behind \p handle. The pointer is stable:
+  /// the arena only grows and records are never moved (offsets are fixed at
+  /// insertion; growth reallocates the vector, so the pointer is only valid
+  /// until the next Intern — copy out if you must hold it across inserts).
+  const uint8_t* data(InternHandle handle) const;
+  size_t length(InternHandle handle) const;
+  std::string ToString(InternHandle handle) const;
+
+  /// Number of distinct records resident.
+  size_t size() const { return records_.size(); }
+  /// Arena + index footprint in bytes (approximate resident cost).
+  size_t bytes() const;
+  /// Intern calls that matched an existing record.
+  uint64_t hits() const { return hits_; }
+  /// Intern calls that allocated a new record.
+  uint64_t misses() const { return misses_; }
+
+  /// Drops every record and counter (tests).
+  void Clear();
+
+ private:
+  struct Record {
+    size_t offset;   ///< start in arena_
+    size_t length;   ///< record length in bytes
+    uint64_t hash;   ///< FNV-1a 64 of the record bytes
+  };
+
+  InternHandle Find(const void* data, size_t len, uint64_t hash) const;
+  void Grow();
+
+  std::vector<uint8_t> arena_;
+  std::vector<Record> records_;
+  /// Open-addressed index: slot holds handle + 1, 0 means empty. Capacity is
+  /// a power of two; linear probing; rebuilt on growth.
+  std::vector<uint32_t> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// \brief Process-wide intern table shared by the logic layer (canonical
+/// formula nodes) and the facades (canonical automaton texts). Thread-safe.
+class SharedInternTable {
+ public:
+  static SharedInternTable& Instance();
+
+  InternHandle Intern(const void* data, size_t len);
+  InternHandle InternString(const std::string& s);
+
+  /// Copy of the record behind \p handle (safe across concurrent inserts).
+  std::string ToString(InternHandle handle) const;
+
+  size_t size() const;
+  size_t bytes() const;
+  uint64_t hits() const;
+
+  /// Drops every record (tests only — outstanding handles become dangling).
+  void Clear();
+
+ private:
+  SharedInternTable() = default;
+
+  mutable std::mutex mu_;
+  InternPool pool_;
+};
+
+}  // namespace fo2dt

@@ -39,19 +39,6 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-uint64_t Fnv1a64(const std::string& data) {
-  uint64_t hash = 14695981039346656037ULL;
-  for (char c : data) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
-std::string HashToHex(uint64_t hash) {
-  return StringFormat("%016llx", static_cast<unsigned long long>(hash));
-}
-
 namespace {
 
 void AppendField(std::string* out, const char* key, const std::string& value) {
@@ -138,6 +125,8 @@ std::string QueryRecord::ToJsonLine() const {
   }
   out += "},";
   AppendField(&out, names::kLogFieldCapture, capture);
+  out += ",";
+  AppendField(&out, names::kLogFieldCache, cache);
   out += "}";
   return out;
 }

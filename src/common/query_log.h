@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/metrics.h"
 #include "common/status.h"
 
@@ -34,13 +35,6 @@ namespace fo2dt {
 /// Escapes \p s for embedding inside a JSON string literal (quotes,
 /// backslashes, control characters).
 std::string JsonEscape(const std::string& s);
-
-/// FNV-1a 64-bit over \p data — the stable input hash. Not cryptographic;
-/// collisions only cost a shared bundle prefix.
-uint64_t Fnv1a64(const std::string& data);
-
-/// \p hash as 16 lowercase hex digits.
-std::string HashToHex(uint64_t hash);
 
 /// \brief Facade-agnostic outcome of one solve, as the flight recorder sees
 /// it. Facades convert their own result types (SatResult, Result<bool>)
@@ -79,6 +73,10 @@ struct QueryRecord {
   /// max_steps, max_cuts, ...), facade-specific.
   std::vector<std::pair<std::string, uint64_t>> budgets;
   std::string capture;       ///< bundle directory, or empty
+  /// Solve-cache disposition: "hit" when the verdict was served from the
+  /// cross-solve cache, "miss" when the cache was consulted and populated,
+  /// empty when caching was disabled for this solve.
+  std::string cache;
 
   std::string ToJsonLine() const;
 };

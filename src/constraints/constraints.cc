@@ -8,6 +8,7 @@
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
+#include "common/solve_cache.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "lcta/lcta.h"
@@ -203,6 +204,22 @@ Result<SatResult> CheckImplicationBounded(const TreeAutomaton& schema,
 
 namespace {
 
+/// Rebuilds a keyfk SatResult from a cache entry; the facade's verdicts are
+/// witness-free counting results, so only verdict/steps/profile round-trip.
+/// False on anything else (cold fallthrough, never an error).
+bool KeyfkResultFromCacheEntry(const SolveCacheEntry& entry, SatResult* out) {
+  if (entry.verdict == "SAT") out->verdict = SatVerdict::kSat;
+  else if (entry.verdict == "UNSAT") out->verdict = SatVerdict::kUnsat;
+  else return false;  // UNKNOWN is never cached, so never reconstructed
+  if (entry.method != SatMethodToString(SatMethod::kCountingAbstraction)) {
+    return false;
+  }
+  out->method = SatMethod::kCountingAbstraction;
+  out->steps = entry.steps;
+  out->profile = entry.profile;  // the cold solve's profile
+  return entry.payload.empty();
+}
+
 Result<SatResult> CheckKeyForeignKeyConsistencyIlpImpl(
     const TreeAutomaton& schema, const ConstraintSet& set,
     const LctaOptions& options) {
@@ -264,8 +281,11 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
                                                    const ConstraintSet& set,
                                                    const LctaOptions& options) {
   SolveRecorder rec(names::kFacadeConstraintsKeyfk, options.exec);
-  if (rec.active()) {
-    std::string body = SerializeConstraintProblem(schema, set);
+  SolveCache& cache = SolveCache::Instance();
+  const bool caching = cache.enabled();
+  std::string body;
+  if (rec.active() || caching) {
+    body = SerializeConstraintProblem(schema, set);
     body += StringFormat("budget max_ilp_nodes %llu\n",
                          static_cast<unsigned long long>(options.max_ilp_nodes));
     body += StringFormat("budget max_cuts %llu\n",
@@ -273,15 +293,33 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
     body += StringFormat(
         "budget max_dnf_branches %llu\n",
         static_cast<unsigned long long>(options.max_dnf_branches));
-    rec.SetInput(body);
-    rec.SetReplayInput(body);
-    rec.AddBudget("max_ilp_nodes", options.max_ilp_nodes);
-    rec.AddBudget("max_cuts", options.max_cuts);
-    rec.AddBudget("max_dnf_branches", options.max_dnf_branches);
-    size_t threads = options.num_threads != 0
-                         ? options.num_threads
-                         : std::max(1u, std::thread::hardware_concurrency());
-    rec.SetThreads(threads);
+    if (rec.active()) {
+      rec.SetInput(body);
+      rec.SetReplayInput(body);
+      rec.AddBudget("max_ilp_nodes", options.max_ilp_nodes);
+      rec.AddBudget("max_cuts", options.max_cuts);
+      rec.AddBudget("max_dnf_branches", options.max_dnf_branches);
+      size_t threads = options.num_threads != 0
+                           ? options.num_threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+      rec.SetThreads(threads);
+    }
+  }
+  // This facade runs the LCTA/ILP pipeline directly (no inner frontend solve
+  // to piggyback on), so it keys its own verdict-cache entries.
+  std::string cache_key;
+  if (caching) {
+    cache_key = SolveCacheKey(names::kFacadeConstraintsKeyfk, body);
+    std::optional<SolveCacheEntry> hit = cache.Lookup(
+        cache_key, names::kMetricCacheSolveHits, names::kMetricCacheSolveMisses);
+    if (hit.has_value()) {
+      SatResult served;
+      if (KeyfkResultFromCacheEntry(*hit, &served)) {
+        Result<SatResult> result = std::move(served);
+        rec.Finish(SolveOutcomeFromSat(result));
+        return result;
+      }
+    }
   }
   Result<SatResult> run =
       CheckKeyForeignKeyConsistencyIlpImpl(schema, set, options);
@@ -290,6 +328,15 @@ Result<SatResult> CheckKeyForeignKeyConsistencyIlp(const TreeAutomaton& schema,
     PhaseProfile profile = SnapshotPhaseProfile(*options.exec);
     if (run->stop_reason.has_value()) profile.stop = *run->stop_reason;
     run->profile = std::move(profile);
+  }
+  if (caching && run.ok()) {
+    // Insert() applies the kUnknown-never-cached rule for degraded solves.
+    SolveCacheEntry entry;
+    entry.verdict = SatVerdictToString(run->verdict);
+    entry.method = SatMethodToString(run->method);
+    entry.steps = run->steps;
+    entry.profile = run->profile;
+    cache.Insert(cache_key, entry, options.exec, names::kModConstraintsKeyfkIlp);
   }
   rec.Finish(SolveOutcomeFromSat(run));
   return run;

@@ -4,11 +4,16 @@
 
 #include "automata/automaton_io.h"
 #include "common/flight_recorder.h"
+#include "common/hash.h"
+#include "common/intern.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
+#include "common/solve_cache.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "datatree/text_io.h"
 #include "lcta/lcta.h"
+#include "logic/intern.h"
 #include "puzzle/puzzle.h"
 
 namespace fo2dt {
@@ -89,6 +94,40 @@ Result<SatResult> AttachProfile(Result<SatResult> result,
   if (result->stop_reason.has_value()) profile.stop = *result->stop_reason;
   result->profile = std::move(profile);
   return result;
+}
+
+bool SatVerdictFromString(const std::string& s, SatVerdict* out) {
+  if (s == "SAT") *out = SatVerdict::kSat;
+  else if (s == "UNSAT") *out = SatVerdict::kUnsat;
+  else return false;  // UNKNOWN is never cached, so never reconstructed
+  return true;
+}
+
+bool SatMethodFromString(const std::string& s, SatMethod* out) {
+  if (s == "bounded_model_search") *out = SatMethod::kBoundedModelSearch;
+  else if (s == "counting_abstraction") *out = SatMethod::kCountingAbstraction;
+  else if (s == "puzzle_pipeline") *out = SatMethod::kPuzzlePipeline;
+  else if (s.empty()) *out = SatMethod::kNone;
+  else return false;
+  return true;
+}
+
+/// Rebuilds a SatResult from a cache entry. Returns false when the entry is
+/// malformed (e.g. a truncated persisted payload) — the caller then falls
+/// through to a cold solve instead of failing.
+bool SatResultFromCacheEntry(const SolveCacheEntry& entry, size_t alpha,
+                             SatResult* out) {
+  if (!SatVerdictFromString(entry.verdict, &out->verdict)) return false;
+  if (!SatMethodFromString(entry.method, &out->method)) return false;
+  out->steps = entry.steps;
+  out->profile = entry.profile;  // the cold solve's profile
+  if (!entry.payload.empty()) {
+    Alphabet replay_alphabet = MakeReplayAlphabet(alpha);
+    Result<DataTree> tree = ParseDataTree(entry.payload, &replay_alphabet);
+    if (!tree.ok()) return false;
+    out->witness = std::move(*tree);
+  }
+  return true;
 }
 
 /// Advances a restricted growth string (canonical set-partition encoding:
@@ -234,30 +273,81 @@ Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
     }
   }
   SolveRecorder rec(names::kFacadeFrontendSat, options.exec);
-  if (rec.active()) {
-    // Serialize in the canonical replay alphabet: the formula mentions dense
-    // symbol ids, so an alphabet of matching size reproduces them exactly.
-    size_t alpha = std::max(
-        num_labels, static_cast<size_t>(sentence.NumSymbolsSpanned()));
-    Alphabet replay_alphabet = MakeReplayAlphabet(alpha);
-    std::string body = StringFormat(
-        "labels %llu\n", static_cast<unsigned long long>(num_labels));
-    body += StringFormat(
-        "budget max_model_nodes %llu\n",
-        static_cast<unsigned long long>(options.max_model_nodes));
-    body += StringFormat("budget max_steps %llu\n",
-                         static_cast<unsigned long long>(options.max_steps));
-    body += StringFormat("flag use_counting_abstraction %d\n",
-                         options.use_counting_abstraction ? 1 : 0);
-    if (options.structural_filter != nullptr) {
-      body += "filter\n" + TreeAutomatonToText(*options.structural_filter);
+  SolveCache& cache = SolveCache::Instance();
+  const bool caching = cache.enabled();
+  // Serialize in the canonical replay alphabet: the formula mentions dense
+  // symbol ids, so an alphabet of matching size reproduces them exactly.
+  const size_t alpha =
+      std::max(num_labels, static_cast<size_t>(sentence.NumSymbolsSpanned()));
+  std::string body;
+  if (rec.active() || caching) {
+    auto build_body = [&](const std::string& filter_text) {
+      Alphabet replay_alphabet = MakeReplayAlphabet(alpha);
+      std::string b = StringFormat(
+          "labels %llu\n", static_cast<unsigned long long>(num_labels));
+      b += StringFormat(
+          "budget max_model_nodes %llu\n",
+          static_cast<unsigned long long>(options.max_model_nodes));
+      b += StringFormat("budget max_steps %llu\n",
+                        static_cast<unsigned long long>(options.max_steps));
+      b += StringFormat("flag use_counting_abstraction %d\n",
+                        options.use_counting_abstraction ? 1 : 0);
+      if (!filter_text.empty()) b += "filter\n" + filter_text;
+      b += StringFormat("formula %s\n",
+                        sentence.ToString(replay_alphabet).c_str());
+      return b;
+    };
+    std::string filter_text = options.structural_filter != nullptr
+                                  ? TreeAutomatonToText(*options.structural_filter)
+                                  : std::string();
+    if (caching) {
+      // Hash-consed fast path: intern the sentence and the filter text, then
+      // memoize the serialized body under the exact (handle, budget) tuple.
+      // Queries that canonicalize to the same term (e.g. reordered ∧/∨
+      // operands) share one body — and therefore one verdict-cache entry.
+      const InternHandle formula_id = InternFormula(sentence);
+      const InternHandle filter_id =
+          filter_text.empty()
+              ? kInvalidInternHandle
+              : SharedInternTable::Instance().InternString(filter_text);
+      const std::string body_key = StringFormat(
+          "frontend.sat.body:%u:%u:%llu:%llu:%llu:%llu:%d", formula_id,
+          filter_id, static_cast<unsigned long long>(alpha),
+          static_cast<unsigned long long>(num_labels),
+          static_cast<unsigned long long>(options.max_model_nodes),
+          static_cast<unsigned long long>(options.max_steps),
+          options.use_counting_abstraction ? 1 : 0);
+      std::optional<std::string> memo = cache.LookupSub(
+          body_key, names::kMetricCacheSubHits, names::kMetricCacheSubMisses);
+      if (memo.has_value()) {
+        body = std::move(*memo);
+      } else {
+        body = build_body(filter_text);
+        cache.InsertSub(body_key, body, options.exec, kFrontendModule);
+      }
+    } else {
+      body = build_body(filter_text);
     }
-    body += StringFormat("formula %s\n",
-                         sentence.ToString(replay_alphabet).c_str());
-    rec.SetInput(body);
-    rec.SetReplayInput(body);
-    rec.AddBudget("max_model_nodes", options.max_model_nodes);
-    rec.AddBudget("max_steps", options.max_steps);
+    if (rec.active()) {
+      rec.SetInput(body);
+      rec.SetReplayInput(body);
+      rec.AddBudget("max_model_nodes", options.max_model_nodes);
+      rec.AddBudget("max_steps", options.max_steps);
+    }
+  }
+  std::string cache_key;
+  if (caching) {
+    cache_key = SolveCacheKey(names::kFacadeFrontendSat, body);
+    std::optional<SolveCacheEntry> hit = cache.Lookup(
+        cache_key, names::kMetricCacheSolveHits, names::kMetricCacheSolveMisses);
+    if (hit.has_value()) {
+      SatResult served;
+      if (SatResultFromCacheEntry(*hit, alpha, &served)) {
+        Result<SatResult> result = std::move(served);
+        rec.Finish(SolveOutcomeFromSat(result));
+        return result;
+      }
+    }
   }
   Result<SatResult> run = [&]() -> Result<SatResult> {
     FO2DT_TRACE_SPAN(names::kModFrontendEnumerate);
@@ -271,11 +361,117 @@ Result<SatResult> CheckFo2SatisfiabilityBounded(const Formula& sentence,
   Result<SatResult> result = AttachProfile(
       DegradeToUnknown(std::move(run), SatMethod::kBoundedModelSearch),
       options.exec);
+  if (caching && result.ok()) {
+    // Insert() applies the kUnknown-never-cached rule, so degraded solves
+    // are retried with whatever budgets the next caller holds.
+    SolveCacheEntry entry;
+    entry.verdict = SatVerdictToString(result->verdict);
+    entry.method = SatMethodToString(result->method);
+    entry.steps = result->steps;
+    entry.profile = result->profile;
+    if (result->witness.has_value()) {
+      Alphabet replay_alphabet = MakeReplayAlphabet(alpha);
+      entry.payload = DataTreeToText(*result->witness, replay_alphabet);
+    }
+    cache.Insert(cache_key, entry, options.exec, kFrontendModule);
+  }
   rec.Finish(SolveOutcomeFromSat(result));
   return result;
 }
 
 namespace {
+
+/// Canonical text of a DataNormalForm. Conjunction and disjunction commute,
+/// so automaton texts (already transition-sorted by TreeAutomatonToText),
+/// simple-formula lines, and whole block texts are each sorted — two DNFs
+/// equal up to commutation serialize identically and share one verdict-cache
+/// entry. Used as the dnf_sat facade's input hash and cache body; there is
+/// no replay parser for it, so the facade never captures a bundle.
+std::string SerializeDnf(const DataNormalForm& dnf) {
+  std::string out = StringFormat(
+      "ext labels %llu preds %llu\n",
+      static_cast<unsigned long long>(dnf.ext.num_labels),
+      static_cast<unsigned long long>(dnf.ext.num_preds));
+  for (const std::string& name : dnf.pred_names) out += "pred " + name + "\n";
+  std::vector<std::string> blocks;
+  blocks.reserve(dnf.blocks.size());
+  for (const DnfBlock& block : dnf.blocks) {
+    std::string b = "block\n";
+    std::vector<std::string> lines;
+    lines.reserve(block.regular.size() + block.simples.size());
+    for (const TreeAutomaton& automaton : block.regular) {
+      lines.push_back("automaton\n" + TreeAutomatonToText(automaton));
+    }
+    for (const SimpleFormula& simple : block.simples) {
+      std::string line = StringFormat("simple %d %u ",
+                                      static_cast<int>(simple.kind),
+                                      static_cast<unsigned>(simple.profile_mask));
+      for (char c : simple.alpha) line += c != 0 ? '1' : '0';
+      line += ' ';
+      for (char c : simple.beta) line += c != 0 ? '1' : '0';
+      line += '\n';
+      lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& line : lines) b += line;
+    blocks.push_back(std::move(b));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  for (const std::string& b : blocks) out += b;
+  return out;
+}
+
+/// SAT payload for the dnf_sat facade: the witness tree (replay alphabet over
+/// the DNF's base labels), a 0x1e separator, then one 0/1 membership row per
+/// predicate. UNSAT entries carry no payload.
+std::string DnfWitnessPayload(const SatResult& result,
+                              const DataNormalForm& dnf) {
+  if (!result.witness.has_value()) return "";
+  Alphabet replay_alphabet = MakeReplayAlphabet(dnf.ext.num_labels);
+  std::string payload = DataTreeToText(*result.witness, replay_alphabet);
+  payload += '\x1e';
+  if (result.witness_interp.has_value()) {
+    for (const std::vector<char>& row : result.witness_interp->membership) {
+      for (char c : row) payload += c != 0 ? '1' : '0';
+      payload += '\n';
+    }
+  }
+  return payload;
+}
+
+/// Inverse of DnfWitnessPayload; false on any malformation (cold fallthrough).
+bool DnfResultFromCacheEntry(const SolveCacheEntry& entry,
+                             const DataNormalForm& dnf, SatResult* out) {
+  if (!SatVerdictFromString(entry.verdict, &out->verdict)) return false;
+  if (!SatMethodFromString(entry.method, &out->method)) return false;
+  out->steps = entry.steps;
+  out->profile = entry.profile;  // the cold solve's profile
+  if (out->verdict != SatVerdict::kSat) return entry.payload.empty();
+  const size_t sep = entry.payload.find('\x1e');
+  if (sep == std::string::npos) return false;
+  Alphabet replay_alphabet = MakeReplayAlphabet(dnf.ext.num_labels);
+  Result<DataTree> tree =
+      ParseDataTree(entry.payload.substr(0, sep), &replay_alphabet);
+  if (!tree.ok()) return false;
+  PredInterpretation interp =
+      PredInterpretation::Empty(dnf.ext.num_preds, tree->size());
+  std::vector<std::string> rows;
+  for (const std::string& row :
+       SplitString(entry.payload.substr(sep + 1), '\n')) {
+    if (!row.empty()) rows.push_back(row);
+  }
+  if (rows.size() != static_cast<size_t>(dnf.ext.num_preds)) return false;
+  for (size_t p = 0; p < rows.size(); ++p) {
+    if (rows[p].size() != tree->size()) return false;
+    for (size_t v = 0; v < rows[p].size(); ++v) {
+      if (rows[p][v] != '0' && rows[p][v] != '1') return false;
+      interp.membership[p][v] = rows[p][v] == '1' ? 1 : 0;
+    }
+  }
+  out->witness = std::move(*tree);
+  out->witness_interp = std::move(interp);
+  return true;
+}
 
 Result<SatResult> CheckDnfSatisfiabilityImpl(const DataNormalForm& dnf,
                                              const SolverOptions& options) {
@@ -336,13 +532,40 @@ Result<SatResult> CheckDnfSatisfiabilityImpl(const DataNormalForm& dnf,
 Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
                                          const SolverOptions& options) {
   SolveRecorder rec(names::kFacadeFrontendDnfSat, options.exec);
-  if (rec.active()) {
-    // A DataNormalForm has no text serialization, so this facade logs a
-    // structural summary hash and never captures a replay bundle.
-    rec.SetInput(StringFormat(
-        "dnf blocks=%llu", static_cast<unsigned long long>(dnf.blocks.size())));
-    rec.AddBudget("max_model_nodes", options.max_model_nodes);
-    rec.AddBudget("max_steps", options.max_steps);
+  SolveCache& cache = SolveCache::Instance();
+  const bool caching = cache.enabled();
+  std::string body;
+  if (rec.active() || caching) {
+    // Canonical serialization (sorted blocks/automata/simples), so the input
+    // hash — and the verdict-cache key derived from it — identifies the DNF
+    // up to commutation. No replay parser exists for DNF bodies, so this
+    // facade still never captures a bundle.
+    body = SerializeDnf(dnf);
+    body += StringFormat("budget max_model_nodes %llu\n",
+                         static_cast<unsigned long long>(options.max_model_nodes));
+    body += StringFormat("budget max_steps %llu\n",
+                         static_cast<unsigned long long>(options.max_steps));
+    body += StringFormat("flag use_counting_abstraction %d\n",
+                         options.use_counting_abstraction ? 1 : 0);
+    if (rec.active()) {
+      rec.SetInput(body);
+      rec.AddBudget("max_model_nodes", options.max_model_nodes);
+      rec.AddBudget("max_steps", options.max_steps);
+    }
+  }
+  std::string cache_key;
+  if (caching) {
+    cache_key = SolveCacheKey(names::kFacadeFrontendDnfSat, body);
+    std::optional<SolveCacheEntry> hit = cache.Lookup(
+        cache_key, names::kMetricCacheSolveHits, names::kMetricCacheSolveMisses);
+    if (hit.has_value()) {
+      SatResult served;
+      if (DnfResultFromCacheEntry(*hit, dnf, &served)) {
+        Result<SatResult> result = std::move(served);
+        rec.Finish(SolveOutcomeFromSat(result));
+        return result;
+      }
+    }
   }
   Result<SatResult> run = [&] {
     FO2DT_TRACE_SPAN(names::kModFrontendSolver);
@@ -356,6 +579,17 @@ Result<SatResult> CheckDnfSatisfiability(const DataNormalForm& dnf,
   Result<SatResult> result = AttachProfile(
       DegradeToUnknown(std::move(run), SatMethod::kPuzzlePipeline),
       options.exec);
+  if (caching && result.ok()) {
+    // Insert() applies the kUnknown-never-cached rule, so degraded solves
+    // are retried with whatever budgets the next caller holds.
+    SolveCacheEntry entry;
+    entry.verdict = SatVerdictToString(result->verdict);
+    entry.method = SatMethodToString(result->method);
+    entry.steps = result->steps;
+    entry.profile = result->profile;
+    entry.payload = DnfWitnessPayload(*result, dnf);
+    cache.Insert(cache_key, entry, options.exec, kFrontendModule);
+  }
   rec.Finish(SolveOutcomeFromSat(result));
   return result;
 }

@@ -7,9 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include "automata/automaton_io.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
+#include "common/solve_cache.h"
 #include "common/strings.h"
 #include "common/thread_stats.h"
 #include "common/trace.h"
@@ -376,10 +378,72 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
   }
 }
 
-}  // namespace
+/// Sub-memo key for a whole emptiness check: the canonical automaton text
+/// (transition-sorted), the constraint, the count-variable layout, and every
+/// option that can change the reported effort counters (budgets, threads) —
+/// so a memo hit is bit-for-bit the result the cold check would compute.
+std::string LctaEmptinessMemoKey(const Lcta& lcta, const LctaOptions& options) {
+  std::string key = StringFormat(
+      "lcta.emptiness:%d:%u:%llu:%llu:%llu:%llu\n",
+      lcta.use_symbol_counts ? 1 : 0, lcta.num_aux,
+      static_cast<unsigned long long>(options.max_ilp_nodes),
+      static_cast<unsigned long long>(options.max_cuts),
+      static_cast<unsigned long long>(options.max_dnf_branches),
+      static_cast<unsigned long long>(options.num_threads));
+  key += lcta.constraint.ToString();
+  key += '\n';
+  key += TreeAutomatonToText(lcta.automaton);
+  return key;
+}
 
-Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
-                                               const LctaOptions& options) {
+bool ParseMemoU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Memo value: "<empty 0|1> <ilp_nodes> <cuts>" then one signed decimal per
+/// state count. The inverse returns false on malformation, which sends the
+/// caller down the cold path instead of failing.
+std::string SerializeEmptinessResult(const LctaEmptinessResult& r) {
+  std::string out = StringFormat(
+      "%d %llu %llu", r.empty ? 1 : 0,
+      static_cast<unsigned long long>(r.ilp_nodes),
+      static_cast<unsigned long long>(r.connectivity_cuts));
+  for (const BigInt& v : r.state_counts) out += " " + v.ToString();
+  return out;
+}
+
+bool ParseEmptinessResult(const std::string& text, LctaEmptinessResult* out) {
+  std::vector<std::string> tokens = SplitString(text, ' ');
+  if (tokens.size() < 3) return false;
+  if (tokens[0] != "0" && tokens[0] != "1") return false;
+  out->empty = tokens[0] == "1";
+  uint64_t nodes = 0;
+  uint64_t cuts = 0;
+  if (!ParseMemoU64(tokens[1], &nodes) || !ParseMemoU64(tokens[2], &cuts)) {
+    return false;
+  }
+  out->ilp_nodes = static_cast<size_t>(nodes);
+  out->connectivity_cuts = static_cast<size_t>(cuts);
+  out->state_counts.clear();
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    Result<BigInt> v = BigInt::FromString(tokens[i]);
+    if (!v.ok()) return false;
+    out->state_counts.push_back(std::move(*v));
+  }
+  return true;
+}
+
+/// The cold emptiness check; CheckLctaEmptiness below may serve the whole
+/// result from the sub-result memo instead of running this.
+Result<LctaEmptinessResult> CheckLctaEmptinessImpl(const Lcta& lcta,
+                                                   const LctaOptions& options) {
   FO2DT_TRACE_SPAN(names::kModLctaEmptiness);
   // Facade timer: validation + shared grammar construction. Closed before
   // the parallel fan-out below — each worker's SolveRoot runs its own kLcta
@@ -517,6 +581,33 @@ Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<LctaEmptinessResult> CheckLctaEmptiness(const Lcta& lcta,
+                                               const LctaOptions& options) {
+  SolveCache& cache = SolveCache::Instance();
+  if (!cache.enabled()) return CheckLctaEmptinessImpl(lcta, options);
+  // Whole-check memo: the dominant cost of repeated traffic (xpath and
+  // constraint workloads re-derive identical product automata) is the
+  // ILP/cut loop, so one memo hit here skips the entire emptiness pipeline.
+  const std::string memo_key = LctaEmptinessMemoKey(lcta, options);
+  std::optional<std::string> memo = cache.LookupSub(
+      memo_key, names::kMetricCacheSubHits, names::kMetricCacheSubMisses);
+  if (memo.has_value()) {
+    LctaEmptinessResult served;
+    if (ParseEmptinessResult(*memo, &served)) return served;
+  }
+  Result<LctaEmptinessResult> result = CheckLctaEmptinessImpl(lcta, options);
+  if (result.ok()) {
+    // Only completed checks are memoized; ResourceExhausted must be retried
+    // with whatever budgets the next caller holds (mirrors kUnknown-never-
+    // cached at the verdict level).
+    cache.InsertSub(memo_key, SerializeEmptinessResult(*result), options.exec,
+                    kLctaModule);
+  }
+  return result;
 }
 
 std::vector<std::vector<uint32_t>> EnumerateTreeShapes(size_t num_nodes) {

@@ -1,0 +1,139 @@
+#include "logic/intern.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace fo2dt {
+
+namespace {
+
+// Formula records in the shared table start with a control byte that cannot
+// open an interned text record (texts are printable), so formula nodes and
+// canonical automaton/input texts never collide byte-wise.
+constexpr uint8_t kFormulaRecordTag = 0x01;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+InternHandle InternRecord(const std::vector<uint8_t>& rec) {
+  return SharedInternTable::Instance().Intern(rec.data(), rec.size());
+}
+
+InternHandle InternLeaf(Formula::Kind kind) {
+  std::vector<uint8_t> rec;
+  rec.push_back(kFormulaRecordTag);
+  rec.push_back(static_cast<uint8_t>(kind));
+  return InternRecord(rec);
+}
+
+InternHandle TrueHandle() { return InternLeaf(Formula::Kind::kTrue); }
+InternHandle FalseHandle() { return InternLeaf(Formula::Kind::kFalse); }
+
+// Flattens one ∧/∨ spine: children whose Formula kind equals \p kind
+// contribute their own children (associativity); everything else interns.
+void CollectJunction(const Formula& f, Formula::Kind kind,
+                     std::vector<InternHandle>* kids) {
+  for (const Formula& child : f.children()) {
+    if (child.kind() == kind) {
+      CollectJunction(child, kind, kids);
+    } else {
+      kids->push_back(InternFormula(child));
+    }
+  }
+}
+
+InternHandle InternJunction(const Formula& f, Formula::Kind kind) {
+  const InternHandle neutral =
+      kind == Formula::Kind::kAnd ? TrueHandle() : FalseHandle();
+  const InternHandle absorbing =
+      kind == Formula::Kind::kAnd ? FalseHandle() : TrueHandle();
+  std::vector<InternHandle> kids;
+  CollectJunction(f, kind, &kids);
+  std::sort(kids.begin(), kids.end());
+  kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+  kids.erase(std::remove(kids.begin(), kids.end(), neutral), kids.end());
+  if (std::find(kids.begin(), kids.end(), absorbing) != kids.end()) {
+    return absorbing;
+  }
+  if (kids.empty()) return neutral;
+  if (kids.size() == 1) return kids[0];
+  std::vector<uint8_t> rec;
+  rec.push_back(kFormulaRecordTag);
+  rec.push_back(static_cast<uint8_t>(kind));
+  AppendU32(&rec, static_cast<uint32_t>(kids.size()));
+  for (InternHandle kid : kids) AppendU32(&rec, kid);
+  return InternRecord(rec);
+}
+
+}  // namespace
+
+InternHandle InternFormula(const Formula& f) {
+  using Kind = Formula::Kind;
+  std::vector<uint8_t> rec;
+  rec.push_back(kFormulaRecordTag);
+  switch (f.kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return InternLeaf(f.kind());
+    case Kind::kLabel:
+      rec.push_back(static_cast<uint8_t>(Kind::kLabel));
+      rec.push_back(static_cast<uint8_t>(f.var()));
+      AppendU32(&rec, f.symbol());
+      break;
+    case Kind::kPred:
+      rec.push_back(static_cast<uint8_t>(Kind::kPred));
+      rec.push_back(static_cast<uint8_t>(f.var()));
+      AppendU32(&rec, f.pred());
+      break;
+    case Kind::kSameData:
+    case Kind::kEqual: {
+      // Both atoms are symmetric; order the pair so x ~ y and y ~ x intern
+      // to the same node.
+      uint8_t lo = static_cast<uint8_t>(f.var());
+      uint8_t hi = static_cast<uint8_t>(f.var2());
+      if (lo > hi) std::swap(lo, hi);
+      rec.push_back(static_cast<uint8_t>(f.kind()));
+      rec.push_back(lo);
+      rec.push_back(hi);
+      break;
+    }
+    case Kind::kEdge:
+      rec.push_back(static_cast<uint8_t>(Kind::kEdge));
+      rec.push_back(static_cast<uint8_t>(f.axis()));
+      rec.push_back(static_cast<uint8_t>(f.var()));
+      rec.push_back(static_cast<uint8_t>(f.var2()));
+      break;
+    case Kind::kNot: {
+      const Formula& body = f.child(0);
+      if (body.kind() == Kind::kNot) return InternFormula(body.child(0));
+      if (body.kind() == Kind::kTrue) return FalseHandle();
+      if (body.kind() == Kind::kFalse) return TrueHandle();
+      rec.push_back(static_cast<uint8_t>(Kind::kNot));
+      AppendU32(&rec, InternFormula(body));
+      break;
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+      return InternJunction(f, f.kind());
+    case Kind::kExists:
+    case Kind::kForall:
+      rec.push_back(static_cast<uint8_t>(f.kind()));
+      rec.push_back(static_cast<uint8_t>(f.var()));
+      AppendU32(&rec, InternFormula(f.child(0)));
+      break;
+  }
+  return InternRecord(rec);
+}
+
+uint64_t CanonicalFormulaHash(const Formula& f) {
+  const InternHandle handle = InternFormula(f);
+  const std::string rec = SharedInternTable::Instance().ToString(handle);
+  return Fnv1a64(rec);
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,40 @@
+/// \file intern.h
+/// \brief Hash-consed IR for formulas: canonicalization + interning so
+/// structurally equal formulas share one uint32 node id.
+///
+/// `InternFormula` lowers a Formula tree into canonical byte records over the
+/// process-wide SharedInternTable (common/intern.h), bottom-up: operands of a
+/// node's record are the interned handles of its children, so two formulas
+/// receive the same handle iff they canonicalize identically — equality and
+/// hashing of interned formulas are O(1) integer compares.
+///
+/// The canonicalization pass applied before interning:
+///   * And/Or children are flattened one level, sorted, and deduplicated;
+///     neutral elements are dropped and absorbing elements short-circuit
+///     (x ∧ true = x, x ∧ false = false, and dually for ∨);
+///   * empty conjunction/disjunction collapse to true/false, singletons to
+///     their only child;
+///   * double negation and ¬true/¬false fold away;
+///   * the symmetric atoms x ~ y and x = y order their variable pair.
+/// These are all semantic identities, so equal handles imply equivalent
+/// formulas while structurally equal formulas always map to equal handles —
+/// the property the solve cache and the differential tests rely on.
+
+#pragma once
+
+#include "common/intern.h"
+#include "logic/formula.h"
+
+namespace fo2dt {
+
+/// Canonicalizes \p f and interns it, returning its dense node id. Two calls
+/// return the same handle iff the formulas canonicalize to the same term;
+/// in particular structural equality implies handle equality. Thread-safe.
+InternHandle InternFormula(const Formula& f);
+
+/// Process-local canonical hash of \p f: the FNV-1a 64 of its interned
+/// record (child handles included). Stable within one process run only —
+/// cross-process cache keys must hash canonical text instead.
+uint64_t CanonicalFormulaHash(const Formula& f);
+
+}  // namespace fo2dt

@@ -6,6 +6,7 @@
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
+#include "common/solve_cache.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "datatree/text_io.h"
@@ -216,11 +217,30 @@ std::string SerializeVataProblem(const VataAutomaton& a, const DataTree& t,
 Result<bool> VataAccepts(const VataAutomaton& a, const DataTree& t,
                          size_t max_candidates, const ExecutionContext* exec) {
   SolveRecorder rec(names::kFacadeVataAccepts, exec);
-  if (rec.active()) {
-    std::string body = SerializeVataProblem(a, t, max_candidates);
-    rec.SetInput(body);
-    rec.SetReplayInput(body);
-    rec.AddBudget("max_candidates", max_candidates);
+  SolveCache& cache = SolveCache::Instance();
+  const bool caching = cache.enabled();
+  std::string body;
+  if (rec.active() || caching) {
+    body = SerializeVataProblem(a, t, max_candidates);
+    if (rec.active()) {
+      rec.SetInput(body);
+      rec.SetReplayInput(body);
+      rec.AddBudget("max_candidates", max_candidates);
+    }
+  }
+  std::string cache_key;
+  if (caching) {
+    cache_key = SolveCacheKey(names::kFacadeVataAccepts, body);
+    std::optional<SolveCacheEntry> hit = cache.Lookup(
+        cache_key, names::kMetricCacheSolveHits, names::kMetricCacheSolveMisses);
+    if (hit.has_value() &&
+        (hit->verdict == "ACCEPT" || hit->verdict == "REJECT")) {
+      Result<bool> served = hit->verdict == "ACCEPT";
+      SolveOutcome outcome;
+      outcome.verdict = hit->verdict;
+      rec.Finish(std::move(outcome));
+      return served;
+    }
   }
   Result<bool> result = [&]() -> Result<bool> {
     FO2DT_ASSIGN_OR_RETURN(std::vector<std::vector<Candidate>> cands,
@@ -237,6 +257,13 @@ Result<bool> VataAccepts(const VataAutomaton& a, const DataTree& t,
   SolveOutcome outcome;
   if (result.ok()) {
     outcome.verdict = *result ? "ACCEPT" : "REJECT";
+    if (caching) {
+      // Membership verdicts are always definite on success, so every OK
+      // result is cacheable; errors never reach Insert().
+      SolveCacheEntry entry;
+      entry.verdict = outcome.verdict;
+      cache.Insert(cache_key, entry, exec, kVataModule);
+    }
   } else {
     outcome.verdict =
         std::string("ERROR:") + StatusCodeToString(result.status().code());

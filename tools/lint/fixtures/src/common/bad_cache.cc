@@ -1,0 +1,17 @@
+// Fixture: solve-cache lookups that bypass the hit/miss metric contract.
+#include "common/registry_names.h"
+#include "common/solve_cache.h"
+
+namespace fo2dt {
+
+void UnobservedLookups() {
+  SolveCache& cache = SolveCache::Instance();
+  // Missing both metric constants entirely.
+  auto a = cache.Lookup("k", "hits", "misses");
+  // A sub-memo lookup passing only one registered cache metric.
+  auto b = cache.LookupSub("k", names::kMetricCacheSubHits, "nope");
+  (void)a;
+  (void)b;
+}
+
+}  // namespace fo2dt

@@ -32,6 +32,10 @@ enforces them:
   no-raw-rand            rand()/srand()/std::random_device/std::mt19937 are
                          banned; all randomness flows through the seeded,
                          thread-confined common/random.h RandomSource.
+  cache-metrics          every solve-cache Lookup/LookupSub call site must
+                         pass registered cache hit and miss metric constants
+                         (names::kMetricCache...), so no cache lookup can
+                         run unobserved by the MetricsRegistry.
   timer-memory-scope     every ScopedPhaseTimer construction must open the
                          matching ScopedPhaseMemory scope for the same phase
                          nearby, so the flight recorder's per-phase memory
@@ -65,6 +69,7 @@ RULES = (
     "header-hygiene",
     "bench-key-mismatch",
     "no-raw-rand",
+    "cache-metrics",
     "timer-memory-scope",
     "bad-suppression",
 )
@@ -368,6 +373,34 @@ class Linter:
                 "thread-confined RandomSource in common/random.h (use "
                 "Split() for per-thread streams)")
 
+    # -- rule: cache-metrics -------------------------------------------------
+
+    CACHE_LOOKUP_RE = re.compile(r"(?:\.|->)\s*(Lookup|LookupSub)\s*\(")
+
+    def check_cache_metrics(self, sf):
+        """Every solve-cache lookup site must pass registered cache hit and
+        miss metric constants (names::kMetricCache...), so the hit/miss
+        disposition of every lookup reaches the MetricsRegistry. The cache
+        implementation itself (which consumes the constants) is exempt."""
+        if sf.path.endswith(os.path.join("common", "solve_cache.cc")) or \
+                sf.path.endswith(os.path.join("common", "solve_cache.h")):
+            return
+        for m in self.CACHE_LOOKUP_RE.finditer(sf.code):
+            line_no = sf.line_of_offset(m.start())
+            args = _matched_parens(sf.code, m.end() - 1)
+            if args is None:
+                continue
+            cache_consts = [
+                c for c in NAMES_CONST_RE.findall(args[0])
+                if self.constants.get(c, ("", ""))[0] == "metric"
+                and self.constants[c][1].startswith("cache.")]
+            if len(cache_consts) < 2:
+                self.report(
+                    sf, line_no, "cache-metrics",
+                    f"cache {m.group(1)}() site does not pass registered hit "
+                    "and miss metric constants (names::kMetricCache...); "
+                    "every cache lookup must record its disposition")
+
     # -- rule: timer-memory-scope --------------------------------------------
 
     TIMER_DECL_RE = re.compile(r"\bScopedPhaseTimer\s+\w+\s*[({]\s*Phase::(k\w+)")
@@ -575,6 +608,7 @@ def main():
         linter.check_failpoints(sf)
         linter.check_header_hygiene(sf)
         linter.check_raw_rand(sf)
+        linter.check_cache_metrics(sf)
         linter.check_timer_memory_scopes(sf)
     linter.check_bench_contract(bench_main, run_bench)
     linter.check_unused_suppressions(files)

@@ -3,10 +3,10 @@
 
 Reads one or more JSONL query logs (written by the C++ side under
 FO2DT_QUERY_LOG) plus optional BENCH_*.json histories, and emits a per-phase
-report: p50/p95 self wall time, effort, memory high-water, verdict and
-dominant-phase distributions. With --baseline it diffs against an older log
-and fails (exit 1) on a p95 phase-time or memory high-water regression, so CI
-can gate on it.
+report: p50/p95 self wall time, effort, memory high-water, verdict,
+dominant-phase and solve-cache hit/miss distributions. With --baseline it
+diffs against an older log and fails (exit 1) on a p95 phase-time, memory
+high-water, or cache hit-rate regression, so CI can gate on it.
 
 Exit status (machine-readable):
   0  report produced, no regression detected
@@ -34,9 +34,13 @@ INT_FIELDS = {
 }
 STR_FIELDS = {
     "facade", "input_hash", "verdict", "method", "stop_kind", "stop_module",
-    "dominant_phase", "capture",
+    "dominant_phase", "capture", "cache",
 }
 DICT_FIELDS = {"phases", "budgets"}
+
+# Solve-cache disposition per record: "" = cache disabled / not consulted,
+# "hit" = verdict served from cache, "miss" = looked up, solved cold.
+CACHE_VALUES = {"", "hit", "miss"}
 
 
 def load_registry():
@@ -93,6 +97,8 @@ def validate_record(rec, lineno, reg, errors):
     v = rec["verdict"]
     if v not in VERDICTS and not v.startswith("ERROR:"):
         err("verdict %r not in %s or ERROR:<code>" % (v, sorted(VERDICTS)))
+    if rec["cache"] not in CACHE_VALUES:
+        err("cache %r not in %s" % (rec["cache"], sorted(CACHE_VALUES)))
     dom = rec["dominant_phase"]
     if dom and dom not in reg["phases"]:
         err("dominant_phase %r not a registered phase" % (dom,))
@@ -168,6 +174,8 @@ def aggregate(records):
         "phases": {},
         "mem_high_water": [],
         "captures": sum(1 for r in records if r["capture"]),
+        "cache_hits": sum(1 for r in records if r["cache"] == "hit"),
+        "cache_misses": sum(1 for r in records if r["cache"] == "miss"),
     }
     for rec in records:
         agg["verdicts"][rec["verdict"]] = agg["verdicts"].get(
@@ -202,6 +210,14 @@ def bench_phase_samples(paths, errors):
                     phase = key[len("phase_"):-len("_ms")]
                     samples.setdefault(phase, []).append(float(value))
     return samples, skipped
+
+
+def cache_hit_rate(agg):
+    """Fraction of cache-consulting solves served warm; None if none were."""
+    lookups = agg["cache_hits"] + agg["cache_misses"]
+    if lookups == 0:
+        return None
+    return agg["cache_hits"] / float(lookups)
 
 
 def modal(counter):
@@ -244,6 +260,20 @@ def compare(current, baseline, args):
             "phase %-14s p50 %.3f -> %.3f ms   p95 %.3f -> %.3f ms%s" %
             (phase, percentile(base.ms, 50), percentile(cur.ms, 50),
              base_p95, cur_p95, marker))
+    cur_rate = cache_hit_rate(current)
+    base_rate = cache_hit_rate(baseline)
+    if base_rate is not None and cur_rate is not None:
+        marker = ""
+        if base_rate - cur_rate > args.cache_hit_drop:
+            marker = "  REGRESSION"
+            regressions.append(
+                "cache hit rate %.2f%% -> %.2f%%" %
+                (100.0 * base_rate, 100.0 * cur_rate))
+        lines.append("cache hit rate %.2f%% -> %.2f%%%s" %
+                     (100.0 * base_rate, 100.0 * cur_rate, marker))
+    elif base_rate is not None:
+        lines.append("cache hit rate %.2f%% -> (cache not consulted)" %
+                     (100.0 * base_rate))
     cur_mem = percentile(current["mem_high_water"], 95)
     base_mem = percentile(baseline["mem_high_water"], 95)
     if base_mem > 0 and cur_mem - base_mem > args.mem_abs_bytes and \
@@ -263,6 +293,10 @@ def format_report(agg, bench, bench_skipped, log_names):
     lines.append("fo2dt_report: %d record(s) from %s" %
                  (agg["count"], ", ".join(log_names)))
     lines.append("captures: %d" % agg["captures"])
+    rate = cache_hit_rate(agg)
+    if rate is not None:
+        lines.append("solve cache: hits %d  misses %d  hit rate %.2f%%" %
+                     (agg["cache_hits"], agg["cache_misses"], 100.0 * rate))
     lines.append("verdicts: " + ", ".join(
         "%s=%d" % (k, v) for k, v in sorted(agg["verdicts"].items())))
     if agg["dominant"]:
@@ -311,6 +345,9 @@ def main():
                         help="mem high-water p95 ratio to regress")
     parser.add_argument("--mem-abs-bytes", type=int, default=16384,
                         help="minimum absolute mem delta (bytes) to regress")
+    parser.add_argument("--cache-hit-drop", type=float, default=0.10,
+                        help="absolute solve-cache hit-rate drop (fraction) "
+                             "vs baseline above which the report regresses")
     parser.add_argument("--out", help="write the report here instead of stdout")
     args = parser.parse_args()
 

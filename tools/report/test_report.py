@@ -52,6 +52,16 @@ def main():
           "dominant-phase shift: bounded_search -> lcta" in out)
     check("regression reports memory high-water trend",
           "mem_high_water p95 65536 -> 131072 bytes (x2.00)" in out)
+    check("regression reports cache hit-rate drop",
+          "cache hit rate 66.67% -> 16.67%  REGRESSION" in out)
+
+    # The hit-rate gate is tunable: a permissive threshold lets the same
+    # drop pass (the phase-time regression still fails the run).
+    code, out, _ = run([fixture("current_regressed.jsonl"),
+                        "--baseline", fixture("baseline.jsonl"),
+                        "--cache-hit-drop", "0.9"])
+    check("permissive --cache-hit-drop unmarks the hit-rate line",
+          "cache hit rate 66.67% -> 16.67%\n" in out, out)
 
     # Golden reports: byte-stable output for both comparisons.
     for current, golden, want in (
@@ -89,6 +99,7 @@ def main():
         "string wall_ms": dict(good, wall_ms="3"),
         "bad phase entry": dict(
             good, phases=dict(good["phases"], scott={"ms": 1.0})),
+        "bad cache disposition": dict(good, cache="warm"),
     }
     for name, bad in mutations.items():
         with tempfile.TemporaryDirectory() as tmp:
