@@ -12,11 +12,21 @@ namespace {
 
 // Whitespace-separated token cursor. The grammar has counts before every
 // list, so token order alone determines structure; newlines are cosmetic.
+// Every error carries the 1-based line/column of the offending token: this
+// text format is a network-facing surface (fo2dtd request bodies), so a
+// hostile client gets a precise diagnostic instead of a crash.
 class TokenReader {
  public:
   TokenReader(const std::string& text, size_t pos) : text_(text), pos_(pos) {}
 
   size_t pos() const { return pos_; }
+
+  /// ParseError at the current cursor with "(line L, column C)" appended.
+  Status ErrorHere(const std::string& what, size_t at) const {
+    return Status::ParseError(StringFormat(
+        "%s in automaton text (%s)", what.c_str(),
+        FormatTextPosition(text_, at).c_str()));
+  }
 
   Result<std::string> Next() {
     while (pos_ < text_.size() &&
@@ -24,21 +34,22 @@ class TokenReader {
       ++pos_;
     }
     if (pos_ >= text_.size()) {
-      return Status::ParseError("automaton text ended early");
+      return ErrorHere("text ended early", pos_);
     }
-    size_t start = pos_;
+    token_start_ = pos_;
     while (pos_ < text_.size() &&
            !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
     }
-    return text_.substr(start, pos_ - start);
+    return text_.substr(token_start_, pos_ - token_start_);
   }
 
   Status Expect(const char* keyword) {
     FO2DT_ASSIGN_OR_RETURN(std::string token, Next());
     if (token != keyword) {
-      return Status::ParseError(StringFormat(
-          "expected '%s' in automaton text, got '%s'", keyword, token.c_str()));
+      return ErrorHere(StringFormat("expected '%s', got '%s'", keyword,
+                                    SanitizeToken(token).c_str()),
+                       token_start_);
     }
     return Status::OK();
   }
@@ -46,16 +57,17 @@ class TokenReader {
   Result<uint64_t> Number() {
     FO2DT_ASSIGN_OR_RETURN(std::string token, Next());
     uint64_t value = 0;
-    if (token.empty()) return Status::ParseError("empty automaton number");
     for (char c : token) {
       if (c < '0' || c > '9') {
-        return Status::ParseError(StringFormat(
-            "bad number '%s' in automaton text", token.c_str()));
+        return ErrorHere(StringFormat("bad number '%s'",
+                                      SanitizeToken(token).c_str()),
+                         token_start_);
       }
       uint64_t digit = static_cast<uint64_t>(c - '0');
       if (value > (UINT64_MAX - digit) / 10) {
-        return Status::ParseError(StringFormat(
-            "number '%s' overflows in automaton text", token.c_str()));
+        return ErrorHere(StringFormat("number '%s' overflows",
+                                      SanitizeToken(token).c_str()),
+                         token_start_);
       }
       value = value * 10 + digit;
     }
@@ -65,17 +77,33 @@ class TokenReader {
   Result<uint64_t> NumberBelow(uint64_t bound, const char* what) {
     FO2DT_ASSIGN_OR_RETURN(uint64_t value, Number());
     if (value >= bound) {
-      return Status::ParseError(StringFormat(
-          "%s %llu out of range (have %llu)", what,
-          static_cast<unsigned long long>(value),
-          static_cast<unsigned long long>(bound)));
+      return ErrorHere(StringFormat(
+                           "%s %llu out of range (have %llu)", what,
+                           static_cast<unsigned long long>(value),
+                           static_cast<unsigned long long>(bound)),
+                       token_start_);
     }
     return value;
   }
 
  private:
+  /// Hostile tokens can contain arbitrary bytes (non-UTF8, control chars);
+  /// clamp length and replace non-printable bytes before echoing them into
+  /// an error message.
+  static std::string SanitizeToken(const std::string& token) {
+    constexpr size_t kMaxEcho = 32;
+    std::string out;
+    for (size_t i = 0; i < token.size() && i < kMaxEcho; ++i) {
+      unsigned char c = static_cast<unsigned char>(token[i]);
+      out.push_back(c >= 0x20 && c < 0x7f ? token[i] : '?');
+    }
+    if (token.size() > kMaxEcho) out += "...";
+    return out;
+  }
+
   const std::string& text_;
   size_t pos_;
+  size_t token_start_ = 0;
 };
 
 }  // namespace
@@ -143,10 +171,18 @@ Result<TreeAutomaton> ParseTreeAutomatonText(const std::string& text,
   FO2DT_RETURN_NOT_OK(reader.Expect("automaton"));
   FO2DT_ASSIGN_OR_RETURN(uint64_t num_symbols, reader.Number());
   FO2DT_ASSIGN_OR_RETURN(uint64_t num_states, reader.Number());
-  // A generous sanity cap; replay inputs are small by construction.
+  // Sanity caps before any allocation. The constructor reserves
+  // num_symbols * num_states adjacency slots, so the *product* is the
+  // allocation driver: a hostile "automaton 16777216 16777216" header would
+  // otherwise request 2^48 slots from a few bytes of input.
   constexpr uint64_t kMaxDim = 1u << 24;
-  if (num_symbols > kMaxDim || num_states > kMaxDim) {
-    return Status::ParseError("automaton dimensions implausibly large");
+  constexpr uint64_t kMaxCells = 1u << 24;
+  if (num_symbols > kMaxDim || num_states > kMaxDim ||
+      (num_symbols != 0 && num_states > kMaxCells / num_symbols)) {
+    return Status::ParseError(StringFormat(
+        "automaton dimensions implausibly large (%llu symbols x %llu states)",
+        static_cast<unsigned long long>(num_symbols),
+        static_cast<unsigned long long>(num_states)));
   }
   TreeAutomaton automaton(static_cast<size_t>(num_symbols),
                           static_cast<size_t>(num_states));
@@ -217,7 +253,9 @@ Result<TreeAutomaton> ParseTreeAutomaton(const std::string& text) {
     ++pos;
   }
   if (pos != text.size()) {
-    return Status::ParseError("trailing content after automaton text");
+    return Status::ParseError(StringFormat(
+        "trailing content after automaton text (%s)",
+        FormatTextPosition(text, pos).c_str()));
   }
   return automaton;
 }

@@ -270,26 +270,41 @@ std::string ReplayLabelName(size_t i) {
   return StringFormat("l%llu", static_cast<unsigned long long>(i));
 }
 
-bool ArmCanonicalReplayInjection(const std::string& site) {
+bool ArmCanonicalReplayInjection(const std::string& site, int64_t fire) {
   Failpoints& fps = Failpoints::Instance();
   if (site == names::kFpLctaCutRound) {
     fps.Enable(site,
-               [](void* arg) { InjectStatusFault(arg, names::kModLctaCuts); });
+               [](void* arg) { InjectStatusFault(arg, names::kModLctaCuts); },
+               /*skip=*/0, fire);
     return true;
   }
   if (site == names::kFpIlpWorkerFault) {
     fps.Enable(site, [](void* arg) {
       InjectStatusFault(arg, names::kModSolverlpIlp);
-    });
+    }, /*skip=*/0, fire);
+    return true;
+  }
+  if (site == names::kFpServerAcceptFault) {
+    fps.Enable(site, [](void* arg) {
+      InjectStatusFault(arg, names::kModServerAdmission);
+    }, /*skip=*/0, fire);
+    return true;
+  }
+  if (site == names::kFpServerWorkerCrash) {
+    fps.Enable(site, [](void* arg) {
+      InjectStatusFault(arg, names::kModServerWorker);
+    }, /*skip=*/0, fire);
     return true;
   }
   if (site == names::kFpBigintForceSlowAdd ||
-      site == names::kFpSimplexForceRebuild) {
-    fps.Enable(site, [](void* arg) { *static_cast<bool*>(arg) = true; });
+      site == names::kFpSimplexForceRebuild ||
+      site == names::kFpServerSlowDrain) {
+    fps.Enable(site, [](void* arg) { *static_cast<bool*>(arg) = true; },
+               /*skip=*/0, fire);
     return true;
   }
   if (site == names::kFpIlpBranch) {
-    fps.Enable(site, [](void*) {});
+    fps.Enable(site, [](void*) {}, /*skip=*/0, fire);
     return true;
   }
   return false;

@@ -157,7 +157,9 @@ std::string ReplayLabelName(size_t i);
 /// by capture-time tests and fo2dt_replay: Status*-argument sites sleep a
 /// fixed interval (so the owning phase dominates the profile) and inject
 /// ResourceExhausted with StopKind::kInjectedFault; bool* sites force their
-/// branch. False when \p site is not a registered failpoint.
-bool ArmCanonicalReplayInjection(const std::string& site);
+/// branch. \p fire bounds how many hits inject (-1 = unlimited), so a
+/// server fault test can crash exactly one request. False when \p site is
+/// not a registered failpoint.
+bool ArmCanonicalReplayInjection(const std::string& site, int64_t fire = -1);
 
 }  // namespace fo2dt

@@ -1,5 +1,9 @@
 #include "common/query_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -159,14 +163,24 @@ bool QueryLog::enabled() const {
 Status QueryLog::Append(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
   if (path_.empty()) return Status::OK();
-  std::FILE* f = std::fopen(path_.c_str(), "a");
-  if (f == nullptr) {
+  // One O_APPEND write() for the whole record including the newline: a
+  // record either lands complete or not at all, so concurrent appenders and
+  // a SIGTERM/SIGKILL mid-append can never interleave or truncate a line.
+  int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
     return Status::InvalidArgument(
         StringFormat("cannot open query log '%s'", path_.c_str()));
   }
-  std::fputs(line.c_str(), f);
-  std::fputc('\n', f);
-  if (std::fclose(f) != 0) {
+  std::string record = line;
+  record.push_back('\n');
+  ssize_t written;
+  do {
+    written = ::write(fd, record.data(), record.size());
+  } while (written < 0 && errno == EINTR);
+  const bool complete =
+      written >= 0 && static_cast<size_t>(written) == record.size();
+  if (::close(fd) != 0 || !complete) {
     return Status::Internal(
         StringFormat("error appending to query log '%s'", path_.c_str()));
   }

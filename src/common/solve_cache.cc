@@ -1,5 +1,9 @@
 #include "common/solve_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -280,19 +284,32 @@ void SolveCache::LoadFileLocked() {
 void SolveCache::AppendEntryLocked(const std::string& key,
                                    const SolveCacheEntry& entry) {
   if (config_.file.empty()) return;
-  std::FILE* f = std::fopen(config_.file.c_str(), "a");
-  if (f == nullptr) return;  // caching must never fail the solve
+  // Build the full append (header + entry) and issue it as one O_APPEND
+  // write(): a daemon killed mid-drain leaves either complete lines or
+  // nothing, never a truncated entry for the loader to choke on (the loader
+  // skips malformed lines regardless, as defense in depth).
+  std::string chunk;
   if (!header_written_) {
-    std::fprintf(f, "fingerprint %s\n",
-                 HashToHex(FingerprintLocked()).c_str());
+    chunk += StringFormat("fingerprint %s\n",
+                          HashToHex(FingerprintLocked()).c_str());
+  }
+  chunk += StringFormat("entry %s %s %s %llu %s %s\n", key.c_str(),
+                        Quoted(entry.verdict).c_str(),
+                        Quoted(entry.method).c_str(),
+                        static_cast<unsigned long long>(entry.steps),
+                        Quoted(SerializeProfile(entry.profile)).c_str(),
+                        Quoted(entry.payload).c_str());
+  int fd = ::open(config_.file.c_str(),
+                  O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return;  // caching must never fail the solve
+  ssize_t written;
+  do {
+    written = ::write(fd, chunk.data(), chunk.size());
+  } while (written < 0 && errno == EINTR);
+  (void)::close(fd);
+  if (written >= 0 && static_cast<size_t>(written) == chunk.size()) {
     header_written_ = true;
   }
-  std::fprintf(f, "entry %s %s %s %llu %s %s\n", key.c_str(),
-               Quoted(entry.verdict).c_str(), Quoted(entry.method).c_str(),
-               static_cast<unsigned long long>(entry.steps),
-               Quoted(SerializeProfile(entry.profile)).c_str(),
-               Quoted(entry.payload).c_str());
-  std::fclose(f);
 }
 
 void SolveCache::EvictLocked() {

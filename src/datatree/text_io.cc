@@ -1,12 +1,18 @@
 #include "datatree/text_io.h"
 
 #include <cctype>
+#include <limits>
 
 #include "common/strings.h"
 
 namespace fo2dt {
 
 namespace {
+
+/// Nesting ceiling for the recursive tree parser. Tree text reaches this
+/// parser from the network (vata.accepts request bodies), so a hostile
+/// "a:0 (a:0 (a:0 (..." must produce a ParseError, not a stack overflow.
+constexpr size_t kMaxTreeDepth = 2048;
 
 class Parser {
  public:
@@ -16,7 +22,7 @@ class Parser {
   Result<DataTree> Parse() {
     DataTree t;
     SkipSpace();
-    FO2DT_RETURN_NOT_OK(ParseNode(&t, kNoNode));
+    FO2DT_RETURN_NOT_OK(ParseNode(&t, kNoNode, 0));
     SkipSpace();
     if (pos_ != text_.size()) {
       return Err("trailing input", pos_);
@@ -37,7 +43,10 @@ class Parser {
     }
   }
 
-  Status ParseNode(DataTree* t, NodeId parent) {
+  Status ParseNode(DataTree* t, NodeId parent, size_t depth) {
+    if (depth >= kMaxTreeDepth) {
+      return Err("tree nested too deeply", pos_);
+    }
     SkipSpace();
     size_t start = pos_;
     while (pos_ < text_.size() &&
@@ -66,7 +75,11 @@ class Parser {
     }
     DataValue data = 0;
     for (size_t i = dstart; i < pos_; ++i) {
-      data = data * 10 + static_cast<DataValue>(text_[i] - '0');
+      DataValue digit = static_cast<DataValue>(text_[i] - '0');
+      if (data > (std::numeric_limits<DataValue>::max() - digit) / 10) {
+        return Err("data value overflows", dstart);
+      }
+      data = data * 10 + digit;
     }
     Symbol sym = alphabet_->Intern(label);
     NodeId me;
@@ -80,7 +93,7 @@ class Parser {
       ++pos_;
       SkipSpace();
       while (pos_ < text_.size() && text_[pos_] != ')') {
-        FO2DT_RETURN_NOT_OK(ParseNode(t, me));
+        FO2DT_RETURN_NOT_OK(ParseNode(t, me, depth + 1));
         SkipSpace();
       }
       if (pos_ >= text_.size()) {

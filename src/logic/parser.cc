@@ -8,6 +8,20 @@ namespace fo2dt {
 
 namespace {
 
+/// Recursive-descent depth ceiling. Formula text reaches this parser from
+/// the network (fo2dtd request bodies), so a hostile "((((..." or "!!!!..."
+/// must produce a ParseError, not a stack overflow. The bound is far above
+/// any formula the test corpus or the XPath translation emits.
+constexpr size_t kMaxNestingDepth = 256;
+
+/// Tracks live recursion frames; paired with an entry check in every
+/// production that can self-recurse.
+struct DepthGuard {
+  explicit DepthGuard(size_t* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+  size_t* depth_;
+};
+
 class FormulaParser {
  public:
   FormulaParser(const std::string& text, Alphabet* alphabet,
@@ -98,6 +112,8 @@ class FormulaParser {
   }
 
   Result<Formula> ParseImpl() {
+    if (depth_ >= kMaxNestingDepth) return Err("formula nested too deeply");
+    DepthGuard guard(&depth_);
     FO2DT_ASSIGN_OR_RETURN(Formula left, ParseOr());
     if (Match("->")) {
       FO2DT_ASSIGN_OR_RETURN(Formula right, ParseImpl());
@@ -131,6 +147,8 @@ class FormulaParser {
   }
 
   Result<Formula> ParseUnary() {
+    if (depth_ >= kMaxNestingDepth) return Err("formula nested too deeply");
+    DepthGuard guard(&depth_);
     if (PeekChar('!')) {
       // Distinguish `!` (negation) from `!=` (handled in atoms).
       size_t save = pos_;
@@ -232,6 +250,7 @@ class FormulaParser {
   Alphabet* alphabet_;
   Alphabet* pred_names_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,119 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+
+uint64_t ClampToQuota(uint64_t requested, uint64_t quota, uint64_t fallback) {
+  uint64_t value = requested == 0 ? fallback : requested;
+  if (quota != 0 && (value == 0 || value > quota)) value = quota;
+  return value;
+}
+
+uint64_t DivideFloored(uint64_t value, uint64_t divisor, uint64_t floor) {
+  if (value == 0) return 0;  // "unlimited" budgets degrade via the cap path
+  return std::max(floor, value / std::max<uint64_t>(1, divisor));
+}
+
+}  // namespace
+
+AdmitDecision AdmissionController::Admit(const std::string& tenant,
+                                         const RequestedBudgets& requested) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmitDecision decision;
+  decision.queue_depth = queue_depth_;
+
+  if (queue_depth_ >= config_.queue_limit) {
+    decision.action = AdmitAction::kReject;
+    decision.detail = StringFormat(
+        "queue full (%llu/%llu)",
+        static_cast<unsigned long long>(queue_depth_),
+        static_cast<unsigned long long>(config_.queue_limit));
+    ++stats_.rejected;
+    return decision;
+  }
+  uint64_t active = tenant_active_[tenant];
+  if (config_.tenant_active_limit != 0 &&
+      active >= config_.tenant_active_limit) {
+    decision.action = AdmitAction::kReject;
+    decision.detail = StringFormat(
+        "tenant '%s' at active-request cap (%llu)", tenant.c_str(),
+        static_cast<unsigned long long>(config_.tenant_active_limit));
+    ++stats_.rejected;
+    return decision;
+  }
+
+  // Quota clamp first, then the ladder shrinks the clamped values: a tenant
+  // can never ladder its way above its quota.
+  decision.deadline_ms = ClampToQuota(requested.deadline_ms,
+                                      config_.quota.max_deadline_ms,
+                                      default_deadline_ms_);
+  decision.max_bytes =
+      ClampToQuota(requested.max_bytes, config_.quota.max_bytes, 0);
+  decision.max_effort =
+      ClampToQuota(requested.max_effort, config_.quota.max_effort, 0);
+
+  uint64_t occupancy_pct =
+      config_.queue_limit == 0 ? 0 : queue_depth_ * 100 / config_.queue_limit;
+  if (occupancy_pct >= config_.degrade_heavy_pct) {
+    decision.action = AdmitAction::kDegradeHeavy;
+    decision.deadline_ms =
+        DivideFloored(decision.deadline_ms, config_.heavy_divisor, 1);
+    decision.max_effort = decision.max_effort == 0
+                              ? 1024  // unlimited effort gets a hard cap
+                              : DivideFloored(decision.max_effort,
+                                              config_.heavy_divisor, 1);
+    ++stats_.degraded;
+  } else if (occupancy_pct >= config_.degrade_light_pct) {
+    decision.action = AdmitAction::kDegradeLight;
+    decision.max_effort = decision.max_effort == 0
+                              ? 65536
+                              : DivideFloored(decision.max_effort,
+                                              config_.light_divisor, 1);
+    ++stats_.degraded;
+  } else {
+    decision.action = AdmitAction::kAccept;
+  }
+  if (decision.deadline_ms == 0) decision.deadline_ms = default_deadline_ms_;
+
+  ++queue_depth_;
+  ++tenant_active_[tenant];
+  ++stats_.accepted;
+  stats_.queue_depth = queue_depth_;
+  stats_.queue_depth_peak = std::max(stats_.queue_depth_peak, queue_depth_);
+  return decision;
+}
+
+void AdmissionController::OnDequeue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_depth_ > 0) --queue_depth_;
+  stats_.queue_depth = queue_depth_;
+}
+
+void AdmissionController::OnFinish(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_active_.find(tenant);
+  if (it != tenant_active_.end() && it->second > 0) {
+    if (--it->second == 0) tenant_active_.erase(it);
+  }
+}
+
+void AdmissionController::OnAbandon(const std::string& tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_depth_ > 0) --queue_depth_;
+    stats_.queue_depth = queue_depth_;
+  }
+  OnFinish(tenant);
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fo2dt

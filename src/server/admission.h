@@ -1,0 +1,127 @@
+/// \file admission.h
+/// \brief fo2dtd admission control: bounded queue accounting, per-tenant
+/// quotas, and the graceful-degradation ladder.
+///
+/// AdmissionController is pure bookkeeping — no sockets, no threads of its
+/// own — so the full robustness envelope (caps, ladder, rejection) is
+/// unit-testable deterministically. The server calls:
+///
+///   Admit(tenant, requested)   at enqueue time: clamps budgets to the
+///                              tenant quota, applies the shedding ladder,
+///                              and reserves a queue slot (or rejects);
+///   OnDequeue()                when a worker picks the item up;
+///   OnFinish()                 when the solve resolves (any outcome);
+///   OnAbandon(tenant)          when a queued item dies before dequeue
+///                              (client disconnect) — releases both the
+///                              queue slot and the tenant reservation.
+///
+/// The degradation ladder (DESIGN.md §10.3) shrinks work before shedding
+/// it: under light pressure requests keep their deadline but lose effort
+/// budget; under heavy pressure both shrink hard; only a full queue (or an
+/// exhausted tenant cap) rejects. The ladder thresholds are percentages of
+/// queue occupancy measured *before* this request's reservation, so the
+/// decision sequence for a burst is deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fo2dt {
+
+/// Per-tenant ceilings (0 = unlimited). Applied before the ladder.
+struct TenantQuota {
+  uint64_t max_deadline_ms = 0;
+  uint64_t max_effort = 0;
+  uint64_t max_bytes = 0;
+};
+
+struct AdmissionConfig {
+  /// Queue slots shared by all tenants; a full queue rejects.
+  uint64_t queue_limit = 64;
+  /// Per-tenant cap on requests admitted and not yet finished (queued +
+  /// in-flight). 0 = unlimited.
+  uint64_t tenant_active_limit = 8;
+  /// Ladder thresholds: occupancy percentage (of queue_limit) at which
+  /// light / heavy degradation starts.
+  uint64_t degrade_light_pct = 50;
+  uint64_t degrade_heavy_pct = 75;
+  /// Budget divisors applied by the two ladder rungs.
+  uint64_t light_divisor = 4;
+  uint64_t heavy_divisor = 16;
+  /// Quota applied to every tenant (this server is multi-tenant-fair, not
+  /// per-tenant-tiered; a tiered map would slot in here).
+  TenantQuota quota;
+};
+
+enum class AdmitAction {
+  kAccept,        // full budgets (after quota clamp)
+  kDegradeLight,  // effort / light_divisor
+  kDegradeHeavy,  // effort and deadline / heavy_divisor
+  kReject,        // queue full or tenant cap exhausted
+};
+
+/// What the worker should actually run with.
+struct AdmitDecision {
+  AdmitAction action = AdmitAction::kReject;
+  /// Human-readable reason, set for rejections.
+  std::string detail;
+  /// Queue depth observed before this request's reservation.
+  uint64_t queue_depth = 0;
+  /// Effective budgets after quota clamp + ladder (accept/degrade only).
+  uint64_t deadline_ms = 0;
+  uint64_t max_bytes = 0;
+  uint64_t max_effort = 0;
+};
+
+/// Requested budgets as they arrived on the wire (0 = server default).
+struct RequestedBudgets {
+  uint64_t deadline_ms = 0;
+  uint64_t max_bytes = 0;
+  uint64_t max_effort = 0;
+};
+
+struct AdmissionStats {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t degraded = 0;
+  uint64_t queue_depth = 0;
+  uint64_t queue_depth_peak = 0;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionConfig config, uint64_t default_deadline_ms)
+      : config_(config), default_deadline_ms_(default_deadline_ms) {}
+
+  /// Decides this request's fate and, on accept/degrade, reserves one queue
+  /// slot and one tenant-active slot. Thread-safe.
+  AdmitDecision Admit(const std::string& tenant,
+                      const RequestedBudgets& requested);
+
+  /// A worker dequeued an admitted item: the queue slot frees, the tenant
+  /// reservation stays until OnFinish.
+  void OnDequeue();
+
+  /// An admitted item finished solving (any outcome).
+  void OnFinish(const std::string& tenant);
+
+  /// An admitted item was dropped while still queued (client disconnect):
+  /// releases both the queue slot and the tenant reservation.
+  void OnAbandon(const std::string& tenant);
+
+  AdmissionStats stats() const;
+
+ private:
+  const AdmissionConfig config_;
+  const uint64_t default_deadline_ms_;
+
+  mutable std::mutex mu_;
+  uint64_t queue_depth_ = 0;
+  AdmissionStats stats_;
+  std::map<std::string, uint64_t> tenant_active_;
+};
+
+}  // namespace fo2dt

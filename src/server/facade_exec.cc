@@ -1,0 +1,487 @@
+#include "server/facade_exec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "automata/automaton_io.h"
+#include "common/execution_context.h"
+#include "common/flight_recorder.h"
+#include "common/registry_names.h"
+#include "common/strings.h"
+#include "constraints/constraints.h"
+#include "datatree/text_io.h"
+#include "frontend/solver.h"
+#include "logic/parser.h"
+#include "vata/vata.h"
+#include "xpath/xpath.h"
+
+namespace fo2dt {
+
+namespace {
+
+/// First whitespace-delimited word of \p line; \p rest gets the remainder
+/// (with the single separating space stripped).
+std::string SplitWord(const std::string& line, std::string* rest) {
+  size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    *rest = "";
+    return line;
+  }
+  *rest = line.substr(space + 1);
+  return line.substr(0, space);
+}
+
+uint64_t ParseU64(const std::string& s) {
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// A requested budget clamped from above by a cap (0 = uncapped). The
+/// shedding ladder shrinks caps, never raises requests.
+uint64_t CapBudget(uint64_t requested, uint64_t cap) {
+  if (cap == 0) return requested;
+  return std::min(requested, cap);
+}
+
+/// Sanity ceiling on alphabet sizes a request body can demand. Bodies are
+/// network-facing: a hostile `labels 18446744073709551615` (or a formula
+/// mentioning l999999999) must fail parsing, not materialize the alphabet.
+constexpr size_t kMaxBodyLabels = 1u << 20;
+
+Result<Alphabet> MakeBoundedReplayAlphabet(size_t n) {
+  if (n > kMaxBodyLabels) {
+    return Status::ParseError(StringFormat(
+        "alphabet size %llu implausibly large (cap %llu)",
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(kMaxBodyLabels)));
+  }
+  return MakeReplayAlphabet(n);
+}
+
+/// Shared per-body state while walking the facade lines.
+struct BodyReader {
+  const std::vector<std::string>& lines;
+  size_t next = 0;
+
+  bool Done() const { return next >= lines.size(); }
+  const std::string& Peek() const { return lines[next]; }
+  std::string Take() { return lines[next++]; }
+
+  /// Consumes the 6-line automaton section that follows a "schema"/"filter"
+  /// marker line.
+  Result<TreeAutomaton> TakeAutomaton() {
+    std::string text;
+    for (int i = 0; i < 6 && !Done(); ++i) text += Take() + "\n";
+    return ParseTreeAutomaton(text);
+  }
+};
+
+struct ParsedBudgets {
+  std::map<std::string, uint64_t> values;
+
+  uint64_t Get(const char* key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+/// Collects `budget k v` and `flag k v` lines wherever they appear.
+bool ConsumeCommon(BodyReader* body, ParsedBudgets* budgets,
+                   ParsedBudgets* flags, size_t* labels) {
+  std::string rest;
+  std::string word = SplitWord(body->Peek(), &rest);
+  if (word == "budget") {
+    std::string value;
+    std::string key = SplitWord(rest, &value);
+    budgets->values[key] = ParseU64(value);
+  } else if (word == "flag") {
+    std::string value;
+    std::string key = SplitWord(rest, &value);
+    flags->values[key] = ParseU64(value);
+  } else if (word == "labels") {
+    *labels = static_cast<size_t>(ParseU64(rest));
+  } else {
+    return false;
+  }
+  (void)body->Take();
+  return true;
+}
+
+Result<SolveOutcome> ExecFrontendSat(const std::vector<std::string>& body_lines,
+                                     const ExecutionContext* exec,
+                                     const FacadeBudgetCaps& caps) {
+  BodyReader body{body_lines};
+  ParsedBudgets budgets, flags;
+  size_t labels = 0;
+  std::optional<TreeAutomaton> filter;
+  std::string formula_text;
+  // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
+  while (!body.Done()) {
+    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
+    std::string rest;
+    std::string word = SplitWord(body.Peek(), &rest);
+    if (word == "filter") {
+      (void)body.Take();
+      FO2DT_ASSIGN_OR_RETURN(TreeAutomaton a, body.TakeAutomaton());
+      filter = std::move(a);
+    } else if (word == "formula") {
+      (void)body.Take();
+      formula_text = rest;
+    } else {
+      return Status::ParseError(StringFormat(
+          "unexpected line '%s' in %s body", body.Peek().c_str(),
+          names::kFacadeFrontendSat));
+    }
+  }
+  if (formula_text.empty()) {
+    return Status::ParseError(StringFormat("%s body has no formula",
+                                           names::kFacadeFrontendSat));
+  }
+  FO2DT_ASSIGN_OR_RETURN(
+      Alphabet alphabet,
+      MakeBoundedReplayAlphabet(std::max(labels, MaxCanonicalLabel(body_lines))));
+  FO2DT_ASSIGN_OR_RETURN(Formula sentence,
+                         ParseFormula(formula_text, &alphabet));
+  SolverOptions options;
+  options.num_labels = labels;
+  options.max_model_nodes =
+      static_cast<size_t>(budgets.Get("max_model_nodes", 6));
+  options.max_steps = CapBudget(budgets.Get("max_steps", 20000000),
+                                caps.max_effort);
+  options.use_counting_abstraction = flags.Get("use_counting_abstraction", 1) != 0;
+  if (filter.has_value()) options.structural_filter = &*filter;
+  options.exec = exec;
+  return SolveOutcomeFromSat(CheckFo2SatisfiabilityBounded(sentence, options));
+}
+
+struct ConstraintBody {
+  TreeAutomaton schema;
+  ConstraintSet set;
+  std::string conclusion_text;
+  ParsedBudgets budgets;
+};
+
+Result<ConstraintBody> ParseConstraintBody(
+    const std::vector<std::string>& body_lines) {
+  BodyReader body{body_lines};
+  ConstraintBody out;
+  ParsedBudgets flags;
+  size_t labels = 0;
+  bool schema_seen = false;
+  // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
+  while (!body.Done()) {
+    if (ConsumeCommon(&body, &out.budgets, &flags, &labels)) continue;
+    std::string rest;
+    std::string word = SplitWord(body.Peek(), &rest);
+    if (word == "schema") {
+      (void)body.Take();
+      FO2DT_ASSIGN_OR_RETURN(out.schema, body.TakeAutomaton());
+      schema_seen = true;
+    } else if (word == "key") {
+      (void)body.Take();
+      std::string attr;
+      std::string elem = SplitWord(rest, &attr);
+      out.set.keys.push_back(UnaryKey{
+          static_cast<Symbol>(ParseU64(elem)),
+          static_cast<Symbol>(ParseU64(attr))});
+    } else if (word == "inclusion") {
+      (void)body.Take();
+      std::istringstream fields(rest);
+      uint64_t fe = 0, fa = 0, te = 0, ta = 0;
+      fields >> fe >> fa >> te >> ta;
+      out.set.inclusions.push_back(UnaryInclusion{
+          static_cast<Symbol>(fe), static_cast<Symbol>(fa),
+          static_cast<Symbol>(te), static_cast<Symbol>(ta)});
+    } else if (word == "conclusion") {
+      (void)body.Take();
+      out.conclusion_text = rest;
+    } else {
+      return Status::ParseError(StringFormat(
+          "unexpected line '%s' in constraints body", body.Peek().c_str()));
+    }
+  }
+  if (!schema_seen) {
+    return Status::ParseError("constraints body has no schema");
+  }
+  return out;
+}
+
+Result<SolveOutcome> ExecConstraints(const std::string& facade,
+                                     const std::vector<std::string>& body_lines,
+                                     const ExecutionContext* exec,
+                                     const FacadeBudgetCaps& caps) {
+  FO2DT_ASSIGN_OR_RETURN(ConstraintBody body, ParseConstraintBody(body_lines));
+  if (facade == names::kFacadeConstraintsKeyfk) {
+    LctaOptions options;
+    options.max_ilp_nodes = static_cast<size_t>(
+        CapBudget(body.budgets.Get("max_ilp_nodes", 200000), caps.max_effort));
+    options.max_cuts = static_cast<size_t>(body.budgets.Get("max_cuts", 200));
+    options.max_dnf_branches =
+        static_cast<size_t>(body.budgets.Get("max_dnf_branches", 4096));
+    options.num_threads = 1;  // single-threaded replay is deterministic
+    options.exec = exec;
+    return SolveOutcomeFromSat(
+        CheckKeyForeignKeyConsistencyIlp(body.schema, body.set, options));
+  }
+  SolverOptions options;
+  options.max_model_nodes =
+      static_cast<size_t>(body.budgets.Get("max_model_nodes", 6));
+  options.max_steps = CapBudget(body.budgets.Get("max_steps", 20000000),
+                                caps.max_effort);
+  options.exec = exec;
+  if (facade == names::kFacadeConstraintsImplication) {
+    if (body.conclusion_text.empty()) {
+      return Status::ParseError("implication body has no conclusion");
+    }
+    FO2DT_ASSIGN_OR_RETURN(
+        Alphabet alphabet,
+        MakeBoundedReplayAlphabet(std::max(body.schema.num_symbols(),
+                                           MaxCanonicalLabel(body_lines))));
+    FO2DT_ASSIGN_OR_RETURN(Formula conclusion,
+                           ParseFormula(body.conclusion_text, &alphabet));
+    return SolveOutcomeFromSat(
+        CheckImplicationBounded(body.schema, body.set, conclusion, options));
+  }
+  return SolveOutcomeFromSat(
+      CheckConsistencyBounded(body.schema, body.set, options));
+}
+
+Result<SolveOutcome> ExecXpath(const std::string& facade,
+                               const std::vector<std::string>& body_lines,
+                               const ExecutionContext* exec,
+                               const FacadeBudgetCaps& caps) {
+  BodyReader body{body_lines};
+  ParsedBudgets budgets, flags;
+  size_t labels = 0;
+  std::optional<TreeAutomaton> schema;
+  std::vector<std::string> xpath_texts;
+  // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
+  while (!body.Done()) {
+    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
+    std::string rest;
+    std::string word = SplitWord(body.Peek(), &rest);
+    if (word == "schema") {
+      (void)body.Take();
+      FO2DT_ASSIGN_OR_RETURN(TreeAutomaton a, body.TakeAutomaton());
+      schema = std::move(a);
+    } else if (word == "xpath") {
+      (void)body.Take();
+      xpath_texts.push_back(rest);
+    } else {
+      return Status::ParseError(StringFormat(
+          "unexpected line '%s' in xpath body", body.Peek().c_str()));
+    }
+  }
+  FO2DT_ASSIGN_OR_RETURN(
+      Alphabet alphabet,
+      MakeBoundedReplayAlphabet(std::max(labels, MaxCanonicalLabel(body_lines))));
+  std::vector<XpPath> paths;
+  for (const std::string& text : xpath_texts) {
+    FO2DT_ASSIGN_OR_RETURN(XpPath p, ParseXPath(text, &alphabet));
+    paths.push_back(std::move(p));
+  }
+  SolverOptions options;
+  options.max_model_nodes =
+      static_cast<size_t>(budgets.Get("max_model_nodes", 6));
+  options.max_steps = CapBudget(budgets.Get("max_steps", 20000000),
+                                caps.max_effort);
+  options.exec = exec;
+  const TreeAutomaton* schema_ptr = schema.has_value() ? &*schema : nullptr;
+  if (facade == names::kFacadeXpathContainment) {
+    if (paths.size() != 2) {
+      return Status::ParseError("xpath containment body needs two xpath lines");
+    }
+    return SolveOutcomeFromSat(
+        CheckXPathContainment(paths[0], paths[1], schema_ptr, options));
+  }
+  if (paths.size() != 1) {
+    return Status::ParseError("xpath sat body needs one xpath line");
+  }
+  return SolveOutcomeFromSat(
+      CheckXPathSatisfiability(paths[0], schema_ptr, options));
+}
+
+Result<CounterVec> TakeVec(std::istringstream* fields, size_t n) {
+  CounterVec v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(*fields >> v[i])) {
+      return Status::ParseError("short counter vector in vata body");
+    }
+  }
+  return v;
+}
+
+Result<SolveOutcome> ExecVata(const std::vector<std::string>& body_lines,
+                              const ExecutionContext* exec,
+                              const FacadeBudgetCaps& caps) {
+  BodyReader body{body_lines};
+  ParsedBudgets budgets, flags;
+  size_t labels = 0;
+  VataAutomaton a;
+  std::string tree_text;
+  // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
+  while (!body.Done()) {
+    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
+    std::string rest;
+    std::string word = SplitWord(body.Peek(), &rest);
+    if (word == "vata") {
+      (void)body.Take();
+      std::istringstream fields(rest);
+      fields >> a.num_counters >> a.num_states >> a.num_labels;
+      // Sanity caps before anything allocates proportionally to the header:
+      // every rule carries CounterVec(num_counters) and the alphabet
+      // materializes num_labels names, so a hostile header must fail here.
+      constexpr size_t kMaxVataDim = 1u << 20;
+      if (a.num_counters > kMaxVataDim || a.num_states > kMaxVataDim ||
+          a.num_labels > kMaxVataDim) {
+        return Status::ParseError(
+            "vata header dimensions implausibly large");
+      }
+    } else if (word == "accepting") {
+      (void)body.Take();
+      std::istringstream fields(rest);
+      size_t k = 0;
+      fields >> k;
+      // Stops at extraction failure, not at k: a hostile count with no
+      // matching payload must not drive the loop.
+      for (size_t i = 0; i < k; ++i) {
+        VataState q = 0;
+        if (!(fields >> q)) {
+          return Status::ParseError("short accepting list in vata body");
+        }
+        a.accepting.push_back(q);
+      }
+    } else if (word == "leafrules") {
+      size_t k = static_cast<size_t>(ParseU64(rest));
+      (void)body.Take();
+      for (size_t i = 0; i < k && !body.Done(); ++i) {
+        std::istringstream fields(body.Take());
+        VataLeafRule rule;
+        fields >> rule.label >> rule.state;
+        FO2DT_ASSIGN_OR_RETURN(rule.vector, TakeVec(&fields, a.num_counters));
+        a.leaf_rules.push_back(std::move(rule));
+      }
+    } else if (word == "transitions") {
+      size_t k = static_cast<size_t>(ParseU64(rest));
+      (void)body.Take();
+      for (size_t i = 0; i < k && !body.Done(); ++i) {
+        std::istringstream fields(body.Take());
+        VataTransition tr;
+        fields >> tr.label >> tr.left_state;
+        FO2DT_ASSIGN_OR_RETURN(tr.take_left, TakeVec(&fields, a.num_counters));
+        fields >> tr.right_state;
+        FO2DT_ASSIGN_OR_RETURN(tr.take_right, TakeVec(&fields, a.num_counters));
+        fields >> tr.result_state;
+        FO2DT_ASSIGN_OR_RETURN(tr.add, TakeVec(&fields, a.num_counters));
+        a.transitions.push_back(std::move(tr));
+      }
+    } else if (word == "tree") {
+      (void)body.Take();
+      tree_text = rest;
+    } else {
+      return Status::ParseError(StringFormat(
+          "unexpected line '%s' in vata body", body.Peek().c_str()));
+    }
+  }
+  if (tree_text.empty()) {
+    return Status::ParseError("vata body has no tree");
+  }
+  FO2DT_ASSIGN_OR_RETURN(
+      Alphabet alphabet,
+      MakeBoundedReplayAlphabet(
+          std::max(a.num_labels, MaxCanonicalLabel(body_lines))));
+  FO2DT_ASSIGN_OR_RETURN(DataTree t, ParseDataTree(tree_text, &alphabet));
+  size_t max_candidates = static_cast<size_t>(
+      CapBudget(budgets.Get("max_candidates", 100000), caps.max_effort));
+  Result<bool> accepted = VataAccepts(a, t, max_candidates, exec);
+  SolveOutcome outcome;
+  if (accepted.ok()) {
+    outcome.verdict = *accepted ? "ACCEPT" : "REJECT";
+  } else {
+    outcome.verdict = std::string("ERROR:") +
+                      StatusCodeToString(accepted.status().code());
+    if (const StopReason* reason = accepted.status().stop_reason()) {
+      outcome.stop = *reason;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+const char* LookupFacadeName(const std::string& facade) {
+  for (const char* registered : names::kAllFacades) {
+    if (facade == registered) return registered;
+  }
+  return nullptr;
+}
+
+bool FacadeIsExecutable(const std::string& facade) {
+  // Every registered facade except dnf_sat, whose DataNormalForm input has
+  // no textual body parser (SerializeDnf is hash-only).
+  return LookupFacadeName(facade) != nullptr &&
+         facade != names::kFacadeFrontendDnfSat;
+}
+
+size_t MaxCanonicalLabel(const std::vector<std::string>& body) {
+  size_t alpha = 0;
+  for (const std::string& line : body) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != 'l') continue;
+      if (i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
+                    line[i - 1] == '_')) {
+        continue;
+      }
+      size_t j = i + 1;
+      uint64_t value = 0;
+      // fo2dt-lint: allow(no-checkpoint, digit scan bounded by line length)
+      while (j < line.size() && line[j] >= '0' && line[j] <= '9') {
+        value = value * 10 + static_cast<uint64_t>(line[j] - '0');
+        // Saturate above the body-label cap instead of wrapping: a hostile
+        // l<19 digits> token must stay over the cap so alphabet
+        // construction rejects it.
+        if (value > kMaxBodyLabels) value = kMaxBodyLabels + 1;
+        ++j;
+      }
+      if (j == i + 1) continue;  // bare 'l'
+      if (j < line.size() && (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                              line[j] == '_')) {
+        continue;  // identifier like l0abc, not a canonical label
+      }
+      if (value + 1 > alpha) alpha = static_cast<size_t>(value + 1);
+    }
+  }
+  return alpha;
+}
+
+Result<SolveOutcome> ExecuteFacadeBody(const std::string& facade,
+                                       const std::vector<std::string>& body,
+                                       const ExecutionContext* exec,
+                                       const FacadeBudgetCaps& caps) {
+  if (facade == names::kFacadeFrontendSat) {
+    return ExecFrontendSat(body, exec, caps);
+  }
+  if (facade == names::kFacadeConstraintsConsistency ||
+      facade == names::kFacadeConstraintsImplication ||
+      facade == names::kFacadeConstraintsKeyfk) {
+    return ExecConstraints(facade, body, exec, caps);
+  }
+  if (facade == names::kFacadeXpathSat ||
+      facade == names::kFacadeXpathContainment) {
+    return ExecXpath(facade, body, exec, caps);
+  }
+  if (facade == names::kFacadeVataAccepts) {
+    return ExecVata(body, exec, caps);
+  }
+  return Status::NotImplemented(StringFormat(
+      "facade '%s' has no execution path", facade.c_str()));
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,68 @@
+/// \file facade_exec.h
+/// \brief Shared facade execution core: runs one serialized facade body
+/// (the `input.fo2dt` line grammar of common/flight_recorder.h) under an
+/// ExecutionContext and returns the SolveOutcome.
+///
+/// Two consumers share this grammar and must never drift apart:
+///
+///  * `tools/replay/fo2dt_replay` — deterministic re-execution of captured
+///    post-mortem bundles;
+///  * `fo2dtd` (src/server/server.h) — the solve server, whose requests
+///    carry exactly this body text over the wire.
+///
+/// The body is a list of lines: common `budget <key> <value>`,
+/// `flag <key> <value>` and `labels <n>` lines plus facade-specific payload
+/// lines (`formula ...`, `schema` + 6-line automaton, `key <e> <a>`,
+/// `vata ...`, ...). See DESIGN.md §8 for the full grammar.
+///
+/// The server threads per-request quota enforcement through
+/// FacadeBudgetCaps: a non-zero cap clamps the body's requested effort
+/// budget (max_steps / max_ilp_nodes / max_candidates, whichever drives the
+/// facade) from above, which is how the overload shedding ladder shrinks
+/// work without rewriting request text.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/query_log.h"
+#include "common/status.h"
+
+namespace fo2dt {
+
+class ExecutionContext;
+
+/// Upper bounds imposed on the body's requested budgets (0 = no cap).
+struct FacadeBudgetCaps {
+  /// Caps the facade's driving effort budget: max_steps for the bounded
+  /// search facades, max_ilp_nodes for constraints.keyfk, max_candidates
+  /// for vata.accepts.
+  uint64_t max_effort = 0;
+};
+
+/// Maps a wire facade name onto the registered constant (names::kFacade*),
+/// or nullptr when \p facade is not a registered facade. Server code keys
+/// recorders and logs on the returned static string.
+const char* LookupFacadeName(const std::string& facade);
+
+/// True when ExecuteFacadeBody can run \p facade (a registered facade with
+/// a body parser; xpath facades have parsers, dnf_sat does not).
+bool FacadeIsExecutable(const std::string& facade);
+
+/// The canonical-label alphabet size mentioned anywhere in \p body ("l7"
+/// forces at least 8 labels). Bodies serialize formulas positionally over
+/// l0..lN, so the replay alphabet must cover every mentioned id.
+size_t MaxCanonicalLabel(const std::vector<std::string>& body);
+
+/// Parses and executes one facade body under \p exec, clamping budgets by
+/// \p caps. Returns the outcome (which is also where degraded solves
+/// surface, as UNKNOWN + StopReason), or a Status for malformed bodies and
+/// non-budget failures.
+Result<SolveOutcome> ExecuteFacadeBody(const std::string& facade,
+                                       const std::vector<std::string>& body,
+                                       const ExecutionContext* exec,
+                                       const FacadeBudgetCaps& caps = {});
+
+}  // namespace fo2dt

@@ -1,0 +1,236 @@
+#include "server/protocol.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace fo2dt {
+
+namespace {
+
+/// Flat JSON scanner over one request line. Positions in errors are 0-based
+/// byte offsets — request lines are single lines, so line/column adds
+/// nothing over the offset.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StringFormat(
+        "%s in request line (byte %llu)", what.c_str(),
+        static_cast<unsigned long long>(pos_)));
+  }
+
+  void SkipSpace() {
+    for (; pos_ < text_.size(); ++pos_) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') break;
+    }
+  }
+
+  bool Done() const { return pos_ >= text_.size(); }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void Advance() { ++pos_; }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (Done() || text_[pos_] != c) {
+      return Error(StringFormat("expected '%c'", c));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// Parses a JSON string literal (opening quote already NOT consumed).
+  /// Handles the standard escapes including \uXXXX (encoded as UTF-8;
+  /// surrogate pairs are rejected — facade bodies are ASCII text formats).
+  Result<std::string> String() {
+    FO2DT_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    for (; pos_ < text_.size(); ++pos_) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) return Error("raw control byte in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      ++pos_;
+      if (Done()) return Error("dangling escape");
+      char e = text_[pos_];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (Done()) return Error("truncated \\u escape");
+            char h = text_[pos_];
+            uint32_t digit;
+            if (h >= '0' && h <= '9') digit = static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') digit = static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') digit = static_cast<uint32_t>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+            code = code * 16 + digit;
+          }
+          if (code >= 0xd800 && code <= 0xdfff) {
+            return Error("surrogate \\u escape unsupported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  /// Non-negative integer (the protocol has no floats or negatives).
+  Result<uint64_t> Integer() {
+    SkipSpace();
+    size_t start = pos_;
+    uint64_t value = 0;
+    for (; pos_ < text_.size(); ++pos_) {
+      char c = text_[pos_];
+      if (c < '0' || c > '9') break;
+      uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) return Error("integer overflows");
+      value = value * 10 + digit;
+    }
+    if (pos_ == start) return Error("expected integer");
+    return value;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void SplitBodyLines(const std::string& joined, std::vector<std::string>* out) {
+  size_t start = 0;
+  for (size_t i = 0; i <= joined.size(); ++i) {
+    if (i == joined.size() || joined[i] == '\n') {
+      if (i > start) out->push_back(joined.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+}
+
+}  // namespace
+
+Result<ServerRequest> ParseRequestLine(const std::string& line) {
+  JsonScanner scan(line);
+  ServerRequest req;
+  FO2DT_RETURN_NOT_OK(scan.Expect('{'));
+  scan.SkipSpace();
+  // One iteration per key; each consumes at least one byte, bounded by the
+  // transport's line-length cap.
+  bool first_member = true;
+  // fo2dt-lint: allow(no-checkpoint, parse loop bounded by request line length)
+  while (true) {
+    scan.SkipSpace();
+    // '}' closes the object only when not preceded by a comma: a trailing
+    // comma ("{\"op\":\"x\",}") is hostile-grammar, not leniency.
+    if (first_member && scan.Peek() == '}') {
+      scan.Advance();
+      break;
+    }
+    first_member = false;
+    FO2DT_ASSIGN_OR_RETURN(std::string key, scan.String());
+    FO2DT_RETURN_NOT_OK(scan.Expect(':'));
+    scan.SkipSpace();
+    if (key == "op" || key == "id" || key == "tenant" || key == "facade" ||
+        key == "body") {
+      FO2DT_ASSIGN_OR_RETURN(std::string value, scan.String());
+      if (key == "op") req.op = value;
+      else if (key == "id") req.id = value;
+      else if (key == "tenant") req.tenant = value;
+      else if (key == "facade") req.facade = value;
+      else SplitBodyLines(value, &req.body);
+    } else if (key == "deadline_ms" || key == "max_bytes" ||
+               key == "max_effort") {
+      FO2DT_ASSIGN_OR_RETURN(uint64_t value, scan.Integer());
+      if (key == "deadline_ms") req.deadline_ms = value;
+      else if (key == "max_bytes") req.max_bytes = value;
+      else req.max_effort = value;
+    } else {
+      return scan.Error(StringFormat("unknown request key '%s'",
+                                     JsonEscape(key).c_str()));
+    }
+    scan.SkipSpace();
+    if (scan.Peek() == ',') {
+      scan.Advance();
+      continue;
+    }
+    if (scan.Peek() == '}') {
+      scan.Advance();
+      break;
+    }
+    return scan.Error("expected ',' or '}'");
+  }
+  scan.SkipSpace();
+  if (!scan.Done()) return scan.Error("trailing content after request object");
+  if (req.op.empty()) return Status::ParseError("request has no op");
+  return req;
+}
+
+std::string ServerResponse::ToJsonLine() const {
+  std::string out = "{";
+  auto add_str = [&out](const char* key, const std::string& value) {
+    if (value.empty()) return;
+    if (out.size() > 1) out += ",";
+    out += StringFormat("\"%s\":\"%s\"", key, JsonEscape(value).c_str());
+  };
+  auto add_int = [&out](const char* key, uint64_t value) {
+    if (out.size() > 1) out += ",";
+    out += StringFormat("\"%s\":%llu", key,
+                        static_cast<unsigned long long>(value));
+  };
+  add_str("id", id);
+  add_str("status", status);
+  add_str("verdict", verdict);
+  add_str("method", method);
+  if (steps != 0) add_int("steps", steps);
+  add_str("stop_kind", stop_kind);
+  add_str("stop_module", stop_module);
+  add_str("cache", cache);
+  add_str("detail", detail);
+  add_int("queue_depth", queue_depth);
+  if (degraded) add_int("degraded", 1);
+  if (!metrics.empty()) {
+    if (out.size() > 1) out += ",";
+    out += "\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, value] : metrics) {
+      if (!first) out += ",";
+      first = false;
+      out += StringFormat("\"%s\":%llu", JsonEscape(key).c_str(),
+                          static_cast<unsigned long long>(value));
+    }
+    out += "}";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,85 @@
+/// \file protocol.h
+/// \brief fo2dtd wire protocol: line-delimited flat JSON over a Unix domain
+/// socket.
+///
+/// Every request is ONE line of JSON (a single flat object, no nesting) and
+/// produces exactly one response line. The grammar is deliberately small so
+/// hostile clients have a small attack surface; the parser rejects nested
+/// objects/arrays, caps string lengths at the transport's line limit, and
+/// reports byte-precise positions for malformed input.
+///
+/// Request fields:
+///   op        "solve" | "ping" | "stats"           (required)
+///   id        opaque echo token                    (optional)
+///   tenant    tenant name for quota accounting     (optional, "" = anon)
+///   facade    registered facade name               (solve only)
+///   body      facade body lines joined with '\n'   (solve only; the
+///             input.fo2dt grammar of server/facade_exec.h)
+///   deadline_ms / max_bytes / max_effort           requested budgets,
+///             clamped per-tenant by admission control (0 = server default)
+///
+/// Response fields:
+///   id        echoed request id
+///   status    "OK" | "OVERLOADED" | "ERROR"
+///   verdict/method/steps/stop_kind/stop_module/cache   solve outcome
+///   degraded  1 when the shedding ladder shrank this request's budgets
+///   queue_depth   admission queue depth observed at decision time
+///   detail    human-readable explanation for OVERLOADED / ERROR
+///   metrics   (stats op) flat object of server counter values
+///
+/// See DESIGN.md §10 for the full protocol contract.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/query_log.h"  // JsonEscape
+#include "common/status.h"
+
+namespace fo2dt {
+
+/// One parsed request line.
+struct ServerRequest {
+  std::string op;
+  std::string id;
+  std::string tenant;
+  std::string facade;
+  std::vector<std::string> body;  // split on '\n', empty lines dropped
+  uint64_t deadline_ms = 0;       // 0 = server default
+  uint64_t max_bytes = 0;         // 0 = server default
+  uint64_t max_effort = 0;        // 0 = body-requested budgets unclamped
+};
+
+/// One response line under construction.
+struct ServerResponse {
+  std::string id;
+  std::string status;  // "OK" / "OVERLOADED" / "ERROR"
+  std::string verdict;
+  std::string method;
+  uint64_t steps = 0;
+  std::string stop_kind;
+  std::string stop_module;
+  std::string cache;
+  std::string detail;
+  uint64_t queue_depth = 0;
+  bool degraded = false;
+  /// Extra flat integer fields (stats op counters).
+  std::map<std::string, uint64_t> metrics;
+
+  /// Serializes as one JSON line (trailing '\n' included). Fields with
+  /// default values are omitted so common responses stay short.
+  std::string ToJsonLine() const;
+};
+
+/// Parses one request line. The line must be a single flat JSON object whose
+/// values are strings, non-negative integers, or true/false; anything else
+/// (nesting, floats, negatives, duplicate keys, trailing garbage) is a
+/// kParseError whose message carries the byte offset. Unknown keys are
+/// rejected — the protocol is versioned by adding ops, not by silently
+/// ignoring fields a newer client thought mattered.
+Result<ServerRequest> ParseRequestLine(const std::string& line);
+
+}  // namespace fo2dt

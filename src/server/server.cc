@@ -1,0 +1,536 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/flight_recorder.h"
+#include "common/registry_names.h"
+#include "common/strings.h"
+#include "server/facade_exec.h"
+
+namespace fo2dt {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+
+/// Process-wide server counters mirrored into the MetricsRegistry so flight
+/// recorder bundles captured inside the daemon include the server's state.
+/// Globals (not per-instance) because the registry collect callback must
+/// outlive any one SolveServer.
+struct GlobalServerCounters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> worker_faults{0};
+  std::atomic<uint64_t> watchdog_kills{0};
+  std::atomic<uint64_t> disconnect_cancels{0};
+  std::atomic<uint64_t> queue_depth_peak{0};
+};
+
+GlobalServerCounters& GCounters() {
+  static GlobalServerCounters* counters = new GlobalServerCounters();
+  return *counters;
+}
+
+const MetricsSourceRegistrar kServerMetricsSource(
+    "server",
+    [](MetricsSnapshot* snap) {
+      GlobalServerCounters& c = GCounters();
+      snap->Set(names::kMetricServerAccepted,
+                static_cast<double>(c.accepted.load()));
+      snap->Set(names::kMetricServerRejectedOverload,
+                static_cast<double>(c.rejected.load()));
+      snap->Set(names::kMetricServerDegraded,
+                static_cast<double>(c.degraded.load()));
+      snap->Set(names::kMetricServerCompleted,
+                static_cast<double>(c.completed.load()));
+      snap->Set(names::kMetricServerWorkerFaults,
+                static_cast<double>(c.worker_faults.load()));
+      snap->Set(names::kMetricServerWatchdogKills,
+                static_cast<double>(c.watchdog_kills.load()));
+      snap->Set(names::kMetricServerDisconnectCancels,
+                static_cast<double>(c.disconnect_cancels.load()));
+      snap->Set(names::kMetricServerQueueDepthPeak,
+                static_cast<double>(c.queue_depth_peak.load()));
+    },
+    [] {
+      GlobalServerCounters& c = GCounters();
+      c.accepted = 0;
+      c.rejected = 0;
+      c.degraded = 0;
+      c.completed = 0;
+      c.worker_faults = 0;
+      c.watchdog_kills = 0;
+      c.disconnect_cancels = 0;
+      c.queue_depth_peak = 0;
+    });
+
+void MaxIntoAtomic(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  // fo2dt-lint: allow(no-checkpoint, CAS retry loop terminates in a bounded number of steps)
+  while (cur < value && !slot->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// One full send of \p data on \p fd. MSG_NOSIGNAL: a client that hung up
+/// mid-response must not SIGPIPE the daemon.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  // fo2dt-lint: allow(no-checkpoint, send loop bounded by response size)
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SolveServer::SolveServer(SolveServerOptions options)
+    : options_(std::move(options)),
+      admission_(options_.admission, options_.default_deadline_ms),
+      lifecycle_token_(CancellationToken::Create()),
+      accept_token_(CancellationToken::Create()) {}
+
+SolveServer::~SolveServer() { Shutdown(); }
+
+Status SolveServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("server needs a socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(StringFormat(
+        "socket path '%s' too long for AF_UNIX",
+        options_.socket_path.c_str()));
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StringFormat("socket(): %s", std::strerror(errno)));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a crash
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal(StringFormat(
+        "bind('%s'): %s", options_.socket_path.c_str(), std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status st = Status::Internal(
+        StringFormat("listen(): %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  started_ = true;
+  slots_.clear();
+  for (uint64_t i = 0; i < options_.num_workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (uint64_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SolveServer::AcceptLoop() {
+  pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (true) {
+    if (accept_token_.IsCancelled()) return;
+    int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the token
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    Status injected = Status::OK();
+    FO2DT_FAILPOINT(names::kFpServerAcceptFault, &injected);
+    if (!injected.ok()) {
+      // An injected accept fault loses this connection but must never take
+      // the loop down — the daemon's availability contract.
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->token = lifecycle_token_.Child();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void SolveServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  pollfd pfd{};
+  pfd.fd = conn->fd;
+  pfd.events = POLLIN;
+  while (true) {
+    if (conn->token.IsCancelled()) break;
+    int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > options_.max_request_line_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      ServerResponse resp;
+      resp.status = "ERROR";
+      resp.detail = StringFormat(
+          "request line exceeds %llu bytes",
+          static_cast<unsigned long long>(options_.max_request_line_bytes));
+      SendResponse(conn, resp);
+      break;
+    }
+    while (true) {
+      size_t nl = buffer.find('\n');
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      Result<ServerRequest> req = ParseRequestLine(line);
+      if (!req.ok()) {
+        ServerResponse resp;
+        resp.status = "ERROR";
+        resp.detail = req.status().message();
+        SendResponse(conn, resp);
+        continue;
+      }
+      Dispatch(conn, std::move(*req));
+    }
+  }
+  // Disconnect cancels this connection's queued and in-flight solves; the
+  // workers drop the responses.
+  uint64_t pending = conn->pending.load(std::memory_order_relaxed);
+  if (pending > 0) {
+    disconnect_cancels_.fetch_add(pending, std::memory_order_relaxed);
+    GCounters().disconnect_cancels.fetch_add(pending,
+                                             std::memory_order_relaxed);
+  }
+  conn->token.RequestCancel();
+}
+
+void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
+                           ServerRequest req) {
+  ServerResponse resp;
+  resp.id = req.id;
+  if (req.op == "ping") {
+    resp.status = "OK";
+    resp.detail = "pong";
+    SendResponse(conn, resp);
+    return;
+  }
+  if (req.op == "stats") {
+    resp.status = "OK";
+    ServerStats s = stats();
+    resp.queue_depth = s.admission.queue_depth;
+    resp.metrics[names::kMetricServerAccepted] = s.admission.accepted;
+    resp.metrics[names::kMetricServerRejectedOverload] = s.admission.rejected;
+    resp.metrics[names::kMetricServerDegraded] = s.admission.degraded;
+    resp.metrics[names::kMetricServerQueueDepthPeak] =
+        s.admission.queue_depth_peak;
+    resp.metrics[names::kMetricServerCompleted] = s.completed;
+    resp.metrics[names::kMetricServerWorkerFaults] = s.worker_faults;
+    resp.metrics[names::kMetricServerWatchdogKills] = s.watchdog_kills;
+    resp.metrics[names::kMetricServerDisconnectCancels] = s.disconnect_cancels;
+    SendResponse(conn, resp);
+    return;
+  }
+  if (req.op != "solve") {
+    resp.status = "ERROR";
+    resp.detail = StringFormat("unknown op '%s'", JsonEscape(req.op).c_str());
+    SendResponse(conn, resp);
+    return;
+  }
+
+  const char* facade = LookupFacadeName(req.facade);
+  if (facade == nullptr || !FacadeIsExecutable(req.facade)) {
+    resp.status = "ERROR";
+    resp.detail = StringFormat("unknown or non-executable facade '%s'",
+                               JsonEscape(req.facade).c_str());
+    SendResponse(conn, resp);
+    return;
+  }
+  if (req.body.empty()) {
+    resp.status = "ERROR";
+    resp.detail = "solve request has an empty body";
+    SendResponse(conn, resp);
+    return;
+  }
+
+  RequestedBudgets requested;
+  requested.deadline_ms = req.deadline_ms;
+  requested.max_bytes = req.max_bytes;
+  requested.max_effort = req.max_effort;
+  AdmitDecision decision = admission_.Admit(req.tenant, requested);
+  if (decision.action == AdmitAction::kReject) {
+    GCounters().rejected.fetch_add(1, std::memory_order_relaxed);
+    resp.status = "OVERLOADED";
+    resp.detail = decision.detail;
+    resp.queue_depth = decision.queue_depth;
+    SendResponse(conn, resp);
+    return;
+  }
+  GCounters().accepted.fetch_add(1, std::memory_order_relaxed);
+  if (decision.action != AdmitAction::kAccept) {
+    GCounters().degraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  MaxIntoAtomic(&GCounters().queue_depth_peak, decision.queue_depth + 1);
+
+  WorkItem item;
+  item.conn = conn;
+  item.id = req.id;
+  item.tenant = req.tenant;
+  item.facade = facade;
+  item.body = std::move(req.body);
+  item.deadline_ms = decision.deadline_ms;
+  item.max_bytes = decision.max_bytes;
+  item.max_effort = decision.max_effort;
+  item.queue_depth = decision.queue_depth;
+  item.degraded = decision.action != AdmitAction::kAccept;
+  item.token = conn->token.Child();
+  conn->pending.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
+}
+
+void SolveServer::WorkerLoop(size_t worker_index) {
+  WorkerSlot* slot = slots_[worker_index].get();
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;  // spurious wake between drain phases
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    admission_.OnDequeue();
+    if (item.token.IsCancelled()) {
+      // Client went away while the item was queued; charge nothing.
+      admission_.OnFinish(item.tenant);
+      item.conn->pending.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    RunSolve(std::move(item), slot);
+  }
+}
+
+void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->busy = true;
+    slot->killed = false;
+    slot->start = std::chrono::steady_clock::now();
+    slot->deadline_ms = item.deadline_ms;
+    slot->token = item.token;
+  }
+
+  ExecutionContext exec;
+  exec.SetDeadlineAfter(std::chrono::milliseconds(item.deadline_ms));
+  exec.set_token(item.token);
+  if (item.max_bytes != 0) exec.set_max_bytes(item.max_bytes);
+
+  ServerResponse resp;
+  resp.id = item.id;
+  resp.queue_depth = item.queue_depth;
+  resp.degraded = item.degraded;
+
+  // The server-level recorder wraps the whole worker execution: a worker
+  // fault or watchdog cancel still leaves a query-log record and (policy
+  // permitting) a replayable bundle, because the facade body IS the replay
+  // input.
+  SolveRecorder rec(item.facade, &exec);
+  if (rec.active()) {
+    std::string joined;
+    for (const std::string& line : item.body) joined += line + "\n";
+    rec.SetInput(joined);
+    rec.SetReplayInput(joined);
+    rec.AddBudget("deadline_ms", item.deadline_ms);
+    if (item.max_effort != 0) rec.AddBudget("max_effort", item.max_effort);
+  }
+
+  Result<SolveOutcome> outcome = [&]() -> Result<SolveOutcome> {
+    Status injected = Status::OK();
+    FO2DT_FAILPOINT(names::kFpServerWorkerCrash, &injected);
+    if (!injected.ok()) {
+      worker_faults_.fetch_add(1, std::memory_order_relaxed);
+      GCounters().worker_faults.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+    FacadeBudgetCaps caps;
+    caps.max_effort = item.max_effort;
+    return ExecuteFacadeBody(item.facade, item.body, &exec, caps);
+  }();
+
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->busy = false;
+    slot->token = CancellationToken();
+  }
+  admission_.OnFinish(item.tenant);
+  item.conn->pending.fetch_sub(1, std::memory_order_relaxed);
+
+  if (outcome.ok()) {
+    resp.status = "OK";
+    resp.verdict = outcome->verdict;
+    resp.method = outcome->method;
+    resp.steps = outcome->steps;
+    if (outcome->stop.stopped()) {
+      resp.stop_kind = StopKindToString(outcome->stop.kind);
+      resp.stop_module = outcome->stop.module;
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    GCounters().completed.fetch_add(1, std::memory_order_relaxed);
+    rec.Finish(*outcome);
+  } else {
+    // Body parse errors, injected worker faults, memory-budget errors: the
+    // request fails, the daemon does not.
+    resp.status = "ERROR";
+    resp.detail = outcome.status().message();
+    SolveOutcome failed;
+    failed.verdict = std::string("ERROR:") +
+                     StatusCodeToString(outcome.status().code());
+    if (const StopReason* reason = outcome.status().stop_reason()) {
+      failed.stop = *reason;
+      resp.stop_kind = StopKindToString(reason->kind);
+      resp.stop_module = reason->module;
+    }
+    resp.verdict = failed.verdict;
+    rec.Finish(std::move(failed));
+  }
+  if (!item.token.IsCancelled()) SendResponse(item.conn, resp);
+}
+
+void SolveServer::WatchdogLoop() {
+  while (true) {
+    if (lifecycle_token_.IsCancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollIntervalMs));
+    auto now = std::chrono::steady_clock::now();
+    for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      if (!slot->busy || slot->killed) continue;
+      auto limit = slot->start +
+                   std::chrono::milliseconds(slot->deadline_ms +
+                                             options_.watchdog_grace_ms);
+      if (now < limit) continue;
+      // A solve past deadline + grace is stuck in a stretch of work that
+      // is not polling its checkpoint budget. Cancel it; the worker thread
+      // fails that one request and picks up the next.
+      slot->token.RequestCancel();
+      slot->killed = true;
+      watchdog_kills_.fetch_add(1, std::memory_order_relaxed);
+      GCounters().watchdog_kills.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SolveServer::SendResponse(const std::shared_ptr<Connection>& conn,
+                               const ServerResponse& resp) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->fd >= 0) (void)SendAll(conn->fd, resp.ToJsonLine());
+}
+
+void SolveServer::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // 1. Stop accepting. Closing the listener makes poll() fail fast.
+  accept_token_.RequestCancel();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Failpoint hook: stretch the drain so crash-safety tests can
+  // interrupt a drain in progress.
+  bool slow = false;
+  FO2DT_FAILPOINT(names::kFpServerSlowDrain, &slow);
+  if (slow) std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // 3. Drain: workers finish the queue (each item bounded by its own
+  // deadline plus the watchdog), then exit.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // 4. Watchdog is only needed while workers run.
+  lifecycle_token_.RequestCancel();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
+  // 5. Tear down connections: the lifecycle cancel already stops readers;
+  // shutdown() unblocks any reader mid-recv.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    if (conn->reader.joinable()) conn->reader.join();
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+ServerStats SolveServer::stats() const {
+  ServerStats out;
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.worker_faults = worker_faults_.load(std::memory_order_relaxed);
+  out.watchdog_kills = watchdog_kills_.load(std::memory_order_relaxed);
+  out.disconnect_cancels = disconnect_cancels_.load(std::memory_order_relaxed);
+  out.admission = admission_.stats();
+  return out;
+}
+
+}  // namespace fo2dt

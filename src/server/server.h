@@ -1,0 +1,167 @@
+/// \file server.h
+/// \brief fo2dtd core: a long-lived multi-tenant solve server over a Unix
+/// domain socket.
+///
+/// Threading model (DESIGN.md §10.2):
+///
+///   accept thread    poll()s the listener, one iteration per connection;
+///                    never blocks on a client — admission rejects instead.
+///   reader threads   one per connection: split request lines, answer
+///                    ping/stats inline, run solve admission, enqueue.
+///   worker pool      num_workers threads popping the bounded queue; each
+///                    solve runs under a fresh ExecutionContext whose
+///                    deadline/memory/effort budgets came out of admission.
+///   watchdog         scans busy workers every ~100 ms and cancels any
+///                    solve running past its deadline plus grace — a stuck
+///                    solver fails one request, never the daemon.
+///
+/// Cancellation is hierarchical: server lifecycle token → per-connection
+/// token → per-solve token. A client disconnect cancels that connection's
+/// queued and in-flight solves mid-flight; SIGTERM (Shutdown) stops the
+/// listener, drains the queue, and only then tears down connections, so the
+/// query log and solve-cache file are complete and parseable afterwards.
+///
+/// Failpoints (lint/asan/tsan builds): `server.accept_fault` fails one
+/// accept iteration, `server.worker_crash` fails one worker solve (the
+/// daemon stays up), `server.slow_drain` stretches the drain window so
+/// crash-safety tests can interrupt it.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "common/status.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+
+namespace fo2dt {
+
+struct SolveServerOptions {
+  /// Filesystem path the AF_UNIX listener binds (unlinked on shutdown).
+  std::string socket_path;
+  uint64_t num_workers = 4;
+  AdmissionConfig admission;
+  /// Deadline applied when a request names none (and quota allows it).
+  uint64_t default_deadline_ms = 2000;
+  /// Watchdog slack past a solve's deadline before it is force-cancelled.
+  uint64_t watchdog_grace_ms = 1000;
+  /// Hard cap on one request line; longer lines fail the connection.
+  uint64_t max_request_line_bytes = 4u << 20;
+};
+
+/// Counters owned by the server proper (admission owns accept/reject/degrade
+/// accounting; see AdmissionStats).
+struct ServerStats {
+  uint64_t completed = 0;
+  uint64_t worker_faults = 0;
+  uint64_t watchdog_kills = 0;
+  uint64_t disconnect_cancels = 0;
+  AdmissionStats admission;
+};
+
+class SolveServer {
+ public:
+  explicit SolveServer(SolveServerOptions options);
+  ~SolveServer();
+  SolveServer(const SolveServer&) = delete;
+  SolveServer& operator=(const SolveServer&) = delete;
+
+  /// Binds the socket and spawns accept/worker/watchdog threads. Fails if
+  /// the path cannot be bound (stale sockets are unlinked first).
+  Status Start();
+
+  /// Graceful drain: stop accepting, finish (or watchdog-cancel) queued and
+  /// in-flight solves, flush nothing — every log/cache append is already a
+  /// single O_APPEND write — then tear down connections. Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    CancellationToken token;       // child of the lifecycle token
+    std::mutex write_mu;
+    std::atomic<uint64_t> pending{0};  // admitted, not yet responded
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    std::string id;
+    std::string tenant;
+    const char* facade = nullptr;  // registered constant (LookupFacadeName)
+    std::vector<std::string> body;
+    uint64_t deadline_ms = 0;
+    uint64_t max_bytes = 0;
+    uint64_t max_effort = 0;
+    uint64_t queue_depth = 0;
+    bool degraded = false;
+    CancellationToken token;       // child of the connection token
+  };
+
+  /// Watchdog bookkeeping for one worker thread.
+  struct WorkerSlot {
+    std::mutex mu;
+    bool busy = false;
+    bool killed = false;
+    std::chrono::steady_clock::time_point start;
+    uint64_t deadline_ms = 0;
+    CancellationToken token;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WorkerLoop(size_t worker_index);
+  void WatchdogLoop();
+
+  /// Handles one parsed request on the reader thread; solve requests are
+  /// admitted + enqueued, everything else answers inline.
+  void Dispatch(const std::shared_ptr<Connection>& conn, ServerRequest req);
+
+  /// Runs one admitted solve on a worker thread and sends the response.
+  void RunSolve(WorkItem item, WorkerSlot* slot);
+
+  void SendResponse(const std::shared_ptr<Connection>& conn,
+                    const ServerResponse& resp);
+
+  const SolveServerOptions options_;
+  AdmissionController admission_;
+
+  CancellationToken lifecycle_token_;  // cancelled at final teardown
+  CancellationToken accept_token_;     // cancelled at drain start
+
+  int listen_fd_ = -1;
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  bool draining_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> worker_faults_{0};
+  std::atomic<uint64_t> watchdog_kills_{0};
+  std::atomic<uint64_t> disconnect_cancels_{0};
+};
+
+}  // namespace fo2dt

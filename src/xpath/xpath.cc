@@ -37,6 +37,19 @@ const char* AxisName(XpAxis axis) {
 // ---------------------------------------------------------------------------
 // Parser
 
+/// Recursive-descent depth ceiling. XPath text reaches this parser from the
+/// network (fo2dtd request bodies), so hostile "not(not(not(..." or nested
+/// "[.[.[..." predicates must produce a ParseError, not a stack overflow.
+constexpr size_t kMaxXPathDepth = 256;
+
+/// Tracks live recursion frames; paired with an entry check in every
+/// production that can self-recurse.
+struct XpDepthGuard {
+  explicit XpDepthGuard(size_t* depth) : depth_(depth) { ++*depth_; }
+  ~XpDepthGuard() { --*depth_; }
+  size_t* depth_;
+};
+
 class XPathParser {
  public:
   XPathParser(const std::string& text, Alphabet* labels)
@@ -132,6 +145,11 @@ class XPathParser {
   }
 
   Result<XpStep> ParseStep() {
+    if (depth_ >= kMaxXPathDepth) {
+      return Status::ParseError(
+          StringFormat("XPath nested too deeply at offset %zu", pos_));
+    }
+    XpDepthGuard guard(&depth_);
     XpStep step;
     FO2DT_ASSIGN_OR_RETURN(step.axis, ParseAxis());
     if (!Match("::")) return Status::ParseError("expected '::' after axis");
@@ -201,6 +219,11 @@ class XPathParser {
   }
 
   Result<XpPredicate> ParseUnary() {
+    if (depth_ >= kMaxXPathDepth) {
+      return Status::ParseError(
+          StringFormat("XPath nested too deeply at offset %zu", pos_));
+    }
+    XpDepthGuard guard(&depth_);
     if (Match("not")) {
       FO2DT_ASSIGN_OR_RETURN(XpPredicate inner, ParseUnary());
       XpPredicate node;
@@ -271,6 +294,7 @@ class XPathParser {
   const std::string& text_;
   Alphabet* labels_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,375 @@
+/// \file hostile_input_test.cc
+/// \brief Fuzz-style malformed-input hardening for every text parser that is
+/// reachable from the network through fo2dtd request bodies: tree-automaton
+/// text, FO2 formulas, XPath, data trees, the vata facade body, and the wire
+/// protocol's request lines.
+///
+/// The contract under test: hostile input — truncations, giant counts and
+/// dimensions, absurd nesting, non-UTF8 bytes — always comes back as a
+/// Status carrying position information. Never a crash, never an
+/// input-proportional allocation, never a hang.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automata/automaton_io.h"
+#include "common/status.h"
+#include "datatree/text_io.h"
+#include "logic/parser.h"
+#include "server/facade_exec.h"
+#include "server/protocol.h"
+#include "xpath/xpath.h"
+
+namespace fo2dt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tree-automaton text
+
+TEST(HostileAutomatonTest, GiantDimensionHeaderRejectedBeforeAllocation) {
+  // The constructor reserves num_symbols * num_states adjacency slots; this
+  // header asks for 2^48 of them from a few bytes of input. If the parser
+  // ever allocates proportionally, the test OOMs instead of failing politely.
+  auto r = ParseTreeAutomaton(
+      "automaton 16777216 16777216\n"
+      "initial 0\nnonfirst 0\naccepting 0\nhorizontal 0\nvertical 0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("implausibly large"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileAutomatonTest, GiantListCountRunsOutOfTokensNotMemory) {
+  // The list count promises ~2^64 entries the text does not contain. The
+  // parser must fail at "text ended early", not trust the count.
+  auto r = ParseTreeAutomaton(
+      "automaton 2 2\ninitial 18446744073709551615 0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line "), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileAutomatonTest, CountOverflowRejected) {
+  auto r = ParseTreeAutomaton(
+      "automaton 99999999999999999999999999 2\n"
+      "initial 0\nnonfirst 0\naccepting 0\nhorizontal 0\nvertical 0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overflows"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileAutomatonTest, OutOfRangeStateCarriesPosition) {
+  auto r = ParseTreeAutomaton(
+      "automaton 2 2\ninitial 1 7\n"
+      "nonfirst 0\naccepting 0\nhorizontal 0\nvertical 0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileAutomatonTest, NonUtf8BytesSanitizedInErrorMessage) {
+  std::string text = "automaton 2 2\ninitial 1 \xff\xfe\x01garbage\n";
+  auto r = ParseTreeAutomaton(text);
+  ASSERT_FALSE(r.ok());
+  // The offending token is echoed with non-printable bytes replaced, so the
+  // diagnostic itself stays clean text.
+  for (char c : r.status().message()) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    EXPECT_TRUE(byte >= 0x20 && byte < 0x7f) << "raw byte in error message";
+  }
+}
+
+TEST(HostileAutomatonTest, TruncationAtEveryByteFailsCleanly) {
+  const std::string valid =
+      "automaton 2 3\ninitial 1 0\nnonfirst 1 1\naccepting 1 2 1\n"
+      "horizontal 1 0 0 1\nvertical 1 1 1 2\n";
+  ASSERT_TRUE(ParseTreeAutomaton(valid).ok());
+  for (size_t cut = 0; cut + 1 < valid.size(); ++cut) {
+    auto r = ParseTreeAutomaton(valid.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "prefix of length " << cut << " parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    EXPECT_FALSE(r.status().message().empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FO2 formulas
+
+TEST(HostileFormulaTest, DeepParenNestingRejected) {
+  std::string text(100000, '(');
+  text += "a(x)";
+  text += std::string(100000, ')');
+  Alphabet labels;
+  auto r = ParseFormula(text, &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nested too deeply"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileFormulaTest, DeepNegationChainRejected) {
+  std::string text(100000, '!');
+  text += "a(x)";
+  Alphabet labels;
+  auto r = ParseFormula(text, &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nested too deeply"), std::string::npos);
+}
+
+TEST(HostileFormulaTest, DeepImplicationChainRejected) {
+  std::string text = "a(x)";
+  for (int i = 0; i < 100000; ++i) text += " -> a(x)";
+  Alphabet labels;
+  auto r = ParseFormula(text, &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nested too deeply"), std::string::npos);
+}
+
+TEST(HostileFormulaTest, DeepQuantifierChainRejected) {
+  std::string text;
+  for (int i = 0; i < 100000; ++i) text += "exists x. ";
+  text += "a(x)";
+  Alphabet labels;
+  auto r = ParseFormula(text, &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nested too deeply"), std::string::npos);
+}
+
+TEST(HostileFormulaTest, ReasonableNestingStillParses) {
+  // The depth ceiling must sit far above anything legitimate.
+  std::string text(64, '(');
+  text += "a(x)";
+  text += std::string(64, ')');
+  Alphabet labels;
+  EXPECT_TRUE(ParseFormula(text, &labels).ok());
+}
+
+TEST(HostileFormulaTest, ErrorsCarryLineAndColumn) {
+  Alphabet labels;
+  for (const char* bad : {"a(z)", "exists x a(x)", "a(x) &", "(a(x)",
+                          "\xff\xfe(x)", "x ~"}) {
+    auto r = ParseFormula(bad, &labels);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_NE(r.status().message().find("line "), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// XPath
+
+TEST(HostileXPathTest, DeepNotNestingRejected) {
+  std::string text = "Child::a[";
+  for (int i = 0; i < 100000; ++i) text += "not(";
+  text += "Child::b";
+  text += std::string(100000, ')');
+  text += "]";
+  Alphabet labels;
+  auto r = ParseXPath(text, &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nested too deeply"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileXPathTest, DeepPredicateNestingRejected) {
+  std::string text;
+  for (int i = 0; i < 100000; ++i) text += "Child::a[";
+  text += "Child::b";
+  text += std::string(100000, ']');
+  Alphabet labels;
+  auto r = ParseXPath(text, &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nested too deeply"), std::string::npos);
+}
+
+TEST(HostileXPathTest, ReasonableNestingStillParses) {
+  std::string text = "/Child::a[Child::b[Child::c[not(Child::d)]]]";
+  Alphabet labels;
+  EXPECT_TRUE(ParseXPath(text, &labels).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Data trees
+
+TEST(HostileDataTreeTest, DeepNestingRejected) {
+  std::string text;
+  for (int i = 0; i < 100000; ++i) text += "a:0 (";
+  text += "b:1";
+  text += std::string(100000, ')');
+  Alphabet labels;
+  auto r = ParseDataTree(text, &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nested too deeply"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileDataTreeTest, DataValueOverflowRejected) {
+  Alphabet labels;
+  auto r = ParseDataTree("a:99999999999999999999999999", &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overflows"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileDataTreeTest, TruncationsFailWithPosition) {
+  Alphabet labels;
+  for (const char* bad : {"", "a", "a:", "a:0 (", "a:0 (b:1", "a:0 ("}) {
+    auto r = ParseDataTree(bad, &labels);
+    ASSERT_FALSE(r.ok()) << "'" << bad << "' parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    EXPECT_NE(r.status().message().find("line "), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Facade bodies (the composite grammar fo2dtd feeds from the wire)
+
+TEST(HostileFacadeBodyTest, GiantLabelsLineRejected) {
+  auto r = ExecuteFacadeBody(
+      "frontend.sat",
+      {"labels 18446744073709551615", "formula exists x. l0(x)"}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("implausibly large"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileFacadeBodyTest, GiantCanonicalLabelTokenRejected) {
+  // MaxCanonicalLabel scans every body line for l<N> tokens; a 19-digit one
+  // must saturate above the cap, not wrap around to a small alphabet.
+  auto r = ExecuteFacadeBody(
+      "frontend.sat",
+      {"labels 1", "formula exists x. l18446744073709551617(x)"}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("implausibly large"), std::string::npos);
+}
+
+TEST(HostileFacadeBodyTest, GiantVataHeaderRejected) {
+  auto r = ExecuteFacadeBody(
+      "vata.accepts",
+      {"vata 18446744073709551615 2 1", "tree l0:0"}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("implausibly large"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileFacadeBodyTest, GiantVataAcceptingCountRejected) {
+  // The count promises 2^64-1 states the line does not carry; the loop must
+  // stop at extraction failure instead of pushing k entries.
+  auto r = ExecuteFacadeBody(
+      "vata.accepts",
+      {"vata 1 2 1", "accepting 18446744073709551615 1", "tree l0:0"},
+      nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("short accepting list"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileFacadeBodyTest, WellFormedVataBodyStillExecutes) {
+  auto r = ExecuteFacadeBody(
+      "vata.accepts",
+      {"vata 1 2 1", "accepting 1 1", "leafrules 1", "0 1 0", "tree l0:0"},
+      nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->verdict, "ACCEPT");
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol request lines
+
+TEST(HostileRequestLineTest, StructuralAttacksRejectedWithByteOffset) {
+  const char* bad_lines[] = {
+      "",                                  // empty
+      "not json",                          // no object
+      "{",                                 // unterminated object
+      "{\"op\"}",                          // missing value
+      "{\"op\":}",                         // empty value
+      "{\"op\":{\"nested\":1}}",           // nested object
+      "{\"op\":[1,2]}",                    // array
+      "{\"op\":-1}",                       // negative where string expected
+      "{\"deadline_ms\":-5}",              // negative integer
+      "{\"deadline_ms\":1.5}",             // float
+      "{\"deadline_ms\":99999999999999999999999999}",  // overflow
+      "{\"op\":\"solve\"} trailing",       // trailing garbage
+      "{\"op\":\"solve\",}",               // dangling comma
+      "{\"unknown_key\":\"x\"}",           // unknown key
+      "{\"op\":\"ping\" \"id\":\"r\"}",    // missing comma
+  };
+  for (const char* bad : bad_lines) {
+    auto r = ParseRequestLine(bad);
+    ASSERT_FALSE(r.ok()) << "'" << bad << "' parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    EXPECT_NE(r.status().message().find("byte "), std::string::npos)
+        << "'" << bad << "' -> " << r.status().ToString();
+  }
+}
+
+TEST(HostileRequestLineTest, StringEscapeAttacksRejected) {
+  const char* bad_lines[] = {
+      "{\"op\":\"solve",                  // unterminated string
+      "{\"op\":\"solve\\",                // dangling escape
+      "{\"op\":\"so\\qlve\"}",            // unknown escape
+      "{\"op\":\"so\\u12\"}",             // truncated \u
+      "{\"op\":\"so\\uZZZZ\"}",           // bad hex
+      "{\"op\":\"so\\ud800lve\"}",        // surrogate
+      "{\"op\":\"so\x01lve\"}",           // raw control byte
+  };
+  for (const char* bad : bad_lines) {
+    auto r = ParseRequestLine(bad);
+    ASSERT_FALSE(r.ok()) << "'" << bad << "' parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(HostileRequestLineTest, MissingOpRejected) {
+  auto r = ParseRequestLine("{}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("no op"), std::string::npos);
+}
+
+TEST(HostileRequestLineTest, TruncationAtEveryByteFailsCleanly) {
+  const std::string valid =
+      "{\"op\":\"solve\",\"id\":\"r1\",\"tenant\":\"t\","
+      "\"facade\":\"frontend.sat\","
+      "\"body\":\"labels 1\\nformula exists x. l0(x)\","
+      "\"deadline_ms\":500,\"max_effort\":1024}";
+  auto full = ParseRequestLine(valid);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->op, "solve");
+  EXPECT_EQ(full->facade, "frontend.sat");
+  ASSERT_EQ(full->body.size(), 2u);
+  EXPECT_EQ(full->body[0], "labels 1");
+  EXPECT_EQ(full->body[1], "formula exists x. l0(x)");
+  EXPECT_EQ(full->deadline_ms, 500u);
+  EXPECT_EQ(full->max_effort, 1024u);
+  for (size_t cut = 0; cut + 1 < valid.size(); ++cut) {
+    auto r = ParseRequestLine(valid.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "prefix of length " << cut << " parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(HostileRequestLineTest, UnicodeEscapesDecodeToUtf8) {
+  auto r = ParseRequestLine("{\"op\":\"ping\",\"id\":\"\\u0041\\u00e9\\u20ac\"}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->id, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(HostileRequestLineTest, ResponseEscapingRoundTrips) {
+  // A verdict containing quotes, backslashes, and newlines must serialize to
+  // one parseable line (the transport is line-delimited).
+  ServerResponse resp;
+  resp.id = "r\"1\\x";
+  resp.status = "ERROR";
+  resp.detail = "line1\nline2\ttab";
+  std::string line = resp.ToJsonLine();
+  ASSERT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "embedded newline escaped";
+}
+
+}  // namespace
+}  // namespace fo2dt

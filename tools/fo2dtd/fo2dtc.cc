@@ -1,0 +1,242 @@
+/// \file fo2dtc.cc
+/// \brief Command-line client for fo2dtd: sends solve/ping/stats requests
+/// over the daemon's Unix domain socket and prints the response lines.
+///
+/// Usage:
+///   fo2dtc --socket PATH --op ping
+///   fo2dtc --socket PATH --op stats
+///   fo2dtc --socket PATH --facade frontend.sat --body-file req.fo2dt
+///          [--tenant NAME] [--deadline-ms N] [--max-effort N]
+///          [--count N] [--concurrency K]
+///
+/// With --count N the client pipelines N copies of the request on each
+/// connection before reading responses — the overload-recipe shape
+/// (EXPERIMENTS.md §"Overload"): a burst arrives faster than workers drain
+/// it, so the tail of the burst walks the daemon's shedding ladder. With
+/// --concurrency K it opens K connections, each pipelining its own burst.
+///
+/// Exit status: 0 when every response has status OK, 1 when any response is
+/// OVERLOADED or ERROR (the responses still print), 2 on usage/connect
+/// failures.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "server/protocol.h"
+
+namespace {
+
+struct ClientConfig {
+  std::string socket_path;
+  std::string op = "solve";
+  std::string facade;
+  std::string tenant;
+  std::string body;
+  uint64_t deadline_ms = 0;
+  uint64_t max_bytes = 0;
+  uint64_t max_effort = 0;
+  uint64_t count = 1;
+  uint64_t concurrency = 1;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fo2dtc --socket PATH [--op solve|ping|stats]\n"
+               "              [--facade NAME] [--body-file FILE | --body -]\n"
+               "              [--tenant NAME] [--deadline-ms N] "
+               "[--max-bytes N]\n"
+               "              [--max-effort N] [--count N] "
+               "[--concurrency K]\n");
+  return 2;
+}
+
+std::string BuildRequestLine(const ClientConfig& config, uint64_t seq) {
+  std::string line = "{";
+  auto add_str = [&line](const char* key, const std::string& value) {
+    if (value.empty()) return;
+    if (line.size() > 1) line += ",";
+    line += "\"";
+    line += key;
+    line += "\":\"";
+    line += fo2dt::JsonEscape(value);
+    line += "\"";
+  };
+  auto add_int = [&line](const char* key, uint64_t value) {
+    if (value == 0) return;
+    if (line.size() > 1) line += ",";
+    line += fo2dt::StringFormat("\"%s\":%llu", key,
+                                static_cast<unsigned long long>(value));
+  };
+  add_str("op", config.op);
+  add_str("id", fo2dt::StringFormat(
+                    "r%llu", static_cast<unsigned long long>(seq)));
+  add_str("tenant", config.tenant);
+  add_str("facade", config.facade);
+  add_str("body", config.body);
+  add_int("deadline_ms", config.deadline_ms);
+  add_int("max_bytes", config.max_bytes);
+  add_int("max_effort", config.max_effort);
+  line += "}\n";
+  return line;
+}
+
+int ConnectTo(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Runs one connection's burst: pipeline `count` requests, then read `count`
+/// response lines. Responses print under `print_mu` so concurrent
+/// connections do not interleave bytes.
+bool RunConnection(const ClientConfig& config, uint64_t first_seq,
+                   std::mutex* print_mu, std::atomic<uint64_t>* not_ok) {
+  int fd = ConnectTo(config.socket_path);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lock(*print_mu);
+    std::fprintf(stderr, "fo2dtc: cannot connect to %s\n",
+                 config.socket_path.c_str());
+    return false;
+  }
+  std::string burst;
+  for (uint64_t i = 0; i < config.count; ++i) {
+    burst += BuildRequestLine(config, first_seq + i);
+  }
+  if (!SendAll(fd, burst)) {
+    ::close(fd);
+    return false;
+  }
+  std::string buffer;
+  char chunk[4096];
+  uint64_t received = 0;
+  while (received < config.count) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // daemon went away mid-burst
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while (received < config.count &&
+           (nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.find("\"status\":\"OK\"") == std::string::npos) {
+        not_ok->fetch_add(1);
+      }
+      std::lock_guard<std::mutex> lock(*print_mu);
+      std::printf("%s\n", line.c_str());
+      ++received;
+    }
+  }
+  ::close(fd);
+  return received == config.count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientConfig config;
+  std::string body_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--socket" && (value = next())) {
+      config.socket_path = value;
+    } else if (arg == "--op" && (value = next())) {
+      config.op = value;
+    } else if (arg == "--facade" && (value = next())) {
+      config.facade = value;
+    } else if (arg == "--tenant" && (value = next())) {
+      config.tenant = value;
+    } else if ((arg == "--body-file" || arg == "--body") && (value = next())) {
+      body_file = value;
+    } else if (arg == "--deadline-ms" && (value = next())) {
+      config.deadline_ms = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--max-bytes" && (value = next())) {
+      config.max_bytes = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--max-effort" && (value = next())) {
+      config.max_effort = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--count" && (value = next())) {
+      config.count = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--concurrency" && (value = next())) {
+      config.concurrency = std::strtoull(value, nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  if (config.socket_path.empty() || config.count == 0 ||
+      config.concurrency == 0) {
+    return Usage();
+  }
+  if (config.op == "solve") {
+    if (config.facade.empty() || body_file.empty()) return Usage();
+    std::ostringstream body;
+    if (body_file == "-") {
+      body << std::cin.rdbuf();
+    } else {
+      std::ifstream in(body_file);
+      if (!in) {
+        std::fprintf(stderr, "fo2dtc: cannot open body file '%s'\n",
+                     body_file.c_str());
+        return 2;
+      }
+      body << in.rdbuf();
+    }
+    config.body = body.str();
+  }
+
+  std::mutex print_mu;
+  std::atomic<uint64_t> not_ok{0};
+  std::atomic<bool> all_received{true};
+  std::vector<std::thread> threads;
+  for (uint64_t c = 0; c < config.concurrency; ++c) {
+    threads.emplace_back([&, c] {
+      if (!RunConnection(config, c * config.count, &print_mu, &not_ok)) {
+        all_received.store(false);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (!all_received.load()) return 2;
+  return not_ok.load() == 0 ? 0 : 1;
+}

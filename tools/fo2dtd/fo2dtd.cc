@@ -1,0 +1,153 @@
+/// \file fo2dtd.cc
+/// \brief The fo2dt solve daemon: serves facade solves over a Unix domain
+/// socket until SIGTERM/SIGINT, then drains gracefully.
+///
+/// Usage:
+///   fo2dtd --socket /path/sock [options]
+///
+/// Options:
+///   --workers N               worker threads (default 4)
+///   --queue-limit N           admission queue slots (default 64)
+///   --tenant-active-limit N   per-tenant active-request cap (default 8, 0=off)
+///   --default-deadline-ms N   deadline when the request names none
+///   --watchdog-grace-ms N     slack past deadline before force-cancel
+///   --degrade-light-pct N / --degrade-heavy-pct N
+///                             shedding-ladder occupancy thresholds
+///   --quota-deadline-ms N / --quota-effort N / --quota-bytes N
+///                             per-tenant budget ceilings (0 = unlimited)
+///   --failpoint SITE[=FIRE]   arm a registered failpoint with the canonical
+///                             injection; FIRE bounds how many hits inject
+///                             (default 1). Fault-injection builds only.
+///
+/// Observability comes from the environment like every other entry point:
+/// FO2DT_QUERY_LOG / FO2DT_CAPTURE / FO2DT_CAPTURE_DIR for the flight
+/// recorder, FO2DT_CACHE / FO2DT_CACHE_FILE for the solve cache.
+///
+/// Exit status: 0 after a clean drain, 2 on startup failure.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/flight_recorder.h"
+#include "common/strings.h"
+#include "server/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true); }
+
+uint64_t ParseCount(const char* text) {
+  return static_cast<uint64_t>(std::strtoull(text, nullptr, 10));
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fo2dtd --socket PATH [--workers N] [--queue-limit N]\n"
+               "              [--tenant-active-limit N] "
+               "[--default-deadline-ms N]\n"
+               "              [--watchdog-grace-ms N] [--degrade-light-pct N]\n"
+               "              [--degrade-heavy-pct N] [--quota-deadline-ms N]\n"
+               "              [--quota-effort N] [--quota-bytes N]\n"
+               "              [--failpoint SITE[=FIRE]]...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fo2dt::SolveServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--socket" && (value = next())) {
+      options.socket_path = value;
+    } else if (arg == "--workers" && (value = next())) {
+      options.num_workers = ParseCount(value);
+    } else if (arg == "--queue-limit" && (value = next())) {
+      options.admission.queue_limit = ParseCount(value);
+    } else if (arg == "--tenant-active-limit" && (value = next())) {
+      options.admission.tenant_active_limit = ParseCount(value);
+    } else if (arg == "--default-deadline-ms" && (value = next())) {
+      options.default_deadline_ms = ParseCount(value);
+    } else if (arg == "--watchdog-grace-ms" && (value = next())) {
+      options.watchdog_grace_ms = ParseCount(value);
+    } else if (arg == "--degrade-light-pct" && (value = next())) {
+      options.admission.degrade_light_pct = ParseCount(value);
+    } else if (arg == "--degrade-heavy-pct" && (value = next())) {
+      options.admission.degrade_heavy_pct = ParseCount(value);
+    } else if (arg == "--quota-deadline-ms" && (value = next())) {
+      options.admission.quota.max_deadline_ms = ParseCount(value);
+    } else if (arg == "--quota-effort" && (value = next())) {
+      options.admission.quota.max_effort = ParseCount(value);
+    } else if (arg == "--quota-bytes" && (value = next())) {
+      options.admission.quota.max_bytes = ParseCount(value);
+    } else if (arg == "--failpoint" && (value = next())) {
+      std::string site = value;
+      int64_t fire = 1;
+      size_t eq = site.find('=');
+      if (eq != std::string::npos) {
+        fire = static_cast<int64_t>(ParseCount(site.c_str() + eq + 1));
+        site.resize(eq);
+      }
+      if (!fo2dt::Failpoints::CompiledIn()) {
+        std::fprintf(stderr,
+                     "fo2dtd: --failpoint %s needs a fault-injection build "
+                     "(-DFO2DT_ENABLE_FAILPOINTS=ON)\n",
+                     site.c_str());
+        return 2;
+      }
+      if (!fo2dt::ArmCanonicalReplayInjection(site, fire)) {
+        std::fprintf(stderr, "fo2dtd: unknown failpoint site '%s'\n",
+                     site.c_str());
+        return 2;
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (options.socket_path.empty()) return Usage();
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  fo2dt::SolveServer server(options);
+  fo2dt::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "fo2dtd: %s\n", started.ToString().c_str());
+    return 2;
+  }
+  std::printf("fo2dtd listening on %s\n", options.socket_path.c_str());
+  std::fflush(stdout);
+
+  // fo2dt-lint: allow(no-checkpoint, signal wait loop; exits on SIGTERM/SIGINT)
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Shutdown();
+  fo2dt::ServerStats stats = server.stats();
+  std::printf(
+      "fo2dtd drained: accepted=%llu rejected=%llu degraded=%llu "
+      "completed=%llu worker_faults=%llu watchdog_kills=%llu\n",
+      static_cast<unsigned long long>(stats.admission.accepted),
+      static_cast<unsigned long long>(stats.admission.rejected),
+      static_cast<unsigned long long>(stats.admission.degraded),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.worker_faults),
+      static_cast<unsigned long long>(stats.watchdog_kills));
+  return 0;
+}

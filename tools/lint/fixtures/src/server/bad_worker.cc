@@ -1,0 +1,27 @@
+// Lint fixture: a solve-server worker loop that never polls its
+// cancellation token. src/server is a hot module for the no-checkpoint
+// rule — a worker loop without a token poll cannot be cancelled by client
+// disconnect, the watchdog, or shutdown, wedging a daemon thread forever.
+// Never compiled; see expected_findings.txt for the golden output.
+#include "common/execution_context.h"
+
+namespace fo2dt {
+
+int UnpolledWorkerLoop(int queue_depth) {
+  int handled = 0;
+  while (queue_depth > 0) {  // finding: no-checkpoint
+    --queue_depth;
+    ++handled;
+  }
+  return handled;
+}
+
+Status PolledWorkerLoop(const CancellationToken& token, int queue_depth) {
+  while (queue_depth > 0) {  // polls the token: clean
+    if (token.IsCancelled()) return Status::Cancelled("drain");
+    --queue_depth;
+  }
+  return Status::OK();
+}
+
+}  // namespace fo2dt

@@ -75,13 +75,15 @@ RULES = (
 )
 
 # Modules whose loops run budget-scale work (the Theorem 1 pipeline's hot
-# layers): every unbounded loop there must poll the governor.
+# layers), plus the solve server, whose accept/reader/worker loops must poll
+# cancellation tokens or a stuck client could wedge a daemon thread.
 HOT_MODULE_DIRS = (
     os.path.join("src", "solverlp"),
     os.path.join("src", "lcta"),
     os.path.join("src", "puzzle"),
     os.path.join("src", "vata"),
     os.path.join("src", "logic"),
+    os.path.join("src", "server"),
 )
 
 # A lexical poll of the execution governor inside a loop body. Fire() is the

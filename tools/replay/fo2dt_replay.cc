@@ -6,8 +6,10 @@
 ///
 /// Reads the bundle's input.fo2dt (format written by common/flight_recorder),
 /// reconstructs the facade call — formula / constraint set / XPath / VATA
-/// instance, schema automaton, budgets, armed failpoints — re-executes it,
-/// and diffs the outcome against the recorded `expect` lines.
+/// instance, schema automaton, budgets, armed failpoints — re-executes it
+/// through the shared facade execution core (src/server/facade_exec.h, also
+/// the engine behind fo2dtd), and diffs the outcome against the recorded
+/// `expect` lines.
 ///
 /// Exit status: 0 = outcome matches the recording, 1 = mismatch,
 /// 2 = malformed input or replay infrastructure failure (e.g. the bundle
@@ -19,30 +21,20 @@
 /// ArmCanonicalReplayInjection) makes the injected phase dominate the
 /// profile on both sides so DominantPhase is stable.
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "automata/automaton_io.h"
 #include "common/execution_context.h"
 #include "common/failpoint.h"
 #include "common/flight_recorder.h"
 #include "common/registry_names.h"
 #include "common/strings.h"
-#include "constraints/constraints.h"
-#include "datatree/text_io.h"
-#include "frontend/solver.h"
-#include "logic/parser.h"
-#include "vata/vata.h"
-#include "xpath/xpath.h"
+#include "server/facade_exec.h"
 
 namespace fo2dt {
 namespace {
@@ -113,380 +105,6 @@ Result<ReplayInput> ParseReplayFile(const std::string& path) {
   return out;
 }
 
-/// The replay alphabet must reproduce capture-time symbol ids positionally,
-/// so pre-intern l0..l{max} for every canonical label mentioned anywhere in
-/// the body (a formula can mention l7 before l5; interning in appearance
-/// order would scramble the ids).
-size_t MaxCanonicalLabel(const std::vector<std::string>& body) {
-  size_t alpha = 0;
-  for (const std::string& line : body) {
-    for (size_t i = 0; i < line.size(); ++i) {
-      if (line[i] != 'l') continue;
-      if (i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
-                    line[i - 1] == '_')) {
-        continue;
-      }
-      size_t j = i + 1;
-      uint64_t value = 0;
-      while (j < line.size() && line[j] >= '0' && line[j] <= '9') {
-        value = value * 10 + static_cast<uint64_t>(line[j] - '0');
-        ++j;
-      }
-      if (j == i + 1) continue;  // bare 'l'
-      if (j < line.size() && (std::isalnum(static_cast<unsigned char>(line[j])) ||
-                              line[j] == '_')) {
-        continue;  // identifier like l0abc, not a canonical label
-      }
-      if (value + 1 > alpha) alpha = static_cast<size_t>(value + 1);
-    }
-  }
-  return alpha;
-}
-
-/// Shared per-body state while walking the facade lines.
-struct BodyReader {
-  const std::vector<std::string>& lines;
-  size_t next = 0;
-
-  bool Done() const { return next >= lines.size(); }
-  const std::string& Peek() const { return lines[next]; }
-  std::string Take() { return lines[next++]; }
-
-  /// Consumes the 6-line automaton section that follows a "schema"/"filter"
-  /// marker line.
-  Result<TreeAutomaton> TakeAutomaton() {
-    std::string text;
-    for (int i = 0; i < 6 && !Done(); ++i) text += Take() + "\n";
-    return ParseTreeAutomaton(text);
-  }
-};
-
-uint64_t ParseU64(const std::string& s) {
-  uint64_t value = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') break;
-    value = value * 10 + static_cast<uint64_t>(c - '0');
-  }
-  return value;
-}
-
-struct ParsedBudgets {
-  std::map<std::string, uint64_t> values;
-
-  uint64_t Get(const char* key, uint64_t fallback) const {
-    auto it = values.find(key);
-    return it == values.end() ? fallback : it->second;
-  }
-};
-
-/// Collects `budget k v` and `flag k v` lines wherever they appear.
-bool ConsumeCommon(BodyReader* body, ParsedBudgets* budgets,
-                   ParsedBudgets* flags, size_t* labels) {
-  std::string rest;
-  std::string word = SplitWord(body->Peek(), &rest);
-  if (word == "budget") {
-    std::string value;
-    std::string key = SplitWord(rest, &value);
-    budgets->values[key] = ParseU64(value);
-  } else if (word == "flag") {
-    std::string value;
-    std::string key = SplitWord(rest, &value);
-    flags->values[key] = ParseU64(value);
-  } else if (word == "labels") {
-    *labels = static_cast<size_t>(ParseU64(rest));
-  } else {
-    return false;
-  }
-  (void)body->Take();
-  return true;
-}
-
-Result<SolveOutcome> ReplayFrontendSat(const ReplayInput& input,
-                                       const ExecutionContext* exec) {
-  BodyReader body{input.body};
-  ParsedBudgets budgets, flags;
-  size_t labels = 0;
-  std::optional<TreeAutomaton> filter;
-  std::string formula_text;
-  while (!body.Done()) {
-    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
-    std::string rest;
-    std::string word = SplitWord(body.Peek(), &rest);
-    if (word == "filter") {
-      (void)body.Take();
-      FO2DT_ASSIGN_OR_RETURN(TreeAutomaton a, body.TakeAutomaton());
-      filter = std::move(a);
-    } else if (word == "formula") {
-      (void)body.Take();
-      formula_text = rest;
-    } else {
-      return Status::ParseError(StringFormat(
-          "unexpected line '%s' in frontend.sat body", body.Peek().c_str()));
-    }
-  }
-  if (formula_text.empty()) {
-    return Status::ParseError("frontend.sat body has no formula");
-  }
-  Alphabet alphabet =
-      MakeReplayAlphabet(std::max(labels, MaxCanonicalLabel(input.body)));
-  FO2DT_ASSIGN_OR_RETURN(Formula sentence,
-                         ParseFormula(formula_text, &alphabet));
-  SolverOptions options;
-  options.num_labels = labels;
-  options.max_model_nodes =
-      static_cast<size_t>(budgets.Get("max_model_nodes", 6));
-  options.max_steps = budgets.Get("max_steps", 20000000);
-  options.use_counting_abstraction = flags.Get("use_counting_abstraction", 1) != 0;
-  if (filter.has_value()) options.structural_filter = &*filter;
-  options.exec = exec;
-  return SolveOutcomeFromSat(CheckFo2SatisfiabilityBounded(sentence, options));
-}
-
-struct ConstraintBody {
-  TreeAutomaton schema;
-  ConstraintSet set;
-  std::string conclusion_text;
-  ParsedBudgets budgets;
-};
-
-Result<ConstraintBody> ParseConstraintBody(const ReplayInput& input) {
-  BodyReader body{input.body};
-  ConstraintBody out;
-  ParsedBudgets flags;
-  size_t labels = 0;
-  bool schema_seen = false;
-  while (!body.Done()) {
-    if (ConsumeCommon(&body, &out.budgets, &flags, &labels)) continue;
-    std::string rest;
-    std::string word = SplitWord(body.Peek(), &rest);
-    if (word == "schema") {
-      (void)body.Take();
-      FO2DT_ASSIGN_OR_RETURN(out.schema, body.TakeAutomaton());
-      schema_seen = true;
-    } else if (word == "key") {
-      (void)body.Take();
-      std::string attr;
-      std::string elem = SplitWord(rest, &attr);
-      out.set.keys.push_back(UnaryKey{
-          static_cast<Symbol>(ParseU64(elem)),
-          static_cast<Symbol>(ParseU64(attr))});
-    } else if (word == "inclusion") {
-      (void)body.Take();
-      std::istringstream fields(rest);
-      uint64_t fe = 0, fa = 0, te = 0, ta = 0;
-      fields >> fe >> fa >> te >> ta;
-      out.set.inclusions.push_back(UnaryInclusion{
-          static_cast<Symbol>(fe), static_cast<Symbol>(fa),
-          static_cast<Symbol>(te), static_cast<Symbol>(ta)});
-    } else if (word == "conclusion") {
-      (void)body.Take();
-      out.conclusion_text = rest;
-    } else {
-      return Status::ParseError(StringFormat(
-          "unexpected line '%s' in constraints body", body.Peek().c_str()));
-    }
-  }
-  if (!schema_seen) {
-    return Status::ParseError("constraints body has no schema");
-  }
-  return out;
-}
-
-Result<SolveOutcome> ReplayConstraints(const ReplayInput& input,
-                                       const ExecutionContext* exec) {
-  FO2DT_ASSIGN_OR_RETURN(ConstraintBody body, ParseConstraintBody(input));
-  if (input.facade == names::kFacadeConstraintsKeyfk) {
-    LctaOptions options;
-    options.max_ilp_nodes =
-        static_cast<size_t>(body.budgets.Get("max_ilp_nodes", 200000));
-    options.max_cuts = static_cast<size_t>(body.budgets.Get("max_cuts", 200));
-    options.max_dnf_branches =
-        static_cast<size_t>(body.budgets.Get("max_dnf_branches", 4096));
-    options.num_threads = 1;  // single-threaded replay is deterministic
-    options.exec = exec;
-    return SolveOutcomeFromSat(
-        CheckKeyForeignKeyConsistencyIlp(body.schema, body.set, options));
-  }
-  SolverOptions options;
-  options.max_model_nodes =
-      static_cast<size_t>(body.budgets.Get("max_model_nodes", 6));
-  options.max_steps = body.budgets.Get("max_steps", 20000000);
-  options.exec = exec;
-  if (input.facade == names::kFacadeConstraintsImplication) {
-    if (body.conclusion_text.empty()) {
-      return Status::ParseError("implication body has no conclusion");
-    }
-    Alphabet alphabet = MakeReplayAlphabet(
-        std::max(body.schema.num_symbols(), MaxCanonicalLabel(input.body)));
-    FO2DT_ASSIGN_OR_RETURN(Formula conclusion,
-                           ParseFormula(body.conclusion_text, &alphabet));
-    return SolveOutcomeFromSat(
-        CheckImplicationBounded(body.schema, body.set, conclusion, options));
-  }
-  return SolveOutcomeFromSat(
-      CheckConsistencyBounded(body.schema, body.set, options));
-}
-
-Result<SolveOutcome> ReplayXpath(const ReplayInput& input,
-                                 const ExecutionContext* exec) {
-  BodyReader body{input.body};
-  ParsedBudgets budgets, flags;
-  size_t labels = 0;
-  std::optional<TreeAutomaton> schema;
-  std::vector<std::string> xpath_texts;
-  while (!body.Done()) {
-    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
-    std::string rest;
-    std::string word = SplitWord(body.Peek(), &rest);
-    if (word == "schema") {
-      (void)body.Take();
-      FO2DT_ASSIGN_OR_RETURN(TreeAutomaton a, body.TakeAutomaton());
-      schema = std::move(a);
-    } else if (word == "xpath") {
-      (void)body.Take();
-      xpath_texts.push_back(rest);
-    } else {
-      return Status::ParseError(StringFormat(
-          "unexpected line '%s' in xpath body", body.Peek().c_str()));
-    }
-  }
-  Alphabet alphabet =
-      MakeReplayAlphabet(std::max(labels, MaxCanonicalLabel(input.body)));
-  std::vector<XpPath> paths;
-  for (const std::string& text : xpath_texts) {
-    FO2DT_ASSIGN_OR_RETURN(XpPath p, ParseXPath(text, &alphabet));
-    paths.push_back(std::move(p));
-  }
-  SolverOptions options;
-  options.max_model_nodes =
-      static_cast<size_t>(budgets.Get("max_model_nodes", 6));
-  options.max_steps = budgets.Get("max_steps", 20000000);
-  options.exec = exec;
-  const TreeAutomaton* schema_ptr = schema.has_value() ? &*schema : nullptr;
-  if (input.facade == names::kFacadeXpathContainment) {
-    if (paths.size() != 2) {
-      return Status::ParseError("xpath.containment body needs two xpath lines");
-    }
-    return SolveOutcomeFromSat(
-        CheckXPathContainment(paths[0], paths[1], schema_ptr, options));
-  }
-  if (paths.size() != 1) {
-    return Status::ParseError("xpath.sat body needs one xpath line");
-  }
-  return SolveOutcomeFromSat(
-      CheckXPathSatisfiability(paths[0], schema_ptr, options));
-}
-
-Result<CounterVec> TakeVec(std::istringstream* fields, size_t n) {
-  CounterVec v(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!(*fields >> v[i])) {
-      return Status::ParseError("short counter vector in vata body");
-    }
-  }
-  return v;
-}
-
-Result<SolveOutcome> ReplayVata(const ReplayInput& input,
-                                const ExecutionContext* exec) {
-  BodyReader body{input.body};
-  ParsedBudgets budgets, flags;
-  size_t labels = 0;
-  VataAutomaton a;
-  std::string tree_text;
-  while (!body.Done()) {
-    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
-    std::string rest;
-    std::string word = SplitWord(body.Peek(), &rest);
-    if (word == "vata") {
-      (void)body.Take();
-      std::istringstream fields(rest);
-      fields >> a.num_counters >> a.num_states >> a.num_labels;
-    } else if (word == "accepting") {
-      (void)body.Take();
-      std::istringstream fields(rest);
-      size_t k = 0;
-      fields >> k;
-      for (size_t i = 0; i < k; ++i) {
-        VataState q = 0;
-        fields >> q;
-        a.accepting.push_back(q);
-      }
-    } else if (word == "leafrules") {
-      size_t k = static_cast<size_t>(ParseU64(rest));
-      (void)body.Take();
-      for (size_t i = 0; i < k && !body.Done(); ++i) {
-        std::istringstream fields(body.Take());
-        VataLeafRule rule;
-        fields >> rule.label >> rule.state;
-        FO2DT_ASSIGN_OR_RETURN(rule.vector, TakeVec(&fields, a.num_counters));
-        a.leaf_rules.push_back(std::move(rule));
-      }
-    } else if (word == "transitions") {
-      size_t k = static_cast<size_t>(ParseU64(rest));
-      (void)body.Take();
-      for (size_t i = 0; i < k && !body.Done(); ++i) {
-        std::istringstream fields(body.Take());
-        VataTransition tr;
-        fields >> tr.label >> tr.left_state;
-        FO2DT_ASSIGN_OR_RETURN(tr.take_left, TakeVec(&fields, a.num_counters));
-        fields >> tr.right_state;
-        FO2DT_ASSIGN_OR_RETURN(tr.take_right, TakeVec(&fields, a.num_counters));
-        fields >> tr.result_state;
-        FO2DT_ASSIGN_OR_RETURN(tr.add, TakeVec(&fields, a.num_counters));
-        a.transitions.push_back(std::move(tr));
-      }
-    } else if (word == "tree") {
-      (void)body.Take();
-      tree_text = rest;
-    } else {
-      return Status::ParseError(StringFormat(
-          "unexpected line '%s' in vata body", body.Peek().c_str()));
-    }
-  }
-  if (tree_text.empty()) {
-    return Status::ParseError("vata body has no tree");
-  }
-  Alphabet alphabet = MakeReplayAlphabet(
-      std::max(a.num_labels, MaxCanonicalLabel(input.body)));
-  FO2DT_ASSIGN_OR_RETURN(DataTree t, ParseDataTree(tree_text, &alphabet));
-  size_t max_candidates =
-      static_cast<size_t>(budgets.Get("max_candidates", 100000));
-  Result<bool> accepted = VataAccepts(a, t, max_candidates, exec);
-  SolveOutcome outcome;
-  if (accepted.ok()) {
-    outcome.verdict = *accepted ? "ACCEPT" : "REJECT";
-  } else {
-    outcome.verdict = std::string("ERROR:") +
-                      StatusCodeToString(accepted.status().code());
-    if (const StopReason* reason = accepted.status().stop_reason()) {
-      outcome.stop = *reason;
-    }
-  }
-  return outcome;
-}
-
-Result<SolveOutcome> ReplayFacade(const ReplayInput& input,
-                                  const ExecutionContext* exec) {
-  if (input.facade == names::kFacadeFrontendSat) {
-    return ReplayFrontendSat(input, exec);
-  }
-  if (input.facade == names::kFacadeConstraintsConsistency ||
-      input.facade == names::kFacadeConstraintsImplication ||
-      input.facade == names::kFacadeConstraintsKeyfk) {
-    return ReplayConstraints(input, exec);
-  }
-  if (input.facade == names::kFacadeXpathSat ||
-      input.facade == names::kFacadeXpathContainment) {
-    return ReplayXpath(input, exec);
-  }
-  if (input.facade == names::kFacadeVataAccepts) {
-    return ReplayVata(input, exec);
-  }
-  return Status::NotImplemented(
-      StringFormat("facade '%s' has no replay path", input.facade.c_str()));
-}
-
 int Run(const std::string& arg) {
   std::string path = arg;
   if (std::filesystem::is_directory(path)) {
@@ -512,7 +130,8 @@ int Run(const std::string& arg) {
   }
 
   ExecutionContext exec;
-  Result<SolveOutcome> outcome = ReplayFacade(*input, &exec);
+  Result<SolveOutcome> outcome =
+      ExecuteFacadeBody(input->facade, input->body, &exec);
   Failpoints::Instance().DisableAll();
   if (!outcome.ok()) return Fail("replay failed: %s", outcome.status().message());
 
