@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -34,11 +35,27 @@ std::string SplitWord(const std::string& line, std::string* rest) {
   return line.substr(0, space);
 }
 
-uint64_t ParseU64(const std::string& s) {
+/// Strict decimal u64: the whole field must be digits and fit in 64 bits.
+/// Body fields are network-facing, so overflow and trailing garbage are
+/// parse errors (the same contract as the JSON and automaton number
+/// scanners), never a silent wrap mod 2^64.
+Result<uint64_t> ParseU64(const std::string& s) {
+  if (s.empty()) {
+    return Status::ParseError("expected unsigned integer, got empty field");
+  }
+  std::string shown = s.size() > 32 ? s.substr(0, 32) + "..." : s;
   uint64_t value = 0;
   for (char c : s) {
-    if (c < '0' || c > '9') break;
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (c < '0' || c > '9') {
+      return Status::ParseError(StringFormat(
+          "malformed unsigned integer '%s'", shown.c_str()));
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::ParseError(
+          StringFormat("number '%s' overflows", shown.c_str()));
+    }
+    value = value * 10 + digit;
   }
   return value;
 }
@@ -92,21 +109,23 @@ struct ParsedBudgets {
   }
 };
 
-/// Collects `budget k v` and `flag k v` lines wherever they appear.
-bool ConsumeCommon(BodyReader* body, ParsedBudgets* budgets,
-                   ParsedBudgets* flags, size_t* labels) {
+/// Collects `budget k v` and `flag k v` lines wherever they appear. True
+/// when the current line was consumed as a common line.
+Result<bool> ConsumeCommon(BodyReader* body, ParsedBudgets* budgets,
+                           ParsedBudgets* flags, size_t* labels) {
   std::string rest;
   std::string word = SplitWord(body->Peek(), &rest);
   if (word == "budget") {
     std::string value;
     std::string key = SplitWord(rest, &value);
-    budgets->values[key] = ParseU64(value);
+    FO2DT_ASSIGN_OR_RETURN(budgets->values[key], ParseU64(value));
   } else if (word == "flag") {
     std::string value;
     std::string key = SplitWord(rest, &value);
-    flags->values[key] = ParseU64(value);
+    FO2DT_ASSIGN_OR_RETURN(flags->values[key], ParseU64(value));
   } else if (word == "labels") {
-    *labels = static_cast<size_t>(ParseU64(rest));
+    FO2DT_ASSIGN_OR_RETURN(uint64_t n, ParseU64(rest));
+    *labels = static_cast<size_t>(n);
   } else {
     return false;
   }
@@ -124,7 +143,9 @@ Result<SolveOutcome> ExecFrontendSat(const std::vector<std::string>& body_lines,
   std::string formula_text;
   // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
   while (!body.Done()) {
-    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
+    FO2DT_ASSIGN_OR_RETURN(bool consumed,
+                           ConsumeCommon(&body, &budgets, &flags, &labels));
+    if (consumed) continue;
     std::string rest;
     std::string word = SplitWord(body.Peek(), &rest);
     if (word == "filter") {
@@ -177,7 +198,9 @@ Result<ConstraintBody> ParseConstraintBody(
   bool schema_seen = false;
   // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
   while (!body.Done()) {
-    if (ConsumeCommon(&body, &out.budgets, &flags, &labels)) continue;
+    FO2DT_ASSIGN_OR_RETURN(
+        bool consumed, ConsumeCommon(&body, &out.budgets, &flags, &labels));
+    if (consumed) continue;
     std::string rest;
     std::string word = SplitWord(body.Peek(), &rest);
     if (word == "schema") {
@@ -188,9 +211,10 @@ Result<ConstraintBody> ParseConstraintBody(
       (void)body.Take();
       std::string attr;
       std::string elem = SplitWord(rest, &attr);
-      out.set.keys.push_back(UnaryKey{
-          static_cast<Symbol>(ParseU64(elem)),
-          static_cast<Symbol>(ParseU64(attr))});
+      FO2DT_ASSIGN_OR_RETURN(uint64_t elem_id, ParseU64(elem));
+      FO2DT_ASSIGN_OR_RETURN(uint64_t attr_id, ParseU64(attr));
+      out.set.keys.push_back(UnaryKey{static_cast<Symbol>(elem_id),
+                                      static_cast<Symbol>(attr_id)});
     } else if (word == "inclusion") {
       (void)body.Take();
       std::istringstream fields(rest);
@@ -264,7 +288,9 @@ Result<SolveOutcome> ExecXpath(const std::string& facade,
   std::vector<std::string> xpath_texts;
   // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
   while (!body.Done()) {
-    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
+    FO2DT_ASSIGN_OR_RETURN(bool consumed,
+                           ConsumeCommon(&body, &budgets, &flags, &labels));
+    if (consumed) continue;
     std::string rest;
     std::string word = SplitWord(body.Peek(), &rest);
     if (word == "schema") {
@@ -328,7 +354,9 @@ Result<SolveOutcome> ExecVata(const std::vector<std::string>& body_lines,
   std::string tree_text;
   // fo2dt-lint: allow(no-checkpoint, loop consumes one body line per iteration, bounded by request size)
   while (!body.Done()) {
-    if (ConsumeCommon(&body, &budgets, &flags, &labels)) continue;
+    FO2DT_ASSIGN_OR_RETURN(bool consumed,
+                           ConsumeCommon(&body, &budgets, &flags, &labels));
+    if (consumed) continue;
     std::string rest;
     std::string word = SplitWord(body.Peek(), &rest);
     if (word == "vata") {
@@ -359,7 +387,8 @@ Result<SolveOutcome> ExecVata(const std::vector<std::string>& body_lines,
         a.accepting.push_back(q);
       }
     } else if (word == "leafrules") {
-      size_t k = static_cast<size_t>(ParseU64(rest));
+      FO2DT_ASSIGN_OR_RETURN(uint64_t count, ParseU64(rest));
+      size_t k = static_cast<size_t>(count);
       (void)body.Take();
       for (size_t i = 0; i < k && !body.Done(); ++i) {
         std::istringstream fields(body.Take());
@@ -369,7 +398,8 @@ Result<SolveOutcome> ExecVata(const std::vector<std::string>& body_lines,
         a.leaf_rules.push_back(std::move(rule));
       }
     } else if (word == "transitions") {
-      size_t k = static_cast<size_t>(ParseU64(rest));
+      FO2DT_ASSIGN_OR_RETURN(uint64_t count, ParseU64(rest));
+      size_t k = static_cast<size_t>(count);
       (void)body.Take();
       for (size_t i = 0; i < k && !body.Done(); ++i) {
         std::istringstream fields(body.Take());

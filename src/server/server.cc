@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -183,8 +184,10 @@ void SolveServer::AcceptLoop() {
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
+      // Assigned under conns_mu_: the reader's self-reap moves this handle
+      // out under the same mutex, so it can never race the assignment.
+      conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
     }
-    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
   }
 }
 
@@ -233,14 +236,28 @@ void SolveServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
     }
   }
   // Disconnect cancels this connection's queued and in-flight solves; the
-  // workers drop the responses.
-  uint64_t pending = conn->pending.load(std::memory_order_relaxed);
-  if (pending > 0) {
-    disconnect_cancels_.fetch_add(pending, std::memory_order_relaxed);
-    GCounters().disconnect_cancels.fetch_add(pending,
-                                             std::memory_order_relaxed);
-  }
+  // workers drop (and count) each cancelled response as they hit it.
   conn->token.RequestCancel();
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  // Self-reap: a long-lived daemon must not accumulate one dead fd and one
+  // finished reader thread per past client (that path ends in EMFILE). The
+  // thread handle moves to dead_readers_ — joined by the watchdog sweep or
+  // Shutdown — and the Connection leaves conns_; it stays alive through the
+  // shared_ptr held by any still-queued WorkItems.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (conn->reader.joinable()) {
+      dead_readers_.push_back(std::move(conn->reader));
+    }
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+  }
 }
 
 void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
@@ -323,9 +340,29 @@ void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
   item.degraded = decision.action != AdmitAction::kAccept;
   item.token = conn->token.Child();
   conn->pending.fetch_add(1, std::memory_order_relaxed);
+  bool enqueued = false;
   {
+    // draining_ flips under queue_mu_ (Shutdown step 2), so a solve either
+    // lands in the queue before the drain barrier — workers are then
+    // guaranteed to run it — or is rejected below. Never silently dropped.
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(item));
+    if (!draining_) {
+      queue_.push_back(std::move(item));
+      enqueued = true;
+    }
+  }
+  if (!enqueued) {
+    // Shutdown already closed the queue and the workers may be gone: hand
+    // the admission reservations back and answer with a structured
+    // rejection instead of stranding the client.
+    conn->pending.fetch_sub(1, std::memory_order_relaxed);
+    admission_.OnAbandon(req.tenant);
+    GCounters().rejected.fetch_add(1, std::memory_order_relaxed);
+    resp.status = "OVERLOADED";
+    resp.detail = "server draining";
+    resp.queue_depth = decision.queue_depth;
+    SendResponse(conn, resp);
+    return;
   }
   queue_cv_.notify_one();
 }
@@ -346,9 +383,14 @@ void SolveServer::WorkerLoop(size_t worker_index) {
     }
     admission_.OnDequeue();
     if (item.token.IsCancelled()) {
-      // Client went away while the item was queued; charge nothing.
+      // Client went away while the item was queued (only a disconnect can
+      // cancel a not-yet-running item): drop it, release the reservations,
+      // and count the cancellation here — where it actually happened —
+      // rather than from a racy pre-cancel pending snapshot.
       admission_.OnFinish(item.tenant);
       item.conn->pending.fetch_sub(1, std::memory_order_relaxed);
+      disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+      GCounters().disconnect_cancels.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     RunSolve(std::move(item), slot);
@@ -438,13 +480,36 @@ void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
     resp.verdict = failed.verdict;
     rec.Finish(std::move(failed));
   }
-  if (!item.token.IsCancelled()) SendResponse(item.conn, resp);
+  if (item.conn->token.IsCancelled()) {
+    // The client hung up while this solve ran: nobody is listening, so the
+    // response is dropped and counted here, where the drop actually
+    // happens. This is the only suppression path — a watchdog or deadline
+    // kill on a live connection still answers ERROR/UNKNOWN.
+    disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+    GCounters().disconnect_cancels.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    SendResponse(item.conn, resp);
+  }
+}
+
+void SolveServer::ReapDeadReaders() {
+  std::vector<std::thread> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    dead.swap(dead_readers_);
+  }
+  // Joined outside conns_mu_: a reader pushes its own handle just before
+  // returning, so these joins complete immediately (or nearly so).
+  for (std::thread& t : dead) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void SolveServer::WatchdogLoop() {
   while (true) {
     if (lifecycle_token_.IsCancelled()) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(kPollIntervalMs));
+    ReapDeadReaders();
     auto now = std::chrono::steady_clock::now();
     for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
       std::lock_guard<std::mutex> lock(slot->mu);
@@ -482,44 +547,63 @@ void SolveServer::Shutdown() {
     listen_fd_ = -1;
   }
 
-  // 2. Failpoint hook: stretch the drain so crash-safety tests can
-  // interrupt a drain in progress.
-  bool slow = false;
-  FO2DT_FAILPOINT(names::kFpServerSlowDrain, &slow);
-  if (slow) std::this_thread::sleep_for(std::chrono::milliseconds(300));
-
-  // 3. Drain: workers finish the queue (each item bounded by its own
-  // deadline plus the watchdog), then exit.
+  // 2. Close the queue: draining_ flips under queue_mu_, so every solve was
+  // either enqueued before this barrier (the workers below are guaranteed
+  // to run it) or is rejected by Dispatch with "server draining" from now
+  // on. Readers stay up through the drain so finished solves still answer.
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     draining_ = true;
   }
   queue_cv_.notify_all();
+
+  // 3. Failpoint hook: stretch the drain window (admission is already
+  // closed) so crash-safety tests can interrupt a drain in progress.
+  bool slow = false;
+  FO2DT_FAILPOINT(names::kFpServerSlowDrain, &slow);
+  if (slow) std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // 4. Drain: workers finish the queue (each item bounded by its own
+  // deadline plus the watchdog), then exit.
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
 
-  // 4. Watchdog is only needed while workers run.
+  // 5. Watchdog is only needed while workers run.
   lifecycle_token_.RequestCancel();
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
 
-  // 5. Tear down connections: the lifecycle cancel already stops readers;
-  // shutdown() unblocks any reader mid-recv.
+  // 6. Tear down the connections still live (disconnected clients already
+  // self-reaped into dead_readers_): the lifecycle cancel stops their
+  // readers, shutdown() unblocks any reader mid-recv.
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns.swap(conns_);
   }
   for (const std::shared_ptr<Connection>& conn : conns) {
-    ::shutdown(conn->fd, SHUT_RDWR);
-    if (conn->reader.joinable()) conn->reader.join();
     {
       std::lock_guard<std::mutex> lock(conn->write_mu);
-      ::close(conn->fd);
-      conn->fd = -1;
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    std::thread reader;
+    {
+      // The reader may be self-reaping concurrently; the thread-handle
+      // handoff is serialized on conns_mu_ (exactly one side moves it).
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conn->reader.joinable()) reader = std::move(conn->reader);
+    }
+    if (reader.joinable()) reader.join();
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
     }
   }
+  ReapDeadReaders();
   ::unlink(options_.socket_path.c_str());
 }
 

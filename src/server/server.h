@@ -13,13 +13,20 @@
 ///                    deadline/memory/effort budgets came out of admission.
 ///   watchdog         scans busy workers every ~100 ms and cancels any
 ///                    solve running past its deadline plus grace — a stuck
-///                    solver fails one request, never the daemon.
+///                    solver fails one request (the still-connected client
+///                    gets its ERROR/UNKNOWN response), never the daemon.
+///                    The same sweep joins reader threads of disconnected
+///                    clients, so a long-lived daemon never accumulates
+///                    dead fds or finished threads.
 ///
 /// Cancellation is hierarchical: server lifecycle token → per-connection
 /// token → per-solve token. A client disconnect cancels that connection's
-/// queued and in-flight solves mid-flight; SIGTERM (Shutdown) stops the
-/// listener, drains the queue, and only then tears down connections, so the
-/// query log and solve-cache file are complete and parseable afterwards.
+/// queued and in-flight solves mid-flight (the only case that suppresses a
+/// response); SIGTERM (Shutdown) stops the listener, closes the queue —
+/// solves dispatched past that barrier get a structured "server draining"
+/// rejection, never a silent drop — drains admitted work, and only then
+/// tears down connections, so the query log and solve-cache file are
+/// complete and parseable afterwards.
 ///
 /// Failpoints (lint/asan/tsan builds): `server.accept_fault` fails one
 /// accept iteration, `server.worker_crash` fails one worker solve (the
@@ -80,7 +87,8 @@ class SolveServer {
   /// the path cannot be bound (stale sockets are unlinked first).
   Status Start();
 
-  /// Graceful drain: stop accepting, finish (or watchdog-cancel) queued and
+  /// Graceful drain: stop accepting, close the queue (later solves reject
+  /// with "server draining"), finish (or watchdog-cancel) queued and
   /// in-flight solves, flush nothing — every log/cache append is already a
   /// single O_APPEND write — then tear down connections. Idempotent.
   void Shutdown();
@@ -89,7 +97,11 @@ class SolveServer {
 
  private:
   struct Connection {
-    int fd = -1;
+    int fd = -1;                   // -1 once closed; guarded by write_mu
+    /// The reader thread handle. Guarded by conns_mu_: at disconnect the
+    /// reader moves its own handle into dead_readers_ (self-reap); at
+    /// Shutdown the teardown loop moves it out to join — exactly one side
+    /// wins the handoff.
     std::thread reader;
     CancellationToken token;       // child of the lifecycle token
     std::mutex write_mu;
@@ -135,6 +147,10 @@ class SolveServer {
   void SendResponse(const std::shared_ptr<Connection>& conn,
                     const ServerResponse& resp);
 
+  /// Joins reader threads of connections that disconnected and self-reaped.
+  /// Called by the watchdog sweep and at the end of Shutdown.
+  void ReapDeadReaders();
+
   const SolveServerOptions options_;
   AdmissionController admission_;
 
@@ -157,6 +173,8 @@ class SolveServer {
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
+  /// Handles of exited reader threads awaiting join (guarded by conns_mu_).
+  std::vector<std::thread> dead_readers_;
 
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> worker_faults_{0};

@@ -247,6 +247,50 @@ TEST(HostileFacadeBodyTest, GiantCanonicalLabelTokenRejected) {
   EXPECT_NE(r.status().message().find("implausibly large"), std::string::npos);
 }
 
+TEST(HostileFacadeBodyTest, BudgetValueOverflowRejected) {
+  // 2^64 exactly: the old scanner wrapped this to 0 instead of failing.
+  auto r = ExecuteFacadeBody(
+      "frontend.sat",
+      {"budget max_steps 18446744073709551616", "formula exists x. l0(x)"},
+      nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("overflows"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileFacadeBodyTest, BudgetValueTrailingGarbageRejected) {
+  // The old scanner stopped at the first non-digit, silently reading 12.
+  auto r = ExecuteFacadeBody(
+      "frontend.sat",
+      {"budget max_steps 12abc", "formula exists x. l0(x)"}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("malformed unsigned integer"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HostileFacadeBodyTest, EmptyBudgetValueRejected) {
+  auto r = ExecuteFacadeBody(
+      "frontend.sat", {"budget max_steps", "formula exists x. l0(x)"},
+      nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(HostileFacadeBodyTest, VataRuleCountOverflowRejected) {
+  auto r = ExecuteFacadeBody(
+      "vata.accepts",
+      {"vata 1 2 1", "accepting 1 1", "leafrules 99999999999999999999",
+       "0 1 0", "tree l0:0"},
+      nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("overflows"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(HostileFacadeBodyTest, GiantVataHeaderRejected) {
   auto r = ExecuteFacadeBody(
       "vata.accepts",

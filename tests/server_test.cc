@@ -545,6 +545,92 @@ TEST(SolveServerTest, DisconnectCancelsPendingSolves) {
 }
 
 // ---------------------------------------------------------------------------
+// Watchdog kill: a solve stuck past deadline + grace is cancelled, and the
+// still-connected client gets its response — only a disconnect may ever
+// suppress one.
+
+TEST(SolveServerTest, WatchdogKilledSolveStillAnswers) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  SolveServerOptions options;
+  options.socket_path = SocketPath("wdog");
+  options.num_workers = 1;
+  options.watchdog_grace_ms = 100;
+  SolveServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Stall the first solve inside the worker, polling nothing — exactly the
+  // shape of a solve stuck between checkpoints. The callback injects no
+  // fault; it just burns wall-clock past deadline + grace so the watchdog
+  // fires mid-solve.
+  Failpoints::Instance().Enable(
+      names::kFpServerWorkerCrash,
+      [](void*) { std::this_thread::sleep_for(std::chrono::milliseconds(1500)); },
+      /*skip=*/0, /*fire=*/1);
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path));
+  ASSERT_TRUE(client.Send(SolveRequestLine("stuck", kHardBody, 100)));
+  std::string line;
+  bool got = client.RecvLine(&line);
+  Failpoints::Instance().DisableAll();
+  // The watchdog-killed solve must still answer; a hang here is the bug.
+  ASSERT_TRUE(got) << "watchdog-killed solve sent no response";
+  EXPECT_EQ(JsonStrField(line, "id"), "stuck") << line;
+  EXPECT_FALSE(JsonStrField(line, "stop_kind").empty()) << line;
+  EXPECT_EQ(server.stats().watchdog_kills, 1u);
+
+  // The daemon shrugs it off and serves the next request.
+  ASSERT_TRUE(client.Send(SolveRequestLine("after", kEasyBody, 2000)));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(JsonStrField(line, "verdict"), "SAT") << line;
+
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Connection reaping: disconnected clients release their server-side fd and
+// reader thread promptly, not at Shutdown — a long-lived daemon must never
+// march toward EMFILE.
+
+int CountOpenFds() {
+  int count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SolveServerTest, DisconnectedClientsAreReapedPromptly) {
+  SolveServerOptions options;
+  options.socket_path = SocketPath("reap");
+  options.num_workers = 1;
+  SolveServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  int baseline = CountOpenFds();
+  for (int i = 0; i < 20; ++i) {
+    LineClient c;
+    ASSERT_TRUE(c.Connect(options.socket_path));
+    ASSERT_TRUE(c.Send("{\"op\":\"ping\",\"id\":\"p\"}\n"));
+    std::string line;
+    ASSERT_TRUE(c.RecvLine(&line));
+  }  // every client hung up; the server must close its side too
+
+  // Readers notice EOF within a poll tick and self-reap; the watchdog sweep
+  // joins the dead threads. Wait for the fd count to return to baseline.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  int fds = CountOpenFds();
+  while (fds > baseline && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fds = CountOpenFds();
+  }
+  EXPECT_LE(fds, baseline) << "server leaks fds for disconnected clients";
+
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
 // Graceful drain: Shutdown() finishes admitted solves and responds before
 // tearing connections down.
 
@@ -584,6 +670,49 @@ TEST(SolveServerTest, ShutdownDrainsAdmittedSolves) {
   }
   EXPECT_EQ(ids.size(), 4u);
   EXPECT_FALSE(client.RecvLine(&line, 5000)) << "expected EOF, got: " << line;
+}
+
+// A solve dispatched after the drain barrier closes the queue gets a
+// structured rejection — never a silent drop with no response.
+TEST(SolveServerTest, SolveDispatchedDuringDrainIsRejectedNotDropped) {
+  if (!Failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  SolveServerOptions options;
+  options.socket_path = SocketPath("draingate");
+  options.num_workers = 1;
+  SolveServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path));
+
+  // The slow-drain failpoint fires right after Shutdown closes the queue
+  // (readers are still up). The callback signals the test and then holds
+  // Shutdown inside the drain window while the late solve goes out.
+  std::atomic<bool> queue_closed{false};
+  Failpoints::Instance().Enable(
+      names::kFpServerSlowDrain,
+      [&queue_closed](void*) {
+        queue_closed.store(true);
+        std::this_thread::sleep_for(std::chrono::seconds(2));
+      },
+      /*skip=*/0, /*fire=*/1);
+  std::thread shutdown_thread([&server] { server.Shutdown(); });
+  while (!queue_closed.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  bool sent = client.Send(SolveRequestLine("late", kEasyBody, 1000));
+  std::string line;
+  bool got = sent && client.RecvLine(&line);
+  shutdown_thread.join();
+  Failpoints::Instance().DisableAll();
+
+  ASSERT_TRUE(sent);
+  ASSERT_TRUE(got) << "late solve was silently dropped during drain";
+  EXPECT_EQ(JsonStrField(line, "id"), "late") << line;
+  EXPECT_EQ(JsonStrField(line, "status"), "OVERLOADED") << line;
+  EXPECT_NE(JsonStrField(line, "detail").find("draining"), std::string::npos)
+      << line;
 }
 
 // ---------------------------------------------------------------------------
