@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/strings.h"
 
 namespace fo2dt {
@@ -15,36 +16,32 @@ uint64_t TripleKey(TreeState from, Symbol a, TreeState to) {
 }  // namespace
 
 TreeAutomaton::TreeAutomaton(size_t num_symbols, size_t num_states)
-    : num_symbols_(num_symbols),
-      num_states_(num_states),
-      horizontal_(num_symbols * num_states),
-      vertical_(num_symbols * num_states) {}
+    : num_symbols_(num_symbols), num_states_(num_states) {}
 
 TreeState TreeAutomaton::AddState() {
   ++num_states_;
-  horizontal_.resize(num_symbols_ * num_states_);
-  vertical_.resize(num_symbols_ * num_states_);
+  InvalidateIndex();  // the CSR offset table is sized by |Q|·|Σ| cells
   return static_cast<TreeState>(num_states_ - 1);
 }
 
 void TreeAutomaton::AddHorizontal(TreeState from, Symbol a, TreeState to) {
   if (!horizontal_set_.insert(TripleKey(from, a, to)).second) return;
-  horizontal_[Key(from, a)].push_back(to);
   horizontal_list_.emplace_back(from, a, to);
+  InvalidateIndex();
 }
 
 void TreeAutomaton::AddVertical(TreeState from, Symbol a, TreeState to) {
   if (!vertical_set_.insert(TripleKey(from, a, to)).second) return;
-  vertical_[Key(from, a)].push_back(to);
   vertical_list_.emplace_back(from, a, to);
+  InvalidateIndex();
 }
 
-void TreeAutomaton::SetInitial(TreeState q) { initial_.insert(q); }
+void TreeAutomaton::SetInitial(TreeState q) { initial_.Insert(q); }
 
-void TreeAutomaton::SetNonFirst(TreeState q) { non_first_.insert(q); }
+void TreeAutomaton::SetNonFirst(TreeState q) { non_first_.Insert(q); }
 
 void TreeAutomaton::SetAccepting(TreeState q, Symbol a) {
-  accepting_.emplace(q, a);
+  accepting_.Insert(static_cast<uint32_t>(Key(q, a)));
 }
 
 bool TreeAutomaton::HasHorizontal(TreeState from, Symbol a, TreeState to) const {
@@ -56,17 +53,47 @@ bool TreeAutomaton::HasVertical(TreeState from, Symbol a, TreeState to) const {
 }
 
 bool TreeAutomaton::IsAccepting(TreeState q, Symbol a) const {
-  return accepting_.count({q, a}) > 0;
+  return accepting_.Contains(static_cast<uint32_t>(Key(q, a)));
 }
 
-const std::vector<TreeState>& TreeAutomaton::HorizontalSuccessors(
-    TreeState q, Symbol a) const {
-  return horizontal_[Key(q, a)];
+void TreeAutomaton::BuildCsr(
+    const std::vector<std::tuple<TreeState, Symbol, TreeState>>& list,
+    Csr* csr) const {
+  const size_t cells = num_states_ * num_symbols_;
+  csr->offsets.assign(cells + 1, 0);
+  for (const auto& [f, a, to] : list) {
+    (void)to;
+    ++csr->offsets[Key(f, a) + 1];
+  }
+  for (size_t k = 0; k < cells; ++k) csr->offsets[k + 1] += csr->offsets[k];
+  csr->targets.resize(list.size());
+  // Stable counting sort: per-key insertion order is preserved, so witness
+  // extraction walks successors in exactly the order AddHorizontal saw them.
+  std::vector<uint32_t> cursor(csr->offsets.begin(), csr->offsets.end() - 1);
+  for (const auto& [f, a, to] : list) csr->targets[cursor[Key(f, a)]++] = to;
 }
 
-const std::vector<TreeState>& TreeAutomaton::VerticalSuccessors(
-    TreeState q, Symbol a) const {
-  return vertical_[Key(q, a)];
+void TreeAutomaton::EnsureIndex() const {
+  if (index_.fresh.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_.mu);
+  if (index_.fresh.load(std::memory_order_relaxed)) return;
+  BuildCsr(horizontal_list_, &index_.horizontal);
+  BuildCsr(vertical_list_, &index_.vertical);
+  index_.fresh.store(true, std::memory_order_release);
+}
+
+StateSpan TreeAutomaton::HorizontalSuccessors(TreeState q, Symbol a) const {
+  EnsureIndex();
+  const Csr& c = index_.horizontal;
+  const size_t k = Key(q, a);
+  return {c.targets.data() + c.offsets[k], c.offsets[k + 1] - c.offsets[k]};
+}
+
+StateSpan TreeAutomaton::VerticalSuccessors(TreeState q, Symbol a) const {
+  EnsureIndex();
+  const Csr& c = index_.vertical;
+  const size_t k = Key(q, a);
+  return {c.targets.data() + c.offsets[k], c.offsets[k + 1] - c.offsets[k]};
 }
 
 bool TreeAutomaton::IsAcceptingRun(const DataTree& t, const TreeRun& run) const {
@@ -114,61 +141,98 @@ std::vector<NodeId> PostOrder(const DataTree& t) {
   return out;
 }
 
+/// Copies a Bitset into a \p ws-word arena row (padding with zeros).
+void CopyMask(const Bitset& set, uint64_t* row, size_t ws) {
+  const std::vector<uint64_t>& words = set.words();
+  const size_t n = words.size() < ws ? words.size() : ws;
+  for (size_t w = 0; w < n; ++w) row[w] = words[w];
+}
+
 }  // namespace
 
 // Computes, for each node v, the set P(v) of states consistent with v's
 // subtree and with v's left siblings (and their subtrees). NotFound when some
-// node admits no state.
-Result<std::vector<std::set<TreeState>>> TreeAutomaton::AcceptingRunStates(
+// node admits no state. The propagation runs over |Q|-bit rows carved from
+// the solve arena: one row per node plus three scratch rows, no per-node
+// containers.
+Result<std::vector<std::vector<TreeState>>> TreeAutomaton::AcceptingRunStates(
     const DataTree& t) const {
   if (t.empty()) return Status::InvalidArgument("empty tree has no runs");
-  std::vector<std::set<TreeState>> p(t.size());
+  EnsureIndex();
+  const size_t ns = num_states_;
+  const size_t ws = (ns + 63) / 64;
+  SolveArena& arena = SolveArena::ThreadLocal();
+  SolveArena::Frame frame(arena);
+  uint64_t* p = arena.AllocateArray<uint64_t>(t.size() * ws);
+  uint64_t* base = arena.AllocateArray<uint64_t>(ws);
+  uint64_t* step = arena.AllocateArray<uint64_t>(ws);
+  uint64_t* init_mask = arena.AllocateArray<uint64_t>(ws);
+  uint64_t* nf_mask = arena.AllocateArray<uint64_t>(ws);
+  CopyMask(initial_, init_mask, ws);
+  CopyMask(non_first_, nf_mask, ws);
+
   const std::vector<NodeId> order = PostOrder(t);
   for (NodeId v : order) {
-    std::set<TreeState> allowed;
     const bool is_leaf = t.first_child(v) == kNoNode;
-    // Constraint from below: state must be a δv-successor of the last child.
-    std::set<TreeState> up;
-    if (!is_leaf) {
-      NodeId lc = t.last_child(v);
-      for (TreeState q : p[lc]) {
-        for (TreeState r : VerticalSuccessors(q, t.label(lc))) up.insert(r);
-      }
-    }
     // Base constraint: leaves take initial states; internal nodes take
     // δv-successors of their last child.
-    const std::set<TreeState>& base =
-        is_leaf ? std::set<TreeState>(initial_.begin(), initial_.end()) : up;
-    NodeId prev = t.prev_sibling(v);
+    if (is_leaf) {
+      std::copy(init_mask, init_mask + ws, base);
+    } else {
+      std::fill(base, base + ws, uint64_t{0});
+      const NodeId lc = t.last_child(v);
+      const Symbol la = t.label(lc);
+      ForEachSetBit(p + size_t{lc} * ws, ws, [&](uint32_t q) {
+        for (TreeState r : VerticalSuccessors(q, la)) {
+          base[r / 64] |= uint64_t{1} << (r % 64);
+        }
+      });
+    }
+    uint64_t* row = p + size_t{v} * ws;
+    const NodeId prev = t.prev_sibling(v);
+    uint64_t any = 0;
     if (prev == kNoNode) {
       // First siblings cannot use non-first states.
-      for (TreeState q : base) {
-        if (!IsNonFirst(q)) allowed.insert(q);
+      for (size_t w = 0; w < ws; ++w) {
+        row[w] = base[w] & ~nf_mask[w];
+        any |= row[w];
       }
     } else {
-      std::set<TreeState> step;
-      for (TreeState q : p[prev]) {
-        for (TreeState r : HorizontalSuccessors(q, t.label(prev))) {
-          step.insert(r);
+      std::fill(step, step + ws, uint64_t{0});
+      const Symbol pa = t.label(prev);
+      ForEachSetBit(p + size_t{prev} * ws, ws, [&](uint32_t q) {
+        for (TreeState r : HorizontalSuccessors(q, pa)) {
+          step[r / 64] |= uint64_t{1} << (r % 64);
         }
+      });
+      for (size_t w = 0; w < ws; ++w) {
+        row[w] = step[w] & base[w];
+        any |= row[w];
       }
-      std::set_intersection(step.begin(), step.end(), base.begin(), base.end(),
-                            std::inserter(allowed, allowed.begin()));
     }
-    if (allowed.empty()) return Status::NotFound("tree admits no run");
-    p[v] = std::move(allowed);
+    if (any == 0) return Status::NotFound("tree admits no run");
   }
   // Filter the root by acceptance; the returned sets are the P(v) sets, with
   // the root restricted to accepting states. (Callers wanting exact
   // per-node accepting-run state sets should use a downward pass; for type
   // assignment under unambiguous schemas P(v) is already exact.)
-  std::set<TreeState> root_ok;
-  for (TreeState q : p[t.root()]) {
-    if (IsAccepting(q, t.label(t.root()))) root_ok.insert(q);
+  uint64_t* root_row = p + size_t{t.root()} * ws;
+  const Symbol root_label = t.label(t.root());
+  ForEachSetBit(root_row, ws, [&](uint32_t q) {
+    if (!IsAccepting(q, root_label)) {
+      root_row[q / 64] &= ~(uint64_t{1} << (q % 64));
+    }
+  });
+  uint64_t root_any = 0;
+  for (size_t w = 0; w < ws; ++w) root_any |= root_row[w];
+  if (root_any == 0) return Status::NotFound("no accepting run");
+
+  std::vector<std::vector<TreeState>> out(t.size());
+  for (NodeId v = 0; v < t.size(); ++v) {
+    ForEachSetBit(p + size_t{v} * ws, ws,
+                  [&](uint32_t q) { out[v].push_back(q); });
   }
-  if (root_ok.empty()) return Status::NotFound("no accepting run");
-  p[t.root()] = std::move(root_ok);
-  return p;
+  return out;
 }
 
 bool TreeAutomaton::Accepts(const DataTree& t) const {
@@ -176,12 +240,12 @@ bool TreeAutomaton::Accepts(const DataTree& t) const {
 }
 
 Result<TreeRun> TreeAutomaton::FindAcceptingRun(const DataTree& t) const {
-  FO2DT_ASSIGN_OR_RETURN(std::vector<std::set<TreeState>> p,
+  FO2DT_ASSIGN_OR_RETURN(std::vector<std::vector<TreeState>> p,
                          AcceptingRunStates(t));
   TreeRun run(t.size(), 0);
   // Assign the root, then per siblinghood choose states right-to-left; the
   // construction of P guarantees every choice extends leftward.
-  run[t.root()] = *p[t.root()].begin();
+  run[t.root()] = p[t.root()].front();
   std::vector<NodeId> work = {t.root()};
   while (!work.empty()) {
     NodeId v = work.back();
@@ -237,6 +301,7 @@ Result<DataTree> TreeAutomaton::FindWitnessTree() const {
   const size_t ns = num_states_;
   const size_t na = num_symbols_;
   if (ns == 0 || na == 0) return Status::NotFound("tree automaton is empty");
+  EnsureIndex();
 
   struct SPairInfo {
     enum Kind { kFirstLeaf, kFirstUp, kStepLeaf, kStepUp } kind = kFirstLeaf;
@@ -247,10 +312,12 @@ Result<DataTree> TreeAutomaton::FindWitnessTree() const {
     TreeState last_q = 0;  // last child pair producing this state
     Symbol last_a = 0;
   };
-  std::vector<char> in_s(ns * na, 0);
-  std::vector<SPairInfo> s_info(ns * na);
-  std::vector<char> in_u(ns, 0);
-  std::vector<UpInfo> u_info(ns);
+  SolveArena& arena = SolveArena::ThreadLocal();
+  SolveArena::Frame frame(arena);
+  char* in_s = arena.AllocateArray<char>(ns * na);
+  SPairInfo* s_info = arena.AllocateArray<SPairInfo>(ns * na);
+  char* in_u = arena.AllocateArray<char>(ns);
+  UpInfo* u_info = arena.AllocateArray<UpInfo>(ns);
   auto key = [na](TreeState q, Symbol a) { return q * na + a; };
 
   auto add_s = [&](TreeState q, Symbol a, SPairInfo info) {
@@ -306,24 +373,30 @@ Result<DataTree> TreeAutomaton::FindWitnessTree() const {
     }
   }
 
-  // Root choice: leaf roots give smaller witnesses; prefer them.
-  const std::pair<TreeState, Symbol>* pick = nullptr;
+  // Root choice: leaf roots give smaller witnesses; prefer them. The pick is
+  // stored by value — accepting() yields proxy pairs, not set references.
+  std::pair<TreeState, Symbol> pick{0, 0};
+  bool have_pick = false;
   bool pick_leaf = false;
-  for (const auto& pair : accepting_) {
-    if (IsNonFirst(pair.first)) continue;
-    if (IsInitial(pair.first)) {
-      pick = &pair;
+  for (const auto& [q, a] : accepting()) {
+    if (IsNonFirst(q)) continue;
+    if (IsInitial(q)) {
+      pick = {q, a};
+      have_pick = true;
       pick_leaf = true;
       break;
     }
-    if (in_u[pair.first] && pick == nullptr) pick = &pair;
+    if (in_u[q] && !have_pick) {
+      pick = {q, a};
+      have_pick = true;
+    }
   }
-  if (pick == nullptr) {
+  if (!have_pick) {
     return Status::NotFound("tree automaton language is empty");
   }
 
   DataTree t;
-  (void)t.CreateRoot(pick->second, 0);
+  (void)t.CreateRoot(pick.second, 0);
   // Expand internal nodes by unrolling chain derivations. Task: realize the
   // children of `parent` so the last child is the pair (last_q, last_a).
   struct Task {
@@ -334,7 +407,7 @@ Result<DataTree> TreeAutomaton::FindWitnessTree() const {
   std::vector<Task> tasks;
   if (!pick_leaf) {
     tasks.push_back(
-        {t.root(), u_info[pick->first].last_q, u_info[pick->first].last_a});
+        {t.root(), u_info[pick.first].last_q, u_info[pick.first].last_a});
   }
   while (!tasks.empty()) {
     Task task = tasks.back();
@@ -372,6 +445,7 @@ Result<TreeAutomaton> TreeAutomaton::Intersect(const TreeAutomaton& a,
   if (a.num_symbols() != b.num_symbols()) {
     return Status::InvalidArgument("product requires matching alphabets");
   }
+  b.EnsureIndex();
   const size_t nb = b.num_states();
   TreeAutomaton out(a.num_symbols(), a.num_states() * nb);
   auto pair_id = [nb](TreeState qa, TreeState qb) {
@@ -394,8 +468,8 @@ Result<TreeAutomaton> TreeAutomaton::Intersect(const TreeAutomaton& a,
   for (TreeState qa : a.initial_) {
     for (TreeState qb : b.initial_) out.SetInitial(pair_id(qa, qb));
   }
-  for (const auto& [qa, sym] : a.accepting_) {
-    for (const auto& [qb, sym2] : b.accepting_) {
+  for (const auto& [qa, sym] : a.accepting()) {
+    for (const auto& [qb, sym2] : b.accepting()) {
       if (sym == sym2) out.SetAccepting(pair_id(qa, qb), sym);
     }
   }
@@ -431,8 +505,38 @@ Result<TreeAutomaton> TreeAutomaton::Union(const TreeAutomaton& a,
   for (TreeState q : b.initial_) out.SetInitial(q + off);
   for (TreeState q : a.non_first_) out.SetNonFirst(q);
   for (TreeState q : b.non_first_) out.SetNonFirst(q + off);
-  for (const auto& [q, sym] : a.accepting_) out.SetAccepting(q, sym);
-  for (const auto& [q, sym] : b.accepting_) out.SetAccepting(q + off, sym);
+  for (const auto& [q, sym] : a.accepting()) out.SetAccepting(q, sym);
+  for (const auto& [q, sym] : b.accepting()) out.SetAccepting(q + off, sym);
+  return out;
+}
+
+TreeAutomaton TreeAutomaton::RestrictStates(const std::vector<bool>& keep) const {
+  const size_t ns = num_states_;
+  std::vector<TreeState> remap(ns, 0);
+  TreeState next = 0;
+  for (TreeState q = 0; q < ns; ++q) {
+    if (keep[q]) remap[q] = next++;
+  }
+  TreeAutomaton out(num_symbols_, next);
+  for (const auto& [f, a, to] : horizontal_list_) {
+    if (keep[f] && keep[to]) out.AddHorizontal(remap[f], a, remap[to]);
+  }
+  for (const auto& [f, a, to] : vertical_list_) {
+    if (keep[f] && keep[to]) out.AddVertical(remap[f], a, remap[to]);
+  }
+  // Membership of every surviving state travels with it under the
+  // renumbering — in particular a surviving NF state stays NF even when the
+  // δh-predecessor that used to reach it was dropped (it then simply has no
+  // legal position, which Trim's next round or emptiness checking surfaces).
+  for (TreeState q : initial_) {
+    if (keep[q]) out.SetInitial(remap[q]);
+  }
+  for (TreeState q : non_first_) {
+    if (keep[q]) out.SetNonFirst(remap[q]);
+  }
+  for (const auto& [q, a] : accepting()) {
+    if (keep[q]) out.SetAccepting(remap[q], a);
+  }
   return out;
 }
 
@@ -442,6 +546,7 @@ TreeAutomaton TreeAutomaton::Trim() const {
   // a realizable last child, possibly after δh steps).
   const size_t ns = num_states_;
   const size_t na = num_symbols_;
+  EnsureIndex();
   std::vector<char> in_s(ns, 0);  // occupiable at some position (any label)
   std::vector<char> in_u(ns, 0);  // occupiable with children
   for (TreeState q : initial_) in_s[q] = 1;  // leaves fit anywhere w.r.t. NF?
@@ -474,10 +579,41 @@ TreeAutomaton TreeAutomaton::Trim() const {
       }
     }
   }
-  // Co-reachability from accepting roots over reversed edges.
+  // Co-reachability from accepting roots over reversed edges, via a CSR
+  // reverse-adjacency built once — each state's predecessor list is scanned
+  // exactly once when the state pops, instead of rescanning every edge list
+  // per popped state.
+  std::vector<uint32_t> roff(ns + 1, 0);
+  for (const auto& [f, a, to] : vertical_list_) {
+    (void)f;
+    (void)a;
+    ++roff[to + 1];
+  }
+  for (const auto& [f, a, to] : horizontal_list_) {
+    (void)a;
+    // δh edges relax in both directions: predecessors stay useful, and so do
+    // right siblings of useful states.
+    ++roff[to + 1];
+    ++roff[f + 1];
+  }
+  for (size_t q = 0; q < ns; ++q) roff[q + 1] += roff[q];
+  std::vector<TreeState> radj(vertical_list_.size() +
+                              2 * horizontal_list_.size());
+  {
+    std::vector<uint32_t> cursor(roff.begin(), roff.end() - 1);
+    for (const auto& [f, a, to] : vertical_list_) {
+      (void)a;
+      radj[cursor[to]++] = f;
+    }
+    for (const auto& [f, a, to] : horizontal_list_) {
+      (void)a;
+      radj[cursor[to]++] = f;
+      radj[cursor[f]++] = to;
+    }
+  }
   std::vector<char> useful(ns, 0);
   std::vector<TreeState> work;
-  for (const auto& [q, a] : accepting_) {
+  for (const auto& [q, a] : accepting()) {
     (void)a;
     if (!useful[q] && in_s[q] && !IsNonFirst(q)) {
       useful[q] = 1;
@@ -487,45 +623,17 @@ TreeAutomaton TreeAutomaton::Trim() const {
   while (!work.empty()) {
     TreeState q = work.back();
     work.pop_back();
-    auto relax = [&](TreeState p) {
+    for (uint32_t i = roff[q]; i < roff[q + 1]; ++i) {
+      const TreeState p = radj[i];
       if (!useful[p] && in_s[p]) {
         useful[p] = 1;
         work.push_back(p);
       }
-    };
-    for (const auto& [f, a, to] : vertical_list_) {
-      (void)a;
-      if (to == q) relax(f);
-    }
-    for (const auto& [f, a, to] : horizontal_list_) {
-      (void)a;
-      if (to == q) relax(f);
-      if (f == q) relax(to);  // keep right siblings of useful states
     }
   }
-  // Remap.
-  std::vector<TreeState> remap(ns, 0);
-  TreeState next = 0;
-  for (TreeState q = 0; q < ns; ++q) {
-    if (useful[q]) remap[q] = next++;
-  }
-  TreeAutomaton out(na, next);
-  for (const auto& [f, a, to] : horizontal_list_) {
-    if (useful[f] && useful[to]) out.AddHorizontal(remap[f], a, remap[to]);
-  }
-  for (const auto& [f, a, to] : vertical_list_) {
-    if (useful[f] && useful[to]) out.AddVertical(remap[f], a, remap[to]);
-  }
-  for (TreeState q : initial_) {
-    if (useful[q]) out.SetInitial(remap[q]);
-  }
-  for (TreeState q : non_first_) {
-    if (useful[q]) out.SetNonFirst(remap[q]);
-  }
-  for (const auto& [q, a] : accepting_) {
-    if (useful[q]) out.SetAccepting(remap[q], a);
-  }
-  return out;
+  std::vector<bool> keep(ns, false);
+  for (TreeState q = 0; q < ns; ++q) keep[q] = useful[q] != 0;
+  return RestrictStates(keep);
 }
 
 TreeAutomaton TreeAutomaton::Universal(size_t num_symbols) {
@@ -560,7 +668,7 @@ std::string TreeAutomaton::ToString(const Alphabet& alphabet) const {
   out += "\n  non-first:";
   for (TreeState q : non_first_) out += StringFormat(" q%u", q);
   out += "\n  accepting:";
-  for (const auto& [q, a] : accepting_) {
+  for (const auto& [q, a] : accepting()) {
     out += StringFormat(" (q%u,%s)", q, alphabet.Name(a).c_str());
   }
   out += "\n  horizontal:\n";

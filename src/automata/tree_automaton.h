@@ -30,16 +30,27 @@
 /// last child into its parent — the shape that makes the translation to
 /// EMSO2(+1) (Fact 1) immediate, and that the LCTA layer (Theorem 2) counts
 /// over.
+///
+/// Representation: the state sets are bitsets (I and NF over Q, F as a
+/// Q × Σ bit-matrix) and successor lookup goes through a CSR-style
+/// offset+payload index rebuilt lazily after mutation — membership tests and
+/// successor-range fetches are O(1), with no node-based containers on the
+/// solve path. Iteration over every set and view below visits elements in
+/// ascending order, exactly the order the previous `std::set` members
+/// produced, so the canonical `automaton_io` text (and the FNV-1a solve-cache
+/// keys derived from it) is byte-identical across the representation change.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/status.h"
 #include "common/symbol.h"
 #include "datatree/data_tree.h"
@@ -51,6 +62,66 @@ using TreeState = uint32_t;
 
 /// \brief A run of a tree automaton: state per node, indexed by NodeId.
 using TreeRun = std::vector<TreeState>;
+
+/// \brief Contiguous successor range of one (state, symbol) key.
+struct StateSpan {
+  const TreeState* ptr = nullptr;
+  size_t len = 0;
+
+  const TreeState* begin() const { return ptr; }
+  const TreeState* end() const { return ptr + len; }
+  size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  TreeState operator[](size_t i) const { return ptr[i]; }
+};
+
+/// \brief Read view over the accepting bit-matrix as sorted (state, symbol)
+/// pairs — the iteration shape the old `std::set<std::pair<...>>` exposed.
+class AcceptingView {
+ public:
+  AcceptingView(const Bitset* bits, size_t num_symbols)
+      : bits_(bits), num_symbols_(num_symbols) {}
+
+  size_t size() const { return bits_->size(); }
+  bool empty() const { return bits_->empty(); }
+
+  class const_iterator {
+   public:
+    const_iterator(Bitset::const_iterator it, size_t num_symbols)
+        : it_(it), num_symbols_(num_symbols) {}
+
+    std::pair<TreeState, Symbol> operator*() const {
+      const uint32_t cell = *it_;
+      return {static_cast<TreeState>(cell / num_symbols_),
+              static_cast<Symbol>(cell % num_symbols_)};
+    }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.it_ == b.it_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    Bitset::const_iterator it_;
+    size_t num_symbols_;
+  };
+
+  const_iterator begin() const {
+    return const_iterator(bits_->begin(), num_symbols_);
+  }
+  const_iterator end() const {
+    return const_iterator(bits_->end(), num_symbols_);
+  }
+
+ private:
+  const Bitset* bits_;
+  size_t num_symbols_;
+};
 
 /// \brief Nondeterministic unranked tree automaton (hedge style).
 class TreeAutomaton {
@@ -76,14 +147,14 @@ class TreeAutomaton {
 
   bool HasHorizontal(TreeState from, Symbol a, TreeState to) const;
   bool HasVertical(TreeState from, Symbol a, TreeState to) const;
-  bool IsInitial(TreeState q) const { return initial_.count(q) > 0; }
-  bool IsNonFirst(TreeState q) const { return non_first_.count(q) > 0; }
+  bool IsInitial(TreeState q) const { return initial_.Contains(q); }
+  bool IsNonFirst(TreeState q) const { return non_first_.Contains(q); }
   bool IsAccepting(TreeState q, Symbol a) const;
 
-  const std::set<TreeState>& initial() const { return initial_; }
-  const std::set<TreeState>& non_first() const { return non_first_; }
-  const std::set<std::pair<TreeState, Symbol>>& accepting() const {
-    return accepting_;
+  const Bitset& initial() const { return initial_; }
+  const Bitset& non_first() const { return non_first_; }
+  AcceptingView accepting() const {
+    return AcceptingView(&accepting_, num_symbols_);
   }
   /// All horizontal transitions as (from, symbol, to) triples.
   const std::vector<std::tuple<TreeState, Symbol, TreeState>>& horizontal()
@@ -95,10 +166,11 @@ class TreeAutomaton {
     return vertical_list_;
   }
 
-  /// Horizontal successors of (q, a).
-  const std::vector<TreeState>& HorizontalSuccessors(TreeState q, Symbol a) const;
-  /// Vertical successors of (q, a).
-  const std::vector<TreeState>& VerticalSuccessors(TreeState q, Symbol a) const;
+  /// Horizontal successors of (q, a), in insertion order. The returned span
+  /// points into the CSR index: valid until the next mutation.
+  StateSpan HorizontalSuccessors(TreeState q, Symbol a) const;
+  /// Vertical successors of (q, a); same contract.
+  StateSpan VerticalSuccessors(TreeState q, Symbol a) const;
 
   /// Whether \p run is an accepting run on \p t (labels read from t).
   bool IsAcceptingRun(const DataTree& t, const TreeRun& run) const;
@@ -109,9 +181,10 @@ class TreeAutomaton {
   /// An accepting run on \p t, or NotFound if none exists.
   Result<TreeRun> FindAcceptingRun(const DataTree& t) const;
 
-  /// All states each node can take in *some* accepting run ("run sets"), or
-  /// NotFound if the tree is rejected. Used by type-annotation layers.
-  Result<std::vector<std::set<TreeState>>> AcceptingRunStates(
+  /// All states each node can take in *some* accepting run ("run sets"),
+  /// ascending per node, or NotFound if the tree is rejected. Used by
+  /// type-annotation layers.
+  Result<std::vector<std::vector<TreeState>>> AcceptingRunStates(
       const DataTree& t) const;
 
   /// True when L(A) = ∅.
@@ -129,6 +202,13 @@ class TreeAutomaton {
   /// Disjoint union: accepts L(a) ∪ L(b). Both must share the alphabet.
   static Result<TreeAutomaton> Union(const TreeAutomaton& a,
                                      const TreeAutomaton& b);
+
+  /// The sub-automaton induced by the states with keep[q] true, with ids
+  /// renumbered consecutively in ascending order of the surviving states.
+  /// Transitions touching a dropped state are dropped; initial, non-first
+  /// and accepting membership of every surviving state is preserved under
+  /// the renumbering. \p keep must have size num_states().
+  TreeAutomaton RestrictStates(const std::vector<bool>& keep) const;
 
   /// Removes states that cannot occur in any accepting run (not bottom-up
   /// realizable, or not co-reachable from an accepting root) and remaps ids.
@@ -150,19 +230,55 @@ class TreeAutomaton {
   // Dense key for (state, symbol).
   size_t Key(TreeState q, Symbol a) const { return q * num_symbols_ + a; }
 
+  // CSR successor index over one transition list: targets for key k live at
+  // targets[offsets[k] .. offsets[k+1]), in list insertion order.
+  struct Csr {
+    std::vector<uint32_t> offsets;
+    std::vector<TreeState> targets;
+  };
+
+  // Lazily (re)built successor index. Copies and moves deliberately drop the
+  // built index instead of cloning it — the copy rebuilds on first query —
+  // which keeps TreeAutomaton cheaply copyable and the mutex per instance.
+  // Concurrent *queries* on a built index are safe (double-checked atomic);
+  // mutation is single-threaded, as it always was.
+  struct LazyIndex {
+    LazyIndex() = default;
+    LazyIndex(const LazyIndex&) {}
+    LazyIndex(LazyIndex&&) noexcept {}
+    LazyIndex& operator=(const LazyIndex&) {
+      fresh.store(false, std::memory_order_relaxed);
+      return *this;
+    }
+    LazyIndex& operator=(LazyIndex&&) noexcept {
+      fresh.store(false, std::memory_order_relaxed);
+      return *this;
+    }
+
+    std::mutex mu;
+    std::atomic<bool> fresh{false};
+    Csr horizontal;  // guarded by mu until fresh is published
+    Csr vertical;
+  };
+
+  void EnsureIndex() const;
+  void BuildCsr(
+      const std::vector<std::tuple<TreeState, Symbol, TreeState>>& list,
+      Csr* csr) const;
+  void InvalidateIndex() {
+    index_.fresh.store(false, std::memory_order_relaxed);
+  }
+
   size_t num_symbols_;
   size_t num_states_;
-  // successor lists indexed by Key(q, a).
-  std::vector<std::vector<TreeState>> horizontal_;
-  std::vector<std::vector<TreeState>> vertical_;
   std::vector<std::tuple<TreeState, Symbol, TreeState>> horizontal_list_;
   std::vector<std::tuple<TreeState, Symbol, TreeState>> vertical_list_;
   std::unordered_set<uint64_t> horizontal_set_;
   std::unordered_set<uint64_t> vertical_set_;
-  std::set<TreeState> initial_;
-  std::set<TreeState> non_first_;
-  std::set<std::pair<TreeState, Symbol>> accepting_;
+  Bitset initial_;
+  Bitset non_first_;
+  Bitset accepting_;  // bit-matrix, cell = Key(q, a)
+  mutable LazyIndex index_;
 };
 
 }  // namespace fo2dt
-

@@ -1,0 +1,90 @@
+#include "common/arena.h"
+
+#include "common/execution_context.h"
+
+namespace fo2dt {
+
+namespace {
+
+// First block size; doubles per block up to the growth cap so one warm-up
+// solve settles the block list for a whole serving process.
+constexpr size_t kMinBlockBytes = size_t{64} * 1024;
+constexpr size_t kMaxBlockBytes = size_t{8} * 1024 * 1024;
+
+size_t AlignUp(size_t x, size_t a) { return (x + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+SolveArena& SolveArena::ThreadLocal() {
+  static thread_local SolveArena arena;
+  return arena;
+}
+
+void SolveArena::AddBlock(size_t min_bytes) {
+  size_t cap = blocks_.empty() ? kMinBlockBytes : blocks_.back().cap * 2;
+  if (cap > kMaxBlockBytes) cap = kMaxBlockBytes;
+  if (cap < min_bytes) cap = min_bytes;
+  Block b;
+  b.data.reset(new char[cap]);
+  b.cap = cap;
+  blocks_.push_back(std::move(b));
+  reserved_ += cap;
+  // Accounting, not enforcement: the gauge keeps the governor's per-phase
+  // memory numbers honest, but scratch growth cannot abort mid-allocation —
+  // a budget overrun surfaces at the next resident-structure charge or
+  // deadline check.
+  if (exec_ != nullptr) (void)exec_->ChargeMemory(cap, module_);
+}
+
+void* SolveArena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (cur_block_ < blocks_.size()) {
+      Block& b = blocks_[cur_block_];
+      const size_t off = AlignUp(cur_off_, align);
+      if (off + bytes <= b.cap) {
+        cur_off_ = off + bytes;
+        used_ += bytes;
+        if (used_ > high_water_) high_water_ = used_;
+        return b.data.get() + off;
+      }
+      // Block exhausted; fall through to the next retained block (or a new
+      // one). Skipped tail space is reclaimed when the frame rewinds.
+      ++cur_block_;
+      cur_off_ = 0;
+      continue;
+    }
+    AddBlock(bytes + align);
+    cur_block_ = blocks_.size() - 1;
+    cur_off_ = 0;
+  }
+}
+
+void SolveArena::AttachAccounting(const ExecutionContext* exec,
+                                  const char* module) {
+  exec_ = exec;
+  module_ = module;
+  // Blocks warm from earlier solves are this solve's scratch footprint too;
+  // charge them once so the gauge starts from the true reservation.
+  if (exec_ != nullptr && reserved_ != 0) {
+    (void)exec_->ChargeMemory(reserved_, module_);
+  }
+}
+
+ScopedArenaAccounting::ScopedArenaAccounting(const ExecutionContext* exec,
+                                             const char* module) {
+  SolveArena& arena = SolveArena::ThreadLocal();
+  prev_exec_ = arena.exec_;
+  prev_module_ = arena.module_;
+  arena.AttachAccounting(exec, module);
+}
+
+ScopedArenaAccounting::~ScopedArenaAccounting() {
+  // Restore without re-charging: the outer scope already accounted for the
+  // blocks reserved while it was attached.
+  SolveArena& arena = SolveArena::ThreadLocal();
+  arena.exec_ = prev_exec_;
+  arena.module_ = prev_module_;
+}
+
+}  // namespace fo2dt

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "automata/automaton_io.h"
+#include "common/arena.h"
+#include "common/bitset.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/registry_names.h"
@@ -103,12 +105,24 @@ Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
     (void)sym;
     ver_sources[tgt].push_back(p);
   }
-  std::vector<std::vector<char>> support(g.q, std::vector<char>(g.q, 0));
+  // The support matrix is |Q|² bits of pure scratch: bit rows out of the
+  // solve arena (one |Q|-bit row per parent) instead of a vector-of-vectors
+  // of bytes.
+  const size_t srow = (g.q + 63) / 64;
+  SolveArena& arena = SolveArena::ThreadLocal();
+  SolveArena::Frame arena_frame(arena);
+  uint64_t* support = arena.AllocateArray<uint64_t>(g.q * srow);
+  auto support_test = [&](TreeState parent, TreeState p) {
+    return (support[parent * srow + p / 64] >> (p % 64)) & 1;
+  };
+  auto support_set = [&](TreeState parent, TreeState p) {
+    support[parent * srow + p / 64] |= uint64_t{1} << (p % 64);
+  };
   for (TreeState parent = 0; parent < g.q; ++parent) {
     std::vector<TreeState> work;
     for (TreeState p : ver_sources[parent]) {
-      if (!support[parent][p]) {
-        support[parent][p] = 1;
+      if (!support_test(parent, p)) {
+        support_set(parent, p);
         work.push_back(p);
       }
     }
@@ -116,8 +130,8 @@ Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
       TreeState cur = work.back();
       work.pop_back();
       for (TreeState p : rev_hor[cur]) {
-        if (!support[parent][p]) {
-          support[parent][p] = 1;
+        if (!support_test(parent, p)) {
+          support_set(parent, p);
           work.push_back(p);
         }
       }
@@ -146,7 +160,7 @@ Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
       g.productions.push_back(p);
     }
     for (TreeState first = 0; first < g.q; ++first) {
-      if (a.IsNonFirst(first) || !support[s][first]) continue;
+      if (a.IsNonFirst(first) || !support_test(s, first)) continue;
       Production p{next++,
                    g.NT_Chain(s),
                    {g.NT_Node(first), tail_id(first, s)},
@@ -161,7 +175,7 @@ Grammar BuildGrammar(const TreeAutomaton& a, VarId base) {
   }
   for (const auto& [p, sym, pp] : hor) {
     for (TreeState parent = 0; parent < g.q; ++parent) {
-      if (!support[parent][p] || !support[parent][pp]) continue;
+      if (!support_test(parent, p) || !support_test(parent, pp)) continue;
       Production prod{next++,
                       tail_id(p, parent),
                       {g.NT_Node(pp), tail_id(pp, parent)},
@@ -218,11 +232,13 @@ LinearConstraint BuildFlowConstraints(const TreeAutomaton& a, const Grammar& g,
 std::vector<size_t> UnreachableUsedNonterminals(const Grammar& g,
                                                 const IntAssignment& sol,
                                                 TreeState root) {
-  std::vector<char> used(g.num_nonterminals, 0);
+  SolveArena& arena = SolveArena::ThreadLocal();
+  SolveArena::Frame arena_frame(arena);
+  char* used = arena.AllocateArray<char>(g.num_nonterminals);
   for (const Production& p : g.productions) {
     if (!sol[p.var].IsZero()) used[p.lhs] = 1;
   }
-  std::vector<char> reach(g.num_nonterminals, 0);
+  char* reach = arena.AllocateArray<char>(g.num_nonterminals);
   reach[g.NT_Node(root)] = 1;
   bool changed = true;
   // fo2dt-lint: allow(no-checkpoint, monotone fixpoint with at most one pass per nonterminal)
@@ -260,7 +276,9 @@ Status OverallStop(const LctaOptions& options) {
 /// U produces into U.
 LinearConstraint ConnectivityCut(const Grammar& g,
                                  const std::vector<size_t>& u) {
-  std::vector<char> in_u(g.num_nonterminals, 0);
+  SolveArena& arena = SolveArena::ThreadLocal();
+  SolveArena::Frame arena_frame(arena);
+  char* in_u = arena.AllocateArray<char>(g.num_nonterminals);
   for (size_t x : u) in_u[x] = 1;
   LinearExpr expansions;
   LinearExpr crossing;
@@ -301,6 +319,10 @@ Status SolveRoot(const Lcta& lcta, const Grammar& g, TreeState root,
   // their own kIlp timers); effort = cut rounds.
   ScopedPhaseTimer phase_timer(Phase::kLcta, options.exec);
   ScopedPhaseMemory phase_memory(Phase::kLcta, options.exec);
+  // This worker thread's arena scratch (DNF cut scratch, connectivity
+  // fixpoints, run-set rows) is billed to this solve's governor while the
+  // root is being worked.
+  ScopedArenaAccounting arena_accounting(options.exec, kLctaModule);
   const TreeAutomaton& a = lcta.automaton;
   LinearConstraint flow =
       BuildFlowConstraints(a, g, root, root_label, lcta.use_symbol_counts);
@@ -452,14 +474,18 @@ Result<LctaEmptinessResult> CheckLctaEmptinessImpl(const Lcta& lcta,
   std::optional<ScopedPhaseTimer> phase_timer;
   phase_timer.emplace(Phase::kLcta, options.exec);
   ScopedPhaseMemory phase_memory(Phase::kLcta, options.exec);
+  // Main-thread arena accounting for the shared grammar build; each fan-out
+  // worker's SolveRoot installs its own attachment for its thread's arena.
+  ScopedArenaAccounting arena_accounting(options.exec, kLctaModule);
   const TreeAutomaton& a = lcta.automaton;
-  if (lcta.constraint.NumVarsSpanned() > lcta.NumUserVars()) {
+  FO2DT_ASSIGN_OR_RETURN(const VarId num_user_vars, lcta.CheckedNumUserVars());
+  if (lcta.constraint.NumVarsSpanned() > num_user_vars) {
     return Status::InvalidArgument(
         "LCTA constraint mentions a variable beyond the user block");
   }
   // Grammar and flow structure are built once for the whole check and shared
   // (read-only) by every root worker.
-  Grammar g = BuildGrammar(a, lcta.NumUserVars());
+  Grammar g = BuildGrammar(a, num_user_vars);
   LctaEmptinessResult out;
   out.empty = true;
 

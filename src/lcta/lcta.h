@@ -41,10 +41,36 @@ struct Lcta {
   VarId num_aux = 0;
 
   /// First id after the user-visible variable block.
+  ///
+  /// Precondition: the block fits VarId — callers on untrusted inputs must
+  /// validate through CheckedNumUserVars() first (hostile bodies can send
+  /// num_aux near UINT32_MAX, and unchecked uint32 arithmetic here would
+  /// silently wrap into a small, wrong variable layout).
   VarId NumUserVars() const {
     return static_cast<VarId>(automaton.num_states() +
                               (use_symbol_counts ? automaton.num_symbols() : 0) +
                               num_aux);
+  }
+
+  /// Overflow-checked NumUserVars: InvalidArgument when the user-visible
+  /// block cannot fit the VarId space with headroom left for the production
+  /// variables the Parikh grammar appends after it.
+  Result<VarId> CheckedNumUserVars() const {
+    // Half the VarId space for user variables, half reserved for grammar
+    // production variables (grammar construction would otherwise need its
+    // own overflow check on base + |productions|).
+    constexpr uint64_t kMaxUserVars = uint64_t{1} << 31;
+    const uint64_t total =
+        static_cast<uint64_t>(automaton.num_states()) +
+        (use_symbol_counts ? static_cast<uint64_t>(automaton.num_symbols())
+                           : 0) +
+        static_cast<uint64_t>(num_aux);
+    if (total > kMaxUserVars) {
+      return Status::InvalidArgument(
+          "LCTA variable block overflows the solver id space (num_states + "
+          "symbol counts + num_aux too large)");
+    }
+    return static_cast<VarId>(total);
   }
 };
 

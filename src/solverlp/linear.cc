@@ -15,9 +15,17 @@ LinearExpr LinearExpr::Variable(VarId v) {
 
 void LinearExpr::AddTerm(VarId v, const BigInt& coeff) {
   if (coeff.IsZero()) return;
-  auto it = terms_.find(v);
-  if (it == terms_.end()) {
-    terms_.emplace(v, coeff);
+  // Fast path: appending past the largest id so far (how flow-equation and
+  // usage-vector builders emit terms) costs one push_back.
+  if (terms_.empty() || terms_.back().first < v) {
+    terms_.emplace_back(v, coeff);
+    return;
+  }
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), v,
+      [](const Term& t, VarId key) { return t.first < key; });
+  if (it == terms_.end() || it->first != v) {
+    terms_.insert(it, Term(v, coeff));
     return;
   }
   it->second += coeff;
@@ -25,19 +33,40 @@ void LinearExpr::AddTerm(VarId v, const BigInt& coeff) {
 }
 
 BigInt LinearExpr::CoefficientOf(VarId v) const {
-  auto it = terms_.find(v);
-  return it == terms_.end() ? BigInt(0) : it->second;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), v,
+      [](const Term& t, VarId key) { return t.first < key; });
+  return it == terms_.end() || it->first != v ? BigInt(0) : it->second;
 }
 
 VarId LinearExpr::NumVarsSpanned() const {
   if (terms_.empty()) return 0;
-  return terms_.rbegin()->first + 1;
+  return terms_.back().first + 1;
 }
 
 LinearExpr LinearExpr::operator+(const LinearExpr& o) const {
-  LinearExpr out = *this;
-  for (const auto& [v, c] : o.terms_) out.AddTerm(v, c);
-  out.constant_ += o.constant_;
+  // Linear merge of the two sorted term lists (the map version re-inserted
+  // every right-hand term at O(log n) apiece).
+  LinearExpr out;
+  out.terms_.reserve(terms_.size() + o.terms_.size());
+  auto a = terms_.begin();
+  auto b = o.terms_.begin();
+  // fo2dt-lint: allow(no-checkpoint, merge is bounded by the two term lists)
+  while (a != terms_.end() && b != o.terms_.end()) {
+    if (a->first < b->first) {
+      out.terms_.push_back(*a++);
+    } else if (b->first < a->first) {
+      out.terms_.push_back(*b++);
+    } else {
+      BigInt sum = a->second + b->second;
+      if (!sum.IsZero()) out.terms_.emplace_back(a->first, std::move(sum));
+      ++a;
+      ++b;
+    }
+  }
+  out.terms_.insert(out.terms_.end(), a, terms_.end());
+  out.terms_.insert(out.terms_.end(), b, o.terms_.end());
+  out.constant_ = constant_ + o.constant_;
   return out;
 }
 
@@ -48,7 +77,8 @@ LinearExpr LinearExpr::operator-(const LinearExpr& o) const {
 LinearExpr LinearExpr::operator*(const BigInt& k) const {
   LinearExpr out;
   if (k.IsZero()) return out;
-  for (const auto& [v, c] : terms_) out.terms_.emplace(v, c * k);
+  out.terms_.reserve(terms_.size());
+  for (const auto& [v, c] : terms_) out.terms_.emplace_back(v, c * k);
   out.constant_ = constant_ * k;
   return out;
 }

@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arith/bigint.h"
@@ -29,10 +29,17 @@ using IntAssignment = std::vector<BigInt>;
 
 /// \brief A linear expression sum(coeff_i * var_i) + constant over BigInt.
 ///
-/// Terms are kept in a sorted map keyed by variable; zero coefficients are
-/// erased eagerly so that iteration visits only live terms.
+/// Terms live in a flat vector sorted by variable id; zero coefficients are
+/// erased eagerly so that iteration visits only live terms. The dominant
+/// construction pattern (flow equations appending terms in ascending VarId
+/// order) hits the O(1) append fast path of AddTerm; DNF branch copies and
+/// tableau loads are contiguous memcpy-like traversals instead of
+/// node-by-node map walks.
 class LinearExpr {
  public:
+  using Term = std::pair<VarId, BigInt>;
+  using Terms = std::vector<Term>;
+
   LinearExpr() = default;
   /// The constant expression \p c.
   explicit LinearExpr(BigInt c) : constant_(std::move(c)) {}
@@ -46,7 +53,8 @@ class LinearExpr {
   void AddConstant(const BigInt& c) { constant_ += c; }
 
   const BigInt& constant() const { return constant_; }
-  const std::map<VarId, BigInt>& terms() const { return terms_; }
+  /// Live terms sorted by variable id, no zero coefficients.
+  const Terms& terms() const { return terms_; }
 
   /// Coefficient of \p v (zero when absent).
   BigInt CoefficientOf(VarId v) const;
@@ -68,7 +76,7 @@ class LinearExpr {
   std::string ToString(const std::vector<std::string>* names = nullptr) const;
 
  private:
-  std::map<VarId, BigInt> terms_;
+  Terms terms_;  // sorted by VarId, invariant: no zero coefficients
   BigInt constant_;
 };
 

@@ -54,13 +54,74 @@ struct PivotTally {
 
 }  // namespace
 
+IncrementalSimplex::IncrementalSimplex(const IncrementalSimplex& o)
+    : num_cols_(o.num_cols_),
+      stride_(o.stride_),
+      num_rows_(o.num_rows_),
+      rhs_(o.rhs_),
+      basis_(o.basis_),
+      col_to_row_(o.col_to_row_),
+      cost_(o.cost_),
+      num_vars_(o.num_vars_),
+      feasible_(o.feasible_),
+      base_(o.base_),
+      lower_(o.lower_),
+      upper_(o.upper_),
+      exec_(o.exec_),
+      token_(o.token_) {
+  tab_.reserve((num_rows_ + 2) * stride_);
+  tab_.insert(tab_.end(), o.tab_.begin(), o.tab_.end());
+}
+
+IncrementalSimplex& IncrementalSimplex::operator=(const IncrementalSimplex& o) {
+  if (this != &o) *this = IncrementalSimplex(o);
+  return *this;
+}
+
+size_t IncrementalSimplex::AddColumn() {
+  // Growth keeps the slack bounded (~12.5%): branch-and-bound copies the
+  // whole tableau per node, so dead stride cells are copied on every branch
+  // and cheap restrides beat fat rows.
+  if (num_cols_ == stride_) Restride(stride_ + stride_ / 8 + 8);
+  const size_t col = num_cols_++;
+  // Defensive re-zero before the column becomes logically visible (scratch
+  // cells are zero by construction, but no pivot invariant depends on it).
+  for (size_t i = 0; i < num_rows_; ++i) Row(i)[col] = Rational(0);
+  cost_.emplace_back(0);
+  col_to_row_.push_back(kNoRow);
+  return col;
+}
+
+void IncrementalSimplex::Restride(size_t new_stride) {
+  std::vector<Rational> fresh;
+  fresh.reserve((num_rows_ + 2) * new_stride);  // bound-row insertion headroom
+  fresh.resize(num_rows_ * new_stride);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    std::move(tab_.begin() + static_cast<ptrdiff_t>(i * stride_),
+              tab_.begin() + static_cast<ptrdiff_t>(i * stride_ + num_cols_),
+              fresh.begin() + static_cast<ptrdiff_t>(i * new_stride));
+  }
+  tab_ = std::move(fresh);
+  stride_ = new_stride;
+}
+
+void IncrementalSimplex::EraseRow(size_t i) {
+  std::move(tab_.begin() + static_cast<ptrdiff_t>((i + 1) * stride_),
+            tab_.begin() + static_cast<ptrdiff_t>(num_rows_ * stride_),
+            tab_.begin() + static_cast<ptrdiff_t>(i * stride_));
+  --num_rows_;
+  tab_.resize(num_rows_ * stride_);
+  rhs_.erase(rhs_.begin() + static_cast<ptrdiff_t>(i));
+  basis_.erase(basis_.begin() + static_cast<ptrdiff_t>(i));
+}
+
 void IncrementalSimplex::Pivot(size_t row, size_t col) {
   ++SimplexStats::Local().pivots;
-  std::vector<Rational>& prow = rows_[row];
+  Rational* prow = Row(row);
   const Rational p = prow[col];
   if (!p.IsOne()) {
-    for (Rational& v : prow) {
-      if (!v.IsZero()) v /= p;
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (!prow[j].IsZero()) prow[j] /= p;
     }
     rhs_[row] /= p;
   }
@@ -72,9 +133,9 @@ void IncrementalSimplex::Pivot(size_t row, size_t col) {
       nz_scratch_.push_back(static_cast<uint32_t>(j));
     }
   }
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  for (size_t i = 0; i < num_rows_; ++i) {
     if (i == row) continue;
-    std::vector<Rational>& target = rows_[i];
+    Rational* target = Row(i);
     if (target[col].IsZero()) continue;
     const Rational f = target[col];
     target[col] = Rational(0);  // the eliminated column needs no subtraction
@@ -108,19 +169,19 @@ Result<bool> IncrementalSimplex::RunPrimal() {
     if (entering == num_cols_) return true;
 
     // Ratio test with Bland tie-break (smallest basis column index).
-    size_t leaving = rows_.size();
+    size_t leaving = num_rows_;
     Rational best_ratio;
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      const Rational& a = rows_[i][entering];
+    for (size_t i = 0; i < num_rows_; ++i) {
+      const Rational& a = Row(i)[entering];
       if (!a.IsPositive()) continue;
       Rational ratio = rhs_[i] / a;
-      if (leaving == rows_.size() || ratio < best_ratio ||
+      if (leaving == num_rows_ || ratio < best_ratio ||
           (ratio == best_ratio && basis_[i] < basis_[leaving])) {
         leaving = i;
         best_ratio = std::move(ratio);
       }
     }
-    if (leaving == rows_.size()) return false;
+    if (leaving == num_rows_) return false;
     ++tally.count;
     Pivot(leaving, entering);
   }
@@ -139,7 +200,7 @@ IncrementalSimplex::DualStatus IncrementalSimplex::RunDualRepair(
     }
     // Leaving row: negative rhs with the smallest basic column index (Bland).
     size_t r = kNoRow;
-    for (size_t i = 0; i < rows_.size(); ++i) {
+    for (size_t i = 0; i < num_rows_; ++i) {
       if (rhs_[i].IsNegative() && (r == kNoRow || basis_[i] < basis_[r])) {
         r = i;
       }
@@ -149,7 +210,7 @@ IncrementalSimplex::DualStatus IncrementalSimplex::RunDualRepair(
     // Entering column: smallest index with a negative coefficient. With the
     // feasibility objective all reduced costs are zero, so every such column
     // ties the dual ratio test and Bland's smallest-index choice applies.
-    const std::vector<Rational>& row = rows_[r];
+    const Rational* row = Row(r);
     size_t c = num_cols_;
     for (size_t j = 0; j < num_cols_; ++j) {
       if (row[j].IsNegative()) {
@@ -174,10 +235,10 @@ void IncrementalSimplex::InitObjective(const LinearExpr& objective) {
   std::vector<Rational> orig(num_cols_, Rational(0));
   for (const auto& [v, c] : objective.terms()) orig[v] = Rational(c);
   cost_ = orig;
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  for (size_t i = 0; i < num_rows_; ++i) {
     const Rational& cb = orig[basis_[i]];
     if (cb.IsZero()) continue;
-    const std::vector<Rational>& row = rows_[i];
+    const Rational* row = Row(i);
     for (size_t j = 0; j < num_cols_; ++j) {
       if (!row[j].IsZero()) cost_[j] -= cb * row[j];
     }
@@ -186,7 +247,7 @@ void IncrementalSimplex::InitObjective(const LinearExpr& objective) {
 
 void IncrementalSimplex::RebuildColToRow() {
   col_to_row_.assign(num_cols_, kNoRow);
-  for (size_t i = 0; i < rows_.size(); ++i) col_to_row_[basis_[i]] = i;
+  for (size_t i = 0; i < num_rows_; ++i) col_to_row_[basis_[i]] = i;
 }
 
 Result<IncrementalSimplex> IncrementalSimplex::Create(
@@ -221,34 +282,43 @@ Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
     if (atom.rel == LinearRel::kGe) ++num_surplus;
   }
 
-  t.num_cols_ = n + num_surplus + m;  // structural | surplus | artificial
-  t.rows_.assign(m, std::vector<Rational>(t.num_cols_, Rational(0)));
+  t.num_cols_ = n + num_surplus;  // structural | surplus
+  t.stride_ = t.num_cols_ + 8;    // bound-column headroom (see AddColumn)
+  t.num_rows_ = m;
+  t.tab_.assign(m * t.stride_, Rational(0));
   t.rhs_.assign(m, Rational(0));
   t.basis_.assign(m, 0);
-  t.col_to_row_.assign(t.num_cols_, kNoRow);
+  // Ids n+num_surplus .. n+num_surplus+m-1 are the phase-1 artificials. Their
+  // columns are never stored: an artificial starts basic (implicitly a unit
+  // column) and once it leaves the basis it is dropped outright (Chvatal's
+  // rule — a nonbasic artificial may be deleted without changing the phase-1
+  // verdict), so no entering scan ever needs its column. The tableau stays
+  // m x (n+s) instead of m x (n+s+m), which halves the zero-fill and spares
+  // every pivot from maintaining a dense m x m row-operation image.
+  t.col_to_row_.assign(t.num_cols_ + m, kNoRow);
 
   size_t surplus_at = n;
   for (size_t i = 0; i < m; ++i) {
     const LinearAtom& atom = base[i];
+    Rational* row = t.Row(i);
     // expr >= 0 means  sum a_j x_j >= -constant; rhs = -constant.
     for (const auto& [v, c] : atom.expr.terms()) {
-      t.rows_[i][v] = Rational(c);
+      row[v] = Rational(c);
     }
     Rational rhs = Rational(-atom.expr.constant());
     if (atom.rel == LinearRel::kGe) {
-      t.rows_[i][surplus_at++] = Rational(-1);
+      row[surplus_at++] = Rational(-1);
     }
     // Make rhs non-negative for phase 1.
     if (rhs.IsNegative()) {
       for (size_t j = 0; j < t.num_cols_; ++j) {
-        if (!t.rows_[i][j].IsZero()) t.rows_[i][j] = -t.rows_[i][j];
+        if (!row[j].IsZero()) row[j] = -row[j];
       }
       rhs = -rhs;
     }
     t.rhs_[i] = rhs;
-    // Artificial variable for this row.
+    // Artificial variable for this row: basic by id only, no stored column.
     const size_t art = n + num_surplus + i;
-    t.rows_[i][art] = Rational(1);
     t.basis_[i] = art;
     t.col_to_row_[art] = i;
   }
@@ -258,8 +328,9 @@ Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
   // the real columns.
   t.cost_.assign(t.num_cols_, Rational(0));
   for (size_t i = 0; i < m; ++i) {
+    const Rational* row = t.Row(i);
     for (size_t j = 0; j < n + num_surplus; ++j) {
-      if (!t.rows_[i][j].IsZero()) t.cost_[j] -= t.rows_[i][j];
+      if (!row[j].IsZero()) t.cost_[j] -= row[j];
     }
   }
   FO2DT_ASSIGN_OR_RETURN(bool phase1_bounded, t.RunPrimal());
@@ -276,32 +347,30 @@ Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
   }
 
   // Drive any zero-level artificials out of the basis; drop redundant rows.
-  for (size_t i = 0; i < t.rows_.size();) {
+  for (size_t i = 0; i < t.num_rows_;) {
     if (t.basis_[i] < n + num_surplus) {
       ++i;
       continue;
     }
     size_t pivot_col = t.num_cols_;
+    const Rational* row = t.Row(i);
     for (size_t j = 0; j < n + num_surplus; ++j) {
-      if (!t.rows_[i][j].IsZero()) {
+      if (!row[j].IsZero()) {
         pivot_col = j;
         break;
       }
     }
     if (pivot_col == t.num_cols_) {
       // Row is 0 == 0 over real columns: redundant.
-      t.rows_.erase(t.rows_.begin() + static_cast<long>(i));
-      t.rhs_.erase(t.rhs_.begin() + static_cast<long>(i));
-      t.basis_.erase(t.basis_.begin() + static_cast<long>(i));
+      t.EraseRow(i);
       continue;
     }
     t.Pivot(i, pivot_col);
     ++i;
   }
 
-  // No artificial is basic now; their columns can be dropped entirely.
-  t.num_cols_ = n + num_surplus;
-  for (auto& row : t.rows_) row.resize(t.num_cols_);
+  // No artificial is basic now; forget their ids (RebuildColToRow shrinks
+  // col_to_row_ back to the stored columns).
   t.cost_.assign(t.num_cols_, Rational(0));  // feasibility objective
   t.RebuildColToRow();
   t.feasible_ = true;
@@ -310,36 +379,42 @@ Result<IncrementalSimplex> IncrementalSimplex::CreateInternal(
 
 void IncrementalSimplex::InsertBoundRow(VarId v, const BigInt& value,
                                         bool is_upper) {
-  const size_t scol = num_cols_++;
-  for (auto& row : rows_) row.emplace_back(0);
-  cost_.emplace_back(0);
-  col_to_row_.push_back(kNoRow);
+  const size_t scol = AddColumn();
 
   // Lower bound enters the system as  x_v - s = lo  (s >= 0), upper as
   // x_v + s = hi. If x_v is basic its row is subtracted to keep basic columns
   // unit; a final negation (lower bounds only) makes s basic with +1.
-  std::vector<Rational> nrow(num_cols_, Rational(0));
+  // The new row is composed directly in its tableau slot (appended cells are
+  // value-initialized to zero by the resize). Capacity grows geometrically:
+  // the bounded-phase root inserts one bound row per variable, and per-row
+  // reallocation would move the whole tableau every time.
+  const size_t need = (num_rows_ + 1) * stride_;
+  if (tab_.capacity() < need) {
+    tab_.reserve(std::max(need, tab_.size() + tab_.size() / 2));
+  }
+  tab_.resize(need);
+  Rational* nrow = Row(num_rows_);
   Rational nrhs = Rational(BigInt(value));
   nrow[v] = Rational(1);
   nrow[scol] = is_upper ? Rational(1) : Rational(-1);
   const size_t vrow = col_to_row_[v];
   if (vrow != kNoRow) {
-    const std::vector<Rational>& brow = rows_[vrow];
+    const Rational* brow = Row(vrow);
     for (size_t j = 0; j < num_cols_; ++j) {
       if (!brow[j].IsZero()) nrow[j] -= brow[j];
     }
     nrhs -= rhs_[vrow];
   }
   if (!is_upper) {
-    for (Rational& x : nrow) {
-      if (!x.IsZero()) x = -x;
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (!nrow[j].IsZero()) nrow[j] = -nrow[j];
     }
     nrhs = -nrhs;
   }
-  col_to_row_[scol] = rows_.size();
+  col_to_row_[scol] = num_rows_;
   basis_.push_back(scol);
-  rows_.push_back(std::move(nrow));
   rhs_.push_back(std::move(nrhs));
+  ++num_rows_;
 
   BoundRow& b = is_upper ? upper_[v] : lower_[v];
   b.set = true;
@@ -357,15 +432,15 @@ void IncrementalSimplex::TightenBoundRow(VarId v, const BigInt& value,
   // current column of s. No pivot, no rebuild.
   const Rational db = is_upper ? Rational(delta) : Rational(-delta);
   const size_t col = b.col;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const Rational& a = rows_[i][col];
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const Rational& a = Row(i)[col];
     if (!a.IsZero()) rhs_[i] += db * a;
   }
   b.value = value;
 }
 
 size_t IncrementalSimplex::DualPivotCap() const {
-  return 100 + 10 * (rows_.size() + num_cols_);
+  return 100 + 10 * (num_rows_ + num_cols_);
 }
 
 Status IncrementalSimplex::ApplyBound(VarId v, const BigInt& value,
@@ -470,7 +545,7 @@ Status IncrementalSimplex::Rebuild() {
 
 std::vector<Rational> IncrementalSimplex::Assignment() const {
   std::vector<Rational> out(num_vars_, Rational(0));
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  for (size_t i = 0; i < num_rows_; ++i) {
     if (basis_[i] < num_vars_) out[basis_[i]] = rhs_[i];
   }
   return out;

@@ -104,6 +104,15 @@ class IncrementalSimplex {
       const LinearSystem& base, VarId num_vars,
       const ExecutionContext* exec = nullptr);
 
+  /// Deep copy for branch-and-bound. Reserves two rows of tableau headroom so
+  /// the child's first bound-row insertions extend within capacity instead of
+  /// reallocating (and moving) the tableau that was just copied; the pivot
+  /// scratch buffer is transient and starts empty in the copy.
+  IncrementalSimplex(const IncrementalSimplex& o);
+  IncrementalSimplex& operator=(const IncrementalSimplex& o);
+  IncrementalSimplex(IncrementalSimplex&&) = default;
+  IncrementalSimplex& operator=(IncrementalSimplex&&) = default;
+
   bool feasible() const { return feasible_; }
   VarId num_vars() const { return num_vars_; }
 
@@ -143,6 +152,17 @@ class IncrementalSimplex {
       const LinearSystem& base, VarId num_vars, const ExecutionContext* exec,
       CancellationToken token);
 
+  // SoA tableau accessors: row i occupies tab_[i*stride_ .. i*stride_+num_cols_).
+  Rational* Row(size_t i) { return tab_.data() + i * stride_; }
+  const Rational* Row(size_t i) const { return tab_.data() + i * stride_; }
+  /// Appends a zeroed column, reusing slack stride capacity when available;
+  /// restrides the tableau otherwise. Returns the new column index.
+  size_t AddColumn();
+  /// Re-lays the tableau with \p new_stride cells per row.
+  void Restride(size_t new_stride);
+  /// Removes row \p i by shifting the trailing rows up one stride.
+  void EraseRow(size_t i);
+
   void Pivot(size_t row, size_t col);
   /// Primal simplex on the maintained reduced-cost row (Bland). Returns
   /// false when unbounded; the error state is a governor stop (deadline or
@@ -161,10 +181,21 @@ class IncrementalSimplex {
   void RebuildColToRow();
   size_t DualPivotCap() const;
 
-  // Dense exact tableau: rows are constraints sum_j T[i][j] x_j == rhs[i]
-  // with basis[i] basic in row i (unit column).
+  // Dense exact tableau in structure-of-arrays layout: one contiguous
+  // Rational array, row i at tab_[i*stride_], logical width num_cols_ <=
+  // stride_. Rows are constraints sum_j T[i][j] x_j == rhs[i] with basis[i]
+  // basic in row i (unit column). The pivot inner loop walks contiguous
+  // memory, and branch-and-bound tableau copies are single flat vector
+  // copies instead of a row-by-row allocation storm. Cells in
+  // [num_cols_, stride_) are zero scratch (future bound columns), re-zeroed
+  // defensively by AddColumn before becoming visible. Phase-1 artificial
+  // variables exist as basis ids only — their columns are never stored
+  // (dropped at birth per Chvatal's rule), so the tableau is m x (n+s)
+  // rather than m x (n+s+m).
   size_t num_cols_ = 0;
-  std::vector<std::vector<Rational>> rows_;
+  size_t stride_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<Rational> tab_;
   std::vector<Rational> rhs_;
   std::vector<size_t> basis_;
   std::vector<size_t> col_to_row_;  // col -> basic row, or kNoRow

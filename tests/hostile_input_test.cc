@@ -17,6 +17,7 @@
 #include "automata/automaton_io.h"
 #include "common/status.h"
 #include "datatree/text_io.h"
+#include "lcta/lcta.h"
 #include "logic/parser.h"
 #include "server/facade_exec.h"
 #include "server/protocol.h"
@@ -413,6 +414,49 @@ TEST(HostileRequestLineTest, ResponseEscapingRoundTrips) {
   std::string line = resp.ToJsonLine();
   ASSERT_EQ(line.back(), '\n');
   EXPECT_EQ(line.find('\n'), line.size() - 1) << "embedded newline escaped";
+}
+
+// ---------------------------------------------------------------------------
+// LCTA variable-layout overflow
+
+TEST(HostileLctaTest, NumAuxNearUint32MaxRejectedNotWrapped) {
+  // num_aux close to UINT32_MAX plus the state/symbol blocks would wrap the
+  // unchecked uint32 sum to a tiny value, silently mislaying the variable
+  // blocks. The checked accessor must reject instead.
+  Lcta lcta;
+  lcta.automaton = TreeAutomaton::Universal(4);
+  lcta.use_symbol_counts = true;
+  lcta.num_aux = 0xFFFFFFFFu - 2;
+  auto checked = lcta.CheckedNumUserVars();
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument);
+  // The full emptiness entry point surfaces the same structured error (no
+  // crash, no wrapped layout).
+  auto r = CheckLctaEmptiness(lcta);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HostileLctaTest, ExactWrapToSmallValueRejected) {
+  // 1 state, no symbol counts, num_aux = UINT32_MAX: the unchecked uint32 sum
+  // wraps to exactly 0, which would validate any constraint as in-range.
+  Lcta lcta;
+  lcta.automaton = TreeAutomaton::Universal(1);
+  lcta.num_aux = 0xFFFFFFFFu;
+  auto checked = lcta.CheckedNumUserVars();
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HostileLctaTest, ModestAuxBlockStillAccepted) {
+  Lcta lcta;
+  lcta.automaton = TreeAutomaton::Universal(2);
+  lcta.use_symbol_counts = true;
+  lcta.num_aux = 7;
+  auto checked = lcta.CheckedNumUserVars();
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(*checked, 1u + 2u + 7u);
+  EXPECT_EQ(*checked, lcta.NumUserVars());
 }
 
 }  // namespace

@@ -292,6 +292,54 @@ TEST(SolveCacheTest, FingerprintBumpInvalidatesPersistedEntries) {
   std::remove(file.c_str());
 }
 
+// A cache file whose sections were written entirely by a previous build
+// (different fingerprint — e.g. a pre-flat-representation binary) must look
+// empty to the current build even on a cold Configure that loads the file
+// from disk, so stale verdicts keyed on the old representation can never be
+// served. The file itself stays intact for the build that wrote it.
+TEST(SolveCacheTest, ColdLoadIgnoresForeignBuildSections) {
+  std::string file = UniquePath("old_build") + ".fo2dtcache";
+  SolveCacheEntry entry;
+  entry.verdict = "UNSAT";
+  entry.method = "lcta_emptiness";
+  entry.steps = 42;
+
+  SolveCacheConfig config;
+  config.enabled = true;
+  config.file = file;
+  config.fingerprint = 1;  // the "old build" writes its section...
+  {
+    CacheGuard guard(config);
+    SolveCache::Instance().Insert("cafef00dcafef00d", entry, nullptr,
+                                  names::kModFrontendEnumerate);
+  }
+  // ...the guard restored the previous config, dropping in-memory state; the
+  // section now only exists on disk.
+
+  config.fingerprint = 2;  // the current build cold-loads the same file
+  {
+    CacheGuard guard(config);
+    EXPECT_FALSE(SolveCache::Instance()
+                     .Lookup("cafef00dcafef00d", names::kMetricCacheSolveHits,
+                             names::kMetricCacheSolveMisses)
+                     .has_value())
+        << "stale section from a foreign build fingerprint was served";
+  }
+
+  config.fingerprint = 1;  // the old build still sees its own section
+  {
+    CacheGuard guard(config);
+    std::optional<SolveCacheEntry> hit = SolveCache::Instance().Lookup(
+        "cafef00dcafef00d", names::kMetricCacheSolveHits,
+        names::kMetricCacheSolveMisses);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->verdict, "UNSAT");
+    EXPECT_EQ(hit->method, "lcta_emptiness");
+    EXPECT_EQ(hit->steps, 42u);
+  }
+  std::remove(file.c_str());
+}
+
 TEST(SolveCacheTest, UnknownIsNeverCachedOrServed) {
   CacheGuard guard(MemoryOnly());
   SolveCache& cache = SolveCache::Instance();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "automata/automaton_io.h"
 #include "common/random.h"
 #include "datatree/generator.h"
 #include "datatree/text_io.h"
@@ -242,6 +243,120 @@ TEST(TreeAutomatonTest, NonFirstStatesPinSiblingPositions) {
   EXPECT_TRUE(aut.Accepts(*w));
 }
 
+// Property: for random automata, canonical text -> parse -> canonical text is
+// bit-identical, and the parsed copy (whose bitsets and CSR index are rebuilt
+// from scratch) agrees with the original both structurally and on membership.
+// This is the compatibility contract the flat representation owes the solve
+// cache: FNV-1a keys are derived from this text.
+TEST(TreeAutomatonTest, RandomizedTextRoundTripIsBitIdentical) {
+  RandomSource rng(2026);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t ns = static_cast<size_t>(rng.UniformInt(1, 9));
+    const size_t na = static_cast<size_t>(rng.UniformInt(1, 5));
+    TreeAutomaton aut(na, ns);
+    const int edges = static_cast<int>(rng.UniformInt(0, 24));
+    for (int e = 0; e < edges; ++e) {
+      const auto from = static_cast<TreeState>(
+          rng.UniformInt(0, static_cast<int64_t>(ns) - 1));
+      const auto sym = static_cast<Symbol>(
+          rng.UniformInt(0, static_cast<int64_t>(na) - 1));
+      const auto to = static_cast<TreeState>(
+          rng.UniformInt(0, static_cast<int64_t>(ns) - 1));
+      if (rng.UniformInt(0, 1) == 0) {
+        aut.AddHorizontal(from, sym, to);
+      } else {
+        aut.AddVertical(from, sym, to);
+      }
+    }
+    for (TreeState q = 0; q < ns; ++q) {
+      if (rng.UniformInt(0, 2) == 0) aut.SetInitial(q);
+      if (rng.UniformInt(0, 3) == 0) aut.SetNonFirst(q);
+      for (Symbol a = 0; a < na; ++a) {
+        if (rng.UniformInt(0, 3) == 0) aut.SetAccepting(q, a);
+      }
+    }
+
+    const std::string text = TreeAutomatonToText(aut);
+    auto parsed = ParseTreeAutomaton(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(TreeAutomatonToText(*parsed), text);
+
+    EXPECT_TRUE(parsed->initial() == aut.initial());
+    EXPECT_TRUE(parsed->non_first() == aut.non_first());
+    for (TreeState q = 0; q < ns; ++q) {
+      for (Symbol a = 0; a < na; ++a) {
+        EXPECT_EQ(parsed->IsAccepting(q, a), aut.IsAccepting(q, a));
+      }
+    }
+    // Membership goes through the freshly rebuilt successor index.
+    Alphabet alpha;
+    RandomTreeOptions opt;
+    opt.num_nodes = 8;
+    opt.num_labels = na;
+    for (int i = 0; i < 3; ++i) {
+      DataTree t = RandomDataTree(opt, &rng, &alpha);
+      EXPECT_EQ(parsed->Accepts(t), aut.Accepts(t));
+    }
+  }
+}
+
+// Regression: RestrictStates must carry non-first and accepting membership
+// through the renumbering even when the surviving NF state's only in-edges
+// change — here its δh predecessor (state 0) is dropped, so the NF mark is
+// the only thing still pinning it to second-sibling positions.
+TEST(TreeAutomatonTest, RestrictStatesKeepsNonFirstWhenPredecessorDropped) {
+  // Σ = {a=0, b=1}. States: 0 (dropped), 1 initial, 2 non-first + accepting,
+  // 3 initial.
+  TreeAutomaton aut(2, 4);
+  aut.SetInitial(1);
+  aut.SetInitial(3);
+  aut.SetNonFirst(2);
+  aut.SetAccepting(2, 1);
+  aut.AddHorizontal(0, 0, 2);  // predecessor from the dropped state
+  aut.AddHorizontal(1, 0, 2);  // surviving predecessor
+  aut.AddVertical(2, 1, 3);
+
+  TreeAutomaton r = aut.RestrictStates({false, true, true, true});
+  ASSERT_EQ(r.num_states(), 3u);
+  ASSERT_EQ(r.num_symbols(), 2u);
+  // Renumbering: old 1 -> 0, old 2 -> 1, old 3 -> 2.
+  EXPECT_TRUE(r.IsInitial(0));
+  EXPECT_FALSE(r.IsInitial(1));
+  EXPECT_TRUE(r.IsInitial(2));
+  EXPECT_TRUE(r.IsNonFirst(1));
+  EXPECT_FALSE(r.IsNonFirst(0));
+  EXPECT_FALSE(r.IsNonFirst(2));
+  EXPECT_TRUE(r.IsAccepting(1, 1));
+  EXPECT_FALSE(r.IsAccepting(1, 0));
+  // Only the transition whose endpoints both survive remains.
+  ASSERT_EQ(r.horizontal().size(), 1u);
+  EXPECT_TRUE(r.HasHorizontal(0, 0, 1));
+  ASSERT_EQ(r.vertical().size(), 1u);
+  EXPECT_TRUE(r.HasVertical(1, 1, 2));
+}
+
+// Trim renumbers through RestrictStates; the NF anchoring (and hence the
+// language) must survive even when trimming discards states around it.
+TEST(TreeAutomatonTest, TrimPreservesNonFirstSemantics) {
+  TreeAutomaton aut = SingletonAbCd();
+  // A useless extra state with transitions into the live part: never
+  // bottom-up realizable, so Trim drops it and renumbers the rest.
+  TreeState junk = aut.AddState();
+  aut.AddHorizontal(junk, 0, 1);
+  aut.AddVertical(junk, 1, 3);
+  aut.SetNonFirst(junk);
+
+  TreeAutomaton trimmed = aut.Trim();
+  EXPECT_LT(trimmed.num_states(), aut.num_states());
+  Alphabet alpha;
+  for (const char* name : {"a", "b", "c", "d"}) alpha.Intern(name);
+  EXPECT_TRUE(
+      trimmed.Accepts(*ParseDataTree("a:0 (b:0 c:0 (d:0))", &alpha)));
+  // Without the NF mark on c's state these would be accepted.
+  EXPECT_FALSE(trimmed.Accepts(*ParseDataTree("a:0 (c:0 (d:0))", &alpha)));
+  EXPECT_FALSE(trimmed.Accepts(*ParseDataTree("a:0 (b:0 c:0)", &alpha)));
+}
+
 TEST(TreeAutomatonTest, AcceptingRunStatesRootRestricted) {
   TreeAutomaton aut = LeavesAreB();
   Alphabet alpha;
@@ -250,8 +365,8 @@ TEST(TreeAutomatonTest, AcceptingRunStatesRootRestricted) {
   DataTree t = T("a:0 (b:0 b:0)", &alpha);
   auto sets = aut.AcceptingRunStates(t);
   ASSERT_TRUE(sets.ok());
-  EXPECT_EQ((*sets)[t.root()].count(1), 1u);
-  EXPECT_EQ((*sets)[t.root()].size(), 1u);
+  ASSERT_EQ((*sets)[t.root()].size(), 1u);
+  EXPECT_EQ((*sets)[t.root()].front(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,25 @@
+// Fixture: ordered node-based containers on a flat-core hot path.
+#include <map>
+#include <set>
+
+namespace fo2dt {
+
+void BadContainers() {
+  std::set<int> basis;              // finding: std::set
+  std::map<int, int> col_to_row;    // finding: std::map
+  std::multiset<int> weights;       // finding: std::multiset
+  std::multimap<int, int> edges;    // finding: std::multimap
+  basis.insert(static_cast<int>(weights.size() + edges.size() +
+                                col_to_row.size()));
+}
+
+// A mention in a comment must not fire: std::map is fine to talk about.
+void NotFindings() {
+  const char* doc = "std::set in a string literal is not a finding";
+  (void)doc;
+  // fo2dt-lint: allow(no-ordered-containers, fixture for the audited path)
+  std::set<int> audited;
+  audited.insert(1);
+}
+
+}  // namespace fo2dt

@@ -40,6 +40,13 @@ enforces them:
                          matching ScopedPhaseMemory scope for the same phase
                          nearby, so the flight recorder's per-phase memory
                          high-water stays in lockstep with the phase timers.
+  no-ordered-containers  std::set / std::map (and the multi variants) are
+                         banned in the flat-core hot modules (registry
+                         ordered_containers.hot_dirs): the solve paths run on
+                         bitsets, CSR indexes, sorted vectors and arena
+                         scratch, and a node-based container reintroduced
+                         there silently reverts the locality win. Audited
+                         exceptions live in the registry allowlist.
   bad-suppression        a fo2dt-lint suppression comment that is malformed,
                          names an unknown rule, or lacks a reason.
 
@@ -71,6 +78,7 @@ RULES = (
     "no-raw-rand",
     "cache-metrics",
     "timer-memory-scope",
+    "no-ordered-containers",
     "bad-suppression",
 )
 
@@ -100,6 +108,8 @@ NAMES_CONST_RE = re.compile(r"\bnames::(k[A-Za-z0-9]+)\b")
 RAW_RAND_RE = re.compile(
     r"\b(?:std::)?s?rand\s*\(|std::random_device|std::mt19937")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+ORDERED_CONTAINER_RE = re.compile(
+    r"\bstd\s*::\s*(set|map|multiset|multimap)\b")
 
 
 class Finding:
@@ -218,6 +228,11 @@ class Linter:
                 self.constants[prefix + _camel(value)] = (category, value)
         self.failpoint_constants = {
             c for c, (cat, _) in self.constants.items() if cat == "failpoint"}
+        oc = registry.get("ordered_containers", {})
+        self.flat_core_dirs = tuple(
+            d.replace("/", os.sep) for d in oc.get("hot_dirs", []))
+        self.ordered_allowlist = {
+            e["path"].replace("/", os.sep) for e in oc.get("allowlist", [])}
 
     # -- suppression protocol ------------------------------------------------
 
@@ -437,6 +452,27 @@ class Linter:
                 f"ScopedPhaseMemory scope within 3 lines; the flight "
                 "recorder's per-phase memory high-water is blind here")
 
+    # -- rule: no-ordered-containers -----------------------------------------
+
+    def check_ordered_containers(self, sf):
+        """std::set/std::map in a flat-core hot module (registry
+        ordered_containers.hot_dirs) outside the audited allowlist. Matches
+        the blanked code, so mentions inside comments and strings don't
+        fire."""
+        if not any(sf.path.startswith(d + os.sep) or sf.path == d
+                   for d in self.flat_core_dirs):
+            return
+        if sf.path in self.ordered_allowlist:
+            return
+        for m in ORDERED_CONTAINER_RE.finditer(sf.code):
+            line_no = sf.line_of_offset(m.start())
+            self.report(
+                sf, line_no, "no-ordered-containers",
+                f"std::{m.group(1)} in a flat-core hot module; solve paths "
+                "here run on bitsets/CSR/sorted vectors — use those (or "
+                "unordered_* for pure membership), or add this file to the "
+                "registry ordered_containers allowlist with an audit reason")
+
     # -- rule: bench-key-mismatch --------------------------------------------
 
     def check_bench_contract(self, bench_main, run_bench):
@@ -612,6 +648,7 @@ def main():
         linter.check_raw_rand(sf)
         linter.check_cache_metrics(sf)
         linter.check_timer_memory_scopes(sf)
+        linter.check_ordered_containers(sf)
     linter.check_bench_contract(bench_main, run_bench)
     linter.check_unused_suppressions(files)
 

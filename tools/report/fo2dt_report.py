@@ -11,7 +11,8 @@ high-water, or cache hit-rate regression, so CI can gate on it.
 Exit status (machine-readable):
   0  report produced, no regression detected
   1  regression detected against --baseline
-  2  unreadable/malformed input, or --validate found schema violations
+  2  unreadable/malformed input, a degenerate log (fewer than two records,
+     where p95 aggregation is meaningless), or --validate schema violations
 
 The record schema is owned by tools/lint/registry.json (log_fields); this
 tool validates against that registry, never against a hand-maintained copy.
@@ -362,8 +363,13 @@ def main():
         print("fo2dt_report: %d record(s) valid against %d-field registry "
               "schema" % (len(records), len(reg["log_fields"])))
         return 0
-    if not records:
-        print("fo2dt_report: no records in %s" % ", ".join(args.logs),
+    if len(records) < 2:
+        # A p95 over zero or one sample is just that sample (or nothing);
+        # reporting it as a percentile would let a single lucky query pass a
+        # CI gate. Refuse rather than mislead.
+        print("fo2dt_report: %d record(s) in %s; need at least 2 for "
+              "percentile aggregation (a p95 of a single sample is "
+              "meaningless)" % (len(records), ", ".join(args.logs)),
               file=sys.stderr)
         return 2
 
@@ -381,11 +387,12 @@ def main():
     if args.baseline:
         base_errors = []
         base_records = read_log([args.baseline], reg, base_errors)
-        if base_errors or not base_records:
+        if base_errors or len(base_records) < 2:
             for e in base_errors:
                 print("fo2dt_report: %s" % e, file=sys.stderr)
-            print("fo2dt_report: unusable baseline %s" % args.baseline,
-                  file=sys.stderr)
+            print("fo2dt_report: unusable baseline %s (%d record(s); need at "
+                  "least 2 for percentile aggregation)" %
+                  (args.baseline, len(base_records)), file=sys.stderr)
             return 2
         lines.append("--- vs baseline %s ---" %
                      os.path.basename(args.baseline))

@@ -129,8 +129,34 @@ def main():
         check("malformed JSONL exits 2", code == 2, "exit %d" % code)
         empty = os.path.join(tmp, "empty.jsonl")
         open(empty, "w").close()
-        code, _, _ = run([empty])
+        code, _, err = run([empty])
         check("empty log exits 2", code == 2, "exit %d" % code)
+        check("empty log explains the record floor",
+              "need at least 2" in err, err.strip())
+
+    # One record is as degenerate as zero: a p95 of a single sample would
+    # let one lucky query pass a CI gate. Hard error with a clear message,
+    # both as the current log and as the baseline. --validate still accepts
+    # it (schema checking has no sample-size floor).
+    code, _, err = run([fixture("single_record.jsonl")])
+    check("single-record log exits 2", code == 2, "exit %d" % code)
+    check("single-record message names the floor",
+          "need at least 2" in err and "1 record(s)" in err, err.strip())
+    code, _, err = run([fixture("current_ok.jsonl"),
+                        "--baseline", fixture("single_record.jsonl")])
+    check("single-record baseline exits 2", code == 2, "exit %d" % code)
+    check("single-record baseline message is explicit",
+          "unusable baseline" in err and "need at least 2" in err,
+          err.strip())
+    code, _, _ = run(["--validate", fixture("single_record.jsonl")])
+    check("single-record log still passes --validate", code == 0,
+          "exit %d" % code)
+    # Two records across two files clears the floor (the count is global,
+    # not per file).
+    code, _, _ = run([fixture("single_record.jsonl"),
+                      fixture("single_record.jsonl")])
+    check("two single-record logs aggregate fine", code == 0,
+          "exit %d" % code)
 
     # Bench folding: skipped entries are excluded and counted.
     bench = {
