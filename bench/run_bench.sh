@@ -15,6 +15,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+# Publish this build's compile database for the analysis tools unless the
+# caller already pinned one: fo2dt_lint.py --deep and run_clang_tidy.sh both
+# resolve $FO2DT_COMPILE_DB first (then build-lint, then build), so a bench
+# job followed by lint/tidy analyzes exactly the configuration it measured.
+if [[ -z "${FO2DT_COMPILE_DB:-}" && -f "$BUILD_DIR/compile_commands.json" ]]; then
+  export FO2DT_COMPILE_DB="$BUILD_DIR"
+fi
+
 if [[ ! -x "$BUILD_DIR/bench/bench_lcta_emptiness" ]]; then
   echo "error: $BUILD_DIR/bench/bench_lcta_emptiness not built." >&2
   echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo && cmake --build $BUILD_DIR -j" >&2

@@ -1,6 +1,7 @@
 #include "automata/tree_automaton.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/arena.h"
 #include "common/strings.h"
@@ -73,13 +74,22 @@ void TreeAutomaton::BuildCsr(
   for (const auto& [f, a, to] : list) csr->targets[cursor[Key(f, a)]++] = to;
 }
 
+// Double-checked publication; see the LazyIndex protocol comment in the
+// header. Analysis is opted out because the reader side legitimately
+// accesses the CSR vectors without holding mu once fresh is published.
 void TreeAutomaton::EnsureIndex() const {
+  // Fast path: acquire pairs with the release-store below, publishing the
+  // built vectors to this thread.
   if (index_.fresh.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(index_.mu);
+  ScopedRankedLock lock(index_.mu);
+  // Relaxed is sufficient under mu: the lock's own ordering makes a
+  // concurrent builder's writes (data AND flag) visible here.
   if (index_.fresh.load(std::memory_order_relaxed)) return;
   BuildCsr(horizontal_list_, &index_.horizontal);
   BuildCsr(vertical_list_, &index_.vertical);
+  // Release: every CSR write above happens-before any reader's acquire.
   index_.fresh.store(true, std::memory_order_release);
+  assert(index_.fresh.load(std::memory_order_relaxed));
 }
 
 StateSpan TreeAutomaton::HorizontalSuccessors(TreeState q, Symbol a) const {

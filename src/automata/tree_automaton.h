@@ -44,13 +44,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/bitset.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/symbol.h"
 #include "datatree/data_tree.h"
@@ -242,6 +243,18 @@ class TreeAutomaton {
   // which keeps TreeAutomaton cheaply copyable and the mutex per instance.
   // Concurrent *queries* on a built index are safe (double-checked atomic);
   // mutation is single-threaded, as it always was.
+  //
+  // Publication protocol (the seam the thread-safety annotations cannot
+  // express, hence the FO2DT_NO_THREAD_SAFETY_ANALYSIS on EnsureIndex):
+  //   1. fast path: acquire-load of fresh; true pairs with the builder's
+  //      release-store, so the CSR vectors built before it are visible;
+  //   2. slow path: lock mu, relaxed re-check (the lock orders us after any
+  //      concurrent builder), build both CSRs under mu, then release-store
+  //      fresh = true — the only store of fresh while readers are allowed.
+  // Readers then access horizontal/vertical WITHOUT mu: safe because the
+  // data is immutable from publication until the next single-threaded
+  // mutation (InvalidateIndex), and tree_automaton_test hammers exactly
+  // this first-build race under tsan.
   struct LazyIndex {
     LazyIndex() = default;
     LazyIndex(const LazyIndex&) {}
@@ -255,13 +268,15 @@ class TreeAutomaton {
       return *this;
     }
 
-    std::mutex mu;
+    Mutex mu{names::kLockAutomataCsr};
+    // atomic: freshness flag — release-store after build under mu,
+    // acquire-load on the reader fast path (see the protocol above).
     std::atomic<bool> fresh{false};
-    Csr horizontal;  // guarded by mu until fresh is published
+    Csr horizontal;  // written under mu, read lock-free after publication
     Csr vertical;
   };
 
-  void EnsureIndex() const;
+  void EnsureIndex() const FO2DT_NO_THREAD_SAFETY_ANALYSIS;
   void BuildCsr(
       const std::vector<std::tuple<TreeState, Symbol, TreeState>>& list,
       Csr* csr) const;

@@ -1,0 +1,88 @@
+/// \file annotations.h
+/// \brief Clang Thread Safety Analysis capability macros (no-ops off-clang).
+///
+/// Wraps the `capability`/`guarded_by`/`acquire_capability` attribute family
+/// so every mutex-bearing type in the tree can state its locking contract in
+/// the declaration itself. Under clang the lint preset compiles with
+/// `-Wthread-safety -Werror`, turning the annotations into compile-time
+/// proofs; under gcc (the default toolchain here) every macro expands to
+/// nothing and the declarations are unchanged.
+///
+/// Conventions:
+///   * Data members protected by a lock carry FO2DT_GUARDED_BY(mu_).
+///   * Private `FooLocked()` helpers carry FO2DT_REQUIRES(mu_).
+///   * RAII lock types carry FO2DT_SCOPED_CAPABILITY with
+///     FO2DT_ACQUIRE/FO2DT_RELEASE on the constructor/destructor.
+///   * Atomics are self-synchronizing, so they are *not* guarded; instead
+///     each `std::atomic` member documents its ordering contract in an
+///     adjacent `// atomic:` comment (enforced by `fo2dt_lint.py --deep`'s
+///     lock-annotation rule).
+///   * Code that is correct but inexpressible (e.g. the release/acquire
+///     publication in TreeAutomaton::EnsureIndex) uses
+///     FO2DT_NO_THREAD_SAFETY_ANALYSIS with a comment explaining the manual
+///     proof.
+
+#pragma once
+
+#if defined(__clang__)
+#define FO2DT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FO2DT_THREAD_ANNOTATION(x)  // no-op: gcc has no thread-safety pass
+#endif
+
+/// Marks a type as a capability (lockable). The string names the capability
+/// kind in diagnostics ("mutex").
+#define FO2DT_CAPABILITY(x) FO2DT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define FO2DT_SCOPED_CAPABILITY FO2DT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding \p x.
+#define FO2DT_GUARDED_BY(x) FO2DT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by \p x.
+#define FO2DT_PT_GUARDED_BY(x) FO2DT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called while holding the listed capabilities.
+#define FO2DT_REQUIRES(...) \
+  FO2DT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FO2DT_REQUIRES_SHARED(...) \
+  FO2DT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define FO2DT_ACQUIRE(...) \
+  FO2DT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FO2DT_ACQUIRE_SHARED(...) \
+  FO2DT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define FO2DT_RELEASE(...) \
+  FO2DT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FO2DT_RELEASE_SHARED(...) \
+  FO2DT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns \p b.
+#define FO2DT_TRY_ACQUIRE(...) \
+  FO2DT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the listed capabilities
+/// (deadlock guard for self-recursive locking).
+#define FO2DT_EXCLUDES(...) FO2DT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares static ordering between capabilities (hierarchy edges).
+#define FO2DT_ACQUIRED_BEFORE(...) \
+  FO2DT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FO2DT_ACQUIRED_AFTER(...) \
+  FO2DT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define FO2DT_ASSERT_CAPABILITY(x) \
+  FO2DT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Accessor returning a reference to the capability guarding `this`.
+#define FO2DT_RETURN_CAPABILITY(x) FO2DT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of analysis. Every use must carry a comment with the
+/// manual correctness argument; the deep lint audits these.
+#define FO2DT_NO_THREAD_SAFETY_ANALYSIS \
+  FO2DT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -20,6 +20,12 @@
 /// blocks already warm at attach time) is charged to the context, so the
 /// governor's MemoryHighWater and the per-phase gauges sampled by
 /// ScopedPhaseMemory include solver scratch instead of undercounting it.
+///
+/// Concurrency contract (DESIGN.md §12): SolveArena is thread-COMPATIBLE,
+/// not thread-safe — it takes no locks and has no atomics. Every arena is
+/// thread-confined: ThreadLocal() hands each thread its own instance, and
+/// pointers allocated from a frame must not outlive it or escape to another
+/// thread (the deep lint arena-escape rule enforces the non-escape half).
 
 #pragma once
 

@@ -93,6 +93,9 @@ class CancellationToken {
 
  private:
   struct State {
+    // atomic: set with release in RequestCancel, read with acquire in
+    // IsCancelled — the only cross-thread signal; parent/external are
+    // immutable after construction.
     std::atomic<bool> cancelled{false};
     const std::atomic<bool>* external = nullptr;  // WrapFlag adapter
     std::shared_ptr<const State> parent;          // Child() chain
@@ -108,6 +111,8 @@ class CancellationToken {
 /// These are diagnostics, not budgets: budgets live in the per-module
 /// options (max_nodes, max_cuts, ...) and in the ExecutionContext deadline.
 struct ExecCounters {
+  // atomic: relaxed fetch_add from every worker thread; read after join (or
+  // torn-tolerantly for live observability). No inter-counter ordering.
   std::atomic<uint64_t> simplex_pivots{0};
   std::atomic<uint64_t> ilp_nodes{0};
   std::atomic<uint64_t> search_steps{0};
@@ -210,6 +215,8 @@ class ExecutionContext {
   bool has_deadline_ = false;
   CancellationToken token_;
   uint64_t max_bytes_ = 0;
+  // atomic: CAS accounting loop in ChargeMemory, relaxed reads elsewhere;
+  // the high-water mark lives in phases_.mem_high_water.
   mutable std::atomic<uint64_t> bytes_charged_{0};
   // mutable: Check() is logically const but counts deadline consultations,
   // and phase timers charge the shared accumulator through const pointers.
@@ -300,6 +307,8 @@ class FirstWinsFanout {
 
  private:
   std::vector<CancellationToken> tokens_;
+  // atomic: min-CAS in MarkTerminal (release), acquire reads in Abandoned —
+  // a branch that observes stop_at < i sees the winner's writes.
   std::atomic<size_t> stop_at_;
 };
 

@@ -12,7 +12,7 @@ Failpoints& Failpoints::Instance() {
 void Failpoints::Enable(const std::string& site,
                         std::function<void(void*)> callback, int64_t skip,
                         int64_t fire) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   auto [it, inserted] = sites_.try_emplace(site);
   it->second.callback = std::move(callback);
   it->second.skip = skip;
@@ -22,20 +22,20 @@ void Failpoints::Enable(const std::string& site,
 }
 
 void Failpoints::Disable(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (sites_.erase(site) > 0) {
     active_sites_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void Failpoints::DisableAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   sites_.clear();
   active_sites_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<std::string> Failpoints::ArmedSites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(sites_.size());
   for (const auto& [name, _] : sites_) out.push_back(name);
@@ -44,7 +44,7 @@ std::vector<std::string> Failpoints::ArmedSites() const {
 }
 
 uint64_t Failpoints::HitCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
@@ -52,7 +52,7 @@ uint64_t Failpoints::HitCount(const std::string& site) const {
 void Failpoints::Hit(const char* site, void* arg) {
   std::function<void(void*)> callback;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ScopedRankedLock lock(mu_);
     auto it = sites_.find(site);
     if (it == sites_.end()) return;
     Site& s = it->second;

@@ -32,10 +32,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace fo2dt {
 
@@ -97,9 +99,12 @@ class Failpoints {
     uint64_t hits = 0;
   };
 
+  // atomic: armed-site count; relaxed fast-path gate in AnyActive(). A
+  // stale zero only skips a hit that raced Enable — tests arm before
+  // spawning the threads they observe.
   std::atomic<int> active_sites_{0};
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Site> sites_;
+  mutable Mutex mu_{names::kLockFailpointRegistry};
+  std::unordered_map<std::string, Site> sites_ FO2DT_GUARDED_BY(mu_);
 };
 
 }  // namespace fo2dt

@@ -98,24 +98,24 @@ void FlightRecorder::Configure(FlightRecorderConfig config) {
     config.capture_mode = names::kCaptureModeDegraded;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ScopedRankedLock lock(mu_);
     config_ = config;
   }
   QueryLog::Instance().Configure(config.query_log_path);
 }
 
 FlightRecorderConfig FlightRecorder::config() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return config_;
 }
 
 bool FlightRecorder::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return !config_.query_log_path.empty();
 }
 
 std::string FlightRecorder::CaptureDir() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (!config_.capture_dir.empty()) return config_.capture_dir;
   return config_.query_log_path + ".captures";
 }

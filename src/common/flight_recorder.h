@@ -41,9 +41,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/query_log.h"
 #include "common/symbol.h"
 
@@ -87,8 +88,9 @@ class FlightRecorder {
  private:
   FlightRecorder();  // seeds from FO2DT_QUERY_LOG / FO2DT_CAPTURE[_DIR]
 
-  mutable std::mutex mu_;
-  FlightRecorderConfig config_;
+  mutable Mutex mu_{names::kLockRecorderConfig};
+  FlightRecorderConfig config_ FO2DT_GUARDED_BY(mu_);
+  // atomic: relaxed ticket counter; uniqueness is all that matters.
   std::atomic<uint64_t> bundle_seq_{0};
 };
 

@@ -47,7 +47,11 @@ void InternPool::Grow() {
 }
 
 InternHandle InternPool::Intern(const void* data, size_t len) {
-  const uint64_t hash = Fnv1a64Bytes(data, len);
+  return InternHashed(data, len, Fnv1a64Bytes(data, len));
+}
+
+InternHandle InternPool::InternHashed(const void* data, size_t len,
+                                      uint64_t hash) {
   InternHandle existing = Find(data, len, hash);
   if (existing != kInvalidInternHandle) {
     ++hits_;
@@ -108,8 +112,19 @@ SharedInternTable& SharedInternTable::Instance() {
 }
 
 InternHandle SharedInternTable::Intern(const void* data, size_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_.Intern(data, len);
+  const uint64_t hash = Fnv1a64Bytes(data, len);
+  Shard& shard = shards_[static_cast<size_t>(hash) & (kNumShards - 1)];
+  InternHandle local;
+  {
+    ScopedRankedLock lock(shard.mu);
+    local = shard.pool.InternHashed(data, len, hash);
+  }
+  // Shard in the low bits: the local id must stay clear of the sentinel
+  // after the shift.
+  assert(local < (kInvalidInternHandle >> kShardBits));
+  return static_cast<InternHandle>((local << kShardBits) |
+                                   (static_cast<size_t>(hash) &
+                                    (kNumShards - 1)));
 }
 
 InternHandle SharedInternTable::InternString(const std::string& s) {
@@ -117,28 +132,43 @@ InternHandle SharedInternTable::InternString(const std::string& s) {
 }
 
 std::string SharedInternTable::ToString(InternHandle handle) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_.ToString(handle);
+  const Shard& shard = shards_[handle & (kNumShards - 1)];
+  ScopedRankedLock lock(shard.mu);
+  return shard.pool.ToString(handle >> kShardBits);
 }
 
 size_t SharedInternTable::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    ScopedRankedLock lock(shard.mu);
+    total += shard.pool.size();
+  }
+  return total;
 }
 
 size_t SharedInternTable::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_.bytes();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    ScopedRankedLock lock(shard.mu);
+    total += shard.pool.bytes();
+  }
+  return total;
 }
 
 uint64_t SharedInternTable::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_.hits();
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    ScopedRankedLock lock(shard.mu);
+    total += shard.pool.hits();
+  }
+  return total;
 }
 
 void SharedInternTable::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  pool_.Clear();
+  for (Shard& shard : shards_) {
+    ScopedRankedLock lock(shard.mu);
+    shard.pool.Clear();
+  }
 }
 
 namespace {

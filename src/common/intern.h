@@ -16,11 +16,14 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace fo2dt {
 
@@ -41,6 +44,9 @@ class InternPool {
   /// identical record is resident, otherwise copies the bytes into the arena
   /// and allocates the next handle.
   InternHandle Intern(const void* data, size_t len);
+  /// Same, with \p hash = Fnv1a64Bytes(data, len) already computed (the
+  /// sharded table hashes once to pick a shard and reuses it here).
+  InternHandle InternHashed(const void* data, size_t len, uint64_t hash);
   InternHandle InternString(const std::string& s) {
     return Intern(s.data(), s.size());
   }
@@ -86,8 +92,24 @@ class InternPool {
 
 /// \brief Process-wide intern table shared by the logic layer (canonical
 /// formula nodes) and the facades (canonical automaton texts). Thread-safe.
+///
+/// Sharded: the record hash picks one of kNumShards independent pools, each
+/// behind its own lock, so concurrent solves interning unrelated terms do
+/// not serialize on one global mutex. A handle encodes its shard in the low
+/// bits (`local << kShardBits | shard`), so handles stay stable uint32 ids
+/// with O(1) equality — but they are dense only *per shard*; treat
+/// SharedInternTable handles as opaque ids (every current consumer does:
+/// cache-key components and record operands).
+///
+/// Aggregate accessors (size/bytes/hits) and Clear visit shards one at a
+/// time — never holding two shard locks at once, which keeps the lock
+/// hierarchy free of same-rank nesting. Snapshots may therefore tear across
+/// shards; the counters are observability, not invariants.
 class SharedInternTable {
  public:
+  static constexpr size_t kShardBits = 3;
+  static constexpr size_t kNumShards = 1u << kShardBits;
+
   static SharedInternTable& Instance();
 
   InternHandle Intern(const void* data, size_t len);
@@ -106,8 +128,12 @@ class SharedInternTable {
  private:
   SharedInternTable() = default;
 
-  mutable std::mutex mu_;
-  InternPool pool_;
+  struct Shard {
+    mutable Mutex mu{names::kLockCacheIntern};
+    InternPool pool FO2DT_GUARDED_BY(mu);
+  };
+
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace fo2dt

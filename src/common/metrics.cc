@@ -236,7 +236,7 @@ MetricsRegistry::MetricsRegistry() {
 
 void MetricsRegistry::Register(const std::string& name, CollectFn collect,
                                ResetFn reset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   for (Source& s : sources_) {
     if (s.name == name) {
       s.collect = std::move(collect);
@@ -248,7 +248,7 @@ void MetricsRegistry::Register(const std::string& name, CollectFn collect,
 }
 
 std::vector<std::string> MetricsRegistry::SourceNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(sources_.size());
   for (const Source& s : sources_) out.push_back(s.name);
@@ -256,14 +256,14 @@ std::vector<std::string> MetricsRegistry::SourceNames() const {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   MetricsSnapshot snap;
   for (const Source& s : sources_) s.collect(&snap);
   return snap;
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   for (const Source& s : sources_) s.reset();
 }
 

@@ -37,10 +37,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_stats.h"
 
@@ -115,12 +116,15 @@ using PhaseStats = ThreadStats<PhaseCounters>;
 /// ExecutionContext. All atomics; written by ScopedPhaseTimer destructors.
 struct PhaseAccumulator {
   struct Slot {
+    // atomic: relaxed fetch_add from each worker's timer destructor plus
+    // max-CAS gauges; snapshots may tear across fields (diagnostics only).
     std::atomic<uint64_t> calls{0};
     std::atomic<uint64_t> wall_ns{0};
     std::atomic<uint64_t> effort{0};
     std::atomic<uint64_t> mem_peak{0};  // accountant high-water, this phase
   };
   std::array<Slot, kPhaseCount> slots;
+  // atomic: max-CAS gauges (MaxInto), relaxed everywhere — see Slot.
   std::atomic<uint64_t> ilp_max_depth{0};
   std::atomic<uint64_t> mem_high_water{0};
 
@@ -293,8 +297,10 @@ class MetricsRegistry {
     CollectFn collect;
     ResetFn reset;
   };
-  mutable std::mutex mu_;
-  std::vector<Source> sources_;
+  /// Held across every source's collect/reset callback, which take the
+  /// cache/intern/stats locks — hence metrics.registry ranks before them.
+  mutable Mutex mu_{names::kLockMetricsRegistry};
+  std::vector<Source> sources_ FO2DT_GUARDED_BY(mu_);
 };
 
 /// \brief Registers a metrics source from a static initializer.

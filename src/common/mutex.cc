@@ -1,0 +1,112 @@
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fo2dt {
+namespace {
+
+void DefaultViolationHandler(const names::LockRankEntry& held,
+                             const names::LockRankEntry& acquiring) {
+  std::fprintf(stderr,
+               "fo2dt: lock order violation: acquiring \"%s\" (rank %d) while"
+               " holding \"%s\" (rank %d); hierarchy requires strictly"
+               " ascending ranks (tools/lint/registry.json lock_ranks)\n",
+               acquiring.name, acquiring.rank, held.name, held.rank);
+  std::abort();
+}
+
+// atomic: handler/enabled flags are configuration toggled before contending
+// threads exist; relaxed loads on the hot path, store visibility is by test
+// setup ordering, not by these atomics.
+std::atomic<LockOrderViolationHandler> g_handler{DefaultViolationHandler};
+std::atomic<int> g_enabled{-1};  // -1: unresolved, consult env/build type
+
+bool ResolveEnabledFromEnvironment() {
+  const char* env = std::getenv("FO2DT_LOCK_CHECK");
+  if (env != nullptr && *env != '\0') return std::strcmp(env, "0") != 0;
+#if defined(NDEBUG)
+  return false;
+#else
+  return true;
+#endif
+}
+
+// Per-thread stack of held rank entries. Fixed-size POD storage: no TLS
+// destructor ordering hazards, and depth beyond the cap only pauses checking
+// (overflow_ balances the pops) — real nesting depth here is <= 4.
+constexpr int kMaxHeldLocks = 16;
+thread_local const names::LockRankEntry* t_held[kMaxHeldLocks];
+thread_local int t_depth = 0;
+thread_local int t_overflow = 0;
+
+}  // namespace
+
+LockOrderViolationHandler SetLockOrderViolationHandler(
+    LockOrderViolationHandler handler) {
+  if (handler == nullptr) handler = DefaultViolationHandler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+bool SetLockOrderChecking(bool enabled) {
+  const int prev = g_enabled.exchange(enabled ? 1 : 0,
+                                      std::memory_order_acq_rel);
+  return prev == -1 ? ResolveEnabledFromEnvironment() : prev != 0;
+}
+
+bool LockOrderCheckingEnabled() {
+  int state = g_enabled.load(std::memory_order_acquire);
+  if (state == -1) {
+    state = ResolveEnabledFromEnvironment() ? 1 : 0;
+    // First caller wins; a concurrent SetLockOrderChecking overrides us.
+    int expected = -1;
+    if (!g_enabled.compare_exchange_strong(expected, state,
+                                           std::memory_order_acq_rel)) {
+      state = expected;
+    }
+  }
+  return state != 0;
+}
+
+namespace internal {
+
+void NoteAcquire(const names::LockRankEntry& rank) {
+  if (t_depth >= kMaxHeldLocks) {
+    ++t_overflow;
+    return;
+  }
+  if (t_depth > 0 && LockOrderCheckingEnabled()) {
+    // The stack is ascending by construction, so the top carries the
+    // thread's maximum held rank.
+    const names::LockRankEntry* top = t_held[t_depth - 1];
+    if (rank.rank <= top->rank) {
+      g_handler.load(std::memory_order_acquire)(*top, rank);
+      // A returning (test) handler lets the acquisition proceed; fall
+      // through so the pop in NoteRelease stays balanced.
+    }
+  }
+  t_held[t_depth++] = &rank;
+}
+
+void NoteRelease(const names::LockRankEntry& rank) {
+  if (t_overflow > 0) {
+    --t_overflow;
+    return;
+  }
+  // Locks release LIFO in practice, but scan for robustness: an
+  // out-of-order unlock must not desync the stack.
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i] == &rank) {
+      for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+      --t_depth;
+      return;
+    }
+  }
+}
+
+int HeldLockDepth() { return t_depth; }
+
+}  // namespace internal
+}  // namespace fo2dt

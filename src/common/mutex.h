@@ -1,0 +1,126 @@
+/// \file mutex.h
+/// \brief Ranked mutex + RAII lock with runtime lock-order checking.
+///
+/// Every long-lived lock in the tree is a `fo2dt::Mutex` constructed with its
+/// entry from the generated lock hierarchy (`names::kLock*`, rendered from
+/// the `lock_ranks` section of tools/lint/registry.json). The hierarchy rule
+/// is strict rank ascent: a thread may only acquire a lock whose rank is
+/// strictly greater than the rank of every lock it already holds. The same
+/// table feeds three enforcement layers:
+///
+///   * Clang Thread Safety Analysis — `Mutex` is a `capability("mutex")`, so
+///     `FO2DT_GUARDED_BY`/`FO2DT_REQUIRES` contracts compile to proofs under
+///     the lint preset's `-Wthread-safety -Werror`.
+///   * This runtime checker — each thread keeps a stack of held ranks;
+///     out-of-order acquisition invokes the violation handler (default:
+///     report and abort). Bookkeeping always runs (an array store and an
+///     increment); the *check* is enabled by default in builds without
+///     NDEBUG and can be forced either way with FO2DT_LOCK_CHECK=0/1 or
+///     SetLockOrderChecking().
+///   * `fo2dt_lint.py --deep` — the lock-annotation rule flags bare
+///     `std::mutex` members, so new locks must come through here.
+///
+/// `ScopedRankedLock` wraps `std::unique_lock<std::mutex>` (not a
+/// `lock_guard`) so condition variables keep working:
+/// `cv.wait(lock.native(), pred)`. The rank stays on the thread's stack for
+/// the duration of the wait — the hierarchy constrains acquisition *order*,
+/// and the wait's internal release/reacquire cannot reorder against locks
+/// acquired later.
+
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.h"
+#include "common/registry_names.h"
+
+namespace fo2dt {
+
+/// Called on an out-of-order acquisition attempt: \p held is the
+/// highest-ranked lock the thread already holds, \p acquiring the offender.
+/// The default handler writes both to stderr and aborts. A test handler may
+/// return, in which case the acquisition proceeds (bookkeeping stays
+/// consistent).
+using LockOrderViolationHandler = void (*)(
+    const names::LockRankEntry& held, const names::LockRankEntry& acquiring);
+
+/// Installs \p handler and returns the previous one. Pass nullptr to restore
+/// the default report-and-abort handler. Not thread-safe; install before
+/// spawning contending threads (tests).
+LockOrderViolationHandler SetLockOrderViolationHandler(
+    LockOrderViolationHandler handler);
+
+/// Forces the runtime order check on or off, overriding the build-type /
+/// FO2DT_LOCK_CHECK default. Returns the previous setting.
+bool SetLockOrderChecking(bool enabled);
+
+/// Whether the runtime order check is currently active.
+bool LockOrderCheckingEnabled();
+
+namespace internal {
+// Per-thread held-rank bookkeeping; called by Mutex/ScopedRankedLock only.
+void NoteAcquire(const names::LockRankEntry& rank);
+void NoteRelease(const names::LockRankEntry& rank);
+// Depth of the calling thread's held-lock stack (tests).
+int HeldLockDepth();
+}  // namespace internal
+
+/// \brief Rank-checked wrapper over std::mutex. Satisfies BasicLockable /
+/// Lockable, so std::lock_guard<fo2dt::Mutex> works; prefer ScopedRankedLock,
+/// which also supports condition-variable waits.
+class FO2DT_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const names::LockRankEntry& rank) : rank_(&rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FO2DT_ACQUIRE() {
+    internal::NoteAcquire(*rank_);
+    mu_.lock();
+  }
+  void unlock() FO2DT_RELEASE() {
+    mu_.unlock();
+    internal::NoteRelease(*rank_);
+  }
+  bool try_lock() FO2DT_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    internal::NoteAcquire(*rank_);
+    return true;
+  }
+
+  const names::LockRankEntry& rank() const { return *rank_; }
+
+  /// The underlying std::mutex, for ScopedRankedLock only — going through
+  /// this directly skips both the static capability and the rank check.
+  std::mutex& native_for_scoped_lock() { return mu_; }
+
+ private:
+  std::mutex mu_;
+  const names::LockRankEntry* rank_;
+};
+
+/// \brief RAII lock over a ranked Mutex, built on std::unique_lock so
+/// condition variables can wait on it via native().
+class FO2DT_SCOPED_CAPABILITY ScopedRankedLock {
+ public:
+  explicit ScopedRankedLock(Mutex& mu) FO2DT_ACQUIRE(mu) : mu_(&mu) {
+    internal::NoteAcquire(mu.rank());
+    lock_ = std::unique_lock<std::mutex>(mu.native_for_scoped_lock());
+  }
+  ~ScopedRankedLock() FO2DT_RELEASE() {
+    if (lock_.owns_lock()) lock_.unlock();
+    internal::NoteRelease(mu_->rank());
+  }
+  ScopedRankedLock(const ScopedRankedLock&) = delete;
+  ScopedRankedLock& operator=(const ScopedRankedLock&) = delete;
+
+  /// The wrapped unique_lock, for `cv.wait(lock.native(), pred)`. The rank
+  /// entry stays on the held stack across the wait; see the header comment.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace fo2dt

@@ -146,22 +146,22 @@ QueryLog::QueryLog() {
 }
 
 void QueryLog::Configure(std::string path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   path_ = std::move(path);
 }
 
 std::string QueryLog::path() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return path_;
 }
 
 bool QueryLog::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return !path_.empty();
 }
 
 Status QueryLog::Append(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (path_.empty()) return Status::OK();
   // One O_APPEND write() for the whole record including the newline: a
   // record either lands complete or not at all, so concurrent appenders and

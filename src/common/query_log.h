@@ -20,14 +20,15 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/hash.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace fo2dt {
@@ -101,8 +102,8 @@ class QueryLog {
  private:
   QueryLog();  // seeds path_ from FO2DT_QUERY_LOG
 
-  mutable std::mutex mu_;
-  std::string path_;
+  mutable Mutex mu_{names::kLockQuerylogSink};
+  std::string path_ FO2DT_GUARDED_BY(mu_);
 };
 
 }  // namespace fo2dt

@@ -201,7 +201,7 @@ SolveCache::SolveCache() {
     if (ParseU64(bytes, &budget) && budget > 0) config_.max_bytes = budget;
   }
   if (config_.enabled && !config_.file.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    ScopedRankedLock lock(mu_);
     LoadFileLocked();
   }
 }
@@ -221,7 +221,7 @@ uint64_t SolveCache::FingerprintLocked() const {
 }
 
 void SolveCache::Configure(SolveCacheConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   config_ = std::move(config);
   lru_.clear();
   solve_.clear();
@@ -232,17 +232,17 @@ void SolveCache::Configure(SolveCacheConfig config) {
 }
 
 SolveCacheConfig SolveCache::config() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return config_;
 }
 
 bool SolveCache::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return config_.enabled;
 }
 
 uint64_t SolveCache::fingerprint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return FingerprintLocked();
 }
 
@@ -348,7 +348,7 @@ void SolveCache::InsertLocked(Slot slot, const std::string& key,
 std::optional<SolveCacheEntry> SolveCache::Lookup(const std::string& key,
                                                   const char* hit_metric,
                                                   const char* miss_metric) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (!config_.enabled) return std::nullopt;
   auto it = solve_.find(key);
   if (it == solve_.end()) {
@@ -369,7 +369,7 @@ void SolveCache::Insert(const std::string& key, const SolveCacheEntry& entry,
   // Charge the inserting solve's governor first: a solve over its memory
   // budget must not grow the cache (it skips caching, never fails).
   if (exec != nullptr && !exec->ChargeMemory(bytes, module).ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (!config_.enabled) return;
   const bool fresh = solve_.find(key) == solve_.end();
   Stored stored;
@@ -382,7 +382,7 @@ void SolveCache::Insert(const std::string& key, const SolveCacheEntry& entry,
 std::optional<std::string> SolveCache::LookupSub(const std::string& key,
                                                  const char* hit_metric,
                                                  const char* miss_metric) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (!config_.enabled) return std::nullopt;
   auto it = sub_.find(key);
   // Sub-memo traffic never stamps the query-log `cache` field: the field
@@ -401,7 +401,7 @@ void SolveCache::InsertSub(const std::string& key, std::string value,
                            const ExecutionContext* exec, const char* module) {
   const uint64_t bytes = kEntryOverheadBytes + key.size() + value.size();
   if (exec != nullptr && !exec->ChargeMemory(bytes, module).ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (!config_.enabled) return;
   Stored stored;
   stored.value = std::move(value);
@@ -410,7 +410,7 @@ void SolveCache::InsertSub(const std::string& key, std::string value,
 }
 
 SolveCache::Stats SolveCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   Stats out;
   auto get = [this](const char* key) {
     auto it = counters_.find(key);
@@ -428,7 +428,7 @@ SolveCache::Stats SolveCache::stats() const {
 }
 
 void SolveCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   lru_.clear();
   solve_.clear();
   sub_.clear();

@@ -44,13 +44,14 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 
 namespace fo2dt {
 
@@ -152,22 +153,25 @@ class SolveCache {
     std::list<std::pair<Slot, std::string>>::iterator lru_it;
   };
 
-  void LoadFileLocked();
-  void AppendEntryLocked(const std::string& key, const SolveCacheEntry& entry);
-  void EvictLocked();
-  void InsertLocked(Slot slot, const std::string& key, Stored stored);
-  uint64_t FingerprintLocked() const;
+  void LoadFileLocked() FO2DT_REQUIRES(mu_);
+  void AppendEntryLocked(const std::string& key, const SolveCacheEntry& entry)
+      FO2DT_REQUIRES(mu_);
+  void EvictLocked() FO2DT_REQUIRES(mu_);
+  void InsertLocked(Slot slot, const std::string& key, Stored stored)
+      FO2DT_REQUIRES(mu_);
+  uint64_t FingerprintLocked() const FO2DT_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  SolveCacheConfig config_;
-  std::list<std::pair<Slot, std::string>> lru_;  // front = oldest
-  std::unordered_map<std::string, Stored> solve_;
-  std::unordered_map<std::string, Stored> sub_;
-  uint64_t bytes_ = 0;
-  bool header_written_ = false;
+  mutable Mutex mu_{names::kLockCacheSolve};
+  SolveCacheConfig config_ FO2DT_GUARDED_BY(mu_);
+  // front = oldest
+  std::list<std::pair<Slot, std::string>> lru_ FO2DT_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Stored> solve_ FO2DT_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Stored> sub_ FO2DT_GUARDED_BY(mu_);
+  uint64_t bytes_ FO2DT_GUARDED_BY(mu_) = 0;
+  bool header_written_ FO2DT_GUARDED_BY(mu_) = false;
   /// Hit/miss/evict counts keyed by the registered metric name each lookup
   /// site passed; exported verbatim by the "solve_cache" metrics source.
-  std::unordered_map<std::string, uint64_t> counters_;
+  std::unordered_map<std::string, uint64_t> counters_ FO2DT_GUARDED_BY(mu_);
 };
 
 /// The verdict-cache key for \p body under \p facade —

@@ -17,17 +17,35 @@
 
 #include <atomic>
 #include <cassert>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace fo2dt {
 
 /// Process-wide count of live solver worker threads that may be writing
 /// thread-local counter blocks. Shared across all ThreadStats
 /// instantiations (a worker typically writes several counter families).
+/// atomic: incremented relaxed at worker start, decremented with release at
+/// worker exit; the acquire load in AssertStatsWorkersQuiescent() pairs with
+/// that release so observing 0 also publishes the workers' counter writes.
 inline std::atomic<int>& ActiveStatsWorkerCount() {
   static std::atomic<int> count{0};
   return count;
+}
+
+/// The quiescence precondition of Aggregate()/Reset(), as one named,
+/// annotation-clean check: an acquire load of the worker count (no counter
+/// block is touched here, so there is nothing for the thread-safety
+/// analysis to flag), asserted to be zero in debug builds. Returns the
+/// count so release builds can keep the call free of dead variables.
+inline int AssertStatsWorkersQuiescent() {
+  const int live = ActiveStatsWorkerCount().load(std::memory_order_acquire);
+  assert(live == 0 &&
+         "ThreadStats aggregation requires quiescent workers: join fan-out "
+         "threads first");
+  return live;
 }
 
 /// \brief RAII declaration "this thread is a counter-writing worker".
@@ -63,12 +81,13 @@ class ThreadStats {
   /// Sum over all live threads plus exited threads since the last Reset().
   /// Precondition: all solver workers joined (asserted in debug builds).
   static C Aggregate() {
-    assert(ActiveStatsWorkerCount().load(std::memory_order_acquire) == 0 &&
-           "ThreadStats::Aggregate requires quiescent workers: join fan-out "
-           "threads before aggregating");
+    (void)AssertStatsWorkersQuiescent();
     Registry& r = GetRegistry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    ScopedRankedLock lock(r.mu);
     C out = r.retired;
+    // Dereferencing live[] blocks is safe only under the quiescence
+    // precondition just asserted: the pointees are thread-confined to their
+    // owning (now joined or idle) threads, not guarded by r.mu.
     for (const C* c : r.live) c->AddTo(&out);
     return out;
   }
@@ -76,20 +95,21 @@ class ThreadStats {
   /// Zeroes the retired accumulator and every live thread's block.
   /// Precondition: all solver workers joined (asserted in debug builds).
   static void Reset() {
-    assert(ActiveStatsWorkerCount().load(std::memory_order_acquire) == 0 &&
-           "ThreadStats::Reset requires quiescent workers: join fan-out "
-           "threads before resetting");
+    (void)AssertStatsWorkersQuiescent();
     Registry& r = GetRegistry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    ScopedRankedLock lock(r.mu);
     r.retired.Clear();
     for (C* c : r.live) c->Clear();
   }
 
  private:
   struct Registry {
-    std::mutex mu;
-    std::vector<C*> live;
-    C retired;
+    Mutex mu{names::kLockStatsRegistry};
+    /// The list itself is guarded by mu; the pointees are NOT — each block
+    /// is thread-confined to its owner and only read cross-thread under the
+    /// quiescence precondition (AssertStatsWorkersQuiescent).
+    std::vector<C*> live FO2DT_GUARDED_BY(mu);
+    C retired FO2DT_GUARDED_BY(mu);
   };
 
   static Registry& GetRegistry() {
@@ -101,12 +121,12 @@ class ThreadStats {
     C counters;
     Handle() {
       Registry& r = GetRegistry();
-      std::lock_guard<std::mutex> lock(r.mu);
+      ScopedRankedLock lock(r.mu);
       r.live.push_back(&counters);
     }
     ~Handle() {
       Registry& r = GetRegistry();
-      std::lock_guard<std::mutex> lock(r.mu);
+      ScopedRankedLock lock(r.mu);
       counters.AddTo(&r.retired);
       for (size_t i = 0; i < r.live.size(); ++i) {
         if (r.live[i] == &counters) {

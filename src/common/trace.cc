@@ -15,6 +15,8 @@ uint64_t& ThreadCurrentSpanId() {
 }
 
 uint32_t TraceRecorder::CurrentThreadIndex() {
+  // atomic: thread-index ticket; relaxed fetch_add — each thread only needs
+  // a distinct value, not ordering with anything else.
   static std::atomic<uint32_t> next{0};
   thread_local uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
   return index;
@@ -46,7 +48,7 @@ uint64_t TraceRecorder::NowNs() const {
 }
 
 void TraceRecorder::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.clear();
   ring_.reserve(capacity_);
@@ -55,7 +57,7 @@ void TraceRecorder::SetCapacity(size_t capacity) {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   ring_.clear();
   head_ = 0;
   dropped_ = 0;
@@ -63,22 +65,22 @@ void TraceRecorder::Clear() {
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return dropped_;
 }
 
 void TraceRecorder::BeginSpan(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   open_.push_back(event);
 }
 
 void TraceRecorder::Record(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   // Retire the in-flight entry. Spans destroy strictly LIFO per thread, so
   // the match is almost always at or near the back.
   for (size_t i = open_.size(); i > 0; --i) {
@@ -98,7 +100,7 @@ void TraceRecorder::Record(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // head_ is the oldest slot once the ring has wrapped.
@@ -109,7 +111,7 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 }
 
 std::vector<TraceEvent> TraceRecorder::OpenSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return open_;
 }
 

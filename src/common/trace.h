@@ -31,10 +31,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace fo2dt {
@@ -117,16 +118,20 @@ class TraceRecorder {
  private:
   TraceRecorder();
 
+  // atomic: enabled_ is a relaxed on/off flag sampled per span (stale reads
+  // only cost one recorded/missed span); next_id_ is a relaxed id ticket.
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{0};
   uint64_t epoch_ns_ = 0;  // steady_clock at construction
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // guarded by mu_
-  size_t capacity_ = kDefaultCapacity;
-  size_t head_ = 0;        // next overwrite position once full
-  uint64_t dropped_ = 0;
-  std::vector<TraceEvent> open_;  // in-flight spans, guarded by mu_
+  mutable Mutex mu_{names::kLockTraceRing};
+  std::vector<TraceEvent> ring_ FO2DT_GUARDED_BY(mu_);
+  size_t capacity_ FO2DT_GUARDED_BY(mu_) = kDefaultCapacity;
+  // next overwrite position once full
+  size_t head_ FO2DT_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ FO2DT_GUARDED_BY(mu_) = 0;
+  // in-flight spans
+  std::vector<TraceEvent> open_ FO2DT_GUARDED_BY(mu_);
 };
 
 // The per-thread innermost open span id; spans link to it as their parent.

@@ -543,6 +543,8 @@ Result<LctaEmptinessResult> CheckLctaEmptinessImpl(const Lcta& lcta,
     Status error;  // non-OK turns the slot into an error terminal
   };
   std::vector<Slot> slots(roots.size());
+  // atomic: work-stealing ticket; relaxed fetch_add hands each root index
+  // to exactly one worker, slot writes are ordered by the thread join.
   std::atomic<size_t> next{0};
   FirstWinsFanout fanout(roots.size(), options.cancel_token);
   auto worker = [&]() {

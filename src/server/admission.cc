@@ -23,7 +23,7 @@ uint64_t DivideFloored(uint64_t value, uint64_t divisor, uint64_t floor) {
 
 AdmitDecision AdmissionController::Admit(const std::string& tenant,
                                          const RequestedBudgets& requested) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   AdmitDecision decision;
   decision.queue_depth = queue_depth_;
 
@@ -89,13 +89,13 @@ AdmitDecision AdmissionController::Admit(const std::string& tenant,
 }
 
 void AdmissionController::OnDequeue() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   if (queue_depth_ > 0) --queue_depth_;
   stats_.queue_depth = queue_depth_;
 }
 
 void AdmissionController::OnFinish(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   auto it = tenant_active_.find(tenant);
   if (it != tenant_active_.end() && it->second > 0) {
     if (--it->second == 0) tenant_active_.erase(it);
@@ -104,7 +104,7 @@ void AdmissionController::OnFinish(const std::string& tenant) {
 
 void AdmissionController::OnAbandon(const std::string& tenant) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ScopedRankedLock lock(mu_);
     if (queue_depth_ > 0) --queue_depth_;
     stats_.queue_depth = queue_depth_;
   }
@@ -112,7 +112,7 @@ void AdmissionController::OnAbandon(const std::string& tenant) {
 }
 
 AdmissionStats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedRankedLock lock(mu_);
   return stats_;
 }
 

@@ -26,8 +26,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace fo2dt {
 
@@ -118,10 +120,10 @@ class AdmissionController {
   const AdmissionConfig config_;
   const uint64_t default_deadline_ms_;
 
-  mutable std::mutex mu_;
-  uint64_t queue_depth_ = 0;
-  AdmissionStats stats_;
-  std::map<std::string, uint64_t> tenant_active_;
+  mutable Mutex mu_{names::kLockServerAdmission};
+  uint64_t queue_depth_ FO2DT_GUARDED_BY(mu_) = 0;
+  AdmissionStats stats_ FO2DT_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> tenant_active_ FO2DT_GUARDED_BY(mu_);
 };
 
 }  // namespace fo2dt

@@ -28,6 +28,8 @@ constexpr int kPollIntervalMs = 100;
 /// Globals (not per-instance) because the registry collect callback must
 /// outlive any one SolveServer.
 struct GlobalServerCounters {
+  // atomic: independent relaxed counters; cross-field consistency is not
+  // promised, a metrics snapshot may tear across fields by design.
   std::atomic<uint64_t> accepted{0};
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> degraded{0};
@@ -182,7 +184,7 @@ void SolveServer::AcceptLoop() {
     conn->fd = fd;
     conn->token = lifecycle_token_.Child();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      ScopedRankedLock lock(conns_mu_);
       conns_.push_back(conn);
       // Assigned under conns_mu_: the reader's self-reap moves this handle
       // out under the same mutex, so it can never race the assignment.
@@ -239,7 +241,7 @@ void SolveServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
   // workers drop (and count) each cancelled response as they hit it.
   conn->token.RequestCancel();
   {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
+    ScopedRankedLock lock(conn->write_mu);
     if (conn->fd >= 0) {
       ::close(conn->fd);
       conn->fd = -1;
@@ -251,7 +253,7 @@ void SolveServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
   // Shutdown — and the Connection leaves conns_; it stays alive through the
   // shared_ptr held by any still-queued WorkItems.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    ScopedRankedLock lock(conns_mu_);
     if (conn->reader.joinable()) {
       dead_readers_.push_back(std::move(conn->reader));
     }
@@ -345,7 +347,7 @@ void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
     // draining_ flips under queue_mu_ (Shutdown step 2), so a solve either
     // lands in the queue before the drain barrier — workers are then
     // guaranteed to run it — or is rejected below. Never silently dropped.
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    ScopedRankedLock lock(queue_mu_);
     if (!draining_) {
       queue_.push_back(std::move(item));
       enqueued = true;
@@ -372,8 +374,11 @@ void SolveServer::WorkerLoop(size_t worker_index) {
   while (true) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      ScopedRankedLock lock(queue_mu_);
+      queue_cv_.wait(lock.native(),
+                     [this]() FO2DT_REQUIRES(queue_mu_) {
+                       return draining_ || !queue_.empty();
+                     });
       if (queue_.empty()) {
         if (draining_) return;
         continue;  // spurious wake between drain phases
@@ -399,7 +404,7 @@ void SolveServer::WorkerLoop(size_t worker_index) {
 
 void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
   {
-    std::lock_guard<std::mutex> lock(slot->mu);
+    ScopedRankedLock lock(slot->mu);
     slot->busy = true;
     slot->killed = false;
     slot->start = std::chrono::steady_clock::now();
@@ -445,7 +450,7 @@ void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
   }();
 
   {
-    std::lock_guard<std::mutex> lock(slot->mu);
+    ScopedRankedLock lock(slot->mu);
     slot->busy = false;
     slot->token = CancellationToken();
   }
@@ -495,7 +500,7 @@ void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
 void SolveServer::ReapDeadReaders() {
   std::vector<std::thread> dead;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    ScopedRankedLock lock(conns_mu_);
     dead.swap(dead_readers_);
   }
   // Joined outside conns_mu_: a reader pushes its own handle just before
@@ -512,7 +517,7 @@ void SolveServer::WatchdogLoop() {
     ReapDeadReaders();
     auto now = std::chrono::steady_clock::now();
     for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
-      std::lock_guard<std::mutex> lock(slot->mu);
+      ScopedRankedLock lock(slot->mu);
       if (!slot->busy || slot->killed) continue;
       auto limit = slot->start +
                    std::chrono::milliseconds(slot->deadline_ms +
@@ -531,7 +536,7 @@ void SolveServer::WatchdogLoop() {
 
 void SolveServer::SendResponse(const std::shared_ptr<Connection>& conn,
                                const ServerResponse& resp) {
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  ScopedRankedLock lock(conn->write_mu);
   if (conn->fd >= 0) (void)SendAll(conn->fd, resp.ToJsonLine());
 }
 
@@ -552,7 +557,7 @@ void SolveServer::Shutdown() {
   // to run it) or is rejected by Dispatch with "server draining" from now
   // on. Readers stay up through the drain so finished solves still answer.
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    ScopedRankedLock lock(queue_mu_);
     draining_ = true;
   }
   queue_cv_.notify_all();
@@ -579,24 +584,24 @@ void SolveServer::Shutdown() {
   // readers, shutdown() unblocks any reader mid-recv.
   std::vector<std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    ScopedRankedLock lock(conns_mu_);
     conns.swap(conns_);
   }
   for (const std::shared_ptr<Connection>& conn : conns) {
     {
-      std::lock_guard<std::mutex> lock(conn->write_mu);
+      ScopedRankedLock lock(conn->write_mu);
       if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
     }
     std::thread reader;
     {
       // The reader may be self-reaping concurrently; the thread-handle
       // handoff is serialized on conns_mu_ (exactly one side moves it).
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      ScopedRankedLock lock(conns_mu_);
       if (conn->reader.joinable()) reader = std::move(conn->reader);
     }
     if (reader.joinable()) reader.join();
     {
-      std::lock_guard<std::mutex> lock(conn->write_mu);
+      ScopedRankedLock lock(conn->write_mu);
       if (conn->fd >= 0) {
         ::close(conn->fd);
         conn->fd = -1;

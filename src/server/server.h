@@ -41,12 +41,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/execution_context.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "server/admission.h"
 #include "server/protocol.h"
@@ -97,15 +98,18 @@ class SolveServer {
 
  private:
   struct Connection {
-    int fd = -1;                   // -1 once closed; guarded by write_mu
-    /// The reader thread handle. Guarded by conns_mu_: at disconnect the
-    /// reader moves its own handle into dead_readers_ (self-reap); at
-    /// Shutdown the teardown loop moves it out to join — exactly one side
-    /// wins the handoff.
+    Mutex write_mu{names::kLockServerConnWrite};
+    int fd FO2DT_GUARDED_BY(write_mu) = -1;  // -1 once closed
+    /// The reader thread handle. Guarded by the server's conns_mu_ (a nested
+    /// struct cannot name the enclosing object's member in an attribute):
+    /// at disconnect the reader moves its own handle into dead_readers_
+    /// (self-reap); at Shutdown the teardown loop moves it out to join —
+    /// exactly one side wins the handoff.
     std::thread reader;
     CancellationToken token;       // child of the lifecycle token
-    std::mutex write_mu;
-    std::atomic<uint64_t> pending{0};  // admitted, not yet responded
+    // atomic: admitted-not-yet-responded count; relaxed inc/dec from reader
+    // and worker threads, read only for observability (no ordering needed).
+    std::atomic<uint64_t> pending{0};
   };
 
   struct WorkItem {
@@ -124,12 +128,12 @@ class SolveServer {
 
   /// Watchdog bookkeeping for one worker thread.
   struct WorkerSlot {
-    std::mutex mu;
-    bool busy = false;
-    bool killed = false;
-    std::chrono::steady_clock::time_point start;
-    uint64_t deadline_ms = 0;
-    CancellationToken token;
+    Mutex mu{names::kLockServerWorkerSlot};
+    bool busy FO2DT_GUARDED_BY(mu) = false;
+    bool killed FO2DT_GUARDED_BY(mu) = false;
+    std::chrono::steady_clock::time_point start FO2DT_GUARDED_BY(mu);
+    uint64_t deadline_ms FO2DT_GUARDED_BY(mu) = 0;
+    CancellationToken token FO2DT_GUARDED_BY(mu);
   };
 
   void AcceptLoop();
@@ -166,16 +170,18 @@ class SolveServer {
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
 
-  std::mutex queue_mu_;
+  Mutex queue_mu_{names::kLockServerQueue};
   std::condition_variable queue_cv_;
-  std::deque<WorkItem> queue_;
-  bool draining_ = false;
+  std::deque<WorkItem> queue_ FO2DT_GUARDED_BY(queue_mu_);
+  bool draining_ FO2DT_GUARDED_BY(queue_mu_) = false;
 
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-  /// Handles of exited reader threads awaiting join (guarded by conns_mu_).
-  std::vector<std::thread> dead_readers_;
+  Mutex conns_mu_{names::kLockServerConns};
+  std::vector<std::shared_ptr<Connection>> conns_ FO2DT_GUARDED_BY(conns_mu_);
+  /// Handles of exited reader threads awaiting join.
+  std::vector<std::thread> dead_readers_ FO2DT_GUARDED_BY(conns_mu_);
 
+  // atomic: monotonically increasing observability counters; relaxed
+  // increments from worker/watchdog threads, relaxed reads in stats().
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> worker_faults_{0};
   std::atomic<uint64_t> watchdog_kills_{0};

@@ -357,6 +357,8 @@ Result<DnfSolveResult> IlpSolver::SolveDnf(
     size_t nodes = 0;
   };
   std::vector<Slot> slots(branches.size());
+  // atomic: work-stealing ticket; relaxed fetch_add hands each branch index
+  // to exactly one worker, slot writes are ordered by the thread join.
   std::atomic<size_t> next{0};
   FirstWinsFanout fanout(branches.size(), options.cancel_token);
   auto worker = [&]() {

@@ -286,7 +286,8 @@ Result<std::pair<DataTree, VataRun>> FindVataWitnessBounded(
       if (!IsBinaryTree(t)) continue;
       // Odometer over labelings.
       std::vector<Symbol> labels(n, 0);
-      // fo2dt-lint: allow(no-checkpoint, every iteration calls DeriveAll which polls the governor)
+      // No allow() needed: deep lint proves every iteration reaches the
+      // governor through DeriveAll.
       for (;;) {
         for (NodeId v = 0; v < n; ++v) t.set_label(v, labels[v]);
         auto cands_or = DeriveAll(a, t, max_candidates, exec);

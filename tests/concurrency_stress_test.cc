@@ -1,0 +1,239 @@
+// Concurrency stress for the cross-solve cache under a live worker pool
+// (DESIGN.md §12): hammer threads drive SolveCache lookups, inserts, and
+// LRU eviction while an in-process fo2dtd worker pool runs real solves that
+// consult the same cache. Built for the tsan preset — every shared path
+// here (cache LRU list, eviction accounting, server queue, per-connection
+// write lock) is exercised from many threads at once — but the invariants
+// are asserted in every build:
+//
+//   * counter coherence: solve-slot hits + misses equals exactly the
+//     number of solve-slot lookups issued (by the hammer and by the
+//     workers), even while evictions rearrange the LRU under the lookups;
+//   * eviction progress: the byte budget is small enough that the hammer
+//     must evict, and the cache never exceeds its configured budget after
+//     quiescence;
+//   * the worker pool answers every request correctly throughout.
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/query_log.h"  // JsonEscape
+#include "common/registry_names.h"
+#include "common/solve_cache.h"
+#include "server/server.h"
+
+namespace fo2dt {
+namespace {
+
+constexpr char kEasyBody[] = "labels 1\nformula exists x. l0(x)";
+
+std::string SocketPath(const char* stem) {
+  static int counter = 0;
+  return "/tmp/fo2dt_cst_" + std::to_string(::getpid()) + "_" + stem + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+std::string JsonStrField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  std::string out;
+  for (size_t i = begin; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[i + 1];
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') break;
+    out += line[i];
+  }
+  return out;
+}
+
+std::string SolveRequestLine(const std::string& id, const std::string& body) {
+  return "{\"op\":\"solve\",\"id\":\"" + id +
+         "\",\"facade\":\"frontend.sat\",\"body\":\"" + JsonEscape(body) +
+         "\",\"deadline_ms\":10000}\n";
+}
+
+/// Minimal blocking line client over the daemon's Unix socket.
+class LineClient {
+ public:
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool RecvLine(std::string* out, int timeout_ms = 60000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *out = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      if (::poll(&pfd, 1, 100) <= 0) continue;
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(ConcurrencyStressTest, CacheCountersStayCoherentUnderWorkerPool) {
+  SolveCache& cache = SolveCache::Instance();
+  SolveCacheConfig config;
+  config.enabled = true;
+  // Small enough that the hammer's distinct keys must evict (each stored
+  // entry is a few hundred bytes; the hammer inserts far more than fit).
+  config.max_bytes = 32 * 1024;
+  cache.Configure(config);
+  cache.Clear();
+
+  SolveServerOptions options;
+  options.socket_path = SocketPath("coherent");
+  options.num_workers = 4;
+  options.admission.tenant_active_limit = 0;
+  SolveServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kHammerThreads = 4;
+  constexpr int kHammerOps = 400;
+  constexpr int kSolveClients = 3;
+  constexpr int kSolvesPerClient = 25;
+
+  // atomic: relaxed tallies summed after the joins below.
+  std::atomic<uint64_t> hammer_lookups{0};
+  std::atomic<uint64_t> hammer_hits{0};
+  std::atomic<int> client_failures{0};
+  std::atomic<uint64_t> solve_ok{0};
+
+  std::vector<std::thread> threads;
+  // Hammer: rotating key space ~4x the byte budget; each miss inserts, so
+  // the LRU evicts continuously while lookups walk it.
+  for (int t = 0; t < kHammerThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kHammerOps; ++i) {
+        const std::string key =
+            "stress:" + std::to_string(t) + ":" + std::to_string(i % 100);
+        auto hit = cache.Lookup(key, names::kMetricCacheSolveHits,
+                                names::kMetricCacheSolveMisses);
+        hammer_lookups.fetch_add(1, std::memory_order_relaxed);
+        if (hit.has_value()) {
+          hammer_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          SolveCacheEntry entry;
+          entry.verdict = "SAT";
+          entry.method = "stress";
+          entry.steps = static_cast<uint64_t>(i);
+          entry.payload.assign(200, 'x');
+          cache.Insert(key, entry, nullptr, names::kModFrontendSolver);
+        }
+      }
+    });
+  }
+  // Worker-pool load: every solve of the shared body does exactly one
+  // verdict-cache lookup inside the solver (frontend/solver.cc), so each
+  // OK response accounts for one more lookup in the coherence equation.
+  for (int c = 0; c < kSolveClients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect(options.socket_path)) {
+        client_failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (int i = 0; i < kSolvesPerClient; ++i) {
+        const std::string id =
+            "s" + std::to_string(c) + "_" + std::to_string(i);
+        std::string line;
+        if (!client.Send(SolveRequestLine(id, kEasyBody)) ||
+            !client.RecvLine(&line)) {
+          client_failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (JsonStrField(line, "status") != "OK" ||
+            JsonStrField(line, "verdict") != "SAT") {
+          client_failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        solve_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Shutdown();
+
+  ASSERT_EQ(client_failures.load(), 0);
+  ASSERT_EQ(solve_ok.load(),
+            static_cast<uint64_t>(kSolveClients * kSolvesPerClient));
+
+  const SolveCache::Stats stats = cache.stats();
+  // The coherence contract: every solve-slot lookup was counted exactly
+  // once as a hit or a miss — no lookup lost to a racing insert/eviction.
+  EXPECT_EQ(stats.solve_hits + stats.solve_misses,
+            hammer_lookups.load() + solve_ok.load());
+  // The hammer's key space exceeds the byte budget several times over.
+  EXPECT_GT(stats.solve_evictions, 0u);
+  EXPECT_LE(stats.bytes, config.max_bytes);
+  // Keys repeat within each hammer thread (i % 100), so warm iterations
+  // hit unless eviction got there first; either way hits were observed
+  // somewhere (the repeated solve body guarantees at least the warm
+  // solves hit).
+  EXPECT_GT(stats.solve_hits, 0u);
+
+  cache.Configure(SolveCacheConfig{});  // disable again for other tests
+}
+
+}  // namespace
+}  // namespace fo2dt

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "automata/automaton_io.h"
 #include "common/random.h"
 #include "datatree/generator.h"
@@ -355,6 +359,46 @@ TEST(TreeAutomatonTest, TrimPreservesNonFirstSemantics) {
   // Without the NF mark on c's state these would be accepted.
   EXPECT_FALSE(trimmed.Accepts(*ParseDataTree("a:0 (c:0 (d:0))", &alpha)));
   EXPECT_FALSE(trimmed.Accepts(*ParseDataTree("a:0 (b:0 c:0)", &alpha)));
+}
+
+TEST(TreeAutomatonTest, ConcurrentFirstLookupBuildsIndexOnce) {
+  // Regression hammer for the lazy CSR build's publication seam
+  // (tree_automaton.h LazyIndex): many threads race the *first* const
+  // successor lookup, exactly one builds under the index mutex with a
+  // release-store publish, and every reader's acquire fast path must
+  // observe a fully built CSR. Run under the tsan preset this drives the
+  // double-checked protocol's only interesting interleaving; in any build
+  // it verifies all threads read identical successor sets.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    // A fresh automaton each round so every round races a cold index.
+    TreeAutomaton aut = LeavesAreB();
+    std::atomic<bool> go{false};  // atomic: start barrier; release/acquire
+    std::atomic<int> sum_mismatch{0};  // atomic: relaxed error tally
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        // LeavesAreB: δh(0, b) = {0, 1}, δh(1, a) = {0, 1} (insertion
+        // order), δv(0, b) = {1}.
+        auto h0 = aut.HorizontalSuccessors(0, 1);
+        auto h1 = aut.HorizontalSuccessors(1, 0);
+        auto v = aut.VerticalSuccessors(0, 1);
+        if (h0.size() != 2 || h0[0] != 0u || h0[1] != 1u ||
+            h1.size() != 2 || h1[0] != 0u || h1[1] != 1u ||
+            v.size() != 1 || v[0] != 1u) {
+          sum_mismatch.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(sum_mismatch.load(std::memory_order_relaxed), 0)
+        << "round " << round;
+  }
 }
 
 TEST(TreeAutomatonTest, AcceptingRunStatesRootRestricted) {

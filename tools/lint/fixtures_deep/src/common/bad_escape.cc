@@ -1,0 +1,51 @@
+// Fixture: arena-escape. SolveArena storage is frame-scoped and
+// thread-confined; pointers derived from it must not be returned or stored
+// to a field.
+#include "common/arena.h"
+
+namespace fo2dt {
+
+struct Holder {
+  uint64_t* stash_ = nullptr;
+  void Remember();
+};
+
+// Finding: returns a tainted local.
+uint64_t* LeakByReturn(size_t n) {
+  SolveArena::Frame frame;
+  uint64_t* bits = SolveArena::ThreadLocal().AllocateArray<uint64_t>(n);
+  bits[0] = 1;
+  return bits;
+}
+
+// Finding: returns the allocation expression directly.
+void* LeakByDirectReturn(size_t n) {
+  SolveArena::Frame frame;
+  return SolveArena::ThreadLocal().Allocate(n, 8);
+}
+
+// Finding: stores a tainted local into a member field.
+void Holder::Remember() {
+  SolveArena::Frame frame;
+  uint64_t* scratch = SolveArena::ThreadLocal().AllocateArray<uint64_t>(4);
+  stash_ = scratch;
+}
+
+// Finding: a taint that flows through an alias before returning.
+uint64_t* LeakThroughAlias(size_t n) {
+  SolveArena::Frame frame;
+  uint64_t* base = SolveArena::ThreadLocal().AllocateArray<uint64_t>(n);
+  uint64_t* cursor = base;
+  return cursor;
+}
+
+// Clean: the scratch dies with the frame.
+uint64_t SumWithinFrame(size_t n) {
+  SolveArena::Frame frame;
+  uint64_t* scratch = SolveArena::ThreadLocal().AllocateArray<uint64_t>(n);
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += scratch[i];
+  return total;
+}
+
+}  // namespace fo2dt

@@ -1,0 +1,33 @@
+// Fixture: lock-annotation. Raw std::mutex members are banned (the ranked
+// fo2dt::Mutex ties every lock to the registry hierarchy), and each
+// std::atomic declaration needs an adjacent `// atomic:` contract comment.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace fo2dt {
+
+class BadLocks {
+ public:
+  int Get() const;
+
+ private:
+  // Finding: raw std::mutex instead of the ranked wrapper.
+  std::mutex mu_;
+  // Finding: no ordering contract on the line or in a comment above.
+  std::atomic<int> unexplained_{0};
+};
+
+class GoodLocks {
+ private:
+  // atomic: monotone counter; relaxed increments, relaxed reads — readers
+  // only need an eventually-consistent total.
+  std::atomic<int> counted_{0};
+  // atomic: a single comment covers this contiguous group — release store
+  // on publish, acquire load on read.
+  std::atomic<bool> published_{false};
+  std::atomic<int> generation_{0};
+};
+
+}  // namespace fo2dt

@@ -1,0 +1,57 @@
+// Fixture: checkpoint-reachability. Hot-module loops whose governor poll
+// lives (or fails to live) behind a function call. The shallow
+// no-checkpoint rule cannot tell these apart; the deep call graph can.
+#include "common/execution_context.h"
+
+namespace fo2dt {
+
+// Never polls: loops that only call this are findings.
+static int ChewWithoutPolling(int x) { return x * 2 + 1; }
+
+// Polls the governor directly.
+static Status PollDirectly(const ExecutionContext* exec) {
+  return exec->Check(names::kModLctaEmptiness);
+}
+
+// Polls transitively (one hop).
+static Status PollThroughMiddleman(const ExecutionContext* exec) {
+  return PollDirectly(exec);
+}
+
+int LoopCallingNonPollingHelper(int n) {
+  int acc = 0;
+  while (acc < n) {
+    acc = ChewWithoutPolling(acc);
+  }
+  return acc;
+}
+
+int LoopCallingPollingHelper(const ExecutionContext* exec, int n) {
+  int acc = 0;
+  while (acc < n) {
+    if (!PollDirectly(exec).ok()) break;
+    ++acc;
+  }
+  return acc;
+}
+
+int LoopCallingTransitivePoller(const ExecutionContext* exec, int n) {
+  int acc = 0;
+  while (acc < n) {
+    if (!PollThroughMiddleman(exec).ok()) break;
+    ++acc;
+  }
+  return acc;
+}
+
+int LoopWithStaleSuppression(const ExecutionContext* exec, int n) {
+  int acc = 0;
+  // fo2dt-lint: allow(no-checkpoint, poll happens in PollDirectly)
+  while (acc < n) {
+    if (!PollDirectly(exec).ok()) break;
+    ++acc;
+  }
+  return acc;
+}
+
+}  // namespace fo2dt

@@ -50,6 +50,27 @@ enforces them:
   bad-suppression        a fo2dt-lint suppression comment that is malformed,
                          names an unknown rule, or lacks a reason.
 
+Deep mode (--deep) adds three AST-grade rules driven by a call-graph /
+member-table frontend (libclang over compile_commands.json when available,
+a built-in syntactic frontend otherwise — see tools/lint/deep_lint.py):
+
+  checkpoint-reachability  supersedes no-checkpoint in hot modules: a loop
+                           is clean if a governor poll is reachable through
+                           the functions it calls, not just lexically inside
+                           the body. Loops that delegate polling to a callee
+                           no longer need an allow() — and a now-redundant
+                           allow(no-checkpoint) is flagged as unused.
+  arena-escape             a pointer derived from SolveArena (thread-local,
+                           frame-rewound storage) must not be returned or
+                           stored to a field; it dangles when the frame
+                           unwinds and races when another thread reads it.
+  lock-annotation          concurrency metadata coverage: raw std::mutex
+                           members are banned (use the ranked fo2dt::Mutex),
+                           and every std::atomic declaration needs an
+                           adjacent `// atomic:` contract comment (or a
+                           capability annotation) stating its ordering
+                           protocol.
+
 Suppressions: append `// fo2dt-lint: allow(<rule>, <reason>)` to the flagged
 line or place it on the line directly above. The reason is mandatory — an
 audited suppression must say *why* the invariant does not apply, e.g.
@@ -80,6 +101,10 @@ RULES = (
     "timer-memory-scope",
     "no-ordered-containers",
     "bad-suppression",
+    # Deep (--deep) rules; implemented in tools/lint/deep_lint.py.
+    "checkpoint-reachability",
+    "arena-escape",
+    "lock-annotation",
 )
 
 # Modules whose loops run budget-scale work (the Theorem 1 pipeline's hot
@@ -226,6 +251,10 @@ class Linter:
                 value = entry["name"]
                 self.registered_values.add(value)
                 self.constants[prefix + _camel(value)] = (category, value)
+        for entry in registry.get("lock_ranks", {}).get("ranks", []):
+            value = entry["name"]
+            self.registered_values.add(value)
+            self.constants["kLock" + _camel(value)] = ("lock_rank", value)
         self.failpoint_constants = {
             c for c, (cat, _) in self.constants.items() if cat == "failpoint"}
         oc = registry.get("ordered_containers", {})
@@ -236,16 +265,21 @@ class Linter:
 
     # -- suppression protocol ------------------------------------------------
 
-    def suppressed(self, sf, line_no, rule):
+    def suppressed(self, sf, line_no, rule, aliases=()):
+        accepted = (rule,) + tuple(aliases)
         for probe in (line_no, line_no - 1):
             for srule, _reason in sf.suppressions.get(probe, []):
-                if srule == rule:
+                if srule in accepted:
                     self.used_suppressions.add((sf.path, probe, srule))
                     return True
         return False
 
-    def report(self, sf, line_no, rule, message):
-        if not self.suppressed(sf, line_no, rule):
+    def report(self, sf, line_no, rule, message, aliases=()):
+        """Records a finding unless suppressed. `aliases` are additional rule
+        names accepted in an allow() for this finding — used by deep rules
+        that supersede a shallow rule (checkpoint-reachability honors the
+        existing allow(no-checkpoint, ...) comments)."""
+        if not self.suppressed(sf, line_no, rule, aliases):
             self.findings.append(Finding(sf.path, line_no, rule, message))
 
     def check_suppression_comments(self, sf):
@@ -263,7 +297,12 @@ class Linter:
 
     # -- rule: no-checkpoint -------------------------------------------------
 
-    def check_checkpoints(self, sf):
+    def check_checkpoints(self, sf, reachability=None):
+        """Shallow mode (reachability=None): the poll must be lexically inside
+        the loop body. Deep mode: `reachability` is a deep_lint.Reachability
+        and a loop is also clean when its body calls a function from whose
+        body a governor poll is reachable; findings report as
+        checkpoint-reachability (accepting allow(no-checkpoint) comments)."""
         if not sf.path.endswith(".cc"):
             return
         if not any(d + os.sep in sf.path or sf.path.startswith(d)
@@ -296,6 +335,17 @@ class Linter:
                 continue
             loop_desc = {"while": "while loop", "do": "do-while loop",
                          "for": "for(;;) loop"}[kw]
+            if reachability is not None:
+                if reachability.body_reaches_poll(body):
+                    continue
+                self.report(
+                    sf, line_no, "checkpoint-reachability",
+                    f"unbounded {loop_desc} in hot module neither polls the "
+                    "governor nor calls any function from which a poll is "
+                    "reachable through the call graph; deadlines cannot "
+                    "fire here",
+                    aliases=("no-checkpoint",))
+                continue
             self.report(
                 sf, line_no, "no-checkpoint",
                 f"unbounded {loop_desc} in hot module has no governor poll "
@@ -604,6 +654,22 @@ def main():
                              "registry.json)")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--deep", action="store_true",
+                        help="run the AST-grade rules (checkpoint-"
+                             "reachability, arena-escape, lock-annotation); "
+                             "checkpoint-reachability supersedes the lexical "
+                             "no-checkpoint rule")
+    parser.add_argument("--frontend", choices=("auto", "internal", "libclang"),
+                        default="auto",
+                        help="deep-mode frontend: libclang walks the real AST "
+                             "via compile_commands.json; internal is the "
+                             "dependency-free syntactic frontend; auto "
+                             "prefers libclang and falls back (default)")
+    parser.add_argument("--compile-db", default=None,
+                        help="directory containing compile_commands.json for "
+                             "the libclang frontend (default: "
+                             "$FO2DT_COMPILE_DB, then <root>/build-lint, "
+                             "then <root>/build)")
     args = parser.parse_args()
 
     if args.list_rules:
@@ -638,9 +704,23 @@ def main():
             run_bench = SourceFile(
                 os.path.join("bench", "run_bench.sh"), f.read())
 
+    reachability = None
+    deep = None
+    if args.deep:
+        import deep_lint
+        deep = deep_lint.DeepAnalysis(
+            root, files, frontend=args.frontend, compile_db=args.compile_db,
+            checkpoint_call_re=CHECKPOINT_CALL_RE)
+        if deep.skipped:
+            # --frontend=libclang without python libclang: the ctest maps
+            # exit 125 to SKIP so the gate is honest about not running.
+            print(deep.skip_reason, file=sys.stderr)
+            return 125
+        reachability = deep.reachability
+
     for sf in files:
         linter.check_suppression_comments(sf)
-        linter.check_checkpoints(sf)
+        linter.check_checkpoints(sf, reachability)
         linter.check_dotted_literals(sf)
         linter.check_constants_exist(sf)
         linter.check_failpoints(sf)
@@ -650,6 +730,9 @@ def main():
         linter.check_timer_memory_scopes(sf)
         linter.check_ordered_containers(sf)
     linter.check_bench_contract(bench_main, run_bench)
+    if deep is not None:
+        deep.check_arena_escape(linter)
+        deep.check_lock_annotations(linter)
     linter.check_unused_suppressions(files)
 
     findings = sorted(linter.findings, key=Finding.sort_key)

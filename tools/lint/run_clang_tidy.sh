@@ -1,21 +1,32 @@
 #!/bin/sh
 # clang-tidy gate over the committed .clang-tidy, driven from a compile
-# database (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON; the lint
-# preset does). Exits 125 — ctest SKIP via SKIP_RETURN_CODE — when either
+# database (every preset exports one; CMAKE_EXPORT_COMPILE_COMMANDS is on
+# globally). Exits 125 — ctest SKIP via SKIP_RETURN_CODE — when either
 # clang-tidy or the database is unavailable, so machines without LLVM skip
 # cleanly instead of failing.
+#
+# Database resolution matches deep_lint.py (`fo2dt_lint.py --deep`) so both
+# tools analyze against the same build: explicit argument, then
+# $FO2DT_COMPILE_DB, then build-lint, then build.
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
-BUILD="${1:-$ROOT/build}"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "clang-tidy not installed; skipping tidy check" >&2
   exit 125
 fi
-if [ ! -f "$BUILD/compile_commands.json" ]; then
-  echo "no compile database at $BUILD/compile_commands.json;" \
-       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (skipping)" >&2
+
+BUILD=""
+for cand in "${1:-}" "${FO2DT_COMPILE_DB:-}" "$ROOT/build-lint" "$ROOT/build"; do
+  if [ -n "$cand" ] && [ -f "$cand/compile_commands.json" ]; then
+    BUILD="$cand"
+    break
+  fi
+done
+if [ -z "$BUILD" ]; then
+  echo "no compile_commands.json (looked at arg, \$FO2DT_COMPILE_DB," \
+       "build-lint, build); configure a preset first (skipping)" >&2
   exit 125
 fi
 

@@ -6,12 +6,20 @@ ctest).
    class; the linter's text output on it must match expected_findings.txt
    byte for byte, proving each finding class actually fires.
 2. Every rule the linter advertises (--list-rules) must appear at least
-   once in the golden output — a rule that cannot fire is dead code.
-3. The real tree must scan clean: the fixtures prove the rules detect
-   violations, the clean run proves the tree honors the invariants.
+   once in a golden output (shallow or deep) — a rule that cannot fire is
+   dead code.
+3. The real tree must scan clean under --deep: the fixtures prove the
+   rules detect violations, the clean run proves the tree honors the
+   invariants.
 4. gen_registry.py must reject malformed registries (shadowed prefix
-   order, unknown phase), detect drift between the JSON and the committed
-   header, and pass --check on the committed pair.
+   order, unknown phase, non-ascending lock ranks), detect drift between
+   the JSON and the committed header, and pass --check on the committed
+   pair.
+5. fixtures_deep/ exercises the three --deep rules (checkpoint-
+   reachability through the call graph, arena-escape, lock-annotation)
+   against expected_deep_findings.txt, including that a stale
+   allow(no-checkpoint) on a loop the call graph proves safe is itself
+   reported as unused.
 """
 
 import json
@@ -53,15 +61,52 @@ def main():
           "fixture findings match expected_findings.txt",
           "---- got ----\n" + r.stdout + "---- want ----\n" + golden)
 
+    # 1b. Deep-fixture scan: the AST-grade rules against their golden. The
+    # internal frontend is pinned so the golden is reproducible on machines
+    # with and without python libclang.
+    fixtures_deep = os.path.join(LINT_DIR, "fixtures_deep")
+    with open(os.path.join(LINT_DIR, "expected_deep_findings.txt"),
+              encoding="utf-8") as f:
+        deep_golden = f.read()
+    r = run([PY, LINT, "--root", fixtures_deep, "--deep",
+             "--frontend=internal"])
+    check(r.returncode == 1, "deep fixture scan exits 1",
+          r.stdout + r.stderr)
+    check(r.stdout == deep_golden,
+          "deep findings match expected_deep_findings.txt",
+          "---- got ----\n" + r.stdout + "---- want ----\n" + deep_golden)
+    for rule in ("checkpoint-reachability", "arena-escape",
+                 "lock-annotation"):
+        check(f"[{rule}]" in deep_golden,
+              f"deep fixtures exercise rule '{rule}'")
+    check("unused suppression allow(no-checkpoint" in deep_golden,
+          "a stale allow() on a call-graph-proven loop is itself a finding")
+
+    # 1c. Forcing the libclang frontend on a machine without python libclang
+    # must refuse to silently fall back: exit 125 (ctest SKIP), not a pass.
+    try:
+        import clang.cindex  # noqa: F401
+        have_libclang = True
+    except ImportError:
+        have_libclang = False
+    if not have_libclang:
+        r = run([PY, LINT, "--root", fixtures_deep, "--deep",
+                 "--frontend=libclang"])
+        check(r.returncode == 125,
+              "--frontend=libclang exits 125 when clang.cindex is absent",
+              f"exit {r.returncode}: " + r.stdout + r.stderr)
+
     # 2. Every advertised rule fires somewhere in the fixtures.
     rules = run([PY, LINT, "--list-rules"]).stdout.split()
     check(len(rules) >= 8, "linter advertises its rule set")
     for rule in rules:
-        check(f"[{rule}]" in golden, f"fixtures exercise rule '{rule}'")
+        check(f"[{rule}]" in golden + deep_golden,
+              f"fixtures exercise rule '{rule}'")
 
-    # 3. The real tree is clean.
-    r = run([PY, LINT, "--root", REPO])
-    check(r.returncode == 0, "real tree is lint-clean", r.stdout + r.stderr)
+    # 3. The real tree is clean under the full deep gate.
+    r = run([PY, LINT, "--root", REPO, "--deep", "--frontend=auto"])
+    check(r.returncode == 0, "real tree is deep-lint-clean",
+          r.stdout + r.stderr)
 
     # 4a. Committed registry/header pair is in sync.
     r = run([PY, GEN, "--check"])
@@ -93,6 +138,16 @@ def main():
     expect_check_fails(
         lambda b: b["modules"][0].update(name="frontend.renamed"),
         "generator --check detects drift after a registry edit")
+    expect_check_fails(
+        lambda b: b["lock_ranks"]["ranks"][0].update(rank=999),
+        "generator rejects a lock hierarchy that is not strictly ascending")
+    expect_check_fails(
+        lambda b: b["lock_ranks"]["ranks"][1].update(
+            name=b["lock_ranks"]["ranks"][0]["name"]),
+        "generator rejects duplicate lock rank names")
+    expect_check_fails(
+        lambda b: b["lock_ranks"]["ranks"][0].update(doc="edited"),
+        "generator --check detects lock_ranks drift against the header")
 
     print(f"test_lint: {len(failures)} failure(s)")
     return 1 if failures else 0
