@@ -143,12 +143,15 @@ BENCHMARK(BM_ImplicationCounterexample)->Arg(5)->Arg(6);
 constexpr size_t kRepeatedVariants = 100;
 
 void RunRepeatedKeyfkWorkload(const Family& consistent,
-                              const Family& inconsistent) {
+                              const Family& inconsistent,
+                              Histogram* latency = nullptr) {
   for (size_t i = 0; i < kRepeatedVariants; ++i) {
     const Family& f = i % 2 == 0 ? consistent : inconsistent;
     LctaOptions options;
     options.max_ilp_nodes += i;  // distinct cache key, identical behavior
+    const auto start = std::chrono::steady_clock::now();
     auto r = CheckKeyForeignKeyConsistencyIlp(f.schema, f.set, options);
+    if (latency != nullptr) latency->Record(MicrosSince(start));
     benchmark::DoNotOptimize(r);
   }
 }
@@ -160,8 +163,12 @@ void BM_KeyfkRepeatedWorkloadCold(benchmark::State& state) {
   ArithStats::Reset();
   PhaseStats::Reset();
   SolveCache::Stats before = SolveCache::Instance().stats();
-  for (auto _ : state) RunRepeatedKeyfkWorkload(consistent, inconsistent);
+  Histogram latency{names::kMetricHistSolveWallMs};
+  for (auto _ : state) {
+    RunRepeatedKeyfkWorkload(consistent, inconsistent, &latency);
+  }
   ReportCacheCounters(state, before);
+  ReportSolveLatency(state, latency);
   ReportSolverCounters(state);
   ReportPhaseCounters(state);
 }
@@ -186,8 +193,12 @@ void BM_KeyfkRepeatedWorkloadWarm(benchmark::State& state) {
   ArithStats::Reset();
   PhaseStats::Reset();
   SolveCache::Stats before = cache.stats();
-  for (auto _ : state) RunRepeatedKeyfkWorkload(consistent, inconsistent);
+  Histogram latency{names::kMetricHistSolveWallMs};
+  for (auto _ : state) {
+    RunRepeatedKeyfkWorkload(consistent, inconsistent, &latency);
+  }
   ReportCacheCounters(state, before);
+  ReportSolveLatency(state, latency);
   ReportSolverCounters(state);
   ReportPhaseCounters(state);
 }

@@ -131,9 +131,11 @@ Lcta MakeRepeatedVariant(size_t i) {
   return lcta;
 }
 
-void RunRepeatedWorkload() {
+void RunRepeatedWorkload(Histogram* latency = nullptr) {
   for (size_t i = 0; i < kRepeatedVariants; ++i) {
+    const auto start = std::chrono::steady_clock::now();
     auto r = CheckLctaEmptiness(MakeRepeatedVariant(i));
+    if (latency != nullptr) latency->Record(MicrosSince(start));
     benchmark::DoNotOptimize(r);
   }
 }
@@ -143,8 +145,10 @@ void BM_RepeatedWorkloadCold(benchmark::State& state) {
   ArithStats::Reset();
   PhaseStats::Reset();
   SolveCache::Stats before = SolveCache::Instance().stats();
-  for (auto _ : state) RunRepeatedWorkload();
+  Histogram latency{names::kMetricHistSolveWallMs};
+  for (auto _ : state) RunRepeatedWorkload(&latency);
   ReportCacheCounters(state, before);
+  ReportSolveLatency(state, latency);
   ReportSolverCounters(state);
   ReportPhaseCounters(state);
 }
@@ -165,8 +169,10 @@ void BM_RepeatedWorkloadWarm(benchmark::State& state) {
   ArithStats::Reset();
   PhaseStats::Reset();
   SolveCache::Stats before = cache.stats();
-  for (auto _ : state) RunRepeatedWorkload();
+  Histogram latency{names::kMetricHistSolveWallMs};
+  for (auto _ : state) RunRepeatedWorkload(&latency);
   ReportCacheCounters(state, before);
+  ReportSolveLatency(state, latency);
   ReportSolverCounters(state);
   ReportPhaseCounters(state);
 }

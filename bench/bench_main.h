@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -63,6 +64,27 @@ inline void ReportCacheCounters(benchmark::State& state,
       static_cast<double>((now.solve_misses + now.sub_misses) -
                           (before.solve_misses + before.sub_misses)) /
       iters;
+}
+
+/// Attaches solve-latency percentiles (solve_ms_p50/p95/p99, names owned by
+/// the registry's bench_counters.extras) derived from \p latency. The
+/// histogram holds per-solve *microsecond* samples — its log2 buckets then
+/// resolve sub-millisecond solves — and the counters convert back to
+/// milliseconds to match every other time counter in the report.
+inline void ReportSolveLatency(benchmark::State& state,
+                               const Histogram& latency) {
+  HistogramSnapshot snap = latency.Snapshot();
+  state.counters[names::kBenchExtraSolveMsP50] = snap.Percentile(50) / 1e3;
+  state.counters[names::kBenchExtraSolveMsP95] = snap.Percentile(95) / 1e3;
+  state.counters[names::kBenchExtraSolveMsP99] = snap.Percentile(99) / 1e3;
+}
+
+/// Microseconds elapsed since \p start (per-solve latency samples).
+inline uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 namespace bench_internal {

@@ -32,6 +32,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/metrics.h"
@@ -160,6 +161,14 @@ class ExecutionContext {
   /// Caps the memory accountant at \p bytes (0 = unlimited).
   void set_max_bytes(uint64_t bytes) { max_bytes_ = bytes; }
 
+  /// End-to-end correlation id for this solve ("" outside the daemon). Set
+  /// once by the owner before the solve starts; read-only afterwards, so it
+  /// needs no synchronization beyond the context handoff itself.
+  void set_request_id(std::string request_id) {
+    request_id_ = std::move(request_id);
+  }
+  const std::string& request_id() const { return request_id_; }
+
   /// Effort counters; writable through const refs (the context is shared as
   /// a const pointer by worker threads, and the counters are atomics).
   ExecCounters& counters() const { return counters_; }
@@ -214,6 +223,7 @@ class ExecutionContext {
   uint64_t budget_ms_ = 0;
   bool has_deadline_ = false;
   CancellationToken token_;
+  std::string request_id_;
   uint64_t max_bytes_ = 0;
   // atomic: CAS accounting loop in ChargeMemory, relaxed reads elsewhere;
   // the high-water mark lives in phases_.mem_high_water.

@@ -86,6 +86,10 @@ FlightRecorder::FlightRecorder() {
   if (mode != nullptr && IsKnownCaptureMode(mode)) config_.capture_mode = mode;
   const char* dir = std::getenv("FO2DT_CAPTURE_DIR");
   if (dir != nullptr && dir[0] != '\0') config_.capture_dir = dir;
+  const char* slow = std::getenv("FO2DT_SLOW_MS");
+  if (slow != nullptr && slow[0] != '\0') {
+    config_.slow_ms = std::strtoull(slow, nullptr, 10);
+  }
 }
 
 FlightRecorder& FlightRecorder::Instance() {
@@ -164,6 +168,11 @@ void SolveRecorder::SetSeed(uint64_t seed) {
   record_.seed = seed;
 }
 
+void SolveRecorder::SetRequestId(std::string request_id) {
+  if (!active_) return;
+  record_.request_id = std::move(request_id);
+}
+
 void SolveRecorder::Finish(SolveOutcome outcome) {
   if (!active_ || finished_) return;
   finished_ = true;
@@ -183,14 +192,22 @@ void SolveRecorder::Finish(SolveOutcome outcome) {
   uint64_t cpu_now = ProcessCpuMs();
   record_.cpu_ms = cpu_now > cpu_start_ms_ ? cpu_now - cpu_start_ms_ : 0;
   record_.outcome = std::move(outcome);
+  if (record_.request_id.empty() && exec_ != nullptr) {
+    record_.request_id = exec_->request_id();
+  }
 
-  const std::string mode = FlightRecorder::Instance().config().capture_mode;
+  const FlightRecorderConfig config = FlightRecorder::Instance().config();
+  const std::string& mode = config.capture_mode;
   bool degraded = record_.outcome.verdict == "UNKNOWN" ||
                   record_.outcome.verdict.rfind("ERROR:", 0) == 0;
+  // Tail sampling: a definite verdict that took longer than the configured
+  // slow threshold is as capture-worthy as a degraded one — the bundle's
+  // trace.json is the explanation of the latency tail.
+  bool slow = config.slow_ms > 0 && record_.wall_ms >= config.slow_ms;
   bool capture =
       !replay_input_.empty() &&
       (mode == names::kCaptureModeAlways ||
-       (mode == names::kCaptureModeDegraded && degraded));
+       (mode == names::kCaptureModeDegraded && (degraded || slow)));
   if (capture) record_.capture = WriteBundle(record_, record_.outcome);
   record_.cache = ThreadCacheDisposition();
 

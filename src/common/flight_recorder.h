@@ -60,6 +60,12 @@ struct FlightRecorderConfig {
   std::string capture_mode;
   /// Bundle root; empty derives `<query_log_path>.captures`.
   std::string capture_dir;
+  /// Tail-sampling threshold (`FO2DT_SLOW_MS`): under capture mode
+  /// `degraded`, a solve whose wall time reaches this many ms is bundled —
+  /// trace ring included — even when its verdict was definite, so the
+  /// flight recorder explains the latency tail, not a random sample.
+  /// 0 disables slow-solve sampling (degraded/ERROR solves still capture).
+  uint64_t slow_ms = 0;
 };
 
 /// \brief Process-wide recorder state. Thread-safe.
@@ -120,6 +126,11 @@ class SolveRecorder {
 
   void SetThreads(uint64_t threads);
   void SetSeed(uint64_t seed);
+
+  /// Correlation id for the query-log record and bundle manifest. Optional:
+  /// when unset, Finish() inherits the ExecutionContext's request_id, so
+  /// daemon solves correlate without every facade calling this.
+  void SetRequestId(std::string request_id);
 
   /// Logs the record (and captures a bundle per policy). Idempotent; only
   /// the first call records. When \p outcome carries no profile and the

@@ -202,6 +202,63 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
+uint64_t HistogramSnapshot::BucketUpperBound(size_t i) {
+  if (i >= kHistogramBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(p/100 * count), reported as that bucket's upper bound.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank * 100 < static_cast<uint64_t>(p * static_cast<double>(count))) {
+    ++rank;
+  }
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      uint64_t bound = BucketUpperBound(i);
+      // The top occupied bucket's bound overstates the tail; the exact
+      // observed max is a tighter truth for it.
+      return static_cast<double>(bound < max ? bound : max);
+    }
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
 MetricsRegistry& MetricsRegistry::Instance() {
   static MetricsRegistry* registry = new MetricsRegistry();  // leaked
   return *registry;
@@ -255,16 +312,41 @@ std::vector<std::string> MetricsRegistry::SourceNames() const {
   return out;
 }
 
+void MetricsRegistry::RegisterHistogram(Histogram* histogram) {
+  ScopedRankedLock lock(mu_);
+  for (Histogram* h : histograms_) {
+    if (h == histogram) return;
+  }
+  histograms_.push_back(histogram);
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::HistogramSnapshots() const {
+  ScopedRankedLock lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const Histogram* h : histograms_) out.push_back(h->Snapshot());
+  return out;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   ScopedRankedLock lock(mu_);
   MetricsSnapshot snap;
   for (const Source& s : sources_) s.collect(&snap);
+  for (const Histogram* h : histograms_) {
+    HistogramSnapshot hs = h->Snapshot();
+    snap.Set(hs.name + ".count", static_cast<double>(hs.count));
+    snap.Set(hs.name + ".sum", static_cast<double>(hs.sum));
+    snap.Set(hs.name + ".p50", hs.Percentile(50));
+    snap.Set(hs.name + ".p95", hs.Percentile(95));
+    snap.Set(hs.name + ".p99", hs.Percentile(99));
+  }
   return snap;
 }
 
 void MetricsRegistry::Reset() {
   ScopedRankedLock lock(mu_);
   for (const Source& s : sources_) s.reset();
+  for (Histogram* h : histograms_) h->Reset();
 }
 
 }  // namespace fo2dt

@@ -260,6 +260,82 @@ struct MetricsSnapshot {
   std::string ToJson() const;
 };
 
+/// Fixed bucket count for every Histogram: bucket i holds values whose
+/// bit-width is i, so its upper bound is 2^i - 1 (bucket 0 holds only the
+/// value 0; the last bucket absorbs everything wider). 64 buckets cover the
+/// whole uint64_t range, so one layout serves both millisecond latencies and
+/// byte-sized memory high-waters without per-metric tuning.
+inline constexpr size_t kHistogramBuckets = 64;
+
+/// \brief Value-type copy of one Histogram, safe to merge and query off the
+/// hot path. Produced by Histogram::Snapshot(); bucket counts may tear
+/// relative to count/sum under concurrent Record (diagnostics only).
+struct HistogramSnapshot {
+  std::string name;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;  // largest recorded value (exact, not bucket-rounded)
+
+  /// Inclusive upper bound of bucket \p i (2^i - 1; saturates at the top).
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Adds \p other bucket-wise (same fixed layout); max merges by max.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Nearest-rank percentile (p in [0,100]) as the upper bound of the
+  /// bucket containing that rank, clamped to the exact observed max so the
+  /// tail is never reported coarser than reality. 0 when empty.
+  double Percentile(double p) const;
+};
+
+/// \brief Lock-free fixed log2-bucket histogram for latencies and sizes.
+///
+/// Record() is three relaxed fetch_adds plus a CAS-max — safe from any
+/// thread with no lock, cheap enough for per-request paths. The name must
+/// be a registry-owned names::kMetricHist* constant (the histogram-metrics
+/// lint rule enforces this), because exposition keys and bench counters are
+/// derived from it. Instances are process-lifetime statics or members of
+/// process-lifetime singletons; MetricsRegistry::RegisterHistogram holds a
+/// raw pointer.
+class Histogram {
+ public:
+  explicit Histogram(const char* name) : name_(name) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  const char* name() const { return name_; }
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    PhaseAccumulator::MaxInto(&max_, value);
+  }
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  /// Bit-width of \p value, clamped to the last bucket.
+  static size_t BucketIndex(uint64_t value) {
+    size_t i = 0;
+    while (value != 0 && i < kHistogramBuckets - 1) {
+      value >>= 1;
+      ++i;
+    }
+    return i;
+  }
+
+  const char* name_;
+  // atomic: relaxed fetch_add per Record from any thread; CAS-max gauge for
+  // max_ (PhaseAccumulator::MaxInto). Snapshots may tear across fields.
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
 /// \brief Process-wide federation point for counter families.
 ///
 /// Sources register once (from their home translation unit) with a collect
@@ -283,10 +359,22 @@ class MetricsRegistry {
   /// Names of all registered sources, registration order.
   std::vector<std::string> SourceNames() const;
 
-  /// Runs every source's collect callback into one snapshot.
+  /// Registers a process-lifetime histogram. Snapshot() derives
+  /// <name>.count/.sum/.p50/.p95/.p99 keys from it, HistogramSnapshots()
+  /// exposes the full buckets (for Prometheus-style exposition), and
+  /// Reset() zeroes it. Re-registering the same instance is a no-op.
+  /// Short-lived histograms (e.g. the admission controller's per-tenant
+  /// table) must NOT register here — they are surfaced by their owner.
+  void RegisterHistogram(Histogram* histogram);
+
+  /// Bucket-level copies of every registered histogram, registration order.
+  std::vector<HistogramSnapshot> HistogramSnapshots() const;
+
+  /// Runs every source's collect callback into one snapshot, then appends
+  /// the derived keys of every registered histogram.
   MetricsSnapshot Snapshot() const;
 
-  /// Runs every source's reset callback.
+  /// Runs every source's reset callback and zeroes registered histograms.
   void Reset();
 
  private:
@@ -301,6 +389,7 @@ class MetricsRegistry {
   /// cache/intern/stats locks — hence metrics.registry ranks before them.
   mutable Mutex mu_{names::kLockMetricsRegistry};
   std::vector<Source> sources_ FO2DT_GUARDED_BY(mu_);
+  std::vector<Histogram*> histograms_ FO2DT_GUARDED_BY(mu_);
 };
 
 /// \brief Registers a metrics source from a static initializer.

@@ -64,6 +64,8 @@ std::string QueryRecord::ToJsonLine() const {
   out += ",";
   AppendField(&out, names::kLogFieldFacade, std::string(facade));
   out += ",";
+  AppendField(&out, names::kLogFieldRequestId, request_id);
+  out += ",";
   AppendField(&out, names::kLogFieldInputHash, input_hash);
   out += ",";
   AppendField(&out, names::kLogFieldInputSize, input_size);

@@ -63,6 +63,9 @@ struct QueryRecord {
   int v = 1;                 ///< schema version
   uint64_t ts_ms = 0;        ///< wall clock at solve end, ms since epoch
   const char* facade = "";   ///< names::kFacade... constant
+  /// End-to-end correlation id (wire request → this record → capture
+  /// bundle); empty for unattributed CLI/bench solves.
+  std::string request_id;
   std::string input_hash;    ///< 16 hex digits (Fnv1a64 of facade + input)
   uint64_t input_size = 0;   ///< canonical input bytes
   SolveOutcome outcome;

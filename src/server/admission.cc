@@ -21,11 +21,22 @@ uint64_t DivideFloored(uint64_t value, uint64_t divisor, uint64_t floor) {
 
 }  // namespace
 
+AdmissionController::TenantSlot* AdmissionController::SlotFor(
+    const std::string& tenant) {
+  for (const auto& slot : tenants_) {
+    if (slot->tenant == tenant) return slot.get();
+  }
+  if (tenants_.size() >= kTenantTableSlots) return &overflow_;
+  tenants_.push_back(std::make_unique<TenantSlot>(tenant));
+  return tenants_.back().get();
+}
+
 AdmitDecision AdmissionController::Admit(const std::string& tenant,
                                          const RequestedBudgets& requested) {
   ScopedRankedLock lock(mu_);
   AdmitDecision decision;
   decision.queue_depth = queue_depth_;
+  TenantSlot* slot = SlotFor(tenant);
 
   if (queue_depth_ >= config_.queue_limit) {
     decision.action = AdmitAction::kReject;
@@ -34,6 +45,7 @@ AdmitDecision AdmissionController::Admit(const std::string& tenant,
         static_cast<unsigned long long>(queue_depth_),
         static_cast<unsigned long long>(config_.queue_limit));
     ++stats_.rejected;
+    ++slot->rejected;
     return decision;
   }
   uint64_t active = tenant_active_[tenant];
@@ -44,6 +56,7 @@ AdmitDecision AdmissionController::Admit(const std::string& tenant,
         "tenant '%s' at active-request cap (%llu)", tenant.c_str(),
         static_cast<unsigned long long>(config_.tenant_active_limit));
     ++stats_.rejected;
+    ++slot->rejected;
     return decision;
   }
 
@@ -68,6 +81,7 @@ AdmitDecision AdmissionController::Admit(const std::string& tenant,
                               : DivideFloored(decision.max_effort,
                                               config_.heavy_divisor, 1);
     ++stats_.degraded;
+    ++slot->degraded_heavy;
   } else if (occupancy_pct >= config_.degrade_light_pct) {
     decision.action = AdmitAction::kDegradeLight;
     decision.max_effort = decision.max_effort == 0
@@ -75,8 +89,10 @@ AdmitDecision AdmissionController::Admit(const std::string& tenant,
                               : DivideFloored(decision.max_effort,
                                               config_.light_divisor, 1);
     ++stats_.degraded;
+    ++slot->degraded_light;
   } else {
     decision.action = AdmitAction::kAccept;
+    ++slot->admitted;
   }
   if (decision.deadline_ms == 0) decision.deadline_ms = default_deadline_ms_;
 
@@ -111,9 +127,39 @@ void AdmissionController::OnAbandon(const std::string& tenant) {
   OnFinish(tenant);
 }
 
+void AdmissionController::RecordLatency(const std::string& tenant,
+                                        uint64_t wire_ms) {
+  ScopedRankedLock lock(mu_);
+  SlotFor(tenant)->latency.Record(wire_ms);
+}
+
 AdmissionStats AdmissionController::stats() const {
   ScopedRankedLock lock(mu_);
   return stats_;
+}
+
+std::vector<TenantMetrics> AdmissionController::TenantSnapshot() const {
+  ScopedRankedLock lock(mu_);
+  std::vector<TenantMetrics> out;
+  out.reserve(tenants_.size() + 1);
+  auto snapshot_slot = [&out](const TenantSlot& slot) {
+    TenantMetrics m;
+    m.tenant = slot.tenant;
+    m.admitted = slot.admitted;
+    m.degraded_light = slot.degraded_light;
+    m.degraded_heavy = slot.degraded_heavy;
+    m.rejected = slot.rejected;
+    m.latency = slot.latency.Snapshot();
+    out.push_back(std::move(m));
+  };
+  for (const auto& slot : tenants_) snapshot_slot(*slot);
+  HistogramSnapshot overflow_latency = overflow_.latency.Snapshot();
+  if (overflow_.admitted + overflow_.degraded_light + overflow_.degraded_heavy +
+          overflow_.rejected + overflow_latency.count >
+      0) {
+    snapshot_slot(overflow_);
+  }
+  return out;
 }
 
 }  // namespace fo2dt

@@ -26,10 +26,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/annotations.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/registry_names.h"
 
 namespace fo2dt {
 
@@ -93,6 +97,18 @@ struct AdmissionStats {
   uint64_t queue_depth_peak = 0;
 };
 
+/// One tenant's dimensioned view of the ladder: which rung each of its
+/// requests landed on, plus its wire-latency distribution. Value-type
+/// snapshot produced by AdmissionController::TenantSnapshot().
+struct TenantMetrics {
+  std::string tenant;
+  uint64_t admitted = 0;        ///< full-budget accepts
+  uint64_t degraded_light = 0;  ///< kDegradeLight admissions
+  uint64_t degraded_heavy = 0;  ///< kDegradeHeavy admissions
+  uint64_t rejected = 0;        ///< queue-full + tenant-cap rejections
+  HistogramSnapshot latency;    ///< per-tenant wire latency, ms
+};
+
 class AdmissionController {
  public:
   AdmissionController(AdmissionConfig config, uint64_t default_deadline_ms)
@@ -114,9 +130,39 @@ class AdmissionController {
   /// releases both the queue slot and the tenant reservation.
   void OnAbandon(const std::string& tenant);
 
+  /// Records one completed solve request's wire latency against its tenant
+  /// (bucketed into `other` past the cardinality bound, like the counters).
+  void RecordLatency(const std::string& tenant, uint64_t wire_ms);
+
   AdmissionStats stats() const;
 
+  /// Per-tenant ladder counters + latency histograms, first-seen order; the
+  /// `other` overflow bucket rides last when it has absorbed anything.
+  std::vector<TenantMetrics> TenantSnapshot() const;
+
+  /// Cardinality bound on distinctly-tracked tenants. A hostile or buggy
+  /// client minting a fresh tenant string per request must not grow server
+  /// memory without bound: tenant #kTenantTableSlots+1 and later collapse
+  /// into one shared `other` slot (counters and histogram alike).
+  static constexpr size_t kTenantTableSlots = 32;
+
  private:
+  /// Per-tenant counter block. Lives behind a unique_ptr in tenants_ (the
+  /// Histogram member is non-copyable and must stay address-stable).
+  struct TenantSlot {
+    explicit TenantSlot(std::string name) : tenant(std::move(name)) {}
+    std::string tenant;
+    uint64_t admitted = 0;
+    uint64_t degraded_light = 0;
+    uint64_t degraded_heavy = 0;
+    uint64_t rejected = 0;
+    Histogram latency{names::kMetricHistTenantWireMs};
+  };
+
+  /// The tenant's slot, creating it on first sight; the shared overflow
+  /// slot once the table is full.
+  TenantSlot* SlotFor(const std::string& tenant) FO2DT_REQUIRES(mu_);
+
   const AdmissionConfig config_;
   const uint64_t default_deadline_ms_;
 
@@ -124,6 +170,8 @@ class AdmissionController {
   uint64_t queue_depth_ FO2DT_GUARDED_BY(mu_) = 0;
   AdmissionStats stats_ FO2DT_GUARDED_BY(mu_);
   std::map<std::string, uint64_t> tenant_active_ FO2DT_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<TenantSlot>> tenants_ FO2DT_GUARDED_BY(mu_);
+  TenantSlot overflow_ FO2DT_GUARDED_BY(mu_){"other"};
 };
 
 }  // namespace fo2dt

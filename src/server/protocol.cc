@@ -159,11 +159,12 @@ Result<ServerRequest> ParseRequestLine(const std::string& line) {
     FO2DT_ASSIGN_OR_RETURN(std::string key, scan.String());
     FO2DT_RETURN_NOT_OK(scan.Expect(':'));
     scan.SkipSpace();
-    if (key == "op" || key == "id" || key == "tenant" || key == "facade" ||
-        key == "body") {
+    if (key == "op" || key == "id" || key == "request_id" ||
+        key == "tenant" || key == "facade" || key == "body") {
       FO2DT_ASSIGN_OR_RETURN(std::string value, scan.String());
       if (key == "op") req.op = value;
       else if (key == "id") req.id = value;
+      else if (key == "request_id") req.request_id = value;
       else if (key == "tenant") req.tenant = value;
       else if (key == "facade") req.facade = value;
       else SplitBodyLines(value, &req.body);
@@ -207,6 +208,7 @@ std::string ServerResponse::ToJsonLine() const {
                         static_cast<unsigned long long>(value));
   };
   add_str("id", id);
+  add_str("request_id", request_id);
   add_str("status", status);
   add_str("verdict", verdict);
   add_str("method", method);
@@ -229,6 +231,7 @@ std::string ServerResponse::ToJsonLine() const {
     }
     out += "}";
   }
+  add_str("exposition", exposition);
   out += "}\n";
   return out;
 }

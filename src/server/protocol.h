@@ -9,8 +9,10 @@
 /// reports byte-precise positions for malformed input.
 ///
 /// Request fields:
-///   op        "solve" | "ping" | "stats"           (required)
+///   op        "solve" | "ping" | "stats" | "metrics"   (required)
 ///   id        opaque echo token                    (optional)
+///   request_id  end-to-end correlation id          (optional; the server
+///             mints one for solves when absent — see DESIGN.md §13)
 ///   tenant    tenant name for quota accounting     (optional, "" = anon)
 ///   facade    registered facade name               (solve only)
 ///   body      facade body lines joined with '\n'   (solve only; the
@@ -20,12 +22,16 @@
 ///
 /// Response fields:
 ///   id        echoed request id
+///   request_id  correlation id (client-supplied or server-generated) on
+///             every solve response; joins the wire response to the
+///             query-log record and capture-bundle manifest
 ///   status    "OK" | "OVERLOADED" | "ERROR"
 ///   verdict/method/steps/stop_kind/stop_module/cache   solve outcome
 ///   degraded  1 when the shedding ladder shrank this request's budgets
 ///   queue_depth   admission queue depth observed at decision time
 ///   detail    human-readable explanation for OVERLOADED / ERROR
 ///   metrics   (stats op) flat object of server counter values
+///   exposition  (metrics op) Prometheus-style text, JSON-escaped
 ///
 /// See DESIGN.md §10 for the full protocol contract.
 
@@ -45,6 +51,7 @@ namespace fo2dt {
 struct ServerRequest {
   std::string op;
   std::string id;
+  std::string request_id;  // "" = server mints one at admission
   std::string tenant;
   std::string facade;
   std::vector<std::string> body;  // split on '\n', empty lines dropped
@@ -56,6 +63,7 @@ struct ServerRequest {
 /// One response line under construction.
 struct ServerResponse {
   std::string id;
+  std::string request_id;  // correlation id; set on every solve response
   std::string status;  // "OK" / "OVERLOADED" / "ERROR"
   std::string verdict;
   std::string method;
@@ -68,6 +76,9 @@ struct ServerResponse {
   bool degraded = false;
   /// Extra flat integer fields (stats op counters).
   std::map<std::string, uint64_t> metrics;
+  /// Prometheus-style exposition text (metrics op only); newlines survive
+  /// the wire as \n escapes inside one flat JSON string.
+  std::string exposition;
 
   /// Serializes as one JSON line (trailing '\n' included). Fields with
   /// default values are omitted so common responses stay short.

@@ -86,6 +86,86 @@ void MaxIntoAtomic(std::atomic<uint64_t>* slot, uint64_t value) {
   }
 }
 
+/// Process-wide latency/size histograms (the registry's hist.* keys). Same
+/// global-lifetime rationale as GlobalServerCounters. Registration happens
+/// on first access — before the first sample — so the `metrics` op exposes
+/// all four series from daemon start, not from first traffic.
+struct ServerHistograms {
+  Histogram wire_ms{names::kMetricHistWireMs};
+  Histogram queue_wait_ms{names::kMetricHistQueueWaitMs};
+  Histogram solve_wall_ms{names::kMetricHistSolveWallMs};
+  Histogram solve_mem_bytes{names::kMetricHistSolveMemBytes};
+};
+
+ServerHistograms& GHistograms() {
+  static ServerHistograms* histograms = [] {
+    auto* h = new ServerHistograms();
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    registry.RegisterHistogram(&h->wire_ms);
+    registry.RegisterHistogram(&h->queue_wait_ms);
+    registry.RegisterHistogram(&h->solve_wall_ms);
+    registry.RegisterHistogram(&h->solve_mem_bytes);
+    return h;
+  }();
+  return *histograms;
+}
+
+/// Server-minted correlation id for a solve request that carried none. The
+/// pid disambiguates daemons sharing a query log; the counter makes the id
+/// unique within this process.
+std::string MintRequestId() {
+  // atomic: relaxed ticket counter; uniqueness is all that matters.
+  static std::atomic<uint64_t> next{0};
+  return StringFormat(
+      "fo2dtd-%llu-%llu", static_cast<unsigned long long>(::getpid()),
+      static_cast<unsigned long long>(
+          next.fetch_add(1, std::memory_order_relaxed)));
+}
+
+uint64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// "hist.wire_ms" → "fo2dt_hist_wire_ms": exposition name mangling.
+std::string PromName(const std::string& key) {
+  std::string out = "fo2dt_";
+  for (char c : key) out += c == '.' ? '_' : c;
+  return out;
+}
+
+/// Appends one histogram as Prometheus-style `_bucket`/`_sum`/`_count`
+/// series. \p label is one pre-escaped `key="value"` pair or empty. Bucket
+/// lines are cumulative and stop at the highest non-empty bucket (then
+/// `+Inf`), so 64 fixed buckets don't bloat every scrape.
+void AppendHistogramText(std::string* out, const std::string& prom,
+                         const std::string& label,
+                         const HistogramSnapshot& hs) {
+  size_t last = 0;
+  for (size_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+    if (hs.buckets[i] != 0) last = i;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= last; ++i) {
+    cumulative += hs.buckets[i];
+    *out += StringFormat(
+        "%s_bucket{%s%sle=\"%llu\"} %llu\n", prom.c_str(), label.c_str(),
+        label.empty() ? "" : ",",
+        static_cast<unsigned long long>(HistogramSnapshot::BucketUpperBound(i)),
+        static_cast<unsigned long long>(cumulative));
+  }
+  *out += StringFormat("%s_bucket{%s%sle=\"+Inf\"} %llu\n", prom.c_str(),
+                       label.c_str(), label.empty() ? "" : ",",
+                       static_cast<unsigned long long>(hs.count));
+  const std::string braced = label.empty() ? "" : "{" + label + "}";
+  *out += StringFormat("%s_sum%s %llu\n", prom.c_str(), braced.c_str(),
+                       static_cast<unsigned long long>(hs.sum));
+  *out += StringFormat("%s_count%s %llu\n", prom.c_str(), braced.c_str(),
+                       static_cast<unsigned long long>(hs.count));
+}
+
 /// One full send of \p data on \p fd. MSG_NOSIGNAL: a client that hung up
 /// mid-response must not SIGPIPE the daemon.
 bool SendAll(int fd, const std::string& data) {
@@ -264,6 +344,7 @@ void SolveServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
 
 void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
                            ServerRequest req) {
+  const auto received = std::chrono::steady_clock::now();
   ServerResponse resp;
   resp.id = req.id;
   if (req.op == "ping") {
@@ -288,6 +369,13 @@ void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
     SendResponse(conn, resp);
     return;
   }
+  if (req.op == "metrics") {
+    resp.status = "OK";
+    resp.queue_depth = admission_.stats().queue_depth;
+    resp.exposition = BuildExposition();
+    SendResponse(conn, resp);
+    return;
+  }
   if (req.op != "solve") {
     resp.status = "ERROR";
     resp.detail = StringFormat("unknown op '%s'", JsonEscape(req.op).c_str());
@@ -295,18 +383,33 @@ void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // Every solve answer carries a correlation id — the client's, or minted
+  // here — and every solve answer (rejections and reader-side errors
+  // included) lands one sample in hist.wire_ms and the tenant's latency
+  // histogram, so "solve responses sent" equals the histogram count by
+  // construction. ping/stats/metrics stay unrecorded: the observer must not
+  // perturb the latency distribution it reports.
+  resp.request_id =
+      req.request_id.empty() ? MintRequestId() : std::move(req.request_id);
+  const auto answer_from_reader = [&] {
+    const uint64_t wire_ms = ElapsedMs(received);
+    GHistograms().wire_ms.Record(wire_ms);
+    admission_.RecordLatency(req.tenant, wire_ms);
+    SendResponse(conn, resp);
+  };
+
   const char* facade = LookupFacadeName(req.facade);
   if (facade == nullptr || !FacadeIsExecutable(req.facade)) {
     resp.status = "ERROR";
     resp.detail = StringFormat("unknown or non-executable facade '%s'",
                                JsonEscape(req.facade).c_str());
-    SendResponse(conn, resp);
+    answer_from_reader();
     return;
   }
   if (req.body.empty()) {
     resp.status = "ERROR";
     resp.detail = "solve request has an empty body";
-    SendResponse(conn, resp);
+    answer_from_reader();
     return;
   }
 
@@ -320,7 +423,7 @@ void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
     resp.status = "OVERLOADED";
     resp.detail = decision.detail;
     resp.queue_depth = decision.queue_depth;
-    SendResponse(conn, resp);
+    answer_from_reader();
     return;
   }
   GCounters().accepted.fetch_add(1, std::memory_order_relaxed);
@@ -332,6 +435,8 @@ void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
   WorkItem item;
   item.conn = conn;
   item.id = req.id;
+  item.request_id = resp.request_id;
+  item.received = received;
   item.tenant = req.tenant;
   item.facade = facade;
   item.body = std::move(req.body);
@@ -363,7 +468,7 @@ void SolveServer::Dispatch(const std::shared_ptr<Connection>& conn,
     resp.status = "OVERLOADED";
     resp.detail = "server draining";
     resp.queue_depth = decision.queue_depth;
-    SendResponse(conn, resp);
+    answer_from_reader();
     return;
   }
   queue_cv_.notify_one();
@@ -403,6 +508,7 @@ void SolveServer::WorkerLoop(size_t worker_index) {
 }
 
 void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
+  GHistograms().queue_wait_ms.Record(ElapsedMs(item.received));
   {
     ScopedRankedLock lock(slot->mu);
     slot->busy = true;
@@ -415,10 +521,12 @@ void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
   ExecutionContext exec;
   exec.SetDeadlineAfter(std::chrono::milliseconds(item.deadline_ms));
   exec.set_token(item.token);
+  exec.set_request_id(item.request_id);
   if (item.max_bytes != 0) exec.set_max_bytes(item.max_bytes);
 
   ServerResponse resp;
   resp.id = item.id;
+  resp.request_id = item.request_id;
   resp.queue_depth = item.queue_depth;
   resp.degraded = item.degraded;
 
@@ -436,6 +544,7 @@ void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
     if (item.max_effort != 0) rec.AddBudget("max_effort", item.max_effort);
   }
 
+  const auto solve_start = std::chrono::steady_clock::now();
   Result<SolveOutcome> outcome = [&]() -> Result<SolveOutcome> {
     Status injected = Status::OK();
     FO2DT_FAILPOINT(names::kFpServerWorkerCrash, &injected);
@@ -448,6 +557,8 @@ void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
     caps.max_effort = item.max_effort;
     return ExecuteFacadeBody(item.facade, item.body, &exec, caps);
   }();
+  GHistograms().solve_wall_ms.Record(ElapsedMs(solve_start));
+  GHistograms().solve_mem_bytes.Record(exec.MemoryHighWater());
 
   {
     ScopedRankedLock lock(slot->mu);
@@ -493,6 +604,12 @@ void SolveServer::RunSolve(WorkItem item, WorkerSlot* slot) {
     disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
     GCounters().disconnect_cancels.fetch_add(1, std::memory_order_relaxed);
   } else {
+    // Wire latency covers receipt → response write; recorded only when the
+    // response is actually sent, keeping hist.wire_ms's count equal to the
+    // number of solve responses clients can observe.
+    const uint64_t wire_ms = ElapsedMs(item.received);
+    GHistograms().wire_ms.Record(wire_ms);
+    admission_.RecordLatency(item.tenant, wire_ms);
     SendResponse(item.conn, resp);
   }
 }
@@ -610,6 +727,83 @@ void SolveServer::Shutdown() {
   }
   ReapDeadReaders();
   ::unlink(options_.socket_path.c_str());
+}
+
+uint64_t SolveServer::WorkersBusy() const {
+  uint64_t busy = 0;
+  for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
+    ScopedRankedLock lock(slot->mu);
+    if (slot->busy) ++busy;
+  }
+  return busy;
+}
+
+std::string SolveServer::BuildExposition() const {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  std::string out;
+
+  // 1. Flat registry keys. The histogram-derived .count/.sum keys are
+  // skipped (the histogram section below owns `_count`/`_sum`); the derived
+  // percentiles pass through, so a scraper (fo2dt_top) reads p50/p95/p99
+  // without redoing bucket math.
+  MetricsSnapshot snap = registry.Snapshot();
+  for (const auto& kv : snap.values) {
+    if (kv.first.rfind("hist.", 0) == 0) {
+      const size_t dot = kv.first.rfind('.');
+      const std::string suffix = kv.first.substr(dot + 1);
+      if (suffix == "count" || suffix == "sum") continue;
+    }
+    out += StringFormat("%s %.17g\n", PromName(kv.first).c_str(), kv.second);
+  }
+
+  // 2. Live gauges the counter registry doesn't carry.
+  out += StringFormat("# TYPE %s gauge\n%s %llu\n",
+                      PromName(names::kMetricServerQueueDepth).c_str(),
+                      PromName(names::kMetricServerQueueDepth).c_str(),
+                      static_cast<unsigned long long>(
+                          admission_.stats().queue_depth));
+  out += StringFormat("# TYPE %s gauge\n%s %llu\n",
+                      PromName(names::kMetricServerWorkersBusy).c_str(),
+                      PromName(names::kMetricServerWorkersBusy).c_str(),
+                      static_cast<unsigned long long>(WorkersBusy()));
+
+  // 3. The four server histograms, full bucket resolution.
+  for (const HistogramSnapshot& hs : registry.HistogramSnapshots()) {
+    const std::string prom = PromName(hs.name);
+    out += StringFormat("# TYPE %s histogram\n", prom.c_str());
+    AppendHistogramText(&out, prom, "", hs);
+  }
+
+  // 4. Per-tenant ladder counters + latency, `tenant` label per series.
+  const std::vector<TenantMetrics> tenants = admission_.TenantSnapshot();
+  if (!tenants.empty()) {
+    out += "# TYPE fo2dt_tenant_requests_total counter\n";
+    for (const TenantMetrics& t : tenants) {
+      const std::string esc = JsonEscape(t.tenant);
+      const struct {
+        const char* outcome;
+        uint64_t value;
+      } rungs[] = {{"admitted", t.admitted},
+                   {"degraded_light", t.degraded_light},
+                   {"degraded_heavy", t.degraded_heavy},
+                   {"rejected", t.rejected}};
+      for (const auto& rung : rungs) {
+        out += StringFormat(
+            "fo2dt_tenant_requests_total{tenant=\"%s\",outcome=\"%s\"} %llu\n",
+            esc.c_str(), rung.outcome,
+            static_cast<unsigned long long>(rung.value));
+      }
+    }
+    const std::string tenant_prom = PromName(names::kMetricHistTenantWireMs);
+    out += StringFormat("# TYPE %s histogram\n", tenant_prom.c_str());
+    for (const TenantMetrics& t : tenants) {
+      AppendHistogramText(
+          &out, tenant_prom,
+          StringFormat("tenant=\"%s\"", JsonEscape(t.tenant).c_str()),
+          t.latency);
+    }
+  }
+  return out;
 }
 
 ServerStats SolveServer::stats() const {

@@ -96,6 +96,12 @@ class SolveServer {
 
   ServerStats stats() const;
 
+  /// Per-tenant ladder counters + latency histograms (admission's bounded
+  /// tenant table); what the `metrics` op renders as tenant series.
+  std::vector<TenantMetrics> TenantSnapshot() const {
+    return admission_.TenantSnapshot();
+  }
+
  private:
   struct Connection {
     Mutex write_mu{names::kLockServerConnWrite};
@@ -115,6 +121,7 @@ class SolveServer {
   struct WorkItem {
     std::shared_ptr<Connection> conn;
     std::string id;
+    std::string request_id;        // correlation id (client or server minted)
     std::string tenant;
     const char* facade = nullptr;  // registered constant (LookupFacadeName)
     std::vector<std::string> body;
@@ -124,6 +131,10 @@ class SolveServer {
     uint64_t queue_depth = 0;
     bool degraded = false;
     CancellationToken token;       // child of the connection token
+    /// Reader-side receipt time: queue wait and wire latency are both
+    /// measured from here (admission runs on the reader, so enqueue ≈
+    /// receipt at histogram-bucket resolution).
+    std::chrono::steady_clock::time_point received;
   };
 
   /// Watchdog bookkeeping for one worker thread.
@@ -150,6 +161,14 @@ class SolveServer {
 
   void SendResponse(const std::shared_ptr<Connection>& conn,
                     const ServerResponse& resp);
+
+  /// Renders the whole telemetry plane as Prometheus-style text for the
+  /// `metrics` op: registry counters/gauges, the server histograms as
+  /// `_bucket`/`_sum`/`_count` series, and the per-tenant ladder table.
+  std::string BuildExposition() const;
+
+  /// Workers currently inside RunSolve (the server.workers_busy gauge).
+  uint64_t WorkersBusy() const;
 
   /// Joins reader threads of connections that disconnected and self-reaped.
   /// Called by the watchdog sweep and at the end of Shutdown.

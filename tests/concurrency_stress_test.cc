@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/query_log.h"  // JsonEscape
 #include "common/registry_names.h"
 #include "common/solve_cache.h"
@@ -233,6 +234,46 @@ TEST(ConcurrencyStressTest, CacheCountersStayCoherentUnderWorkerPool) {
   EXPECT_GT(stats.solve_hits, 0u);
 
   cache.Configure(SolveCacheConfig{});  // disable again for other tests
+}
+
+// The telemetry plane's lock-free histogram under the tsan microscope:
+// eight threads hammer Record while taking Snapshots mid-flight (snapshots
+// may tear across fields — that is documented and benign — but must never
+// race). After the joins the final snapshot is exact: no Record lost to any
+// interleaving, buckets/count/sum/max all coherent.
+TEST(ConcurrencyStressTest, HistogramRecordSnapshotStaysCoherent) {
+  Histogram hist{names::kMetricHistWireMs};  // local target, not registered
+  constexpr int kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        hist.Record(i);  // values span buckets 0..15
+        if (i % 512 == static_cast<uint64_t>(t)) {
+          HistogramSnapshot mid = hist.Snapshot();
+          // Monotone sanity only — mid-flight fields may mutually tear.
+          EXPECT_LE(mid.max, kOpsPerThread - 1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  HistogramSnapshot snap = hist.Snapshot();
+  const uint64_t total = kThreads * kOpsPerThread;
+  EXPECT_EQ(snap.count, total);
+  // Each thread recorded 0..N-1 once: sum = threads * N*(N-1)/2.
+  EXPECT_EQ(snap.sum, kThreads * (kOpsPerThread * (kOpsPerThread - 1) / 2));
+  EXPECT_EQ(snap.max, kOpsPerThread - 1);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, total);
+  // Percentiles are monotone and tail-clamped to the exact max.
+  EXPECT_LE(snap.Percentile(50), snap.Percentile(95));
+  EXPECT_LE(snap.Percentile(95), snap.Percentile(99));
+  EXPECT_LE(snap.Percentile(99), static_cast<double>(snap.max));
 }
 
 }  // namespace

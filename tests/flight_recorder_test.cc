@@ -9,12 +9,14 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/execution_context.h"
@@ -154,6 +156,50 @@ TEST(FlightRecorderTest, OneRecordPerSolveAcrossFacades) {
   EXPECT_EQ(JsonStringField(lines[0], "verdict"), "SAT");
   EXPECT_EQ(JsonStringField(lines[3], "verdict"), "ACCEPT");
   std::remove(log.c_str());
+}
+
+TEST(FlightRecorderTest, SlowSolveTailSamplingCapturesDefiniteVerdicts) {
+  std::string log = UniquePath("slow") + ".jsonl";
+  std::string caps = UniquePath("slowcaps");
+  FlightRecorderConfig config;
+  config.query_log_path = log;
+  config.capture_mode = names::kCaptureModeDegraded;
+  config.capture_dir = caps;
+  config.slow_ms = 50;  // FO2DT_SLOW_MS equivalent
+  RecorderGuard guard(config);
+
+  // Two definite (SAT) solves driven through the recorder directly, so the
+  // wall time either side of the threshold is under test control.
+  auto run_recorded = [](const char* input, bool past_threshold) {
+    SolveRecorder rec(names::kFacadeFrontendSat, nullptr);
+    ASSERT_TRUE(rec.active());
+    rec.SetInput(input);
+    rec.SetReplayInput("labels 1\nformula exists x. l0(x)\n");
+    if (past_threshold) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    }
+    SolveOutcome outcome;
+    outcome.verdict = "SAT";
+    rec.Finish(std::move(outcome));
+  };
+  run_recorded("fast definite", false);
+  run_recorded("slow definite", true);
+
+  std::vector<std::string> lines = ReadLines(log);
+  ASSERT_EQ(lines.size(), 2u);
+  // Under the threshold with a definite verdict: record, no bundle.
+  EXPECT_EQ(JsonStringField(lines[0], "capture"), "") << lines[0];
+  // Past the threshold: tail-sampled — a bundle with the trace-ring dump
+  // explains the latency even though the verdict was definite.
+  std::string bundle = JsonStringField(lines[1], "capture");
+  ASSERT_FALSE(bundle.empty()) << lines[1];
+  EXPECT_TRUE(std::filesystem::exists(
+      bundle + "/" + names::kBundleFileTraceJson));
+  EXPECT_TRUE(std::filesystem::exists(
+      bundle + "/" + names::kBundleFileManifestJson));
+
+  std::remove(log.c_str());
+  std::filesystem::remove_all(caps);
 }
 
 TEST(FlightRecorderTest, DisabledRecorderWritesNothing) {

@@ -102,14 +102,22 @@ uint64_t JsonUintField(const std::string& line, const std::string& key) {
   return value;
 }
 
-/// Strips the admission-time queue-depth counter, the only response field
-/// that legitimately varies between identical concurrent requests.
+/// Strips the two response fields that legitimately differ between otherwise
+/// bit-identical responses: queue_depth (momentary load) and request_id
+/// (unique correlation id minted per request).
 std::string WithoutQueueDepth(std::string line) {
   size_t at = line.find(",\"queue_depth\":");
-  if (at == std::string::npos) return line;
-  size_t end = at + std::strlen(",\"queue_depth\":");
-  while (end < line.size() && line[end] >= '0' && line[end] <= '9') ++end;
-  return line.erase(at, end - at);
+  if (at != std::string::npos) {
+    size_t end = at + std::strlen(",\"queue_depth\":");
+    while (end < line.size() && line[end] >= '0' && line[end] <= '9') ++end;
+    line.erase(at, end - at);
+  }
+  at = line.find(",\"request_id\":\"");
+  if (at != std::string::npos) {
+    size_t end = line.find('"', at + std::strlen(",\"request_id\":\""));
+    if (end != std::string::npos) line.erase(at, end + 1 - at);
+  }
+  return line;
 }
 
 std::string SolveRequestLine(const std::string& id, const std::string& body,
@@ -124,6 +132,76 @@ std::string SolveRequestLine(const std::string& id, const std::string& body,
   }
   line += "}\n";
   return line;
+}
+
+/// Full request builder: optional tenant and client-supplied correlation id
+/// ride along with the solve.
+std::string SolveRequestLineFull(const std::string& id,
+                                 const std::string& tenant,
+                                 const std::string& request_id,
+                                 const std::string& body,
+                                 uint64_t deadline_ms) {
+  std::string line = "{\"op\":\"solve\",\"id\":\"" + id + "\"";
+  if (!request_id.empty()) {
+    line += ",\"request_id\":\"" + request_id + "\"";
+  }
+  if (!tenant.empty()) line += ",\"tenant\":\"" + tenant + "\"";
+  line += ",\"facade\":\"frontend.sat\",\"body\":\"" + JsonEscape(body) + "\"";
+  if (deadline_ms != 0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  line += "}\n";
+  return line;
+}
+
+/// Decodes a JSON string field with real unescaping. JsonStrField drops the
+/// backslash but keeps the escape letter ('\n' comes back as 'n'), which is
+/// fine for ids and verdicts but mangles multi-line exposition text.
+std::string JsonStrFieldDecoded(const std::string& line,
+                                const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::string out;
+  for (size_t i = at + needle.size(); i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      char e = line[++i];
+      out += e == 'n' ? '\n' : e == 't' ? '\t' : e == 'r' ? '\r' : e;
+      continue;
+    }
+    if (c == '"') break;
+    out += c;
+  }
+  return out;
+}
+
+/// Parses Prometheus-style exposition text into series name -> value. The
+/// key keeps the label set verbatim, e.g.
+///   fo2dt_tenant_requests_total{tenant="acme",outcome="admitted"}
+/// Sets *parse_ok to false on any non-comment line that is not `name value`.
+std::map<std::string, double> ParseExposition(const std::string& text,
+                                              bool* parse_ok) {
+  std::map<std::string, double> series;
+  *parse_ok = !text.empty();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      *parse_ok = false;
+      continue;
+    }
+    char* endp = nullptr;
+    double value = std::strtod(line.c_str() + sp + 1, &endp);
+    if (endp == nullptr || *endp != '\0') *parse_ok = false;
+    series[line.substr(0, sp)] = value;
+  }
+  return series;
 }
 
 /// Blocking line-oriented client over the daemon's Unix socket.
@@ -787,6 +865,71 @@ TEST(SolveServerTest, ConcurrentWarmHitsAnswerBitIdentically) {
 }
 
 // ---------------------------------------------------------------------------
+// End-to-end request correlation (DESIGN.md §13): one id joins the wire
+// response, the query-log record, and the capture-bundle manifest.
+
+TEST(SolveServerTest, RequestIdJoinsWireLogAndBundle) {
+  std::string log = UniquePath("corrlog") + ".jsonl";
+  std::string caps = UniquePath("corrcaps");
+  FlightRecorderConfig rec;
+  rec.query_log_path = log;
+  rec.capture_mode = names::kCaptureModeDegraded;
+  rec.capture_dir = caps;
+  RecorderGuard rec_guard(rec);
+
+  SolveServerOptions options;
+  options.socket_path = SocketPath("corr");
+  options.num_workers = 1;
+  SolveServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path));
+  std::string line;
+
+  // Client-supplied id, echoed verbatim on a degraded (UNKNOWN) solve.
+  ASSERT_TRUE(client.Send(
+      SolveRequestLineFull("c1", "", "corr-42", kHardBody, 300)));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(JsonStrField(line, "verdict"), "UNKNOWN") << line;
+  EXPECT_EQ(JsonStrField(line, "request_id"), "corr-42") << line;
+
+  // No client id: the server mints one and echoes it.
+  ASSERT_TRUE(client.Send(SolveRequestLine("c2", kEasyBody, 5000)));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(JsonStrField(line, "status"), "OK") << line;
+  std::string minted = JsonStrField(line, "request_id");
+  EXPECT_EQ(minted.rfind("fo2dtd-", 0), 0u) << line;
+  EXPECT_NE(minted, "corr-42");
+  server.Shutdown();
+
+  // The query log carries the same ids, record for record.
+  std::vector<std::string> records = ReadLines(log);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(JsonStrField(records[0], "request_id"), "corr-42")
+      << records[0];
+  EXPECT_EQ(JsonStrField(records[1], "request_id"), minted) << records[1];
+
+  // The degraded solve captured a bundle whose manifest embeds the same
+  // record — correlation id included — next to the trace-ring dump.
+  std::string bundle = JsonStrField(records[0], "capture");
+  ASSERT_FALSE(bundle.empty()) << records[0];
+  std::vector<std::string> manifest =
+      ReadLines(bundle + "/" + names::kBundleFileManifestJson);
+  ASSERT_EQ(manifest.size(), 1u);
+  EXPECT_NE(manifest[0].find("\"request_id\":\"corr-42\""),
+            std::string::npos)
+      << manifest[0];
+  EXPECT_TRUE(std::filesystem::exists(
+      bundle + "/" + names::kBundleFileTraceJson));
+  // The definite fast solve stays unsampled (no slow threshold configured).
+  EXPECT_EQ(JsonStrField(records[1], "capture"), "") << records[1];
+
+  std::remove(log.c_str());
+  std::filesystem::remove_all(caps);
+}
+
+// ---------------------------------------------------------------------------
 // Spawned fo2dtd binary
 
 pid_t SpawnDaemon(const std::vector<std::string>& extra_args,
@@ -998,6 +1141,120 @@ TEST(SpawnedDaemonTest, OverloadRecipeProducesCounterEvidence) {
   EXPECT_EQ(JsonUintField(stats_line, names::kMetricServerRejectedOverload),
             static_cast<uint64_t>(overloaded));
   EXPECT_EQ(JsonUintField(stats_line, names::kMetricServerQueueDepthPeak), 2u);
+
+  EXPECT_EQ(StopDaemon(pid), 0);
+}
+
+/// Telemetry-plane acceptance: a mixed two-tenant 100-request burst against
+/// a fresh daemon, then one `metrics` scrape that must account for every
+/// response — the wire-latency histogram's _count equals the solve responses
+/// received, the per-tenant ladder counters sum to the per-tenant request
+/// counts, and the exposition text parses line by line.
+TEST(SpawnedDaemonTest, MetricsExpositionAccountsForEveryRequest) {
+  std::string socket = SocketPath("expo");
+  // A 6-slot queue forces blue's pipelined hard burst onto the shedding
+  // ladder, so the degraded/rejected rungs provably show up in the scrape.
+  pid_t pid = SpawnDaemon({"--workers", "2", "--queue-limit", "6",
+                           "--tenant-active-limit", "0"},
+                          {}, socket);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(WaitForDaemon(socket));
+
+  constexpr int kEasyCount = 80;  // tenant acme: fast definite solves
+  constexpr int kHardCount = 20;  // tenant blue: deadline-bound solves
+  constexpr int kTotal = kEasyCount + kHardCount;
+
+  LineClient blue;
+  ASSERT_TRUE(blue.Connect(socket));
+  std::string hard_burst;
+  for (int i = 0; i < kHardCount; ++i) {
+    hard_burst += SolveRequestLineFull("b" + std::to_string(i), "blue", "",
+                                       kHardBody, 100);
+  }
+  ASSERT_TRUE(blue.Send(hard_burst));
+
+  LineClient acme;
+  ASSERT_TRUE(acme.Connect(socket));
+  std::string easy_burst;
+  for (int i = 0; i < kEasyCount; ++i) {
+    easy_burst += SolveRequestLineFull("a" + std::to_string(i), "acme", "",
+                                       kEasyBody, 5000);
+  }
+  ASSERT_TRUE(acme.Send(easy_burst));
+
+  // Every request answers, every answer carries a unique minted id.
+  std::set<std::string> request_ids;
+  int ladder_engaged = 0;
+  std::string line;
+  for (int i = 0; i < kHardCount; ++i) {
+    ASSERT_TRUE(blue.RecvLine(&line)) << "blue response " << i;
+    request_ids.insert(JsonStrField(line, "request_id"));
+    if (JsonStrField(line, "status") == "OVERLOADED" ||
+        line.find("\"degraded\":1") != std::string::npos) {
+      ++ladder_engaged;
+    }
+  }
+  for (int i = 0; i < kEasyCount; ++i) {
+    ASSERT_TRUE(acme.RecvLine(&line)) << "acme response " << i;
+    request_ids.insert(JsonStrField(line, "request_id"));
+  }
+  EXPECT_EQ(request_ids.size(), static_cast<size_t>(kTotal));
+  EXPECT_FALSE(request_ids.count(""));
+  EXPECT_GE(ladder_engaged, 1) << "hard burst never hit the ladder";
+
+  // One scrape after the burst quiesced.
+  LineClient probe;
+  ASSERT_TRUE(probe.Connect(socket));
+  ASSERT_TRUE(probe.Send("{\"op\":\"metrics\",\"id\":\"m\"}\n"));
+  ASSERT_TRUE(probe.RecvLine(&line));
+  EXPECT_EQ(JsonStrField(line, "status"), "OK") << line;
+  std::string exposition = JsonStrFieldDecoded(line, "exposition");
+  bool parse_ok = false;
+  std::map<std::string, double> series =
+      ParseExposition(exposition, &parse_ok);
+  EXPECT_TRUE(parse_ok) << exposition;
+
+  // The wire histogram saw every solve response this daemon ever sent —
+  // admitted, degraded, and rejected alike.
+  ASSERT_TRUE(series.count("fo2dt_hist_wire_ms_count")) << exposition;
+  EXPECT_EQ(series["fo2dt_hist_wire_ms_count"], kTotal);
+  EXPECT_EQ(series["fo2dt_hist_wire_ms_bucket{le=\"+Inf\"}"], kTotal);
+  // Derived percentiles pass through as flat gauges for fo2dt_top.
+  EXPECT_TRUE(series.count("fo2dt_hist_wire_ms_p50")) << exposition;
+  EXPECT_TRUE(series.count("fo2dt_hist_wire_ms_p99")) << exposition;
+
+  // Ladder counters: per-tenant sums equal the per-tenant request counts.
+  auto tenant_sum = [&series](const std::string& tenant) {
+    double sum = 0;
+    for (const char* outcome : {"admitted", "degraded_light",
+                                "degraded_heavy", "rejected"}) {
+      sum += series["fo2dt_tenant_requests_total{tenant=\"" + tenant +
+                    "\",outcome=\"" + outcome + "\"}"];
+    }
+    return sum;
+  };
+  EXPECT_EQ(tenant_sum("acme"), kEasyCount);
+  EXPECT_EQ(tenant_sum("blue"), kHardCount);
+  // Per-tenant latency histograms count every sent response for the tenant.
+  EXPECT_EQ(series["fo2dt_hist_tenant_wire_ms_count{tenant=\"acme\"}"],
+            kEasyCount);
+  EXPECT_EQ(series["fo2dt_hist_tenant_wire_ms_count{tenant=\"blue\"}"],
+            kHardCount);
+
+  // Queue-wait, solve-wall, and memory histograms cover exactly the solves
+  // that actually executed: everything not rejected at admission.
+  double rejected =
+      series["fo2dt_tenant_requests_total{tenant=\"acme\","
+             "outcome=\"rejected\"}"] +
+      series["fo2dt_tenant_requests_total{tenant=\"blue\","
+             "outcome=\"rejected\"}"];
+  EXPECT_EQ(series["fo2dt_hist_queue_wait_ms_count"], kTotal - rejected);
+  EXPECT_EQ(series["fo2dt_hist_solve_wall_ms_count"], kTotal - rejected);
+  EXPECT_EQ(series["fo2dt_hist_solve_mem_bytes_count"], kTotal - rejected);
+
+  // Live gauges exist (values are load-dependent; presence is the contract).
+  EXPECT_TRUE(series.count("fo2dt_server_queue_depth")) << exposition;
+  EXPECT_TRUE(series.count("fo2dt_server_workers_busy")) << exposition;
 
   EXPECT_EQ(StopDaemon(pid), 0);
 }

@@ -7,7 +7,7 @@
 ///   fo2dtc --socket PATH --op stats
 ///   fo2dtc --socket PATH --facade frontend.sat --body-file req.fo2dt
 ///          [--tenant NAME] [--deadline-ms N] [--max-effort N]
-///          [--count N] [--concurrency K]
+///          [--count N] [--concurrency K] [--json]
 ///
 /// With --count N the client pipelines N copies of the request on each
 /// connection before reading responses — the overload-recipe shape
@@ -15,16 +15,24 @@
 /// it, so the tail of the burst walks the daemon's shedding ladder. With
 /// --concurrency K it opens K connections, each pipelining its own burst.
 ///
+/// With --json each response prints as one compact JSON line carrying the
+/// client-observed latency (burst send → that response) next to the
+/// daemon-echoed id/request_id/status/verdict, and a final summary line
+/// ({"summary":true,...}) reports the burst's client-side p50/p95. Raw
+/// response lines are suppressed.
+///
 /// Exit status: 0 when every response has status OK, 1 when any response is
 /// OVERLOADED or ERROR (the responses still print), 2 on usage/connect
-/// failures.
+/// failures. --json does not change the exit-status contract.
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,7 +60,31 @@ struct ClientConfig {
   uint64_t max_effort = 0;
   uint64_t count = 1;
   uint64_t concurrency = 1;
+  bool json = false;
 };
+
+/// First top-level occurrence of `"key":"value"` in \p line; empty when
+/// absent. Good enough for the daemon's flat response lines (ids, verdicts
+/// and request_ids never contain escapes).
+std::string ResponseStrField(const std::string& line, const char* key) {
+  std::string pattern = std::string("\"") + key + "\":\"";
+  size_t at = line.find(pattern);
+  if (at == std::string::npos) return "";
+  size_t start = at + pattern.size();
+  size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+/// Client-side nearest-rank percentile over the collected burst latencies.
+uint64_t LatencyPercentile(std::vector<uint64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      (p / 100.0) * static_cast<double>(sorted.size()) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -61,7 +93,7 @@ int Usage() {
                "              [--tenant NAME] [--deadline-ms N] "
                "[--max-bytes N]\n"
                "              [--max-effort N] [--count N] "
-               "[--concurrency K]\n");
+               "[--concurrency K] [--json]\n");
   return 2;
 }
 
@@ -126,7 +158,8 @@ bool SendAll(int fd, const std::string& data) {
 /// response lines. Responses print under `print_mu` so concurrent
 /// connections do not interleave bytes.
 bool RunConnection(const ClientConfig& config, uint64_t first_seq,
-                   std::mutex* print_mu, std::atomic<uint64_t>* not_ok) {
+                   std::mutex* print_mu, std::atomic<uint64_t>* not_ok,
+                   std::vector<uint64_t>* latencies_ms) {
   int fd = ConnectTo(config.socket_path);
   if (fd < 0) {
     std::lock_guard<std::mutex> lock(*print_mu);
@@ -138,6 +171,7 @@ bool RunConnection(const ClientConfig& config, uint64_t first_seq,
   for (uint64_t i = 0; i < config.count; ++i) {
     burst += BuildRequestLine(config, first_seq + i);
   }
+  const auto sent_at = std::chrono::steady_clock::now();
   if (!SendAll(fd, burst)) {
     ::close(fd);
     return false;
@@ -160,8 +194,27 @@ bool RunConnection(const ClientConfig& config, uint64_t first_seq,
       if (line.find("\"status\":\"OK\"") == std::string::npos) {
         not_ok->fetch_add(1);
       }
+      // Client-observed latency: burst send → this response. Responses may
+      // arrive out of submission order (worker pool), so the daemon-echoed
+      // id/request_id name the request, not the line position.
+      const uint64_t latency_ms = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - sent_at)
+              .count());
       std::lock_guard<std::mutex> lock(*print_mu);
-      std::printf("%s\n", line.c_str());
+      if (config.json) {
+        latencies_ms->push_back(latency_ms);
+        std::printf(
+            "{\"id\":\"%s\",\"request_id\":\"%s\",\"status\":\"%s\","
+            "\"verdict\":\"%s\",\"latency_ms\":%llu}\n",
+            ResponseStrField(line, "id").c_str(),
+            ResponseStrField(line, "request_id").c_str(),
+            ResponseStrField(line, "status").c_str(),
+            ResponseStrField(line, "verdict").c_str(),
+            static_cast<unsigned long long>(latency_ms));
+      } else {
+        std::printf("%s\n", line.c_str());
+      }
       ++received;
     }
   }
@@ -200,6 +253,8 @@ int main(int argc, char** argv) {
       config.count = std::strtoull(value, nullptr, 10);
     } else if (arg == "--concurrency" && (value = next())) {
       config.concurrency = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--json") {
+      config.json = true;
     } else {
       return Usage();
     }
@@ -228,15 +283,27 @@ int main(int argc, char** argv) {
   std::mutex print_mu;
   std::atomic<uint64_t> not_ok{0};
   std::atomic<bool> all_received{true};
+  std::vector<uint64_t> latencies_ms;  // guarded by print_mu
   std::vector<std::thread> threads;
   for (uint64_t c = 0; c < config.concurrency; ++c) {
     threads.emplace_back([&, c] {
-      if (!RunConnection(config, c * config.count, &print_mu, &not_ok)) {
+      if (!RunConnection(config, c * config.count, &print_mu, &not_ok,
+                         &latencies_ms)) {
         all_received.store(false);
       }
     });
   }
   for (std::thread& t : threads) t.join();
+  if (config.json) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    std::printf(
+        "{\"summary\":true,\"requests\":%llu,\"ok\":%llu,"
+        "\"latency_ms_p50\":%llu,\"latency_ms_p95\":%llu}\n",
+        static_cast<unsigned long long>(latencies_ms.size()),
+        static_cast<unsigned long long>(latencies_ms.size() - not_ok.load()),
+        static_cast<unsigned long long>(LatencyPercentile(latencies_ms, 50)),
+        static_cast<unsigned long long>(LatencyPercentile(latencies_ms, 95)));
+  }
   if (!all_received.load()) return 2;
   return not_ok.load() == 0 ? 0 : 1;
 }

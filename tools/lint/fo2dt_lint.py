@@ -36,6 +36,11 @@ enforces them:
                          pass registered cache hit and miss metric constants
                          (names::kMetricCache...), so no cache lookup can
                          run unobserved by the MetricsRegistry.
+  histogram-metrics      every Histogram construction site must name a
+                         registered histogram metric constant
+                         (names::kMetricHist...); an ad-hoc name makes the
+                         series invisible to the registry exposition and to
+                         fo2dt_top.
   timer-memory-scope     every ScopedPhaseTimer construction must open the
                          matching ScopedPhaseMemory scope for the same phase
                          nearby, so the flight recorder's per-phase memory
@@ -98,6 +103,7 @@ RULES = (
     "bench-key-mismatch",
     "no-raw-rand",
     "cache-metrics",
+    "histogram-metrics",
     "timer-memory-scope",
     "no-ordered-containers",
     "bad-suppression",
@@ -468,6 +474,38 @@ class Linter:
                     "and miss metric constants (names::kMetricCache...); "
                     "every cache lookup must record its disposition")
 
+    # -- rule: histogram-metrics ---------------------------------------------
+
+    # A named Histogram variable/member with its initializer — paren or brace
+    # form. The mandatory identifier between the type and the delimiter keeps
+    # HistogramSnapshot, `Histogram&`/`Histogram*` parameters, and the class
+    # definition itself out.
+    HISTOGRAM_DECL_RE = re.compile(r"\bHistogram\s+\w+\s*[({]")
+
+    def check_histogram_metrics(self, sf):
+        """Every Histogram construction site must name a registered histogram
+        metric constant (names::kMetricHist...), so every distribution the
+        process records is scrapeable through the MetricsRegistry exposition.
+        The Histogram implementation itself is exempt."""
+        if sf.path.endswith(os.path.join("common", "metrics.cc")) or \
+                sf.path.endswith(os.path.join("common", "metrics.h")):
+            return
+        for m in self.HISTOGRAM_DECL_RE.finditer(sf.code):
+            line_no = sf.line_of_offset(m.start())
+            args = _matched_delims(sf.code, m.end() - 1)
+            if args is None:
+                continue
+            hist_consts = [
+                c for c in NAMES_CONST_RE.findall(args)
+                if self.constants.get(c, ("", ""))[0] == "metric"
+                and self.constants[c][1].startswith("hist.")]
+            if not hist_consts:
+                self.report(
+                    sf, line_no, "histogram-metrics",
+                    "Histogram construction site does not name a registered "
+                    "histogram metric constant (names::kMetricHist...); an "
+                    "unregistered series never reaches the exposition")
+
     # -- rule: timer-memory-scope --------------------------------------------
 
     TIMER_DECL_RE = re.compile(r"\bScopedPhaseTimer\s+\w+\s*[({]\s*Phase::(k\w+)")
@@ -605,6 +643,31 @@ def _matched_parens(code, start):
     return None
 
 
+def _matched_delims(code, start):
+    """Like _matched_parens, but accepts '(' or '{' — covers both
+    initializer forms of a constructor site. Returns the delimited text
+    including the delimiters, or None."""
+    i = start
+    n = len(code)
+    while i < n and code[i].isspace():
+        i += 1
+    if i >= n or code[i] not in "({":
+        return None
+    open_ch = code[i]
+    close_ch = ")" if open_ch == "(" else "}"
+    depth = 0
+    j = i
+    while j < n:
+        if code[j] == open_ch:
+            depth += 1
+        elif code[j] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return code[i:j + 1]
+        j += 1
+    return None
+
+
 def _loop_body(code, start):
     """Returns the loop body text starting at `start` (after the while(...)
     header or the `do` keyword): a braced block, or a single statement up to
@@ -727,6 +790,7 @@ def main():
         linter.check_header_hygiene(sf)
         linter.check_raw_rand(sf)
         linter.check_cache_metrics(sf)
+        linter.check_histogram_metrics(sf)
         linter.check_timer_memory_scopes(sf)
         linter.check_ordered_containers(sf)
     linter.check_bench_contract(bench_main, run_bench)

@@ -100,6 +100,7 @@ def main():
         "bad phase entry": dict(
             good, phases=dict(good["phases"], scott={"ms": 1.0})),
         "bad cache disposition": dict(good, cache="warm"),
+        "integer request_id": dict(good, request_id=7),
     }
     for name, bad in mutations.items():
         with tempfile.TemporaryDirectory() as tmp:

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""fo2dt_top: live terminal dashboard for a running fo2dtd daemon.
+
+Scrapes the daemon's `metrics` wire op (Prometheus-style text inside the
+JSON response's `exposition` field) and renders the operational picture a
+capacity question needs: request rate, the wire/solve latency distribution
+(p50/p95/p99 straight from the daemon's log2-bucket histograms), solve-cache
+hit rate, worker occupancy, and the per-tenant degradation-ladder table.
+
+Usage:
+  fo2dt_top.py --socket /tmp/fo2dtd.sock              # live (curses), 1s
+  fo2dt_top.py --socket /tmp/fo2dtd.sock --interval 2
+  fo2dt_top.py --socket /tmp/fo2dtd.sock --once       # one plain-text frame
+
+`--once` prints one frame to stdout and exits 0 (exit 2 when the daemon is
+unreachable), so scripts and tests can assert on the rendering without a
+tty. The live mode falls back to plain-text frames when stdout is not a
+terminal or curses is unavailable.
+
+Only the Python standard library is used; the scrape path is one
+line-delimited JSON request over the daemon's Unix socket, the same
+protocol every other client speaks.
+"""
+
+import argparse
+import json
+import re
+import socket
+import sys
+import time
+
+# One exposition line: `name 1.5` or `name{label="x",le="3"} 7`.
+SERIES_RE = re.compile(r'^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
+LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+LADDER_OUTCOMES = ("admitted", "degraded_light", "degraded_heavy", "rejected")
+
+
+def scrape(socket_path, timeout=5.0):
+    """One `metrics` op round-trip; returns the raw exposition text."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        sock.sendall(b'{"op":"metrics","id":"fo2dt_top"}\n')
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+    line = buf.split(b"\n", 1)[0].decode("utf-8", "replace")
+    resp = json.loads(line)
+    if resp.get("status") != "OK":
+        raise RuntimeError("metrics op answered %r" % resp.get("status"))
+    return resp.get("exposition", "")
+
+
+def parse_exposition(text):
+    """Prometheus text -> (flat {name: float}, labeled [(name, labels, float)])."""
+    flat = {}
+    labeled = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = SERIES_RE.match(line)
+        if not match:
+            continue
+        name, label_blob, value_text = match.groups()
+        try:
+            value = float(value_text)
+        except ValueError:
+            continue  # +Inf bucket values are numeric; this skips garbage
+        if label_blob:
+            labels = dict(LABEL_RE.findall(label_blob))
+            labeled.append((name, labels, value))
+        else:
+            flat[name] = value
+    return flat, labeled
+
+
+def tenant_table(labeled):
+    """Per-tenant ladder counts + latency p95 from the labeled series."""
+    tenants = {}
+    for name, labels, value in labeled:
+        tenant = labels.get("tenant")
+        if tenant is None:
+            continue
+        row = tenants.setdefault(
+            tenant, {outcome: 0 for outcome in LADDER_OUTCOMES})
+        if name == "fo2dt_tenant_requests_total":
+            outcome = labels.get("outcome")
+            if outcome in row:
+                row[outcome] = int(value)
+        elif name == "fo2dt_hist_tenant_wire_ms_count":
+            row["latency_count"] = int(value)
+        elif name == "fo2dt_hist_tenant_wire_ms_bucket":
+            row.setdefault("buckets", []).append(
+                (labels.get("le", "+Inf"), value))
+    for row in tenants.values():
+        row["p95"] = bucket_percentile(row.get("buckets", []), 95.0)
+    return tenants
+
+
+def bucket_percentile(buckets, p):
+    """Nearest-rank percentile from cumulative `le` buckets."""
+    finite = []
+    total = 0.0
+    for le, cumulative in buckets:
+        if le == "+Inf":
+            total = max(total, cumulative)
+        else:
+            finite.append((float(le), cumulative))
+            total = max(total, cumulative)
+    if total <= 0:
+        return 0.0
+    finite.sort()
+    rank = max(1.0, round(total * p / 100.0))
+    for le, cumulative in finite:
+        if cumulative >= rank:
+            return le
+    return finite[-1][0] if finite else 0.0
+
+
+def render_frame(flat, labeled, qps, width=78):
+    """One plain-text frame (list of lines); shared by --once and curses."""
+    lines = []
+
+    def metric(name, default=0.0):
+        return flat.get(name, default)
+
+    completed = metric("fo2dt_server_completed")
+    accepted = metric("fo2dt_server_accepted")
+    rejected = metric("fo2dt_server_rejected_overload")
+    degraded = metric("fo2dt_server_degraded")
+    busy = metric("fo2dt_server_workers_busy")
+    depth = metric("fo2dt_server_queue_depth")
+    peak = metric("fo2dt_server_queue_depth_peak")
+    hits = metric("fo2dt_cache_solve_hits")
+    misses = metric("fo2dt_cache_solve_misses")
+    lookups = hits + misses
+    hit_rate = (100.0 * hits / lookups) if lookups else 0.0
+
+    lines.append("fo2dtd" + " " * 4 +
+                 "qps %6.1f   completed %8d   workers busy %d   "
+                 "queue %d (peak %d)"
+                 % (qps, completed, busy, depth, peak))
+    lines.append("admission  accepted %d   degraded %d   rejected %d   "
+                 "cache hit %5.1f%% (%d/%d)"
+                 % (accepted, degraded, rejected, hit_rate, hits, lookups))
+    lines.append("-" * width)
+    lines.append("%-18s %10s %10s %10s" % ("latency (ms)", "p50", "p95",
+                                           "p99"))
+    for label, key in (("wire", "fo2dt_hist_wire_ms"),
+                       ("queue wait", "fo2dt_hist_queue_wait_ms"),
+                       ("solve wall", "fo2dt_hist_solve_wall_ms")):
+        lines.append("%-18s %10.0f %10.0f %10.0f"
+                     % (label, metric(key + "_p50"), metric(key + "_p95"),
+                        metric(key + "_p99")))
+    lines.append("%-18s %10.0f %10.0f %10.0f"
+                 % ("solve mem (bytes)",
+                    metric("fo2dt_hist_solve_mem_bytes_p50"),
+                    metric("fo2dt_hist_solve_mem_bytes_p95"),
+                    metric("fo2dt_hist_solve_mem_bytes_p99")))
+    lines.append("-" * width)
+    tenants = tenant_table(labeled)
+    lines.append("%-16s %9s %8s %8s %9s %9s"
+                 % ("tenant", "admitted", "light", "heavy", "rejected",
+                    "p95 ms"))
+    for tenant in sorted(tenants):
+        row = tenants[tenant]
+        lines.append("%-16s %9d %8d %8d %9d %9.0f"
+                     % (tenant[:16], row["admitted"], row["degraded_light"],
+                        row["degraded_heavy"], row["rejected"], row["p95"]))
+    if not tenants:
+        lines.append("(no tenant traffic yet)")
+    return lines
+
+
+def one_frame(socket_path, prev=None, dt=None):
+    """Scrape + parse + derive QPS against the previous completed count."""
+    flat, labeled = parse_exposition(scrape(socket_path))
+    completed = flat.get("fo2dt_server_completed", 0.0)
+    qps = 0.0
+    if prev is not None and dt:
+        qps = max(0.0, completed - prev) / dt
+    return flat, labeled, completed, qps
+
+
+def run_once(socket_path):
+    flat, labeled, _, qps = one_frame(socket_path)
+    for line in render_frame(flat, labeled, qps):
+        print(line)
+    return 0
+
+
+def run_plain(socket_path, interval):
+    prev = None
+    while True:
+        start = time.monotonic()
+        flat, labeled, completed, qps = one_frame(
+            socket_path, prev, interval if prev is not None else None)
+        prev = completed
+        print("\n".join(render_frame(flat, labeled, qps)))
+        print()
+        sys.stdout.flush()
+        elapsed = time.monotonic() - start
+        time.sleep(max(0.0, interval - elapsed))
+
+
+def run_curses(socket_path, interval):
+    import curses
+
+    def loop(screen):
+        curses.curs_set(0)
+        screen.nodelay(True)
+        prev = None
+        while True:
+            flat, labeled, completed, qps = one_frame(
+                socket_path, prev, interval if prev is not None else None)
+            prev = completed
+            screen.erase()
+            height, width = screen.getmaxyx()
+            frame = render_frame(flat, labeled, qps, width=min(width - 1, 78))
+            for y, line in enumerate(frame[: height - 1]):
+                screen.addnstr(y, 0, line, width - 1)
+            screen.refresh()
+            deadline = time.monotonic() + interval
+            while time.monotonic() < deadline:
+                if screen.getch() in (ord("q"), 27):
+                    return
+                time.sleep(0.05)
+
+    curses.wrapper(loop)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--socket", required=True,
+                        help="fo2dtd Unix socket path")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="refresh interval, seconds (default 1)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one plain frame and exit")
+    args = parser.parse_args()
+    try:
+        if args.once:
+            return run_once(args.socket)
+        if sys.stdout.isatty():
+            try:
+                run_curses(args.socket, args.interval)
+                return 0
+            except ImportError:
+                pass
+        run_plain(args.socket, args.interval)
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, RuntimeError, json.JSONDecodeError) as err:
+        print("fo2dt_top: %s" % err, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
